@@ -1,0 +1,124 @@
+// Shared setup for the figure/table benches: the default challenge, the
+// 251-submission synthetic population, and small printing helpers.
+//
+// Every bench prints the series the corresponding paper figure/table plots,
+// one CSV-ish block per figure, followed by a SHAPE-CHECK section stating
+// the qualitative property the paper reports and whether this run
+// reproduces it.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "challenge/analysis.hpp"
+#include "challenge/challenge.hpp"
+#include "challenge/participants.hpp"
+
+namespace rab::bench {
+
+inline constexpr std::uint64_t kChallengeSeed = 20070425;
+inline constexpr std::uint64_t kPopulationSeed = 17;
+inline constexpr std::size_t kPopulationSize = 251;
+
+/// The challenge instance shared by all benches (built once per process).
+inline const challenge::Challenge& default_challenge() {
+  static const challenge::Challenge instance =
+      challenge::Challenge::make_default(kChallengeSeed);
+  return instance;
+}
+
+/// The 251 synthetic submissions (built once per process).
+inline const std::vector<challenge::Submission>& default_population() {
+  static const std::vector<challenge::Submission> instance =
+      challenge::ParticipantPopulation(default_challenge(), kPopulationSeed)
+          .generate(kPopulationSize);
+  return instance;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("==== %s ====\n", title.c_str());
+}
+
+inline void shape_check(const std::string& claim, bool reproduced) {
+  std::printf("SHAPE-CHECK: %s -> %s\n", claim.c_str(),
+              reproduced ? "REPRODUCED" : "NOT REPRODUCED");
+}
+
+/// Variance-bias scatter for one scheme: prints every point and a region
+/// summary over the LMP (downgrade-winner) marks, the way Figures 2-4 are
+/// read in the paper.
+inline void print_variance_bias(
+    const std::vector<challenge::VarianceBiasPoint>& points) {
+  std::printf("# index,label,bias,stddev,overall_mp,product_mp,color\n");
+  for (const auto& p : points) {
+    std::printf("%zu,%s,%.3f,%.3f,%.3f,%.3f,%s\n", p.index, p.label.c_str(),
+                p.bias, p.stddev, p.overall_mp, p.product_mp,
+                to_string(color_of(p)));
+  }
+}
+
+/// The paper's negative-bias regions (Section V-B): R1 large bias / small-
+/// to-medium variance, R2 medium bias / small-to-medium variance, R3 medium
+/// bias / medium-to-large variance.
+enum class Region { kR1, kR2, kR3, kOther };
+
+inline Region region_of(const challenge::VarianceBiasPoint& p) {
+  if (p.bias >= 0.0) return Region::kOther;
+  const bool large_bias = p.bias <= -3.0;
+  const bool large_var = p.stddev >= 0.7;
+  if (large_bias && !large_var) return Region::kR1;
+  if (!large_bias && !large_var) return Region::kR2;
+  if (!large_bias && large_var) return Region::kR3;
+  return Region::kOther;  // large bias + large variance (rare corner)
+}
+
+inline const char* to_string(Region r) {
+  switch (r) {
+    case Region::kR1:
+      return "R1";
+    case Region::kR2:
+      return "R2";
+    case Region::kR3:
+      return "R3";
+    case Region::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+struct RegionCounts {
+  int r1 = 0;
+  int r2 = 0;
+  int r3 = 0;
+  int other = 0;
+
+  void add(Region r) {
+    switch (r) {
+      case Region::kR1:
+        ++r1;
+        break;
+      case Region::kR2:
+        ++r2;
+        break;
+      case Region::kR3:
+        ++r3;
+        break;
+      case Region::kOther:
+        ++other;
+        break;
+    }
+  }
+};
+
+/// Counts regions over the LMP-marked (strong downgrade) submissions.
+inline RegionCounts lmp_regions(
+    const std::vector<challenge::VarianceBiasPoint>& points) {
+  RegionCounts counts;
+  for (const auto& p : points) {
+    if (p.lmp) counts.add(region_of(p));
+  }
+  return counts;
+}
+
+}  // namespace rab::bench

@@ -1,0 +1,98 @@
+// Extension: the boosting-attack study the paper defers to future work.
+//
+// Section V-B observes that boosting (positive bias) is much weaker than
+// downgrading because the fair mean of popular products sits near the top
+// of the scale — "there is no much room to further boost" — and that the
+// positive-bias half of the variance-bias plot therefore has no resolution.
+// This bench quantifies both halves of that claim:
+//   (a) on the default challenge (fair mean ~4) the best achievable boost
+//       MP is a fraction of the best downgrade MP under every scheme;
+//   (b) on a head-room challenge (fair mean ~3) boosting recovers most of
+//       its power, confirming the ceiling is the cause.
+#include <algorithm>
+#include <cstdio>
+
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "bench_common.hpp"
+#include "challenge/participants.hpp"
+#include "rating/fair_generator.hpp"
+
+namespace {
+
+using namespace rab;
+
+/// Max per-product MP split into boost vs downgrade targets over a
+/// population.
+struct SplitMp {
+  double boost = 0.0;
+  double downgrade = 0.0;
+};
+
+SplitMp best_split(const challenge::Challenge& challenge,
+                   const std::vector<challenge::Submission>& population,
+                   const aggregation::AggregationScheme& scheme) {
+  SplitMp best;
+  for (const auto& submission : population) {
+    const challenge::MpResult mp = challenge.evaluate(submission, scheme);
+    for (ProductId id : challenge.config().boost_targets) {
+      best.boost = std::max(best.boost, mp.per_product.at(id));
+    }
+    for (ProductId id : challenge.config().downgrade_targets) {
+      best.downgrade = std::max(best.downgrade, mp.per_product.at(id));
+    }
+  }
+  return best;
+}
+
+challenge::Challenge headroom_challenge() {
+  rating::FairDataConfig config;
+  config.mean_value = 3.0;  // room to boost
+  config.seed = 424242;
+  return challenge::Challenge(
+      rating::FairDataGenerator(config).generate());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension: boosting vs downgrading (the paper's future work)");
+
+  const aggregation::SaScheme sa;
+  const aggregation::PScheme p;
+
+  // (a) default challenge, fair mean ~4 (the paper's setting).
+  const auto& ceiling = bench::default_challenge();
+  const auto& population = bench::default_population();
+  const SplitMp sa_ceiling = best_split(ceiling, population, sa);
+  const SplitMp p_ceiling = best_split(ceiling, population, p);
+  std::printf("# setting,scheme,best_boost_mp,best_downgrade_mp\n");
+  std::printf("mean4,SA,%.3f,%.3f\n", sa_ceiling.boost,
+              sa_ceiling.downgrade);
+  std::printf("mean4,P,%.3f,%.3f\n", p_ceiling.boost, p_ceiling.downgrade);
+
+  // (b) head-room challenge, fair mean ~3.
+  const challenge::Challenge room = headroom_challenge();
+  const auto room_population =
+      challenge::ParticipantPopulation(room, bench::kPopulationSeed)
+          .generate(120);
+  const SplitMp sa_room = best_split(room, room_population, sa);
+  const SplitMp p_room = best_split(room, room_population, p);
+  std::printf("mean3,SA,%.3f,%.3f\n", sa_room.boost, sa_room.downgrade);
+  std::printf("mean3,P,%.3f,%.3f\n", p_room.boost, p_room.downgrade);
+
+  bench::shape_check(
+      "near the scale ceiling, boosting is much weaker than downgrading "
+      "(Section V-B's observation)",
+      sa_ceiling.boost < 0.6 * sa_ceiling.downgrade);
+  bench::shape_check(
+      "with head-room (fair mean ~3) boosting recovers relative strength",
+      sa_room.boost / sa_room.downgrade >
+          sa_ceiling.boost / sa_ceiling.downgrade);
+  bench::shape_check(
+      "the P-scheme also bounds boost attacks below the SA baseline",
+      p_ceiling.boost <= sa_ceiling.boost &&
+          p_room.boost <= sa_room.boost);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 4: variance-bias plot under the BF-scheme (beta-function
+// majority-rule filtering). The paper's reading: BF only removes ratings
+// with large bias and very small variance — the bottom-left corner of the
+// R1 region empties compared with Figure 3, but R1 still dominates because
+// a little variance defeats the filter.
+#include <cstdio>
+
+#include "aggregation/bf_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rab;
+  bench::print_header("Figure 4: variance-bias plot, BF-scheme, product 1");
+
+  const aggregation::BfScheme scheme;
+  const auto points = challenge::analyze_population(
+      bench::default_challenge(), bench::default_population(), scheme);
+  bench::print_variance_bias(points);
+
+  const bench::RegionCounts regions = bench::lmp_regions(points);
+  std::printf("LMP winners by region: R1=%d R2=%d R3=%d other=%d\n",
+              regions.r1, regions.r2, regions.r3, regions.other);
+
+  // The corner BF is supposed to clean out: bias <= -3.5, stddev <= 0.25.
+  int bf_corner_winners = 0;
+  for (const auto& p : points) {
+    if (p.lmp && p.bias <= -3.5 && p.stddev <= 0.25) ++bf_corner_winners;
+  }
+  // Same corner under SA for contrast.
+  const aggregation::SaScheme sa;
+  const auto sa_points = challenge::analyze_population(
+      bench::default_challenge(), bench::default_population(), sa);
+  int sa_corner_winners = 0;
+  for (const auto& p : sa_points) {
+    if (p.lmp && p.bias <= -3.5 && p.stddev <= 0.25) ++sa_corner_winners;
+  }
+  std::printf("bottom-left-corner LMP winners: BF=%d vs SA=%d\n",
+              bf_corner_winners, sa_corner_winners);
+
+  bench::shape_check(
+      "BF empties the bottom-left corner (large bias, very small variance) "
+      "that wins under SA",
+      bf_corner_winners < sa_corner_winners);
+  bench::shape_check(
+      "strong downgrade attacks against BF still favour large bias "
+      "(R1 at least matches R3: moderate variance already defeats the "
+      "filter)",
+      regions.r1 >= regions.r3);
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Performance microbenches (google-benchmark): throughput of each detector,
+// the AR fit, the BF filter, and the end-to-end P-scheme. Not a paper
+// figure — these are the engineering ablations DESIGN.md calls out (e.g.
+// by-count vs by-duration ME windows).
+#include <benchmark/benchmark.h>
+
+#include "aggregation/bf_scheme.hpp"
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "cluster/single_linkage.hpp"
+#include "detectors/arc_detector.hpp"
+#include "detectors/hc_detector.hpp"
+#include "detectors/mc_detector.hpp"
+#include "detectors/me_detector.hpp"
+#include "rating/fair_generator.hpp"
+#include "signal/ar.hpp"
+
+namespace {
+
+using namespace rab;
+
+rating::ProductRatings stream_of(std::int64_t days) {
+  rating::FairDataConfig config;
+  config.product_count = 1;
+  config.history_days = static_cast<double>(days);
+  return rating::FairDataGenerator(config).generate_product(ProductId(1));
+}
+
+void BM_MeanChangeDetector(benchmark::State& state) {
+  const auto stream = stream_of(state.range(0));
+  const detectors::MeanChangeDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(stream));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_MeanChangeDetector)->Arg(60)->Arg(180)->Arg(365);
+
+void BM_ArrivalRateDetector(benchmark::State& state) {
+  const auto stream = stream_of(state.range(0));
+  const detectors::ArrivalRateDetector detector(detectors::ArcConfig{},
+                                                detectors::ArcMode::kLow);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(stream));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_ArrivalRateDetector)->Arg(60)->Arg(180)->Arg(365);
+
+void BM_HistogramDetector(benchmark::State& state) {
+  const auto stream = stream_of(state.range(0));
+  const detectors::HistogramDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(stream));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_HistogramDetector)->Arg(60)->Arg(180)->Arg(365);
+
+void BM_ModelErrorDetectorByCount(benchmark::State& state) {
+  const auto stream = stream_of(state.range(0));
+  const detectors::ModelErrorDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(stream));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_ModelErrorDetectorByCount)->Arg(60)->Arg(180);
+
+void BM_ModelErrorDetectorByDuration(benchmark::State& state) {
+  const auto stream = stream_of(state.range(0));
+  detectors::MeConfig config;
+  config.window = signal::WindowSpec::by_duration(14.0);
+  const detectors::ModelErrorDetector detector(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(stream));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_ModelErrorDetectorByDuration)->Arg(60)->Arg(180);
+
+void BM_ArFit(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    xs.push_back(rng.gaussian(4.0, 0.8));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::fit_ar(xs, 4));
+  }
+}
+BENCHMARK(BM_ArFit)->Arg(40)->Arg(100)->Arg(400);
+
+void BM_SingleLinkage1d(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    xs.push_back(rng.uniform(0.0, 5.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::single_linkage_1d(xs, 2));
+  }
+}
+BENCHMARK(BM_SingleLinkage1d)->Arg(40)->Arg(400);
+
+void BM_SchemeAggregate(benchmark::State& state) {
+  rating::FairDataConfig config;
+  config.product_count = 9;
+  config.history_days = 180.0;
+  const rating::Dataset data =
+      rating::FairDataGenerator(config).generate();
+
+  const aggregation::SaScheme sa;
+  const aggregation::BfScheme bf;
+  const aggregation::PScheme p;
+  const aggregation::AggregationScheme* scheme = nullptr;
+  switch (state.range(0)) {
+    case 0:
+      scheme = &sa;
+      break;
+    case 1:
+      scheme = &bf;
+      break;
+    default:
+      scheme = &p;
+      break;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->aggregate(data, 30.0));
+  }
+  state.SetLabel(state.range(0) == 0   ? "SA"
+                 : state.range(0) == 1 ? "BF"
+                                       : "P");
+}
+BENCHMARK(BM_SchemeAggregate)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Replaying the rating challenge: generate a synthetic participant
+// population (standing in for the 2007 challenge's 251 human submissions),
+// validate every entry against the contest rules, and print the
+// leaderboard under the P-scheme — plus where each strategy archetype
+// lands. Optionally exports the fair dataset to CSV.
+//
+//   $ ./challenge_replay [fair_data.csv]
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aggregation/p_scheme.hpp"
+#include "challenge/participants.hpp"
+#include "rating/io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rab;
+
+  const challenge::Challenge challenge = challenge::Challenge::make_default();
+  if (argc > 1) {
+    rating::write_csv_file(argv[1], challenge.fair());
+    std::printf("fair dataset exported to %s\n", argv[1]);
+  }
+
+  const challenge::ParticipantPopulation population(challenge, /*seed=*/29);
+  const std::vector<challenge::Submission> submissions =
+      population.generate(60);  // a fast replay; the benches run all 251
+
+  const aggregation::PScheme p;
+  struct Entry {
+    double mp;
+    std::string label;
+  };
+  std::vector<Entry> board;
+  std::map<std::string, double> best_by_strategy;
+  for (const challenge::Submission& submission : submissions) {
+    // evaluate() validates against the contest rules and throws on a
+    // violation; the population generator always produces legal entries.
+    const double mp = challenge.evaluate(submission, p).overall;
+    board.push_back(Entry{mp, submission.label});
+    const std::string strategy =
+        submission.label.substr(0, submission.label.rfind('-'));
+    best_by_strategy[strategy] =
+        std::max(best_by_strategy[strategy], mp);
+  }
+  std::sort(board.begin(), board.end(),
+            [](const Entry& a, const Entry& b) { return a.mp > b.mp; });
+
+  std::printf("leaderboard (P-scheme defense), top 10 of %zu:\n",
+              board.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, board.size()); ++i) {
+    std::printf("  %2zu. %-22s MP %.3f\n", i + 1, board[i].label.c_str(),
+                board[i].mp);
+  }
+
+  std::printf("\nbest MP per strategy archetype:\n");
+  for (const auto& [strategy, mp] : best_by_strategy) {
+    std::printf("  %-16s %.3f\n", strategy.c_str(), mp);
+  }
+  std::printf(
+      "\nExpected: naive archetypes near the bottom; variance-inflated\n"
+      "medium-bias attacks (high-variance, manual-jitter) at the top.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Evaluating your own defense: implement the AggregationScheme interface
+// for a custom aggregator (here: a per-bin trimmed mean) and stress it with
+// the attack generator — the workflow the paper proposes for "evaluating
+// current and future rating aggregation systems".
+//
+//   $ ./defense_evaluation
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "challenge/challenge.hpp"
+#include "core/attack_generator.hpp"
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using namespace rab;
+
+/// A simple robust baseline: per bin, drop the lowest and highest `trim`
+/// fraction of ratings and average the rest.
+class TrimmedMeanScheme final : public aggregation::AggregationScheme {
+ public:
+  explicit TrimmedMeanScheme(double trim = 0.1) : trim_(trim) {}
+
+  [[nodiscard]] std::string name() const override { return "TRIM"; }
+
+  [[nodiscard]] aggregation::AggregateSeries aggregate(
+      const rating::Dataset& data, double bin_days) const override {
+    aggregation::AggregateSeries series;
+    const Interval span = data.span();
+    const std::vector<Interval> bins =
+        make_bins(span.begin, span.end, bin_days);
+    for (ProductId id : data.product_ids()) {
+      aggregation::ProductSeries points;
+      for (const Interval& bin : bins) {
+        const auto rs = data.product(id).in_interval(bin);
+        std::vector<double> values;
+        for (const auto& r : rs) values.push_back(r.value);
+        std::sort(values.begin(), values.end());
+        const auto cut =
+            static_cast<std::size_t>(trim_ * static_cast<double>(values.size()));
+        aggregation::AggregatePoint point;
+        point.bin = bin;
+        if (values.size() > 2 * cut) {
+          stats::Welford acc;
+          for (std::size_t i = cut; i < values.size() - cut; ++i) {
+            acc.add(values[i]);
+          }
+          point.value = acc.mean();
+          point.used = acc.count();
+          point.removed = 2 * cut;
+        }
+        points.push_back(point);
+      }
+      series.products.emplace(id, std::move(points));
+    }
+    return series;
+  }
+
+ private:
+  double trim_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace rab;
+
+  const challenge::Challenge challenge = challenge::Challenge::make_default();
+  const core::AttackGenerator generator(challenge, /*seed=*/3);
+
+  const TrimmedMeanScheme trimmed(0.15);
+  const aggregation::SaScheme sa;
+  const aggregation::PScheme p;
+
+  // Let the generator LEARN the best attack against each defense
+  // (Procedure 2), then report the residual manipulation power.
+  core::AttackProfile timing;
+  timing.duration_days = 50.0;
+  core::RegionSearchOptions options;
+  options.trials = 4;
+  options.max_rounds = 4;
+
+  std::printf("# defense,learned_bias,learned_sigma,worst_case_mp\n");
+  for (const aggregation::AggregationScheme* scheme :
+       {static_cast<const aggregation::AggregationScheme*>(&sa),
+        static_cast<const aggregation::AggregationScheme*>(&trimmed),
+        static_cast<const aggregation::AggregationScheme*>(&p)}) {
+    const core::RegionSearchResult search =
+        generator.optimize(*scheme, options, timing);
+    std::printf("%s,%.2f,%.2f,%.3f\n", scheme->name().c_str(),
+                search.best_bias, search.best_sigma, search.best_mp);
+  }
+
+  std::printf(
+      "\nA trimmed mean resists extreme-value floods but, like every\n"
+      "majority-rule defense, passes moderate-bias attacks through; the\n"
+      "signal-based P-scheme bounds the worst case the tightest.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Detector anatomy: inject an attack into one product and dump every
+// indicator curve (MC / H-ARC / L-ARC / HC / ME) plus the suspicious
+// intervals as CSV, ready for plotting.
+//
+//   $ ./detector_curves > curves.csv
+//
+// Shows how to drive the detectors directly (below the aggregation-scheme
+// level) — the workflow for anyone tuning a new detector.
+#include <cstdio>
+
+#include "detectors/integrator.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rab;
+
+void dump_curve(const char* name, const signal::Curve& curve) {
+  for (const auto& point : curve) {
+    std::printf("curve,%s,%.4f,%.6f\n", name, point.time, point.value);
+  }
+}
+
+void dump_intervals(const char* name,
+                    const std::vector<Interval>& intervals) {
+  for (const Interval& iv : intervals) {
+    std::printf("suspicious,%s,%.4f,%.4f\n", name, iv.begin, iv.end);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace rab;
+
+  // One product of fair history.
+  rating::FairDataConfig config;
+  config.product_count = 1;
+  config.history_days = 150.0;
+  rating::ProductRatings stream =
+      rating::FairDataGenerator(config).generate_product(ProductId(1));
+
+  // Inject a downgrade burst: 50 one-star ratings over days 60-75.
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(60.0, 75.0);
+    r.value = 1.0;
+    r.rater = RaterId(1'000'000 + i);
+    r.product = ProductId(1);
+    r.unfair = true;
+    stream.add(r);
+  }
+
+  const detectors::DetectorIntegrator integrator;
+  const detectors::IntegrationResult result = integrator.analyze(stream);
+
+  std::printf("# kind,detector,time/begin,value/end\n");
+  dump_curve("MC", result.mc.curve);
+  dump_curve("H-ARC", result.harc.curve);
+  dump_curve("L-ARC", result.larc.curve);
+  dump_curve("HC", result.hc.curve);
+  dump_curve("ME", result.me.curve);
+  dump_intervals("MC", result.mc.suspicious);
+  dump_intervals("H-ARC", result.harc.suspicious);
+  dump_intervals("L-ARC", result.larc.suspicious);
+  dump_intervals("HC", result.hc.suspicious);
+  dump_intervals("ME", result.me.suspicious);
+
+  // Ground-truth check printed as a trailing comment.
+  std::size_t unfair = 0;
+  std::size_t caught = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (!stream.at(i).unfair) continue;
+    ++unfair;
+    if (result.suspicious[i]) ++caught;
+  }
+  std::printf("# integrator flagged %zu of %zu unfair ratings\n", caught,
+              unfair);
+  return 0;
+}

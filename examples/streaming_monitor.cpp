@@ -1,0 +1,78 @@
+// Streaming deployment: feed ratings to the OnlineMonitor one at a time
+// (the way a live site ingests them) and watch alarms fire as a planted
+// attack crosses epoch boundaries.
+//
+//   $ ./streaming_monitor
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "detectors/online_monitor.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace rab;
+
+  // Fair history for two products plus a downgrade burst on product 1
+  // around days 60-72.
+  rating::FairDataConfig config;
+  config.product_count = 2;
+  config.history_days = 150.0;
+  rating::Dataset data = rating::FairDataGenerator(config).generate();
+  Rng rng(21);
+  std::vector<rating::Rating> attack;
+  for (int i = 0; i < 50; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(60.0, 72.0);
+    r.value = 0.0;
+    r.rater = RaterId(1'000'000 + i);
+    r.product = ProductId(1);
+    r.unfair = true;
+    attack.push_back(r);
+  }
+  data = data.with_added(attack);
+
+  // Merge all products into one time-ordered feed.
+  std::vector<rating::Rating> feed;
+  for (ProductId id : data.product_ids()) {
+    const auto& rs = data.product(id).ratings();
+    feed.insert(feed.end(), rs.begin(), rs.end());
+  }
+  std::sort(feed.begin(), feed.end(), rating::ByTime{});
+
+  detectors::OnlineConfig monitor_config;
+  monitor_config.epoch_days = 15.0;  // analyze twice a month
+  detectors::OnlineMonitor monitor(monitor_config);
+
+  std::size_t reported = 0;
+  for (const rating::Rating& r : feed) {
+    monitor.ingest(r);
+    // Print alarms as they appear.
+    while (reported < monitor.alarms().size()) {
+      const detectors::Alarm& alarm = monitor.alarms()[reported++];
+      std::printf(
+          "day %6.1f  ALARM product %lld: %zu ratings marked in "
+          "[%.1f, %.1f)\n",
+          alarm.raised_at, static_cast<long long>(alarm.product.value()),
+          alarm.marked_ratings, alarm.interval.begin, alarm.interval.end);
+    }
+  }
+  monitor.flush();
+  while (reported < monitor.alarms().size()) {
+    const detectors::Alarm& alarm = monitor.alarms()[reported++];
+    std::printf("flush     ALARM product %lld: %zu ratings marked\n",
+                static_cast<long long>(alarm.product.value()),
+                alarm.marked_ratings);
+  }
+
+  std::printf("\ningested %zu ratings, %zu alarms total\n",
+              monitor.ingested(), monitor.alarms().size());
+  double attacker_trust = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    attacker_trust += monitor.trust().trust(RaterId(1'000'000 + i));
+  }
+  std::printf("mean attacker trust after the run: %.3f (honest ~0.8)\n",
+              attacker_trust / 50.0);
+  return 0;
+}

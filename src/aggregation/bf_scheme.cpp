@@ -1,0 +1,189 @@
+#include "aggregation/bf_scheme.hpp"
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "stats/beta.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::aggregation {
+
+namespace {
+
+/// Cumulative positive/negative feedback amounts of one rater
+/// (the (r, s) pair of the beta reputation model).
+struct Feedback {
+  double r = 0.0;
+  double s = 0.0;
+
+  void add_value(double rating_value) {
+    const double x = rating_value / rating::kMaxRating;
+    r += x;
+    s += 1.0 - x;
+  }
+};
+
+/// Majority reputation score of a bin: the median normalized rating of the
+/// retained ratings. The median (rather than the beta mean) keeps the
+/// majority's opinion where the majority actually sits — a burst of extreme
+/// unfair ratings cannot drag the reference point toward itself and trigger
+/// rejection of the honest majority.
+double majority_score(const std::vector<rating::Rating>& rs,
+                      const std::vector<bool>& rejected) {
+  std::vector<double> xs;
+  xs.reserve(rs.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (!rejected[i]) xs.push_back(rs[i].value / rating::kMaxRating);
+  }
+  if (xs.empty()) return 0.5;
+  return stats::median(std::move(xs));
+}
+
+/// Whitby-style iterative filter. `individual[i]` is rater i's cumulative
+/// feedback informing their opinion distribution (it already includes
+/// rating i itself). `reference` optionally supplies the product's
+/// established reputation (normalized) to use as the majority score — a
+/// reference a same-bin burst of unfair ratings cannot drag; when absent
+/// the bin's own median is used (and re-derived as ratings get rejected).
+/// Returns per-rating rejected flags.
+std::vector<bool> filter_bin(const std::vector<rating::Rating>& rs,
+                             const std::vector<Feedback>& individual,
+                             double quantile, std::size_t max_rounds,
+                             std::optional<double> reference = std::nullopt) {
+  RAB_EXPECTS(individual.size() == rs.size());
+  std::vector<bool> rejected(rs.size(), false);
+  if (rs.size() < 2) return rejected;
+
+  // The acceptance band of each rating is fixed across filter rounds (only
+  // the majority score moves), so compute the quantiles once.
+  std::vector<std::pair<double, double>> bands;
+  bands.reserve(rs.size());
+  for (const Feedback& fb : individual) {
+    const stats::Beta opinion(1.0 + fb.r, 1.0 + fb.s);
+    bands.emplace_back(opinion.quantile(quantile),
+                       opinion.quantile(1.0 - quantile));
+  }
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const double m =
+        reference ? *reference : majority_score(rs, rejected);
+    bool changed = false;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      if (rejected[i]) continue;
+      // The rater is judged unfair when the majority's score is implausible
+      // under the rater's own opinion distribution (the "1% rule").
+      if (m < bands[i].first || m > bands[i].second) {
+        rejected[i] = true;
+        changed = true;
+      }
+    }
+    if (!changed || reference) break;  // fixed reference: one pass decides
+  }
+  return rejected;
+}
+
+}  // namespace
+
+BfScheme::BfScheme(BfConfig config) : config_(config) {
+  RAB_EXPECTS(config_.quantile > 0.0 && config_.quantile < 0.5);
+  RAB_EXPECTS(config_.max_rounds >= 1);
+}
+
+std::vector<std::size_t> BfScheme::rejected_indices(
+    const std::vector<rating::Rating>& rs) const {
+  // Stateless variant: each rater's opinion is informed only by their own
+  // ratings inside this bin, so repeating the same extreme value sharpens
+  // (narrows) their beta and exposes them to the majority test.
+  std::unordered_map<RaterId, Feedback> per_rater;
+  for (const rating::Rating& r : rs) per_rater[r.rater].add_value(r.value);
+
+  std::vector<Feedback> individual;
+  individual.reserve(rs.size());
+  for (const rating::Rating& r : rs) individual.push_back(per_rater[r.rater]);
+
+  const std::vector<bool> rejected =
+      filter_bin(rs, individual, config_.quantile, config_.max_rounds);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < rejected.size(); ++i) {
+    if (rejected[i]) out.push_back(i);
+  }
+  return out;
+}
+
+AggregateSeries BfScheme::aggregate(const rating::Dataset& data,
+                                    double bin_days) const {
+  AggregateSeries series;
+  const Interval span = data.span();
+  const std::vector<Interval> bins =
+      make_bins(span.begin, span.end, bin_days);
+
+  // A rater's opinion distribution is about one product (Whitby's filter
+  // is per-target): feedback accumulates causally across bins but keyed by
+  // (rater, product). A rater repeatedly trashing one product sharpens
+  // their beta and gets filtered there; their ratings elsewhere are judged
+  // on their own.
+  using Key = std::pair<std::int64_t, std::int64_t>;
+  std::map<Key, Feedback> history;
+  auto key_of = [](const rating::Rating& r) {
+    return Key{r.rater.value(), r.product.value()};
+  };
+  const std::vector<ProductId> ids = data.product_ids();
+  for (ProductId id : ids) series.products.emplace(id, ProductSeries{});
+
+  // Each product's previous filtered aggregate serves as the reputation
+  // reference for the next bin's filter.
+  std::map<ProductId, double> reputation;
+
+  for (const Interval& bin : bins) {
+    std::map<Key, Feedback> next_history = history;
+    for (ProductId id : ids) {
+      const std::vector<rating::Rating> rs =
+          data.product(id).in_interval(bin);
+
+      std::vector<Feedback> individual;
+      individual.reserve(rs.size());
+      for (const rating::Rating& r : rs) {
+        Feedback fb;
+        if (const auto it = history.find(key_of(r)); it != history.end()) {
+          fb = it->second;
+        }
+        fb.add_value(r.value);
+        individual.push_back(fb);
+      }
+
+      std::optional<double> reference;
+      if (const auto it = reputation.find(id); it != reputation.end()) {
+        reference = it->second;
+      }
+      const std::vector<bool> rejected = filter_bin(
+          rs, individual, config_.quantile, config_.max_rounds, reference);
+
+      AggregatePoint point;
+      point.bin = bin;
+      stats::Welford acc;
+      for (std::size_t i = 0; i < rs.size(); ++i) {
+        // All ratings, kept or rejected, extend the rater's record; only
+        // retained ones feed the aggregate.
+        next_history[key_of(rs[i])].add_value(rs[i].value);
+        if (rejected[i]) {
+          ++point.removed;
+        } else {
+          acc.add(rs[i].value);
+        }
+      }
+      point.used = acc.count();
+      if (point.used > 0) {
+        point.value = acc.mean();
+        reputation[id] = point.value / rating::kMaxRating;
+      }
+      series.products.at(id).push_back(point);
+    }
+    history = std::move(next_history);
+  }
+  return series;
+}
+
+}  // namespace rab::aggregation

@@ -1,0 +1,126 @@
+#include "aggregation/entropy_scheme.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::aggregation {
+
+namespace {
+
+constexpr std::size_t kLevels = 6;  // whole stars 0..5
+
+std::size_t level_of(double value) {
+  const double clamped =
+      std::clamp(value, rating::kMinRating, rating::kMaxRating);
+  return static_cast<std::size_t>(std::lround(clamped));
+}
+
+double entropy_bits(const std::array<std::size_t, kLevels>& counts,
+                    std::size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (std::size_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::size_t modal_level(const std::array<std::size_t, kLevels>& counts) {
+  std::size_t best = 0;
+  for (std::size_t level = 1; level < kLevels; ++level) {
+    if (counts[level] > counts[best]) best = level;
+  }
+  return best;
+}
+
+}  // namespace
+
+EntropyScheme::EntropyScheme(EntropyConfig config) : config_(config) {
+  RAB_EXPECTS(config_.entropy_threshold > 0.0);
+  RAB_EXPECTS(config_.min_mode_distance >= 1.0);
+  RAB_EXPECTS(config_.max_removal_fraction >= 0.0 &&
+              config_.max_removal_fraction < 1.0);
+}
+
+double EntropyScheme::star_entropy(const std::vector<double>& values) {
+  std::array<std::size_t, kLevels> counts{};
+  for (double v : values) ++counts[level_of(v)];
+  return entropy_bits(counts, values.size());
+}
+
+AggregateSeries EntropyScheme::aggregate(const rating::Dataset& data,
+                                         double bin_days) const {
+  AggregateSeries series;
+  const Interval span = data.span();
+  const std::vector<Interval> bins =
+      make_bins(span.begin, span.end, bin_days);
+
+  for (ProductId id : data.product_ids()) {
+    const rating::ProductRatings& stream = data.product(id);
+    ProductSeries points;
+    points.reserve(bins.size());
+    for (const Interval& bin : bins) {
+      const std::vector<rating::Rating> rs = stream.in_interval(bin);
+
+      std::array<std::size_t, kLevels> counts{};
+      for (const rating::Rating& r : rs) ++counts[level_of(r.value)];
+      std::size_t remaining = rs.size();
+      const auto removal_budget = static_cast<std::size_t>(
+          config_.max_removal_fraction * static_cast<double>(rs.size()));
+      std::size_t removed = 0;
+
+      // Once the bin's entropy betrays contamination, drain the levels far
+      // from the majority mode (largest level first) up to the budget —
+      // the whole anomalous mass is suspect, not just enough of it to dip
+      // back under the threshold. Clean bins never trip the test, so fair
+      // minority opinions survive there.
+      if (entropy_bits(counts, remaining) > config_.entropy_threshold) {
+        const std::size_t mode = modal_level(counts);
+        while (removed < removal_budget) {
+          std::size_t victim = kLevels;
+          for (std::size_t level = 0; level < kLevels; ++level) {
+            const double distance = std::fabs(static_cast<double>(level) -
+                                              static_cast<double>(mode));
+            if (distance < config_.min_mode_distance ||
+                counts[level] == 0) {
+              continue;
+            }
+            if (victim == kLevels || counts[level] > counts[victim]) {
+              victim = level;
+            }
+          }
+          if (victim == kLevels) break;  // nothing eligible left
+          --counts[victim];
+          --remaining;
+          ++removed;
+        }
+      }
+
+      // Average the retained levels. Removal is by level, so the aggregate
+      // uses level centers — exact for whole-star data.
+      AggregatePoint point;
+      point.bin = bin;
+      point.removed = removed;
+      point.used = remaining;
+      if (remaining > 0) {
+        double sum = 0.0;
+        for (std::size_t level = 0; level < kLevels; ++level) {
+          sum += static_cast<double>(counts[level]) *
+                 static_cast<double>(level);
+        }
+        point.value = sum / static_cast<double>(remaining);
+      }
+      points.push_back(point);
+    }
+    series.products.emplace(id, std::move(points));
+  }
+  return series;
+}
+
+}  // namespace rab::aggregation

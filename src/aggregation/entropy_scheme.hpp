@@ -1,0 +1,46 @@
+// Entropy-based unfair-rating filtering, after Weng, Miao & Goh (IEICE
+// 2006) — the entropy method the paper's related-work section cites.
+//
+// Idea: honest opinions about one product concentrate around its quality,
+// so the value distribution of a clean bin has low Shannon entropy;
+// coordinated unfair ratings inject a second mode and raise it. The filter
+// greedily removes ratings from levels far from the majority mode while
+// the bin's entropy exceeds a threshold, then averages what remains.
+#pragma once
+
+#include "aggregation/scheme.hpp"
+
+namespace rab::aggregation {
+
+struct EntropyConfig {
+  /// Entropy (bits, over the six 0..5 star levels) above which a bin is
+  /// considered contaminated. Clean discrete ratings around a 4-star mean
+  /// measure ~1.4-1.7 bits.
+  double entropy_threshold = 1.8;
+  /// Ratings at star-distance >= this from the bin's modal level are
+  /// eligible for removal; nearer levels are treated as honest diversity.
+  double min_mode_distance = 2.0;
+  /// Never remove more than this fraction of a bin (a majority guard).
+  double max_removal_fraction = 0.45;
+};
+
+class EntropyScheme final : public AggregationScheme {
+ public:
+  explicit EntropyScheme(EntropyConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "ENT"; }
+
+  [[nodiscard]] AggregateSeries aggregate(const rating::Dataset& data,
+                                          double bin_days) const override;
+
+  /// Shannon entropy (bits) of a value multiset over whole-star levels.
+  /// Exposed for tests. Empty input measures 0.
+  static double star_entropy(const std::vector<double>& values);
+
+  [[nodiscard]] const EntropyConfig& config() const { return config_; }
+
+ private:
+  EntropyConfig config_;
+};
+
+}  // namespace rab::aggregation

@@ -1,0 +1,36 @@
+#include "aggregation/median_scheme.hpp"
+
+#include "stats/descriptive.hpp"
+
+namespace rab::aggregation {
+
+AggregateSeries MedianScheme::aggregate(const rating::Dataset& data,
+                                        double bin_days) const {
+  AggregateSeries series;
+  const Interval span = data.span();
+  const std::vector<Interval> bins =
+      make_bins(span.begin, span.end, bin_days);
+
+  for (ProductId id : data.product_ids()) {
+    const rating::ProductRatings& stream = data.product(id);
+    ProductSeries points;
+    points.reserve(bins.size());
+    for (const Interval& bin : bins) {
+      const std::vector<rating::Rating> rs = stream.in_interval(bin);
+      AggregatePoint point;
+      point.bin = bin;
+      point.used = rs.size();
+      if (!rs.empty()) {
+        std::vector<double> values;
+        values.reserve(rs.size());
+        for (const rating::Rating& r : rs) values.push_back(r.value);
+        point.value = stats::median(std::move(values));
+      }
+      points.push_back(point);
+    }
+    series.products.emplace(id, std::move(points));
+  }
+  return series;
+}
+
+}  // namespace rab::aggregation

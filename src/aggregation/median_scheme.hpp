@@ -1,0 +1,20 @@
+// Median scheme: per-bin median rating — the classic robust-statistics
+// baseline (not evaluated in the paper; included as an extension because
+// reviewers of rating-aggregation work invariably ask for it). A median
+// resists value outliers completely but is still moved once the unfair
+// ratings approach half of a bin's mass.
+#pragma once
+
+#include "aggregation/scheme.hpp"
+
+namespace rab::aggregation {
+
+class MedianScheme final : public AggregationScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "MED"; }
+
+  [[nodiscard]] AggregateSeries aggregate(const rating::Dataset& data,
+                                          double bin_days) const override;
+};
+
+}  // namespace rab::aggregation

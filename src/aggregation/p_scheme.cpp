@@ -1,0 +1,153 @@
+#include "aggregation/p_scheme.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::aggregation {
+
+namespace {
+
+/// Trust time series per rater: trust value after each epoch update.
+/// Rebuilt chronologically so each bin's aggregation sees the trust state
+/// as of that bin's epoch (Procedure 1).
+struct EpochTrust {
+  trust::TrustManager manager;
+
+  explicit EpochTrust(double forgetting)
+      : manager(forgetting) {}
+
+  /// Folds one epoch: per-rater (ratings, suspicious) counts over `bin` for
+  /// every product, read from the suspicion flags. Older evidence decays
+  /// first when a forgetting factor is configured.
+  void fold_epoch(
+      const rating::Dataset& data,
+      const std::map<ProductId, detectors::IntegrationResult>& integration,
+      const Interval& bin) {
+    manager.decay();
+    std::unordered_map<RaterId, trust::EpochCounts> epoch;
+    for (ProductId id : data.product_ids()) {
+      const rating::ProductRatings& stream = data.product(id);
+      const detectors::IntegrationResult& result = integration.at(id);
+      const signal::IndexRange range = stream.index_range(bin);
+      for (std::size_t i = range.first; i < range.last; ++i) {
+        trust::EpochCounts& c = epoch[stream.at(i).rater];
+        ++c.ratings;
+        if (result.suspicious[i]) ++c.suspicious;
+      }
+    }
+    for (const auto& [rater, counts] : epoch) manager.record(rater, counts);
+  }
+};
+
+}  // namespace
+
+PScheme::PScheme(PConfig config) : config_(config) {
+  RAB_EXPECTS(config_.passes >= 1);
+  RAB_EXPECTS(config_.trust_forgetting > 0.0 && config_.trust_forgetting <= 1.0);
+  RAB_EXPECTS(config_.trust_epoch_days > 0.0);
+}
+
+AggregateSeries PScheme::aggregate(const rating::Dataset& data,
+                                   double bin_days) const {
+  return aggregate_detailed(data, bin_days, nullptr);
+}
+
+AggregateSeries PScheme::aggregate_detailed(const rating::Dataset& data,
+                                            double bin_days,
+                                            PDiagnostics* diagnostics) const {
+  AggregateSeries series;
+  const Interval span = data.span();
+  if (span.empty()) return series;
+  const std::vector<Interval> bins =
+      make_bins(span.begin, span.end, bin_days);
+  const std::vector<Interval> epochs =
+      make_bins(span.begin, span.end, config_.trust_epoch_days);
+  const std::vector<ProductId> ids = data.product_ids();
+
+  const detectors::DetectorIntegrator integrator(config_.detectors,
+                                                 config_.toggles);
+
+  // Iterate detection <-> trust. Detection pass p uses the trust learned in
+  // pass p-1 (pass 0 uses the initial 0.5 for everyone).
+  std::map<ProductId, detectors::IntegrationResult> integration;
+  trust::TrustManager learned;
+  for (std::size_t pass = 0; pass < config_.passes; ++pass) {
+    const detectors::TrustLookup lookup =
+        pass == 0 ? detectors::TrustLookup(detectors::default_trust)
+                  : learned.lookup();
+    integration.clear();
+    for (ProductId id : ids) {
+      integration.emplace(id, integrator.analyze(data.product(id), lookup));
+    }
+    EpochTrust rebuilt(config_.trust_forgetting);
+    for (const Interval& epoch : epochs) {
+      rebuilt.fold_epoch(data, integration, epoch);
+    }
+    learned = std::move(rebuilt.manager);
+  }
+
+  // Final chronological sweep: trust evolves per epoch; each aggregation bin
+  // uses the trust state at the epoch covering the bin's end (Procedure 1
+  // computes trust at t_hat(k), after that epoch's evidence).
+  EpochTrust causal(config_.trust_forgetting);
+  std::size_t next_epoch = 0;
+  for (ProductId id : ids) series.products.emplace(id, ProductSeries{});
+
+  for (const Interval& bin : bins) {
+    while (next_epoch < epochs.size() &&
+           epochs[next_epoch].begin < bin.end) {
+      causal.fold_epoch(data, integration, epochs[next_epoch]);
+      ++next_epoch;
+    }
+    for (ProductId id : ids) {
+      const rating::ProductRatings& stream = data.product(id);
+      const detectors::IntegrationResult& result = integration.at(id);
+      const signal::IndexRange range = stream.index_range(bin);
+
+      AggregatePoint point;
+      point.bin = bin;
+      double weight_sum = 0.0;
+      double weighted_value = 0.0;
+      stats::Welford retained_mean;  // fallback when all weights vanish
+      stats::Welford all_mean;       // fallback when everything was removed
+      for (std::size_t i = range.first; i < range.last; ++i) {
+        const rating::Rating& r = stream.at(i);
+        const double trust = causal.manager.trust(r.rater);
+        all_mean.add(r.value);
+        // Highly suspicious = marked by the detectors and from a rater the
+        // trust manager has already turned against (Section IV-G).
+        if (config_.remove_suspicious && result.suspicious[i] &&
+            trust < config_.removal_trust) {
+          ++point.removed;
+          continue;
+        }
+        retained_mean.add(r.value);
+        // Eq. (7): only raters trusted above 0.5 get any say.
+        const double w = std::max(trust - 0.5, 0.0);
+        weight_sum += w;
+        weighted_value += w * r.value;
+      }
+      point.used = retained_mean.count();
+      if (weight_sum > 0.0) {
+        point.value = weighted_value / weight_sum;
+      } else if (retained_mean.count() > 0) {
+        point.value = retained_mean.mean();
+      } else if (all_mean.count() > 0) {
+        point.value = all_mean.mean();
+        point.used = all_mean.count();
+      }
+      series.products.at(id).push_back(point);
+    }
+  }
+
+  if (diagnostics != nullptr) {
+    diagnostics->integration = std::move(integration);
+    diagnostics->trust = std::move(causal.manager);
+  }
+  return series;
+}
+
+}  // namespace rab::aggregation

@@ -1,0 +1,69 @@
+// P-scheme: the paper's proposed signal-based reliable rating aggregation
+// system (Section IV).
+//
+// Pipeline per Section IV-A:
+//   1. run the four detectors over each product's raw stream,
+//   2. integrate them (Figure 1) into per-rating suspicion marks,
+//   3. update rater trust epoch by epoch with Procedure 1,
+//   4. remove highly suspicious ratings and combine the rest with the
+//      trust-weighted average of Eq. (7):
+//          R_ag = sum_i r_i * max(T_i - 0.5, 0) / sum_i max(T_i - 0.5, 0)
+//
+// Because the MC detector's moderate-change condition itself consumes trust,
+// the scheme optionally iterates detection and trust calculation (two passes
+// by default): pass 1 detects with everyone at the initial trust 0.5, pass 2
+// re-detects with the learned trust.
+#pragma once
+
+#include <functional>
+
+#include "aggregation/scheme.hpp"
+#include "detectors/integrator.hpp"
+#include "trust/trust_manager.hpp"
+
+namespace rab::aggregation {
+
+struct PConfig {
+  detectors::DetectorConfig detectors;
+  detectors::DetectorToggles toggles;
+  std::size_t passes = 2;          ///< detect/trust iterations (>= 1)
+  bool remove_suspicious = true;   ///< the rating filter of Section IV-A
+  /// The filter removes only *highly* suspicious ratings: marked by the
+  /// detectors AND from a rater whose trust has fallen below this value.
+  /// Section IV-G is explicit that suspicious intervals inevitably sweep up
+  /// fair ratings, so blanket removal would distort the aggregate upward;
+  /// honest raters keep enough trust that their swept-up ratings survive.
+  double removal_trust = 0.6;
+  double trust_epoch_days = 30.0;  ///< t_hat spacing of Procedure 1
+  /// Forgetting factor applied to the S/F counts at every trust epoch
+  /// (Jøsang's beta reputation discounting). 1.0 = never forget.
+  double trust_forgetting = 1.0;
+};
+
+/// Per-product diagnostics from the final detection pass.
+struct PDiagnostics {
+  std::map<ProductId, detectors::IntegrationResult> integration;
+  trust::TrustManager trust;  ///< final trust state
+};
+
+class PScheme final : public AggregationScheme {
+ public:
+  explicit PScheme(PConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "P"; }
+
+  [[nodiscard]] AggregateSeries aggregate(const rating::Dataset& data,
+                                          double bin_days) const override;
+
+  /// Like aggregate() but also returns detector output and trust state.
+  [[nodiscard]] AggregateSeries aggregate_detailed(
+      const rating::Dataset& data, double bin_days,
+      PDiagnostics* diagnostics) const;
+
+  [[nodiscard]] const PConfig& config() const { return config_; }
+
+ private:
+  PConfig config_;
+};
+
+}  // namespace rab::aggregation

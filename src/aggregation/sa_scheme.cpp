@@ -1,0 +1,24 @@
+#include "aggregation/sa_scheme.hpp"
+
+namespace rab::aggregation {
+
+AggregateSeries SaScheme::aggregate(const rating::Dataset& data,
+                                    double bin_days) const {
+  AggregateSeries series;
+  const Interval span = data.span();
+  const std::vector<Interval> bins =
+      make_bins(span.begin, span.end, bin_days);
+
+  for (ProductId id : data.product_ids()) {
+    const rating::ProductRatings& stream = data.product(id);
+    ProductSeries points;
+    points.reserve(bins.size());
+    for (const Interval& bin : bins) {
+      points.push_back(plain_average(bin, stream.in_interval(bin)));
+    }
+    series.products.emplace(id, std::move(points));
+  }
+  return series;
+}
+
+}  // namespace rab::aggregation

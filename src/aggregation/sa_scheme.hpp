@@ -1,0 +1,17 @@
+// SA-scheme: simple averaging with no unfair-rating detection
+// (paper Section V-A). The weakest baseline — every rating counts equally.
+#pragma once
+
+#include "aggregation/scheme.hpp"
+
+namespace rab::aggregation {
+
+class SaScheme final : public AggregationScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "SA"; }
+
+  [[nodiscard]] AggregateSeries aggregate(const rating::Dataset& data,
+                                          double bin_days) const override;
+};
+
+}  // namespace rab::aggregation

@@ -1,0 +1,32 @@
+#include "aggregation/scheme.hpp"
+
+#include <sstream>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::aggregation {
+
+const ProductSeries& AggregateSeries::of(ProductId id) const {
+  const auto it = products.find(id);
+  if (it == products.end()) {
+    std::ostringstream msg;
+    msg << "AggregateSeries: no product " << id;
+    throw InvalidArgument(msg.str());
+  }
+  return it->second;
+}
+
+AggregatePoint plain_average(const Interval& bin,
+                             const std::vector<rating::Rating>& rs) {
+  AggregatePoint point;
+  point.bin = bin;
+  point.used = rs.size();
+  if (rs.empty()) return point;
+  stats::Welford acc;
+  for (const rating::Rating& r : rs) acc.add(r.value);
+  point.value = acc.mean();
+  return point;
+}
+
+}  // namespace rab::aggregation

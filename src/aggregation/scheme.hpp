@@ -1,0 +1,57 @@
+// Rating aggregation scheme interface.
+//
+// A scheme consumes a whole dataset and produces, per product, the
+// aggregated rating score over consecutive time bins (the challenge used
+// 30-day bins). Trust-based schemes evolve rater trust across the bins, so
+// aggregation is defined at dataset granularity, not per-window.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rating/dataset.hpp"
+#include "util/day.hpp"
+
+namespace rab::aggregation {
+
+/// Aggregated score of one product over one time bin.
+struct AggregatePoint {
+  Interval bin;
+  double value = 0.0;     ///< aggregated rating; meaningless if used == 0
+  std::size_t used = 0;   ///< ratings contributing after filtering
+  std::size_t removed = 0;///< ratings filtered out as unfair
+};
+
+/// Scores of one product over all bins, in time order.
+using ProductSeries = std::vector<AggregatePoint>;
+
+/// Scores for every product.
+struct AggregateSeries {
+  std::map<ProductId, ProductSeries> products;
+
+  [[nodiscard]] const ProductSeries& of(ProductId id) const;
+};
+
+/// Abstract rating aggregation scheme (SA / BF / P).
+class AggregationScheme {
+ public:
+  virtual ~AggregationScheme() = default;
+
+  AggregationScheme() = default;
+  AggregationScheme(const AggregationScheme&) = delete;
+  AggregationScheme& operator=(const AggregationScheme&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Aggregates `data` over consecutive `bin_days` bins spanning the
+  /// dataset. Bins are aligned to the dataset span's start.
+  [[nodiscard]] virtual AggregateSeries aggregate(const rating::Dataset& data,
+                                                  double bin_days) const = 0;
+};
+
+/// Mean of the ratings of `rs` (unweighted); used = rs.size().
+AggregatePoint plain_average(const Interval& bin,
+                             const std::vector<rating::Rating>& rs);
+
+}  // namespace rab::aggregation

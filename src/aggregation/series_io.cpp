@@ -1,0 +1,47 @@
+#include "aggregation/series_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace rab::aggregation {
+
+void write_series_csv(std::ostream& out, const AggregateSeries& series) {
+  out << "# product,bin_begin,bin_end,value,used,removed\n";
+  for (const auto& [id, points] : series.products) {
+    for (const AggregatePoint& p : points) {
+      out << id.value() << ',' << p.bin.begin << ',' << p.bin.end << ','
+          << p.value << ',' << p.used << ',' << p.removed << '\n';
+    }
+  }
+}
+
+void write_series_csv_file(const std::string& path,
+                           const AggregateSeries& series) {
+  std::ofstream out(path);
+  if (!out) throw Error("write_series_csv_file: cannot open " + path);
+  write_series_csv(out, series);
+}
+
+void write_delta_csv(std::ostream& out, const AggregateSeries& baseline,
+                     const AggregateSeries& attacked) {
+  out << "# product,bin_begin,bin_end,baseline,attacked,delta\n";
+  for (const auto& [id, base_points] : baseline.products) {
+    const ProductSeries& attack_points = attacked.of(id);
+    RAB_EXPECTS(attack_points.size() == base_points.size());
+    for (std::size_t i = 0; i < base_points.size(); ++i) {
+      const AggregatePoint& a = base_points[i];
+      const AggregatePoint& b = attack_points[i];
+      RAB_EXPECTS(a.bin == b.bin);
+      const double delta = (a.used == 0 || b.used == 0)
+                               ? 0.0
+                               : std::fabs(a.value - b.value);
+      out << id.value() << ',' << a.bin.begin << ',' << a.bin.end << ','
+          << a.value << ',' << b.value << ',' << delta << '\n';
+    }
+  }
+}
+
+}  // namespace rab::aggregation

@@ -1,0 +1,24 @@
+// CSV export for aggregated rating series — the format the plots in
+// EXPERIMENTS.md are drawn from: one row per (product, bin) with the
+// aggregate value and the filter counters.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aggregation/scheme.hpp"
+
+namespace rab::aggregation {
+
+/// Writes `series` as CSV: product,bin_begin,bin_end,value,used,removed.
+void write_series_csv(std::ostream& out, const AggregateSeries& series);
+void write_series_csv_file(const std::string& path,
+                           const AggregateSeries& series);
+
+/// Writes two series side by side (e.g. fair baseline vs attacked) plus
+/// the per-bin |delta| — the raw material of the MP metric. The series
+/// must cover the same products and bins.
+void write_delta_csv(std::ostream& out, const AggregateSeries& baseline,
+                     const AggregateSeries& attacked);
+
+}  // namespace rab::aggregation

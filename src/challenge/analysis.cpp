@@ -1,0 +1,113 @@
+#include "challenge/analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace rab::challenge {
+
+PointColor color_of(const VarianceBiasPoint& point) {
+  if (point.amp && point.lmp) return PointColor::kRed;
+  if (point.amp && point.ump) return PointColor::kBlue;
+  if (point.amp) return PointColor::kGreen;
+  if (point.lmp) return PointColor::kPink;
+  if (point.ump) return PointColor::kCyan;
+  return PointColor::kGrey;
+}
+
+const char* to_string(PointColor color) {
+  switch (color) {
+    case PointColor::kGrey:
+      return "grey";
+    case PointColor::kGreen:
+      return "green";
+    case PointColor::kPink:
+      return "pink";
+    case PointColor::kCyan:
+      return "cyan";
+    case PointColor::kRed:
+      return "red";
+    case PointColor::kBlue:
+      return "blue";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Marks `flag` on the `top_k` points with the largest `score` among those
+/// passing `eligible`.
+template <typename Score, typename Eligible, typename Mark>
+void mark_top(std::vector<VarianceBiasPoint>& points, std::size_t top_k,
+              Score score, Eligible eligible, Mark mark) {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (eligible(points[i])) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return score(points[a]) > score(points[b]);
+  });
+  for (std::size_t i = 0; i < std::min(top_k, order.size()); ++i) {
+    mark(points[order[i]]);
+  }
+}
+
+}  // namespace
+
+std::vector<VarianceBiasPoint> analyze_population(
+    const Challenge& challenge, const std::vector<Submission>& population,
+    const aggregation::AggregationScheme& scheme,
+    const AnalysisOptions& options) {
+  RAB_EXPECTS(challenge.fair().has_product(options.product));
+  const double fair_mean = challenge.fair_mean(options.product);
+
+  std::vector<VarianceBiasPoint> points;
+  points.reserve(population.size());
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    const Submission& submission = population[i];
+    const MpResult mp = challenge.evaluate(submission, scheme);
+    const ValueStats stats =
+        value_stats(submission, options.product, fair_mean);
+
+    VarianceBiasPoint point;
+    point.index = i;
+    point.label = submission.label;
+    point.bias = stats.bias;
+    point.stddev = stats.stddev;
+    point.overall_mp = mp.overall;
+    const auto it = mp.per_product.find(options.product);
+    point.product_mp = it == mp.per_product.end() ? 0.0 : it->second;
+    points.push_back(std::move(point));
+  }
+
+  mark_top(
+      points, options.top_k,
+      [](const VarianceBiasPoint& p) { return p.overall_mp; },
+      [](const VarianceBiasPoint&) { return true; },
+      [](VarianceBiasPoint& p) { p.amp = true; });
+  mark_top(
+      points, options.top_k,
+      [](const VarianceBiasPoint& p) { return p.product_mp; },
+      [](const VarianceBiasPoint& p) { return p.bias < 0.0; },
+      [](VarianceBiasPoint& p) { p.lmp = true; });
+  mark_top(
+      points, options.top_k,
+      [](const VarianceBiasPoint& p) { return p.product_mp; },
+      [](const VarianceBiasPoint& p) { return p.bias > 0.0; },
+      [](VarianceBiasPoint& p) { p.ump = true; });
+  return points;
+}
+
+std::vector<std::size_t> top_overall(
+    const std::vector<VarianceBiasPoint>& points, std::size_t top_k) {
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return points[a].overall_mp > points[b].overall_mp;
+  });
+  order.resize(std::min(top_k, order.size()));
+  return order;
+}
+
+}  // namespace rab::challenge

@@ -1,0 +1,50 @@
+// Attack-population analysis (paper Section V-B): scores every submission
+// under a scheme and applies the AMP / LMP / UMP top-10 marking used by the
+// variance-bias plots (Figures 2-4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "challenge/challenge.hpp"
+#include "challenge/participants.hpp"
+
+namespace rab::challenge {
+
+/// One submission's position on the variance-bias plot plus its marks.
+struct VarianceBiasPoint {
+  std::size_t index = 0;       ///< into the analyzed population
+  std::string label;
+  double bias = 0.0;           ///< mean(unfair) - mean(fair), chosen product
+  double stddev = 0.0;         ///< std of the unfair values, chosen product
+  double overall_mp = 0.0;
+  double product_mp = 0.0;     ///< MP gained from the chosen product
+  bool amp = false;            ///< top-10 overall MP
+  bool lmp = false;            ///< top-10 product MP among negative bias
+  bool ump = false;            ///< top-10 product MP among positive bias
+};
+
+/// The color code of the paper's scatter plots.
+enum class PointColor { kGrey, kGreen, kPink, kCyan, kRed, kBlue };
+
+/// Maps AMP/LMP/UMP flags to the paper's color code (Section V-B).
+PointColor color_of(const VarianceBiasPoint& point);
+const char* to_string(PointColor color);
+
+struct AnalysisOptions {
+  ProductId product{1};   ///< the paper plots product 1
+  std::size_t top_k = 10; ///< size of the AMP/LMP/UMP sets
+};
+
+/// Scores `population` under `scheme` and computes the marked variance-bias
+/// points. Order matches the population.
+std::vector<VarianceBiasPoint> analyze_population(
+    const Challenge& challenge, const std::vector<Submission>& population,
+    const aggregation::AggregationScheme& scheme,
+    const AnalysisOptions& options = {});
+
+/// Indices of the `top_k` submissions by overall MP, descending.
+std::vector<std::size_t> top_overall(
+    const std::vector<VarianceBiasPoint>& points, std::size_t top_k);
+
+}  // namespace rab::challenge

@@ -1,0 +1,117 @@
+#include "challenge/challenge.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::challenge {
+
+const char* to_string(Violation v) {
+  switch (v) {
+    case Violation::kNone:
+      return "none";
+    case Violation::kEmptySubmission:
+      return "empty submission";
+    case Violation::kValueOutOfRange:
+      return "rating value out of range";
+    case Violation::kTimeOutsideWindow:
+      return "rating time outside the challenge window";
+    case Violation::kUntargetedProduct:
+      return "rating for a product that is not a challenge target";
+    case Violation::kTooManyRaters:
+      return "more distinct raters than the challenge allows";
+    case Violation::kDuplicateProductRating:
+      return "a rater rated the same product more than once";
+  }
+  return "unknown violation";
+}
+
+Challenge::Challenge(rating::Dataset fair, ChallengeConfig config)
+    : config_(std::move(config)), metric_(std::move(fair), config_.bin_days) {
+  RAB_EXPECTS(config_.attack_raters >= 1);
+  RAB_EXPECTS(!config_.boost_targets.empty() ||
+              !config_.downgrade_targets.empty());
+  for (ProductId id : targets()) {
+    RAB_EXPECTS(metric_.fair().has_product(id));
+  }
+  if (config_.window.empty()) {
+    const Interval span = metric_.fair().span();
+    // Default: the challenge runs over the trailing ~82 days (Apr 25 to
+    // Jul 15, 2007, in the original) of the fair history.
+    config_.window = Interval{std::max(span.begin, span.end - 82.0),
+                              span.end};
+  }
+}
+
+Challenge Challenge::make_default(std::uint64_t seed) {
+  rating::FairDataConfig fair_config;
+  fair_config.seed = seed;
+  return Challenge(rating::FairDataGenerator(fair_config).generate());
+}
+
+std::vector<ProductId> Challenge::targets() const {
+  std::vector<ProductId> out = config_.boost_targets;
+  out.insert(out.end(), config_.downgrade_targets.begin(),
+             config_.downgrade_targets.end());
+  return out;
+}
+
+double Challenge::fair_mean(ProductId id) const {
+  const std::vector<double> values = metric_.fair().product(id).values();
+  return stats::mean(values);
+}
+
+Violation Challenge::validate(const Submission& submission) const {
+  if (submission.empty()) return Violation::kEmptySubmission;
+
+  const std::vector<ProductId> allowed = targets();
+  std::set<RaterId> raters;
+  std::set<std::pair<RaterId, ProductId>> rated;
+  for (const rating::Rating& r : submission.ratings) {
+    if (r.value < rating::kMinRating || r.value > rating::kMaxRating) {
+      return Violation::kValueOutOfRange;
+    }
+    if (!config_.window.contains(r.time)) {
+      return Violation::kTimeOutsideWindow;
+    }
+    if (std::find(allowed.begin(), allowed.end(), r.product) ==
+        allowed.end()) {
+      return Violation::kUntargetedProduct;
+    }
+    raters.insert(r.rater);
+    if (!rated.emplace(r.rater, r.product).second) {
+      return Violation::kDuplicateProductRating;
+    }
+  }
+  if (raters.size() > config_.attack_raters) {
+    return Violation::kTooManyRaters;
+  }
+  return Violation::kNone;
+}
+
+MpResult Challenge::evaluate(
+    const Submission& submission,
+    const aggregation::AggregationScheme& scheme) const {
+  const Violation v = validate(submission);
+  if (v != Violation::kNone) {
+    std::ostringstream msg;
+    msg << "Challenge: invalid submission '" << submission.label
+        << "': " << to_string(v);
+    throw InvalidArgument(msg.str());
+  }
+  return metric_.evaluate(submission, scheme);
+}
+
+rating::Dataset Challenge::apply(const Submission& submission) const {
+  return metric_.fair().with_added(submission.ratings);
+}
+
+RaterId Challenge::attacker(std::size_t k) const {
+  RAB_EXPECTS(k < config_.attack_raters);
+  return RaterId(config_.attacker_id_base + static_cast<std::int64_t>(k));
+}
+
+}  // namespace rab::challenge

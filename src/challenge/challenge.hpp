@@ -1,0 +1,86 @@
+// The rating challenge (paper Section III).
+//
+// Holds the fair dataset and the contest rules: which products to boost,
+// which to downgrade, how many biased raters a participant controls, and
+// the submission window. Validates submissions against those rules and
+// scores them with the MP metric under any aggregation scheme.
+#pragma once
+
+#include <vector>
+
+#include "challenge/mp.hpp"
+#include "challenge/submission.hpp"
+#include "rating/dataset.hpp"
+#include "rating/fair_generator.hpp"
+
+namespace rab::challenge {
+
+/// Contest rules. Defaults mirror the paper: 9 products, 50 biased raters,
+/// boost two products and downgrade two others, monthly MP bins.
+struct ChallengeConfig {
+  std::size_t attack_raters = 50;
+  std::vector<ProductId> boost_targets{ProductId(2), ProductId(3)};
+  std::vector<ProductId> downgrade_targets{ProductId(1), ProductId(4)};
+  /// Ratings may only be inserted inside this window (the 2007 challenge ran
+  /// ~82 days). Filled from the dataset by Challenge when left empty.
+  Interval window{};
+  double bin_days = 30.0;
+  /// First rater id reserved for attackers (fair raters sit below this).
+  std::int64_t attacker_id_base = 1'000'000;
+};
+
+/// Why a submission was rejected.
+enum class Violation {
+  kNone,
+  kEmptySubmission,
+  kValueOutOfRange,
+  kTimeOutsideWindow,
+  kUntargetedProduct,
+  kTooManyRaters,
+  kDuplicateProductRating,  ///< a rater rated the same product twice
+};
+
+/// Human-readable name of a violation.
+const char* to_string(Violation v);
+
+class Challenge {
+ public:
+  /// Takes ownership of the fair dataset. If `config.window` is empty it
+  /// defaults to the last ~82 days of the fair history.
+  Challenge(rating::Dataset fair, ChallengeConfig config = {});
+
+  /// Builds the default challenge: synthetic fair data with `seed`.
+  static Challenge make_default(std::uint64_t seed = 20070425);
+
+  [[nodiscard]] const ChallengeConfig& config() const { return config_; }
+  [[nodiscard]] const rating::Dataset& fair() const { return metric_.fair(); }
+  [[nodiscard]] const MpMetric& metric() const { return metric_; }
+
+  /// All products a submission may rate (boost + downgrade targets).
+  [[nodiscard]] std::vector<ProductId> targets() const;
+
+  /// Fair mean value of a product (used by strategies to place bias).
+  [[nodiscard]] double fair_mean(ProductId id) const;
+
+  /// Checks a submission against the contest rules.
+  [[nodiscard]] Violation validate(const Submission& submission) const;
+
+  /// Scores a submission (validates first; throws InvalidArgument on a rule
+  /// violation, naming it).
+  [[nodiscard]] MpResult evaluate(
+      const Submission& submission,
+      const aggregation::AggregationScheme& scheme) const;
+
+  /// The fair dataset with the submission's ratings merged in.
+  [[nodiscard]] rating::Dataset apply(const Submission& submission) const;
+
+  /// Rater id of attacker `k` (0-based) — submissions should draw their
+  /// rater ids from here so they never collide with fair raters.
+  [[nodiscard]] RaterId attacker(std::size_t k) const;
+
+ private:
+  ChallengeConfig config_;
+  MpMetric metric_;
+};
+
+}  // namespace rab::challenge

@@ -1,0 +1,127 @@
+#include "challenge/collusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "cluster/single_linkage.hpp"
+#include "util/error.hpp"
+
+namespace rab::challenge {
+
+namespace {
+
+/// One rater's footprint: per product, their ratings' (time, value) pairs.
+struct Footprint {
+  std::map<ProductId, std::vector<std::pair<Day, double>>> by_product;
+  std::size_t products() const { return by_product.size(); }
+};
+
+/// True if the two raters "agree" on a product: some pair of their ratings
+/// is close in both time and value.
+bool agree(const std::vector<std::pair<Day, double>>& a,
+           const std::vector<std::pair<Day, double>>& b,
+           const CollusionConfig& config) {
+  for (const auto& [ta, va] : a) {
+    for (const auto& [tb, vb] : b) {
+      if (std::fabs(ta - tb) <= config.time_window &&
+          std::fabs(va - vb) <= config.value_tolerance) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Jaccard-style co-incidence score of two raters.
+double pair_score(const Footprint& a, const Footprint& b,
+                  const CollusionConfig& config, std::size_t* overlap) {
+  std::size_t agreements = 0;
+  for (const auto& [product, ratings_a] : a.by_product) {
+    const auto it = b.by_product.find(product);
+    if (it == b.by_product.end()) continue;
+    if (agree(ratings_a, it->second, config)) ++agreements;
+  }
+  *overlap = agreements;
+  const std::size_t union_size =
+      a.products() + b.products() > agreements
+          ? a.products() + b.products() - agreements
+          : 1;
+  return static_cast<double>(agreements) /
+         static_cast<double>(union_size);
+}
+
+}  // namespace
+
+std::vector<CollusionGroup> find_collusion_groups(
+    const rating::Dataset& data, const CollusionConfig& config) {
+  RAB_EXPECTS(config.time_window > 0.0);
+  RAB_EXPECTS(config.link_score > 0.0 && config.link_score <= 1.0);
+  RAB_EXPECTS(config.min_group >= 2);
+
+  // Build footprints.
+  std::vector<RaterId> raters = data.rater_ids();
+  std::unordered_map<RaterId, std::size_t> index;
+  for (std::size_t i = 0; i < raters.size(); ++i) index[raters[i]] = i;
+  std::vector<Footprint> footprints(raters.size());
+  for (ProductId id : data.product_ids()) {
+    for (const rating::Rating& r : data.product(id).ratings()) {
+      footprints[index[r.rater]].by_product[id].emplace_back(r.time,
+                                                             r.value);
+    }
+  }
+
+  // Link strongly co-incident pairs. Raters with a single product can't
+  // clear min_overlap >= 2, so skip them up front.
+  std::vector<cluster::Edge> edges;
+  std::vector<double> edge_scores;
+  for (std::size_t i = 0; i < raters.size(); ++i) {
+    if (footprints[i].products() < config.min_overlap) continue;
+    for (std::size_t j = i + 1; j < raters.size(); ++j) {
+      if (footprints[j].products() < config.min_overlap) continue;
+      std::size_t overlap = 0;
+      const double score =
+          pair_score(footprints[i], footprints[j], config, &overlap);
+      if (overlap >= config.min_overlap && score >= config.link_score) {
+        edges.push_back(cluster::Edge{i, j});
+        edge_scores.push_back(score);
+      }
+    }
+  }
+  if (raters.empty()) return {};
+
+  const cluster::Clustering components =
+      cluster::connected_components(edges, raters.size());
+
+  // Collect components of sufficient size.
+  std::vector<CollusionGroup> groups(components.cluster_count);
+  for (std::size_t i = 0; i < raters.size(); ++i) {
+    groups[components.labels[i]].raters.push_back(raters[i]);
+  }
+  // Mean pairwise link score per group (over the linked pairs only).
+  std::vector<double> score_sum(components.cluster_count, 0.0);
+  std::vector<std::size_t> score_n(components.cluster_count, 0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const std::size_t label = components.labels[edges[e].a];
+    score_sum[label] += edge_scores[e];
+    ++score_n[label];
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (score_n[g] > 0) {
+      groups[g].mean_pair_score =
+          score_sum[g] / static_cast<double>(score_n[g]);
+    }
+  }
+
+  std::erase_if(groups, [&](const CollusionGroup& g) {
+    return g.raters.size() < config.min_group;
+  });
+  std::sort(groups.begin(), groups.end(),
+            [](const CollusionGroup& a, const CollusionGroup& b) {
+              return a.raters.size() > b.raters.size();
+            });
+  return groups;
+}
+
+}  // namespace rab::challenge

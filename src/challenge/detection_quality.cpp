@@ -1,0 +1,74 @@
+#include "challenge/detection_quality.hpp"
+
+namespace rab::challenge {
+
+namespace {
+
+double safe_ratio(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+double DetectionCounts::precision() const {
+  return safe_ratio(true_positives, true_positives + false_positives);
+}
+
+double DetectionCounts::recall() const {
+  return safe_ratio(true_positives, true_positives + false_negatives);
+}
+
+double DetectionCounts::false_positive_rate() const {
+  return safe_ratio(false_positives, false_positives + true_negatives);
+}
+
+double DetectionCounts::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+DetectionCounts& DetectionCounts::operator+=(const DetectionCounts& other) {
+  true_positives += other.true_positives;
+  false_negatives += other.false_negatives;
+  false_positives += other.false_positives;
+  true_negatives += other.true_negatives;
+  return *this;
+}
+
+DetectionQuality evaluate_detection(const Challenge& challenge,
+                                    const Submission& submission,
+                                    const aggregation::PScheme& scheme) {
+  const rating::Dataset attacked = challenge.apply(submission);
+  aggregation::PDiagnostics diagnostics;
+  (void)scheme.aggregate_detailed(attacked, challenge.config().bin_days,
+                                  &diagnostics);
+
+  DetectionQuality quality;
+  for (ProductId id : attacked.product_ids()) {
+    const rating::ProductRatings& stream = attacked.product(id);
+    const detectors::IntegrationResult& result =
+        diagnostics.integration.at(id);
+
+    DetectionCounts counts;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const bool unfair = stream.at(i).unfair;
+      const bool flagged = result.suspicious[i];
+      if (unfair && flagged) {
+        ++counts.true_positives;
+      } else if (unfair) {
+        ++counts.false_negatives;
+      } else if (flagged) {
+        ++counts.false_positives;
+      } else {
+        ++counts.true_negatives;
+      }
+    }
+    quality.overall += counts;
+    quality.per_product.emplace(id, counts);
+  }
+  return quality;
+}
+
+}  // namespace rab::challenge

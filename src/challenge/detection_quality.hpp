@@ -1,0 +1,46 @@
+// Detection quality of a defense against a ground-truth attack.
+//
+// The MP metric scores the *attacker*; defense designers also want the
+// defender's view: of the unfair ratings, how many were flagged (recall),
+// and of the flagged ratings, how many were actually unfair (precision).
+// Works for any scheme that exposes per-rating suspicion — here the
+// P-scheme's diagnostics.
+#pragma once
+
+#include <map>
+
+#include "aggregation/p_scheme.hpp"
+#include "challenge/challenge.hpp"
+#include "challenge/submission.hpp"
+
+namespace rab::challenge {
+
+/// Confusion counts for one product (or aggregated).
+struct DetectionCounts {
+  std::size_t true_positives = 0;   ///< unfair and flagged
+  std::size_t false_negatives = 0;  ///< unfair, missed
+  std::size_t false_positives = 0;  ///< fair but flagged
+  std::size_t true_negatives = 0;   ///< fair, untouched
+
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] double false_positive_rate() const;
+  [[nodiscard]] double f1() const;
+
+  DetectionCounts& operator+=(const DetectionCounts& other);
+};
+
+/// Per-product and overall confusion counts.
+struct DetectionQuality {
+  std::map<ProductId, DetectionCounts> per_product;
+  DetectionCounts overall;
+};
+
+/// Applies `submission` to the challenge's fair data, runs the P-scheme's
+/// detection pipeline, and scores the suspicion flags against the ground
+/// truth carried by the ratings.
+DetectionQuality evaluate_detection(const Challenge& challenge,
+                                    const Submission& submission,
+                                    const aggregation::PScheme& scheme);
+
+}  // namespace rab::challenge

@@ -1,0 +1,83 @@
+#include "challenge/mp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rab::challenge {
+
+double top_two_sum(const std::vector<double>& deltas) {
+  double max1 = 0.0;
+  double max2 = 0.0;
+  for (double d : deltas) {
+    if (d > max1) {
+      max2 = max1;
+      max1 = d;
+    } else if (d > max2) {
+      max2 = d;
+    }
+  }
+  return max1 + max2;
+}
+
+MpMetric::MpMetric(rating::Dataset fair, double bin_days)
+    : fair_(std::move(fair)), bin_days_(bin_days) {
+  RAB_EXPECTS(bin_days_ > 0.0);
+  RAB_EXPECTS(fair_.total_ratings() > 0);
+}
+
+const aggregation::AggregateSeries& MpMetric::fair_series(
+    const aggregation::AggregationScheme& scheme) const {
+  const auto it = fair_cache_.find(scheme.name());
+  if (it != fair_cache_.end()) return it->second;
+  return fair_cache_
+      .emplace(scheme.name(), scheme.aggregate(fair_, bin_days_))
+      .first->second;
+}
+
+MpResult MpMetric::evaluate(
+    const Submission& submission,
+    const aggregation::AggregationScheme& scheme) const {
+  return evaluate_dataset(fair_.with_added(submission.ratings), scheme);
+}
+
+MpResult MpMetric::evaluate_dataset(
+    const rating::Dataset& attacked,
+    const aggregation::AggregationScheme& scheme) const {
+  // Bin boundaries derive from the dataset span; unfair ratings must not
+  // extend it or with/without bins would disagree.
+  const Interval fair_span = fair_.span();
+  const Interval attacked_span = attacked.span();
+  RAB_EXPECTS(attacked_span.begin >= fair_span.begin &&
+              attacked_span.end <= fair_span.end);
+
+  const aggregation::AggregateSeries& baseline = fair_series(scheme);
+  const aggregation::AggregateSeries series =
+      scheme.aggregate(attacked, bin_days_);
+
+  MpResult result;
+  for (ProductId id : fair_.product_ids()) {
+    const aggregation::ProductSeries& fair_points = baseline.of(id);
+    const aggregation::ProductSeries& attack_points = series.of(id);
+    RAB_EXPECTS(attack_points.size() == fair_points.size());
+
+    std::vector<double> deltas;
+    deltas.reserve(fair_points.size());
+    for (std::size_t i = 0; i < fair_points.size(); ++i) {
+      if (fair_points[i].used == 0 || attack_points[i].used == 0) {
+        deltas.push_back(0.0);
+        continue;
+      }
+      deltas.push_back(
+          std::fabs(attack_points[i].value - fair_points[i].value));
+    }
+    const double mp = top_two_sum(deltas);
+    result.per_product.emplace(id, mp);
+    result.deltas.emplace(id, std::move(deltas));
+    result.overall += mp;
+  }
+  return result;
+}
+
+}  // namespace rab::challenge

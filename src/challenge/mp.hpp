@@ -1,0 +1,64 @@
+// Manipulation power (MP) — the challenge's attack-strength metric
+// (paper Section III).
+//
+// For each product, every 30-day period contributes
+//     Delta_i = | R_ag_with_attack(t_i) - R_ag_fair(t_i) |
+// and the product's MP is the sum of the two largest Delta_i. The overall
+// MP sums the per-product values over all attacked products.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "aggregation/scheme.hpp"
+#include "challenge/submission.hpp"
+#include "rating/dataset.hpp"
+
+namespace rab::challenge {
+
+/// MP evaluation output.
+struct MpResult {
+  double overall = 0.0;                     ///< sum over products
+  std::map<ProductId, double> per_product;  ///< top-2 Delta sum per product
+  std::map<ProductId, std::vector<double>> deltas;  ///< per-bin |Delta|
+};
+
+/// Computes MP values of attacks against a fixed fair dataset under a given
+/// aggregation scheme.
+class MpMetric {
+ public:
+  /// @param fair the pristine dataset (no unfair ratings).
+  /// @param bin_days the MP period (30 days in the challenge).
+  MpMetric(rating::Dataset fair, double bin_days = 30.0);
+
+  /// Evaluates one submission under `scheme`. The fair baseline series for
+  /// the scheme is computed once and cached across calls.
+  [[nodiscard]] MpResult evaluate(
+      const Submission& submission,
+      const aggregation::AggregationScheme& scheme) const;
+
+  /// Evaluates a pre-built attacked dataset (advanced use; spans must match
+  /// the fair dataset so that bin boundaries align).
+  [[nodiscard]] MpResult evaluate_dataset(
+      const rating::Dataset& attacked,
+      const aggregation::AggregationScheme& scheme) const;
+
+  [[nodiscard]] const rating::Dataset& fair() const { return fair_; }
+  [[nodiscard]] double bin_days() const { return bin_days_; }
+
+ private:
+  const aggregation::AggregateSeries& fair_series(
+      const aggregation::AggregationScheme& scheme) const;
+
+  rating::Dataset fair_;
+  double bin_days_;
+  /// Cache of fair baselines keyed by scheme name (schemes are stateless).
+  mutable std::map<std::string, aggregation::AggregateSeries> fair_cache_;
+};
+
+/// Sum of the two largest elements of `deltas` (one element sums alone;
+/// empty sums to 0). Exposed for tests.
+double top_two_sum(const std::vector<double>& deltas);
+
+}  // namespace rab::challenge

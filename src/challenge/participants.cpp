@@ -1,0 +1,324 @@
+#include "challenge/participants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rab::challenge {
+
+const char* to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kNaiveExtreme:
+      return "naive-extreme";
+    case StrategyKind::kNaiveSpread:
+      return "naive-spread";
+    case StrategyKind::kModerateBias:
+      return "moderate-bias";
+    case StrategyKind::kHighVariance:
+      return "high-variance";
+    case StrategyKind::kLowRate:
+      return "low-rate";
+    case StrategyKind::kBursts:
+      return "bursts";
+    case StrategyKind::kCamouflage:
+      return "camouflage";
+    case StrategyKind::kManualJitter:
+      return "manual-jitter";
+  }
+  return "unknown";
+}
+
+std::vector<StrategyKind> all_strategies() {
+  return {StrategyKind::kNaiveExtreme, StrategyKind::kNaiveSpread,
+          StrategyKind::kModerateBias, StrategyKind::kHighVariance,
+          StrategyKind::kLowRate,      StrategyKind::kBursts,
+          StrategyKind::kCamouflage,   StrategyKind::kManualJitter};
+}
+
+ParticipantPopulation::ParticipantPopulation(const Challenge& challenge,
+                                             std::uint64_t seed)
+    : challenge_(&challenge), seed_(seed) {}
+
+std::vector<Day> ParticipantPopulation::uniform_times(std::size_t count,
+                                                      double offset,
+                                                      double duration,
+                                                      Rng& rng) const {
+  const Interval window = challenge_->config().window;
+  const Day begin = window.begin + offset;
+  std::vector<Day> times;
+  times.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Day t = begin + rng.uniform(0.0, duration);
+    t = std::clamp(t, window.begin,
+                   std::nextafter(window.end, window.begin));
+    times.push_back(t);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+void ParticipantPopulation::emit_product(const ProductPlan& plan,
+                                         const std::vector<Day>& times,
+                                         bool round_values, Rng& rng,
+                                         Submission& out) const {
+  RAB_EXPECTS(times.size() == plan.count);
+  for (std::size_t k = 0; k < plan.count; ++k) {
+    rating::Rating r;
+    r.time = times[k];
+    double value = rng.gaussian(plan.target_mean, plan.sigma);
+    value = std::clamp(value, rating::kMinRating, rating::kMaxRating);
+    if (round_values) value = std::round(value);
+    r.value = value;
+    r.rater = challenge_->attacker(k);
+    r.product = plan.product;
+    r.unfair = true;
+    out.ratings.push_back(r);
+  }
+}
+
+Submission ParticipantPopulation::make(StrategyKind kind,
+                                       std::uint64_t stream) const {
+  // Fork a per-submission generator: one strategy with different streams
+  // yields individual (but reproducible) submissions.
+  Rng rng = Rng(seed_).fork(
+      (static_cast<std::uint64_t>(kind) << 32) ^ stream);
+
+  const ChallengeConfig& config = challenge_->config();
+  const double window_days = config.window.length();
+  const std::size_t squad = config.attack_raters;
+
+  Submission out;
+  std::ostringstream label;
+  label << to_string(kind) << '-' << stream;
+  out.label = label.str();
+
+  // Per-product plan: boost targets get positive bias, downgrade targets
+  // negative. The fair mean sits near 4, so downgrades have far more room
+  // (paper Section V-B).
+  auto plan_for = [&](ProductId id, bool boost, double bias_lo,
+                      double bias_hi, double sigma_lo, double sigma_hi,
+                      std::size_t count) {
+    const double fair_mean = challenge_->fair_mean(id);
+    const double magnitude = rng.uniform(bias_lo, bias_hi);
+    const double bias = boost ? magnitude * 0.35 : -magnitude;
+    ProductPlan plan;
+    plan.product = id;
+    plan.target_mean =
+        std::clamp(fair_mean + bias, rating::kMinRating, rating::kMaxRating);
+    plan.sigma = rng.uniform(sigma_lo, sigma_hi);
+    plan.count = count;
+    return plan;
+  };
+
+  auto each_target = [&](auto&& fn) {
+    for (ProductId id : config.boost_targets) fn(id, /*boost=*/true);
+    for (ProductId id : config.downgrade_targets) fn(id, /*boost=*/false);
+  };
+
+  switch (kind) {
+    case StrategyKind::kNaiveExtreme: {
+      // Slam min/max values in one short burst somewhere in the window.
+      const double duration = rng.uniform(1.0, 10.0);
+      const double offset = rng.uniform(0.0, window_days - duration);
+      each_target([&](ProductId id, bool boost) {
+        ProductPlan plan;
+        plan.product = id;
+        plan.target_mean = boost ? rating::kMaxRating : rating::kMinRating;
+        plan.sigma = 0.0;
+        plan.count = squad;
+        emit_product(plan, uniform_times(squad, offset, duration, rng),
+                     /*round_values=*/true, rng, out);
+      });
+      break;
+    }
+    case StrategyKind::kNaiveSpread: {
+      // Extreme values, but spread over the entire challenge window.
+      each_target([&](ProductId id, bool boost) {
+        ProductPlan plan;
+        plan.product = id;
+        plan.target_mean = boost ? rating::kMaxRating : rating::kMinRating;
+        plan.sigma = rng.uniform(0.0, 0.3);
+        plan.count = squad;
+        emit_product(plan, uniform_times(squad, 0.0, window_days, rng),
+                     /*round_values=*/true, rng, out);
+      });
+      break;
+    }
+    case StrategyKind::kModerateBias: {
+      // Defense-aware: stay closer to the majority, concentrate in roughly
+      // one MP month.
+      const double duration = rng.uniform(20.0, 45.0);
+      const double offset =
+          rng.uniform(0.0, std::max(window_days - duration, 1.0));
+      each_target([&](ProductId id, bool boost) {
+        const ProductPlan plan =
+            plan_for(id, boost, 1.2, 3.2, 0.1, 0.5, squad);
+        emit_product(plan, uniform_times(squad, offset, duration, rng),
+                     /*round_values=*/true, rng, out);
+      });
+      break;
+    }
+    case StrategyKind::kHighVariance: {
+      // Medium bias with a wide spread to wash out the signal features the
+      // P-scheme keys on.
+      const double duration = rng.uniform(25.0, 60.0);
+      const double offset =
+          rng.uniform(0.0, std::max(window_days - duration, 1.0));
+      each_target([&](ProductId id, bool boost) {
+        const ProductPlan plan =
+            plan_for(id, boost, 1.5, 2.8, 0.8, 1.5, squad);
+        emit_product(plan, uniform_times(squad, offset, duration, rng),
+                     /*round_values=*/true, rng, out);
+      });
+      break;
+    }
+    case StrategyKind::kLowRate: {
+      // A trickle: fewer raters, whole window, moderate bias.
+      const auto count = static_cast<std::size_t>(
+          rng.uniform_int(15, static_cast<std::int64_t>(squad)));
+      each_target([&](ProductId id, bool boost) {
+        const ProductPlan plan =
+            plan_for(id, boost, 1.0, 2.2, 0.2, 0.8, count);
+        emit_product(plan, uniform_times(count, 0.0, window_days, rng),
+                     /*round_values=*/true, rng, out);
+      });
+      break;
+    }
+    case StrategyKind::kBursts: {
+      // Several short bursts; each burst uses a slice of the squad.
+      const auto bursts =
+          static_cast<std::size_t>(rng.uniform_int(2, 4));
+      each_target([&](ProductId id, bool boost) {
+        std::size_t remaining = squad;
+        std::size_t next_rater = 0;
+        for (std::size_t b = 0; b < bursts; ++b) {
+          const std::size_t count =
+              b + 1 == bursts ? remaining : remaining / (bursts - b);
+          if (count == 0) continue;
+          const double duration = rng.uniform(1.0, 5.0);
+          const double offset =
+              rng.uniform(0.0, std::max(window_days - duration, 1.0));
+          ProductPlan plan = plan_for(id, boost, 1.5, 3.2, 0.1, 0.6, count);
+          const std::vector<Day> times =
+              uniform_times(count, offset, duration, rng);
+          for (std::size_t k = 0; k < count; ++k) {
+            rating::Rating r;
+            r.time = times[k];
+            r.value = std::round(std::clamp(
+                rng.gaussian(plan.target_mean, plan.sigma),
+                rating::kMinRating, rating::kMaxRating));
+            r.rater = challenge_->attacker(next_rater + k);
+            r.product = id;
+            r.unfair = true;
+            out.ratings.push_back(r);
+          }
+          next_rater += count;
+          remaining -= count;
+        }
+      });
+      break;
+    }
+    case StrategyKind::kCamouflage: {
+      // A share of the squad rates honestly (at the fair mean) to launder
+      // trust; the rest pushes the bias.
+      const double honest_share = rng.uniform(0.2, 0.4);
+      const double duration = rng.uniform(30.0, window_days);
+      const double offset =
+          rng.uniform(0.0, std::max(window_days - duration, 1.0));
+      each_target([&](ProductId id, bool boost) {
+        const auto honest = static_cast<std::size_t>(
+            honest_share * static_cast<double>(squad));
+        ProductPlan biased = plan_for(id, boost, 1.8, 3.0, 0.3, 0.9,
+                                      squad - honest);
+        emit_product(biased,
+                     uniform_times(squad - honest, offset, duration, rng),
+                     /*round_values=*/true, rng, out);
+        // Camouflage ratings sit at the fair mean with natural spread; they
+        // still come from attacker-controlled raters.
+        const std::vector<Day> times =
+            uniform_times(honest, 0.0, window_days, rng);
+        for (std::size_t k = 0; k < honest; ++k) {
+          rating::Rating r;
+          r.time = times[k];
+          r.value = std::round(std::clamp(
+              rng.gaussian(challenge_->fair_mean(id), 0.7),
+              rating::kMinRating, rating::kMaxRating));
+          r.rater = challenge_->attacker(squad - honest + k);
+          r.product = id;
+          r.unfair = true;
+          out.ratings.push_back(r);
+        }
+      });
+      break;
+    }
+    case StrategyKind::kManualJitter: {
+      // Hand-tuned look (the survey says most winners hand-edited their
+      // data): medium bias/variance, times snapped to evening-ish slots,
+      // occasional +-1 star tweaks.
+      const double duration = rng.uniform(30.0, 60.0);
+      const double offset =
+          rng.uniform(0.0, std::max(window_days - duration, 1.0));
+      each_target([&](ProductId id, bool boost) {
+        const ProductPlan plan =
+            plan_for(id, boost, 1.4, 2.6, 0.5, 1.2, squad);
+        std::vector<Day> times = uniform_times(squad, offset, duration, rng);
+        for (Day& t : times) {
+          t = std::floor(t) + 0.75 + rng.uniform(0.0, 0.2);  // evenings
+          t = std::clamp(t, challenge_->config().window.begin,
+                         std::nextafter(challenge_->config().window.end,
+                                        challenge_->config().window.begin));
+        }
+        std::sort(times.begin(), times.end());
+        for (std::size_t k = 0; k < plan.count; ++k) {
+          rating::Rating r;
+          r.time = times[k];
+          double value = std::round(std::clamp(
+              rng.gaussian(plan.target_mean, plan.sigma),
+              rating::kMinRating, rating::kMaxRating));
+          if (rng.bernoulli(0.2)) {
+            value = std::clamp(value + (rng.bernoulli(0.5) ? 1.0 : -1.0),
+                               rating::kMinRating, rating::kMaxRating);
+          }
+          r.value = value;
+          r.rater = challenge_->attacker(k);
+          r.product = id;
+          r.unfair = true;
+          out.ratings.push_back(r);
+        }
+      });
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Submission> ParticipantPopulation::generate(std::size_t n) const {
+  // Mixture per the paper's Section V-A observations: more than half
+  // straightforward, the rest spread over defense-aware strategies.
+  const std::vector<std::pair<StrategyKind, double>> mix = {
+      {StrategyKind::kNaiveExtreme, 0.28},
+      {StrategyKind::kNaiveSpread, 0.18},
+      {StrategyKind::kModerateBias, 0.14},
+      {StrategyKind::kHighVariance, 0.14},
+      {StrategyKind::kLowRate, 0.07},
+      {StrategyKind::kBursts, 0.07},
+      {StrategyKind::kCamouflage, 0.06},
+      {StrategyKind::kManualJitter, 0.06},
+  };
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const auto& [kind, w] : mix) weights.push_back(w);
+
+  Rng rng(seed_ ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<Submission> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const StrategyKind kind = mix[rng.discrete(weights)].first;
+    out.push_back(make(kind, i));
+  }
+  return out;
+}
+
+}  // namespace rab::challenge

@@ -1,0 +1,74 @@
+// Synthetic participant population, standing in for the 251 human
+// submissions collected by the 2007 rating challenge (see DESIGN.md).
+//
+// The paper reports three facts about the humans: more than half submitted
+// straightforward attacks that ignore the defense; the rest exploited it in
+// varied, sometimes unexpected ways; and most strong submissions were
+// hand-made or hand-tuned. The archetypes below span that space — from
+// naive extreme-value floods to defense-aware high-variance attacks with
+// manual-looking jitter — so the population covers the (bias, variance,
+// timing) regions Figures 2-6 analyze.
+#pragma once
+
+#include <vector>
+
+#include "challenge/challenge.hpp"
+#include "challenge/submission.hpp"
+#include "util/rng.hpp"
+
+namespace rab::challenge {
+
+/// Attack strategy archetypes.
+enum class StrategyKind {
+  kNaiveExtreme,   ///< min/max values, one short burst
+  kNaiveSpread,    ///< min/max values spread over the whole window
+  kModerateBias,   ///< moderate bias, small spread, ~1 month
+  kHighVariance,   ///< medium bias, large spread — the P-scheme beaters
+  kLowRate,        ///< few ratings trickled over the whole window
+  kBursts,         ///< several short bursts
+  kCamouflage,     ///< a slice of honest-looking ratings mixed in
+  kManualJitter,   ///< hand-tuned look: snapped times, jittered values
+};
+
+const char* to_string(StrategyKind kind);
+
+/// All archetypes, in enum order.
+std::vector<StrategyKind> all_strategies();
+
+/// Generates submissions for a challenge.
+class ParticipantPopulation {
+ public:
+  ParticipantPopulation(const Challenge& challenge, std::uint64_t seed);
+
+  /// One submission of the given archetype; `stream` individualizes it.
+  [[nodiscard]] Submission make(StrategyKind kind,
+                                std::uint64_t stream) const;
+
+  /// A population of `n` submissions with the paper's reported mix: more
+  /// than half straightforward, the rest defense-aware.
+  [[nodiscard]] std::vector<Submission> generate(std::size_t n = 251) const;
+
+ private:
+  struct ProductPlan {
+    ProductId product;
+    double target_mean = 0.0;  ///< center of the unfair value distribution
+    double sigma = 0.0;        ///< spread before clamping/rounding
+    std::size_t count = 0;     ///< how many raters rate this product
+  };
+
+  /// Builds the ratings for one product given the value/timing plan.
+  void emit_product(const ProductPlan& plan,
+                    const std::vector<Day>& times, bool round_values,
+                    Rng& rng, Submission& out) const;
+
+  /// `count` times inside [window.begin + offset, +duration], uniform.
+  [[nodiscard]] std::vector<Day> uniform_times(std::size_t count,
+                                               double offset,
+                                               double duration,
+                                               Rng& rng) const;
+
+  const Challenge* challenge_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rab::challenge

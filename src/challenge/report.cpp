@@ -1,0 +1,111 @@
+#include "challenge/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "challenge/collusion.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::challenge {
+
+void write_markdown_report(std::ostream& out, const rating::Dataset& data,
+                           const ReportOptions& options) {
+  RAB_EXPECTS(options.bin_days > 0.0);
+  out << "# Rating dataset analysis\n\n";
+
+  const Interval span = data.span();
+  out << "- products: " << data.product_count() << "\n"
+      << "- ratings: " << data.total_ratings() << "\n"
+      << "- raters: " << data.rater_ids().size() << "\n"
+      << "- time span: [" << span.begin << ", " << span.end << ") days\n\n";
+  if (data.total_ratings() == 0) {
+    out << "_Empty dataset: nothing to analyze._\n";
+    return;
+  }
+
+  // Run the full P-scheme pipeline once.
+  const aggregation::PScheme scheme(options.scheme);
+  aggregation::PDiagnostics diagnostics;
+  const aggregation::AggregateSeries series =
+      scheme.aggregate_detailed(data, options.bin_days, &diagnostics);
+
+  out << "## Aggregates (P-scheme, " << options.bin_days
+      << "-day bins)\n\n";
+  out << "| product | mean | bins | flagged | removed |\n";
+  out << "|---|---|---|---|---|\n";
+  for (ProductId id : data.product_ids()) {
+    const aggregation::ProductSeries& points = series.of(id);
+    stats::Welford mean_acc;
+    std::size_t removed = 0;
+    for (const aggregation::AggregatePoint& p : points) {
+      if (p.used > 0) mean_acc.add(p.value);
+      removed += p.removed;
+    }
+    const auto& integration = diagnostics.integration.at(id);
+    out << "| " << id.value() << " | " << mean_acc.mean() << " | "
+        << points.size() << " | " << integration.suspicious_count()
+        << " | " << removed << " |\n";
+  }
+  out << "\n";
+
+  // Least trusted raters.
+  struct Row {
+    RaterId rater;
+    double trust;
+  };
+  std::vector<Row> rows;
+  for (RaterId rater : data.rater_ids()) {
+    const double trust = diagnostics.trust.trust(rater);
+    if (trust < options.trust_threshold) rows.push_back(Row{rater, trust});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.trust < b.trust; });
+
+  out << "## Raters below trust " << options.trust_threshold << "\n\n";
+  if (rows.empty()) {
+    out << "_None._\n\n";
+  } else {
+    out << "| rater | trust |\n|---|---|\n";
+    for (std::size_t i = 0;
+         i < std::min(rows.size(), options.max_listed_raters); ++i) {
+      out << "| " << rows[i].rater.value() << " | " << rows[i].trust
+          << " |\n";
+    }
+    if (rows.size() > options.max_listed_raters) {
+      out << "\n_(" << rows.size() - options.max_listed_raters
+          << " more not listed)_\n";
+    }
+    out << "\n";
+  }
+
+  // Collusion groups.
+  const auto groups = find_collusion_groups(data);
+  out << "## Collusion-group candidates\n\n";
+  if (groups.empty()) {
+    out << "_None found._\n";
+  } else {
+    out << "| size | mean pair score | sample raters |\n|---|---|---|\n";
+    for (const CollusionGroup& group : groups) {
+      out << "| " << group.raters.size() << " | " << group.mean_pair_score
+          << " | ";
+      for (std::size_t i = 0;
+           i < std::min<std::size_t>(5, group.raters.size()); ++i) {
+        out << group.raters[i].value() << ' ';
+      }
+      if (group.raters.size() > 5) out << "...";
+      out << " |\n";
+    }
+  }
+}
+
+std::string markdown_report(const rating::Dataset& data,
+                            const ReportOptions& options) {
+  std::ostringstream out;
+  write_markdown_report(out, data, options);
+  return out.str();
+}
+
+}  // namespace rab::challenge

@@ -1,0 +1,33 @@
+// Markdown analysis report for a rating dataset.
+//
+// One call produces the summary an operator wants on their desk: per-
+// product aggregate trajectories under the P-scheme, how many ratings the
+// pipeline flagged, the least trusted raters, and any collusion-group
+// candidates. The CLI's `report` command and downstream dashboards render
+// this directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aggregation/p_scheme.hpp"
+#include "rating/dataset.hpp"
+
+namespace rab::challenge {
+
+struct ReportOptions {
+  double bin_days = 30.0;
+  std::size_t max_listed_raters = 15;  ///< least-trusted raters listed
+  double trust_threshold = 0.5;        ///< list raters below this trust
+  aggregation::PConfig scheme;         ///< P-scheme configuration to run
+};
+
+/// Analyzes `data` with the P-scheme and writes a markdown report.
+void write_markdown_report(std::ostream& out, const rating::Dataset& data,
+                           const ReportOptions& options = {});
+
+/// Convenience: report as a string.
+std::string markdown_report(const rating::Dataset& data,
+                            const ReportOptions& options = {});
+
+}  // namespace rab::challenge

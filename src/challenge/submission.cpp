@@ -1,0 +1,45 @@
+#include "challenge/submission.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+
+namespace rab::challenge {
+
+std::vector<rating::Rating> Submission::for_product(ProductId product) const {
+  std::vector<rating::Rating> out;
+  for (const rating::Rating& r : ratings) {
+    if (r.product == product) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(), rating::ByTime{});
+  return out;
+}
+
+Interval Submission::duration(ProductId product) const {
+  const std::vector<rating::Rating> rs = for_product(product);
+  if (rs.empty()) return Interval{};
+  return Interval{rs.front().time, rs.back().time};
+}
+
+double Submission::average_interval(ProductId product) const {
+  const std::vector<rating::Rating> rs = for_product(product);
+  if (rs.size() < 2) return 0.0;
+  const double span = rs.back().time - rs.front().time;
+  return span / static_cast<double>(rs.size());
+}
+
+ValueStats value_stats(const Submission& submission, ProductId product,
+                       double fair_mean) {
+  ValueStats out;
+  stats::Welford acc;
+  for (const rating::Rating& r : submission.for_product(product)) {
+    acc.add(r.value);
+  }
+  out.count = acc.count();
+  if (out.count == 0) return out;
+  out.bias = acc.mean() - fair_mean;
+  out.stddev = acc.stddev();
+  return out;
+}
+
+}  // namespace rab::challenge

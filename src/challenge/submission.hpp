@@ -1,0 +1,48 @@
+// An attack submission to the rating challenge (paper Section III).
+//
+// A participant controls a fixed squad of biased raters and decides, for
+// each targeted product, when each rater rates and with what value. Ground
+// truth: every rating in a submission is unfair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rating/rating.hpp"
+#include "util/day.hpp"
+
+namespace rab::challenge {
+
+/// One participant's complete set of unfair ratings.
+struct Submission {
+  std::string label;                   ///< strategy / participant name
+  std::vector<rating::Rating> ratings; ///< all unfair=true
+
+  /// Ratings of this submission that target `product`, in time order.
+  [[nodiscard]] std::vector<rating::Rating> for_product(
+      ProductId product) const;
+
+  /// Time span covered by the ratings for `product` (the attack duration).
+  [[nodiscard]] Interval duration(ProductId product) const;
+
+  /// Attack duration divided by the number of unfair ratings for `product`
+  /// (the paper's "average unfair rating interval", Section V-C).
+  /// Returns 0 when fewer than 2 ratings target the product.
+  [[nodiscard]] double average_interval(ProductId product) const;
+
+  [[nodiscard]] bool empty() const { return ratings.empty(); }
+};
+
+/// Bias and spread of a submission's values for one product relative to the
+/// fair ratings (Section V-B: bias = mean(unfair) - mean(fair)).
+struct ValueStats {
+  double bias = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes ValueStats given the fair mean of the product.
+ValueStats value_stats(const Submission& submission, ProductId product,
+                       double fair_mean);
+
+}  // namespace rab::challenge

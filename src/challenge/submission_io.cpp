@@ -1,0 +1,100 @@
+#include "challenge/submission_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace rab::challenge {
+
+namespace {
+
+constexpr const char* kLabelPrefix = "#label ";
+
+void write_ratings(std::ostream& out, const Submission& submission) {
+  out << kLabelPrefix << submission.label << '\n';
+  for (const rating::Rating& r : submission.ratings) {
+    out << r.product.value() << ',' << r.rater.value() << ',' << r.time
+        << ',' << r.value << '\n';
+  }
+}
+
+rating::Rating parse_rating(const csv::Row& row) {
+  if (row.size() != 4) {
+    std::ostringstream msg;
+    msg << "submission csv: expected 4 fields, got " << row.size();
+    throw Error(msg.str());
+  }
+  rating::Rating r;
+  r.product = ProductId(csv::to_int(row[0]));
+  r.rater = RaterId(csv::to_int(row[1]));
+  r.time = csv::to_double(row[2]);
+  r.value = csv::to_double(row[3]);
+  r.unfair = true;
+  return r;
+}
+
+bool is_label_line(const std::string& line) {
+  return line.rfind(kLabelPrefix, 0) == 0;
+}
+
+}  // namespace
+
+void write_submission(std::ostream& out, const Submission& submission) {
+  write_ratings(out, submission);
+}
+
+void write_submission_file(const std::string& path,
+                           const Submission& submission) {
+  std::ofstream out(path);
+  if (!out) throw Error("write_submission_file: cannot open " + path);
+  write_submission(out, submission);
+}
+
+Submission read_submission(std::istream& in) {
+  std::vector<Submission> population = read_population(in);
+  if (population.size() != 1) {
+    throw Error("read_submission: expected exactly one submission, got " +
+                std::to_string(population.size()));
+  }
+  return std::move(population.front());
+}
+
+Submission read_submission_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("read_submission_file: cannot open " + path);
+  return read_submission(in);
+}
+
+void write_population(std::ostream& out,
+                      const std::vector<Submission>& population) {
+  for (const Submission& submission : population) {
+    write_ratings(out, submission);
+  }
+}
+
+std::vector<Submission> read_population(std::istream& in) {
+  std::vector<Submission> population;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (is_label_line(line)) {
+      Submission s;
+      s.label = line.substr(std::string(kLabelPrefix).size());
+      population.push_back(std::move(s));
+      continue;
+    }
+    if (line.front() == '#') continue;  // other comments
+    if (population.empty()) {
+      throw Error("submission csv: ratings before any '#label' header");
+    }
+    population.back().ratings.push_back(
+        parse_rating(csv::parse_line(line)));
+  }
+  return population;
+}
+
+}  // namespace rab::challenge

@@ -1,0 +1,35 @@
+// CSV persistence for attack submissions.
+//
+// Interchange format for sharing attack datasets (what the 2007 challenge
+// collected as "submissions"): one rating per row —
+//     product,rater,time,value
+// prefixed by a '#label <name>' comment carrying the submission label.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "challenge/submission.hpp"
+
+namespace rab::challenge {
+
+/// Writes one submission (all ratings are unfair by definition).
+void write_submission(std::ostream& out, const Submission& submission);
+void write_submission_file(const std::string& path,
+                           const Submission& submission);
+
+/// Reads one submission previously written by write_submission. Throws
+/// rab::Error on malformed input.
+Submission read_submission(std::istream& in);
+Submission read_submission_file(const std::string& path);
+
+/// Writes a whole population into one stream (submissions separated by
+/// their '#label' headers).
+void write_population(std::ostream& out,
+                      const std::vector<Submission>& population);
+
+/// Reads a population written by write_population.
+std::vector<Submission> read_population(std::istream& in);
+
+}  // namespace rab::challenge

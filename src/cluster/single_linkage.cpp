@@ -1,0 +1,172 @@
+#include "cluster/single_linkage.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace rab::cluster {
+
+namespace {
+
+/// Union-find with path compression and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+Clustering labels_from_sets(DisjointSets& sets, std::size_t n) {
+  Clustering out;
+  out.labels.assign(n, 0);
+  std::unordered_map<std::size_t, std::size_t> root_to_label;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = sets.find(i);
+    const auto it = root_to_label.emplace(root, root_to_label.size()).first;
+    out.labels[i] = it->second;
+  }
+  out.cluster_count = root_to_label.size();
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> Clustering::sizes() const {
+  std::vector<std::size_t> out(cluster_count, 0);
+  for (std::size_t label : labels) ++out[label];
+  return out;
+}
+
+Clustering single_linkage_1d(std::span<const double> points, std::size_t k) {
+  const std::size_t n = points.size();
+  RAB_EXPECTS(k >= 1 && k <= n);
+
+  // Sort indices by value; gaps between sorted neighbors are the only MST
+  // edges in 1-D, so cutting the k-1 largest gaps yields the clustering.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return points[a] < points[b]; });
+
+  std::vector<std::pair<double, std::size_t>> gaps;  // (gap, left position)
+  gaps.reserve(n > 0 ? n - 1 : 0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    gaps.emplace_back(points[order[i + 1]] - points[order[i]], i);
+  }
+  // Keep the k-1 largest gaps as cuts; ties broken by position for
+  // determinism.
+  std::sort(gaps.begin(), gaps.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<bool> cut(n, false);
+  for (std::size_t i = 0; i + 1 < k && i < gaps.size(); ++i) {
+    cut[gaps[i].second] = true;
+  }
+
+  DisjointSets sets(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (!cut[i]) sets.unite(order[i], order[i + 1]);
+  }
+  return labels_from_sets(sets, n);
+}
+
+Clustering single_linkage(std::span<const double> dist, std::size_t n,
+                          std::size_t k) {
+  RAB_EXPECTS(dist.size() == n * n);
+  RAB_EXPECTS(k >= 1 && k <= n);
+
+  struct Edge {
+    double d;
+    std::size_t a;
+    std::size_t b;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      edges.push_back(Edge{dist[i * n + j], i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    if (x.d != y.d) return x.d < y.d;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+
+  // Kruskal: merge until exactly k components remain.
+  DisjointSets sets(n);
+  std::size_t components = n;
+  for (const Edge& e : edges) {
+    if (components == k) break;
+    if (sets.unite(e.a, e.b)) --components;
+  }
+  RAB_ENSURES(components == k);
+  return labels_from_sets(sets, n);
+}
+
+std::pair<std::size_t, std::size_t> two_cluster_sizes(
+    std::span<const double> values) {
+  RAB_EXPECTS(values.size() >= 2);
+  const Clustering c = single_linkage_1d(values, 2);
+  const std::vector<std::size_t> sizes = c.sizes();
+  RAB_ENSURES(sizes.size() == 2);
+  return {std::min(sizes[0], sizes[1]), std::max(sizes[0], sizes[1])};
+}
+
+Clustering connected_components(std::span<const Edge> edges, std::size_t n) {
+  RAB_EXPECTS(n > 0);
+  DisjointSets sets(n);
+  for (const Edge& e : edges) {
+    RAB_EXPECTS(e.a < n && e.b < n);
+    sets.unite(e.a, e.b);
+  }
+  return labels_from_sets(sets, n);
+}
+
+Split1d two_cluster_split(std::span<const double> values) {
+  RAB_EXPECTS(values.size() >= 2);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  std::size_t best = 0;
+  double best_gap = sorted[1] - sorted[0];
+  for (std::size_t i = 1; i + 1 < sorted.size(); ++i) {
+    const double gap = sorted[i + 1] - sorted[i];
+    if (gap > best_gap) {
+      best_gap = gap;
+      best = i;
+    }
+  }
+  Split1d split;
+  split.left_count = best + 1;
+  split.right_count = sorted.size() - best - 1;
+  split.gap = best_gap;
+  return split;
+}
+
+}  // namespace rab::cluster

@@ -1,0 +1,66 @@
+// Single-linkage agglomerative clustering.
+//
+// The histogram-change detector (paper Section IV-D) forms two clusters from
+// the rating values in a window "using the simple linkage method" (Matlab
+// clusterdata). Single-linkage clustering into k clusters is equivalent to
+// building the minimum spanning tree of the points and cutting its k-1
+// longest edges, which is how this module implements it (Kruskal +
+// union-find), giving O(n^2 log n) for arbitrary dissimilarities and
+// O(n log n) for the 1-D specialization.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rab::cluster {
+
+/// Cluster assignment: labels[i] in [0, k) for each input point, with
+/// cluster ids ordered by each cluster's first member.
+struct Clustering {
+  std::vector<std::size_t> labels;
+  std::size_t cluster_count = 0;
+
+  /// Number of points carrying each label.
+  [[nodiscard]] std::vector<std::size_t> sizes() const;
+};
+
+/// Single-linkage clustering of 1-D points into exactly `k` clusters
+/// (k >= 1, k <= points.size()). For 1-D data single linkage reduces to
+/// splitting at the k-1 largest gaps of the sorted sequence.
+Clustering single_linkage_1d(std::span<const double> points, std::size_t k);
+
+/// Generic single-linkage clustering from a full pairwise distance matrix
+/// given row-major in `dist` (size n*n, symmetric, zero diagonal).
+Clustering single_linkage(std::span<const double> dist, std::size_t n,
+                          std::size_t k);
+
+/// Convenience for the HC detector: splits values into two single-linkage
+/// clusters and returns {n_small, n_large} — the two cluster sizes in
+/// ascending order. Requires at least 2 points.
+std::pair<std::size_t, std::size_t> two_cluster_sizes(
+    std::span<const double> values);
+
+/// The 1-D two-cluster split described by its separating gap. For 1-D data
+/// the single-linkage two-cluster cut is exactly the largest gap of the
+/// sorted values.
+struct Split1d {
+  std::size_t left_count = 0;   ///< points at or below the gap
+  std::size_t right_count = 0;  ///< points above the gap
+  double gap = 0.0;             ///< value distance separating the clusters
+};
+
+/// Computes the single-linkage two-cluster split of `values` (>= 2 points).
+Split1d two_cluster_split(std::span<const double> values);
+
+/// Undirected edge between two node indices.
+struct Edge {
+  std::size_t a = 0;
+  std::size_t b = 0;
+};
+
+/// Connected components of an undirected graph over `n` nodes. Labels are
+/// assigned like Clustering's (ordered by first member).
+Clustering connected_components(std::span<const Edge> edges, std::size_t n);
+
+}  // namespace rab::cluster

@@ -1,0 +1,129 @@
+#include "core/attack_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/time_set_generator.hpp"
+#include "core/value_set_generator.hpp"
+#include "core/value_time_mapper.hpp"
+#include "util/error.hpp"
+
+namespace rab::core {
+
+AttackGenerator::AttackGenerator(const challenge::Challenge& challenge,
+                                 std::uint64_t seed)
+    : challenge_(&challenge), seed_(seed) {}
+
+challenge::Submission AttackGenerator::generate(const AttackProfile& profile,
+                                                std::uint64_t stream) const {
+  RAB_EXPECTS(profile.ratings_per_product >= 1);
+  RAB_EXPECTS(profile.ratings_per_product <=
+              challenge_->config().attack_raters);
+  Rng rng = Rng(seed_).fork(stream);
+
+  challenge::Submission out;
+  std::ostringstream label;
+  label << "generated(bias=" << profile.bias << ",sigma=" << profile.sigma
+        << ",dur=" << profile.duration_days << ")";
+  out.label = label.str();
+
+  const challenge::ChallengeConfig& config = challenge_->config();
+
+  auto emit = [&](ProductId id, bool boost) {
+    const double fair_mean = challenge_->fair_mean(id);
+
+    ValueSetParams vparams;
+    vparams.fair_mean = fair_mean;
+    // The profile's bias is expressed downgrade-side; boosting mirrors it
+    // into the (much smaller) headroom above the fair mean.
+    const double magnitude = std::fabs(profile.bias);
+    vparams.bias =
+        boost ? std::min(magnitude, rating::kMaxRating - fair_mean)
+              : -magnitude;
+    vparams.sigma = profile.sigma;
+    vparams.count = profile.ratings_per_product;
+    vparams.discrete = profile.discrete_values;
+    std::vector<double> values = generate_value_set(vparams, rng);
+
+    TimeSetParams tparams;
+    tparams.window = config.window;
+    tparams.offset_days = profile.offset_days;
+    tparams.duration_days = profile.duration_days;
+    tparams.count = profile.ratings_per_product;
+    std::vector<Day> times = generate_time_set(tparams, rng);
+
+    const std::vector<TimedValue> mapped = map_values_to_times(
+        std::move(values), std::move(times), profile.correlation,
+        challenge_->fair().product(id), rng);
+
+    for (std::size_t k = 0; k < mapped.size(); ++k) {
+      rating::Rating r;
+      r.time = mapped[k].time;
+      r.value = mapped[k].value;
+      r.rater = challenge_->attacker(k);
+      r.product = id;
+      r.unfair = true;
+      out.ratings.push_back(r);
+    }
+  };
+
+  for (ProductId id : config.boost_targets) emit(id, /*boost=*/true);
+  for (ProductId id : config.downgrade_targets) emit(id, /*boost=*/false);
+  return out;
+}
+
+AttackProfile AttackGenerator::sample_profile(const ParameterRanges& ranges,
+                                              std::uint64_t stream) const {
+  Rng rng = Rng(seed_ ^ 0xabcdef12345ULL).fork(stream);
+  AttackProfile profile;
+  profile.bias = rng.uniform(ranges.bias.lo, ranges.bias.hi);
+  profile.sigma = rng.uniform(std::max(ranges.sigma.lo, 0.0),
+                              std::max(ranges.sigma.hi, 0.0));
+  profile.duration_days =
+      rng.uniform(ranges.duration_days.lo, ranges.duration_days.hi);
+  profile.offset_days =
+      rng.uniform(ranges.offset_days.lo, ranges.offset_days.hi);
+  profile.ratings_per_product = challenge_->config().attack_raters;
+  return profile;
+}
+
+RegionSearchResult AttackGenerator::optimize(
+    const aggregation::AggregationScheme& scheme,
+    const RegionSearchOptions& options, const AttackProfile& timing) const {
+  const AttackEvaluator evaluator = [&](double bias, double sigma,
+                                        std::size_t trial) {
+    AttackProfile probe = timing;
+    probe.bias = bias;
+    probe.sigma = sigma;
+    const challenge::Submission submission =
+        generate(probe, 0x5e4c0000ULL + trial);
+    return challenge_->evaluate(submission, scheme).overall;
+  };
+  return region_search(options, evaluator);
+}
+
+challenge::Submission AttackGenerator::realize_best(
+    const aggregation::AggregationScheme& scheme,
+    const RegionSearchResult& search, const AttackProfile& timing,
+    std::size_t trials) const {
+  RAB_EXPECTS(trials >= 1);
+  AttackProfile profile = timing;
+  profile.bias = search.best_bias;
+  profile.sigma = search.best_sigma;
+
+  challenge::Submission best;
+  double best_mp = -1.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    challenge::Submission candidate =
+        generate(profile, 0xbe570000ULL + t);
+    const double mp = challenge_->evaluate(candidate, scheme).overall;
+    if (mp > best_mp) {
+      best_mp = mp;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace rab::core

@@ -1,0 +1,65 @@
+// The unfair rating generator (paper Section V-E, Figure 8).
+//
+// Composition of the pieces:
+//   value set generator  -- bias/variance        (value_set_generator)
+//   time set generator   -- arrival rate         (time_set_generator)
+//   value & time mapper  -- correlation          (value_time_mapper)
+//   parameter controller -- user ranges + learning from attack effect
+//                           via Procedure 2       (region_search)
+//
+// The generator targets a Challenge: it knows the contest's boost/downgrade
+// products, the insertion window, and the attacker squad, and emits valid
+// Submissions ready for MP evaluation under any aggregation scheme.
+#pragma once
+
+#include <cstdint>
+
+#include "aggregation/scheme.hpp"
+#include "challenge/challenge.hpp"
+#include "challenge/submission.hpp"
+#include "core/attack_profile.hpp"
+#include "core/region_search.hpp"
+#include "util/rng.hpp"
+
+namespace rab::core {
+
+class AttackGenerator {
+ public:
+  /// The generator borrows the challenge (must outlive the generator).
+  AttackGenerator(const challenge::Challenge& challenge, std::uint64_t seed);
+
+  /// Builds one submission realizing `profile`; `stream` individualizes the
+  /// random draws so repeated calls give independent attacks.
+  [[nodiscard]] challenge::Submission generate(const AttackProfile& profile,
+                                               std::uint64_t stream) const;
+
+  /// Draws a profile uniformly from `ranges` (the parameter controller's
+  /// non-learning mode: broad coverage of the attack space).
+  [[nodiscard]] AttackProfile sample_profile(const ParameterRanges& ranges,
+                                             std::uint64_t stream) const;
+
+  /// Learns the strongest (bias, sigma) against `scheme` with Procedure 2,
+  /// holding the timing parameters of `timing` fixed. This is the
+  /// "heuristically learning from the attack effect of its previous
+  /// attacks" loop of Figure 8.
+  [[nodiscard]] RegionSearchResult optimize(
+      const aggregation::AggregationScheme& scheme,
+      const RegionSearchOptions& options, const AttackProfile& timing) const;
+
+  /// The submission realizing an optimization result (best bias/sigma with
+  /// `timing`'s timing), picking the best of `trials` draws under `scheme`.
+  [[nodiscard]] challenge::Submission realize_best(
+      const aggregation::AggregationScheme& scheme,
+      const RegionSearchResult& search, const AttackProfile& timing,
+      std::size_t trials = 10) const;
+
+  [[nodiscard]] const challenge::Challenge& challenge() const {
+    return *challenge_;
+  }
+
+ private:
+  const challenge::Challenge* challenge_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rab::core

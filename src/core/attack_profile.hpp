@@ -1,0 +1,57 @@
+// Attack parameterization (paper Section V-E).
+//
+// The analysis of the challenge data found that an unfair-rating attack is
+// described by four features: value bias, value variance, arrival rate
+// (attack duration for a fixed squad), and correlation with the fair
+// ratings. AttackProfile captures one concrete choice; ParameterRanges
+// captures the user-supplied ranges the parameter controller explores.
+#pragma once
+
+#include <cstddef>
+
+#include "util/day.hpp"
+
+namespace rab::core {
+
+/// Closed numeric range [lo, hi].
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] double width() const { return hi - lo; }
+  [[nodiscard]] double center() const { return 0.5 * (lo + hi); }
+  [[nodiscard]] bool contains(double x) const { return x >= lo && x <= hi; }
+};
+
+/// How unfair values are matched to insertion times.
+enum class CorrelationMode {
+  kRandom,     ///< independent pairing (what real attackers did)
+  kHeuristic,  ///< Procedure 3: anti-correlate with preceding fair ratings
+  kBlend,      ///< the symmetric probe: place each time's *closest*
+               ///< remaining value, so unfair ratings mimic the local fair
+               ///< signal instead of countering it
+};
+
+/// One concrete attack configuration, applied to every targeted product.
+/// Bias is expressed for downgrade targets; boost targets mirror it upward
+/// with the (smaller) headroom above the fair mean.
+struct AttackProfile {
+  double bias = -2.0;        ///< mean(unfair) - mean(fair), downgrade sign
+  double sigma = 0.5;        ///< value spread before clamping/rounding
+  double duration_days = 30; ///< attack duration
+  double offset_days = 0.0;  ///< start offset inside the challenge window
+  std::size_t ratings_per_product = 50;  ///< squad slice per product
+  CorrelationMode correlation = CorrelationMode::kRandom;
+  bool discrete_values = true;  ///< round to whole stars
+};
+
+/// Parameter ranges fed to the attack generator's controller (the "user
+/// input" box of Figure 8).
+struct ParameterRanges {
+  Range bias{-4.0, 0.0};
+  Range sigma{0.0, 2.0};
+  Range duration_days{10.0, 80.0};
+  Range offset_days{0.0, 40.0};
+};
+
+}  // namespace rab::core

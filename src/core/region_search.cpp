@@ -1,0 +1,84 @@
+#include "core/region_search.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rab::core {
+
+namespace {
+
+/// Subarea `i` of `n` along one axis: size shrink*width, centered at the
+/// (i + 0.5)/n fraction of the parent range. Adjacent subareas overlap
+/// whenever shrink > 1/n, as Procedure 2 allows.
+Range subrange(const Range& parent, std::size_t i, std::size_t n,
+               double shrink) {
+  const double center =
+      parent.lo + parent.width() * (static_cast<double>(i) + 0.5) /
+                      static_cast<double>(n);
+  const double half = 0.5 * shrink * parent.width();
+  return Range{center - half, center + half};
+}
+
+}  // namespace
+
+RegionSearchResult region_search(const RegionSearchOptions& options,
+                                 const AttackEvaluator& evaluate) {
+  RAB_EXPECTS(options.grid >= 1);
+  RAB_EXPECTS(options.trials >= 1);
+  RAB_EXPECTS(options.shrink > 0.0 && options.shrink < 1.0);
+  RAB_EXPECTS(options.bias.width() > 0.0);
+  RAB_EXPECTS(options.sigma.width() >= 0.0);
+  RAB_EXPECTS(evaluate != nullptr);
+
+  RegionSearchResult result;
+  Range bias = options.bias;
+  Range sigma = options.sigma;
+  std::size_t trial_counter = 0;
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    double round_best = -1.0;
+    Range best_bias = bias;
+    Range best_sigma = sigma;
+
+    for (std::size_t bi = 0; bi < options.grid; ++bi) {
+      for (std::size_t si = 0; si < options.grid; ++si) {
+        const Range sub_bias = subrange(bias, bi, options.grid,
+                                        options.shrink);
+        const Range sub_sigma = subrange(sigma, si, options.grid,
+                                         options.shrink);
+        // Probe the subarea's center with m random attacks; the subarea's
+        // score is the best MP among them (Procedure 2 lines 6-7).
+        double sub_best = 0.0;
+        for (std::size_t t = 0; t < options.trials; ++t) {
+          const double mp =
+              evaluate(sub_bias.center(),
+                       std::max(sub_sigma.center(), 0.0), trial_counter++);
+          sub_best = std::max(sub_best, mp);
+        }
+        result.best_mp = std::max(result.best_mp, sub_best);
+        if (sub_best > round_best) {
+          round_best = sub_best;
+          best_bias = sub_bias;
+          best_sigma = sub_sigma;
+        }
+      }
+    }
+
+    bias = best_bias;
+    sigma.lo = std::max(best_sigma.lo, 0.0);
+    sigma.hi = best_sigma.hi;
+    result.rounds.push_back(RegionSearchRound{bias, sigma, round_best});
+
+    if (bias.width() < options.min_bias_width &&
+        sigma.width() < options.min_sigma_width) {
+      break;  // interested area is small enough (Procedure 2 line 10)
+    }
+  }
+
+  result.best_bias = bias.center();
+  result.best_sigma = std::max(sigma.center(), 0.0);
+  return result;
+}
+
+}  // namespace rab::core

@@ -1,0 +1,54 @@
+// Heuristic unfair-rating value-set optimization — Procedure 2.
+//
+// Searches the variance-bias plane for the region that maximizes
+// manipulation power against a target defense: repeatedly divide the
+// interested area into overlapping subareas, probe each subarea's center
+// with m randomly generated attacks, keep the best subarea, and stop when
+// the area is small. The paper shows the result beats every human
+// submission from the challenge (Figure 5).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/attack_profile.hpp"
+
+namespace rab::core {
+
+struct RegionSearchOptions {
+  Range bias{-4.0, 0.0};     ///< initial interested area, bias axis
+  Range sigma{0.0, 2.0};     ///< initial interested area, std-dev axis
+  std::size_t grid = 2;      ///< subareas per axis (N = grid^2, paper N=4)
+  std::size_t trials = 10;   ///< m attacks probed per subarea center
+  double shrink = 0.6;       ///< subarea size relative to the parent
+  double min_bias_width = 0.5;   ///< stop threshold, bias axis
+  double min_sigma_width = 0.25; ///< stop threshold, std-dev axis
+  std::size_t max_rounds = 12;   ///< hard cap (Procedure 2 loops until small)
+};
+
+/// Evaluates the MP of one random attack drawn at (bias, sigma);
+/// `trial` decorrelates repeated draws at the same point.
+using AttackEvaluator =
+    std::function<double(double bias, double sigma, std::size_t trial)>;
+
+/// One round's outcome, for tracing the search like Figure 5.
+struct RegionSearchRound {
+  Range bias;
+  Range sigma;
+  double best_mp = 0.0;  ///< best MP among the probed subarea centers
+};
+
+struct RegionSearchResult {
+  std::vector<RegionSearchRound> rounds;  ///< area after each round
+  double best_bias = 0.0;   ///< center of the final interested area
+  double best_sigma = 0.0;
+  double best_mp = 0.0;     ///< best MP observed anywhere during the search
+};
+
+/// Runs Procedure 2. The evaluator is called
+/// rounds * grid^2 * trials times at most.
+RegionSearchResult region_search(const RegionSearchOptions& options,
+                                 const AttackEvaluator& evaluate);
+
+}  // namespace rab::core

@@ -1,0 +1,93 @@
+#include "core/time_set_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rab::core {
+
+namespace {
+
+Day clamp_into(Day t, const Interval& window) {
+  return std::clamp(t, window.begin,
+                    std::nextafter(window.end, window.begin));
+}
+
+}  // namespace
+
+std::vector<Day> generate_time_set(const TimeSetParams& params, Rng& rng) {
+  RAB_EXPECTS(!params.window.empty());
+  RAB_EXPECTS(params.duration_days > 0.0);
+  RAB_EXPECTS(params.offset_days >= 0.0);
+
+  const Day begin =
+      clamp_into(params.window.begin + params.offset_days, params.window);
+  const Day end = clamp_into(begin + params.duration_days, params.window);
+
+  std::vector<Day> times;
+  times.reserve(params.count);
+  for (std::size_t i = 0; i < params.count; ++i) {
+    times.push_back(begin + rng.uniform(0.0, std::max(end - begin, 1e-6)));
+  }
+  for (Day& t : times) t = clamp_into(t, params.window);
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::vector<Day> generate_poisson_time_set(const TimeSetParams& params,
+                                           double per_day, Rng& rng) {
+  RAB_EXPECTS(!params.window.empty());
+  RAB_EXPECTS(per_day > 0.0);
+
+  const Day begin =
+      clamp_into(params.window.begin + params.offset_days, params.window);
+  std::vector<Day> times;
+  times.reserve(params.count);
+  Day t = begin;
+  while (times.size() < params.count) {
+    t += rng.exponential(per_day);
+    if (t >= params.window.end) {
+      // Participant must place every rater: restart the stream at the
+      // attack start with fresh arrivals.
+      t = begin + rng.exponential(per_day);
+      if (t >= params.window.end) t = begin;  // degenerate tiny window
+    }
+    times.push_back(clamp_into(t, params.window));
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::vector<Day> generate_burst_time_set(const TimeSetParams& params,
+                                         std::size_t bursts,
+                                         double burst_days, Rng& rng) {
+  RAB_EXPECTS(!params.window.empty());
+  RAB_EXPECTS(bursts >= 1);
+  RAB_EXPECTS(burst_days > 0.0);
+
+  const Day span_begin =
+      clamp_into(params.window.begin + params.offset_days, params.window);
+  const Day span_end =
+      clamp_into(span_begin + params.duration_days, params.window);
+  const double span = std::max(span_end - span_begin, burst_days);
+
+  std::vector<Day> times;
+  times.reserve(params.count);
+  for (std::size_t b = 0; b < bursts; ++b) {
+    // Burst b serves an equal slice of the count (remainder to the last).
+    const std::size_t begin_index = params.count * b / bursts;
+    const std::size_t end_index = params.count * (b + 1) / bursts;
+    const Day burst_start = span_begin +
+                            rng.uniform(0.0, std::max(span - burst_days,
+                                                      1e-6));
+    for (std::size_t i = begin_index; i < end_index; ++i) {
+      times.push_back(clamp_into(
+          burst_start + rng.uniform(0.0, burst_days), params.window));
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+}  // namespace rab::core

@@ -1,0 +1,45 @@
+// Rating time set generator (Figure 8, right box).
+//
+// Places unfair-rating times inside the challenge window according to an
+// arrival model. Supports the two shapes observed in the challenge data:
+// uniform placement over an attack duration (what participants did) and a
+// Poisson stream with a chosen rate (for fine-grained arrival-rate sweeps,
+// Section V-C).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/day.hpp"
+#include "util/rng.hpp"
+
+namespace rab::core {
+
+struct TimeSetParams {
+  Interval window;            ///< allowed insertion window
+  double offset_days = 0.0;   ///< attack start offset from window.begin
+  double duration_days = 30;  ///< attack duration (clipped to the window)
+  std::size_t count = 50;
+};
+
+/// `count` times uniform over [window.begin + offset, + duration], sorted.
+/// Times never leave the window.
+std::vector<Day> generate_time_set(const TimeSetParams& params, Rng& rng);
+
+/// Poisson-process times with inter-arrival rate `per_day`, starting at
+/// window.begin + offset, truncated to `count` and to the window; if the
+/// process exits the window before `count` arrivals, the remaining times
+/// wrap back to the attack start (keeping exactly `count` insertions, as a
+/// challenge participant must place all their raters). Sorted.
+std::vector<Day> generate_poisson_time_set(const TimeSetParams& params,
+                                           double per_day, Rng& rng);
+
+/// `count` times split evenly over `bursts` short bursts of
+/// `burst_days` each, with burst starts spread across the attack span
+/// (offset/duration of `params`). The multi-burst shape some challenge
+/// participants used to dodge single-interval detection. Sorted.
+std::vector<Day> generate_burst_time_set(const TimeSetParams& params,
+                                         std::size_t bursts,
+                                         double burst_days, Rng& rng);
+
+}  // namespace rab::core

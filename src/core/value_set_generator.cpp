@@ -1,0 +1,26 @@
+#include "core/value_set_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rating/rating.hpp"
+#include "util/error.hpp"
+
+namespace rab::core {
+
+std::vector<double> generate_value_set(const ValueSetParams& params,
+                                       Rng& rng) {
+  RAB_EXPECTS(params.sigma >= 0.0);
+  std::vector<double> values;
+  values.reserve(params.count);
+  const double target = params.fair_mean + params.bias;
+  for (std::size_t i = 0; i < params.count; ++i) {
+    double v = rng.gaussian(target, params.sigma);
+    v = std::clamp(v, rating::kMinRating, rating::kMaxRating);
+    if (params.discrete) v = std::round(v);
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace rab::core

@@ -1,0 +1,27 @@
+// Rating value set generator (Figure 8, left box).
+//
+// Draws a multiset of unfair rating values with a prescribed bias and
+// variance around the fair mean, clamped to the rating scale and optionally
+// discretized to whole stars.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rab::core {
+
+struct ValueSetParams {
+  double fair_mean = 4.0;   ///< mean of the product's fair ratings
+  double bias = -2.0;       ///< target mean offset from fair_mean
+  double sigma = 0.5;       ///< standard deviation before clamping
+  std::size_t count = 50;
+  bool discrete = true;     ///< round to whole stars
+};
+
+/// Generates one value set; values land in [kMinRating, kMaxRating].
+std::vector<double> generate_value_set(const ValueSetParams& params,
+                                       Rng& rng);
+
+}  // namespace rab::core

@@ -1,0 +1,90 @@
+#include "core/value_time_mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rab::core {
+
+namespace {
+
+/// Shared walk of Procedure 3's structure: consume times ascending; for
+/// each, look up the preceding fair value and pick the remaining unfair
+/// value `pick_farthest` ? farthest from it : closest to it.
+std::vector<TimedValue> correlate(std::vector<double> values,
+                                  std::vector<Day> times,
+                                  const rating::ProductRatings& fair,
+                                  bool pick_farthest) {
+  RAB_EXPECTS(values.size() == times.size());
+  std::sort(times.begin(), times.end());
+
+  const std::vector<rating::Rating>& fair_ratings = fair.ratings();
+  std::vector<TimedValue> out;
+  out.reserve(times.size());
+
+  // `values` plays the role of the paper's "rating value set"; `times` is
+  // the "rating time set", consumed in ascending order (MinT).
+  for (Day min_t : times) {
+    // NearV: the fair rating value whose time is just before MinT. With no
+    // preceding fair rating, use the first fair value (or the scale middle
+    // when the fair stream is empty).
+    double near_v = 0.5 * (rating::kMinRating + rating::kMaxRating);
+    if (!fair_ratings.empty()) {
+      const auto it = std::lower_bound(
+          fair_ratings.begin(), fair_ratings.end(), min_t,
+          [](const rating::Rating& r, Day t) { return r.time < t; });
+      near_v = it == fair_ratings.begin() ? fair_ratings.front().value
+                                          : std::prev(it)->value;
+    }
+    const auto chosen = std::max_element(
+        values.begin(), values.end(),
+        [near_v, pick_farthest](double a, double b) {
+          const double da = std::fabs(a - near_v);
+          const double db = std::fabs(b - near_v);
+          return pick_farthest ? da < db : da > db;
+        });
+    RAB_ENSURES(chosen != values.end());
+    out.push_back(TimedValue{min_t, *chosen});
+    values.erase(chosen);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TimedValue> heuristic_correlation(
+    std::vector<double> values, std::vector<Day> times,
+    const rating::ProductRatings& fair) {
+  return correlate(std::move(values), std::move(times), fair,
+                   /*pick_farthest=*/true);
+}
+
+std::vector<TimedValue> blend_correlation(
+    std::vector<double> values, std::vector<Day> times,
+    const rating::ProductRatings& fair) {
+  return correlate(std::move(values), std::move(times), fair,
+                   /*pick_farthest=*/false);
+}
+
+std::vector<TimedValue> map_values_to_times(
+    std::vector<double> values, std::vector<Day> times, CorrelationMode mode,
+    const rating::ProductRatings& fair, Rng& rng) {
+  RAB_EXPECTS(values.size() == times.size());
+  if (mode == CorrelationMode::kHeuristic) {
+    return heuristic_correlation(std::move(values), std::move(times), fair);
+  }
+  if (mode == CorrelationMode::kBlend) {
+    return blend_correlation(std::move(values), std::move(times), fair);
+  }
+  std::sort(times.begin(), times.end());
+  rng.shuffle(values);
+  std::vector<TimedValue> out;
+  out.reserve(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    out.push_back(TimedValue{times[i], values[i]});
+  }
+  return out;
+}
+
+}  // namespace rab::core

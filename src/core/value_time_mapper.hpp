@@ -1,0 +1,46 @@
+// Value & time mapper (Figure 8, center) — pairs a value set with a time
+// set, optionally creating correlation with the fair ratings via the
+// paper's heuristic (Procedure 3).
+//
+// Procedure 3: repeatedly take the earliest unmatched time, find the fair
+// rating immediately preceding it, and assign the remaining unfair value
+// farthest from that fair value. The unfair stream then systematically
+// counters the fair signal; Section V-D shows this ordering beats both the
+// original and random orderings most of the time.
+#pragma once
+
+#include <vector>
+
+#include "core/attack_profile.hpp"
+#include "rating/product_ratings.hpp"
+#include "util/day.hpp"
+#include "util/rng.hpp"
+
+namespace rab::core {
+
+/// One (time, value) pairing.
+struct TimedValue {
+  Day time = 0.0;
+  double value = 0.0;
+};
+
+/// Pairs `values` with `times` (same length) under `mode`.
+/// kRandom shuffles the values over the sorted times; kHeuristic runs
+/// Procedure 3 against `fair` (the product's fair stream); kBlend runs the
+/// symmetric variant (closest value instead of farthest).
+std::vector<TimedValue> map_values_to_times(
+    std::vector<double> values, std::vector<Day> times, CorrelationMode mode,
+    const rating::ProductRatings& fair, Rng& rng);
+
+/// Procedure 3 exactly as printed in the paper. Exposed for tests.
+std::vector<TimedValue> heuristic_correlation(
+    std::vector<double> values, std::vector<Day> times,
+    const rating::ProductRatings& fair);
+
+/// The symmetric probe: earliest time gets the remaining value *closest*
+/// to the preceding fair rating, so the unfair stream mimics the fair one.
+std::vector<TimedValue> blend_correlation(
+    std::vector<double> values, std::vector<Day> times,
+    const rating::ProductRatings& fair);
+
+}  // namespace rab::core

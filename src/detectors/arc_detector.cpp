@@ -1,0 +1,151 @@
+#include "detectors/arc_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "stats/descriptive.hpp"
+#include "stats/glrt.hpp"
+#include "util/error.hpp"
+
+namespace rab::detectors {
+
+ArrivalRateDetector::ArrivalRateDetector(ArcConfig config, ArcMode mode)
+    : config_(config), mode_(mode) {
+  RAB_EXPECTS(config_.window_days >= 2.0);
+  RAB_EXPECTS(config_.glrt_threshold >= 0.0);
+  RAB_EXPECTS(config_.z_threshold >= 0.0);
+  RAB_EXPECTS(config_.rate_jump_min >= 0.0);
+  RAB_EXPECTS(config_.baseline_floor > 0.0);
+}
+
+std::vector<double> ArrivalRateDetector::mode_counts(
+    const rating::ProductRatings& stream, Day day_begin, Day day_end) const {
+  std::vector<signal::Sample> filtered;
+  const ValueSplit split =
+      value_split_for_mean(stats::mean(stream.values()));
+  for (const rating::Rating& r : stream.ratings()) {
+    const bool keep = mode_ == ArcMode::kAll ||
+                      (mode_ == ArcMode::kHigh && r.value > split.threshold_a) ||
+                      (mode_ == ArcMode::kLow && r.value < split.threshold_b);
+    if (keep) filtered.push_back(signal::Sample{r.time, r.value});
+  }
+  return signal::daily_counts(filtered, day_begin, day_end);
+}
+
+signal::Curve ArrivalRateDetector::indicator_curve(
+    const rating::ProductRatings& stream) const {
+  signal::Curve curve;
+  if (stream.empty()) return curve;
+  const Interval span = stream.span();
+  const Day day_begin = std::floor(span.begin);
+  const Day day_end = std::ceil(span.end);
+  const std::vector<double> counts =
+      mode_counts(stream, day_begin, day_end);
+  if (counts.size() < 2) return curve;
+
+  const auto half = static_cast<std::size_t>(config_.window_days / 2.0);
+  for (std::size_t k = 1; k + 1 <= counts.size(); ++k) {
+    // Shrink the window symmetrically near the edges (Section IV-C.2).
+    const std::size_t d = std::min({half, k, counts.size() - k});
+    if (d == 0) continue;
+    const std::span<const double> y1(counts.data() + (k - d), d);
+    const std::span<const double> y2(counts.data() + k, d);
+    curve.push_back(signal::CurvePoint{
+        day_begin + static_cast<double>(k),
+        stats::PoissonRateGlrt::statistic(y1, y2)});
+  }
+  return curve;
+}
+
+DetectionResult ArrivalRateDetector::detect(
+    const rating::ProductRatings& stream) const {
+  DetectionResult result;
+  result.curve = indicator_curve(stream);
+  if (result.curve.empty()) return result;
+
+  signal::PeakOptions peak_opts;
+  peak_opts.min_height = config_.glrt_threshold;
+  peak_opts.min_separation = config_.peak_separation;
+  const std::vector<std::size_t> peaks =
+      signal::find_peaks(result.curve, peak_opts);
+  std::vector<Interval> segments =
+      signal::segments_between_peaks(result.curve, peaks);
+  if (segments.size() < 2) return result;
+
+  const Interval span = stream.span();
+  const Day day_begin = std::floor(span.begin);
+  const Day day_end = std::ceil(span.end);
+  const std::vector<double> counts = mode_counts(stream, day_begin, day_end);
+
+  // Arrival rate per segment = watched ratings per day in the segment.
+  auto rate_in = [&](Day begin, Day end) {
+    double total = 0.0;
+    double days = 0.0;
+    for (std::size_t d = 0; d < counts.size(); ++d) {
+      const Day t = day_begin + static_cast<double>(d);
+      if (t >= begin && t < end) {
+        total += counts[d];
+        days += 1.0;
+      }
+    }
+    return days > 0.0 ? total / days : 0.0;
+  };
+
+  // Merge adjacent segments with (nearly) equal rates: noise peaks split a
+  // single level shift into fragments, and a fragment's baseline would then
+  // include earlier parts of the same shift.
+  {
+    std::vector<Interval> merged;
+    merged.push_back(segments.front());
+    double merged_rate = rate_in(segments.front().begin,
+                                 segments.front().end);
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+      const double rate = rate_in(segments[i].begin, segments[i].end);
+      const double tolerance = std::max(
+          config_.merge_abs,
+          config_.merge_rel * std::max(rate, merged_rate));
+      if (std::fabs(rate - merged_rate) < tolerance) {
+        // Extend the current merged segment; re-derive its pooled rate.
+        merged.back().end = segments[i].end;
+        merged_rate = rate_in(merged.back().begin, merged.back().end);
+      } else {
+        merged.push_back(segments[i]);
+        merged_rate = rate;
+      }
+    }
+    segments = std::move(merged);
+  }
+  if (segments.size() < 2) return result;
+
+  // Section IV-C.3: a segment is suspicious when its rate jumped up versus
+  // the rate seen before it. The baseline is the *minimum* rate among the
+  // preceding segments of at least min_history_days: the quietest earlier
+  // stretch is the honest arrival level, and unlike a preceding-average
+  // baseline it cannot be contaminated when a level shift gets fragmented
+  // into several segments by noise peaks.
+  std::vector<double> rates(segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    rates[i] = rate_in(segments[i].begin, segments[i].end);
+  }
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    double baseline = -1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (segments[j].length() < config_.min_history_days) continue;
+      if (baseline < 0.0 || rates[j] < baseline) baseline = rates[j];
+    }
+    if (baseline < 0.0) continue;  // no eligible quiet history to compare
+
+    const double excess = rates[i] - baseline;
+    const double seg_days = std::max(segments[i].length(), 1.0);
+    const double sigma = std::sqrt(
+        std::max(baseline, config_.baseline_floor) / seg_days);
+    if (excess > config_.rate_jump_min &&
+        excess > config_.z_threshold * sigma) {
+      result.suspicious.push_back(segments[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace rab::detectors

@@ -1,0 +1,42 @@
+// Arrival-rate-change detector (paper Section IV-C).
+//
+// Builds daily rating counts, slides a 2D-day window, runs the Poisson-rate
+// GLRT at each window center to form the ARC curve, segments time at the
+// curve's peaks, and marks segments whose arrival rate jumped up relative to
+// the previous segment by more than a threshold.
+//
+// Three modes (Section IV-C.4): all ratings, high ratings only (H-ARC,
+// values > threshold_a) and low ratings only (L-ARC, values < threshold_b),
+// with threshold_a = 0.5*m and threshold_b = 0.5*m + 0.5 for mean rating m.
+#pragma once
+
+#include "detectors/config.hpp"
+#include "rating/product_ratings.hpp"
+
+namespace rab::detectors {
+
+class ArrivalRateDetector {
+ public:
+  ArrivalRateDetector(ArcConfig config, ArcMode mode);
+
+  /// Runs detection over one product's stream.
+  [[nodiscard]] DetectionResult detect(
+      const rating::ProductRatings& stream) const;
+
+  /// The ARC curve alone: normalized GLRT statistic per day.
+  [[nodiscard]] signal::Curve indicator_curve(
+      const rating::ProductRatings& stream) const;
+
+  [[nodiscard]] ArcMode mode() const { return mode_; }
+  [[nodiscard]] const ArcConfig& config() const { return config_; }
+
+ private:
+  /// Daily counts of the ratings this mode watches.
+  [[nodiscard]] std::vector<double> mode_counts(
+      const rating::ProductRatings& stream, Day day_begin, Day day_end) const;
+
+  ArcConfig config_;
+  ArcMode mode_;
+};
+
+}  // namespace rab::detectors

@@ -1,0 +1,53 @@
+#include "detectors/hc_detector.hpp"
+
+#include <algorithm>
+
+#include "cluster/single_linkage.hpp"
+#include "util/error.hpp"
+
+namespace rab::detectors {
+
+HistogramDetector::HistogramDetector(HcConfig config) : config_(config) {
+  RAB_EXPECTS(config_.window_ratings >= 4);
+  RAB_EXPECTS(config_.threshold > 0.0 && config_.threshold <= 1.0);
+  RAB_EXPECTS(config_.min_cluster_gap >= 0.0);
+}
+
+signal::Curve HistogramDetector::indicator_curve(
+    const rating::ProductRatings& stream) const {
+  const std::vector<signal::Sample> samples = stream.samples();
+  signal::Curve curve;
+  curve.reserve(samples.size());
+  const signal::WindowSpec spec =
+      signal::WindowSpec::by_count(config_.window_ratings);
+
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    const signal::IndexRange window =
+        signal::window_around(samples, k, spec);
+    double hc = 0.0;
+    if (window.size() >= 4) {
+      const std::vector<double> values = signal::values_in(samples, window);
+      const cluster::Split1d split = cluster::two_cluster_split(values);
+      // Without a real value gap between the clusters the "split" is just
+      // adjacent rating levels of one noisy blob — not a second mode.
+      if (split.gap >= config_.min_cluster_gap) {
+        const double n1 = static_cast<double>(split.left_count);
+        const double n2 = static_cast<double>(split.right_count);
+        hc = std::min(n1 / n2, n2 / n1);  // Eq. (6)
+      }
+    }
+    curve.push_back(signal::CurvePoint{samples[k].time, hc});
+  }
+  return curve;
+}
+
+DetectionResult HistogramDetector::detect(
+    const rating::ProductRatings& stream) const {
+  DetectionResult result;
+  result.curve = indicator_curve(stream);
+  result.suspicious =
+      signal::intervals_above(result.curve, config_.threshold);
+  return result;
+}
+
+}  // namespace rab::detectors

@@ -1,0 +1,32 @@
+// Histogram-change detector (paper Section IV-D).
+//
+// Within each sliding window of rating values, forms two clusters by single
+// linkage and computes HC(k) = min(n1/n2, n2/n1). Honest ratings cluster as
+// one noisy blob (one cluster absorbs almost everything, HC near 0);
+// a coordinated attack inserts a second mode, balancing the clusters and
+// pushing HC toward 1.
+#pragma once
+
+#include "detectors/config.hpp"
+#include "rating/product_ratings.hpp"
+
+namespace rab::detectors {
+
+class HistogramDetector {
+ public:
+  explicit HistogramDetector(HcConfig config = {});
+
+  [[nodiscard]] DetectionResult detect(
+      const rating::ProductRatings& stream) const;
+
+  /// The HC curve alone: cluster balance ratio per window center.
+  [[nodiscard]] signal::Curve indicator_curve(
+      const rating::ProductRatings& stream) const;
+
+  [[nodiscard]] const HcConfig& config() const { return config_; }
+
+ private:
+  HcConfig config_;
+};
+
+}  // namespace rab::detectors

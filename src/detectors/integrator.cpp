@@ -1,0 +1,82 @@
+#include "detectors/integrator.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::detectors {
+
+std::size_t IntegrationResult::suspicious_count() const {
+  return static_cast<std::size_t>(
+      std::count(suspicious.begin(), suspicious.end(), true));
+}
+
+DetectorIntegrator::DetectorIntegrator(DetectorConfig config,
+                                       DetectorToggles toggles)
+    : config_(config), toggles_(toggles) {}
+
+void DetectorIntegrator::mark_in_intervals(
+    const rating::ProductRatings& stream, const std::vector<Interval>& a,
+    const std::vector<Interval>& b, bool mark_high,
+    IntegrationResult& result) const {
+  for (const Interval& ia : a) {
+    for (const Interval& ib : b) {
+      const Interval overlap = ia.intersect(ib);
+      if (overlap.empty()) continue;
+      const signal::IndexRange range = stream.index_range(overlap);
+      for (std::size_t i = range.first; i < range.last; ++i) {
+        const double v = stream.at(i).value;
+        const bool hit = mark_high ? v > result.split.threshold_a
+                                   : v < result.split.threshold_b;
+        if (hit) result.suspicious[i] = true;
+      }
+    }
+  }
+}
+
+IntegrationResult DetectorIntegrator::analyze(
+    const rating::ProductRatings& stream, const TrustLookup& trust) const {
+  IntegrationResult result;
+  result.suspicious.assign(stream.size(), false);
+  if (stream.empty()) return result;
+
+  result.split = value_split_for_mean(stats::mean(stream.values()));
+
+  if (toggles_.use_mc) {
+    result.mc = MeanChangeDetector(config_.mc).detect(stream, trust);
+  }
+  if (toggles_.use_arc) {
+    result.harc =
+        ArrivalRateDetector(config_.arc, ArcMode::kHigh).detect(stream);
+    result.larc =
+        ArrivalRateDetector(config_.arc, ArcMode::kLow).detect(stream);
+  }
+  if (toggles_.use_hc) {
+    result.hc = HistogramDetector(config_.hc).detect(stream);
+  }
+  if (toggles_.use_me) {
+    result.me = ModelErrorDetector(config_.me).detect(stream);
+  }
+
+  // Path 1: MC suspicious interval confirmed by an arrival-rate change in
+  // the matching value band.
+  mark_in_intervals(stream, result.mc.suspicious, result.harc.suspicious,
+                    /*mark_high=*/true, result);
+  mark_in_intervals(stream, result.mc.suspicious, result.larc.suspicious,
+                    /*mark_high=*/false, result);
+
+  // Path 2: arrival-rate alarm confirmed by signal structure (low model
+  // error) or a second histogram mode.
+  std::vector<Interval> structure = result.me.suspicious;
+  structure.insert(structure.end(), result.hc.suspicious.begin(),
+                   result.hc.suspicious.end());
+  mark_in_intervals(stream, result.harc.suspicious, structure,
+                    /*mark_high=*/true, result);
+  mark_in_intervals(stream, result.larc.suspicious, structure,
+                    /*mark_high=*/false, result);
+
+  return result;
+}
+
+}  // namespace rab::detectors

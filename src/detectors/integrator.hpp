@@ -1,0 +1,79 @@
+// Joint detection of suspicious ratings (paper Section IV-F, Figure 1).
+//
+// Two parallel decision paths combine the four detectors:
+//
+//   Path 1 (strong attacks): a mean-change suspicious interval confirmed by
+//   an H-ARC (resp. L-ARC) suspicious interval marks the high (resp. low)
+//   ratings inside the overlap as suspicious.
+//
+//   Path 2 (subtle attacks): an H-ARC / L-ARC suspicious interval that the
+//   mean-change detector missed still marks ratings when the model-error or
+//   histogram detector confirms structure in the same span.
+//
+// Using any single detector alone would fire on natural variation of fair
+// ratings; requiring cross-detector agreement keeps the false-alarm rate
+// down, exactly the motivation given in the paper.
+#pragma once
+
+#include <vector>
+
+#include "detectors/arc_detector.hpp"
+#include "detectors/config.hpp"
+#include "detectors/hc_detector.hpp"
+#include "detectors/mc_detector.hpp"
+#include "detectors/me_detector.hpp"
+#include "rating/product_ratings.hpp"
+
+namespace rab::detectors {
+
+/// Full per-product analysis: which ratings are suspicious plus every
+/// intermediate detector result for diagnostics and benches.
+struct IntegrationResult {
+  /// Parallel to the product stream: suspicious[i] applies to stream.at(i).
+  std::vector<bool> suspicious;
+
+  DetectionResult mc;
+  DetectionResult harc;
+  DetectionResult larc;
+  DetectionResult hc;
+  DetectionResult me;
+
+  /// Value thresholds used for the high/low marking.
+  ValueSplit split;
+
+  [[nodiscard]] std::size_t suspicious_count() const;
+};
+
+/// Which detectors participate — used by the ablation benches; the default
+/// enables everything (the full P-scheme).
+struct DetectorToggles {
+  bool use_mc = true;
+  bool use_arc = true;
+  bool use_hc = true;
+  bool use_me = true;
+};
+
+class DetectorIntegrator {
+ public:
+  explicit DetectorIntegrator(DetectorConfig config = {},
+                              DetectorToggles toggles = {});
+
+  /// Analyzes one product stream; `trust` feeds the MC detector's
+  /// moderate-change condition.
+  [[nodiscard]] IntegrationResult analyze(
+      const rating::ProductRatings& stream,
+      const TrustLookup& trust = default_trust) const;
+
+  [[nodiscard]] const DetectorConfig& config() const { return config_; }
+
+ private:
+  void mark_in_intervals(const rating::ProductRatings& stream,
+                         const std::vector<Interval>& a,
+                         const std::vector<Interval>& b, bool mark_high,
+                         IntegrationResult& result) const;
+
+  DetectorConfig config_;
+  DetectorToggles toggles_;
+};
+
+}  // namespace rab::detectors

@@ -1,0 +1,87 @@
+#include "detectors/mc_detector.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/glrt.hpp"
+#include "util/error.hpp"
+
+namespace rab::detectors {
+
+MeanChangeDetector::MeanChangeDetector(McConfig config) : config_(config) {
+  RAB_EXPECTS(config_.glrt_threshold >= 0.0);
+  RAB_EXPECTS(config_.threshold1 >= config_.threshold2);
+  RAB_EXPECTS(config_.trust_ratio > 0.0);
+}
+
+signal::Curve MeanChangeDetector::indicator_curve(
+    const rating::ProductRatings& stream) const {
+  const std::vector<signal::Sample> samples = stream.samples();
+  signal::Curve curve;
+  curve.reserve(samples.size());
+  const stats::GaussianMeanGlrt glrt(config_.glrt_threshold);
+
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    const signal::IndexRange window =
+        signal::window_around(samples, k, config_.window);
+    const auto [left, right] = signal::split_at(window, k);
+    const std::vector<double> x1 = signal::values_in(samples, left);
+    const std::vector<double> x2 = signal::values_in(samples, right);
+    curve.push_back(
+        signal::CurvePoint{samples[k].time, glrt.statistic(x1, x2)});
+  }
+  return curve;
+}
+
+DetectionResult MeanChangeDetector::detect(
+    const rating::ProductRatings& stream, const TrustLookup& trust) const {
+  DetectionResult result;
+  result.curve = indicator_curve(stream);
+  if (stream.empty()) return result;
+
+  // Segment the stream at the significant peaks of the indicator curve.
+  signal::PeakOptions peak_opts;
+  peak_opts.min_height = config_.glrt_threshold;
+  peak_opts.min_separation = config_.peak_separation;
+  const std::vector<std::size_t> peaks =
+      signal::find_peaks(result.curve, peak_opts);
+  const std::vector<Interval> segments =
+      signal::segments_between_peaks(result.curve, peaks);
+  if (segments.size() < 2) return result;  // no change points at all
+
+  // Overall value baseline (median when robust_baseline: a long attack
+  // drags the mean but not the median) and trust baseline.
+  const std::vector<double> all_values = stream.values();
+  const double b_avg = config_.robust_baseline
+                           ? stats::median(all_values)
+                           : stats::mean(all_values);
+
+  double trust_sum = 0.0;
+  for (const rating::Rating& r : stream.ratings()) trust_sum += trust(r.rater);
+  const double t_avg =
+      trust_sum / static_cast<double>(stream.size());
+
+  for (const Interval& segment : segments) {
+    const std::vector<rating::Rating> members = stream.in_interval(segment);
+    if (members.empty()) continue;
+
+    stats::Welford value_acc;
+    stats::Welford trust_acc;
+    for (const rating::Rating& r : members) {
+      value_acc.add(r.value);
+      trust_acc.add(trust(r.rater));
+    }
+    const double deviation = std::fabs(value_acc.mean() - b_avg);
+
+    const bool large_change = deviation > config_.threshold1;
+    const bool moderate_low_trust =
+        deviation > config_.threshold2 &&
+        t_avg > 0.0 && trust_acc.mean() / t_avg < config_.trust_ratio;
+    if (large_change || moderate_low_trust) {
+      result.suspicious.push_back(segment);
+    }
+  }
+  return result;
+}
+
+}  // namespace rab::detectors

@@ -1,0 +1,35 @@
+// Mean-change detector (paper Section IV-B).
+//
+// Slides a window over the rating stream, runs the Gaussian mean-change GLRT
+// at each window center to build the MC indicator curve, segments the stream
+// at the curve's peaks, and marks segments whose mean deviates from the
+// overall mean — strongly (threshold1) on its own, or moderately
+// (threshold2) when the segment's raters are also less trusted.
+#pragma once
+
+#include "detectors/config.hpp"
+#include "rating/product_ratings.hpp"
+
+namespace rab::detectors {
+
+class MeanChangeDetector {
+ public:
+  explicit MeanChangeDetector(McConfig config = {});
+
+  /// Runs detection over one product's stream. `trust` supplies current
+  /// rater trust for the moderate-change condition (Section IV-B.3, cond 2).
+  [[nodiscard]] DetectionResult detect(
+      const rating::ProductRatings& stream,
+      const TrustLookup& trust = default_trust) const;
+
+  /// The MC indicator curve alone (value = GLRT statistic at each rating).
+  [[nodiscard]] signal::Curve indicator_curve(
+      const rating::ProductRatings& stream) const;
+
+  [[nodiscard]] const McConfig& config() const { return config_; }
+
+ private:
+  McConfig config_;
+};
+
+}  // namespace rab::detectors

@@ -1,0 +1,38 @@
+#include "detectors/me_detector.hpp"
+
+#include "signal/ar.hpp"
+#include "util/error.hpp"
+
+namespace rab::detectors {
+
+ModelErrorDetector::ModelErrorDetector(MeConfig config) : config_(config) {
+  RAB_EXPECTS(config_.ar_order >= 1);
+  RAB_EXPECTS(config_.threshold > 0.0 && config_.threshold <= 1.0);
+}
+
+signal::Curve ModelErrorDetector::indicator_curve(
+    const rating::ProductRatings& stream) const {
+  const std::vector<signal::Sample> samples = stream.samples();
+  signal::Curve curve;
+  curve.reserve(samples.size());
+
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    const signal::IndexRange window =
+        signal::window_around(samples, k, config_.window);
+    const std::vector<double> values = signal::values_in(samples, window);
+    curve.push_back(signal::CurvePoint{
+        samples[k].time, signal::ar_model_error(values, config_.ar_order)});
+  }
+  return curve;
+}
+
+DetectionResult ModelErrorDetector::detect(
+    const rating::ProductRatings& stream) const {
+  DetectionResult result;
+  result.curve = indicator_curve(stream);
+  result.suspicious =
+      signal::intervals_below(result.curve, config_.threshold);
+  return result;
+}
+
+}  // namespace rab::detectors

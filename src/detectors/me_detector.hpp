@@ -1,0 +1,33 @@
+// Signal-model-change (model error) detector (paper Section IV-E; the
+// detector of Yang et al., ICDCS-TRM 2007).
+//
+// Fits an AR model to the ratings in each sliding window with the covariance
+// method. Honest ratings behave like white noise around the product mean, so
+// the AR fit explains little and the normalized model error stays high. A
+// coordinated attack injects temporal structure; the model error drops, and
+// the low-error interval is marked suspicious.
+#pragma once
+
+#include "detectors/config.hpp"
+#include "rating/product_ratings.hpp"
+
+namespace rab::detectors {
+
+class ModelErrorDetector {
+ public:
+  explicit ModelErrorDetector(MeConfig config = {});
+
+  [[nodiscard]] DetectionResult detect(
+      const rating::ProductRatings& stream) const;
+
+  /// The ME curve alone: normalized AR residual power per window center.
+  [[nodiscard]] signal::Curve indicator_curve(
+      const rating::ProductRatings& stream) const;
+
+  [[nodiscard]] const MeConfig& config() const { return config_; }
+
+ private:
+  MeConfig config_;
+};
+
+}  // namespace rab::detectors

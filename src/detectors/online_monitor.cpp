@@ -1,0 +1,91 @@
+#include "detectors/online_monitor.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace rab::detectors {
+
+OnlineMonitor::OnlineMonitor(OnlineConfig config)
+    : config_(config), trust_(config.trust_forgetting) {
+  RAB_EXPECTS(config_.epoch_days > 0.0);
+}
+
+void OnlineMonitor::ingest(const rating::Rating& r) {
+  if (started_ && r.time < last_time_) {
+    throw InvalidArgument(
+        "OnlineMonitor: ratings must arrive in time order");
+  }
+  if (!started_) {
+    started_ = true;
+    next_epoch_ = r.time + config_.epoch_days;
+  }
+  // Close any epochs the new rating has moved past.
+  while (r.time >= next_epoch_) {
+    analyze_epoch(next_epoch_);
+    next_epoch_ += config_.epoch_days;
+  }
+  last_time_ = r.time;
+  streams_.try_emplace(r.product, r.product).first->second.add(r);
+  ++ingested_;
+}
+
+void OnlineMonitor::flush() {
+  if (!started_) return;
+  analyze_epoch(std::nextafter(last_time_, last_time_ + 1.0));
+}
+
+void OnlineMonitor::analyze_epoch(Day epoch_end) {
+  const DetectorIntegrator integrator(config_.detectors, config_.toggles);
+  const Interval epoch{epoch_end - config_.epoch_days, epoch_end};
+
+  trust_.decay();
+  std::unordered_map<RaterId, trust::EpochCounts> epoch_counts;
+
+  for (auto& [product, stream] : streams_) {
+    if (stream.empty()) continue;
+    const IntegrationResult result =
+        integrator.analyze(stream, trust_.lookup());
+
+    // Fold this epoch's evidence into trust.
+    const signal::IndexRange range = stream.index_range(epoch);
+    for (std::size_t i = range.first; i < range.last; ++i) {
+      trust::EpochCounts& c = epoch_counts[stream.at(i).rater];
+      ++c.ratings;
+      if (result.suspicious[i]) ++c.suspicious;
+    }
+
+    // Raise an alarm when this analysis marks more ratings than the last
+    // one did — fresh suspicion.
+    const std::size_t marks = result.suspicious_count();
+    std::size_t& previous = previous_marks_[product];
+    if (marks >= previous + config_.min_alarm_marks) {
+      Alarm alarm;
+      alarm.product = product;
+      alarm.raised_at = epoch_end;
+      alarm.marked_ratings = marks - previous;
+      // Report the span of the currently suspicious detector intervals
+      // (union bound) as the alarm interval.
+      Day lo = stream.span().end;
+      Day hi = stream.span().begin;
+      for (const auto* detection :
+           {&result.mc, &result.harc, &result.larc, &result.hc,
+            &result.me}) {
+        for (const Interval& iv : detection->suspicious) {
+          lo = std::min(lo, iv.begin);
+          hi = std::max(hi, iv.end);
+        }
+      }
+      alarm.interval = lo <= hi ? Interval{lo, hi} : Interval{};
+      alarms_.push_back(alarm);
+    }
+    previous = marks;
+  }
+
+  for (const auto& [rater, counts] : epoch_counts) {
+    trust_.record(rater, counts);
+  }
+}
+
+}  // namespace rab::detectors

@@ -1,0 +1,66 @@
+// Umbrella header: everything a downstream user of the library needs.
+//
+// Fine-grained headers remain available (and are what the library itself
+// uses); include this one to get the whole public API at once.
+#pragma once
+
+// Utilities
+#include "util/csv.hpp"
+#include "util/day.hpp"
+#include "util/error.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+// Statistics / signal / clustering substrates
+#include "cluster/single_linkage.hpp"
+#include "signal/ar.hpp"
+#include "signal/autocorrelation.hpp"
+#include "signal/curve.hpp"
+#include "signal/windowing.hpp"
+#include "stats/beta.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/glrt.hpp"
+#include "stats/histogram.hpp"
+#include "stats/linalg.hpp"
+
+// Rating domain
+#include "rating/dataset.hpp"
+#include "rating/fair_generator.hpp"
+#include "rating/io.hpp"
+#include "rating/product_ratings.hpp"
+#include "rating/rating.hpp"
+
+// Detection, trust, aggregation
+#include "aggregation/bf_scheme.hpp"
+#include "aggregation/entropy_scheme.hpp"
+#include "aggregation/median_scheme.hpp"
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "aggregation/scheme.hpp"
+#include "aggregation/series_io.hpp"
+#include "detectors/arc_detector.hpp"
+#include "detectors/config.hpp"
+#include "detectors/hc_detector.hpp"
+#include "detectors/integrator.hpp"
+#include "detectors/mc_detector.hpp"
+#include "detectors/me_detector.hpp"
+#include "detectors/online_monitor.hpp"
+#include "trust/trust_manager.hpp"
+
+// Challenge harness and analysis
+#include "challenge/analysis.hpp"
+#include "challenge/challenge.hpp"
+#include "challenge/collusion.hpp"
+#include "challenge/detection_quality.hpp"
+#include "challenge/mp.hpp"
+#include "challenge/participants.hpp"
+#include "challenge/submission.hpp"
+#include "challenge/submission_io.hpp"
+
+// The attack generator (the paper's contribution)
+#include "core/attack_generator.hpp"
+#include "core/attack_profile.hpp"
+#include "core/region_search.hpp"
+#include "core/time_set_generator.hpp"
+#include "core/value_set_generator.hpp"
+#include "core/value_time_mapper.hpp"

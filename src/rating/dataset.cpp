@@ -1,0 +1,87 @@
+#include "rating/dataset.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rab::rating {
+
+void Dataset::add(const Rating& r) {
+  products_.try_emplace(r.product, r.product).first->second.add(r);
+}
+
+void Dataset::add_all(std::span<const Rating> rs) {
+  for (const Rating& r : rs) add(r);
+}
+
+std::size_t Dataset::total_ratings() const {
+  std::size_t n = 0;
+  for (const auto& [id, stream] : products_) n += stream.size();
+  return n;
+}
+
+std::vector<ProductId> Dataset::product_ids() const {
+  std::vector<ProductId> ids;
+  ids.reserve(products_.size());
+  for (const auto& [id, stream] : products_) ids.push_back(id);
+  return ids;
+}
+
+bool Dataset::has_product(ProductId id) const {
+  return products_.contains(id);
+}
+
+const ProductRatings& Dataset::product(ProductId id) const {
+  const auto it = products_.find(id);
+  if (it == products_.end()) {
+    std::ostringstream msg;
+    msg << "Dataset: unknown product " << id;
+    throw InvalidArgument(msg.str());
+  }
+  return it->second;
+}
+
+Interval Dataset::span() const {
+  Interval out{};
+  bool first = true;
+  for (const auto& [id, stream] : products_) {
+    if (stream.empty()) continue;
+    const Interval s = stream.span();
+    if (first) {
+      out = s;
+      first = false;
+    } else {
+      out.begin = std::min(out.begin, s.begin);
+      out.end = std::max(out.end, s.end);
+    }
+  }
+  return out;
+}
+
+std::vector<RaterId> Dataset::rater_ids() const {
+  std::set<RaterId> ids;
+  for (const auto& [id, stream] : products_) {
+    for (const Rating& r : stream.ratings()) ids.insert(r.rater);
+  }
+  return {ids.begin(), ids.end()};
+}
+
+Dataset Dataset::fair_only() const {
+  Dataset out;
+  for (const auto& [id, stream] : products_) {
+    for (const Rating& r : stream.ratings()) {
+      if (!r.unfair) out.add(r);
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::with_added(std::span<const Rating> extra) const {
+  Dataset out = *this;
+  out.add_all(extra);
+  return out;
+}
+
+}  // namespace rab::rating

@@ -1,0 +1,50 @@
+// A rating dataset: all products with their rating streams.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "rating/product_ratings.hpp"
+#include "rating/rating.hpp"
+
+namespace rab::rating {
+
+/// All ratings in an experiment, grouped by product. Value type; applying a
+/// submission copies the dataset so the original fair data stays pristine.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Inserts a rating into its product's stream.
+  void add(const Rating& r);
+  void add_all(std::span<const Rating> rs);
+
+  [[nodiscard]] std::size_t product_count() const { return products_.size(); }
+  [[nodiscard]] std::size_t total_ratings() const;
+
+  /// Product ids present, in ascending order.
+  [[nodiscard]] std::vector<ProductId> product_ids() const;
+
+  [[nodiscard]] bool has_product(ProductId id) const;
+
+  /// Stream for a product; throws InvalidArgument if absent.
+  [[nodiscard]] const ProductRatings& product(ProductId id) const;
+
+  /// Union of the spans of all product streams.
+  [[nodiscard]] Interval span() const;
+
+  /// Distinct rater ids across all products, ascending.
+  [[nodiscard]] std::vector<RaterId> rater_ids() const;
+
+  /// Copy containing only ground-truth fair ratings.
+  [[nodiscard]] Dataset fair_only() const;
+
+  /// Copy with `extra` ratings merged in (used to apply attack submissions).
+  [[nodiscard]] Dataset with_added(std::span<const Rating> extra) const;
+
+ private:
+  std::map<ProductId, ProductRatings> products_;
+};
+
+}  // namespace rab::rating

@@ -1,0 +1,131 @@
+#include "rating/fair_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace rab::rating {
+
+FairDataGenerator::FairDataGenerator(FairDataConfig config)
+    : config_(config) {
+  RAB_EXPECTS(config_.product_count >= 1);
+  RAB_EXPECTS(config_.history_days > 0.0);
+  RAB_EXPECTS(config_.base_arrival_rate > 0.0);
+  RAB_EXPECTS(config_.arrival_rate_jitter >= 0.0 &&
+              config_.arrival_rate_jitter < config_.base_arrival_rate);
+  RAB_EXPECTS(config_.mean_value > kMinRating &&
+              config_.mean_value < kMaxRating);
+  RAB_EXPECTS(config_.value_sigma > 0.0);
+  RAB_EXPECTS(config_.drift_period_days > 0.0);
+  RAB_EXPECTS(config_.honest_rater_pool >= 1);
+  RAB_EXPECTS(config_.harsh_rater_fraction >= 0.0 &&
+              config_.random_rater_fraction >= 0.0 &&
+              config_.harsh_rater_fraction + config_.random_rater_fraction <=
+                  1.0);
+  RAB_EXPECTS(config_.launch_boost >= 0.0);
+  RAB_EXPECTS(config_.launch_decay_days > 0.0);
+  RAB_EXPECTS(config_.weekly_amplitude >= 0.0 &&
+              config_.weekly_amplitude < 1.0);
+}
+
+FairDataGenerator::Persona FairDataGenerator::persona_of(
+    RaterId rater) const {
+  // Deterministic per (seed, rater): one uniform draw decides the persona.
+  Rng rng = Rng(config_.seed ^ 0x9e3779b97f4a7c15ULL)
+                .fork(static_cast<std::uint64_t>(rater.value()));
+  const double u = rng.uniform(0.0, 1.0);
+  if (u < config_.harsh_rater_fraction) return Persona::kHarsh;
+  if (u < config_.harsh_rater_fraction + config_.random_rater_fraction) {
+    return Persona::kRandom;
+  }
+  return Persona::kNormal;
+}
+
+Dataset FairDataGenerator::generate() const {
+  Dataset dataset;
+  for (std::size_t p = 1; p <= config_.product_count; ++p) {
+    const ProductRatings stream =
+        generate_product(ProductId(static_cast<std::int64_t>(p)));
+    for (const Rating& r : stream.ratings()) dataset.add(r);
+  }
+  return dataset;
+}
+
+ProductRatings FairDataGenerator::generate_product(ProductId id) const {
+  RAB_EXPECTS(id.value() >= 1);
+  Rng rng = Rng(config_.seed).fork(static_cast<std::uint64_t>(id.value()));
+
+  // Per-product personality: each TV has a slightly different popularity and
+  // quality, like the paper's "9 flat panel TVs with similar features".
+  const double rate =
+      config_.base_arrival_rate +
+      rng.uniform(-config_.arrival_rate_jitter, config_.arrival_rate_jitter);
+  const double product_mean =
+      config_.mean_value + rng.uniform(-0.15, 0.15);
+  const double drift_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  // Inhomogeneous Poisson arrivals by thinning: candidates at the peak
+  // rate, kept with probability rate(t)/peak. With launch_boost and
+  // weekly_amplitude at their defaults of 0 this reduces to a homogeneous
+  // process at `rate`.
+  const auto rate_at = [&](double t) {
+    const double launch =
+        1.0 + config_.launch_boost * std::exp(-t / config_.launch_decay_days);
+    const double weekly =
+        1.0 + config_.weekly_amplitude *
+                  std::sin(2.0 * std::numbers::pi * t / 7.0);
+    return rate * launch * weekly;
+  };
+  const double peak_rate =
+      rate * (1.0 + config_.launch_boost) * (1.0 + config_.weekly_amplitude);
+
+  // The homogeneous case draws nothing extra, so default configurations
+  // reproduce byte-identical streams to earlier library versions.
+  const bool homogeneous =
+      config_.launch_boost == 0.0 && config_.weekly_amplitude == 0.0;
+
+  ProductRatings stream(id);
+  std::vector<Rating> ratings;
+  for (double t = rng.exponential(peak_rate); t < config_.history_days;
+       t += rng.exponential(peak_rate)) {
+    if (!homogeneous && !rng.bernoulli(rate_at(t) / peak_rate)) continue;
+    const double drift =
+        config_.drift_amplitude *
+        std::sin(2.0 * std::numbers::pi * t / config_.drift_period_days +
+                 drift_phase);
+    const RaterId rater(static_cast<std::int64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(
+                               config_.honest_rater_pool - 1))));
+
+    // Individual unfair ratings: persona shifts or replaces the opinion.
+    double value = 0.0;
+    switch (persona_of(rater)) {
+      case Persona::kHarsh:
+        value = rng.gaussian(product_mean + drift - 1.5,
+                             config_.value_sigma);
+        break;
+      case Persona::kRandom:
+        value = rng.uniform(kMinRating, kMaxRating);
+        break;
+      case Persona::kNormal:
+        value = rng.gaussian(product_mean + drift, config_.value_sigma);
+        break;
+    }
+    value = std::clamp(value, kMinRating, kMaxRating);
+    if (config_.discrete_values) value = std::round(value);
+
+    Rating r;
+    r.time = t;
+    r.value = value;
+    r.rater = rater;
+    r.product = id;
+    r.unfair = false;
+    ratings.push_back(r);
+  }
+  stream.add_all(ratings);
+  return stream;
+}
+
+}  // namespace rab::rating

@@ -1,0 +1,72 @@
+// Synthetic fair-rating data, standing in for the paper's real data of
+// 9 flat-panel TVs from a shopping website (see DESIGN.md substitutions).
+//
+// The generator reproduces the statistical structure the detectors depend
+// on: per-product discrete 0-5 ratings with mean near 4, Poisson daily
+// arrivals, and slow natural variation (mean drift, arrival-rate modulation)
+// so fair data is realistically non-stationary.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rating/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace rab::rating {
+
+/// Configuration for the fair-data generator.
+struct FairDataConfig {
+  std::size_t product_count = 9;  ///< the challenge used 9 similar TVs
+  double history_days = 180.0;    ///< total fair history length
+  double base_arrival_rate = 3.0; ///< mean fair ratings per product per day
+  double arrival_rate_jitter = 0.5; ///< per-product rate spread (+/-)
+  double mean_value = 4.0;        ///< long-run fair mean (paper: "around 4")
+  double value_sigma = 0.8;       ///< spread of the underlying opinion
+  double drift_amplitude = 0.15;  ///< slow sinusoidal mean drift (value units)
+  double drift_period_days = 90.0;
+
+  /// Non-stationary arrival structure of real product pages (off by
+  /// default so the calibrated experiments keep their data):
+  /// a post-launch surge that decays, and a weekly activity pattern.
+  double launch_boost = 0.0;      ///< extra rate factor at day 0 (e.g. 1.5)
+  double launch_decay_days = 30.0;///< e-folding time of the surge
+  double weekly_amplitude = 0.0;  ///< +-fractional weekly rate modulation
+  bool discrete_values = true;    ///< round to integer stars like the site
+  std::size_t honest_rater_pool = 400;  ///< distinct fair rater ids
+
+  /// Individual unfair ratings (paper Section III): ratings that are
+  /// unfair through personality, habit or randomness rather than
+  /// collaboration. They are part of realistic *fair-side* data — the
+  /// paper argues they are "much less harmful" and a defense must not
+  /// confuse them with an attack.
+  double harsh_rater_fraction = 0.0;   ///< personas rating ~1.5 stars low
+  double random_rater_fraction = 0.0;  ///< personas rating uniformly 0..5
+
+  std::uint64_t seed = 20070425;  ///< challenge launch date as default seed
+};
+
+/// Generates reproducible fair datasets.
+class FairDataGenerator {
+ public:
+  explicit FairDataGenerator(FairDataConfig config = {});
+
+  [[nodiscard]] const FairDataConfig& config() const { return config_; }
+
+  /// Builds the full dataset (all products).
+  [[nodiscard]] Dataset generate() const;
+
+  /// Builds one product's fair stream (product ids are 1-based like the
+  /// paper's "product 1").
+  [[nodiscard]] ProductRatings generate_product(ProductId id) const;
+
+  /// The persona of a rater under this configuration (deterministic in the
+  /// seed and rater id). Exposed so tests can check who is who.
+  enum class Persona { kNormal, kHarsh, kRandom };
+  [[nodiscard]] Persona persona_of(RaterId rater) const;
+
+ private:
+  FairDataConfig config_;
+};
+
+}  // namespace rab::rating

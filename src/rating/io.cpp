@@ -1,0 +1,54 @@
+#include "rating/io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace rab::rating {
+
+void write_csv(std::ostream& out, const Dataset& dataset) {
+  out << "# product,rater,time,value,unfair\n";
+  for (ProductId id : dataset.product_ids()) {
+    for (const Rating& r : dataset.product(id).ratings()) {
+      out << r.product.value() << ',' << r.rater.value() << ',' << r.time
+          << ',' << r.value << ',' << (r.unfair ? 1 : 0) << '\n';
+    }
+  }
+}
+
+void write_csv_file(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path);
+  if (!out) throw Error("rating::write_csv_file: cannot open " + path);
+  write_csv(out, dataset);
+}
+
+Dataset read_csv(std::istream& in) {
+  Dataset dataset;
+  for (const csv::Row& row : csv::read(in)) {
+    if (row.size() != 5) {
+      std::ostringstream msg;
+      msg << "rating::read_csv: expected 5 fields, got " << row.size();
+      throw Error(msg.str());
+    }
+    Rating r;
+    r.product = ProductId(csv::to_int(row[0]));
+    r.rater = RaterId(csv::to_int(row[1]));
+    r.time = csv::to_double(row[2]);
+    r.value = csv::to_double(row[3]);
+    r.unfair = csv::to_int(row[4]) != 0;
+    dataset.add(r);
+  }
+  return dataset;
+}
+
+Dataset read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("rating::read_csv_file: cannot open " + path);
+  return read_csv(in);
+}
+
+}  // namespace rab::rating

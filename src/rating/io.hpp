@@ -1,0 +1,24 @@
+// CSV persistence for rating datasets.
+//
+// Format: one rating per row — product,rater,time,value,unfair — with a
+// header comment. This is the interchange format between the generator, the
+// challenge harness, and external tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rating/dataset.hpp"
+
+namespace rab::rating {
+
+/// Writes all ratings (every product, time order within product).
+void write_csv(std::ostream& out, const Dataset& dataset);
+void write_csv_file(const std::string& path, const Dataset& dataset);
+
+/// Reads a dataset previously written by write_csv. Throws rab::Error on
+/// malformed rows.
+Dataset read_csv(std::istream& in);
+Dataset read_csv_file(const std::string& path);
+
+}  // namespace rab::rating

@@ -1,0 +1,95 @@
+#include "rating/product_ratings.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rab::rating {
+
+void ProductRatings::add(const Rating& r) {
+  RAB_EXPECTS(product_.value() < 0 || r.product == product_);
+  if (product_.value() < 0) product_ = r.product;
+  const auto pos =
+      std::upper_bound(ratings_.begin(), ratings_.end(), r, ByTime{});
+  ratings_.insert(pos, r);
+}
+
+void ProductRatings::add_all(std::span<const Rating> rs) {
+  for (const Rating& r : rs) {
+    RAB_EXPECTS(product_.value() < 0 || r.product == product_);
+    if (product_.value() < 0) product_ = r.product;
+    ratings_.push_back(r);
+  }
+  std::sort(ratings_.begin(), ratings_.end(), ByTime{});
+}
+
+const Rating& ProductRatings::at(std::size_t i) const {
+  RAB_EXPECTS(i < ratings_.size());
+  return ratings_[i];
+}
+
+Interval ProductRatings::span() const {
+  if (ratings_.empty()) return Interval{};
+  return Interval{ratings_.front().time,
+                  std::nextafter(ratings_.back().time,
+                                 ratings_.back().time + 1.0)};
+}
+
+std::vector<double> ProductRatings::values() const {
+  std::vector<double> out;
+  out.reserve(ratings_.size());
+  for (const Rating& r : ratings_) out.push_back(r.value);
+  return out;
+}
+
+std::vector<signal::Sample> ProductRatings::samples() const {
+  std::vector<signal::Sample> out;
+  out.reserve(ratings_.size());
+  for (const Rating& r : ratings_) {
+    out.push_back(signal::Sample{r.time, r.value});
+  }
+  return out;
+}
+
+std::vector<Rating> ProductRatings::in_interval(const Interval& interval) const {
+  const signal::IndexRange range = index_range(interval);
+  return {ratings_.begin() + static_cast<std::ptrdiff_t>(range.first),
+          ratings_.begin() + static_cast<std::ptrdiff_t>(range.last)};
+}
+
+signal::IndexRange ProductRatings::index_range(const Interval& interval) const {
+  const auto lo = std::lower_bound(
+      ratings_.begin(), ratings_.end(), interval.begin,
+      [](const Rating& r, Day t) { return r.time < t; });
+  const auto hi = std::lower_bound(
+      lo, ratings_.end(), interval.end,
+      [](const Rating& r, Day t) { return r.time < t; });
+  return signal::IndexRange{static_cast<std::size_t>(lo - ratings_.begin()),
+                            static_cast<std::size_t>(hi - ratings_.begin())};
+}
+
+ProductRatings ProductRatings::fair_only() const {
+  ProductRatings out(product_);
+  for (const Rating& r : ratings_) {
+    if (!r.unfair) out.ratings_.push_back(r);
+  }
+  return out;
+}
+
+ProductRatings ProductRatings::without_indices(
+    std::span<const std::size_t> sorted_indices) const {
+  ProductRatings out(product_);
+  std::size_t skip = 0;
+  for (std::size_t i = 0; i < ratings_.size(); ++i) {
+    if (skip < sorted_indices.size() && sorted_indices[skip] == i) {
+      ++skip;
+      continue;
+    }
+    out.ratings_.push_back(ratings_[i]);
+  }
+  RAB_ENSURES(skip == sorted_indices.size());
+  return out;
+}
+
+}  // namespace rab::rating

@@ -1,0 +1,60 @@
+// Time-sorted rating stream for one product.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rating/rating.hpp"
+#include "signal/windowing.hpp"
+#include "util/day.hpp"
+
+namespace rab::rating {
+
+/// All ratings for a single product, kept sorted by time.
+class ProductRatings {
+ public:
+  ProductRatings() = default;
+  explicit ProductRatings(ProductId product) : product_(product) {}
+
+  [[nodiscard]] ProductId product() const { return product_; }
+
+  /// Inserts one rating (must match this product if the product id is set).
+  void add(const Rating& r);
+
+  /// Bulk insert followed by a single re-sort.
+  void add_all(std::span<const Rating> rs);
+
+  [[nodiscard]] std::size_t size() const { return ratings_.size(); }
+  [[nodiscard]] bool empty() const { return ratings_.empty(); }
+  [[nodiscard]] const std::vector<Rating>& ratings() const { return ratings_; }
+  [[nodiscard]] const Rating& at(std::size_t i) const;
+
+  /// Time span [first rating, last rating]; empty interval when no ratings.
+  [[nodiscard]] Interval span() const;
+
+  /// All rating values in time order.
+  [[nodiscard]] std::vector<double> values() const;
+
+  /// (time, value) samples in time order, for the signal substrate.
+  [[nodiscard]] std::vector<signal::Sample> samples() const;
+
+  /// Ratings with time in [interval.begin, interval.end).
+  [[nodiscard]] std::vector<Rating> in_interval(const Interval& interval) const;
+
+  /// Index range [first, last) of ratings with time inside `interval`.
+  [[nodiscard]] signal::IndexRange index_range(const Interval& interval) const;
+
+  /// Copy with only the fair (ground-truth) ratings — the "without unfair
+  /// ratings" stream used by the MP metric.
+  [[nodiscard]] ProductRatings fair_only() const;
+
+  /// Copy without the ratings at the given (sorted unique) indices.
+  [[nodiscard]] ProductRatings without_indices(
+      std::span<const std::size_t> sorted_indices) const;
+
+ private:
+  ProductId product_;
+  std::vector<Rating> ratings_;
+};
+
+}  // namespace rab::rating

@@ -1,0 +1,35 @@
+// Core rating domain types.
+#pragma once
+
+#include "util/day.hpp"
+#include "util/ids.hpp"
+
+namespace rab::rating {
+
+/// Rating values live on the 0..5 scale used by the challenge dataset.
+inline constexpr double kMinRating = 0.0;
+inline constexpr double kMaxRating = 5.0;
+
+/// One submitted rating. `unfair` is ground truth carried by the simulator
+/// (never visible to detectors; they must infer it).
+struct Rating {
+  Day time = 0.0;
+  double value = 0.0;
+  RaterId rater;
+  ProductId product;
+  bool unfair = false;
+
+  friend bool operator==(const Rating&, const Rating&) = default;
+};
+
+/// Orders ratings chronologically, with value/rater as deterministic
+/// tie-breakers for same-instant ratings.
+struct ByTime {
+  bool operator()(const Rating& a, const Rating& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.value != b.value) return a.value < b.value;
+    return a.rater < b.rater;
+  }
+};
+
+}  // namespace rab::rating

@@ -1,0 +1,94 @@
+#include "signal/ar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+#include "stats/linalg.hpp"
+#include "util/error.hpp"
+
+namespace rab::signal {
+
+ArFit fit_ar(std::span<const double> x, std::size_t order) {
+  RAB_EXPECTS(order >= 1);
+  ArFit fit;
+  fit.coefficients.assign(order, 0.0);
+
+  const std::size_t n = x.size();
+  if (n < order + 2) return fit;  // not enough equations; no structure
+
+  // Remove the mean: the detectors care about structure around the mean,
+  // and an un-centered AR fit would mostly model the DC offset.
+  const double mu = stats::mean(x);
+  std::vector<double> xc(n);
+  for (std::size_t i = 0; i < n; ++i) xc[i] = x[i] - mu;
+
+  double signal_power = 0.0;
+  for (double v : xc) signal_power += v * v;
+  signal_power /= static_cast<double>(n);
+  fit.signal_power = signal_power;
+  if (signal_power < 1e-12) {
+    // Flat window: residual is zero but so is the signal; report "white".
+    fit.residual_power = 0.0;
+    fit.normalized_error = 1.0;
+    return fit;
+  }
+
+  // Covariance method: rows n = order..N-1, predict xc[n] from the previous
+  // `order` samples.
+  const std::size_t rows = n - order;
+  stats::Matrix a(rows, order);
+  std::vector<double> b(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t t = r + order;
+    for (std::size_t k = 0; k < order; ++k) {
+      a(r, k) = xc[t - 1 - k];
+    }
+    b[r] = xc[t];
+  }
+
+  // b = A w with w_k = -a_k in the AR convention; ridge stabilizes windows
+  // with nearly collinear lags (e.g. long runs of identical ratings).
+  const std::vector<double> w = stats::least_squares(a, b, 1e-9);
+  for (std::size_t k = 0; k < order; ++k) fit.coefficients[k] = -w[k];
+
+  double rss = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    double pred = 0.0;
+    for (std::size_t k = 0; k < order; ++k) pred += a(r, k) * w[k];
+    const double e = b[r] - pred;
+    rss += e * e;
+  }
+  fit.residual_power = rss / static_cast<double>(rows);
+  fit.normalized_error =
+      std::clamp(fit.residual_power / signal_power, 0.0, 1.0);
+  return fit;
+}
+
+double ar_model_error(std::span<const double> x, std::size_t order) {
+  return fit_ar(x, order).normalized_error;
+}
+
+std::size_t select_ar_order(std::span<const double> x,
+                            std::size_t max_order) {
+  RAB_EXPECTS(max_order >= 1);
+  std::size_t best_order = 1;
+  double best_aic = std::numeric_limits<double>::infinity();
+  for (std::size_t p = 1; p <= max_order; ++p) {
+    if (x.size() < p + 2) break;  // no equations left at this order
+    const ArFit fit = fit_ar(x, p);
+    const double n = static_cast<double>(x.size() - p);
+    // Floor the residual so a perfect fit doesn't send ln() to -inf and
+    // trivially win at every order.
+    const double residual = std::max(fit.residual_power, 1e-12);
+    const double aic = n * std::log(residual) + 2.0 * static_cast<double>(p);
+    if (aic < best_aic) {
+      best_aic = aic;
+      best_order = p;
+    }
+  }
+  return best_order;
+}
+
+}  // namespace rab::signal

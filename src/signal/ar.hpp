@@ -1,0 +1,44 @@
+// Autoregressive signal modeling via the covariance method.
+//
+// The model-error detector (paper Section IV-E, following Hayes,
+// "Statistical Digital Signal Processing and Modeling") fits
+//     x(n) = -sum_{k=1..p} a_k x(n-k) + e(n)
+// to the ratings in a window by least squares over n = p..N-1 (the
+// covariance method: no windowing/zero-padding of the data). The normalized
+// residual power is the "model error": high for white-noise-like honest
+// ratings, low when a deterministic signal (a coordinated attack) is present.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rab::signal {
+
+/// Result of fitting an AR(p) model.
+struct ArFit {
+  std::vector<double> coefficients;  ///< a_1..a_p in the convention above
+  double residual_power = 0.0;       ///< mean squared prediction error
+  double signal_power = 0.0;         ///< mean squared (centered) signal
+  /// residual_power / signal_power, clamped to [0, 1]; 1 when the window is
+  /// too short or the signal is flat (no evidence of structure).
+  double normalized_error = 1.0;
+};
+
+/// Fits AR(`order`) to `x` (mean removed first) with the covariance method.
+///
+/// Requires x.size() >= order + 1 to form any equation; shorter inputs yield
+/// normalized_error = 1 (no structure detectable). A tiny ridge keeps the
+/// normal equations well-posed on degenerate windows.
+ArFit fit_ar(std::span<const double> x, std::size_t order);
+
+/// Convenience: normalized model error of AR(`order`) on `x`.
+double ar_model_error(std::span<const double> x, std::size_t order);
+
+/// Picks the AR order in [1, max_order] minimizing the Akaike information
+/// criterion AIC(p) = N ln(residual_power) + 2p over the usable sample
+/// count N. Returns 1 when the window is too short to compare orders.
+std::size_t select_ar_order(std::span<const double> x,
+                            std::size_t max_order);
+
+}  // namespace rab::signal

@@ -1,0 +1,50 @@
+#include "signal/autocorrelation.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::signal {
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  if (xs.size() < lag + 2) return 0.0;
+  const double m = stats::mean(xs);
+  double denom = 0.0;
+  for (double x : xs) denom += (x - m) * (x - m);
+  if (denom < 1e-12) return 0.0;
+  double num = 0.0;
+  for (std::size_t t = 0; t + lag < xs.size(); ++t) {
+    num += (xs[t] - m) * (xs[t + lag] - m);
+  }
+  return num / denom;
+}
+
+std::vector<double> autocorrelations(std::span<const double> xs,
+                                     std::size_t count) {
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t lag = 1; lag <= count; ++lag) {
+    out.push_back(autocorrelation(xs, lag));
+  }
+  return out;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  RAB_EXPECTS(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = stats::mean(xs);
+  const double my = stats::mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx < 1e-12 || syy < 1e-12) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace rab::signal

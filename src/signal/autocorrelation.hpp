@@ -1,0 +1,27 @@
+// Sample autocorrelation and cross-correlation of rating sequences.
+//
+// Used to quantify ordering effects (Section V-D): Procedure 3 pairs unfair
+// values against the preceding fair ratings, which changes the combined
+// stream's lag correlations even though the value and time multisets stay
+// fixed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rab::signal {
+
+/// Sample autocorrelation of `xs` at `lag` (biased estimator, mean
+/// removed): r(lag) = sum (x_t - m)(x_{t+lag} - m) / sum (x_t - m)^2.
+/// Returns 0 when the sequence is shorter than lag + 2 or has no variance.
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// First `count` autocorrelations r(1)..r(count).
+std::vector<double> autocorrelations(std::span<const double> xs,
+                                     std::size_t count);
+
+/// Pearson correlation of two equal-length sequences; 0 when degenerate.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace rab::signal

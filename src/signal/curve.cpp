@@ -1,0 +1,110 @@
+#include "signal/curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rab::signal {
+
+std::vector<std::size_t> find_peaks(const Curve& curve,
+                                    const PeakOptions& options) {
+  std::vector<std::size_t> peaks;
+  const std::size_t n = curve.size();
+  if (n == 0) return peaks;
+  if (n == 1) {
+    if (curve[0].value >= options.min_height) peaks.push_back(0);
+    return peaks;
+  }
+
+  auto is_peak = [&](std::size_t i) {
+    const double v = curve[i].value;
+    if (v < options.min_height) return false;
+    if (i == 0) return v > curve[1].value;
+    if (i == n - 1) return v > curve[n - 2].value;
+    // Plateau handling: strictly greater than the previous point, and at
+    // least as large as the next (the first plateau index reports).
+    return v > curve[i - 1].value && v >= curve[i + 1].value;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_peak(i)) continue;
+    if (!peaks.empty() &&
+        curve[i].time - curve[peaks.back()].time < options.min_separation) {
+      // Too close to the previous peak: keep the taller of the two.
+      if (curve[i].value > curve[peaks.back()].value) peaks.back() = i;
+      continue;
+    }
+    peaks.push_back(i);
+  }
+  return peaks;
+}
+
+std::vector<Interval> segments_between_peaks(
+    const Curve& curve, const std::vector<std::size_t>& peaks) {
+  std::vector<Interval> segments;
+  if (curve.empty()) return segments;
+  const Day t0 = curve.front().time;
+  const Day tn = curve.back().time;
+
+  Day cursor = t0;
+  for (std::size_t p : peaks) {
+    RAB_EXPECTS(p < curve.size());
+    const Day tp = curve[p].time;
+    if (tp > cursor) {
+      segments.push_back(Interval{cursor, tp});
+      cursor = tp;
+    }
+  }
+  // Close the final segment; use a right-inclusive end so the last rating
+  // (at time tn exactly) belongs to the last segment.
+  const Day end = std::nextafter(tn, tn + 1.0);
+  if (end > cursor) segments.push_back(Interval{cursor, end});
+  return segments;
+}
+
+double max_in_interval(const Curve& curve, const Interval& interval) {
+  double best = 0.0;
+  for (const CurvePoint& p : curve) {
+    if (interval.contains(p.time)) best = std::max(best, p.value);
+  }
+  return best;
+}
+
+namespace {
+
+template <typename Pred>
+std::vector<Interval> intervals_where(const Curve& curve, Pred pred) {
+  std::vector<Interval> out;
+  bool open = false;
+  Day begin = 0.0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const bool hit = pred(curve[i].value);
+    if (hit && !open) {
+      open = true;
+      begin = curve[i].time;
+    } else if (!hit && open) {
+      open = false;
+      out.push_back(Interval{begin, curve[i].time});
+    }
+  }
+  if (open) {
+    const Day tn = curve.back().time;
+    out.push_back(Interval{begin, std::nextafter(tn, tn + 1.0)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Interval> intervals_below(const Curve& curve, double threshold) {
+  return intervals_where(curve,
+                         [threshold](double v) { return v < threshold; });
+}
+
+std::vector<Interval> intervals_above(const Curve& curve, double threshold) {
+  return intervals_where(curve,
+                         [threshold](double v) { return v >= threshold; });
+}
+
+}  // namespace rab::signal

@@ -1,0 +1,54 @@
+// Indicator curves and peak detection.
+//
+// Every detector in the paper reduces its windowed statistic to a curve over
+// time (MC curve, ARC curve, HC curve, ME curve); suspicious intervals are
+// then read off the curve's peaks or threshold crossings.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/day.hpp"
+
+namespace rab::signal {
+
+/// One point of an indicator curve.
+struct CurvePoint {
+  Day time = 0.0;
+  double value = 0.0;
+};
+
+/// A statistic sampled over time (sorted by time).
+using Curve = std::vector<CurvePoint>;
+
+/// Options for peak detection on an indicator curve.
+struct PeakOptions {
+  double min_height = 0.0;      ///< ignore local maxima below this value
+  double min_separation = 0.0;  ///< merge peaks closer than this (days);
+                                ///< the higher peak wins
+};
+
+/// Indices of local maxima of `curve` subject to `options`. A plateau
+/// reports its first index. Endpoints count as peaks if they dominate their
+/// single neighbor.
+std::vector<std::size_t> find_peaks(const Curve& curve,
+                                    const PeakOptions& options);
+
+/// Time intervals between consecutive peak positions, covering the full
+/// curve span: [t0, p1), [p1, p2), ..., [pm, tN]. With no peaks, the single
+/// interval spanning the whole curve is returned. Empty curve -> empty.
+std::vector<Interval> segments_between_peaks(
+    const Curve& curve, const std::vector<std::size_t>& peaks);
+
+/// Maximum curve value inside [interval.begin, interval.end); 0 if no curve
+/// points fall inside.
+double max_in_interval(const Curve& curve, const Interval& interval);
+
+/// Intervals where the curve is (strictly) below `threshold`, merged over
+/// consecutive points. Used for the ME detector's low-error intervals.
+std::vector<Interval> intervals_below(const Curve& curve, double threshold);
+
+/// Intervals where the curve is at or above `threshold`.
+std::vector<Interval> intervals_above(const Curve& curve, double threshold);
+
+}  // namespace rab::signal

@@ -1,0 +1,94 @@
+#include "signal/windowing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rab::signal {
+
+WindowSpec WindowSpec::by_count(std::size_t n) {
+  RAB_EXPECTS(n >= 2);
+  WindowSpec spec;
+  spec.is_count_ = true;
+  spec.count_ = n;
+  return spec;
+}
+
+WindowSpec WindowSpec::by_duration(double days) {
+  RAB_EXPECTS(days > 0.0);
+  WindowSpec spec;
+  spec.is_count_ = false;
+  spec.duration_ = days;
+  return spec;
+}
+
+std::size_t WindowSpec::count() const {
+  RAB_EXPECTS(is_count_);
+  return count_;
+}
+
+double WindowSpec::duration() const {
+  RAB_EXPECTS(!is_count_);
+  return duration_;
+}
+
+IndexRange window_around(std::span<const Sample> samples, std::size_t center,
+                         const WindowSpec& spec) {
+  RAB_EXPECTS(center < samples.size());
+  const std::size_t n = samples.size();
+  if (spec.is_count()) {
+    const std::size_t half = spec.count() / 2;
+    const std::size_t first = center >= half ? center - half : 0;
+    const std::size_t last = std::min(first + spec.count(), n);
+    // Re-expand left if the right edge clipped the window.
+    const std::size_t width = last - first;
+    const std::size_t refirst =
+        width < spec.count() && last == n
+            ? (n >= spec.count() ? n - spec.count() : 0)
+            : first;
+    return IndexRange{refirst, last};
+  }
+  const double half = spec.duration() / 2.0;
+  const Day t = samples[center].time;
+  const auto lo = std::lower_bound(
+      samples.begin(), samples.end(), t - half,
+      [](const Sample& s, Day d) { return s.time < d; });
+  const auto hi = std::upper_bound(
+      samples.begin(), samples.end(), t + half,
+      [](Day d, const Sample& s) { return d < s.time; });
+  return IndexRange{static_cast<std::size_t>(lo - samples.begin()),
+                    static_cast<std::size_t>(hi - samples.begin())};
+}
+
+std::pair<IndexRange, IndexRange> split_at(const IndexRange& range,
+                                           std::size_t split) {
+  RAB_EXPECTS(split >= range.first && split <= range.last);
+  return {IndexRange{range.first, split}, IndexRange{split, range.last}};
+}
+
+std::vector<double> values_in(std::span<const Sample> samples,
+                              const IndexRange& range) {
+  RAB_EXPECTS(range.last <= samples.size());
+  std::vector<double> out;
+  out.reserve(range.size());
+  for (std::size_t i = range.first; i < range.last; ++i) {
+    out.push_back(samples[i].value);
+  }
+  return out;
+}
+
+std::vector<double> daily_counts(std::span<const Sample> samples,
+                                 Day day_begin, Day day_end) {
+  RAB_EXPECTS(day_end >= day_begin);
+  const auto days = static_cast<std::size_t>(std::ceil(day_end - day_begin));
+  std::vector<double> counts(days, 0.0);
+  for (const Sample& s : samples) {
+    if (s.time < day_begin || s.time >= day_end) continue;
+    const auto idx = static_cast<std::size_t>(s.time - day_begin);
+    if (idx < counts.size()) counts[idx] += 1.0;
+  }
+  return counts;
+}
+
+}  // namespace rab::signal

@@ -1,0 +1,74 @@
+// Sliding-window construction over time-stamped samples.
+//
+// The paper's detectors window their input two ways (Section IV-E): windows
+// containing a fixed number of ratings, or windows spanning a fixed time
+// duration. WindowSpec captures that choice; the helpers slice a
+// time-sorted sample sequence accordingly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/day.hpp"
+
+namespace rab::signal {
+
+/// One time-stamped sample.
+struct Sample {
+  Day time = 0.0;
+  double value = 0.0;
+};
+
+/// How to size a sliding window.
+class WindowSpec {
+ public:
+  /// Window holds exactly `n` samples (n >= 2).
+  static WindowSpec by_count(std::size_t n);
+  /// Window spans `days` of time (days > 0).
+  static WindowSpec by_duration(double days);
+
+  [[nodiscard]] bool is_count() const { return is_count_; }
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] double duration() const;
+
+ private:
+  WindowSpec() = default;
+  bool is_count_ = true;
+  std::size_t count_ = 0;
+  double duration_ = 0.0;
+};
+
+/// Half-open index range [first, last) into a sample sequence.
+struct IndexRange {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  [[nodiscard]] std::size_t size() const { return last - first; }
+  [[nodiscard]] bool empty() const { return last <= first; }
+  friend bool operator==(const IndexRange&, const IndexRange&) = default;
+};
+
+/// Indices of samples centered on `center` under `spec`.
+///
+/// By-count: the window is [center - n/2, center + n/2) clamped to the
+/// sequence (shrinking near the edges as the paper does for curve endpoints).
+/// By-duration: samples with |time - samples[center].time| <= days / 2.
+/// `samples` must be sorted by time.
+IndexRange window_around(std::span<const Sample> samples, std::size_t center,
+                         const WindowSpec& spec);
+
+/// Splits `range` at index `split` into the two half-windows
+/// [first, split) and [split, last). `split` must lie within the range.
+std::pair<IndexRange, IndexRange> split_at(const IndexRange& range,
+                                           std::size_t split);
+
+/// Extracts values of `range` into a contiguous vector.
+std::vector<double> values_in(std::span<const Sample> samples,
+                              const IndexRange& range);
+
+/// Daily counts: number of samples on each integer day of [day_begin,
+/// day_end). `samples` must be sorted by time.
+std::vector<double> daily_counts(std::span<const Sample> samples,
+                                 Day day_begin, Day day_end);
+
+}  // namespace rab::signal

@@ -1,0 +1,120 @@
+#include "stats/beta.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace rab::stats {
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta (modified Lentz).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 10.0 * kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  RAB_EXPECTS(a > 0.0 && b > 0.0);
+  RAB_EXPECTS(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction directly when it converges fast, otherwise
+  // the symmetry relation I_x(a,b) = 1 - I_{1-x}(b,a).
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+Beta::Beta(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  RAB_EXPECTS(alpha > 0.0 && beta > 0.0);
+}
+
+double Beta::mean() const { return alpha_ / (alpha_ + beta_); }
+
+double Beta::pdf(double x) const {
+  RAB_EXPECTS(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) {
+    if (alpha_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (alpha_ > 1.0) return 0.0;
+    return beta_;  // alpha == 1: density b*(1-x)^(b-1) at 0
+  }
+  if (x == 1.0) {
+    if (beta_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (beta_ > 1.0) return 0.0;
+    return alpha_;
+  }
+  const double ln = std::lgamma(alpha_ + beta_) - std::lgamma(alpha_) -
+                    std::lgamma(beta_) + (alpha_ - 1.0) * std::log(x) +
+                    (beta_ - 1.0) * std::log1p(-x);
+  return std::exp(ln);
+}
+
+double Beta::cdf(double x) const {
+  return regularized_incomplete_beta(alpha_, beta_, x);
+}
+
+double Beta::quantile(double p) const {
+  RAB_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  // Bisection: the CDF is continuous and strictly increasing on (0,1).
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double beta_trust(double successes, double failures) {
+  RAB_EXPECTS(successes >= 0.0 && failures >= 0.0);
+  return (successes + 1.0) / (successes + failures + 2.0);
+}
+
+}  // namespace rab::stats

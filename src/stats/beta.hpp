@@ -1,0 +1,45 @@
+// Beta-distribution machinery.
+//
+// Used by two parts of the system:
+//  * the beta-function trust model [Jøsang & Ismail]: trust = (S+1)/(S+F+2),
+//  * the BF-scheme majority-rule filter [Whitby, Jøsang, Indulska], which
+//    needs beta CDF quantiles to decide whether a rater's opinion lies
+//    outside the majority's q / (1-q) band.
+#pragma once
+
+namespace rab::stats {
+
+/// Beta(alpha, beta) distribution with alpha, beta > 0.
+class Beta {
+ public:
+  Beta(double alpha, double beta);
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double beta() const { return beta_; }
+
+  /// E[X] = alpha / (alpha + beta).
+  [[nodiscard]] double mean() const;
+
+  /// Probability density at x in [0, 1].
+  [[nodiscard]] double pdf(double x) const;
+
+  /// Regularized incomplete beta I_x(alpha, beta); the CDF at x in [0, 1].
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Inverse CDF for p in [0, 1] (bisection on the CDF, |err| < 1e-10).
+  [[nodiscard]] double quantile(double p) const;
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+/// Regularized incomplete beta function I_x(a, b) via the Lentz continued
+/// fraction (Numerical Recipes style). a, b > 0; x in [0, 1].
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// Beta-function trust value from success/failure counts (Procedure 1 /
+/// BF-scheme): (S + 1) / (S + F + 2). S, F >= 0.
+double beta_trust(double successes, double failures);
+
+}  // namespace rab::stats

@@ -1,0 +1,43 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::stats {
+
+BootstrapCi bootstrap_ci(std::span<const double> xs,
+                         const Statistic& statistic, Rng& rng,
+                         std::size_t resamples, double alpha) {
+  RAB_EXPECTS(!xs.empty());
+  RAB_EXPECTS(statistic != nullptr);
+  RAB_EXPECTS(resamples >= 10);
+  RAB_EXPECTS(alpha > 0.0 && alpha < 1.0);
+
+  BootstrapCi ci;
+  ci.estimate = statistic(xs);
+
+  std::vector<double> resampled(xs.size());
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  const auto n = static_cast<std::int64_t>(xs.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (double& value : resampled) {
+      value = xs[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    estimates.push_back(statistic(resampled));
+  }
+  ci.lo = quantile(estimates, alpha / 2.0);
+  ci.hi = quantile(std::move(estimates), 1.0 - alpha / 2.0);
+  return ci;
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs, Rng& rng,
+                              std::size_t resamples, double alpha) {
+  return bootstrap_ci(
+      xs, [](std::span<const double> sample) { return mean(sample); }, rng,
+      resamples, alpha);
+}
+
+}  // namespace rab::stats

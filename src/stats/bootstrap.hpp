@@ -1,0 +1,38 @@
+// Percentile-bootstrap confidence intervals.
+//
+// The synthetic experiments report point estimates over a population of
+// attacks; bootstrap CIs quantify how much of a reported gap is noise.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rab::stats {
+
+/// A two-sided confidence interval with its point estimate.
+struct BootstrapCi {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Statistic evaluated on a (re)sample.
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap of `statistic` over `xs`: resamples with
+/// replacement `resamples` times and reports the [alpha/2, 1-alpha/2]
+/// percentile interval. Requires a non-empty sample, resamples >= 10 and
+/// alpha in (0, 1).
+BootstrapCi bootstrap_ci(std::span<const double> xs,
+                         const Statistic& statistic, Rng& rng,
+                         std::size_t resamples = 1000, double alpha = 0.05);
+
+/// Convenience: bootstrap CI of the mean.
+BootstrapCi bootstrap_mean_ci(std::span<const double> xs, Rng& rng,
+                              std::size_t resamples = 1000,
+                              double alpha = 0.05);
+
+}  // namespace rab::stats

@@ -1,0 +1,82 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rab::stats {
+
+void Welford::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Welford::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double Welford::sample_variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+void Welford::merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  Welford w;
+  s.min = xs.front();
+  s.max = xs.front();
+  for (double x : xs) {
+    w.add(x);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.count = w.count();
+  s.mean = w.mean();
+  s.variance = w.variance();
+  s.stddev = w.stddev();
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  Welford w;
+  for (double x : xs) w.add(x);
+  return w.mean();
+}
+
+double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+double quantile(std::vector<double> xs, double q) {
+  RAB_EXPECTS(!xs.empty());
+  RAB_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace rab::stats

@@ -1,0 +1,54 @@
+// Descriptive statistics over rating value sequences.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rab::stats {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class Welford {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Population variance (divides by n). Zero for n < 2.
+  [[nodiscard]] double variance() const;
+  /// Sample variance (divides by n-1). Zero for n < 2.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const Welford& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// One-shot summary of a sequence.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes Summary over `xs`. All fields zero when `xs` is empty.
+Summary summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Median (average of middle two for even length). Throws on empty input.
+double median(std::vector<double> xs);
+
+/// Linear-interpolated quantile, q in [0,1]. Throws on empty input.
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace rab::stats

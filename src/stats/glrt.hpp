@@ -1,0 +1,70 @@
+// Generalized likelihood ratio tests used by the change detectors.
+//
+// Two tests from the paper (Section IV-B/IV-C, following Kay, "Fundamentals
+// of Statistical Signal Processing, Vol. 2"):
+//
+//  * GaussianMeanGlrt — mean change in an i.i.d. Gaussian sequence split into
+//    two halves X1, X2 of W samples each. Statistic (paper Eq. 1):
+//        2 ln L = W (A1_hat - A2_hat)^2 / (2 sigma^2)
+//  * PoissonRateGlrt — arrival-rate change in a Poisson count sequence split
+//    at k'. Statistic (paper Eq. 5, normalized by the window length 2D):
+//        (a/2D) Y1bar ln Y1bar + (b/2D) Y2bar ln Y2bar - Ybar ln Ybar
+#pragma once
+
+#include <span>
+
+namespace rab::stats {
+
+/// Result of a two-sample GLRT evaluation.
+struct GlrtResult {
+  double statistic = 0.0;  ///< test statistic (compare against a threshold)
+  bool change = false;     ///< statistic >= threshold
+};
+
+/// Mean-change GLRT for Gaussian data with (assumed) common variance.
+class GaussianMeanGlrt {
+ public:
+  /// @param threshold decision threshold gamma for the statistic.
+  /// @param min_sigma floor on the pooled standard deviation estimate, which
+  ///        keeps the statistic finite on (near-)constant windows.
+  explicit GaussianMeanGlrt(double threshold, double min_sigma = 1e-3);
+
+  /// Evaluates the statistic for halves `x1`, `x2` (equal length preferred;
+  /// unequal lengths use the harmonic-mean effective window). Empty halves
+  /// yield statistic 0.
+  [[nodiscard]] GlrtResult test(std::span<const double> x1,
+                                std::span<const double> x2) const;
+
+  /// The raw statistic W*(A1-A2)^2 / (2 sigma^2) with sigma estimated from
+  /// the pooled, mean-centered halves.
+  [[nodiscard]] double statistic(std::span<const double> x1,
+                                 std::span<const double> x2) const;
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  double min_sigma_;
+};
+
+/// Arrival-rate-change GLRT for Poisson daily counts.
+class PoissonRateGlrt {
+ public:
+  /// @param threshold decision threshold, i.e. (1/2D) ln gamma in Eq. (5).
+  explicit PoissonRateGlrt(double threshold);
+
+  /// Evaluates the normalized statistic for count halves `y1`, `y2`.
+  [[nodiscard]] GlrtResult test(std::span<const double> y1,
+                                std::span<const double> y2) const;
+
+  /// The normalized statistic from Eq. (5); 0 when either half is empty.
+  [[nodiscard]] static double statistic(std::span<const double> y1,
+                                        std::span<const double> y2);
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace rab::stats

@@ -1,0 +1,57 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rab::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RAB_EXPECTS(hi > lo);
+  RAB_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  RAB_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::frequency(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  RAB_EXPECTS(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * (static_cast<double>(bin) + 0.5);
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  const double clamped = std::clamp(x, lo_, hi_);
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((clamped - lo_) / width);
+  return std::min(bin, counts_.size() - 1);
+}
+
+double Histogram::l1_distance(const Histogram& other) const {
+  RAB_EXPECTS(other.counts_.size() == counts_.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    d += std::fabs(frequency(i) - other.frequency(i));
+  }
+  return d;
+}
+
+}  // namespace rab::stats

@@ -1,0 +1,42 @@
+// Fixed-range histogram over rating values.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rab::stats {
+
+/// Equal-width histogram over [lo, hi]; values outside are clamped into the
+/// first/last bin so that every rating counts.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Fraction of mass in `bin`; 0 if the histogram is empty.
+  [[nodiscard]] double frequency(std::size_t bin) const;
+
+  /// Center of `bin` on the value axis.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Index of the bin `x` falls into (after clamping).
+  [[nodiscard]] std::size_t bin_of(double x) const;
+
+  /// L1 distance between the frequency vectors of two same-shape histograms.
+  [[nodiscard]] double l1_distance(const Histogram& other) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rab::stats

@@ -1,0 +1,94 @@
+#include "stats/linalg.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace rab::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  RAB_EXPECTS(rows > 0 && cols > 0);
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  RAB_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  RAB_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < rows_; ++k) {
+        sum += (*this)(k, i) * (*this)(k, j);
+      }
+      g(i, j) = sum;
+      g(j, i) = sum;
+    }
+  }
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(const std::vector<double>& v) const {
+  RAB_EXPECTS(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      out[i] += (*this)(k, i) * v[k];
+    }
+  }
+  return out;
+}
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  RAB_EXPECTS(a.rows() == a.cols());
+  RAB_EXPECTS(b.size() == a.rows());
+  const std::size_t n = a.rows();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in this column at or below `col`.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a(pivot, col)) < 1e-12) {
+      throw Error("linalg::solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= factor * a(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a(i, c) * x[c];
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b,
+                                  double ridge) {
+  RAB_EXPECTS(ridge >= 0.0);
+  RAB_EXPECTS(b.size() == a.rows());
+  Matrix gram = a.gram();
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += ridge;
+  return solve(std::move(gram), a.transpose_times(b));
+}
+
+}  // namespace rab::stats

@@ -1,0 +1,47 @@
+// Small dense linear algebra for AR model fitting.
+//
+// The AR covariance method reduces to a p x p normal-equation solve with
+// p ~ 4, so a simple row-major matrix with partial-pivot Gaussian
+// elimination is all the library needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rab::stats {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// A^T * A (cols x cols).
+  [[nodiscard]] Matrix gram() const;
+
+  /// A^T * v for v of length rows().
+  [[nodiscard]] std::vector<double> transpose_times(
+      const std::vector<double>& v) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// A must be square with rows() == b.size(). Throws rab::Error when the
+/// system is singular to working precision.
+std::vector<double> solve(Matrix a, std::vector<double> b);
+
+/// Least-squares solution of min ||A x - b||_2 via the normal equations,
+/// with Tikhonov ridge `ridge` (>= 0) added to the diagonal for stability.
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b,
+                                  double ridge = 0.0);
+
+}  // namespace rab::stats

@@ -1,0 +1,49 @@
+#include "trust/trust_manager.hpp"
+
+#include "stats/beta.hpp"
+#include "util/error.hpp"
+
+namespace rab::trust {
+
+TrustManager::TrustManager(double forgetting) : forgetting_(forgetting) {
+  RAB_EXPECTS(forgetting > 0.0 && forgetting <= 1.0);
+}
+
+void TrustManager::decay() {
+  if (forgetting_ >= 1.0) return;
+  for (auto& [rater, counts] : counts_) {
+    counts.s *= forgetting_;
+    counts.f *= forgetting_;
+  }
+}
+
+void TrustManager::record(RaterId rater, const EpochCounts& counts) {
+  RAB_EXPECTS(counts.suspicious <= counts.ratings);
+  Counts& c = counts_[rater];
+  c.f += static_cast<double>(counts.suspicious);
+  c.s += static_cast<double>(counts.ratings - counts.suspicious);
+}
+
+double TrustManager::trust(RaterId rater) const {
+  const auto it = counts_.find(rater);
+  if (it == counts_.end()) return 0.5;
+  return stats::beta_trust(it->second.s, it->second.f);
+}
+
+double TrustManager::successes(RaterId rater) const {
+  const auto it = counts_.find(rater);
+  return it == counts_.end() ? 0.0 : it->second.s;
+}
+
+double TrustManager::failures(RaterId rater) const {
+  const auto it = counts_.find(rater);
+  return it == counts_.end() ? 0.0 : it->second.f;
+}
+
+std::function<double(RaterId)> TrustManager::lookup() const {
+  return [this](RaterId rater) { return trust(rater); };
+}
+
+void TrustManager::reset() { counts_.clear(); }
+
+}  // namespace rab::trust

@@ -1,0 +1,70 @@
+// Trust in raters (paper Section IV-G, Procedure 1).
+//
+// The trust manager accumulates, per rater, how many of their ratings were
+// marked suspicious (F) versus clean (S) at each trust-update epoch, and
+// scores trust with the beta-function model [Jøsang & Ismail]:
+//     T_i = (S_i + 1) / (S_i + F_i + 2)
+// A rater with no history scores (0+1)/(0+0+2) = 0.5 — the paper's initial
+// trust value falls out of the model.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "util/ids.hpp"
+
+namespace rab::trust {
+
+/// Per-epoch observation for one rater.
+struct EpochCounts {
+  std::size_t ratings = 0;     ///< n_i: ratings provided in the epoch
+  std::size_t suspicious = 0;  ///< f_i: of those, marked suspicious
+};
+
+class TrustManager {
+ public:
+  TrustManager() = default;
+
+  /// @param forgetting lambda in (0, 1]: at each decay() call every S/F
+  /// count is multiplied by lambda, the forgetting factor of Jøsang's beta
+  /// reputation system. 1.0 (default) never forgets — plain Procedure 1.
+  explicit TrustManager(double forgetting);
+
+  /// Folds one epoch's observation for `rater` into the running S/F counts
+  /// (Procedure 1 lines 7-9). suspicious must not exceed ratings.
+  void record(RaterId rater, const EpochCounts& counts);
+
+  /// Applies one step of forgetting (call once per epoch boundary). A
+  /// no-op when the forgetting factor is 1.
+  void decay();
+
+  [[nodiscard]] double forgetting() const { return forgetting_; }
+
+  /// Current trust value of `rater`; 0.5 when the rater has no history.
+  [[nodiscard]] double trust(RaterId rater) const;
+
+  /// Accumulated S (clean) count; 0 when unseen.
+  [[nodiscard]] double successes(RaterId rater) const;
+  /// Accumulated F (suspicious) count; 0 when unseen.
+  [[nodiscard]] double failures(RaterId rater) const;
+
+  [[nodiscard]] std::size_t known_raters() const { return counts_.size(); }
+
+  /// Callable adapter for the detectors' TrustLookup parameter (the same
+  /// std::function type; spelled out here so trust does not depend on the
+  /// detectors layer).
+  [[nodiscard]] std::function<double(RaterId)> lookup() const;
+
+  /// Forgets all history (new experiment).
+  void reset();
+
+ private:
+  struct Counts {
+    double s = 0.0;
+    double f = 0.0;
+  };
+  std::unordered_map<RaterId, Counts> counts_;
+  double forgetting_ = 1.0;
+};
+
+}  // namespace rab::trust

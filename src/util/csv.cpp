@@ -1,0 +1,73 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rab::csv {
+
+Row parse_line(const std::string& line) {
+  Row fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::vector<Row> read(std::istream& in) {
+  std::vector<Row> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    rows.push_back(parse_line(line));
+  }
+  return rows;
+}
+
+std::vector<Row> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("csv: cannot open file: " + path);
+  return read(in);
+}
+
+void write_row(std::ostream& out, const Row& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out << ',';
+    out << row[i];
+  }
+  out << '\n';
+}
+
+double to_double(const std::string& field) {
+  try {
+    std::size_t consumed = 0;
+    double value = std::stod(field, &consumed);
+    if (consumed != field.size()) throw std::invalid_argument(field);
+    return value;
+  } catch (const std::exception&) {
+    throw Error("csv: not a number: '" + field + "'");
+  }
+}
+
+long long to_int(const std::string& field) {
+  long long value = 0;
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw Error("csv: not an integer: '" + field + "'");
+  }
+  return value;
+}
+
+}  // namespace rab::csv

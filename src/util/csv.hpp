@@ -1,0 +1,35 @@
+// Minimal CSV reading/writing used by dataset io and the bench harnesses.
+//
+// Only the subset the library needs: comma separation, no quoting of commas
+// inside fields (ids and numbers only), '#'-prefixed comment lines skipped.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rab::csv {
+
+/// One parsed row: the raw string fields.
+using Row = std::vector<std::string>;
+
+/// Parses a single CSV line into fields. Empty input yields one empty field.
+Row parse_line(const std::string& line);
+
+/// Reads all non-comment, non-blank rows from a stream.
+std::vector<Row> read(std::istream& in);
+
+/// Reads all non-comment, non-blank rows from a file.
+/// Throws rab::Error if the file cannot be opened.
+std::vector<Row> read_file(const std::string& path);
+
+/// Writes one row; fields must not contain commas or newlines.
+void write_row(std::ostream& out, const Row& row);
+
+/// Converts a field to double. Throws rab::Error with context on failure.
+double to_double(const std::string& field);
+
+/// Converts a field to int64. Throws rab::Error with context on failure.
+long long to_int(const std::string& field);
+
+}  // namespace rab::csv

@@ -1,0 +1,57 @@
+// Time handling for rating streams.
+//
+// All timestamps in the library are measured in fractional days since the
+// dataset epoch (day 0 = first day of the fair-rating history). A thin
+// Interval type expresses half-open time ranges [begin, end).
+#pragma once
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rab {
+
+/// Fractional days since the dataset epoch.
+using Day = double;
+
+/// Half-open time interval [begin, end) in days.
+struct Interval {
+  Day begin = 0.0;
+  Day end = 0.0;
+
+  [[nodiscard]] double length() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return end <= begin; }
+  [[nodiscard]] bool contains(Day t) const { return t >= begin && t < end; }
+
+  /// True if the two intervals share any time span.
+  [[nodiscard]] bool overlaps(const Interval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+
+  /// The overlapping part of two intervals (empty if disjoint).
+  [[nodiscard]] Interval intersect(const Interval& other) const {
+    return Interval{std::max(begin, other.begin), std::min(end, other.end)};
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+    return os << '[' << iv.begin << ", " << iv.end << ')';
+  }
+};
+
+/// Splits [begin, end) into consecutive bins of `bin_days`; the last bin is
+/// truncated at `end`. Used for the monthly (30-day) MP windows.
+inline std::vector<Interval> make_bins(Day begin, Day end, double bin_days) {
+  RAB_EXPECTS(bin_days > 0.0);
+  RAB_EXPECTS(end >= begin);
+  std::vector<Interval> bins;
+  for (Day t = begin; t < end; t += bin_days) {
+    bins.push_back(Interval{t, std::min(t + bin_days, end)});
+  }
+  return bins;
+}
+
+}  // namespace rab

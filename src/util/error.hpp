@@ -1,0 +1,54 @@
+// Error handling primitives for the rab library.
+//
+// Library code throws exceptions derived from rab::Error for contract
+// violations and unrecoverable conditions (Core Guidelines I.10, E.2).
+// RAB_EXPECTS / RAB_ENSURES express pre/postconditions; they are always on
+// (the checks here are cheap relative to the statistical work they guard).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rab {
+
+/// Base class for all errors thrown by the rab library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates a stated precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when internal state violates an invariant (a library bug).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  throw LogicError(std::string(kind) + " failed: " + expr + " at " + file +
+                   ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace rab
+
+#define RAB_EXPECTS(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::rab::detail::contract_failure("precondition", #cond, __FILE__,   \
+                                      __LINE__);                         \
+  } while (false)
+
+#define RAB_ENSURES(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::rab::detail::contract_failure("postcondition", #cond, __FILE__,  \
+                                      __LINE__);                         \
+  } while (false)

@@ -1,0 +1,58 @@
+// Strongly typed identifiers for raters and products.
+//
+// Plain integers invite mixing a rater id with a product id at a call site
+// (Core Guidelines I.4: make interfaces precisely and strongly typed), so
+// each id is a distinct wrapper with value semantics, ordering, and hashing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace rab {
+
+namespace detail {
+
+/// CRTP-free tagged integer id. `Tag` makes distinct instantiations
+/// non-interconvertible.
+template <typename Tag>
+class TaggedId {
+ public:
+  using value_type = std::int64_t;
+
+  TaggedId() = default;
+  constexpr explicit TaggedId(value_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TaggedId id) {
+    return os << id.value_;
+  }
+
+ private:
+  value_type value_ = -1;
+};
+
+}  // namespace detail
+
+struct RaterTag {};
+struct ProductTag {};
+
+/// Identifies one rater (honest or dishonest) across the whole dataset.
+using RaterId = detail::TaggedId<RaterTag>;
+/// Identifies one product (object being rated).
+using ProductId = detail::TaggedId<ProductTag>;
+
+}  // namespace rab
+
+namespace std {
+template <typename Tag>
+struct hash<rab::detail::TaggedId<Tag>> {
+  size_t operator()(rab::detail::TaggedId<Tag> id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,350 @@
+// Tests for the three aggregation schemes (SA, BF, P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aggregation/bf_scheme.hpp"
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "rating/fair_generator.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::aggregation {
+namespace {
+
+rating::Dataset fair_data(std::uint64_t seed = 1, std::size_t products = 2,
+                          double days = 120.0) {
+  rating::FairDataConfig config;
+  config.product_count = products;
+  config.history_days = days;
+  config.seed = seed;
+  return rating::FairDataGenerator(config).generate();
+}
+
+/// Unfair ratings: `count` raters rate `product` with `value` over
+/// [begin, end), one rating each.
+std::vector<rating::Rating> attack_ratings(ProductId product, double value,
+                                           double begin, double end,
+                                           std::size_t count,
+                                           std::uint64_t seed = 9) {
+  Rng rng(seed);
+  std::vector<rating::Rating> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(begin, end);
+    r.value = value;
+    r.rater = RaterId(500'000 + static_cast<std::int64_t>(i));
+    r.product = product;
+    r.unfair = true;
+    out.push_back(r);
+  }
+  return out;
+}
+
+double max_bin_shift(const AggregateSeries& fair, const AggregateSeries& hit,
+                     ProductId product) {
+  const ProductSeries& a = fair.of(product);
+  const ProductSeries& b = hit.of(product);
+  EXPECT_EQ(a.size(), b.size());
+  double shift = 0.0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    if (a[i].used == 0 || b[i].used == 0) continue;
+    shift = std::max(shift, std::fabs(a[i].value - b[i].value));
+  }
+  return shift;
+}
+
+// ----------------------------------------------------------- SA scheme
+
+TEST(SaScheme, BinMeansMatchManualComputation) {
+  rating::Dataset data;
+  for (int i = 0; i < 4; ++i) {
+    rating::Rating r;
+    r.time = static_cast<double>(i) * 10.0;  // days 0,10,20,30
+    r.value = static_cast<double>(i + 1);    // 1,2,3,4
+    r.rater = RaterId(i);
+    r.product = ProductId(1);
+    data.add(r);
+  }
+  const AggregateSeries series = SaScheme().aggregate(data, 30.0);
+  const ProductSeries& points = series.of(ProductId(1));
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].value, 2.0);  // ratings 1,2,3
+  EXPECT_EQ(points[0].used, 3u);
+  EXPECT_DOUBLE_EQ(points[1].value, 4.0);  // rating 4
+}
+
+TEST(SaScheme, FollowsUnfairRatingsFully) {
+  const rating::Dataset fair = fair_data(2);
+  const auto attack =
+      attack_ratings(ProductId(1), 0.0, 40.0, 60.0, 50);
+  const rating::Dataset attacked = fair.with_added(attack);
+
+  const SaScheme scheme;
+  const double shift = max_bin_shift(scheme.aggregate(fair, 30.0),
+                                     scheme.aggregate(attacked, 30.0),
+                                     ProductId(1));
+  // ~50 zeros against ~90 fair ratings near mean 4: the bin mean must drop
+  // by more than 1 star.
+  EXPECT_GT(shift, 1.0);
+}
+
+TEST(SaScheme, UntouchedProductUnchanged) {
+  const rating::Dataset fair = fair_data(3);
+  const auto attack = attack_ratings(ProductId(1), 0.0, 40.0, 60.0, 50);
+  const rating::Dataset attacked = fair.with_added(attack);
+  const SaScheme scheme;
+  const double shift = max_bin_shift(scheme.aggregate(fair, 30.0),
+                                     scheme.aggregate(attacked, 30.0),
+                                     ProductId(2));
+  EXPECT_DOUBLE_EQ(shift, 0.0);
+}
+
+TEST(SaScheme, UnknownProductInSeriesThrows) {
+  const rating::Dataset fair = fair_data(4, 1);
+  const AggregateSeries series = SaScheme().aggregate(fair, 30.0);
+  EXPECT_THROW((void)series.of(ProductId(99)), InvalidArgument);
+}
+
+// ----------------------------------------------------------- BF scheme
+
+TEST(BfScheme, RejectsBadConfig) {
+  BfConfig config;
+  config.quantile = 0.0;
+  EXPECT_THROW(BfScheme{config}, Error);
+  config = BfConfig{};
+  config.max_rounds = 0;
+  EXPECT_THROW(BfScheme{config}, Error);
+}
+
+TEST(BfScheme, FiltersRepeatedExtremeRatings) {
+  // One rater spamming 0s against a consistent majority of 4s/5s gets
+  // caught once their own opinion distribution is sharp enough.
+  std::vector<rating::Rating> rs;
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    rating::Rating r;
+    r.time = static_cast<double>(i) / 10.0;
+    r.value = rng.bernoulli(0.5) ? 4.0 : 5.0;
+    r.rater = RaterId(i);
+    r.product = ProductId(1);
+    rs.push_back(r);
+  }
+  for (int i = 0; i < 6; ++i) {
+    rating::Rating r;
+    r.time = 3.0 + static_cast<double>(i) / 10.0;
+    r.value = 0.0;
+    r.rater = RaterId(1000);  // same rater repeating
+    r.product = ProductId(1);
+    rs.push_back(r);
+  }
+  const BfScheme scheme;
+  const std::vector<std::size_t> rejected = scheme.rejected_indices(rs);
+  // All six 0-star ratings rejected, none of the majority.
+  EXPECT_EQ(rejected.size(), 6u);
+  for (std::size_t idx : rejected) {
+    EXPECT_EQ(rs[idx].rater, RaterId(1000));
+  }
+}
+
+TEST(BfScheme, SingleOutlierCaughtByTenPercentRule) {
+  // One 0-star rating against a 4-star majority: under the operative 10%
+  // rule the majority score falls outside even a single rating's beta.
+  std::vector<rating::Rating> rs;
+  for (int i = 0; i < 30; ++i) {
+    rating::Rating r;
+    r.time = static_cast<double>(i);
+    r.value = 4.0;
+    r.rater = RaterId(i);
+    r.product = ProductId(1);
+    rs.push_back(r);
+  }
+  rating::Rating outlier;
+  outlier.time = 15.5;
+  outlier.value = 0.0;
+  outlier.rater = RaterId(999);
+  outlier.product = ProductId(1);
+  rs.push_back(outlier);
+  const auto rejected = BfScheme().rejected_indices(rs);
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rs[rejected[0]].rater, RaterId(999));
+}
+
+TEST(BfScheme, SingleOutlierSurvivesOnePercentRule) {
+  // Under the strict 1% rule a lone rating's beta is too broad to convict
+  // — the known weakness of majority-rule filtering.
+  std::vector<rating::Rating> rs;
+  for (int i = 0; i < 30; ++i) {
+    rating::Rating r;
+    r.time = static_cast<double>(i);
+    r.value = 4.0;
+    r.rater = RaterId(i);
+    r.product = ProductId(1);
+    rs.push_back(r);
+  }
+  rating::Rating outlier;
+  outlier.time = 15.5;
+  outlier.value = 0.0;
+  outlier.rater = RaterId(999);
+  outlier.product = ProductId(1);
+  rs.push_back(outlier);
+  BfConfig strict;
+  strict.quantile = 0.01;
+  EXPECT_TRUE(BfScheme(strict).rejected_indices(rs).empty());
+}
+
+TEST(BfScheme, ReducesExtremeAttackShift) {
+  const rating::Dataset fair = fair_data(6);
+  const auto attack = attack_ratings(ProductId(1), 0.0, 40.0, 60.0, 50);
+  const rating::Dataset attacked = fair.with_added(attack);
+
+  const SaScheme sa;
+  const BfScheme bf;
+  const double sa_shift = max_bin_shift(sa.aggregate(fair, 30.0),
+                                        sa.aggregate(attacked, 30.0),
+                                        ProductId(1));
+  const double bf_shift = max_bin_shift(bf.aggregate(fair, 30.0),
+                                        bf.aggregate(attacked, 30.0),
+                                        ProductId(1));
+  EXPECT_LT(bf_shift, sa_shift);
+}
+
+TEST(BfScheme, ModerateVarianceAttackSlipsThrough) {
+  // The paper's Figure 4 finding: BF only removes large-bias tiny-variance
+  // attacks. A moderate-bias attack passes the quantile test.
+  const rating::Dataset fair = fair_data(7);
+  Rng rng(31);
+  std::vector<rating::Rating> attack;
+  for (std::size_t i = 0; i < 50; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(40.0, 60.0);
+    r.value = std::round(std::clamp(rng.gaussian(2.5, 0.8), 0.0, 5.0));
+    r.rater = RaterId(500'000 + static_cast<std::int64_t>(i));
+    r.product = ProductId(1);
+    r.unfair = true;
+    attack.push_back(r);
+  }
+  const rating::Dataset attacked = fair.with_added(attack);
+  const BfScheme bf;
+  const double bf_shift = max_bin_shift(bf.aggregate(fair, 30.0),
+                                        bf.aggregate(attacked, 30.0),
+                                        ProductId(1));
+  EXPECT_GT(bf_shift, 0.3);  // attack substantially survives
+}
+
+// ----------------------------------------------------------- P scheme
+
+TEST(PScheme, RejectsBadConfig) {
+  PConfig config;
+  config.passes = 0;
+  EXPECT_THROW(PScheme{config}, Error);
+}
+
+TEST(PScheme, FairDataCloseToPlainAverage) {
+  const rating::Dataset fair = fair_data(8);
+  const AggregateSeries sa = SaScheme().aggregate(fair, 30.0);
+  const AggregateSeries p = PScheme().aggregate(fair, 30.0);
+  for (ProductId id : fair.product_ids()) {
+    const ProductSeries& a = sa.of(id);
+    const ProductSeries& b = p.of(id);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].used == 0 || b[i].used == 0) continue;
+      EXPECT_NEAR(a[i].value, b[i].value, 0.35)
+          << "product " << id << " bin " << i;
+    }
+  }
+}
+
+TEST(PScheme, SuppressesNaiveDowngradeAttack) {
+  const rating::Dataset fair = fair_data(9);
+  const auto attack = attack_ratings(ProductId(1), 0.0, 40.0, 55.0, 50);
+  const rating::Dataset attacked = fair.with_added(attack);
+
+  const SaScheme sa;
+  const PScheme p;
+  const double sa_shift = max_bin_shift(sa.aggregate(fair, 30.0),
+                                        sa.aggregate(attacked, 30.0),
+                                        ProductId(1));
+  const double p_shift = max_bin_shift(p.aggregate(fair, 30.0),
+                                       p.aggregate(attacked, 30.0),
+                                       ProductId(1));
+  EXPECT_LT(p_shift, 0.5 * sa_shift);
+}
+
+TEST(PScheme, RemovedCountReported) {
+  const rating::Dataset fair = fair_data(10);
+  const auto attack = attack_ratings(ProductId(1), 0.0, 40.0, 55.0, 50);
+  const rating::Dataset attacked = fair.with_added(attack);
+  const AggregateSeries series = PScheme().aggregate(attacked, 30.0);
+  std::size_t removed = 0;
+  for (const AggregatePoint& point : series.of(ProductId(1))) {
+    removed += point.removed;
+  }
+  EXPECT_GT(removed, 20u);
+}
+
+TEST(PScheme, DiagnosticsExposeTrustAndIntegration) {
+  const rating::Dataset fair = fair_data(11, 1);
+  const auto attack = attack_ratings(ProductId(1), 0.0, 40.0, 55.0, 40);
+  const rating::Dataset attacked = fair.with_added(attack);
+
+  PDiagnostics diagnostics;
+  const PScheme p;
+  (void)p.aggregate_detailed(attacked, 30.0, &diagnostics);
+  ASSERT_TRUE(diagnostics.integration.contains(ProductId(1)));
+
+  // Attackers' trust should end below honest raters' average trust.
+  double attacker_trust = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    attacker_trust += diagnostics.trust.trust(RaterId(500'000 + i));
+  }
+  attacker_trust /= 40.0;
+  EXPECT_LT(attacker_trust, 0.45);
+}
+
+TEST(PScheme, SinglePassStillWorks) {
+  PConfig config;
+  config.passes = 1;
+  const rating::Dataset fair = fair_data(12, 1);
+  const auto attack = attack_ratings(ProductId(1), 0.0, 40.0, 55.0, 50);
+  const rating::Dataset attacked = fair.with_added(attack);
+  const PScheme p(config);
+  const SaScheme sa;
+  const double p_shift = max_bin_shift(p.aggregate(fair, 30.0),
+                                       p.aggregate(attacked, 30.0),
+                                       ProductId(1));
+  const double sa_shift = max_bin_shift(sa.aggregate(fair, 30.0),
+                                        sa.aggregate(attacked, 30.0),
+                                        ProductId(1));
+  EXPECT_LT(p_shift, sa_shift);
+}
+
+TEST(PScheme, EmptyDatasetYieldsEmptySeries) {
+  rating::Dataset empty;
+  const AggregateSeries series = PScheme().aggregate(empty, 30.0);
+  EXPECT_TRUE(series.products.empty());
+}
+
+TEST(PScheme, FilterDisabledStillWeightsByTrust) {
+  PConfig config;
+  config.remove_suspicious = false;
+  const rating::Dataset fair = fair_data(13, 1);
+  const auto attack = attack_ratings(ProductId(1), 0.0, 40.0, 55.0, 50);
+  const rating::Dataset attacked = fair.with_added(attack);
+  const PScheme p(config);
+  const SaScheme sa;
+  const double p_shift = max_bin_shift(p.aggregate(fair, 30.0),
+                                       p.aggregate(attacked, 30.0),
+                                       ProductId(1));
+  const double sa_shift = max_bin_shift(sa.aggregate(fair, 30.0),
+                                        sa.aggregate(attacked, 30.0),
+                                        ProductId(1));
+  // Trust weighting alone (Eq. 7) already suppresses flagged attackers.
+  EXPECT_LT(p_shift, sa_shift);
+}
+
+}  // namespace
+}  // namespace rab::aggregation

@@ -1,0 +1,174 @@
+// Direct tests for the population analysis (AMP/LMP/UMP marking) and the
+// aggregate-series CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aggregation/sa_scheme.hpp"
+#include "aggregation/series_io.hpp"
+#include "challenge/analysis.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::challenge {
+namespace {
+
+Challenge tiny_challenge() {
+  rating::FairDataConfig config;
+  config.product_count = 3;
+  config.history_days = 120.0;
+  config.seed = 77;
+  ChallengeConfig rules;
+  rules.boost_targets = {ProductId(2)};
+  rules.downgrade_targets = {ProductId(1)};
+  return Challenge(rating::FairDataGenerator(config).generate(), rules);
+}
+
+/// Builds a submission with `count` ratings at `value` on product 1.
+Submission sub(const Challenge& c, double value, std::size_t count,
+               std::uint64_t seed) {
+  Rng rng(seed);
+  Submission s;
+  s.label = "sub-" + std::to_string(seed);
+  const Interval w = c.config().window;
+  for (std::size_t i = 0; i < count; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(w.begin, w.end - 0.01);
+    r.value = value;
+    r.rater = c.attacker(i);
+    r.product = ProductId(1);
+    r.unfair = true;
+    s.ratings.push_back(r);
+  }
+  return s;
+}
+
+TEST(Analysis, MarksScaleWithPopulationSize) {
+  const Challenge c = tiny_challenge();
+  std::vector<Submission> population;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    population.push_back(sub(c, static_cast<double>(i), 10 + 5 * i, i));
+  }
+  AnalysisOptions options;
+  options.top_k = 2;
+  const auto points = analyze_population(c, population,
+                                         aggregation::SaScheme{}, options);
+  ASSERT_EQ(points.size(), 4u);
+  int amp = 0;
+  for (const auto& p : points) amp += p.amp ? 1 : 0;
+  EXPECT_EQ(amp, 2);
+}
+
+TEST(Analysis, BiasSignSeparatesLmpAndUmp) {
+  const Challenge c = tiny_challenge();
+  const double mean = c.fair_mean(ProductId(1));
+  std::vector<Submission> population;
+  population.push_back(sub(c, 0.0, 30, 1));  // negative bias
+  population.push_back(sub(c, 5.0, 30, 2));  // positive bias (mean ~4)
+  const auto points =
+      analyze_population(c, population, aggregation::SaScheme{});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_LT(points[0].bias, 0.0);
+  EXPECT_GT(points[1].bias, 0.0);
+  EXPECT_TRUE(points[0].lmp);
+  EXPECT_FALSE(points[0].ump);
+  EXPECT_TRUE(points[1].ump);
+  EXPECT_FALSE(points[1].lmp);
+  EXPECT_GT(mean, 3.0);  // sanity on the fixture
+}
+
+TEST(Analysis, StrongerAttackRanksHigher) {
+  const Challenge c = tiny_challenge();
+  std::vector<Submission> population;
+  population.push_back(sub(c, 0.0, 50, 1));  // strong
+  population.push_back(sub(c, 3.0, 10, 2));  // weak
+  const auto points =
+      analyze_population(c, population, aggregation::SaScheme{});
+  EXPECT_GT(points[0].overall_mp, points[1].overall_mp);
+  const auto order = top_overall(points, 2);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(Analysis, UnknownProductThrows) {
+  const Challenge c = tiny_challenge();
+  AnalysisOptions options;
+  options.product = ProductId(99);
+  EXPECT_THROW(analyze_population(c, {}, aggregation::SaScheme{}, options),
+               Error);
+}
+
+TEST(Analysis, TopOverallTruncates) {
+  std::vector<VarianceBiasPoint> points(5);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].overall_mp = static_cast<double>(i);
+  }
+  const auto order = top_overall(points, 3);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 4u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+// ------------------------------------------------------- series io
+
+TEST(SeriesIo, WriteSeriesCsvShape) {
+  rating::FairDataConfig config;
+  config.product_count = 2;
+  config.history_days = 60.0;
+  const rating::Dataset data =
+      rating::FairDataGenerator(config).generate();
+  const auto series = aggregation::SaScheme().aggregate(data, 30.0);
+
+  std::ostringstream out;
+  aggregation::write_series_csv(out, series);
+  // Header + 2 products x 2 bins.
+  std::istringstream in(out.str());
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') ++rows;
+  }
+  EXPECT_EQ(rows, 4);
+}
+
+TEST(SeriesIo, DeltaCsvZeroWhenIdentical) {
+  rating::FairDataConfig config;
+  config.product_count = 1;
+  config.history_days = 60.0;
+  const rating::Dataset data =
+      rating::FairDataGenerator(config).generate();
+  const auto series = aggregation::SaScheme().aggregate(data, 30.0);
+
+  std::ostringstream out;
+  aggregation::write_delta_csv(out, series, series);
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto last_comma = line.rfind(',');
+    EXPECT_DOUBLE_EQ(std::stod(line.substr(last_comma + 1)), 0.0);
+  }
+}
+
+TEST(SeriesIo, DeltaCsvMismatchedBinsThrow) {
+  rating::FairDataConfig config;
+  config.product_count = 1;
+  config.history_days = 60.0;
+  const rating::Dataset data =
+      rating::FairDataGenerator(config).generate();
+  const auto a = aggregation::SaScheme().aggregate(data, 30.0);
+  const auto b = aggregation::SaScheme().aggregate(data, 20.0);
+  std::ostringstream out;
+  EXPECT_THROW(aggregation::write_delta_csv(out, a, b), Error);
+}
+
+TEST(SeriesIo, FileVariantRejectsBadPath) {
+  aggregation::AggregateSeries series;
+  EXPECT_THROW(
+      aggregation::write_series_csv_file("/nonexistent/dir/x.csv", series),
+      Error);
+}
+
+}  // namespace
+}  // namespace rab::challenge

@@ -1,0 +1,180 @@
+// Tests for AR modeling with the covariance method — the engine of the
+// model-error detector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "signal/ar.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::signal {
+namespace {
+
+std::vector<double> white_noise(Rng& rng, std::size_t n, double mean,
+                                double sigma) {
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.gaussian(mean, sigma));
+  return xs;
+}
+
+std::vector<double> sinusoid(std::size_t n, double period, double mean,
+                             double amplitude) {
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(mean + amplitude * std::sin(2.0 * std::numbers::pi *
+                                             static_cast<double>(i) / period));
+  }
+  return xs;
+}
+
+TEST(ArFit, RejectsZeroOrder) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_ar(xs, 0), Error);
+}
+
+TEST(ArFit, TooShortWindowReportsWhite) {
+  const std::vector<double> xs{1.0, 2.0};
+  const ArFit fit = fit_ar(xs, 4);
+  EXPECT_DOUBLE_EQ(fit.normalized_error, 1.0);
+}
+
+TEST(ArFit, FlatSignalReportsWhite) {
+  const std::vector<double> xs(50, 4.0);
+  const ArFit fit = fit_ar(xs, 4);
+  EXPECT_DOUBLE_EQ(fit.normalized_error, 1.0);
+  EXPECT_NEAR(fit.signal_power, 0.0, 1e-12);
+}
+
+TEST(ArFit, WhiteNoiseHasHighError) {
+  Rng rng(1);
+  const auto xs = white_noise(rng, 60, 4.0, 0.8);
+  const double err = ar_model_error(xs, 4);
+  EXPECT_GT(err, 0.6);  // AR can't explain white noise
+}
+
+TEST(ArFit, SinusoidHasLowError) {
+  const auto xs = sinusoid(60, 12.0, 4.0, 1.0);
+  const double err = ar_model_error(xs, 4);
+  EXPECT_LT(err, 0.05);  // pure tone is perfectly AR-predictable
+}
+
+TEST(ArFit, Ar1ProcessRecovered) {
+  // x(n) = 0.8 x(n-1) + e(n): the fit should find a_1 near -0.8 (in the
+  // convention x(n) = -sum a_k x(n-k) + e) and explain most of the power.
+  Rng rng(2);
+  std::vector<double> xs{0.0};
+  for (std::size_t i = 1; i < 400; ++i) {
+    xs.push_back(0.8 * xs.back() + rng.gaussian(0.0, 0.3));
+  }
+  const ArFit fit = fit_ar(xs, 1);
+  EXPECT_NEAR(fit.coefficients[0], -0.8, 0.08);
+  // Residual power should be near the innovation variance 0.09, well below
+  // the process variance 0.09 / (1 - 0.64) = 0.25.
+  EXPECT_LT(fit.normalized_error, 0.55);
+  EXPECT_GT(fit.normalized_error, 0.2);
+}
+
+TEST(ArFit, StructuredAttackLowersError) {
+  // Mixture scenario the ME detector sees: honest noise plus a coordinated
+  // block of identical low ratings — error drops vs pure noise.
+  Rng rng(3);
+  auto honest = white_noise(rng, 40, 4.0, 0.7);
+  std::vector<double> attacked = honest;
+  for (std::size_t i = 0; i < 20; ++i) attacked.push_back(1.0);
+
+  const double honest_err = ar_model_error(honest, 4);
+  const double attacked_err = ar_model_error(attacked, 4);
+  EXPECT_LT(attacked_err, honest_err);
+}
+
+TEST(ArFit, ErrorIsScaleInvariant) {
+  Rng rng(4);
+  const auto xs = white_noise(rng, 80, 0.0, 1.0);
+  std::vector<double> scaled;
+  for (double x : xs) scaled.push_back(3.0 * x + 10.0);
+  EXPECT_NEAR(ar_model_error(xs, 3), ar_model_error(scaled, 3), 1e-9);
+}
+
+TEST(ArFit, ErrorWithinUnitInterval) {
+  Rng rng(5);
+  for (int t = 0; t < 30; ++t) {
+    const auto xs = white_noise(rng, 30 + t, 4.0, rng.uniform(0.1, 2.0));
+    const double err = ar_model_error(xs, 4);
+    EXPECT_GE(err, 0.0);
+    EXPECT_LE(err, 1.0);
+  }
+}
+
+TEST(ArFit, CoefficientCountMatchesOrder) {
+  Rng rng(6);
+  const auto xs = white_noise(rng, 50, 4.0, 0.5);
+  for (std::size_t order : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(fit_ar(xs, order).coefficients.size(), order);
+  }
+}
+
+TEST(ArFit, HigherOrderNeverWorseOnDeterministicSignal) {
+  const auto xs = sinusoid(80, 16.0, 4.0, 1.0);
+  const double err2 = ar_model_error(xs, 2);
+  const double err6 = ar_model_error(xs, 6);
+  EXPECT_LE(err6, err2 + 1e-9);
+}
+
+
+TEST(ArOrderSelection, RejectsZeroMaxOrder) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW(select_ar_order(xs, 0), Error);
+}
+
+TEST(ArOrderSelection, ShortWindowFallsBackToOne) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_EQ(select_ar_order(xs, 6), 1u);
+}
+
+TEST(ArOrderSelection, WhiteNoisePrefersLowOrder) {
+  Rng rng(31);
+  const auto xs = white_noise(rng, 200, 4.0, 0.8);
+  EXPECT_LE(select_ar_order(xs, 8), 2u);
+}
+
+TEST(ArOrderSelection, Ar2ProcessPicksAtLeastTwo) {
+  // x(n) = 1.2 x(n-1) - 0.5 x(n-2) + e(n): needs two lags to whiten.
+  Rng rng(32);
+  std::vector<double> xs{0.0, 0.0};
+  for (int i = 2; i < 600; ++i) {
+    xs.push_back(1.2 * xs[xs.size() - 1] - 0.5 * xs[xs.size() - 2] +
+                 rng.gaussian(0.0, 0.3));
+  }
+  const std::size_t order = select_ar_order(xs, 8);
+  EXPECT_GE(order, 2u);
+  EXPECT_LE(order, 4u);
+}
+
+TEST(ArOrderSelection, SelectedOrderWithinBound) {
+  Rng rng(33);
+  const auto xs = white_noise(rng, 60, 4.0, 1.0);
+  for (std::size_t max_order : {1u, 3u, 6u}) {
+    EXPECT_LE(select_ar_order(xs, max_order), max_order);
+    EXPECT_GE(select_ar_order(xs, max_order), 1u);
+  }
+}
+
+/// Sweep: the error separates noise from tone across window sizes.
+class ArWindowSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArWindowSweep, SeparatesToneFromNoise) {
+  const std::size_t n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  const auto noise = white_noise(rng, n, 4.0, 0.8);
+  const auto tone = sinusoid(n, 10.0, 4.0, 1.0);
+  EXPECT_GT(ar_model_error(noise, 4), ar_model_error(tone, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, ArWindowSweep,
+                         ::testing::Values(20u, 30u, 40u, 60u, 100u));
+
+}  // namespace
+}  // namespace rab::signal

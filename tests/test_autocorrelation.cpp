@@ -1,0 +1,93 @@
+// Tests for autocorrelation / correlation utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "signal/autocorrelation.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::signal {
+namespace {
+
+TEST(Autocorrelation, ShortOrFlatIsZero) {
+  EXPECT_DOUBLE_EQ(autocorrelation(std::vector<double>{1.0, 2.0}, 1), 0.0);
+  const std::vector<double> flat(20, 4.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(flat, 1), 0.0);
+}
+
+TEST(Autocorrelation, AlternatingSequenceNegativeLagOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(xs, 1), -0.9);
+  EXPECT_GT(autocorrelation(xs, 2), 0.9);
+}
+
+TEST(Autocorrelation, WhiteNoiseNearZero) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.gaussian(0.0, 1.0));
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.06);
+  EXPECT_NEAR(autocorrelation(xs, 5), 0.0, 0.06);
+}
+
+TEST(Autocorrelation, Ar1ProcessMatchesPhi) {
+  Rng rng(7);
+  std::vector<double> xs{0.0};
+  const double phi = 0.7;
+  for (int i = 1; i < 5000; ++i) {
+    xs.push_back(phi * xs.back() + rng.gaussian(0.0, 1.0));
+  }
+  EXPECT_NEAR(autocorrelation(xs, 1), phi, 0.05);
+  EXPECT_NEAR(autocorrelation(xs, 2), phi * phi, 0.06);
+}
+
+TEST(Autocorrelation, VectorVariant) {
+  std::vector<double> xs;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(std::sin(2.0 * std::numbers::pi * i / 8.0));
+  }
+  const std::vector<double> acf = autocorrelations(xs, 4);
+  ASSERT_EQ(acf.size(), 4u);
+  EXPECT_DOUBLE_EQ(acf[0], autocorrelation(xs, 1));
+  EXPECT_DOUBLE_EQ(acf[3], autocorrelation(xs, 4));
+}
+
+TEST(Correlation, PerfectPositiveAndNegative) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateIsZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> flat{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(correlation(xs, flat), 0.0);
+  EXPECT_DOUBLE_EQ(correlation(std::vector<double>{1.0},
+                               std::vector<double>{2.0}),
+                   0.0);
+}
+
+TEST(Correlation, SizeMismatchThrows) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_THROW(correlation(a, b), Error);
+}
+
+TEST(Correlation, IndependentNoiseNearZero) {
+  Rng rng(11);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 3000; ++i) {
+    xs.push_back(rng.gaussian(0.0, 1.0));
+    ys.push_back(rng.gaussian(0.0, 1.0));
+  }
+  EXPECT_NEAR(correlation(xs, ys), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace rab::signal

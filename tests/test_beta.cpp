@@ -1,0 +1,160 @@
+// Tests for the beta distribution machinery and the beta trust model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/beta.hpp"
+#include "util/error.hpp"
+
+namespace rab::stats {
+namespace {
+
+TEST(IncompleteBeta, Endpoints) {
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformCase) {
+  // Beta(1,1) is uniform: I_x = x.
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, KnownClosedForm) {
+  // I_x(2,1) = x^2;  I_x(1,2) = 1-(1-x)^2 = 2x - x^2.
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(regularized_incomplete_beta(2.0, 1.0, x), x * x, 1e-12);
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 2.0, x), 2 * x - x * x,
+                1e-12);
+  }
+}
+
+TEST(IncompleteBeta, SymmetryRelation) {
+  for (double x : {0.1, 0.3, 0.6, 0.9}) {
+    const double lhs = regularized_incomplete_beta(3.5, 2.25, x);
+    const double rhs =
+        1.0 - regularized_incomplete_beta(2.25, 3.5, 1.0 - x);
+    EXPECT_NEAR(lhs, rhs, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, RejectsBadArguments) {
+  EXPECT_THROW(regularized_incomplete_beta(0.0, 1.0, 0.5), Error);
+  EXPECT_THROW(regularized_incomplete_beta(1.0, -1.0, 0.5), Error);
+  EXPECT_THROW(regularized_incomplete_beta(1.0, 1.0, 1.5), Error);
+}
+
+TEST(BetaDist, RejectsNonPositiveParams) {
+  EXPECT_THROW(Beta(0.0, 1.0), Error);
+  EXPECT_THROW(Beta(1.0, 0.0), Error);
+}
+
+TEST(BetaDist, Mean) {
+  EXPECT_DOUBLE_EQ(Beta(2.0, 2.0).mean(), 0.5);
+  EXPECT_DOUBLE_EQ(Beta(8.0, 2.0).mean(), 0.8);
+}
+
+TEST(BetaDist, PdfIntegratesToCdf) {
+  // Trapezoid integration of the pdf should reproduce the cdf.
+  const Beta b(3.0, 5.0);
+  const int steps = 2000;
+  double integral = 0.0;
+  double prev = b.pdf(0.0);
+  for (int i = 1; i <= steps; ++i) {
+    const double x = static_cast<double>(i) / steps;
+    const double cur = b.pdf(x);
+    integral += 0.5 * (prev + cur) / steps;
+    prev = cur;
+    if (i % 500 == 0) {
+      EXPECT_NEAR(integral, b.cdf(x), 1e-3);
+    }
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(BetaDist, PdfEdgeCases) {
+  EXPECT_DOUBLE_EQ(Beta(2.0, 2.0).pdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Beta(2.0, 2.0).pdf(1.0), 0.0);
+  EXPECT_TRUE(std::isinf(Beta(0.5, 1.0).pdf(0.0)));
+  EXPECT_DOUBLE_EQ(Beta(1.0, 3.0).pdf(0.0), 3.0);
+}
+
+TEST(BetaDist, CdfMonotone) {
+  const Beta b(2.5, 4.0);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double c = b.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(BetaDist, QuantileEndpoints) {
+  const Beta b(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(b.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.quantile(1.0), 1.0);
+}
+
+TEST(BetaDist, QuantileInvertsUniform) {
+  const Beta b(1.0, 1.0);
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(b.quantile(p), p, 1e-9);
+  }
+}
+
+/// Round-trip property across a parameter grid.
+class BetaRoundTrip
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(BetaRoundTrip, CdfQuantileRoundTrip) {
+  const auto [alpha, beta] = GetParam();
+  const Beta b(alpha, beta);
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = b.quantile(p);
+    EXPECT_NEAR(b.cdf(x), p, 1e-8)
+        << "alpha=" << alpha << " beta=" << beta << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, BetaRoundTrip,
+    ::testing::Values(std::pair{1.0, 1.0}, std::pair{2.0, 1.0},
+                      std::pair{1.0, 2.0}, std::pair{0.5, 0.5},
+                      std::pair{5.0, 2.0}, std::pair{2.0, 8.0},
+                      std::pair{30.0, 10.0}, std::pair{80.0, 20.0}));
+
+TEST(BetaTrust, NoEvidenceIsHalf) {
+  EXPECT_DOUBLE_EQ(beta_trust(0.0, 0.0), 0.5);
+}
+
+TEST(BetaTrust, SuccessesRaiseTrust) {
+  EXPECT_DOUBLE_EQ(beta_trust(8.0, 0.0), 0.9);
+  EXPECT_GT(beta_trust(100.0, 0.0), 0.98);
+}
+
+TEST(BetaTrust, FailuresLowerTrust) {
+  EXPECT_DOUBLE_EQ(beta_trust(0.0, 8.0), 0.1);
+  EXPECT_LT(beta_trust(0.0, 100.0), 0.02);
+}
+
+TEST(BetaTrust, BalancedEvidenceStaysHalf) {
+  EXPECT_DOUBLE_EQ(beta_trust(5.0, 5.0), 0.5);
+}
+
+TEST(BetaTrust, RejectsNegativeCounts) {
+  EXPECT_THROW(beta_trust(-1.0, 0.0), Error);
+  EXPECT_THROW(beta_trust(0.0, -1.0), Error);
+}
+
+TEST(BetaTrust, MatchesBetaMean) {
+  // (S+1)/(S+F+2) is the mean of Beta(S+1, F+1).
+  for (double s : {0.0, 3.0, 10.0}) {
+    for (double f : {0.0, 2.0, 7.0}) {
+      EXPECT_NEAR(beta_trust(s, f), Beta(s + 1.0, f + 1.0).mean(), 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rab::stats

@@ -1,0 +1,87 @@
+// Tests for percentile-bootstrap confidence intervals.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::stats {
+namespace {
+
+TEST(Bootstrap, RejectsBadArguments) {
+  Rng rng(1);
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(bootstrap_mean_ci({}, rng), Error);
+  EXPECT_THROW(bootstrap_mean_ci(xs, rng, 5), Error);
+  EXPECT_THROW(bootstrap_mean_ci(xs, rng, 100, 0.0), Error);
+  EXPECT_THROW(bootstrap_ci(xs, nullptr, rng), Error);
+}
+
+TEST(Bootstrap, DegenerateSampleCollapses) {
+  Rng rng(2);
+  const std::vector<double> xs(20, 3.0);
+  const BootstrapCi ci = bootstrap_mean_ci(xs, rng);
+  EXPECT_DOUBLE_EQ(ci.estimate, 3.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+TEST(Bootstrap, IntervalBracketsEstimate) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.gaussian(5.0, 2.0));
+  Rng boot(4);
+  const BootstrapCi ci = bootstrap_mean_ci(xs, boot);
+  EXPECT_LE(ci.lo, ci.estimate);
+  EXPECT_GE(ci.hi, ci.estimate);
+  EXPECT_NEAR(ci.estimate, mean(xs), 1e-12);
+}
+
+TEST(Bootstrap, WidthShrinksWithSampleSize) {
+  Rng data_rng(5);
+  auto width_for = [&](int n) {
+    std::vector<double> xs;
+    for (int i = 0; i < n; ++i) xs.push_back(data_rng.gaussian(0.0, 1.0));
+    Rng boot(6);
+    const BootstrapCi ci = bootstrap_mean_ci(xs, boot, 500);
+    return ci.hi - ci.lo;
+  };
+  EXPECT_GT(width_for(25), width_for(400));
+}
+
+TEST(Bootstrap, CoversTrueMeanUsually) {
+  // 95% CI should cover the true mean in the vast majority of trials.
+  Rng rng(7);
+  int covered = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs;
+    for (int i = 0; i < 60; ++i) xs.push_back(rng.gaussian(2.0, 1.0));
+    Rng boot(100 + static_cast<std::uint64_t>(t));
+    const BootstrapCi ci = bootstrap_mean_ci(xs, boot, 400);
+    if (ci.lo <= 2.0 && 2.0 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, trials - 6);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.uniform(0.0, 10.0));
+  Rng boot(9);
+  const BootstrapCi ci = bootstrap_ci(
+      xs,
+      [](std::span<const double> sample) {
+        std::vector<double> copy(sample.begin(), sample.end());
+        return quantile(std::move(copy), 0.5);
+      },
+      boot, 400);
+  EXPECT_NEAR(ci.estimate, 5.0, 1.0);
+  EXPECT_LT(ci.lo, ci.estimate + 1e-12);
+  EXPECT_GT(ci.hi, ci.estimate - 1e-12);
+}
+
+}  // namespace
+}  // namespace rab::stats

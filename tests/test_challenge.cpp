@@ -1,0 +1,287 @@
+// Tests for the challenge harness: MP metric, rules, validation.
+#include <gtest/gtest.h>
+
+#include "aggregation/sa_scheme.hpp"
+#include "challenge/challenge.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::challenge {
+namespace {
+
+Challenge small_challenge(std::uint64_t seed = 3) {
+  rating::FairDataConfig config;
+  config.product_count = 4;
+  config.history_days = 120.0;
+  config.seed = seed;
+  ChallengeConfig rules;
+  rules.boost_targets = {ProductId(2)};
+  rules.downgrade_targets = {ProductId(1)};
+  return Challenge(rating::FairDataGenerator(config).generate(), rules);
+}
+
+Submission valid_submission(const Challenge& challenge,
+                            double value = 0.0, std::size_t count = 20) {
+  Submission s;
+  s.label = "test";
+  Rng rng(7);
+  const Interval window = challenge.config().window;
+  for (std::size_t i = 0; i < count; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(window.begin, window.end - 0.01);
+    r.value = value;
+    r.rater = challenge.attacker(i);
+    r.product = ProductId(1);
+    r.unfair = true;
+    s.ratings.push_back(r);
+  }
+  return s;
+}
+
+// ------------------------------------------------------------ top_two_sum
+
+TEST(TopTwoSum, Empty) { EXPECT_DOUBLE_EQ(top_two_sum({}), 0.0); }
+
+TEST(TopTwoSum, Single) { EXPECT_DOUBLE_EQ(top_two_sum({1.5}), 1.5); }
+
+TEST(TopTwoSum, PicksTwoLargest) {
+  EXPECT_DOUBLE_EQ(top_two_sum({0.5, 3.0, 1.0, 2.0}), 5.0);
+}
+
+TEST(TopTwoSum, HandlesDuplicates) {
+  EXPECT_DOUBLE_EQ(top_two_sum({2.0, 2.0, 2.0}), 4.0);
+}
+
+// ------------------------------------------------------------ Submission
+
+TEST(Submission, ForProductFiltersAndSorts) {
+  Submission s;
+  rating::Rating a;
+  a.time = 5.0;
+  a.product = ProductId(1);
+  rating::Rating b;
+  b.time = 1.0;
+  b.product = ProductId(1);
+  rating::Rating c;
+  c.time = 3.0;
+  c.product = ProductId(2);
+  s.ratings = {a, b, c};
+  const auto rs = s.for_product(ProductId(1));
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_DOUBLE_EQ(rs[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(rs[1].time, 5.0);
+}
+
+TEST(Submission, AverageInterval) {
+  Submission s;
+  for (double t : {0.0, 10.0, 20.0, 30.0}) {
+    rating::Rating r;
+    r.time = t;
+    r.product = ProductId(1);
+    s.ratings.push_back(r);
+  }
+  // span 30 days / 4 ratings
+  EXPECT_DOUBLE_EQ(s.average_interval(ProductId(1)), 7.5);
+  EXPECT_DOUBLE_EQ(s.average_interval(ProductId(9)), 0.0);
+}
+
+TEST(Submission, ValueStatsBiasAndSpread) {
+  Submission s;
+  for (double v : {1.0, 2.0, 3.0}) {
+    rating::Rating r;
+    r.value = v;
+    r.product = ProductId(1);
+    s.ratings.push_back(r);
+  }
+  const ValueStats stats = value_stats(s, ProductId(1), 4.0);
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.bias, -2.0);
+  EXPECT_NEAR(stats.stddev, std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(Submission, ValueStatsEmptyProduct) {
+  Submission s;
+  const ValueStats stats = value_stats(s, ProductId(1), 4.0);
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.bias, 0.0);
+}
+
+// ------------------------------------------------------------ Challenge
+
+TEST(ChallengeRules, DefaultWindowTrailing) {
+  const Challenge c = small_challenge();
+  const Interval window = c.config().window;
+  const Interval span = c.fair().span();
+  EXPECT_NEAR(window.end, span.end, 1e-9);
+  EXPECT_NEAR(window.length(), 82.0, 1.0);
+}
+
+TEST(ChallengeRules, TargetsCombineBoostAndDowngrade) {
+  const Challenge c = small_challenge();
+  const auto targets = c.targets();
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0], ProductId(2));
+  EXPECT_EQ(targets[1], ProductId(1));
+}
+
+TEST(ChallengeRules, UnknownTargetRejectedAtConstruction) {
+  rating::FairDataConfig config;
+  config.product_count = 2;
+  ChallengeConfig rules;
+  rules.boost_targets = {ProductId(99)};
+  EXPECT_THROW(
+      Challenge(rating::FairDataGenerator(config).generate(), rules), Error);
+}
+
+TEST(ChallengeRules, ValidSubmissionPasses) {
+  const Challenge c = small_challenge();
+  EXPECT_EQ(c.validate(valid_submission(c)), Violation::kNone);
+}
+
+TEST(ChallengeRules, EmptySubmissionRejected) {
+  const Challenge c = small_challenge();
+  EXPECT_EQ(c.validate(Submission{}), Violation::kEmptySubmission);
+}
+
+TEST(ChallengeRules, ValueOutOfRangeRejected) {
+  const Challenge c = small_challenge();
+  Submission s = valid_submission(c);
+  s.ratings.front().value = 5.5;
+  EXPECT_EQ(c.validate(s), Violation::kValueOutOfRange);
+}
+
+TEST(ChallengeRules, TimeOutsideWindowRejected) {
+  const Challenge c = small_challenge();
+  Submission s = valid_submission(c);
+  s.ratings.front().time = c.config().window.begin - 1.0;
+  EXPECT_EQ(c.validate(s), Violation::kTimeOutsideWindow);
+}
+
+TEST(ChallengeRules, UntargetedProductRejected) {
+  const Challenge c = small_challenge();
+  Submission s = valid_submission(c);
+  s.ratings.front().product = ProductId(3);  // exists but not a target
+  EXPECT_EQ(c.validate(s), Violation::kUntargetedProduct);
+}
+
+TEST(ChallengeRules, TooManyRatersRejected) {
+  const Challenge c = small_challenge();
+  Submission s;
+  Rng rng(9);
+  const Interval window = c.config().window;
+  for (std::size_t i = 0; i < c.config().attack_raters + 1; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(window.begin, window.end - 0.01);
+    r.value = 0.0;
+    r.rater = RaterId(c.config().attacker_id_base +
+                      static_cast<std::int64_t>(i));
+    r.product = ProductId(1);
+    s.ratings.push_back(r);
+  }
+  EXPECT_EQ(c.validate(s), Violation::kTooManyRaters);
+}
+
+TEST(ChallengeRules, DuplicateProductRatingRejected) {
+  const Challenge c = small_challenge();
+  Submission s = valid_submission(c);
+  s.ratings.push_back(s.ratings.front());
+  EXPECT_EQ(c.validate(s), Violation::kDuplicateProductRating);
+}
+
+TEST(ChallengeRules, EvaluateThrowsOnInvalid) {
+  const Challenge c = small_challenge();
+  Submission s = valid_submission(c);
+  s.ratings.front().value = -1.0;
+  const aggregation::SaScheme scheme;
+  EXPECT_THROW((void)c.evaluate(s, scheme), InvalidArgument);
+}
+
+TEST(ChallengeRules, AttackerIdsWithinSquad) {
+  const Challenge c = small_challenge();
+  EXPECT_EQ(c.attacker(0).value(), c.config().attacker_id_base);
+  EXPECT_THROW((void)c.attacker(c.config().attack_raters), Error);
+}
+
+TEST(ChallengeRules, ViolationNames) {
+  EXPECT_STREQ(to_string(Violation::kNone), "none");
+  EXPECT_NE(std::string(to_string(Violation::kTooManyRaters)).find("raters"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------ MP metric
+
+TEST(MpMetric, NoAttackZeroMp) {
+  const Challenge c = small_challenge();
+  const aggregation::SaScheme scheme;
+  const MpResult mp = c.metric().evaluate_dataset(c.fair(), scheme);
+  EXPECT_DOUBLE_EQ(mp.overall, 0.0);
+}
+
+TEST(MpMetric, DowngradeAttackPositiveMp) {
+  const Challenge c = small_challenge();
+  const aggregation::SaScheme scheme;
+  const MpResult mp = c.evaluate(valid_submission(c, 0.0, 20), scheme);
+  EXPECT_GT(mp.overall, 0.2);
+  EXPECT_GT(mp.per_product.at(ProductId(1)), 0.2);
+  EXPECT_DOUBLE_EQ(mp.per_product.at(ProductId(2)), 0.0);
+}
+
+TEST(MpMetric, OverallSumsPerProduct) {
+  const Challenge c = small_challenge();
+  const aggregation::SaScheme scheme;
+  const MpResult mp = c.evaluate(valid_submission(c, 0.0, 20), scheme);
+  double sum = 0.0;
+  for (const auto& [id, value] : mp.per_product) sum += value;
+  EXPECT_NEAR(mp.overall, sum, 1e-12);
+}
+
+TEST(MpMetric, PerProductIsTopTwoDeltaSum) {
+  const Challenge c = small_challenge();
+  const aggregation::SaScheme scheme;
+  const MpResult mp = c.evaluate(valid_submission(c, 0.0, 20), scheme);
+  for (const auto& [id, value] : mp.per_product) {
+    EXPECT_NEAR(value, top_two_sum(mp.deltas.at(id)), 1e-12);
+  }
+}
+
+TEST(MpMetric, MoreRatersMoreMp) {
+  const Challenge c = small_challenge();
+  const aggregation::SaScheme scheme;
+  const MpResult small = c.evaluate(valid_submission(c, 0.0, 5), scheme);
+  const MpResult large = c.evaluate(valid_submission(c, 0.0, 50), scheme);
+  EXPECT_GT(large.overall, small.overall);
+}
+
+TEST(MpMetric, CachesFairBaselinePerScheme) {
+  const Challenge c = small_challenge();
+  const aggregation::SaScheme scheme;
+  // Two evaluations must agree exactly (baseline cached, deterministic).
+  const Submission s = valid_submission(c, 0.0, 20);
+  const MpResult a = c.evaluate(s, scheme);
+  const MpResult b = c.evaluate(s, scheme);
+  EXPECT_DOUBLE_EQ(a.overall, b.overall);
+}
+
+TEST(MpMetric, RejectsSpanExtendingDataset) {
+  const Challenge c = small_challenge();
+  rating::Rating outside;
+  outside.time = c.fair().span().end + 10.0;
+  outside.value = 0.0;
+  outside.rater = RaterId(1);
+  outside.product = ProductId(1);
+  const rating::Dataset extended =
+      c.fair().with_added(std::vector<rating::Rating>{outside});
+  const aggregation::SaScheme scheme;
+  EXPECT_THROW((void)c.metric().evaluate_dataset(extended, scheme), Error);
+}
+
+TEST(MpMetric, RejectsBadBinDays) {
+  rating::FairDataConfig config;
+  config.product_count = 1;
+  EXPECT_THROW(
+      MpMetric(rating::FairDataGenerator(config).generate(), 0.0), Error);
+}
+
+}  // namespace
+}  // namespace rab::challenge

@@ -1,0 +1,155 @@
+// Tests for single-linkage clustering.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/single_linkage.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::cluster {
+namespace {
+
+TEST(SingleLinkage1d, KEqualsOneIsOneCluster) {
+  const std::vector<double> xs{1.0, 5.0, 9.0};
+  const Clustering c = single_linkage_1d(xs, 1);
+  EXPECT_EQ(c.cluster_count, 1u);
+  for (std::size_t label : c.labels) EXPECT_EQ(label, 0u);
+}
+
+TEST(SingleLinkage1d, TwoObviousClusters) {
+  const std::vector<double> xs{1.0, 1.1, 0.9, 5.0, 5.1};
+  const Clustering c = single_linkage_1d(xs, 2);
+  EXPECT_EQ(c.cluster_count, 2u);
+  EXPECT_EQ(c.labels[0], c.labels[1]);
+  EXPECT_EQ(c.labels[0], c.labels[2]);
+  EXPECT_EQ(c.labels[3], c.labels[4]);
+  EXPECT_NE(c.labels[0], c.labels[3]);
+}
+
+TEST(SingleLinkage1d, KEqualsNSingletons) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  const Clustering c = single_linkage_1d(xs, 3);
+  EXPECT_EQ(c.cluster_count, 3u);
+  EXPECT_NE(c.labels[0], c.labels[1]);
+  EXPECT_NE(c.labels[1], c.labels[2]);
+}
+
+TEST(SingleLinkage1d, UnsortedInputHandled) {
+  const std::vector<double> xs{5.0, 1.0, 5.2, 0.9};
+  const Clustering c = single_linkage_1d(xs, 2);
+  EXPECT_EQ(c.labels[0], c.labels[2]);
+  EXPECT_EQ(c.labels[1], c.labels[3]);
+  EXPECT_NE(c.labels[0], c.labels[1]);
+}
+
+TEST(SingleLinkage1d, RejectsBadK) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(single_linkage_1d(xs, 0), Error);
+  EXPECT_THROW(single_linkage_1d(xs, 3), Error);
+}
+
+TEST(SingleLinkage1d, SizesSumToN) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 40; ++i) xs.push_back(rng.uniform(0.0, 5.0));
+  for (std::size_t k : {1u, 2u, 3u, 5u}) {
+    const Clustering c = single_linkage_1d(xs, k);
+    EXPECT_EQ(c.cluster_count, k);
+    std::size_t total = 0;
+    for (std::size_t s : c.sizes()) total += s;
+    EXPECT_EQ(total, xs.size());
+  }
+}
+
+TEST(SingleLinkageGeneric, MatchesOneDSpecialization) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 25; ++i) xs.push_back(rng.uniform(0.0, 10.0));
+  const std::size_t n = xs.size();
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dist[i * n + j] = std::abs(xs[i] - xs[j]);
+    }
+  }
+  for (std::size_t k : {2u, 3u}) {
+    const Clustering a = single_linkage_1d(xs, k);
+    const Clustering b = single_linkage(dist, n, k);
+    ASSERT_EQ(a.cluster_count, b.cluster_count);
+    // Same partition up to label renaming: co-membership must agree.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        EXPECT_EQ(a.labels[i] == a.labels[j], b.labels[i] == b.labels[j])
+            << "k=" << k << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(SingleLinkageGeneric, RejectsBadInputs) {
+  const std::vector<double> dist{0.0, 1.0, 1.0, 0.0};
+  EXPECT_THROW(single_linkage(dist, 3, 2), Error);   // size mismatch
+  EXPECT_THROW(single_linkage(dist, 2, 3), Error);   // k > n
+}
+
+TEST(SingleLinkageGeneric, ChainingBehaviour) {
+  // Single linkage chains: points 0-1-2 at distance 1 chain together even
+  // though 0 and 2 are 2 apart; point 3 at distance 10 stays alone.
+  const std::vector<double> xs{0.0, 1.0, 2.0, 12.0};
+  const Clustering c = single_linkage_1d(xs, 2);
+  EXPECT_EQ(c.labels[0], c.labels[1]);
+  EXPECT_EQ(c.labels[1], c.labels[2]);
+  EXPECT_NE(c.labels[0], c.labels[3]);
+}
+
+TEST(TwoClusterSizes, BalancedSplit) {
+  const std::vector<double> xs{1.0, 1.1, 1.2, 4.0, 4.1, 4.2};
+  const auto [small, large] = two_cluster_sizes(xs);
+  EXPECT_EQ(small, 3u);
+  EXPECT_EQ(large, 3u);
+}
+
+TEST(TwoClusterSizes, UnbalancedSplit) {
+  const std::vector<double> xs{4.0, 4.1, 4.2, 3.9, 4.05, 0.5};
+  const auto [small, large] = two_cluster_sizes(xs);
+  EXPECT_EQ(small, 1u);
+  EXPECT_EQ(large, 5u);
+}
+
+TEST(TwoClusterSizes, RequiresTwoPoints) {
+  EXPECT_THROW(two_cluster_sizes(std::vector<double>{1.0}), Error);
+}
+
+TEST(TwoClusterSplit, GapAndCounts) {
+  const std::vector<double> xs{1.0, 2.0, 5.0, 6.0};
+  const Split1d split = two_cluster_split(xs);
+  EXPECT_EQ(split.left_count, 2u);
+  EXPECT_EQ(split.right_count, 2u);
+  EXPECT_DOUBLE_EQ(split.gap, 3.0);
+}
+
+TEST(TwoClusterSplit, IdenticalValuesZeroGap) {
+  const std::vector<double> xs{4.0, 4.0, 4.0};
+  const Split1d split = two_cluster_split(xs);
+  EXPECT_DOUBLE_EQ(split.gap, 0.0);
+  EXPECT_EQ(split.left_count + split.right_count, 3u);
+}
+
+TEST(TwoClusterSplit, MatchesClusterSizes) {
+  Rng rng(13);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> xs;
+    const int n = 5 + t;
+    for (int i = 0; i < n; ++i) xs.push_back(rng.uniform(0.0, 5.0));
+    const Split1d split = two_cluster_split(xs);
+    const auto [small, large] = two_cluster_sizes(xs);
+    const std::size_t lo = std::min(split.left_count, split.right_count);
+    const std::size_t hi = std::max(split.left_count, split.right_count);
+    EXPECT_EQ(lo, small);
+    EXPECT_EQ(hi, large);
+  }
+}
+
+}  // namespace
+}  // namespace rab::cluster

@@ -1,0 +1,124 @@
+// Tests for collusion-group discovery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "challenge/collusion.hpp"
+#include "challenge/participants.hpp"
+#include "cluster/single_linkage.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/error.hpp"
+
+namespace rab::challenge {
+namespace {
+
+TEST(ConnectedComponents, BasicGraph) {
+  // 0-1, 1-2 form one component; 3 isolated; 4-5 another.
+  const std::vector<cluster::Edge> edges{{0, 1}, {1, 2}, {4, 5}};
+  const cluster::Clustering c =
+      cluster::connected_components(edges, 6);
+  EXPECT_EQ(c.cluster_count, 3u);
+  EXPECT_EQ(c.labels[0], c.labels[1]);
+  EXPECT_EQ(c.labels[1], c.labels[2]);
+  EXPECT_NE(c.labels[0], c.labels[3]);
+  EXPECT_EQ(c.labels[4], c.labels[5]);
+}
+
+TEST(ConnectedComponents, EdgeOutOfRangeThrows) {
+  const std::vector<cluster::Edge> edges{{0, 7}};
+  EXPECT_THROW(cluster::connected_components(edges, 3), Error);
+}
+
+TEST(Collusion, RejectsBadConfig) {
+  rating::Dataset data;
+  CollusionConfig config;
+  config.min_group = 1;
+  EXPECT_THROW(find_collusion_groups(data, config), Error);
+  config = {};
+  config.link_score = 0.0;
+  EXPECT_THROW(find_collusion_groups(data, config), Error);
+}
+
+TEST(Collusion, EmptyDataset) {
+  rating::Dataset data;
+  EXPECT_TRUE(find_collusion_groups(data).empty());
+}
+
+TEST(Collusion, FairDataHasNoLargeGroups) {
+  rating::FairDataConfig config;
+  config.product_count = 6;
+  config.history_days = 150.0;
+  const rating::Dataset data =
+      rating::FairDataGenerator(config).generate();
+  const auto groups = find_collusion_groups(data);
+  // Honest raters rate independently; coincidental 5-cliques of co-rating
+  // agreement should not appear.
+  EXPECT_TRUE(groups.empty());
+}
+
+TEST(Collusion, PlantedSquadRecovered) {
+  const Challenge c = Challenge::make_default(12);
+  const ParticipantPopulation population(c, 5);
+  // A burst squad: 50 raters hitting 4 products in the same short window
+  // with near-identical values — maximal coordination.
+  const Submission attack = population.make(StrategyKind::kNaiveExtreme, 0);
+  const rating::Dataset data = c.apply(attack);
+
+  const auto groups = find_collusion_groups(data);
+  ASSERT_FALSE(groups.empty());
+  const CollusionGroup& top = groups.front();
+  // The biggest group should be (mostly) the squad.
+  std::size_t attackers_in_group = 0;
+  for (RaterId rater : top.raters) {
+    if (rater.value() >= c.config().attacker_id_base) ++attackers_in_group;
+  }
+  EXPECT_GE(attackers_in_group, 40u);
+  EXPECT_GE(static_cast<double>(attackers_in_group) /
+                static_cast<double>(top.raters.size()),
+            0.8);
+  EXPECT_GT(top.mean_pair_score, 0.5);
+}
+
+TEST(Collusion, SpreadSquadStillLinksThroughSharedTargets) {
+  const Challenge c = Challenge::make_default(13);
+  const ParticipantPopulation population(c, 5);
+  const Submission attack =
+      population.make(StrategyKind::kModerateBias, 1);
+  const rating::Dataset data = c.apply(attack);
+
+  CollusionConfig config;
+  config.time_window = 20.0;  // wider window for a month-long attack
+  const auto groups = find_collusion_groups(data, config);
+  ASSERT_FALSE(groups.empty());
+  std::size_t attackers_in_top = 0;
+  for (RaterId rater : groups.front().raters) {
+    if (rater.value() >= c.config().attacker_id_base) ++attackers_in_top;
+  }
+  EXPECT_GE(attackers_in_top, 25u);
+}
+
+TEST(Collusion, GroupsSortedBySizeDescending) {
+  const Challenge c = Challenge::make_default(14);
+  const ParticipantPopulation population(c, 5);
+  const rating::Dataset data =
+      c.apply(population.make(StrategyKind::kNaiveSpread, 2));
+  CollusionConfig config;
+  config.time_window = 30.0;
+  const auto groups = find_collusion_groups(data, config);
+  for (std::size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_GE(groups[i - 1].raters.size(), groups[i].raters.size());
+  }
+}
+
+TEST(Collusion, MinGroupFiltersSmallComponents) {
+  const Challenge c = Challenge::make_default(15);
+  const ParticipantPopulation population(c, 5);
+  const rating::Dataset data =
+      c.apply(population.make(StrategyKind::kNaiveExtreme, 3));
+  CollusionConfig config;
+  config.min_group = 60;  // larger than the squad
+  EXPECT_TRUE(find_collusion_groups(data, config).empty());
+}
+
+}  // namespace
+}  // namespace rab::challenge

@@ -1,0 +1,518 @@
+// Tests for the attack generator core: value/time set generators, the
+// value&time mapper (Procedure 3), region search (Procedure 2), and the
+// end-to-end generator (Figure 8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aggregation/sa_scheme.hpp"
+#include "core/attack_generator.hpp"
+#include "core/region_search.hpp"
+#include "core/time_set_generator.hpp"
+#include "core/value_set_generator.hpp"
+#include "core/value_time_mapper.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::core {
+namespace {
+
+// ------------------------------------------------- value set generator
+
+TEST(ValueSet, CountAndRange) {
+  Rng rng(1);
+  ValueSetParams params;
+  params.count = 100;
+  const auto values = generate_value_set(params, rng);
+  EXPECT_EQ(values.size(), 100u);
+  for (double v : values) {
+    EXPECT_GE(v, rating::kMinRating);
+    EXPECT_LE(v, rating::kMaxRating);
+  }
+}
+
+TEST(ValueSet, MeanNearTarget) {
+  Rng rng(2);
+  ValueSetParams params;
+  params.fair_mean = 4.0;
+  params.bias = -2.0;
+  params.sigma = 0.5;
+  params.count = 1000;
+  params.discrete = false;
+  const auto values = generate_value_set(params, rng);
+  EXPECT_NEAR(stats::mean(values), 2.0, 0.1);
+}
+
+TEST(ValueSet, DiscreteValuesAreWholeStars) {
+  Rng rng(3);
+  ValueSetParams params;
+  params.discrete = true;
+  params.sigma = 1.0;
+  params.count = 200;
+  for (double v : generate_value_set(params, rng)) {
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+  }
+}
+
+TEST(ValueSet, ZeroSigmaIsConstant) {
+  Rng rng(4);
+  ValueSetParams params;
+  params.sigma = 0.0;
+  params.bias = -3.0;
+  params.count = 10;
+  params.discrete = false;
+  for (double v : generate_value_set(params, rng)) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(ValueSet, ClampingCompressesAgainstFloor) {
+  Rng rng(5);
+  ValueSetParams params;
+  params.bias = -4.0;  // target mean 0: clamping halves the spread
+  params.sigma = 1.0;
+  params.count = 500;
+  params.discrete = false;
+  const auto values = generate_value_set(params, rng);
+  const auto s = stats::summarize(values);
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_GT(s.mean, 0.0);       // clamp pulls the mean up
+  EXPECT_LT(s.stddev, 1.0);     // and shrinks the spread
+}
+
+TEST(ValueSet, NegativeSigmaThrows) {
+  Rng rng(6);
+  ValueSetParams params;
+  params.sigma = -0.1;
+  EXPECT_THROW(generate_value_set(params, rng), Error);
+}
+
+// ------------------------------------------------- time set generator
+
+TEST(TimeSet, CountSortedWithinWindow) {
+  Rng rng(11);
+  TimeSetParams params;
+  params.window = Interval{100.0, 182.0};
+  params.offset_days = 10.0;
+  params.duration_days = 30.0;
+  params.count = 50;
+  const auto times = generate_time_set(params, rng);
+  EXPECT_EQ(times.size(), 50u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_GE(times[i], 110.0);
+    EXPECT_LE(times[i], 140.0);
+    if (i > 0) {
+      EXPECT_GE(times[i], times[i - 1]);
+    }
+  }
+}
+
+TEST(TimeSet, DurationClippedToWindow) {
+  Rng rng(12);
+  TimeSetParams params;
+  params.window = Interval{0.0, 20.0};
+  params.offset_days = 10.0;
+  params.duration_days = 100.0;
+  params.count = 30;
+  for (Day t : generate_time_set(params, rng)) {
+    EXPECT_GE(t, 10.0);
+    EXPECT_LT(t, 20.0);
+  }
+}
+
+TEST(TimeSet, EmptyWindowThrows) {
+  Rng rng(13);
+  TimeSetParams params;
+  params.window = Interval{5.0, 5.0};
+  EXPECT_THROW(generate_time_set(params, rng), Error);
+}
+
+TEST(PoissonTimeSet, RespectsRateRoughly) {
+  Rng rng(14);
+  TimeSetParams params;
+  params.window = Interval{0.0, 82.0};
+  params.count = 50;
+  // High rate: all 50 arrivals land in a short prefix.
+  const auto fast = generate_poisson_time_set(params, 10.0, rng);
+  EXPECT_EQ(fast.size(), 50u);
+  EXPECT_LT(fast.back(), 20.0);
+  // Low rate: arrivals spread, wrapping keeps them in-window.
+  const auto slow = generate_poisson_time_set(params, 0.5, rng);
+  EXPECT_EQ(slow.size(), 50u);
+  for (Day t : slow) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 82.0);
+  }
+}
+
+TEST(PoissonTimeSet, NonPositiveRateThrows) {
+  Rng rng(15);
+  TimeSetParams params;
+  params.window = Interval{0.0, 82.0};
+  EXPECT_THROW(generate_poisson_time_set(params, 0.0, rng), Error);
+}
+
+
+TEST(BurstTimeSet, CountAndWindowRespected) {
+  Rng rng(16);
+  TimeSetParams params;
+  params.window = Interval{100.0, 182.0};
+  params.offset_days = 5.0;
+  params.duration_days = 60.0;
+  params.count = 48;
+  const auto times = generate_burst_time_set(params, 3, 4.0, rng);
+  EXPECT_EQ(times.size(), 48u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_GE(times[i], 100.0);
+    EXPECT_LT(times[i], 182.0);
+    if (i > 0) {
+      EXPECT_GE(times[i], times[i - 1]);
+    }
+  }
+}
+
+TEST(BurstTimeSet, ProducesDistinctClusters) {
+  Rng rng(17);
+  TimeSetParams params;
+  params.window = Interval{0.0, 82.0};
+  params.duration_days = 80.0;
+  params.count = 60;
+  const auto times = generate_burst_time_set(params, 3, 2.0, rng);
+  // Expect at least one inter-rating gap larger than a burst (the space
+  // between clusters).
+  double max_gap = 0.0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    max_gap = std::max(max_gap, times[i] - times[i - 1]);
+  }
+  EXPECT_GT(max_gap, 2.0);
+}
+
+TEST(BurstTimeSet, RejectsBadArguments) {
+  Rng rng(18);
+  TimeSetParams params;
+  params.window = Interval{0.0, 82.0};
+  EXPECT_THROW(generate_burst_time_set(params, 0, 2.0, rng), Error);
+  EXPECT_THROW(generate_burst_time_set(params, 2, 0.0, rng), Error);
+}
+
+// ------------------------------------------------- value & time mapper
+
+rating::ProductRatings fair_fixture() {
+  rating::ProductRatings fair(ProductId(1));
+  // Alternating fair values 5, 3, 5, 3... at days 0, 10, 20, ...
+  for (int i = 0; i < 10; ++i) {
+    rating::Rating r;
+    r.time = static_cast<double>(i) * 10.0;
+    r.value = (i % 2 == 0) ? 5.0 : 3.0;
+    r.rater = RaterId(i);
+    r.product = ProductId(1);
+    fair.add(r);
+  }
+  return fair;
+}
+
+TEST(Mapper, SizeMismatchThrows) {
+  Rng rng(21);
+  EXPECT_THROW(map_values_to_times({1.0}, {1.0, 2.0},
+                                   CorrelationMode::kRandom, fair_fixture(),
+                                   rng),
+               Error);
+}
+
+TEST(Mapper, RandomModePreservesMultisets) {
+  Rng rng(22);
+  std::vector<double> values{0.0, 1.0, 2.0, 3.0};
+  std::vector<Day> times{4.0, 3.0, 2.0, 1.0};
+  const auto mapped = map_values_to_times(values, times,
+                                          CorrelationMode::kRandom,
+                                          fair_fixture(), rng);
+  ASSERT_EQ(mapped.size(), 4u);
+  std::multiset<double> got_values;
+  std::multiset<double> got_times;
+  for (const TimedValue& tv : mapped) {
+    got_values.insert(tv.value);
+    got_times.insert(tv.time);
+  }
+  EXPECT_EQ(got_values, (std::multiset<double>{0.0, 1.0, 2.0, 3.0}));
+  EXPECT_EQ(got_times, (std::multiset<double>{1.0, 2.0, 3.0, 4.0}));
+  for (std::size_t i = 1; i < mapped.size(); ++i) {
+    EXPECT_GE(mapped[i].time, mapped[i - 1].time);
+  }
+}
+
+TEST(Mapper, HeuristicAntiCorrelatesWithPrecedingFair) {
+  // Fair value just before t=5 is 5.0 (rating at day 0), so the farthest
+  // remaining unfair value (0.0) must be placed there; just before t=15 the
+  // fair value is 3.0, taking the remaining value farthest from 3.
+  std::vector<double> values{0.0, 5.0};
+  std::vector<Day> times{5.0, 15.0};
+  const auto mapped =
+      heuristic_correlation(values, times, fair_fixture());
+  ASSERT_EQ(mapped.size(), 2u);
+  EXPECT_DOUBLE_EQ(mapped[0].time, 5.0);
+  EXPECT_DOUBLE_EQ(mapped[0].value, 0.0);  // |0-5| = 5 beats |5-5| = 0
+  EXPECT_DOUBLE_EQ(mapped[1].time, 15.0);
+  EXPECT_DOUBLE_EQ(mapped[1].value, 5.0);
+}
+
+TEST(Mapper, HeuristicConsumesTimesInOrder) {
+  std::vector<double> values{1.0, 2.0, 3.0};
+  std::vector<Day> times{30.0, 10.0, 20.0};
+  const auto mapped =
+      heuristic_correlation(values, times, fair_fixture());
+  ASSERT_EQ(mapped.size(), 3u);
+  EXPECT_DOUBLE_EQ(mapped[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(mapped[1].time, 20.0);
+  EXPECT_DOUBLE_EQ(mapped[2].time, 30.0);
+}
+
+TEST(Mapper, HeuristicWithEmptyFairStreamUsesMidScale) {
+  rating::ProductRatings empty(ProductId(1));
+  std::vector<double> values{0.0, 5.0};
+  std::vector<Day> times{1.0, 2.0};
+  const auto mapped = heuristic_correlation(values, times, empty);
+  // NearV = 2.5: both 0 and 5 are equidistant; max_element picks the first
+  // encountered maximum (0.0) deterministically.
+  EXPECT_DOUBLE_EQ(mapped[0].value, 0.0);
+}
+
+TEST(Mapper, HeuristicBeforeFirstFairRatingUsesFront) {
+  std::vector<double> values{0.0, 5.0};
+  std::vector<Day> times{-5.0, 15.0};  // first time precedes all fair data
+  const auto mapped =
+      heuristic_correlation(values, times, fair_fixture());
+  // Front fair value is 5.0 -> farthest is 0.0.
+  EXPECT_DOUBLE_EQ(mapped[0].value, 0.0);
+}
+
+
+TEST(Mapper, BlendPicksClosestValue) {
+  // Fair value just before t=5 is 5.0; the closest remaining unfair value
+  // (5.0) must be placed there, leaving 0.0 for t=15 (preceding fair 3.0:
+  // the remaining 0.0 is the only choice).
+  std::vector<double> values{0.0, 5.0};
+  std::vector<Day> times{5.0, 15.0};
+  const auto mapped = blend_correlation(values, times, fair_fixture());
+  ASSERT_EQ(mapped.size(), 2u);
+  EXPECT_DOUBLE_EQ(mapped[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(mapped[1].value, 0.0);
+}
+
+TEST(Mapper, BlendModeThroughDispatcher) {
+  Rng rng(29);
+  std::vector<double> values{1.0, 4.0, 2.0};
+  std::vector<Day> times{5.0, 15.0, 25.0};
+  const auto direct = blend_correlation(values, times, fair_fixture());
+  const auto via = map_values_to_times(values, times,
+                                       CorrelationMode::kBlend,
+                                       fair_fixture(), rng);
+  ASSERT_EQ(direct.size(), via.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct[i].value, via[i].value);
+    EXPECT_DOUBLE_EQ(direct[i].time, via[i].time);
+  }
+}
+
+TEST(Mapper, BlendAndHeuristicAreOpposites) {
+  // On a two-value set the blend picks what the heuristic rejects.
+  std::vector<double> values{0.0, 3.0};
+  std::vector<Day> times{5.0, 15.0};
+  const auto anti = heuristic_correlation(values, times, fair_fixture());
+  const auto blend = blend_correlation(values, times, fair_fixture());
+  EXPECT_NE(anti[0].value, blend[0].value);
+}
+
+// ------------------------------------------------- region search
+
+TEST(RegionSearch, RejectsBadOptions) {
+  RegionSearchOptions options;
+  options.shrink = 1.5;
+  EXPECT_THROW(region_search(options, [](double, double, std::size_t) {
+                 return 0.0;
+               }),
+               Error);
+  EXPECT_THROW(region_search(RegionSearchOptions{}, nullptr), Error);
+}
+
+TEST(RegionSearch, ConvergesToQuadraticOptimum) {
+  // MP surface peaked at (-2.3, 1.5): the search must home in on it.
+  const auto evaluate = [](double bias, double sigma, std::size_t) {
+    const double db = bias + 2.3;
+    const double ds = sigma - 1.5;
+    return 10.0 - db * db - ds * ds;
+  };
+  RegionSearchOptions options;
+  const RegionSearchResult result = region_search(options, evaluate);
+  EXPECT_NEAR(result.best_bias, -2.3, 0.5);
+  EXPECT_NEAR(result.best_sigma, 1.5, 0.35);
+  EXPECT_GT(result.best_mp, 9.0);
+  EXPECT_GE(result.rounds.size(), 2u);
+}
+
+TEST(RegionSearch, AreaShrinksEveryRound) {
+  const auto evaluate = [](double bias, double sigma, std::size_t) {
+    return bias + sigma;  // corner optimum
+  };
+  RegionSearchOptions options;
+  const RegionSearchResult result = region_search(options, evaluate);
+  double prev_width = options.bias.width();
+  for (const RegionSearchRound& round : result.rounds) {
+    EXPECT_LT(round.bias.width(), prev_width);
+    prev_width = round.bias.width();
+  }
+}
+
+TEST(RegionSearch, StopsWhenAreaSmall) {
+  const auto evaluate = [](double, double, std::size_t) { return 1.0; };
+  RegionSearchOptions options;
+  const RegionSearchResult result = region_search(options, evaluate);
+  const RegionSearchRound& last = result.rounds.back();
+  EXPECT_LT(last.bias.width(), options.min_bias_width);
+  EXPECT_LT(last.sigma.width(), options.min_sigma_width);
+}
+
+TEST(RegionSearch, SigmaNeverNegative) {
+  const auto evaluate = [](double, double sigma, std::size_t) {
+    return -sigma;  // pushes toward sigma = 0
+  };
+  RegionSearchOptions options;
+  const RegionSearchResult result = region_search(options, evaluate);
+  EXPECT_GE(result.best_sigma, 0.0);
+  for (const RegionSearchRound& round : result.rounds) {
+    EXPECT_GE(round.sigma.lo, 0.0);
+  }
+}
+
+TEST(RegionSearch, TrialCounterAdvances) {
+  std::size_t max_trial = 0;
+  std::size_t calls = 0;
+  const auto evaluate = [&](double, double, std::size_t trial) {
+    max_trial = std::max(max_trial, trial);
+    ++calls;
+    return 0.0;
+  };
+  RegionSearchOptions options;
+  options.max_rounds = 2;
+  (void)region_search(options, evaluate);
+  EXPECT_EQ(calls, 2u * options.grid * options.grid * options.trials);
+  EXPECT_EQ(max_trial, calls - 1);  // distinct trial ids
+}
+
+// ------------------------------------------------- attack generator
+
+const challenge::Challenge& shared_challenge() {
+  static const challenge::Challenge c = challenge::Challenge::make_default(55);
+  return c;
+}
+
+TEST(AttackGenerator, GeneratesValidSubmissions) {
+  const AttackGenerator generator(shared_challenge(), 9);
+  AttackProfile profile;
+  const challenge::Submission s = generator.generate(profile, 0);
+  EXPECT_EQ(shared_challenge().validate(s), challenge::Violation::kNone)
+      << to_string(shared_challenge().validate(s));
+  // 4 targets x 50 ratings.
+  EXPECT_EQ(s.ratings.size(), 200u);
+}
+
+TEST(AttackGenerator, RespectsBiasSign) {
+  const AttackGenerator generator(shared_challenge(), 9);
+  AttackProfile profile;
+  profile.bias = -2.0;
+  profile.sigma = 0.3;
+  const challenge::Submission s = generator.generate(profile, 1);
+  const challenge::Challenge& c = shared_challenge();
+  for (ProductId id : c.config().downgrade_targets) {
+    const auto stats = value_stats(s, id, c.fair_mean(id));
+    EXPECT_LT(stats.bias, -1.0) << "downgrade product " << id;
+  }
+  for (ProductId id : c.config().boost_targets) {
+    const auto stats = value_stats(s, id, c.fair_mean(id));
+    EXPECT_GT(stats.bias, 0.0) << "boost product " << id;
+  }
+}
+
+TEST(AttackGenerator, DurationControlsSpread) {
+  const AttackGenerator generator(shared_challenge(), 9);
+  AttackProfile short_profile;
+  short_profile.duration_days = 5.0;
+  AttackProfile long_profile;
+  long_profile.duration_days = 60.0;
+  const auto s1 = generator.generate(short_profile, 2);
+  const auto s2 = generator.generate(long_profile, 2);
+  const double d1 = s1.duration(ProductId(1)).length();
+  const double d2 = s2.duration(ProductId(1)).length();
+  EXPECT_LE(d1, 5.0 + 1e-9);
+  EXPECT_GT(d2, 30.0);
+}
+
+TEST(AttackGenerator, SampleProfileWithinRanges) {
+  const AttackGenerator generator(shared_challenge(), 9);
+  ParameterRanges ranges;
+  ranges.bias = Range{-3.0, -1.0};
+  ranges.sigma = Range{0.2, 0.8};
+  for (std::uint64_t stream = 0; stream < 20; ++stream) {
+    const AttackProfile profile = generator.sample_profile(ranges, stream);
+    EXPECT_TRUE(ranges.bias.contains(profile.bias));
+    EXPECT_TRUE(ranges.sigma.contains(profile.sigma));
+    EXPECT_TRUE(ranges.duration_days.contains(profile.duration_days));
+  }
+}
+
+TEST(AttackGenerator, OptimizeBeatsRandomAgainstSa) {
+  // Against plain averaging the optimum is extreme bias; Procedure 2 must
+  // find an attack at least as strong as a mid-range random one.
+  const challenge::Challenge& c = shared_challenge();
+  const AttackGenerator generator(c, 9);
+  const aggregation::SaScheme sa;
+
+  AttackProfile timing;
+  timing.duration_days = 40.0;
+
+  RegionSearchOptions options;
+  options.trials = 2;
+  options.max_rounds = 3;
+  const RegionSearchResult search = generator.optimize(sa, options, timing);
+  EXPECT_LT(search.best_bias, -2.0);  // extreme bias wins without defense
+
+  AttackProfile mild = timing;
+  mild.bias = -1.0;
+  mild.sigma = 0.5;
+  const double mild_mp =
+      c.evaluate(generator.generate(mild, 3), sa).overall;
+  EXPECT_GE(search.best_mp, mild_mp);
+}
+
+TEST(AttackGenerator, RealizeBestReturnsStrongSubmission) {
+  const challenge::Challenge& c = shared_challenge();
+  const AttackGenerator generator(c, 9);
+  const aggregation::SaScheme sa;
+  RegionSearchResult search;
+  search.best_bias = -3.5;
+  search.best_sigma = 0.2;
+  AttackProfile timing;
+  timing.duration_days = 40.0;
+  const challenge::Submission best =
+      generator.realize_best(sa, search, timing, 3);
+  EXPECT_EQ(c.validate(best), challenge::Violation::kNone);
+  EXPECT_GT(c.evaluate(best, sa).overall, 1.0);
+}
+
+TEST(AttackGenerator, BlendCorrelationProducesValidSubmission) {
+  const AttackGenerator generator(shared_challenge(), 9);
+  AttackProfile profile;
+  profile.correlation = CorrelationMode::kBlend;
+  const challenge::Submission s = generator.generate(profile, 5);
+  EXPECT_EQ(shared_challenge().validate(s), challenge::Violation::kNone);
+}
+
+TEST(AttackGenerator, HeuristicCorrelationModeProducesValidSubmission) {
+  const AttackGenerator generator(shared_challenge(), 9);
+  AttackProfile profile;
+  profile.correlation = CorrelationMode::kHeuristic;
+  const challenge::Submission s = generator.generate(profile, 4);
+  EXPECT_EQ(shared_challenge().validate(s), challenge::Violation::kNone);
+}
+
+}  // namespace
+}  // namespace rab::core

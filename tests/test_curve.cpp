@@ -1,0 +1,155 @@
+// Tests for indicator-curve peak detection and interval extraction.
+#include <gtest/gtest.h>
+
+#include "signal/curve.hpp"
+
+namespace rab::signal {
+namespace {
+
+Curve from_values(const std::vector<double>& values) {
+  Curve c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    c.push_back(CurvePoint{static_cast<double>(i), values[i]});
+  }
+  return c;
+}
+
+TEST(FindPeaks, EmptyCurve) {
+  EXPECT_TRUE(find_peaks({}, {}).empty());
+}
+
+TEST(FindPeaks, SinglePointAboveHeight) {
+  PeakOptions opts;
+  opts.min_height = 1.0;
+  const Curve c = from_values({2.0});
+  EXPECT_EQ(find_peaks(c, opts).size(), 1u);
+  opts.min_height = 3.0;
+  EXPECT_TRUE(find_peaks(c, opts).empty());
+}
+
+TEST(FindPeaks, InteriorPeak) {
+  const Curve c = from_values({0.0, 1.0, 3.0, 1.0, 0.0});
+  const auto peaks = find_peaks(c, {});
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 2u);
+}
+
+TEST(FindPeaks, EndpointPeaks) {
+  const Curve c = from_values({5.0, 1.0, 0.5, 1.0, 4.0});
+  const auto peaks = find_peaks(c, {});
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 0u);
+  EXPECT_EQ(peaks[1], 4u);
+}
+
+TEST(FindPeaks, MinHeightFilters) {
+  PeakOptions opts;
+  opts.min_height = 2.5;
+  const Curve c = from_values({0.0, 2.0, 0.0, 3.0, 0.0});
+  const auto peaks = find_peaks(c, opts);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 3u);
+}
+
+TEST(FindPeaks, PlateauReportsFirstIndex) {
+  const Curve c = from_values({0.0, 2.0, 2.0, 2.0, 0.0});
+  const auto peaks = find_peaks(c, {});
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 1u);
+}
+
+TEST(FindPeaks, MinSeparationKeepsTaller) {
+  PeakOptions opts;
+  opts.min_separation = 5.0;
+  const Curve c = from_values({0.0, 2.0, 0.0, 4.0, 0.0});
+  // Peaks at t=1 and t=3 are 2 apart < 5: the taller (index 3) wins.
+  const auto peaks = find_peaks(c, opts);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 3u);
+}
+
+TEST(FindPeaks, SeparatedPeaksBothKept) {
+  PeakOptions opts;
+  opts.min_separation = 1.5;
+  const Curve c = from_values({0.0, 2.0, 0.0, 4.0, 0.0});
+  EXPECT_EQ(find_peaks(c, opts).size(), 2u);
+}
+
+TEST(Segments, NoPeaksOneSegment) {
+  const Curve c = from_values({1.0, 1.0, 1.0});
+  const auto segs = segments_between_peaks(c, {});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_DOUBLE_EQ(segs[0].begin, 0.0);
+  EXPECT_GT(segs[0].end, 2.0);  // right-inclusive end
+}
+
+TEST(Segments, PeaksSplitSpan) {
+  const Curve c = from_values({0.0, 3.0, 0.0, 3.0, 0.0});
+  const auto segs = segments_between_peaks(c, {1, 3});
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_DOUBLE_EQ(segs[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(segs[0].end, 1.0);
+  EXPECT_DOUBLE_EQ(segs[1].begin, 1.0);
+  EXPECT_DOUBLE_EQ(segs[1].end, 3.0);
+  EXPECT_DOUBLE_EQ(segs[2].begin, 3.0);
+}
+
+TEST(Segments, LastRatingFallsInLastSegment) {
+  const Curve c = from_values({0.0, 3.0, 0.0});
+  const auto segs = segments_between_peaks(c, {1});
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_TRUE(segs.back().contains(2.0));
+}
+
+TEST(Segments, EmptyCurve) {
+  EXPECT_TRUE(segments_between_peaks({}, {}).empty());
+}
+
+TEST(MaxInInterval, FindsMaximum) {
+  const Curve c = from_values({1.0, 5.0, 2.0, 7.0});
+  EXPECT_DOUBLE_EQ(max_in_interval(c, Interval{0.0, 3.0}), 5.0);
+  EXPECT_DOUBLE_EQ(max_in_interval(c, Interval{0.0, 4.0}), 7.0);
+  EXPECT_DOUBLE_EQ(max_in_interval(c, Interval{10.0, 20.0}), 0.0);
+}
+
+TEST(IntervalsBelow, FindsLowRegions) {
+  const Curve c = from_values({1.0, 0.2, 0.3, 1.0, 0.1, 1.0});
+  const auto regions = intervals_below(c, 0.5);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_DOUBLE_EQ(regions[0].begin, 1.0);
+  EXPECT_DOUBLE_EQ(regions[0].end, 3.0);
+  EXPECT_DOUBLE_EQ(regions[1].begin, 4.0);
+  EXPECT_DOUBLE_EQ(regions[1].end, 5.0);
+}
+
+TEST(IntervalsBelow, OpenAtEndIsClosed) {
+  const Curve c = from_values({1.0, 0.2, 0.1});
+  const auto regions = intervals_below(c, 0.5);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_GT(regions[0].end, 2.0);  // right-inclusive end
+}
+
+TEST(IntervalsAbove, ComplementaryToBelow) {
+  const Curve c = from_values({1.0, 0.2, 0.3, 1.0});
+  const auto above = intervals_above(c, 0.5);
+  ASSERT_EQ(above.size(), 2u);
+  EXPECT_DOUBLE_EQ(above[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(above[0].end, 1.0);
+  EXPECT_DOUBLE_EQ(above[1].begin, 3.0);
+}
+
+TEST(IntervalsAbove, AllAboveIsOneInterval) {
+  const Curve c = from_values({1.0, 2.0, 3.0});
+  const auto above = intervals_above(c, 0.5);
+  ASSERT_EQ(above.size(), 1u);
+  EXPECT_DOUBLE_EQ(above[0].begin, 0.0);
+  EXPECT_GT(above[0].end, 2.0);
+}
+
+TEST(IntervalsAbove, EmptyCurve) {
+  EXPECT_TRUE(intervals_above({}, 0.5).empty());
+  EXPECT_TRUE(intervals_below({}, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace rab::signal

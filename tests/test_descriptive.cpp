@@ -1,0 +1,179 @@
+// Tests for stats/descriptive: Welford accumulation, summaries, quantiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::stats {
+namespace {
+
+TEST(Welford, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Welford, SingleValue) {
+  Welford w;
+  w.add(3.0);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Welford, KnownSequence) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(w.stddev(), 2.0);
+}
+
+TEST(Welford, SampleVarianceUsesNMinusOne) {
+  Welford w;
+  for (double x : {1.0, 2.0, 3.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.sample_variance(), 1.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 2.0 / 3.0);
+}
+
+TEST(Welford, NumericallyStableOnLargeOffset) {
+  Welford w;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) w.add(x);
+  EXPECT_NEAR(w.mean(), offset + 2.0, 1e-6);
+  EXPECT_NEAR(w.sample_variance(), 1.0, 1e-6);
+}
+
+TEST(Welford, MergeMatchesSequential) {
+  Rng rng(3);
+  Welford all;
+  Welford a;
+  Welford b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.gaussian(1.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+}
+
+TEST(Welford, MergeWithEmpty) {
+  Welford a;
+  a.add(1.0);
+  a.add(3.0);
+  Welford empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  Welford target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(Summarize, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, TracksMinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0, 2.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, -1.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.75);
+}
+
+TEST(Mean, EmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Mean, Basic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Median, OddCount) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Median, EvenCountAverages) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Median, ThrowsOnEmpty) {
+  EXPECT_THROW(median({}), Error);
+}
+
+TEST(Quantile, Endpoints) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Quantile, RejectsBadProbability) {
+  EXPECT_THROW(quantile({1.0}, 1.5), Error);
+  EXPECT_THROW(quantile({1.0}, -0.1), Error);
+}
+
+/// Property sweep: quantile is monotone in q, and median == quantile(0.5).
+class QuantileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileSweep, MonotoneInProbability) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs;
+  const int n = 5 + GetParam() * 7;
+  for (int i = 0; i < n; ++i) xs.push_back(rng.gaussian(0.0, 3.0));
+
+  double prev = quantile(xs, 0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = quantile(xs, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(median(xs), quantile(xs, 0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileSweep, ::testing::Range(1, 11));
+
+/// Property sweep: Welford matches the two-pass computation.
+class WelfordSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WelfordSweep, MatchesTwoPass) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101);
+  std::vector<double> xs;
+  const int n = 10 + GetParam() * 31;
+  Welford w;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    xs.push_back(x);
+    w.add(x);
+  }
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mu = sum / n;
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  EXPECT_NEAR(w.mean(), mu, 1e-10);
+  EXPECT_NEAR(w.variance(), ss / n, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelfordSweep, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace rab::stats

@@ -1,0 +1,102 @@
+// Tests for the detection-quality (precision/recall) evaluation.
+#include <gtest/gtest.h>
+
+#include "challenge/detection_quality.hpp"
+#include "challenge/participants.hpp"
+
+namespace rab::challenge {
+namespace {
+
+const Challenge& shared_challenge() {
+  static const Challenge c = Challenge::make_default(33);
+  return c;
+}
+
+TEST(DetectionCounts, RatiosOnKnownValues) {
+  DetectionCounts c;
+  c.true_positives = 8;
+  c.false_negatives = 2;
+  c.false_positives = 4;
+  c.true_negatives = 86;
+  EXPECT_DOUBLE_EQ(c.precision(), 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.8);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 4.0 / 90.0);
+  EXPECT_NEAR(c.f1(), 2 * (8.0 / 12.0) * 0.8 / ((8.0 / 12.0) + 0.8), 1e-12);
+}
+
+TEST(DetectionCounts, EmptyIsZeroNotNan) {
+  DetectionCounts c;
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(DetectionCounts, Accumulation) {
+  DetectionCounts a;
+  a.true_positives = 1;
+  a.false_negatives = 2;
+  DetectionCounts b;
+  b.true_positives = 3;
+  b.false_positives = 4;
+  a += b;
+  EXPECT_EQ(a.true_positives, 4u);
+  EXPECT_EQ(a.false_negatives, 2u);
+  EXPECT_EQ(a.false_positives, 4u);
+}
+
+TEST(DetectionQualityEval, CountsCoverEveryRating) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 5);
+  const Submission attack =
+      population.make(StrategyKind::kNaiveExtreme, 0);
+  const aggregation::PScheme p;
+  const DetectionQuality quality = evaluate_detection(c, attack, p);
+
+  const std::size_t total =
+      quality.overall.true_positives + quality.overall.false_negatives +
+      quality.overall.false_positives + quality.overall.true_negatives;
+  EXPECT_EQ(total, c.fair().total_ratings() + attack.ratings.size());
+  EXPECT_EQ(quality.overall.true_positives +
+                quality.overall.false_negatives,
+            attack.ratings.size());
+}
+
+TEST(DetectionQualityEval, NaiveAttackHighRecallLowFpr) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 5);
+  const Submission attack =
+      population.make(StrategyKind::kNaiveExtreme, 1);
+  const aggregation::PScheme p;
+  const DetectionQuality quality = evaluate_detection(c, attack, p);
+  EXPECT_GT(quality.overall.recall(), 0.35);
+  EXPECT_LT(quality.overall.false_positive_rate(), 0.12);
+}
+
+TEST(DetectionQualityEval, HighVarianceAttackLowersRecall) {
+  // The variance-evasion story quantified from the defender's side.
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 5);
+  const aggregation::PScheme p;
+  const DetectionQuality naive = evaluate_detection(
+      c, population.make(StrategyKind::kNaiveExtreme, 2), p);
+  const DetectionQuality smart = evaluate_detection(
+      c, population.make(StrategyKind::kHighVariance, 2), p);
+  EXPECT_LT(smart.overall.recall(), naive.overall.recall());
+}
+
+TEST(DetectionQualityEval, PerProductSumsToOverall) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 5);
+  const Submission attack = population.make(StrategyKind::kBursts, 0);
+  const aggregation::PScheme p;
+  const DetectionQuality quality = evaluate_detection(c, attack, p);
+  DetectionCounts sum;
+  for (const auto& [id, counts] : quality.per_product) sum += counts;
+  EXPECT_EQ(sum.true_positives, quality.overall.true_positives);
+  EXPECT_EQ(sum.false_negatives, quality.overall.false_negatives);
+  EXPECT_EQ(sum.false_positives, quality.overall.false_positives);
+  EXPECT_EQ(sum.true_negatives, quality.overall.true_negatives);
+}
+
+}  // namespace
+}  // namespace rab::challenge

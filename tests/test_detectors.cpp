@@ -1,0 +1,404 @@
+// Behavioral tests for the four detectors and the Figure-1 integrator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "detectors/arc_detector.hpp"
+#include "detectors/hc_detector.hpp"
+#include "detectors/integrator.hpp"
+#include "detectors/mc_detector.hpp"
+#include "detectors/me_detector.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::detectors {
+namespace {
+
+/// One product of fair history.
+rating::ProductRatings fair_stream(std::uint64_t seed = 1,
+                                   double days = 150.0, double mean = 4.0) {
+  rating::FairDataConfig config;
+  config.product_count = 1;
+  config.history_days = days;
+  config.seed = seed;
+  config.mean_value = mean;
+  return rating::FairDataGenerator(config).generate_product(ProductId(1));
+}
+
+/// Adds `count` unfair ratings with values ~N(value, sigma) (clamped,
+/// rounded) uniformly over [begin, end).
+rating::ProductRatings with_attack(const rating::ProductRatings& fair,
+                                   double value, double sigma, double begin,
+                                   double end, std::size_t count,
+                                   std::uint64_t seed = 77) {
+  Rng rng(seed);
+  rating::ProductRatings out = fair;
+  std::vector<rating::Rating> rs;
+  for (std::size_t i = 0; i < count; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(begin, end);
+    r.value = std::round(std::clamp(rng.gaussian(value, sigma),
+                                    rating::kMinRating, rating::kMaxRating));
+    r.rater = RaterId(1'000'000 + static_cast<std::int64_t>(i));
+    r.product = fair.product();
+    r.unfair = true;
+    out.add(r);
+  }
+  return out;
+}
+
+/// Fraction of the stream's unfair ratings flagged by `result`.
+double unfair_hit_rate(const rating::ProductRatings& stream,
+                       const IntegrationResult& result) {
+  std::size_t unfair = 0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (!stream.at(i).unfair) continue;
+    ++unfair;
+    if (result.suspicious[i]) ++hit;
+  }
+  return unfair == 0 ? 0.0 : static_cast<double>(hit) / unfair;
+}
+
+/// Fraction of fair ratings flagged (false positives).
+double fair_hit_rate(const rating::ProductRatings& stream,
+                     const IntegrationResult& result) {
+  std::size_t fair = 0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (stream.at(i).unfair) continue;
+    ++fair;
+    if (result.suspicious[i]) ++hit;
+  }
+  return fair == 0 ? 0.0 : static_cast<double>(hit) / fair;
+}
+
+// --------------------------------------------------------- MC detector
+
+TEST(MeanChange, CleanStreamMostlyQuiet) {
+  const auto stream = fair_stream(11);
+  const DetectionResult result = MeanChangeDetector().detect(stream);
+  // Fair data has drift but no large coordinated shift: little or nothing
+  // should be marked.
+  double marked_days = 0.0;
+  for (const Interval& iv : result.suspicious) marked_days += iv.length();
+  EXPECT_LT(marked_days, 0.25 * stream.span().length());
+}
+
+TEST(MeanChange, DetectsLowValueBurst) {
+  const auto fair = fair_stream(12);
+  const auto attacked = with_attack(fair, 1.0, 0.2, 60.0, 75.0, 50);
+  const DetectionResult result = MeanChangeDetector().detect(attacked);
+  ASSERT_FALSE(result.suspicious.empty());
+  // Some suspicious interval should overlap the attack.
+  EXPECT_TRUE(result.overlaps(Interval{60.0, 75.0}));
+}
+
+TEST(MeanChange, CurveHasOnePointPerRating) {
+  const auto stream = fair_stream(13, 60.0);
+  const auto curve = MeanChangeDetector().indicator_curve(stream);
+  EXPECT_EQ(curve.size(), stream.size());
+}
+
+TEST(MeanChange, CurvePeaksNearChangePoint) {
+  const auto fair = fair_stream(14);
+  const auto attacked = with_attack(fair, 0.5, 0.1, 70.0, 90.0, 60);
+  const auto curve = MeanChangeDetector().indicator_curve(attacked);
+  // The maximum statistic should sit near the attack boundaries.
+  const auto max_it =
+      std::max_element(curve.begin(), curve.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.value < b.value;
+                       });
+  ASSERT_NE(max_it, curve.end());
+  EXPECT_GT(max_it->value, MeanChangeDetector().config().glrt_threshold);
+  EXPECT_GT(max_it->time, 55.0);
+  EXPECT_LT(max_it->time, 105.0);
+}
+
+TEST(MeanChange, TrustConditionFlagsModerateChange) {
+  const auto fair = fair_stream(15);
+  // Moderate shift that stays under threshold1 but above threshold2.
+  const auto attacked = with_attack(fair, 3.3, 0.1, 60.0, 80.0, 55);
+
+  McConfig config;
+  const MeanChangeDetector detector(config);
+
+  const DetectionResult no_trust = detector.detect(attacked);
+
+  // With a trust lookup that distrusts the attackers, condition 2 fires.
+  const TrustLookup lookup = [](RaterId id) {
+    return id.value() >= 1'000'000 ? 0.05 : 0.9;
+  };
+  const DetectionResult with_trust = detector.detect(attacked, lookup);
+
+  double days_no_trust = 0.0;
+  for (const Interval& iv : no_trust.suspicious) days_no_trust += iv.length();
+  double days_with_trust = 0.0;
+  for (const Interval& iv : with_trust.suspicious) {
+    days_with_trust += iv.length();
+  }
+  EXPECT_GE(days_with_trust, days_no_trust);
+}
+
+TEST(MeanChange, RejectsInconsistentThresholds) {
+  McConfig config;
+  config.threshold1 = 0.1;
+  config.threshold2 = 0.5;
+  EXPECT_THROW(MeanChangeDetector{config}, Error);
+}
+
+// --------------------------------------------------------- ARC detector
+
+TEST(ArrivalRate, CleanStreamQuiet) {
+  const auto stream = fair_stream(21);
+  const ArrivalRateDetector detector(ArcConfig{}, ArcMode::kAll);
+  const DetectionResult result = detector.detect(stream);
+  double marked_days = 0.0;
+  for (const Interval& iv : result.suspicious) marked_days += iv.length();
+  EXPECT_LT(marked_days, 0.2 * stream.span().length());
+}
+
+TEST(ArrivalRate, DetectsBurst) {
+  const auto fair = fair_stream(22);
+  // 50 extra ratings in 10 days is a strong arrival jump over rate ~3/day.
+  const auto attacked = with_attack(fair, 1.0, 0.3, 60.0, 70.0, 50);
+  const ArrivalRateDetector detector(ArcConfig{}, ArcMode::kAll);
+  const DetectionResult result = detector.detect(attacked);
+  EXPECT_TRUE(result.overlaps(Interval{58.0, 72.0}));
+}
+
+TEST(ArrivalRate, LArcSeesLowRatingsOnly) {
+  const auto fair = fair_stream(23);
+  const auto attacked = with_attack(fair, 0.5, 0.3, 60.0, 70.0, 50);
+  const ArrivalRateDetector low(ArcConfig{}, ArcMode::kLow);
+  const ArrivalRateDetector high(ArcConfig{}, ArcMode::kHigh);
+  EXPECT_TRUE(low.detect(attacked).overlaps(Interval{58.0, 72.0}));
+  // The attack added no high ratings, so it must not *change* H-ARC's
+  // verdict over the attack window. (H-ARC may fire there on its own:
+  // the fair mean drifts, which genuinely modulates the 5-star rate —
+  // the non-stationarity the paper warns single detectors about.)
+  EXPECT_EQ(high.detect(attacked).overlaps(Interval{58.0, 72.0}),
+            high.detect(fair).overlaps(Interval{58.0, 72.0}));
+}
+
+TEST(ArrivalRate, HArcSeesBoostBurst) {
+  const auto fair = fair_stream(24);
+  const auto attacked = with_attack(fair, 5.0, 0.1, 40.0, 50.0, 50);
+  const ArrivalRateDetector high(ArcConfig{}, ArcMode::kHigh);
+  EXPECT_TRUE(high.detect(attacked).overlaps(Interval{38.0, 52.0}));
+}
+
+TEST(ArrivalRate, EmptyStream) {
+  rating::ProductRatings empty(ProductId(1));
+  const ArrivalRateDetector detector(ArcConfig{}, ArcMode::kAll);
+  const DetectionResult result = detector.detect(empty);
+  EXPECT_TRUE(result.curve.empty());
+  EXPECT_TRUE(result.suspicious.empty());
+}
+
+TEST(ArrivalRate, RejectsBadConfig) {
+  ArcConfig config;
+  config.window_days = 1.0;
+  EXPECT_THROW(ArrivalRateDetector(config, ArcMode::kAll), Error);
+}
+
+// --------------------------------------------------------- HC detector
+
+TEST(HistogramChange, CleanStreamLowCurve) {
+  const auto stream = fair_stream(31);
+  const HistogramDetector detector;
+  const DetectionResult result = detector.detect(stream);
+  double marked_days = 0.0;
+  for (const Interval& iv : result.suspicious) marked_days += iv.length();
+  EXPECT_LT(marked_days, 0.25 * stream.span().length());
+}
+
+TEST(HistogramChange, DetectsSecondMode) {
+  const auto fair = fair_stream(32);
+  // A detached low mode: values near 1 while fair ratings sit at 3-5.
+  const auto attacked = with_attack(fair, 1.0, 0.1, 60.0, 80.0, 60);
+  const HistogramDetector detector;
+  EXPECT_TRUE(detector.detect(attacked).overlaps(Interval{58.0, 82.0}));
+}
+
+TEST(HistogramChange, LargeVarianceAttackEvades) {
+  const auto fair = fair_stream(33);
+  // Wide-spread attack values bridge the gap to the fair mode; the cluster
+  // split sees no separating gap (this is why R3 attacks beat the HC part).
+  const auto attacked = with_attack(fair, 2.0, 1.6, 60.0, 80.0, 50,
+                                    /*seed=*/5);
+  const HistogramDetector detector;
+  const DetectionResult clean = detector.detect(fair);
+  const DetectionResult dirty = detector.detect(attacked);
+  double clean_days = 0.0;
+  for (const Interval& iv : clean.suspicious) clean_days += iv.length();
+  double dirty_days = 0.0;
+  for (const Interval& iv : dirty.suspicious) dirty_days += iv.length();
+  EXPECT_LT(dirty_days, clean_days + 12.0);
+}
+
+TEST(HistogramChange, CurveValuesInUnitInterval) {
+  const auto stream = fair_stream(34, 80.0);
+  for (const auto& point : HistogramDetector().indicator_curve(stream)) {
+    EXPECT_GE(point.value, 0.0);
+    EXPECT_LE(point.value, 1.0);
+  }
+}
+
+TEST(HistogramChange, RejectsBadConfig) {
+  HcConfig config;
+  config.window_ratings = 2;
+  EXPECT_THROW(HistogramDetector{config}, Error);
+  config = HcConfig{};
+  config.threshold = 0.0;
+  EXPECT_THROW(HistogramDetector{config}, Error);
+}
+
+// --------------------------------------------------------- ME detector
+
+TEST(ModelError, CleanStreamHighError) {
+  const auto stream = fair_stream(41);
+  const auto curve = ModelErrorDetector().indicator_curve(stream);
+  double sum = 0.0;
+  for (const auto& p : curve) sum += p.value;
+  EXPECT_GT(sum / static_cast<double>(curve.size()), 0.5);
+}
+
+TEST(ModelError, ConstantAttackBlockLowersError) {
+  const auto fair = fair_stream(42);
+  // A dense block of identical values is maximally predictable: the ME
+  // curve's minimum should fall near the block and dip below the fair
+  // stream's minimum.
+  const auto attacked = with_attack(fair, 1.0, 0.0, 60.0, 66.0, 55);
+  const ModelErrorDetector detector;
+
+  auto curve_min = [](const signal::Curve& curve) {
+    double best = 1.0;
+    Day at = 0.0;
+    for (const auto& p : curve) {
+      if (p.value < best) {
+        best = p.value;
+        at = p.time;
+      }
+    }
+    return std::pair{best, at};
+  };
+  const auto [fair_min, fair_at] =
+      curve_min(detector.indicator_curve(fair));
+  const auto [attacked_min, attacked_at] =
+      curve_min(detector.indicator_curve(attacked));
+  EXPECT_LT(attacked_min, fair_min);
+  EXPECT_GT(attacked_at, 55.0);
+  EXPECT_LT(attacked_at, 72.0);
+}
+
+TEST(ModelError, RejectsBadConfig) {
+  MeConfig config;
+  config.ar_order = 0;
+  EXPECT_THROW(ModelErrorDetector{config}, Error);
+}
+
+// --------------------------------------------------------- Integrator
+
+TEST(Integrator, EmptyStream) {
+  rating::ProductRatings empty(ProductId(1));
+  const IntegrationResult result = DetectorIntegrator().analyze(empty);
+  EXPECT_TRUE(result.suspicious.empty());
+  EXPECT_EQ(result.suspicious_count(), 0u);
+}
+
+TEST(Integrator, FairStreamFewFalsePositives) {
+  const auto stream = fair_stream(51);
+  const IntegrationResult result = DetectorIntegrator().analyze(stream);
+  EXPECT_LT(fair_hit_rate(stream, result), 0.12);
+}
+
+TEST(Integrator, CatchesNaiveDowngradeAttack) {
+  const auto fair = fair_stream(52);
+  const auto attacked = with_attack(fair, 0.5, 0.2, 60.0, 70.0, 50);
+  const IntegrationResult result = DetectorIntegrator().analyze(attacked);
+  EXPECT_GT(unfair_hit_rate(attacked, result), 0.6);
+  EXPECT_LT(fair_hit_rate(attacked, result), 0.2);
+}
+
+TEST(Integrator, CatchesNaiveBoostAttackWithHeadroom) {
+  // Boosting only has statistical room when the fair mean is not already
+  // pinned at the scale's top (the paper makes the same observation); with
+  // a mean-3 product an all-5s burst is a clear joint MC + H-ARC signature.
+  const auto fair = fair_stream(53, 150.0, /*mean=*/3.0);
+  const auto attacked = with_attack(fair, 5.0, 0.0, 40.0, 50.0, 50);
+  const IntegrationResult result = DetectorIntegrator().analyze(attacked);
+  EXPECT_GT(unfair_hit_rate(attacked, result), 0.4);
+}
+
+TEST(Integrator, CeilingBoostIsInherentlyMild) {
+  // Against a mean-4 product the same burst barely moves any statistic —
+  // the reason the paper reports boosting "has no much room".
+  const auto fair = fair_stream(53);
+  const auto attacked = with_attack(fair, 5.0, 0.0, 40.0, 50.0, 50);
+  const IntegrationResult result = DetectorIntegrator().analyze(attacked);
+  // The arrival alarm still fires even if value-domain confirmation fails.
+  EXPECT_TRUE(result.harc.overlaps(Interval{38.0, 52.0}));
+}
+
+TEST(Integrator, HighVarianceAttackEvadesBetter) {
+  const auto fair = fair_stream(54);
+  const auto tight =
+      with_attack(fair, 1.6, 0.1, 60.0, 95.0, 50, /*seed=*/7);
+  const auto wide =
+      with_attack(fair, 1.6, 1.5, 60.0, 95.0, 50, /*seed=*/7);
+  const DetectorIntegrator integrator;
+  const double tight_rate =
+      unfair_hit_rate(tight, integrator.analyze(tight));
+  const double wide_rate = unfair_hit_rate(wide, integrator.analyze(wide));
+  // The paper's key finding: large variance weakens the signal features.
+  EXPECT_LE(wide_rate, tight_rate);
+}
+
+TEST(Integrator, TogglesDisableDetectors) {
+  const auto fair = fair_stream(55);
+  const auto attacked = with_attack(fair, 0.5, 0.2, 60.0, 70.0, 50);
+  DetectorToggles none;
+  none.use_mc = false;
+  none.use_arc = false;
+  none.use_hc = false;
+  none.use_me = false;
+  const IntegrationResult result =
+      DetectorIntegrator(DetectorConfig{}, none).analyze(attacked);
+  EXPECT_EQ(result.suspicious_count(), 0u);
+}
+
+TEST(Integrator, ArcAloneInsufficient) {
+  // Path structure: without any value-domain confirmation (MC/HC/ME), an
+  // arrival-rate change alone must not mark ratings.
+  const auto fair = fair_stream(56);
+  const auto attacked = with_attack(fair, 0.5, 0.2, 60.0, 70.0, 50);
+  DetectorToggles only_arc;
+  only_arc.use_mc = false;
+  only_arc.use_hc = false;
+  only_arc.use_me = false;
+  const IntegrationResult result =
+      DetectorIntegrator(DetectorConfig{}, only_arc).analyze(attacked);
+  EXPECT_EQ(result.suspicious_count(), 0u);
+}
+
+TEST(Integrator, SplitThresholdsBracketTheMean) {
+  const auto stream = fair_stream(57);
+  const IntegrationResult result = DetectorIntegrator().analyze(stream);
+  // threshold_a = m + 0.5, threshold_b = m - 0.5 with m ~ 4 (see the
+  // ValueSplit discussion: the paper's printed 0.5*m formula is read as a
+  // typo).
+  EXPECT_NEAR(result.split.threshold_a, 4.5, 0.35);
+  EXPECT_NEAR(result.split.threshold_b, 3.5, 0.35);
+}
+
+TEST(Integrator, SuspicionVectorMatchesStreamSize) {
+  const auto fair = fair_stream(58, 90.0);
+  const IntegrationResult result = DetectorIntegrator().analyze(fair);
+  EXPECT_EQ(result.suspicious.size(), fair.size());
+}
+
+}  // namespace
+}  // namespace rab::detectors

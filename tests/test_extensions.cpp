@@ -1,0 +1,288 @@
+// Tests for the extension modules: submission io, trust forgetting, the
+// median and entropy baselines.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aggregation/entropy_scheme.hpp"
+#include "aggregation/median_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "challenge/participants.hpp"
+#include "challenge/submission_io.hpp"
+#include "rating/fair_generator.hpp"
+#include "trust/trust_manager.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab {
+namespace {
+
+// ------------------------------------------------------- submission io
+
+challenge::Submission sample_submission() {
+  challenge::Submission s;
+  s.label = "sample-1";
+  for (int i = 0; i < 5; ++i) {
+    rating::Rating r;
+    r.time = 100.0 + i;
+    r.value = static_cast<double>(i % 6);
+    r.rater = RaterId(1'000'000 + i);
+    r.product = ProductId(1 + i % 2);
+    r.unfair = true;
+    s.ratings.push_back(r);
+  }
+  return s;
+}
+
+TEST(SubmissionIo, RoundTrip) {
+  const challenge::Submission original = sample_submission();
+  std::ostringstream out;
+  challenge::write_submission(out, original);
+  std::istringstream in(out.str());
+  const challenge::Submission back = challenge::read_submission(in);
+  EXPECT_EQ(back.label, original.label);
+  ASSERT_EQ(back.ratings.size(), original.ratings.size());
+  for (std::size_t i = 0; i < back.ratings.size(); ++i) {
+    EXPECT_EQ(back.ratings[i], original.ratings[i]);
+  }
+}
+
+TEST(SubmissionIo, AllRatingsReadBackUnfair) {
+  std::ostringstream out;
+  challenge::write_submission(out, sample_submission());
+  std::istringstream in(out.str());
+  for (const rating::Rating& r :
+       challenge::read_submission(in).ratings) {
+    EXPECT_TRUE(r.unfair);
+  }
+}
+
+TEST(SubmissionIo, PopulationRoundTrip) {
+  std::vector<challenge::Submission> population;
+  population.push_back(sample_submission());
+  population.push_back(sample_submission());
+  population[1].label = "sample-2";
+  population[1].ratings.resize(2);
+
+  std::ostringstream out;
+  challenge::write_population(out, population);
+  std::istringstream in(out.str());
+  const auto back = challenge::read_population(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].label, "sample-1");
+  EXPECT_EQ(back[1].label, "sample-2");
+  EXPECT_EQ(back[1].ratings.size(), 2u);
+}
+
+TEST(SubmissionIo, RatingsBeforeHeaderThrow) {
+  std::istringstream in("1,2,3.0,4.0\n");
+  EXPECT_THROW(challenge::read_population(in), Error);
+}
+
+TEST(SubmissionIo, MalformedRowThrows) {
+  std::istringstream in("#label x\n1,2,3.0\n");
+  EXPECT_THROW(challenge::read_population(in), Error);
+}
+
+TEST(SubmissionIo, ReadSubmissionRejectsMultiple) {
+  std::istringstream in("#label a\n1,2,3.0,4.0\n#label b\n1,2,3.0,4.0\n");
+  EXPECT_THROW(challenge::read_submission(in), Error);
+}
+
+TEST(SubmissionIo, MissingFileThrows) {
+  EXPECT_THROW(challenge::read_submission_file("/nonexistent/s.csv"), Error);
+}
+
+TEST(SubmissionIo, GeneratedPopulationSurvivesRoundTrip) {
+  const challenge::Challenge c = challenge::Challenge::make_default(7);
+  const challenge::ParticipantPopulation population(c, 3);
+  const auto subs = population.generate(5);
+  std::ostringstream out;
+  challenge::write_population(out, subs);
+  std::istringstream in(out.str());
+  const auto back = challenge::read_population(in);
+  ASSERT_EQ(back.size(), subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_EQ(back[i].ratings.size(), subs[i].ratings.size());
+    EXPECT_EQ(c.validate(back[i]), challenge::Violation::kNone);
+  }
+}
+
+// ------------------------------------------------------- trust forgetting
+
+TEST(TrustForgetting, RejectsBadFactor) {
+  EXPECT_THROW(trust::TrustManager{0.0}, Error);
+  EXPECT_THROW(trust::TrustManager{1.5}, Error);
+}
+
+TEST(TrustForgetting, DecayIsNoOpAtOne) {
+  trust::TrustManager manager(1.0);
+  manager.record(RaterId(1), {.ratings = 10, .suspicious = 0});
+  const double before = manager.trust(RaterId(1));
+  manager.decay();
+  EXPECT_DOUBLE_EQ(manager.trust(RaterId(1)), before);
+}
+
+TEST(TrustForgetting, DecayPullsTowardPrior) {
+  trust::TrustManager manager(0.5);
+  manager.record(RaterId(1), {.ratings = 20, .suspicious = 20});
+  const double punished = manager.trust(RaterId(1));
+  EXPECT_LT(punished, 0.1);
+  for (int i = 0; i < 10; ++i) manager.decay();
+  // Old sins fade: trust returns toward the 0.5 prior.
+  EXPECT_GT(manager.trust(RaterId(1)), 0.4);
+}
+
+TEST(TrustForgetting, ReformedRaterRecoversFasterWithForgetting) {
+  trust::TrustManager forgetful(0.8);
+  trust::TrustManager elephant(1.0);
+  for (auto* manager : {&forgetful, &elephant}) {
+    manager->record(RaterId(1), {.ratings = 20, .suspicious = 20});
+  }
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    for (auto* manager : {&forgetful, &elephant}) {
+      manager->decay();
+      manager->record(RaterId(1), {.ratings = 5, .suspicious = 0});
+    }
+  }
+  EXPECT_GT(forgetful.trust(RaterId(1)), elephant.trust(RaterId(1)));
+}
+
+// ------------------------------------------------------- median scheme
+
+rating::Dataset small_fair(std::uint64_t seed = 5) {
+  rating::FairDataConfig config;
+  config.product_count = 1;
+  config.history_days = 90.0;
+  config.seed = seed;
+  return rating::FairDataGenerator(config).generate();
+}
+
+TEST(MedianScheme, MatchesManualMedian) {
+  rating::Dataset data;
+  for (int i = 0; i < 5; ++i) {
+    rating::Rating r;
+    r.time = static_cast<double>(i);
+    r.value = static_cast<double>(i);  // 0,1,2,3,4 -> median 2
+    r.rater = RaterId(i);
+    r.product = ProductId(1);
+    data.add(r);
+  }
+  const auto series = aggregation::MedianScheme().aggregate(data, 30.0);
+  ASSERT_EQ(series.of(ProductId(1)).size(), 1u);
+  EXPECT_DOUBLE_EQ(series.of(ProductId(1))[0].value, 2.0);
+}
+
+TEST(MedianScheme, ImmuneToMinorityOutliers) {
+  const rating::Dataset fair = small_fair();
+  // 20 zeros against ~90 fair ratings per bin: the median barely moves.
+  Rng rng(9);
+  std::vector<rating::Rating> attack;
+  for (int i = 0; i < 20; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(30.0, 60.0);
+    r.value = 0.0;
+    r.rater = RaterId(900'000 + i);
+    r.product = ProductId(1);
+    r.unfair = true;
+    attack.push_back(r);
+  }
+  const aggregation::MedianScheme median;
+  const auto clean = median.aggregate(fair, 30.0);
+  const auto dirty = median.aggregate(fair.with_added(attack), 30.0);
+  for (std::size_t i = 0; i < clean.of(ProductId(1)).size(); ++i) {
+    EXPECT_NEAR(clean.of(ProductId(1))[i].value,
+                dirty.of(ProductId(1))[i].value, 1.0);
+  }
+}
+
+// ------------------------------------------------------- entropy scheme
+
+TEST(EntropyScheme, RejectsBadConfig) {
+  aggregation::EntropyConfig config;
+  config.entropy_threshold = 0.0;
+  EXPECT_THROW(aggregation::EntropyScheme{config}, Error);
+  config = {};
+  config.max_removal_fraction = 1.0;
+  EXPECT_THROW(aggregation::EntropyScheme{config}, Error);
+}
+
+TEST(EntropyScheme, StarEntropyKnownValues) {
+  EXPECT_DOUBLE_EQ(aggregation::EntropyScheme::star_entropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      aggregation::EntropyScheme::star_entropy({4.0, 4.0, 4.0}), 0.0);
+  // Two equally likely levels: exactly 1 bit.
+  EXPECT_NEAR(
+      aggregation::EntropyScheme::star_entropy({1.0, 1.0, 4.0, 4.0}), 1.0,
+      1e-12);
+}
+
+TEST(EntropyScheme, SecondModeRaisesEntropy) {
+  std::vector<double> clean{3, 4, 4, 5, 4, 5, 3, 4};
+  std::vector<double> dirty = clean;
+  for (int i = 0; i < 6; ++i) dirty.push_back(0.0);
+  EXPECT_GT(aggregation::EntropyScheme::star_entropy(dirty),
+            aggregation::EntropyScheme::star_entropy(clean));
+}
+
+TEST(EntropyScheme, RemovesInjectedMode) {
+  const rating::Dataset fair = small_fair(11);
+  Rng rng(13);
+  std::vector<rating::Rating> attack;
+  for (int i = 0; i < 40; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(30.0, 60.0);
+    r.value = 0.0;
+    r.rater = RaterId(900'000 + i);
+    r.product = ProductId(1);
+    r.unfair = true;
+    attack.push_back(r);
+  }
+  const aggregation::EntropyScheme entropy;
+  const aggregation::SaScheme sa;
+  const rating::Dataset dirty = fair.with_added(attack);
+
+  auto shift = [&](const aggregation::AggregationScheme& scheme) {
+    const auto clean_series = scheme.aggregate(fair, 30.0);
+    const auto dirty_series = scheme.aggregate(dirty, 30.0);
+    double worst = 0.0;
+    const auto& a = clean_series.of(ProductId(1));
+    const auto& b = dirty_series.of(ProductId(1));
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].used == 0 || b[i].used == 0) continue;
+      worst = std::max(worst, std::fabs(a[i].value - b[i].value));
+    }
+    return worst;
+  };
+  EXPECT_LT(shift(entropy), 0.5 * shift(sa));
+}
+
+TEST(EntropyScheme, CleanDataUntouched) {
+  const rating::Dataset fair = small_fair(17);
+  const auto series = aggregation::EntropyScheme().aggregate(fair, 30.0);
+  for (const auto& point : series.of(ProductId(1))) {
+    EXPECT_EQ(point.removed, 0u)
+        << "clean bin should not trip the entropy threshold";
+  }
+}
+
+TEST(EntropyScheme, RemovalBudgetRespected) {
+  // Even a majority flood cannot push removals past the configured cap.
+  rating::Dataset data;
+  for (int i = 0; i < 30; ++i) {
+    rating::Rating r;
+    r.time = static_cast<double>(i) / 2.0;
+    r.value = i < 15 ? 0.0 : 5.0;  // maximal two-mode entropy
+    r.rater = RaterId(i);
+    r.product = ProductId(1);
+    data.add(r);
+  }
+  aggregation::EntropyConfig config;
+  config.max_removal_fraction = 0.2;
+  const auto series =
+      aggregation::EntropyScheme(config).aggregate(data, 30.0);
+  EXPECT_LE(series.of(ProductId(1))[0].removed, 6u);
+}
+
+}  // namespace
+}  // namespace rab

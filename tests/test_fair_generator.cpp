@@ -1,0 +1,242 @@
+// Tests for the synthetic fair-data generator.
+#include <gtest/gtest.h>
+
+#include "rating/fair_generator.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace rab::rating {
+namespace {
+
+TEST(FairGenerator, RejectsBadConfig) {
+  FairDataConfig config;
+  config.product_count = 0;
+  EXPECT_THROW(FairDataGenerator{config}, Error);
+
+  config = FairDataConfig{};
+  config.mean_value = 6.0;
+  EXPECT_THROW(FairDataGenerator{config}, Error);
+
+  config = FairDataConfig{};
+  config.arrival_rate_jitter = config.base_arrival_rate + 1.0;
+  EXPECT_THROW(FairDataGenerator{config}, Error);
+}
+
+TEST(FairGenerator, ProducesConfiguredProductCount) {
+  FairDataConfig config;
+  config.product_count = 9;
+  const rating::Dataset data = FairDataGenerator(config).generate();
+  EXPECT_EQ(data.product_count(), 9u);
+  for (ProductId id : data.product_ids()) {
+    EXPECT_GE(id.value(), 1);
+    EXPECT_LE(id.value(), 9);
+  }
+}
+
+TEST(FairGenerator, Reproducible) {
+  FairDataConfig config;
+  config.product_count = 2;
+  config.history_days = 60.0;
+  const rating::Dataset a = FairDataGenerator(config).generate();
+  const rating::Dataset b = FairDataGenerator(config).generate();
+  ASSERT_EQ(a.total_ratings(), b.total_ratings());
+  const auto& pa = a.product(ProductId(1)).ratings();
+  const auto& pb = b.product(ProductId(1)).ratings();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(FairGenerator, DifferentSeedsDiffer) {
+  FairDataConfig config;
+  config.product_count = 1;
+  config.history_days = 60.0;
+  const auto a = FairDataGenerator(config).generate();
+  config.seed += 1;
+  const auto b = FairDataGenerator(config).generate();
+  EXPECT_NE(a.product(ProductId(1)).size(), 0u);
+  // Arrival processes differ with overwhelming probability.
+  bool different = a.product(ProductId(1)).size() != b.product(ProductId(1)).size();
+  if (!different) {
+    const auto& ra = a.product(ProductId(1)).ratings();
+    const auto& rb = b.product(ProductId(1)).ratings();
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      if (!(ra[i] == rb[i])) {
+        different = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(FairGenerator, ValuesOnScaleAndDiscrete) {
+  FairDataConfig config;
+  config.product_count = 3;
+  const auto data = FairDataGenerator(config).generate();
+  for (ProductId id : data.product_ids()) {
+    for (const Rating& r : data.product(id).ratings()) {
+      EXPECT_GE(r.value, kMinRating);
+      EXPECT_LE(r.value, kMaxRating);
+      EXPECT_DOUBLE_EQ(r.value, std::round(r.value));
+      EXPECT_FALSE(r.unfair);
+    }
+  }
+}
+
+TEST(FairGenerator, MeanNearConfigured) {
+  FairDataConfig config;
+  config.product_count = 9;
+  const auto data = FairDataGenerator(config).generate();
+  for (ProductId id : data.product_ids()) {
+    const double mean = stats::mean(data.product(id).values());
+    EXPECT_NEAR(mean, 4.0, 0.5) << "product " << id;
+  }
+}
+
+TEST(FairGenerator, ArrivalRateNearConfigured) {
+  FairDataConfig config;
+  config.product_count = 9;
+  config.history_days = 180.0;
+  const auto data = FairDataGenerator(config).generate();
+  for (ProductId id : data.product_ids()) {
+    const double rate = static_cast<double>(data.product(id).size()) /
+                        config.history_days;
+    EXPECT_GT(rate, config.base_arrival_rate - 1.2) << "product " << id;
+    EXPECT_LT(rate, config.base_arrival_rate + 1.2) << "product " << id;
+  }
+}
+
+TEST(FairGenerator, TimesWithinHistory) {
+  FairDataConfig config;
+  config.history_days = 90.0;
+  config.product_count = 2;
+  const auto data = FairDataGenerator(config).generate();
+  for (ProductId id : data.product_ids()) {
+    for (const Rating& r : data.product(id).ratings()) {
+      EXPECT_GE(r.time, 0.0);
+      EXPECT_LT(r.time, 90.0);
+    }
+  }
+}
+
+TEST(FairGenerator, RaterPoolRespected) {
+  FairDataConfig config;
+  config.product_count = 2;
+  config.honest_rater_pool = 10;
+  const auto data = FairDataGenerator(config).generate();
+  for (RaterId rater : data.rater_ids()) {
+    EXPECT_GE(rater.value(), 0);
+    EXPECT_LT(rater.value(), 10);
+  }
+}
+
+TEST(FairGenerator, ContinuousValuesWhenConfigured) {
+  FairDataConfig config;
+  config.product_count = 1;
+  config.discrete_values = false;
+  const auto data = FairDataGenerator(config).generate();
+  bool saw_fractional = false;
+  for (const Rating& r : data.product(ProductId(1)).ratings()) {
+    if (r.value != std::round(r.value)) saw_fractional = true;
+  }
+  EXPECT_TRUE(saw_fractional);
+}
+
+TEST(FairGenerator, ProductsHaveDistinctStreams) {
+  FairDataConfig config;
+  config.product_count = 2;
+  const auto data = FairDataGenerator(config).generate();
+  // Different products fork different RNG streams; their arrival counts
+  // should differ (equality has negligible probability over 180 days).
+  EXPECT_NE(data.product(ProductId(1)).size(),
+            data.product(ProductId(2)).size());
+}
+
+TEST(FairGenerator, GenerateProductRejectsNonPositiveId) {
+  FairDataGenerator gen;
+  EXPECT_THROW(gen.generate_product(ProductId(0)), Error);
+}
+
+
+TEST(FairGenerator, PersonasDeterministic) {
+  FairDataConfig config;
+  config.harsh_rater_fraction = 0.2;
+  config.random_rater_fraction = 0.1;
+  const FairDataGenerator a(config);
+  const FairDataGenerator b(config);
+  for (std::int64_t rater = 0; rater < 50; ++rater) {
+    EXPECT_EQ(a.persona_of(RaterId(rater)), b.persona_of(RaterId(rater)));
+  }
+}
+
+TEST(FairGenerator, PersonaFractionsRoughlyRespected) {
+  FairDataConfig config;
+  config.harsh_rater_fraction = 0.2;
+  config.random_rater_fraction = 0.1;
+  const FairDataGenerator gen(config);
+  int harsh = 0;
+  int random = 0;
+  const int n = 2000;
+  for (std::int64_t rater = 0; rater < n; ++rater) {
+    switch (gen.persona_of(RaterId(rater))) {
+      case FairDataGenerator::Persona::kHarsh:
+        ++harsh;
+        break;
+      case FairDataGenerator::Persona::kRandom:
+        ++random;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(harsh) / n, 0.2, 0.04);
+  EXPECT_NEAR(static_cast<double>(random) / n, 0.1, 0.03);
+}
+
+TEST(FairGenerator, ZeroFractionsMeansAllNormal) {
+  const FairDataGenerator gen;  // defaults: no personas
+  for (std::int64_t rater = 0; rater < 200; ++rater) {
+    EXPECT_EQ(gen.persona_of(RaterId(rater)),
+              FairDataGenerator::Persona::kNormal);
+  }
+}
+
+TEST(FairGenerator, HarshPersonasLowerTheMean) {
+  FairDataConfig plain;
+  plain.product_count = 1;
+  FairDataConfig grumpy = plain;
+  grumpy.harsh_rater_fraction = 0.3;
+  const double plain_mean = stats::mean(
+      FairDataGenerator(plain).generate_product(ProductId(1)).values());
+  const double grumpy_mean = stats::mean(
+      FairDataGenerator(grumpy).generate_product(ProductId(1)).values());
+  EXPECT_LT(grumpy_mean, plain_mean - 0.15);
+}
+
+TEST(FairGenerator, InvalidFractionsRejected) {
+  FairDataConfig config;
+  config.harsh_rater_fraction = 0.8;
+  config.random_rater_fraction = 0.3;  // sums past 1
+  EXPECT_THROW(FairDataGenerator{config}, Error);
+  config = FairDataConfig{};
+  config.harsh_rater_fraction = -0.1;
+  EXPECT_THROW(FairDataGenerator{config}, Error);
+}
+
+TEST(FairGenerator, IndividualUnfairRatersStillGroundTruthFair) {
+  // Paper Section III: personality/habit/random ratings are *individual*
+  // unfair ratings — part of the organic stream, not attack ground truth.
+  FairDataConfig config;
+  config.product_count = 1;
+  config.harsh_rater_fraction = 0.2;
+  config.random_rater_fraction = 0.1;
+  const ProductRatings stream =
+      FairDataGenerator(config).generate_product(ProductId(1));
+  for (const Rating& r : stream.ratings()) {
+    EXPECT_FALSE(r.unfair);
+  }
+}
+
+}  // namespace
+}  // namespace rab::rating

@@ -1,0 +1,234 @@
+// Tests for the Gaussian mean-change and Poisson rate-change GLRTs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/glrt.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::stats {
+namespace {
+
+std::vector<double> gaussian_block(Rng& rng, std::size_t n, double mean,
+                                   double sigma) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.gaussian(mean, sigma));
+  return xs;
+}
+
+std::vector<double> poisson_block(Rng& rng, std::size_t n, double rate) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(static_cast<double>(rng.poisson(rate)));
+  }
+  return xs;
+}
+
+// ------------------------------------------------------- Gaussian GLRT
+
+TEST(GaussianGlrt, RejectsNegativeThreshold) {
+  EXPECT_THROW(GaussianMeanGlrt(-1.0), Error);
+}
+
+TEST(GaussianGlrt, EmptyHalvesScoreZero) {
+  GaussianMeanGlrt glrt(1.0);
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(glrt.statistic({}, xs), 0.0);
+  EXPECT_DOUBLE_EQ(glrt.statistic(xs, {}), 0.0);
+  EXPECT_FALSE(glrt.test({}, {}).change);
+}
+
+TEST(GaussianGlrt, NoChangeSmallStatistic) {
+  Rng rng(1);
+  GaussianMeanGlrt glrt(8.0);
+  int false_alarms = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x1 = gaussian_block(rng, 40, 4.0, 0.8);
+    const auto x2 = gaussian_block(rng, 40, 4.0, 0.8);
+    if (glrt.test(x1, x2).change) ++false_alarms;
+  }
+  // Threshold 8 corresponds to ~0.5% tail of chi2_1; expect very few.
+  EXPECT_LE(false_alarms, 3);
+}
+
+TEST(GaussianGlrt, DetectsLargeMeanShift) {
+  Rng rng(2);
+  GaussianMeanGlrt glrt(8.0);
+  int detections = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x1 = gaussian_block(rng, 40, 4.0, 0.8);
+    const auto x2 = gaussian_block(rng, 40, 2.5, 0.8);
+    if (glrt.test(x1, x2).change) ++detections;
+  }
+  EXPECT_GE(detections, 48);
+}
+
+TEST(GaussianGlrt, StatisticGrowsWithShift) {
+  Rng rng(3);
+  GaussianMeanGlrt glrt(8.0);
+  const auto base = gaussian_block(rng, 50, 4.0, 0.5);
+  double prev = 0.0;
+  for (double shift : {0.5, 1.0, 2.0, 3.0}) {
+    Rng r2(7);
+    std::vector<double> shifted;
+    for (std::size_t i = 0; i < 50; ++i) {
+      shifted.push_back(r2.gaussian(4.0 - shift, 0.5));
+    }
+    const double stat = glrt.statistic(base, shifted);
+    EXPECT_GT(stat, prev);
+    prev = stat;
+  }
+}
+
+TEST(GaussianGlrt, LargerVarianceWeakensStatistic) {
+  // The core phenomenon behind Figure 2: spreading the unfair values
+  // suppresses the mean-change statistic.
+  Rng rng(4);
+  GaussianMeanGlrt glrt(8.0);
+  const auto fair = gaussian_block(rng, 50, 4.0, 0.5);
+
+  Rng tight_rng(11);
+  Rng wide_rng(11);
+  const auto tight = gaussian_block(tight_rng, 50, 2.0, 0.1);
+  const auto wide = gaussian_block(wide_rng, 50, 2.0, 1.5);
+  EXPECT_GT(glrt.statistic(fair, tight), glrt.statistic(fair, wide));
+}
+
+TEST(GaussianGlrt, ConstantHalvesUseSigmaFloor) {
+  GaussianMeanGlrt glrt(1.0, 0.01);
+  const std::vector<double> a(10, 4.0);
+  const std::vector<double> b(10, 3.0);
+  const double stat = glrt.statistic(a, b);
+  EXPECT_TRUE(std::isfinite(stat));
+  EXPECT_GT(stat, 1.0);  // clear separation even with the floor
+}
+
+TEST(GaussianGlrt, SymmetricInHalves) {
+  Rng rng(5);
+  GaussianMeanGlrt glrt(1.0);
+  const auto x1 = gaussian_block(rng, 30, 4.0, 0.6);
+  const auto x2 = gaussian_block(rng, 30, 3.0, 0.6);
+  EXPECT_NEAR(glrt.statistic(x1, x2), glrt.statistic(x2, x1), 1e-12);
+}
+
+TEST(GaussianGlrt, UnequalHalvesSupported) {
+  Rng rng(6);
+  GaussianMeanGlrt glrt(8.0);
+  const auto x1 = gaussian_block(rng, 10, 4.0, 0.5);
+  const auto x2 = gaussian_block(rng, 60, 1.0, 0.5);
+  EXPECT_TRUE(glrt.test(x1, x2).change);
+}
+
+/// Detection-probability sweep over the shift size.
+class GaussianShiftSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GaussianShiftSweep, DetectionImprovesWithShift) {
+  const double shift = GetParam();
+  Rng rng(static_cast<std::uint64_t>(shift * 100));
+  GaussianMeanGlrt glrt(8.0);
+  int detections = 0;
+  for (int t = 0; t < 40; ++t) {
+    const auto x1 = gaussian_block(rng, 45, 4.0, 0.8);
+    const auto x2 = gaussian_block(rng, 45, 4.0 - shift, 0.8);
+    if (glrt.test(x1, x2).change) ++detections;
+  }
+  if (shift >= 1.0) {
+    EXPECT_GE(detections, 35);
+  }
+  if (shift <= 0.1) {
+    EXPECT_LE(detections, 10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, GaussianShiftSweep,
+                         ::testing::Values(0.0, 0.1, 1.0, 2.0, 3.0));
+
+// ------------------------------------------------------- Poisson GLRT
+
+TEST(PoissonGlrt, RejectsNegativeThreshold) {
+  EXPECT_THROW(PoissonRateGlrt(-0.5), Error);
+}
+
+TEST(PoissonGlrt, EmptyHalvesScoreZero) {
+  const std::vector<double> y{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(PoissonRateGlrt::statistic({}, y), 0.0);
+  EXPECT_DOUBLE_EQ(PoissonRateGlrt::statistic(y, {}), 0.0);
+}
+
+TEST(PoissonGlrt, EqualRatesSmallStatistic) {
+  Rng rng(21);
+  PoissonRateGlrt glrt(0.08);
+  int false_alarms = 0;
+  for (int t = 0; t < 50; ++t) {
+    const auto y1 = poisson_block(rng, 15, 3.0);
+    const auto y2 = poisson_block(rng, 15, 3.0);
+    if (glrt.test(y1, y2).change) ++false_alarms;
+  }
+  EXPECT_LE(false_alarms, 6);
+}
+
+TEST(PoissonGlrt, DetectsRateJump) {
+  Rng rng(22);
+  PoissonRateGlrt glrt(0.08);
+  int detections = 0;
+  for (int t = 0; t < 50; ++t) {
+    const auto y1 = poisson_block(rng, 15, 3.0);
+    const auto y2 = poisson_block(rng, 15, 6.0);
+    if (glrt.test(y1, y2).change) ++detections;
+  }
+  EXPECT_GE(detections, 45);
+}
+
+TEST(PoissonGlrt, ZeroCountsHandled) {
+  const std::vector<double> zeros(10, 0.0);
+  const std::vector<double> busy(10, 5.0);
+  const double stat = PoissonRateGlrt::statistic(zeros, busy);
+  EXPECT_TRUE(std::isfinite(stat));
+  EXPECT_GT(stat, 0.0);
+}
+
+TEST(PoissonGlrt, StatisticIsNonNegative) {
+  Rng rng(23);
+  for (int t = 0; t < 100; ++t) {
+    const auto y1 = poisson_block(rng, 10, rng.uniform(0.5, 6.0));
+    const auto y2 = poisson_block(rng, 10, rng.uniform(0.5, 6.0));
+    EXPECT_GE(PoissonRateGlrt::statistic(y1, y2), -1e-12);
+  }
+}
+
+TEST(PoissonGlrt, ExactValueOnDeterministicCounts) {
+  // a = b = 2 days; Y1 = {2,2}, Y2 = {8,8}. Statistic =
+  // 0.5*2*ln2 + 0.5*8*ln8 - 5*ln5.
+  const std::vector<double> y1{2.0, 2.0};
+  const std::vector<double> y2{8.0, 8.0};
+  const double expected =
+      0.5 * 2.0 * std::log(2.0) + 0.5 * 8.0 * std::log(8.0) -
+      5.0 * std::log(5.0);
+  EXPECT_NEAR(PoissonRateGlrt::statistic(y1, y2), expected, 1e-12);
+}
+
+/// Rate-ratio sweep: bigger jumps score higher.
+class PoissonRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonRatioSweep, MonotoneInRatio) {
+  const double ratio = GetParam();
+  Rng rng(31);
+  const auto y1 = poisson_block(rng, 20, 3.0);
+  Rng rng2(32);
+  const auto y2 = poisson_block(rng2, 20, 3.0 * ratio);
+  Rng rng3(32);
+  const auto y2_small = poisson_block(rng3, 20, 3.0 * std::max(ratio / 2.0, 1.0));
+  if (ratio >= 2.0) {
+    EXPECT_GE(PoissonRateGlrt::statistic(y1, y2),
+              PoissonRateGlrt::statistic(y1, y2_small) - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, PoissonRatioSweep,
+                         ::testing::Values(1.0, 2.0, 3.0, 5.0));
+
+}  // namespace
+}  // namespace rab::stats

@@ -1,0 +1,87 @@
+// Tests for the fixed-range histogram.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "util/error.hpp"
+
+namespace rab::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 5.0, 0), Error);
+}
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 5.0, 5);
+  EXPECT_EQ(h.bin_of(0.0), 0u);
+  EXPECT_EQ(h.bin_of(0.99), 0u);
+  EXPECT_EQ(h.bin_of(1.0), 1u);
+  EXPECT_EQ(h.bin_of(4.99), 4u);
+  EXPECT_EQ(h.bin_of(5.0), 4u);  // top edge folds into the last bin
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 5.0, 5);
+  h.add(-10.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, FrequenciesSumToOne) {
+  Histogram h(0.0, 5.0, 5);
+  const std::vector<double> xs{0.5, 1.5, 1.6, 3.2, 4.9};
+  h.add_all(xs);
+  double sum = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) sum += h.frequency(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h.frequency(1), 0.4);
+}
+
+TEST(Histogram, EmptyFrequencyIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.frequency(0), 0.0);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 5.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 4.5);
+}
+
+TEST(Histogram, CountOutOfRangeThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), Error);
+  EXPECT_THROW((void)h.bin_center(5), Error);
+}
+
+TEST(Histogram, L1DistanceIdentical) {
+  Histogram a(0.0, 5.0, 5);
+  Histogram b(0.0, 5.0, 5);
+  for (double x : {1.0, 2.0, 3.0}) {
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_DOUBLE_EQ(a.l1_distance(b), 0.0);
+}
+
+TEST(Histogram, L1DistanceDisjointIsTwo) {
+  Histogram a(0.0, 5.0, 5);
+  Histogram b(0.0, 5.0, 5);
+  a.add(0.5);
+  b.add(4.5);
+  EXPECT_DOUBLE_EQ(a.l1_distance(b), 2.0);
+}
+
+TEST(Histogram, L1DistanceShapeMismatchThrows) {
+  Histogram a(0.0, 5.0, 5);
+  Histogram b(0.0, 5.0, 4);
+  EXPECT_THROW((void)a.l1_distance(b), Error);
+}
+
+}  // namespace
+}  // namespace rab::stats

@@ -1,0 +1,208 @@
+// End-to-end integration tests reproducing the paper's headline shapes on
+// a reduced scale (the full-scale versions live in bench/).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "aggregation/bf_scheme.hpp"
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "challenge/analysis.hpp"
+#include "challenge/participants.hpp"
+#include "core/attack_generator.hpp"
+
+namespace rab {
+namespace {
+
+const challenge::Challenge& shared_challenge() {
+  static const challenge::Challenge c =
+      challenge::Challenge::make_default(2025);
+  return c;
+}
+
+const std::vector<challenge::Submission>& shared_population() {
+  static const std::vector<challenge::Submission> population =
+      challenge::ParticipantPopulation(shared_challenge(), 17).generate(32);
+  return population;
+}
+
+double max_mp(const std::vector<challenge::Submission>& population,
+              const aggregation::AggregationScheme& scheme) {
+  const challenge::Challenge& c = shared_challenge();
+  double best = 0.0;
+  for (const challenge::Submission& s : population) {
+    best = std::max(best, c.evaluate(s, scheme).overall);
+  }
+  return best;
+}
+
+TEST(EndToEnd, PSchemeMaxMpWellBelowSa) {
+  // Section V-A: under the P-scheme the attackers' best MP is a fraction
+  // (the paper reports ~1/3) of what they achieve against the baselines.
+  const aggregation::SaScheme sa;
+  const aggregation::PScheme p;
+  const double sa_best = max_mp(shared_population(), sa);
+  const double p_best = max_mp(shared_population(), p);
+  EXPECT_LT(p_best, 0.67 * sa_best);
+}
+
+TEST(EndToEnd, BfNoBetterThanSaAgainstSmartAttacks) {
+  // Figure 4: BF only removes large-bias tiny-variance attacks. For the
+  // defense-aware strategies, BF and SA are essentially identical.
+  const challenge::Challenge& c = shared_challenge();
+  const challenge::ParticipantPopulation population(c, 23);
+  const aggregation::SaScheme sa;
+  const aggregation::BfScheme bf;
+  const auto smart =
+      population.make(challenge::StrategyKind::kHighVariance, 0);
+  const double sa_mp = c.evaluate(smart, sa).overall;
+  const double bf_mp = c.evaluate(smart, bf).overall;
+  EXPECT_NEAR(bf_mp, sa_mp, 0.15 * sa_mp + 0.05);
+}
+
+TEST(EndToEnd, BfFiltersNaiveExtremeAttack) {
+  const challenge::Challenge& c = shared_challenge();
+  const challenge::ParticipantPopulation population(c, 23);
+  const aggregation::SaScheme sa;
+  const aggregation::BfScheme bf;
+  const auto naive =
+      population.make(challenge::StrategyKind::kNaiveExtreme, 1);
+  const double sa_mp = c.evaluate(naive, sa).overall;
+  const double bf_mp = c.evaluate(naive, bf).overall;
+  EXPECT_LT(bf_mp, 0.7 * sa_mp);
+}
+
+TEST(EndToEnd, AnalysisMarksTopTen) {
+  const auto points = challenge::analyze_population(
+      shared_challenge(), shared_population(), aggregation::SaScheme{});
+  ASSERT_EQ(points.size(), shared_population().size());
+  std::size_t amp = 0;
+  std::size_t lmp = 0;
+  for (const auto& point : points) {
+    amp += point.amp ? 1 : 0;
+    lmp += point.lmp ? 1 : 0;
+  }
+  EXPECT_EQ(amp, 10u);
+  EXPECT_LE(lmp, 10u);
+  EXPECT_GT(lmp, 0u);
+}
+
+TEST(EndToEnd, SaTopAttacksHaveLargeNegativeBiasSmallSpread) {
+  // Figure 3's region R1: without a defense the winners slam the floor.
+  const auto points = challenge::analyze_population(
+      shared_challenge(), shared_population(), aggregation::SaScheme{});
+  double bias_sum = 0.0;
+  double sd_sum = 0.0;
+  int n = 0;
+  for (const auto& point : points) {
+    if (!point.lmp) continue;
+    bias_sum += point.bias;
+    sd_sum += point.stddev;
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(bias_sum / n, -2.0);
+  EXPECT_LT(sd_sum / n, 0.8);
+}
+
+TEST(EndToEnd, PTopAttacksCarryMoreVarianceThanSaTop) {
+  // Figure 2 vs Figure 3: the P-scheme pushes winning attacks toward the
+  // medium-bias / larger-variance region (R3).
+  const auto sa_points = challenge::analyze_population(
+      shared_challenge(), shared_population(), aggregation::SaScheme{});
+  const auto p_points = challenge::analyze_population(
+      shared_challenge(), shared_population(), aggregation::PScheme{});
+  auto lmp_mean_sd = [](const std::vector<challenge::VarianceBiasPoint>& ps) {
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& p : ps) {
+      if (p.lmp) {
+        sum += p.stddev;
+        ++n;
+      }
+    }
+    return n == 0 ? 0.0 : sum / n;
+  };
+  EXPECT_GT(lmp_mean_sd(p_points), lmp_mean_sd(sa_points));
+}
+
+TEST(EndToEnd, ColorCodeMatchesPaper) {
+  challenge::VarianceBiasPoint point;
+  EXPECT_EQ(challenge::color_of(point), challenge::PointColor::kGrey);
+  point.amp = true;
+  EXPECT_EQ(challenge::color_of(point), challenge::PointColor::kGreen);
+  point.lmp = true;
+  EXPECT_EQ(challenge::color_of(point), challenge::PointColor::kRed);
+  point.lmp = false;
+  point.ump = true;
+  EXPECT_EQ(challenge::color_of(point), challenge::PointColor::kBlue);
+  point.amp = false;
+  EXPECT_EQ(challenge::color_of(point), challenge::PointColor::kCyan);
+  point.ump = false;
+  point.lmp = true;
+  EXPECT_EQ(challenge::color_of(point), challenge::PointColor::kPink);
+}
+
+TEST(EndToEnd, HeuristicCorrelationCompetitiveAgainstSignalDetectors) {
+  // Figure 7's property: Procedure 3's anti-correlated ordering helps
+  // against the signal-model detection pathway — the AR model-error
+  // detector of the paper's precursor system [6]. Our reproduction
+  // confirms the direction for the ARC+ME pathway; the histogram and
+  // (median-baseline) mean-change detectors punish the ordering instead
+  // (see EXPERIMENTS.md), so this test pins the signal-model
+  // configuration.
+  const challenge::Challenge& c = shared_challenge();
+  aggregation::PConfig config;
+  config.toggles.use_hc = false;
+  config.toggles.use_mc = false;
+  const aggregation::PScheme p(config);
+  const core::AttackGenerator generator(c, 5);
+
+  core::AttackProfile profile;
+  profile.bias = -2.2;
+  profile.sigma = 1.2;
+  profile.duration_days = 45.0;
+
+  profile.correlation = core::CorrelationMode::kHeuristic;
+  const double heuristic_mp =
+      c.evaluate(generator.generate(profile, 7), p).overall;
+
+  profile.correlation = core::CorrelationMode::kRandom;
+  double random_mp = 0.0;
+  const int kOrders = 3;
+  for (int i = 0; i < kOrders; ++i) {
+    random_mp += c.evaluate(
+        generator.generate(profile, 100 + static_cast<std::uint64_t>(i)), p)
+        .overall;
+  }
+  random_mp /= kOrders;
+  EXPECT_GE(heuristic_mp, 0.8 * random_mp);
+}
+
+TEST(EndToEnd, GeneratorOptimizationBeatsMostOfPopulation) {
+  // Figure 5's claim, reduced: Procedure 2 against the P-scheme finds an
+  // attack at least as strong as the bulk of the synthetic population.
+  const challenge::Challenge& c = shared_challenge();
+  const aggregation::PScheme p;
+  const core::AttackGenerator generator(c, 5);
+
+  core::AttackProfile timing;
+  timing.duration_days = 45.0;
+
+  core::RegionSearchOptions options;
+  options.trials = 2;
+  options.max_rounds = 2;
+  const core::RegionSearchResult search =
+      generator.optimize(p, options, timing);
+
+  std::vector<double> mps;
+  for (const challenge::Submission& s : shared_population()) {
+    mps.push_back(c.evaluate(s, p).overall);
+  }
+  std::sort(mps.begin(), mps.end());
+  const double p75 = mps[mps.size() * 3 / 4];
+  EXPECT_GE(search.best_mp, p75);
+}
+
+}  // namespace
+}  // namespace rab

@@ -1,0 +1,173 @@
+// Tests for the small dense linear algebra used by AR fitting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/linalg.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::stats {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, OutOfBoundsThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), Error);
+  EXPECT_THROW(m(0, 2), Error);
+}
+
+TEST(Matrix, GramIsSymmetric) {
+  Matrix a(3, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  a(2, 0) = 5.0;
+  a(2, 1) = 6.0;
+  const Matrix g = a.gram();
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_DOUBLE_EQ(g(0, 0), 35.0);   // 1+9+25
+  EXPECT_DOUBLE_EQ(g(0, 1), 44.0);   // 2+12+30
+  EXPECT_DOUBLE_EQ(g(1, 0), g(0, 1));
+  EXPECT_DOUBLE_EQ(g(1, 1), 56.0);   // 4+16+36
+}
+
+TEST(Matrix, TransposeTimes) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  const std::vector<double> v{1.0, 1.0};
+  const std::vector<double> out = a.transpose_times(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(Solve, Identity) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  const std::vector<double> x = solve(a, {3.0, -2.0});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+}
+
+TEST(Solve, Known2x2) {
+  // 2x + y = 5 ; x - y = 1  ->  x = 2, y = 1
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = -1.0;
+  const std::vector<double> x = solve(a, {5.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const std::vector<double> x = solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(solve(a, {1.0, 2.0}), Error);
+}
+
+TEST(Solve, DimensionMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve(a, {1.0, 2.0}), Error);
+  Matrix sq(2, 2);
+  EXPECT_THROW(solve(sq, {1.0, 2.0, 3.0}), Error);
+}
+
+TEST(Solve, RandomSystemsRoundTrip) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(trial % 6);
+    Matrix a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.uniform(-3.0, 3.0);
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-2.0, 2.0);
+      a(i, i) += 4.0;  // diagonally dominant: never singular
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_true[j];
+    }
+    const std::vector<double> x = solve(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-9);
+    }
+  }
+}
+
+TEST(LeastSquares, ExactlyDeterminedMatchesSolve) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = -1.0;
+  const std::vector<double> x = least_squares(a, {5.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
+}
+
+TEST(LeastSquares, OverdeterminedLine) {
+  // Fit y = 2t + 1 through noiseless points: recover slope/intercept.
+  const std::vector<double> ts{0.0, 1.0, 2.0, 3.0, 4.0};
+  Matrix a(ts.size(), 2);
+  std::vector<double> b;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    a(i, 0) = ts[i];
+    a(i, 1) = 1.0;
+    b.push_back(2.0 * ts[i] + 1.0);
+  }
+  const std::vector<double> x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 1.0, 1e-9);
+}
+
+TEST(LeastSquares, RidgeStabilizesCollinear) {
+  // Two identical columns: unsolvable without ridge, finite with it.
+  Matrix a(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = static_cast<double>(i + 1);
+  }
+  EXPECT_THROW(least_squares(a, {1.0, 2.0, 3.0}, 0.0), Error);
+  const std::vector<double> x = least_squares(a, {1.0, 2.0, 3.0}, 1e-6);
+  EXPECT_TRUE(std::isfinite(x[0]));
+  EXPECT_NEAR(x[0], x[1], 1e-6);  // symmetric split
+}
+
+TEST(LeastSquares, NegativeRidgeThrows) {
+  Matrix a(2, 2);
+  EXPECT_THROW(least_squares(a, {1.0, 2.0}, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace rab::stats

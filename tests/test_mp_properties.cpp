@@ -1,0 +1,125 @@
+// Property tests for the MP metric across seeds: invariants that must hold
+// for any attack and any scheme.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "aggregation/sa_scheme.hpp"
+#include "challenge/challenge.hpp"
+#include "challenge/participants.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/rng.hpp"
+
+namespace rab::challenge {
+namespace {
+
+Challenge make_challenge(std::uint64_t seed) {
+  rating::FairDataConfig config;
+  config.product_count = 4;
+  config.history_days = 120.0;
+  config.seed = seed;
+  ChallengeConfig rules;
+  rules.boost_targets = {ProductId(2)};
+  rules.downgrade_targets = {ProductId(1)};
+  return Challenge(rating::FairDataGenerator(config).generate(), rules);
+}
+
+Submission downgrade_attack(const Challenge& c, double value,
+                            std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  Submission s;
+  s.label = "prop";
+  const Interval window = c.config().window;
+  for (std::size_t i = 0; i < count; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(window.begin, window.end - 0.01);
+    r.value = value;
+    r.rater = c.attacker(i);
+    r.product = ProductId(1);
+    r.unfair = true;
+    s.ratings.push_back(r);
+  }
+  return s;
+}
+
+class MpSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MpSeedSweep, MpIsNonNegativeAndFinite) {
+  const Challenge c = make_challenge(GetParam());
+  const aggregation::SaScheme sa;
+  const MpResult mp = c.evaluate(downgrade_attack(c, 0.0, 25, 3), sa);
+  EXPECT_GE(mp.overall, 0.0);
+  EXPECT_TRUE(std::isfinite(mp.overall));
+  for (const auto& [id, value] : mp.per_product) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 2.0 * rating::kMaxRating);  // two bins, bounded shift
+  }
+}
+
+TEST_P(MpSeedSweep, RatingsAtFairMeanBarelyMoveTheAggregate) {
+  const Challenge c = make_challenge(GetParam());
+  const double mean = c.fair_mean(ProductId(1));
+  const aggregation::SaScheme sa;
+  const MpResult mp = c.evaluate(
+      downgrade_attack(c, std::round(mean), 25, 5), sa);
+  // Injecting ratings at (rounded) fair mean can only shift a bin by the
+  // rounding residue: well under half a star.
+  EXPECT_LT(mp.per_product.at(ProductId(1)), 0.5);
+}
+
+TEST_P(MpSeedSweep, ExtremeBeatsModerateUnderSa) {
+  const Challenge c = make_challenge(GetParam());
+  const aggregation::SaScheme sa;
+  const double extreme =
+      c.evaluate(downgrade_attack(c, 0.0, 30, 7), sa).overall;
+  const double moderate =
+      c.evaluate(downgrade_attack(c, 3.0, 30, 7), sa).overall;
+  EXPECT_GT(extreme, moderate);
+}
+
+TEST_P(MpSeedSweep, MpMonotoneInSquadSizeUnderSa) {
+  const Challenge c = make_challenge(GetParam());
+  const aggregation::SaScheme sa;
+  double prev = -1.0;
+  for (std::size_t count : {5u, 15u, 30u, 50u}) {
+    const double mp =
+        c.evaluate(downgrade_attack(c, 0.0, count, 11), sa).overall;
+    EXPECT_GE(mp, prev - 1e-9) << "count " << count;
+    prev = mp;
+  }
+}
+
+TEST_P(MpSeedSweep, RaterIdentityIrrelevantUnderSa) {
+  // Plain averaging ignores who rated: relabeling the attacker squad must
+  // not change MP.
+  const Challenge c = make_challenge(GetParam());
+  const aggregation::SaScheme sa;
+  Submission s = downgrade_attack(c, 1.0, 30, 13);
+  const double before = c.evaluate(s, sa).overall;
+  // Rotate rater ids inside the squad.
+  for (auto& r : s.ratings) {
+    const std::int64_t base = c.config().attacker_id_base;
+    const std::int64_t k = r.rater.value() - base;
+    r.rater = RaterId(base + (k + 17) % 50);
+  }
+  const double after = c.evaluate(s, sa).overall;
+  EXPECT_NEAR(before, after, 1e-12);
+}
+
+TEST_P(MpSeedSweep, PerProductIsTopTwoOfDeltas) {
+  const Challenge c = make_challenge(GetParam());
+  const aggregation::SaScheme sa;
+  const MpResult mp = c.evaluate(downgrade_attack(c, 0.0, 25, 17), sa);
+  for (const auto& [id, value] : mp.per_product) {
+    EXPECT_NEAR(value, top_two_sum(mp.deltas.at(id)), 1e-12);
+    double sum = 0.0;
+    for (double d : mp.deltas.at(id)) sum += d;
+    EXPECT_LE(value, sum + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpSeedSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace rab::challenge

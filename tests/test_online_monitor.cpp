@@ -1,0 +1,173 @@
+// Tests for the streaming OnlineMonitor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "detectors/online_monitor.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::detectors {
+namespace {
+
+std::vector<rating::Rating> merged_time_ordered(
+    const rating::Dataset& data) {
+  std::vector<rating::Rating> all;
+  for (ProductId id : data.product_ids()) {
+    const auto& rs = data.product(id).ratings();
+    all.insert(all.end(), rs.begin(), rs.end());
+  }
+  std::sort(all.begin(), all.end(), rating::ByTime{});
+  return all;
+}
+
+rating::Dataset fair_data(std::uint64_t seed = 3) {
+  rating::FairDataConfig config;
+  config.product_count = 2;
+  config.history_days = 150.0;
+  config.seed = seed;
+  return rating::FairDataGenerator(config).generate();
+}
+
+std::vector<rating::Rating> burst_attack(ProductId product, double begin,
+                                         double end, std::size_t count,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<rating::Rating> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(begin, end);
+    r.value = 0.0;
+    r.rater = RaterId(1'000'000 + static_cast<std::int64_t>(i));
+    r.product = product;
+    r.unfair = true;
+    out.push_back(r);
+  }
+  return out;
+}
+
+TEST(OnlineMonitor, RejectsBadConfig) {
+  OnlineConfig config;
+  config.epoch_days = 0.0;
+  EXPECT_THROW(OnlineMonitor{config}, Error);
+}
+
+TEST(OnlineMonitor, RejectsOutOfOrderRatings) {
+  OnlineMonitor monitor;
+  rating::Rating r;
+  r.time = 10.0;
+  r.value = 4.0;
+  r.rater = RaterId(1);
+  r.product = ProductId(1);
+  monitor.ingest(r);
+  r.time = 5.0;
+  EXPECT_THROW(monitor.ingest(r), InvalidArgument);
+}
+
+TEST(OnlineMonitor, CountsIngested) {
+  OnlineMonitor monitor;
+  const auto all = merged_time_ordered(fair_data());
+  for (const auto& r : all) monitor.ingest(r);
+  EXPECT_EQ(monitor.ingested(), all.size());
+}
+
+TEST(OnlineMonitor, FairStreamRaisesFewAlarms) {
+  OnlineMonitor monitor;
+  for (const auto& r : merged_time_ordered(fair_data(5))) {
+    monitor.ingest(r);
+  }
+  monitor.flush();
+  // Natural variation can raise the odd alarm; a flood of them would make
+  // the monitor useless.
+  EXPECT_LE(monitor.alarms().size(), 6u);
+}
+
+TEST(OnlineMonitor, BurstAttackRaisesAlarmOnRightProduct) {
+  const rating::Dataset data = fair_data(7);
+  auto all = merged_time_ordered(
+      data.with_added(burst_attack(ProductId(1), 60.0, 72.0, 50, 9)));
+
+  OnlineMonitor monitor;
+  for (const auto& r : all) monitor.ingest(r);
+  monitor.flush();
+
+  bool product1_alarm = false;
+  for (const Alarm& alarm : monitor.alarms()) {
+    if (alarm.product == ProductId(1) &&
+        alarm.interval.overlaps(Interval{55.0, 80.0})) {
+      product1_alarm = true;
+      EXPECT_GE(alarm.raised_at, 60.0);  // cannot precede the attack
+      EXPECT_GT(alarm.marked_ratings, 10u);
+    }
+  }
+  EXPECT_TRUE(product1_alarm);
+}
+
+TEST(OnlineMonitor, AlarmLatencyBoundedByEpoch) {
+  const rating::Dataset data = fair_data(11);
+  auto all = merged_time_ordered(
+      data.with_added(burst_attack(ProductId(1), 60.0, 70.0, 50, 13)));
+  OnlineConfig config;
+  config.epoch_days = 15.0;
+  OnlineMonitor monitor(config);
+  for (const auto& r : all) monitor.ingest(r);
+  monitor.flush();
+
+  Day first_alarm = 1e9;
+  for (const Alarm& alarm : monitor.alarms()) {
+    if (alarm.product == ProductId(1) &&
+        alarm.interval.overlaps(Interval{55.0, 75.0})) {
+      first_alarm = std::min(first_alarm, alarm.raised_at);
+    }
+  }
+  // The burst ends at day 70; with 15-day epochs the alarm must land
+  // within one epoch of the attack's end.
+  EXPECT_LE(first_alarm, 70.0 + 15.0 + 1.0);
+}
+
+TEST(OnlineMonitor, TrustTurnsAgainstStreamingAttackers) {
+  const rating::Dataset data = fair_data(13);
+  auto all = merged_time_ordered(
+      data.with_added(burst_attack(ProductId(1), 60.0, 72.0, 50, 15)));
+  OnlineMonitor monitor;
+  for (const auto& r : all) monitor.ingest(r);
+  monitor.flush();
+
+  double attacker_trust = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    attacker_trust += monitor.trust().trust(RaterId(1'000'000 + i));
+  }
+  attacker_trust /= 50.0;
+  EXPECT_LT(attacker_trust, 0.45);
+}
+
+TEST(OnlineMonitor, FlushIdempotentOnEmpty) {
+  OnlineMonitor monitor;
+  EXPECT_NO_THROW(monitor.flush());
+  EXPECT_TRUE(monitor.alarms().empty());
+}
+
+TEST(OnlineMonitor, MatchesOfflineDetectionRoughly) {
+  // The final streaming analysis sees the same data as the offline
+  // integrator; spot-check that the monitor marked a similar number of
+  // attack ratings (trust paths differ, so only roughly).
+  const rating::Dataset data = fair_data(17);
+  const auto attack = burst_attack(ProductId(1), 60.0, 72.0, 50, 19);
+  const rating::Dataset attacked = data.with_added(attack);
+
+  OnlineMonitor monitor;
+  for (const auto& r : merged_time_ordered(attacked)) monitor.ingest(r);
+  monitor.flush();
+  std::size_t online_marks = 0;
+  for (const Alarm& a : monitor.alarms()) {
+    if (a.product == ProductId(1)) online_marks += a.marked_ratings;
+  }
+
+  const IntegrationResult offline =
+      DetectorIntegrator().analyze(attacked.product(ProductId(1)));
+  EXPECT_GT(online_marks, offline.suspicious_count() / 2);
+}
+
+}  // namespace
+}  // namespace rab::detectors

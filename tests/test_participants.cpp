@@ -1,0 +1,180 @@
+// Tests for the synthetic participant population.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "challenge/analysis.hpp"
+#include "challenge/participants.hpp"
+
+namespace rab::challenge {
+namespace {
+
+const Challenge& shared_challenge() {
+  static const Challenge c = Challenge::make_default(101);
+  return c;
+}
+
+TEST(Strategies, AllStrategiesListed) {
+  const auto all = all_strategies();
+  EXPECT_EQ(all.size(), 8u);
+  std::set<StrategyKind> distinct(all.begin(), all.end());
+  EXPECT_EQ(distinct.size(), all.size());
+}
+
+TEST(Strategies, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (StrategyKind kind : all_strategies()) {
+    names.insert(to_string(kind));
+  }
+  EXPECT_EQ(names.size(), all_strategies().size());
+}
+
+TEST(Population, EveryStrategyProducesValidSubmission) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 7);
+  for (StrategyKind kind : all_strategies()) {
+    for (std::uint64_t stream = 0; stream < 3; ++stream) {
+      const Submission s = population.make(kind, stream);
+      EXPECT_EQ(c.validate(s), Violation::kNone)
+          << to_string(kind) << " stream " << stream << ": "
+          << to_string(c.validate(s));
+      EXPECT_FALSE(s.empty());
+    }
+  }
+}
+
+TEST(Population, SubmissionsAreGroundTruthUnfair) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 7);
+  const Submission s = population.make(StrategyKind::kHighVariance, 0);
+  for (const rating::Rating& r : s.ratings) {
+    EXPECT_TRUE(r.unfair);
+  }
+}
+
+TEST(Population, Reproducible) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation a(c, 7);
+  const ParticipantPopulation b(c, 7);
+  const Submission sa = a.make(StrategyKind::kModerateBias, 5);
+  const Submission sb = b.make(StrategyKind::kModerateBias, 5);
+  ASSERT_EQ(sa.ratings.size(), sb.ratings.size());
+  for (std::size_t i = 0; i < sa.ratings.size(); ++i) {
+    EXPECT_EQ(sa.ratings[i], sb.ratings[i]);
+  }
+}
+
+TEST(Population, StreamsIndividualize) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 7);
+  const Submission a = population.make(StrategyKind::kNaiveExtreme, 0);
+  const Submission b = population.make(StrategyKind::kNaiveExtreme, 1);
+  bool different = a.ratings.size() != b.ratings.size();
+  for (std::size_t i = 0; !different && i < a.ratings.size(); ++i) {
+    different = !(a.ratings[i] == b.ratings[i]);
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Population, NaiveExtremeHasExtremeValuesAndZeroSpread) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 7);
+  const Submission s = population.make(StrategyKind::kNaiveExtreme, 2);
+  const ValueStats down = value_stats(s, ProductId(1), c.fair_mean(ProductId(1)));
+  EXPECT_LT(down.bias, -3.0);
+  EXPECT_NEAR(down.stddev, 0.0, 1e-9);
+  for (const rating::Rating& r : s.for_product(ProductId(1))) {
+    EXPECT_DOUBLE_EQ(r.value, rating::kMinRating);
+  }
+  for (const rating::Rating& r : s.for_product(ProductId(2))) {
+    EXPECT_DOUBLE_EQ(r.value, rating::kMaxRating);
+  }
+}
+
+TEST(Population, HighVarianceHasLargeSpread) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 7);
+  double max_spread = 0.0;
+  for (std::uint64_t stream = 0; stream < 5; ++stream) {
+    const Submission s = population.make(StrategyKind::kHighVariance, stream);
+    const ValueStats down =
+        value_stats(s, ProductId(1), c.fair_mean(ProductId(1)));
+    max_spread = std::max(max_spread, down.stddev);
+    EXPECT_LT(down.bias, -0.5);
+  }
+  EXPECT_GT(max_spread, 0.7);
+}
+
+TEST(Population, BurstsAttackHasMultipleClusters) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 7);
+  const Submission s = population.make(StrategyKind::kBursts, 1);
+  // The attack duration should cover multiple disjoint bursts: the largest
+  // inter-rating gap within the product exceeds a burst length.
+  const auto rs = s.for_product(ProductId(1));
+  ASSERT_GE(rs.size(), 10u);
+  double max_gap = 0.0;
+  for (std::size_t i = 1; i < rs.size(); ++i) {
+    max_gap = std::max(max_gap, rs[i].time - rs[i - 1].time);
+  }
+  EXPECT_GT(max_gap, 5.0);
+}
+
+TEST(Population, GenerateMatchesRequestedCount) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 7);
+  const auto subs = population.generate(40);
+  EXPECT_EQ(subs.size(), 40u);
+  for (const Submission& s : subs) {
+    EXPECT_EQ(c.validate(s), Violation::kNone) << s.label;
+  }
+}
+
+TEST(Population, MixIsMajorityStraightforward) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 7);
+  const auto subs = population.generate(251);
+  std::map<std::string, int> by_prefix;
+  for (const Submission& s : subs) {
+    const auto dash = s.label.rfind('-');
+    ++by_prefix[s.label.substr(0, dash)];
+  }
+  const int naive =
+      by_prefix["naive-extreme"] + by_prefix["naive-spread"];
+  // The paper: "more than half of the submitted attacks were
+  // straightforward".
+  EXPECT_GT(naive, 251 / 3);
+  EXPECT_GE(by_prefix.size(), 6u);  // broad coverage of strategies
+}
+
+TEST(Population, CamouflageMixesHonestLookingRatings) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 7);
+  const Submission s = population.make(StrategyKind::kCamouflage, 3);
+  const double fair_mean = c.fair_mean(ProductId(1));
+  int near_fair = 0;
+  const auto rs = s.for_product(ProductId(1));
+  for (const rating::Rating& r : rs) {
+    if (std::fabs(r.value - fair_mean) <= 1.0) ++near_fair;
+  }
+  EXPECT_GT(near_fair, 0);
+  EXPECT_LT(near_fair, static_cast<int>(rs.size()));
+}
+
+TEST(Population, ManualJitterTimesSnapToEvenings) {
+  const Challenge& c = shared_challenge();
+  const ParticipantPopulation population(c, 7);
+  const Submission s = population.make(StrategyKind::kManualJitter, 4);
+  int evening = 0;
+  int total = 0;
+  for (const rating::Rating& r : s.ratings) {
+    const double frac = r.time - std::floor(r.time);
+    ++total;
+    if (frac >= 0.7 && frac <= 0.97) ++evening;
+  }
+  EXPECT_GT(evening, total * 3 / 4);
+}
+
+}  // namespace
+}  // namespace rab::challenge

@@ -1,0 +1,234 @@
+// Tests for the rating domain: streams, datasets, CSV io.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rating/dataset.hpp"
+#include "rating/io.hpp"
+#include "rating/product_ratings.hpp"
+#include "util/error.hpp"
+
+namespace rab::rating {
+namespace {
+
+Rating make(double time, double value, std::int64_t rater,
+            std::int64_t product = 1, bool unfair = false) {
+  Rating r;
+  r.time = time;
+  r.value = value;
+  r.rater = RaterId(rater);
+  r.product = ProductId(product);
+  r.unfair = unfair;
+  return r;
+}
+
+// ------------------------------------------------------ ProductRatings
+
+TEST(ProductRatings, AddKeepsTimeOrder) {
+  ProductRatings stream(ProductId(1));
+  stream.add(make(5.0, 4.0, 1));
+  stream.add(make(1.0, 3.0, 2));
+  stream.add(make(3.0, 5.0, 3));
+  ASSERT_EQ(stream.size(), 3u);
+  EXPECT_DOUBLE_EQ(stream.at(0).time, 1.0);
+  EXPECT_DOUBLE_EQ(stream.at(1).time, 3.0);
+  EXPECT_DOUBLE_EQ(stream.at(2).time, 5.0);
+}
+
+TEST(ProductRatings, AddAllSorts) {
+  ProductRatings stream(ProductId(1));
+  std::vector<Rating> rs{make(5.0, 4.0, 1), make(1.0, 3.0, 2)};
+  stream.add_all(rs);
+  EXPECT_DOUBLE_EQ(stream.at(0).time, 1.0);
+}
+
+TEST(ProductRatings, RejectsWrongProduct) {
+  ProductRatings stream(ProductId(1));
+  EXPECT_THROW(stream.add(make(0.0, 4.0, 1, /*product=*/2)), Error);
+}
+
+TEST(ProductRatings, DefaultConstructedAdoptsFirstProduct) {
+  ProductRatings stream;
+  stream.add(make(0.0, 4.0, 1, 7));
+  EXPECT_EQ(stream.product(), ProductId(7));
+  EXPECT_THROW(stream.add(make(1.0, 4.0, 1, 8)), Error);
+}
+
+TEST(ProductRatings, SpanCoversAllRatings) {
+  ProductRatings stream(ProductId(1));
+  stream.add(make(2.0, 4.0, 1));
+  stream.add(make(9.0, 4.0, 2));
+  const Interval span = stream.span();
+  EXPECT_DOUBLE_EQ(span.begin, 2.0);
+  EXPECT_TRUE(span.contains(9.0));  // right edge inclusive via nextafter
+}
+
+TEST(ProductRatings, EmptySpanIsEmpty) {
+  ProductRatings stream(ProductId(1));
+  EXPECT_TRUE(stream.span().empty());
+}
+
+TEST(ProductRatings, ValuesInTimeOrder) {
+  ProductRatings stream(ProductId(1));
+  stream.add(make(2.0, 5.0, 1));
+  stream.add(make(1.0, 3.0, 2));
+  const std::vector<double> values = stream.values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 3.0);
+  EXPECT_DOUBLE_EQ(values[1], 5.0);
+}
+
+TEST(ProductRatings, InInterval) {
+  ProductRatings stream(ProductId(1));
+  for (int i = 0; i < 10; ++i) stream.add(make(i, 4.0, i));
+  const auto rs = stream.in_interval(Interval{3.0, 6.0});
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_DOUBLE_EQ(rs.front().time, 3.0);
+  EXPECT_DOUBLE_EQ(rs.back().time, 5.0);
+}
+
+TEST(ProductRatings, IndexRangeHalfOpen) {
+  ProductRatings stream(ProductId(1));
+  for (int i = 0; i < 5; ++i) stream.add(make(i, 4.0, i));
+  const auto range = stream.index_range(Interval{1.0, 3.0});
+  EXPECT_EQ(range.first, 1u);
+  EXPECT_EQ(range.last, 3u);
+}
+
+TEST(ProductRatings, FairOnlyStripsUnfair) {
+  ProductRatings stream(ProductId(1));
+  stream.add(make(0.0, 4.0, 1, 1, false));
+  stream.add(make(1.0, 0.0, 2, 1, true));
+  stream.add(make(2.0, 4.0, 3, 1, false));
+  const ProductRatings fair = stream.fair_only();
+  EXPECT_EQ(fair.size(), 2u);
+  for (const Rating& r : fair.ratings()) EXPECT_FALSE(r.unfair);
+}
+
+TEST(ProductRatings, WithoutIndices) {
+  ProductRatings stream(ProductId(1));
+  for (int i = 0; i < 5; ++i) stream.add(make(i, i, i));
+  const std::vector<std::size_t> drop{1, 3};
+  const ProductRatings kept = stream.without_indices(drop);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_DOUBLE_EQ(kept.at(0).value, 0.0);
+  EXPECT_DOUBLE_EQ(kept.at(1).value, 2.0);
+  EXPECT_DOUBLE_EQ(kept.at(2).value, 4.0);
+}
+
+TEST(ProductRatings, WithoutIndicesRejectsOutOfRange) {
+  ProductRatings stream(ProductId(1));
+  stream.add(make(0.0, 4.0, 1));
+  const std::vector<std::size_t> drop{5};
+  EXPECT_THROW(stream.without_indices(drop), Error);
+}
+
+// ------------------------------------------------------ Dataset
+
+TEST(Dataset, GroupsByProduct) {
+  Dataset data;
+  data.add(make(0.0, 4.0, 1, 1));
+  data.add(make(1.0, 3.0, 2, 2));
+  data.add(make(2.0, 5.0, 3, 1));
+  EXPECT_EQ(data.product_count(), 2u);
+  EXPECT_EQ(data.total_ratings(), 3u);
+  EXPECT_EQ(data.product(ProductId(1)).size(), 2u);
+}
+
+TEST(Dataset, ProductIdsSorted) {
+  Dataset data;
+  data.add(make(0.0, 4.0, 1, 9));
+  data.add(make(0.0, 4.0, 1, 2));
+  const auto ids = data.product_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], ProductId(2));
+  EXPECT_EQ(ids[1], ProductId(9));
+}
+
+TEST(Dataset, UnknownProductThrows) {
+  Dataset data;
+  EXPECT_THROW((void)data.product(ProductId(1)), InvalidArgument);
+  EXPECT_FALSE(data.has_product(ProductId(1)));
+}
+
+TEST(Dataset, SpanUnionAcrossProducts) {
+  Dataset data;
+  data.add(make(5.0, 4.0, 1, 1));
+  data.add(make(1.0, 4.0, 1, 2));
+  data.add(make(9.0, 4.0, 1, 2));
+  const Interval span = data.span();
+  EXPECT_DOUBLE_EQ(span.begin, 1.0);
+  EXPECT_TRUE(span.contains(9.0));
+}
+
+TEST(Dataset, RaterIdsDistinctSorted) {
+  Dataset data;
+  data.add(make(0.0, 4.0, 5, 1));
+  data.add(make(1.0, 4.0, 2, 1));
+  data.add(make(2.0, 4.0, 5, 2));
+  const auto raters = data.rater_ids();
+  ASSERT_EQ(raters.size(), 2u);
+  EXPECT_EQ(raters[0], RaterId(2));
+  EXPECT_EQ(raters[1], RaterId(5));
+}
+
+TEST(Dataset, FairOnly) {
+  Dataset data;
+  data.add(make(0.0, 4.0, 1, 1, false));
+  data.add(make(1.0, 0.0, 2, 1, true));
+  const Dataset fair = data.fair_only();
+  EXPECT_EQ(fair.total_ratings(), 1u);
+}
+
+TEST(Dataset, WithAddedLeavesOriginalUntouched) {
+  Dataset data;
+  data.add(make(0.0, 4.0, 1, 1));
+  std::vector<Rating> extra{make(1.0, 0.0, 99, 1, true)};
+  const Dataset attacked = data.with_added(extra);
+  EXPECT_EQ(attacked.total_ratings(), 2u);
+  EXPECT_EQ(data.total_ratings(), 1u);
+}
+
+// ------------------------------------------------------ io
+
+TEST(Io, RoundTripPreservesRatings) {
+  Dataset data;
+  data.add(make(0.5, 4.0, 1, 1, false));
+  data.add(make(1.25, 0.0, 99, 2, true));
+  data.add(make(2.0, 3.0, 7, 1, false));
+
+  std::ostringstream out;
+  write_csv(out, data);
+  std::istringstream in(out.str());
+  const Dataset back = read_csv(in);
+
+  EXPECT_EQ(back.total_ratings(), 3u);
+  EXPECT_EQ(back.product_count(), 2u);
+  const auto& p1 = back.product(ProductId(1));
+  ASSERT_EQ(p1.size(), 2u);
+  EXPECT_DOUBLE_EQ(p1.at(0).time, 0.5);
+  EXPECT_EQ(p1.at(0).rater, RaterId(1));
+  EXPECT_FALSE(p1.at(0).unfair);
+  const auto& p2 = back.product(ProductId(2));
+  ASSERT_EQ(p2.size(), 1u);
+  EXPECT_TRUE(p2.at(0).unfair);
+}
+
+TEST(Io, MalformedRowThrows) {
+  std::istringstream in("1,2,3\n");
+  EXPECT_THROW(read_csv(in), Error);
+}
+
+TEST(Io, NonNumericFieldThrows) {
+  std::istringstream in("1,abc,0.0,4.0,0\n");
+  EXPECT_THROW(read_csv(in), Error);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/data.csv"), Error);
+  Dataset empty;
+  EXPECT_THROW(write_csv_file("/nonexistent/dir/out.csv", empty), Error);
+}
+
+}  // namespace
+}  // namespace rab::rating

@@ -1,0 +1,73 @@
+// Tests for the markdown analysis report.
+#include <gtest/gtest.h>
+
+#include "challenge/participants.hpp"
+#include "challenge/report.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/error.hpp"
+
+namespace rab::challenge {
+namespace {
+
+TEST(Report, EmptyDataset) {
+  rating::Dataset empty;
+  const std::string report = markdown_report(empty);
+  EXPECT_NE(report.find("Empty dataset"), std::string::npos);
+}
+
+TEST(Report, RejectsBadBin) {
+  rating::Dataset empty;
+  ReportOptions options;
+  options.bin_days = 0.0;
+  EXPECT_THROW(markdown_report(empty, options), Error);
+}
+
+TEST(Report, FairDataSaysNone) {
+  rating::FairDataConfig config;
+  config.product_count = 2;
+  config.history_days = 90.0;
+  const auto data = rating::FairDataGenerator(config).generate();
+  const std::string report = markdown_report(data);
+  EXPECT_NE(report.find("# Rating dataset analysis"), std::string::npos);
+  EXPECT_NE(report.find("## Aggregates"), std::string::npos);
+  // Clean data: no collusion groups; (almost) no distrusted raters.
+  EXPECT_NE(report.find("_None found._"), std::string::npos);
+}
+
+TEST(Report, AttackedDataSurfacesFindings) {
+  const Challenge c = Challenge::make_default(55);
+  const ParticipantPopulation population(c, 7);
+  const auto data =
+      c.apply(population.make(StrategyKind::kNaiveSpread, 0));
+  const std::string report = markdown_report(data);
+  // The squad should appear both as distrusted raters and as a group.
+  EXPECT_EQ(report.find("_None found._"), std::string::npos);
+  EXPECT_NE(report.find("## Collusion-group candidates"),
+            std::string::npos);
+  EXPECT_NE(report.find("1000000"), std::string::npos);
+}
+
+TEST(Report, ListsEveryProduct) {
+  rating::FairDataConfig config;
+  config.product_count = 3;
+  config.history_days = 70.0;
+  const auto data = rating::FairDataGenerator(config).generate();
+  const std::string report = markdown_report(data);
+  for (const char* row : {"| 1 |", "| 2 |", "| 3 |"}) {
+    EXPECT_NE(report.find(row), std::string::npos) << row;
+  }
+}
+
+TEST(Report, RespectsListCap) {
+  const Challenge c = Challenge::make_default(56);
+  const ParticipantPopulation population(c, 9);
+  const auto data =
+      c.apply(population.make(StrategyKind::kNaiveExtreme, 1));
+  ReportOptions options;
+  options.max_listed_raters = 3;
+  const std::string report = markdown_report(data, options);
+  EXPECT_NE(report.find("more not listed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rab::challenge

@@ -1,0 +1,217 @@
+// Interface contract tests, parameterized over every aggregation scheme:
+// invariants any AggregationScheme implementation must satisfy, so a new
+// defense plugged into the library gets checked for free.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "aggregation/bf_scheme.hpp"
+#include "aggregation/entropy_scheme.hpp"
+#include "aggregation/median_scheme.hpp"
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/rng.hpp"
+
+namespace rab::aggregation {
+namespace {
+
+using SchemeFactory = std::function<std::unique_ptr<AggregationScheme>()>;
+
+struct SchemeCase {
+  const char* name;
+  SchemeFactory make;
+  /// Allowed drift of an untouched product's aggregate when another
+  /// product is attacked. Exactly 0 for per-product schemes; the P-scheme
+  /// has *global* rater trust, so fair raters swept up in the attacked
+  /// product's suspicious intervals carry slightly different weights
+  /// everywhere (trust contagion) — bounded, but not zero.
+  double cross_product_tolerance = 1e-9;
+};
+
+class SchemeContract : public ::testing::TestWithParam<SchemeCase> {
+ protected:
+  static rating::Dataset fair_data(std::uint64_t seed = 3) {
+    rating::FairDataConfig config;
+    config.product_count = 3;
+    config.history_days = 120.0;
+    config.seed = seed;
+    return rating::FairDataGenerator(config).generate();
+  }
+
+  static std::vector<rating::Rating> attack_on(ProductId product) {
+    Rng rng(77);
+    std::vector<rating::Rating> out;
+    for (int i = 0; i < 30; ++i) {
+      rating::Rating r;
+      r.time = rng.uniform(40.0, 70.0);
+      r.value = 0.0;
+      r.rater = RaterId(900'000 + i);
+      r.product = product;
+      r.unfair = true;
+      out.push_back(r);
+    }
+    return out;
+  }
+};
+
+TEST_P(SchemeContract, NameIsNonEmpty) {
+  EXPECT_FALSE(GetParam().make()->name().empty());
+}
+
+TEST_P(SchemeContract, Deterministic) {
+  const auto scheme = GetParam().make();
+  const rating::Dataset data = fair_data();
+  const AggregateSeries a = scheme->aggregate(data, 30.0);
+  const AggregateSeries b = scheme->aggregate(data, 30.0);
+  ASSERT_EQ(a.products.size(), b.products.size());
+  for (const auto& [id, points] : a.products) {
+    const ProductSeries& other = b.of(id);
+    ASSERT_EQ(points.size(), other.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      EXPECT_DOUBLE_EQ(points[i].value, other[i].value);
+      EXPECT_EQ(points[i].used, other[i].used);
+      EXPECT_EQ(points[i].removed, other[i].removed);
+    }
+  }
+}
+
+TEST_P(SchemeContract, CoversEveryProduct) {
+  const auto scheme = GetParam().make();
+  const rating::Dataset data = fair_data();
+  const AggregateSeries series = scheme->aggregate(data, 30.0);
+  for (ProductId id : data.product_ids()) {
+    EXPECT_NO_THROW((void)series.of(id));
+  }
+}
+
+TEST_P(SchemeContract, BinsTileTheSpan) {
+  const auto scheme = GetParam().make();
+  const rating::Dataset data = fair_data();
+  const Interval span = data.span();
+  const AggregateSeries series = scheme->aggregate(data, 30.0);
+  for (ProductId id : data.product_ids()) {
+    const ProductSeries& points = series.of(id);
+    ASSERT_FALSE(points.empty());
+    EXPECT_DOUBLE_EQ(points.front().bin.begin, span.begin);
+    EXPECT_NEAR(points.back().bin.end, span.end, 1e-9);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      EXPECT_DOUBLE_EQ(points[i].bin.begin, points[i - 1].bin.end);
+      EXPECT_NEAR(points[i - 1].bin.length(), 30.0, 1e-9);
+    }
+  }
+}
+
+TEST_P(SchemeContract, ValuesOnTheRatingScale) {
+  const auto scheme = GetParam().make();
+  const rating::Dataset data =
+      fair_data().with_added(attack_on(ProductId(1)));
+  const AggregateSeries series = scheme->aggregate(data, 30.0);
+  for (const auto& [id, points] : series.products) {
+    for (const AggregatePoint& p : points) {
+      if (p.used == 0) continue;
+      EXPECT_GE(p.value, rating::kMinRating);
+      EXPECT_LE(p.value, rating::kMaxRating);
+      EXPECT_TRUE(std::isfinite(p.value));
+    }
+  }
+}
+
+TEST_P(SchemeContract, UsedPlusRemovedBoundedByBinSize) {
+  const auto scheme = GetParam().make();
+  const rating::Dataset data =
+      fair_data().with_added(attack_on(ProductId(1)));
+  const AggregateSeries series = scheme->aggregate(data, 30.0);
+  for (ProductId id : data.product_ids()) {
+    const rating::ProductRatings& stream = data.product(id);
+    for (const AggregatePoint& p : series.of(id)) {
+      const std::size_t in_bin = stream.in_interval(p.bin).size();
+      EXPECT_LE(p.used + p.removed, in_bin)
+          << GetParam().name << " product " << id;
+      EXPECT_LE(p.used, in_bin);
+    }
+  }
+}
+
+TEST_P(SchemeContract, UntouchedProductUnaffectedByAttackElsewhere) {
+  const auto scheme = GetParam().make();
+  const rating::Dataset clean = fair_data();
+  const rating::Dataset dirty = clean.with_added(attack_on(ProductId(1)));
+  const AggregateSeries a = scheme->aggregate(clean, 30.0);
+  const AggregateSeries b = scheme->aggregate(dirty, 30.0);
+  // Product 3 never sees an unfair rating; its aggregate must not move
+  // (the attackers rate only product 1, so even trust-based schemes have
+  // no attacker ratings to reweigh on product 3).
+  const ProductSeries& pa = a.of(ProductId(3));
+  const ProductSeries& pb = b.of(ProductId(3));
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i].used == 0 || pb[i].used == 0) continue;
+    EXPECT_NEAR(pa[i].value, pb[i].value,
+                GetParam().cross_product_tolerance);
+  }
+}
+
+TEST_P(SchemeContract, EmptyDatasetYieldsEmptySeries) {
+  const auto scheme = GetParam().make();
+  rating::Dataset empty;
+  const AggregateSeries series = scheme->aggregate(empty, 30.0);
+  EXPECT_TRUE(series.products.empty());
+}
+
+TEST_P(SchemeContract, SingleRatingDataset) {
+  const auto scheme = GetParam().make();
+  rating::Dataset data;
+  rating::Rating r;
+  r.time = 1.0;
+  r.value = 4.0;
+  r.rater = RaterId(1);
+  r.product = ProductId(1);
+  data.add(r);
+  const AggregateSeries series = scheme->aggregate(data, 30.0);
+  const ProductSeries& points = series.of(ProductId(1));
+  ASSERT_EQ(points.size(), 1u);
+  if (points[0].used > 0) {
+    EXPECT_DOUBLE_EQ(points[0].value, 4.0);
+  }
+}
+
+TEST_P(SchemeContract, FairAggregateTracksFairMean) {
+  const auto scheme = GetParam().make();
+  const rating::Dataset data = fair_data(9);
+  const AggregateSeries series = scheme->aggregate(data, 30.0);
+  for (ProductId id : data.product_ids()) {
+    for (const AggregatePoint& p : series.of(id)) {
+      if (p.used < 10) continue;
+      // Clean data: every scheme's aggregate should sit near the 4-star
+      // fair mean (median can sit half a star off on discrete data).
+      EXPECT_NEAR(p.value, 4.0, 0.8) << GetParam().name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeContract,
+    ::testing::Values(
+        SchemeCase{"SA", [] { return std::unique_ptr<AggregationScheme>(
+                                  std::make_unique<SaScheme>()); }},
+        SchemeCase{"BF", [] { return std::unique_ptr<AggregationScheme>(
+                                  std::make_unique<BfScheme>()); }},
+        SchemeCase{"P",
+                   [] {
+                     return std::unique_ptr<AggregationScheme>(
+                         std::make_unique<PScheme>());
+                   },
+                   /*cross_product_tolerance=*/0.2},
+        SchemeCase{"MED", [] { return std::unique_ptr<AggregationScheme>(
+                                   std::make_unique<MedianScheme>()); }},
+        SchemeCase{"ENT", [] { return std::unique_ptr<AggregationScheme>(
+                                   std::make_unique<EntropyScheme>()); }}),
+    [](const ::testing::TestParamInfo<SchemeCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace rab::aggregation

@@ -1,0 +1,95 @@
+// Cross-grid invariants: every attack archetype evaluated under every
+// scheme. These pin the global ordering structure the paper's comparison
+// rests on, over the whole strategy space rather than cherry-picked cases.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "aggregation/bf_scheme.hpp"
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "challenge/participants.hpp"
+
+namespace rab::challenge {
+namespace {
+
+struct GridFixture {
+  Challenge challenge = Challenge::make_default(777);
+  ParticipantPopulation population{challenge, 19};
+  aggregation::SaScheme sa;
+  aggregation::BfScheme bf;
+  aggregation::PScheme p;
+
+  /// MP of one draw of `kind` under `scheme`.
+  double mp(StrategyKind kind, std::uint64_t stream,
+            const aggregation::AggregationScheme& scheme) const {
+    return challenge.evaluate(population.make(kind, stream), scheme)
+        .overall;
+  }
+};
+
+const GridFixture& grid() {
+  static const GridFixture instance;
+  return instance;
+}
+
+class StrategyGrid : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(StrategyGrid, PSchemeNeverMuchWorseThanSa) {
+  // The defense may not help against every single draw, but it must never
+  // materially amplify an attack.
+  const StrategyKind kind = GetParam();
+  for (std::uint64_t stream = 0; stream < 2; ++stream) {
+    const double sa_mp = grid().mp(kind, stream, grid().sa);
+    const double p_mp = grid().mp(kind, stream, grid().p);
+    EXPECT_LE(p_mp, 1.15 * sa_mp + 0.1)
+        << to_string(kind) << " stream " << stream;
+  }
+}
+
+TEST_P(StrategyGrid, PSchemeHelpsOnAverage) {
+  const StrategyKind kind = GetParam();
+  double sa_sum = 0.0;
+  double p_sum = 0.0;
+  for (std::uint64_t stream = 0; stream < 3; ++stream) {
+    sa_sum += grid().mp(kind, stream, grid().sa);
+    p_sum += grid().mp(kind, stream, grid().p);
+  }
+  EXPECT_LT(p_sum, sa_sum) << to_string(kind);
+}
+
+TEST_P(StrategyGrid, BfNeverMuchWorseThanSa) {
+  const StrategyKind kind = GetParam();
+  for (std::uint64_t stream = 0; stream < 2; ++stream) {
+    const double sa_mp = grid().mp(kind, stream, grid().sa);
+    const double bf_mp = grid().mp(kind, stream, grid().bf);
+    EXPECT_LE(bf_mp, 1.15 * sa_mp + 0.1)
+        << to_string(kind) << " stream " << stream;
+  }
+}
+
+TEST_P(StrategyGrid, MpFiniteAndNonNegativeEverywhere) {
+  const StrategyKind kind = GetParam();
+  for (const aggregation::AggregationScheme* scheme :
+       {static_cast<const aggregation::AggregationScheme*>(&grid().sa),
+        static_cast<const aggregation::AggregationScheme*>(&grid().bf),
+        static_cast<const aggregation::AggregationScheme*>(&grid().p)}) {
+    const double mp = grid().mp(kind, 0, *scheme);
+    EXPECT_TRUE(std::isfinite(mp)) << to_string(kind);
+    EXPECT_GE(mp, 0.0) << to_string(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyGrid,
+    ::testing::ValuesIn(all_strategies()),
+    [](const ::testing::TestParamInfo<StrategyKind>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace rab::challenge

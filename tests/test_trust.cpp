@@ -1,0 +1,111 @@
+// Tests for the trust manager (Procedure 1).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "trust/trust_manager.hpp"
+#include "util/error.hpp"
+
+namespace rab::trust {
+namespace {
+
+TEST(TrustManager, UnknownRaterStartsAtHalf) {
+  TrustManager manager;
+  EXPECT_DOUBLE_EQ(manager.trust(RaterId(1)), 0.5);
+  EXPECT_EQ(manager.known_raters(), 0u);
+}
+
+TEST(TrustManager, CleanEpochRaisesTrust) {
+  TrustManager manager;
+  manager.record(RaterId(1), EpochCounts{.ratings = 8, .suspicious = 0});
+  // (8+1)/(8+0+2) = 0.9
+  EXPECT_DOUBLE_EQ(manager.trust(RaterId(1)), 0.9);
+}
+
+TEST(TrustManager, SuspiciousEpochLowersTrust) {
+  TrustManager manager;
+  manager.record(RaterId(1), EpochCounts{.ratings = 8, .suspicious = 8});
+  EXPECT_DOUBLE_EQ(manager.trust(RaterId(1)), 0.1);
+}
+
+TEST(TrustManager, MixedEvidenceAccumulates) {
+  TrustManager manager;
+  manager.record(RaterId(1), EpochCounts{.ratings = 4, .suspicious = 1});
+  manager.record(RaterId(1), EpochCounts{.ratings = 6, .suspicious = 2});
+  // S = 3 + 4 = 7, F = 1 + 2 = 3 -> (7+1)/(7+3+2) = 8/12
+  EXPECT_DOUBLE_EQ(manager.successes(RaterId(1)), 7.0);
+  EXPECT_DOUBLE_EQ(manager.failures(RaterId(1)), 3.0);
+  EXPECT_DOUBLE_EQ(manager.trust(RaterId(1)), 8.0 / 12.0);
+}
+
+TEST(TrustManager, RatersIndependent) {
+  TrustManager manager;
+  manager.record(RaterId(1), EpochCounts{.ratings = 10, .suspicious = 0});
+  manager.record(RaterId(2), EpochCounts{.ratings = 10, .suspicious = 10});
+  EXPECT_GT(manager.trust(RaterId(1)), 0.9);
+  EXPECT_LT(manager.trust(RaterId(2)), 0.1);
+  EXPECT_EQ(manager.known_raters(), 2u);
+}
+
+TEST(TrustManager, SuspiciousCannotExceedRatings) {
+  TrustManager manager;
+  EXPECT_THROW(
+      manager.record(RaterId(1), EpochCounts{.ratings = 2, .suspicious = 3}),
+      Error);
+}
+
+TEST(TrustManager, EmptyEpochIsNoOp) {
+  TrustManager manager;
+  manager.record(RaterId(1), EpochCounts{});
+  // S = F = 0 still: trust unchanged at 0.5, but the rater is now known.
+  EXPECT_DOUBLE_EQ(manager.trust(RaterId(1)), 0.5);
+  EXPECT_EQ(manager.known_raters(), 1u);
+}
+
+TEST(TrustManager, LookupAdapterTracksState) {
+  TrustManager manager;
+  const std::function<double(RaterId)> lookup = manager.lookup();
+  EXPECT_DOUBLE_EQ(lookup(RaterId(9)), 0.5);
+  manager.record(RaterId(9), EpochCounts{.ratings = 8, .suspicious = 0});
+  EXPECT_DOUBLE_EQ(lookup(RaterId(9)), 0.9);  // lookup sees live state
+}
+
+TEST(TrustManager, ResetForgetsEverything) {
+  TrustManager manager;
+  manager.record(RaterId(1), EpochCounts{.ratings = 10, .suspicious = 10});
+  manager.reset();
+  EXPECT_DOUBLE_EQ(manager.trust(RaterId(1)), 0.5);
+  EXPECT_EQ(manager.known_raters(), 0u);
+}
+
+TEST(TrustManager, TrustBoundedInUnitInterval) {
+  TrustManager manager;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    manager.record(RaterId(1),
+                   EpochCounts{.ratings = 20, .suspicious = 20});
+    manager.record(RaterId(2), EpochCounts{.ratings = 20, .suspicious = 0});
+  }
+  EXPECT_GT(manager.trust(RaterId(1)), 0.0);
+  EXPECT_LT(manager.trust(RaterId(2)), 1.0);
+}
+
+TEST(TrustManager, ConvergesWithEvidence) {
+  // Trust approaches 1 (resp. 0) monotonically as clean (resp. suspicious)
+  // evidence accumulates.
+  TrustManager manager;
+  double prev_good = 0.5;
+  double prev_bad = 0.5;
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    manager.record(RaterId(1), EpochCounts{.ratings = 5, .suspicious = 0});
+    manager.record(RaterId(2), EpochCounts{.ratings = 5, .suspicious = 5});
+    EXPECT_GT(manager.trust(RaterId(1)), prev_good);
+    EXPECT_LT(manager.trust(RaterId(2)), prev_bad);
+    prev_good = manager.trust(RaterId(1));
+    prev_bad = manager.trust(RaterId(2));
+  }
+  EXPECT_GT(prev_good, 0.9);
+  EXPECT_LT(prev_bad, 0.1);
+}
+
+}  // namespace
+}  // namespace rab::trust

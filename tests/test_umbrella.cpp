@@ -1,0 +1,23 @@
+// Compile check for the umbrella header plus a smoke test that drives the
+// whole public API surface through it.
+#include <gtest/gtest.h>
+
+#include "rab.hpp"
+
+namespace {
+
+TEST(Umbrella, WholeApiReachable) {
+  using namespace rab;
+  const challenge::Challenge c = challenge::Challenge::make_default(99);
+  const core::AttackGenerator generator(c, 1);
+  core::AttackProfile profile;
+  profile.bias = -2.0;
+  profile.sigma = 0.8;
+  const challenge::Submission attack = generator.generate(profile, 0);
+  const aggregation::PScheme p;
+  const challenge::MpResult mp = c.evaluate(attack, p);
+  EXPECT_GE(mp.overall, 0.0);
+  EXPECT_TRUE(std::isfinite(mp.overall));
+}
+
+}  // namespace

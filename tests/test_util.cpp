@@ -1,0 +1,313 @@
+// Tests for util: tagged ids, day intervals, RNG, CSV.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/csv.hpp"
+#include "util/day.hpp"
+#include "util/error.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace rab {
+namespace {
+
+// ---------------------------------------------------------------- ids
+
+TEST(Ids, DefaultIsInvalidSentinel) {
+  RaterId id;
+  EXPECT_EQ(id.value(), -1);
+}
+
+TEST(Ids, ValueRoundTrip) {
+  ProductId id(42);
+  EXPECT_EQ(id.value(), 42);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(RaterId(1), RaterId(2));
+  EXPECT_EQ(RaterId(7), RaterId(7));
+  EXPECT_NE(RaterId(7), RaterId(8));
+}
+
+TEST(Ids, HashDistinguishesValues) {
+  std::unordered_set<RaterId> set;
+  set.insert(RaterId(1));
+  set.insert(RaterId(2));
+  set.insert(RaterId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ids, StreamOutput) {
+  std::ostringstream os;
+  os << ProductId(5);
+  EXPECT_EQ(os.str(), "5");
+}
+
+// ---------------------------------------------------------------- interval
+
+TEST(Interval, LengthAndEmpty) {
+  Interval iv{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(iv.length(), 3.0);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE((Interval{3.0, 3.0}).empty());
+  EXPECT_TRUE((Interval{4.0, 3.0}).empty());
+}
+
+TEST(Interval, ContainsIsHalfOpen) {
+  Interval iv{1.0, 2.0};
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(1.999));
+  EXPECT_FALSE(iv.contains(2.0));
+  EXPECT_FALSE(iv.contains(0.999));
+}
+
+TEST(Interval, Overlaps) {
+  Interval a{0.0, 10.0};
+  EXPECT_TRUE(a.overlaps(Interval{5.0, 15.0}));
+  EXPECT_TRUE(a.overlaps(Interval{-5.0, 1.0}));
+  EXPECT_FALSE(a.overlaps(Interval{10.0, 20.0}));  // half-open boundary
+  EXPECT_FALSE(a.overlaps(Interval{-5.0, 0.0}));
+}
+
+TEST(Interval, Intersect) {
+  Interval a{0.0, 10.0};
+  Interval b{5.0, 15.0};
+  EXPECT_EQ(a.intersect(b), (Interval{5.0, 10.0}));
+  EXPECT_TRUE(a.intersect(Interval{20.0, 30.0}).empty());
+}
+
+TEST(Interval, MakeBinsCoversSpan) {
+  const auto bins = make_bins(0.0, 90.0, 30.0);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_EQ(bins.front(), (Interval{0.0, 30.0}));
+  EXPECT_EQ(bins.back(), (Interval{60.0, 90.0}));
+}
+
+TEST(Interval, MakeBinsTruncatesLast) {
+  const auto bins = make_bins(0.0, 70.0, 30.0);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_DOUBLE_EQ(bins.back().end, 70.0);
+  EXPECT_DOUBLE_EQ(bins.back().length(), 10.0);
+}
+
+TEST(Interval, MakeBinsRejectsBadArguments) {
+  EXPECT_THROW(make_bins(0.0, 10.0, 0.0), Error);
+  EXPECT_THROW(make_bins(10.0, 0.0, 5.0), Error);
+}
+
+TEST(Interval, MakeBinsEmptySpan) {
+  EXPECT_TRUE(make_bins(5.0, 5.0, 30.0).empty());
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng base(99);
+  Rng f1 = base.fork(3);
+  Rng f2 = Rng(99).fork(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(f1.uniform(0.0, 1.0), f2.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, ForkStreamsDecorrelated) {
+  Rng base(99);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1.uniform(0.0, 1.0) == f2.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    saw_lo = saw_lo || x == 0;
+    saw_hi = saw_hi || x == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianZeroSigmaIsMean) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(rng.gaussian(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gaussian(2.0, 1.5);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 2.25, 0.15);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(4.0));
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(13);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(3.0, 2.0), Error);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), Error);
+  EXPECT_THROW(rng.poisson(-1.0), Error);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+  EXPECT_THROW(rng.bernoulli(1.5), Error);
+  EXPECT_THROW(rng.discrete({}), Error);
+}
+
+// ---------------------------------------------------------------- csv
+
+TEST(Csv, ParseLineBasic) {
+  const auto row = csv::parse_line("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(Csv, ParseLineEmptyFields) {
+  const auto row = csv::parse_line("a,,c,");
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[1], "");
+  EXPECT_EQ(row[3], "");
+}
+
+TEST(Csv, ParseLineStripsCarriageReturn) {
+  const auto row = csv::parse_line("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(Csv, ReadSkipsCommentsAndBlank) {
+  std::istringstream in("# header\n1,2\n\n3,4\n");
+  const auto rows = csv::read(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "1");
+  EXPECT_EQ(rows[1][1], "4");
+}
+
+TEST(Csv, WriteRowRoundTrip) {
+  std::ostringstream out;
+  csv::write_row(out, {"x", "1.5", "-3"});
+  std::istringstream in(out.str());
+  const auto rows = csv::read(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "x");
+  EXPECT_DOUBLE_EQ(csv::to_double(rows[0][1]), 1.5);
+  EXPECT_EQ(csv::to_int(rows[0][2]), -3);
+}
+
+TEST(Csv, ToDoubleRejectsGarbage) {
+  EXPECT_THROW(csv::to_double("abc"), Error);
+  EXPECT_THROW(csv::to_double("1.5x"), Error);
+  EXPECT_THROW(csv::to_double(""), Error);
+}
+
+TEST(Csv, ToIntRejectsGarbage) {
+  EXPECT_THROW(csv::to_int("1.5"), Error);
+  EXPECT_THROW(csv::to_int(""), Error);
+  EXPECT_EQ(csv::to_int("-17"), -17);
+}
+
+TEST(Csv, ReadFileMissingThrows) {
+  EXPECT_THROW(csv::read_file("/nonexistent/path.csv"), Error);
+}
+
+// ---------------------------------------------------------------- contracts
+
+TEST(Contracts, ExpectsThrowsLogicError) {
+  auto bad = [] { RAB_EXPECTS(1 == 2); };
+  EXPECT_THROW(bad(), LogicError);
+}
+
+TEST(Contracts, MessagesNameTheExpression) {
+  try {
+    RAB_EXPECTS(false && "context");
+    FAIL() << "should have thrown";
+  } catch (const LogicError& e) {
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rab

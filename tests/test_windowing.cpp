@@ -1,0 +1,150 @@
+// Tests for sliding-window construction.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "signal/windowing.hpp"
+#include "util/error.hpp"
+
+namespace rab::signal {
+namespace {
+
+std::vector<Sample> evenly_spaced(std::size_t n, double dt = 1.0) {
+  std::vector<Sample> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Sample{static_cast<double>(i) * dt,
+                         static_cast<double>(i)});
+  }
+  return out;
+}
+
+TEST(WindowSpec, ByCountAccessors) {
+  const WindowSpec spec = WindowSpec::by_count(10);
+  EXPECT_TRUE(spec.is_count());
+  EXPECT_EQ(spec.count(), 10u);
+  EXPECT_THROW((void)spec.duration(), Error);
+}
+
+TEST(WindowSpec, ByDurationAccessors) {
+  const WindowSpec spec = WindowSpec::by_duration(30.0);
+  EXPECT_FALSE(spec.is_count());
+  EXPECT_DOUBLE_EQ(spec.duration(), 30.0);
+  EXPECT_THROW((void)spec.count(), Error);
+}
+
+TEST(WindowSpec, RejectsDegenerate) {
+  EXPECT_THROW(WindowSpec::by_count(1), Error);
+  EXPECT_THROW(WindowSpec::by_duration(0.0), Error);
+}
+
+TEST(WindowAround, ByCountCentered) {
+  const auto samples = evenly_spaced(100);
+  const IndexRange r =
+      window_around(samples, 50, WindowSpec::by_count(20));
+  EXPECT_EQ(r.first, 40u);
+  EXPECT_EQ(r.last, 60u);
+  EXPECT_EQ(r.size(), 20u);
+}
+
+TEST(WindowAround, ByCountLeftEdgeKeepsFullWidth) {
+  const auto samples = evenly_spaced(100);
+  const IndexRange r = window_around(samples, 2, WindowSpec::by_count(20));
+  EXPECT_EQ(r.first, 0u);
+  EXPECT_EQ(r.last, 20u);
+}
+
+TEST(WindowAround, ByCountRightEdgeKeepsFullWidth) {
+  const auto samples = evenly_spaced(100);
+  const IndexRange r = window_around(samples, 98, WindowSpec::by_count(20));
+  EXPECT_EQ(r.first, 80u);
+  EXPECT_EQ(r.last, 100u);
+}
+
+TEST(WindowAround, ByCountShortSequenceClipped) {
+  const auto samples = evenly_spaced(6);
+  const IndexRange r = window_around(samples, 3, WindowSpec::by_count(20));
+  EXPECT_EQ(r.first, 0u);
+  EXPECT_EQ(r.last, 6u);
+}
+
+TEST(WindowAround, ByDurationSelectsTimeSpan) {
+  const auto samples = evenly_spaced(100);  // 1 sample/day
+  const IndexRange r =
+      window_around(samples, 50, WindowSpec::by_duration(10.0));
+  // center t=50, span [45, 55] inclusive.
+  EXPECT_EQ(r.first, 45u);
+  EXPECT_EQ(r.last, 56u);
+}
+
+TEST(WindowAround, ByDurationEdgesClip) {
+  const auto samples = evenly_spaced(100);
+  const IndexRange left =
+      window_around(samples, 0, WindowSpec::by_duration(10.0));
+  EXPECT_EQ(left.first, 0u);
+  EXPECT_EQ(left.last, 6u);
+  const IndexRange right =
+      window_around(samples, 99, WindowSpec::by_duration(10.0));
+  EXPECT_EQ(right.last, 100u);
+}
+
+TEST(WindowAround, CenterOutOfRangeThrows) {
+  const auto samples = evenly_spaced(5);
+  EXPECT_THROW(window_around(samples, 5, WindowSpec::by_count(2)), Error);
+}
+
+TEST(SplitAt, Halves) {
+  const IndexRange range{10, 30};
+  const auto [left, right] = split_at(range, 20);
+  EXPECT_EQ(left.first, 10u);
+  EXPECT_EQ(left.last, 20u);
+  EXPECT_EQ(right.first, 20u);
+  EXPECT_EQ(right.last, 30u);
+}
+
+TEST(SplitAt, DegenerateEdges) {
+  const IndexRange range{10, 30};
+  EXPECT_TRUE(split_at(range, 10).first.empty());
+  EXPECT_TRUE(split_at(range, 30).second.empty());
+  EXPECT_THROW(split_at(range, 31), Error);
+  EXPECT_THROW(split_at(range, 9), Error);
+}
+
+TEST(ValuesIn, ExtractsRange) {
+  const auto samples = evenly_spaced(10);
+  const std::vector<double> values = values_in(samples, IndexRange{3, 6});
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 3.0);
+  EXPECT_DOUBLE_EQ(values[2], 5.0);
+}
+
+TEST(ValuesIn, RangeBeyondEndThrows) {
+  const auto samples = evenly_spaced(5);
+  EXPECT_THROW(values_in(samples, IndexRange{0, 6}), Error);
+}
+
+TEST(DailyCounts, CountsPerDay) {
+  std::vector<Sample> samples{
+      {0.1, 1.0}, {0.9, 1.0}, {1.5, 1.0}, {3.0, 1.0}, {3.999, 1.0}};
+  const std::vector<double> counts = daily_counts(samples, 0.0, 4.0);
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_DOUBLE_EQ(counts[0], 2.0);
+  EXPECT_DOUBLE_EQ(counts[1], 1.0);
+  EXPECT_DOUBLE_EQ(counts[2], 0.0);
+  EXPECT_DOUBLE_EQ(counts[3], 2.0);
+}
+
+TEST(DailyCounts, IgnoresOutsideSpan) {
+  std::vector<Sample> samples{{-1.0, 1.0}, {0.5, 1.0}, {10.0, 1.0}};
+  const std::vector<double> counts = daily_counts(samples, 0.0, 2.0);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_DOUBLE_EQ(counts[0], 1.0);
+  EXPECT_DOUBLE_EQ(counts[1], 0.0);
+}
+
+TEST(DailyCounts, FractionalSpanRoundsUp) {
+  std::vector<Sample> samples{{0.5, 1.0}};
+  EXPECT_EQ(daily_counts(samples, 0.0, 1.5).size(), 2u);
+}
+
+}  // namespace
+}  // namespace rab::signal

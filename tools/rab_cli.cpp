@@ -1,0 +1,313 @@
+// rab — command-line front end to the library.
+//
+// Subcommands:
+//   generate    synthesize a fair-rating dataset and write it to CSV
+//   attack      craft one unfair-rating submission against a dataset
+//   population  synthesize a whole population of attack submissions
+//   evaluate    score a submission's manipulation power under a scheme
+//   detect      run the P-scheme pipeline over a dataset and report
+//               suspicious raters
+//
+// Examples:
+//   rab generate --out fair.csv --seed 7
+//   rab attack --data fair.csv --out sub.csv --bias -2.3 --sigma 1.2
+//   rab evaluate --data fair.csv --submission sub.csv --scheme P
+//   rab detect --data fair.csv
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregation/bf_scheme.hpp"
+#include "aggregation/entropy_scheme.hpp"
+#include "aggregation/median_scheme.hpp"
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "challenge/challenge.hpp"
+#include "challenge/collusion.hpp"
+#include "challenge/participants.hpp"
+#include "challenge/report.hpp"
+#include "challenge/submission_io.hpp"
+#include "core/attack_generator.hpp"
+#include "rating/fair_generator.hpp"
+#include "rating/io.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace rab;
+
+/// Minimal --flag value parser: flags come in pairs, order-free.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw Error("expected --flag, got '" + key + "'");
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      throw Error("flags must come in --name value pairs");
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const {
+    const auto it = values_.find(name);
+    if (it != values_.end()) return it->second;
+    if (!fallback.empty()) return fallback;
+    throw Error("missing required flag --" + name);
+  }
+
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name,
+                                      std::uint64_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::unique_ptr<aggregation::AggregationScheme> make_scheme(
+    const std::string& name) {
+  if (name == "SA") return std::make_unique<aggregation::SaScheme>();
+  if (name == "BF") return std::make_unique<aggregation::BfScheme>();
+  if (name == "P") return std::make_unique<aggregation::PScheme>();
+  if (name == "MED") return std::make_unique<aggregation::MedianScheme>();
+  if (name == "ENT") return std::make_unique<aggregation::EntropyScheme>();
+  throw Error("unknown scheme '" + name + "' (use SA, BF, P, MED or ENT)");
+}
+
+challenge::Challenge load_challenge(const Args& args) {
+  return challenge::Challenge(
+      rating::read_csv_file(args.get("data")).fair_only());
+}
+
+int cmd_generate(const Args& args) {
+  rating::FairDataConfig config;
+  config.seed = args.get_u64("seed", config.seed);
+  config.product_count = static_cast<std::size_t>(
+      args.get_u64("products", config.product_count));
+  config.history_days = args.get_double("days", config.history_days);
+  config.mean_value = args.get_double("mean", config.mean_value);
+  const rating::Dataset data =
+      rating::FairDataGenerator(config).generate();
+  rating::write_csv_file(args.get("out"), data);
+  std::printf("wrote %zu fair ratings (%zu products, %.0f days) to %s\n",
+              data.total_ratings(), data.product_count(),
+              config.history_days, args.get("out").c_str());
+  return 0;
+}
+
+int cmd_attack(const Args& args) {
+  const challenge::Challenge ch = load_challenge(args);
+  core::AttackProfile profile;
+  profile.bias = args.get_double("bias", profile.bias);
+  profile.sigma = args.get_double("sigma", profile.sigma);
+  profile.duration_days =
+      args.get_double("duration", profile.duration_days);
+  profile.offset_days = args.get_double("offset", profile.offset_days);
+  if (const std::string mode = args.get("correlation", "random");
+      mode == "heuristic") {
+    profile.correlation = core::CorrelationMode::kHeuristic;
+  } else if (mode == "blend") {
+    profile.correlation = core::CorrelationMode::kBlend;
+  } else if (mode != "random") {
+    throw Error("unknown correlation mode '" + mode +
+                "' (use random, heuristic or blend)");
+  }
+  const core::AttackGenerator generator(ch, args.get_u64("seed", 1));
+  const challenge::Submission submission =
+      generator.generate(profile, args.get_u64("stream", 0));
+  challenge::write_submission_file(args.get("out"), submission);
+  std::printf("wrote %zu unfair ratings to %s\n",
+              submission.ratings.size(), args.get("out").c_str());
+  return 0;
+}
+
+int cmd_population(const Args& args) {
+  const challenge::Challenge ch = load_challenge(args);
+  const challenge::ParticipantPopulation population(
+      ch, args.get_u64("seed", 17));
+  const auto submissions = population.generate(
+      static_cast<std::size_t>(args.get_u64("count", 251)));
+  std::ofstream out(args.get("out"));
+  if (!out) throw Error("cannot open " + args.get("out"));
+  challenge::write_population(out, submissions);
+  std::printf("wrote %zu submissions to %s\n", submissions.size(),
+              args.get("out").c_str());
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const challenge::Challenge ch = load_challenge(args);
+  const challenge::Submission submission =
+      challenge::read_submission_file(args.get("submission"));
+  const auto scheme = make_scheme(args.get("scheme", "P"));
+  const challenge::MpResult mp = ch.evaluate(submission, *scheme);
+  std::printf("scheme %s: overall MP %.4f\n", scheme->name().c_str(),
+              mp.overall);
+  for (const auto& [id, value] : mp.per_product) {
+    if (value > 0.0) {
+      std::printf("  product %lld: MP %.4f\n",
+                  static_cast<long long>(id.value()), value);
+    }
+  }
+  return 0;
+}
+
+int cmd_optimize(const Args& args) {
+  const challenge::Challenge ch = load_challenge(args);
+  const auto scheme = make_scheme(args.get("scheme", "P"));
+  const core::AttackGenerator generator(ch, args.get_u64("seed", 1));
+
+  core::AttackProfile timing;
+  timing.duration_days = args.get_double("duration", 50.0);
+  timing.offset_days = args.get_double("offset", 5.0);
+
+  core::RegionSearchOptions options;
+  options.trials = static_cast<std::size_t>(args.get_u64("trials", 10));
+  options.max_rounds =
+      static_cast<std::size_t>(args.get_u64("rounds", 12));
+
+  const core::RegionSearchResult search =
+      generator.optimize(*scheme, options, timing);
+  std::printf("scheme %s: learned bias %.3f, stddev %.3f, best MP %.4f\n",
+              scheme->name().c_str(), search.best_bias, search.best_sigma,
+              search.best_mp);
+  for (std::size_t i = 0; i < search.rounds.size(); ++i) {
+    const auto& round = search.rounds[i];
+    std::printf("  round %zu: bias [%.2f, %.2f] stddev [%.2f, %.2f] "
+                "best %.3f\n",
+                i + 1, round.bias.lo, round.bias.hi, round.sigma.lo,
+                round.sigma.hi, round.best_mp);
+  }
+  if (!args.get("out", "-").empty() && args.get("out", "-") != "-") {
+    const challenge::Submission best =
+        generator.realize_best(*scheme, search, timing);
+    challenge::write_submission_file(args.get("out"), best);
+    std::printf("strongest found submission written to %s\n",
+                args.get("out").c_str());
+  }
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  const rating::Dataset data = rating::read_csv_file(args.get("data"));
+  challenge::ReportOptions options;
+  options.bin_days = args.get_double("bin", options.bin_days);
+  options.trust_threshold =
+      args.get_double("trust-below", options.trust_threshold);
+  const std::string report = challenge::markdown_report(data, options);
+  if (const std::string out_path = args.get("out", "-"); out_path != "-") {
+    std::ofstream out(out_path);
+    if (!out) throw Error("cannot open " + out_path);
+    out << report;
+    std::printf("report written to %s\n", out_path.c_str());
+  } else {
+    std::fputs(report.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  const rating::Dataset data = rating::read_csv_file(args.get("data"));
+  const aggregation::PScheme p;
+  aggregation::PDiagnostics diagnostics;
+  (void)p.aggregate_detailed(data, args.get_double("bin", 30.0),
+                             &diagnostics);
+
+  std::size_t flagged = 0;
+  for (const auto& [id, result] : diagnostics.integration) {
+    flagged += result.suspicious_count();
+  }
+  std::printf("%zu of %zu ratings flagged suspicious\n", flagged,
+              data.total_ratings());
+
+  struct Row {
+    RaterId rater;
+    double trust;
+  };
+  std::vector<Row> rows;
+  for (RaterId rater : data.rater_ids()) {
+    const double trust = diagnostics.trust.trust(rater);
+    if (trust < args.get_double("trust-below", 0.5)) {
+      rows.push_back(Row{rater, trust});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.trust < b.trust; });
+  std::printf("%zu raters below the trust threshold:\n", rows.size());
+  for (const Row& row : rows) {
+    std::printf("  rater %-10lld trust %.3f\n",
+                static_cast<long long>(row.rater.value()), row.trust);
+  }
+
+  // Group structure: coordinated squads betray themselves even when their
+  // individual ratings pass the signal tests.
+  const auto groups = challenge::find_collusion_groups(data);
+  std::printf("%zu collusion-group candidate(s):\n", groups.size());
+  for (const auto& group : groups) {
+    std::printf("  group of %zu raters (mean pair score %.2f): ",
+                group.raters.size(), group.mean_pair_score);
+    for (std::size_t i = 0; i < std::min<std::size_t>(6, group.raters.size());
+         ++i) {
+      std::printf("%lld ", static_cast<long long>(group.raters[i].value()));
+    }
+    if (group.raters.size() > 6) std::printf("...");
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rab <command> [--flag value ...]\n"
+      "commands:\n"
+      "  generate   --out F [--seed N --products N --days D --mean M]\n"
+      "  attack     --data F --out F [--bias B --sigma S --duration D\n"
+      "             --offset O --correlation random|heuristic|blend --seed N]\n"
+      "  population --data F --out F [--count N --seed N]\n"
+      "  evaluate   --data F --submission F [--scheme SA|BF|P|MED|ENT]\n"
+      "  optimize   --data F [--scheme S --duration D --offset O\n"
+      "             --trials N --rounds N --out F]\n"
+      "  detect     --data F [--bin DAYS --trust-below T]\n"
+      "  report     --data F [--bin DAYS --trust-below T --out F]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "attack") return cmd_attack(args);
+    if (command == "population") return cmd_population(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "optimize") return cmd_optimize(args);
+    if (command == "detect") return cmd_detect(args);
+    if (command == "report") return cmd_report(args);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
