@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_boost_analysis.dir/ext_boost_analysis.cpp.o"
+  "CMakeFiles/ext_boost_analysis.dir/ext_boost_analysis.cpp.o.d"
+  "ext_boost_analysis"
+  "ext_boost_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_boost_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

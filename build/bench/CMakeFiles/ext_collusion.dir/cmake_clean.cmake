@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_collusion.dir/ext_collusion.cpp.o"
+  "CMakeFiles/ext_collusion.dir/ext_collusion.cpp.o.d"
+  "ext_collusion"
+  "ext_collusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_collusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_detection_quality.dir/ext_detection_quality.cpp.o"
+  "CMakeFiles/ext_detection_quality.dir/ext_detection_quality.cpp.o.d"
+  "ext_detection_quality"
+  "ext_detection_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_detection_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_seed_robustness.dir/ext_seed_robustness.cpp.o"
+  "CMakeFiles/ext_seed_robustness.dir/ext_seed_robustness.cpp.o.d"
+  "ext_seed_robustness"
+  "ext_seed_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_seed_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

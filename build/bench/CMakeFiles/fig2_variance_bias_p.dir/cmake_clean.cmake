@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_variance_bias_p.dir/fig2_variance_bias_p.cpp.o"
+  "CMakeFiles/fig2_variance_bias_p.dir/fig2_variance_bias_p.cpp.o.d"
+  "fig2_variance_bias_p"
+  "fig2_variance_bias_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_variance_bias_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

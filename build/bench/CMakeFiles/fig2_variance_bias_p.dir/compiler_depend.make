@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_variance_bias_p.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_variance_bias_sa.dir/fig3_variance_bias_sa.cpp.o"
+  "CMakeFiles/fig3_variance_bias_sa.dir/fig3_variance_bias_sa.cpp.o.d"
+  "fig3_variance_bias_sa"
+  "fig3_variance_bias_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_variance_bias_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

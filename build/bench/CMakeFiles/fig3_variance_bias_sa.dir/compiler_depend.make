@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_variance_bias_sa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_variance_bias_bf.dir/fig4_variance_bias_bf.cpp.o"
+  "CMakeFiles/fig4_variance_bias_bf.dir/fig4_variance_bias_bf.cpp.o.d"
+  "fig4_variance_bias_bf"
+  "fig4_variance_bias_bf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_variance_bias_bf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_variance_bias_bf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_region_search.dir/fig5_region_search.cpp.o"
+  "CMakeFiles/fig5_region_search.dir/fig5_region_search.cpp.o.d"
+  "fig5_region_search"
+  "fig5_region_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_region_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_time_analysis.dir/fig6_time_analysis.cpp.o"
+  "CMakeFiles/fig6_time_analysis.dir/fig6_time_analysis.cpp.o.d"
+  "fig6_time_analysis"
+  "fig6_time_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_time_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_correlation.dir/fig7_correlation.cpp.o"
+  "CMakeFiles/fig7_correlation.dir/fig7_correlation.cpp.o.d"
+  "fig7_correlation"
+  "fig7_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

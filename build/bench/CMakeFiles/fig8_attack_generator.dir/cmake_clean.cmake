@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_attack_generator.dir/fig8_attack_generator.cpp.o"
+  "CMakeFiles/fig8_attack_generator.dir/fig8_attack_generator.cpp.o.d"
+  "fig8_attack_generator"
+  "fig8_attack_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_attack_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/challenge_replay.dir/challenge_replay.cpp.o"
+  "CMakeFiles/challenge_replay.dir/challenge_replay.cpp.o.d"
+  "challenge_replay"
+  "challenge_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/challenge_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_curves.dir/detector_curves.cpp.o"
+  "CMakeFiles/detector_curves.dir/detector_curves.cpp.o.d"
+  "detector_curves"
+  "detector_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

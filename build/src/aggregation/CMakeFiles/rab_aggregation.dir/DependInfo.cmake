@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aggregation/bf_scheme.cpp" "src/aggregation/CMakeFiles/rab_aggregation.dir/bf_scheme.cpp.o" "gcc" "src/aggregation/CMakeFiles/rab_aggregation.dir/bf_scheme.cpp.o.d"
+  "/root/repo/src/aggregation/entropy_scheme.cpp" "src/aggregation/CMakeFiles/rab_aggregation.dir/entropy_scheme.cpp.o" "gcc" "src/aggregation/CMakeFiles/rab_aggregation.dir/entropy_scheme.cpp.o.d"
+  "/root/repo/src/aggregation/median_scheme.cpp" "src/aggregation/CMakeFiles/rab_aggregation.dir/median_scheme.cpp.o" "gcc" "src/aggregation/CMakeFiles/rab_aggregation.dir/median_scheme.cpp.o.d"
+  "/root/repo/src/aggregation/p_scheme.cpp" "src/aggregation/CMakeFiles/rab_aggregation.dir/p_scheme.cpp.o" "gcc" "src/aggregation/CMakeFiles/rab_aggregation.dir/p_scheme.cpp.o.d"
+  "/root/repo/src/aggregation/sa_scheme.cpp" "src/aggregation/CMakeFiles/rab_aggregation.dir/sa_scheme.cpp.o" "gcc" "src/aggregation/CMakeFiles/rab_aggregation.dir/sa_scheme.cpp.o.d"
+  "/root/repo/src/aggregation/scheme.cpp" "src/aggregation/CMakeFiles/rab_aggregation.dir/scheme.cpp.o" "gcc" "src/aggregation/CMakeFiles/rab_aggregation.dir/scheme.cpp.o.d"
+  "/root/repo/src/aggregation/series_io.cpp" "src/aggregation/CMakeFiles/rab_aggregation.dir/series_io.cpp.o" "gcc" "src/aggregation/CMakeFiles/rab_aggregation.dir/series_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rab_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rating/CMakeFiles/rab_rating.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/rab_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/rab_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rab_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rab_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rab_aggregation.dir/bf_scheme.cpp.o"
+  "CMakeFiles/rab_aggregation.dir/bf_scheme.cpp.o.d"
+  "CMakeFiles/rab_aggregation.dir/entropy_scheme.cpp.o"
+  "CMakeFiles/rab_aggregation.dir/entropy_scheme.cpp.o.d"
+  "CMakeFiles/rab_aggregation.dir/median_scheme.cpp.o"
+  "CMakeFiles/rab_aggregation.dir/median_scheme.cpp.o.d"
+  "CMakeFiles/rab_aggregation.dir/p_scheme.cpp.o"
+  "CMakeFiles/rab_aggregation.dir/p_scheme.cpp.o.d"
+  "CMakeFiles/rab_aggregation.dir/sa_scheme.cpp.o"
+  "CMakeFiles/rab_aggregation.dir/sa_scheme.cpp.o.d"
+  "CMakeFiles/rab_aggregation.dir/scheme.cpp.o"
+  "CMakeFiles/rab_aggregation.dir/scheme.cpp.o.d"
+  "CMakeFiles/rab_aggregation.dir/series_io.cpp.o"
+  "CMakeFiles/rab_aggregation.dir/series_io.cpp.o.d"
+  "librab_aggregation.a"
+  "librab_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rab_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

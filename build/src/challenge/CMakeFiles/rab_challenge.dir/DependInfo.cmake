@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/challenge/analysis.cpp" "src/challenge/CMakeFiles/rab_challenge.dir/analysis.cpp.o" "gcc" "src/challenge/CMakeFiles/rab_challenge.dir/analysis.cpp.o.d"
+  "/root/repo/src/challenge/challenge.cpp" "src/challenge/CMakeFiles/rab_challenge.dir/challenge.cpp.o" "gcc" "src/challenge/CMakeFiles/rab_challenge.dir/challenge.cpp.o.d"
+  "/root/repo/src/challenge/collusion.cpp" "src/challenge/CMakeFiles/rab_challenge.dir/collusion.cpp.o" "gcc" "src/challenge/CMakeFiles/rab_challenge.dir/collusion.cpp.o.d"
+  "/root/repo/src/challenge/detection_quality.cpp" "src/challenge/CMakeFiles/rab_challenge.dir/detection_quality.cpp.o" "gcc" "src/challenge/CMakeFiles/rab_challenge.dir/detection_quality.cpp.o.d"
+  "/root/repo/src/challenge/mp.cpp" "src/challenge/CMakeFiles/rab_challenge.dir/mp.cpp.o" "gcc" "src/challenge/CMakeFiles/rab_challenge.dir/mp.cpp.o.d"
+  "/root/repo/src/challenge/participants.cpp" "src/challenge/CMakeFiles/rab_challenge.dir/participants.cpp.o" "gcc" "src/challenge/CMakeFiles/rab_challenge.dir/participants.cpp.o.d"
+  "/root/repo/src/challenge/report.cpp" "src/challenge/CMakeFiles/rab_challenge.dir/report.cpp.o" "gcc" "src/challenge/CMakeFiles/rab_challenge.dir/report.cpp.o.d"
+  "/root/repo/src/challenge/submission.cpp" "src/challenge/CMakeFiles/rab_challenge.dir/submission.cpp.o" "gcc" "src/challenge/CMakeFiles/rab_challenge.dir/submission.cpp.o.d"
+  "/root/repo/src/challenge/submission_io.cpp" "src/challenge/CMakeFiles/rab_challenge.dir/submission_io.cpp.o" "gcc" "src/challenge/CMakeFiles/rab_challenge.dir/submission_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rab_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rating/CMakeFiles/rab_rating.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregation/CMakeFiles/rab_aggregation.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/rab_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rab_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rab_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/rab_trust.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rab_challenge.dir/analysis.cpp.o"
+  "CMakeFiles/rab_challenge.dir/analysis.cpp.o.d"
+  "CMakeFiles/rab_challenge.dir/challenge.cpp.o"
+  "CMakeFiles/rab_challenge.dir/challenge.cpp.o.d"
+  "CMakeFiles/rab_challenge.dir/collusion.cpp.o"
+  "CMakeFiles/rab_challenge.dir/collusion.cpp.o.d"
+  "CMakeFiles/rab_challenge.dir/detection_quality.cpp.o"
+  "CMakeFiles/rab_challenge.dir/detection_quality.cpp.o.d"
+  "CMakeFiles/rab_challenge.dir/mp.cpp.o"
+  "CMakeFiles/rab_challenge.dir/mp.cpp.o.d"
+  "CMakeFiles/rab_challenge.dir/participants.cpp.o"
+  "CMakeFiles/rab_challenge.dir/participants.cpp.o.d"
+  "CMakeFiles/rab_challenge.dir/report.cpp.o"
+  "CMakeFiles/rab_challenge.dir/report.cpp.o.d"
+  "CMakeFiles/rab_challenge.dir/submission.cpp.o"
+  "CMakeFiles/rab_challenge.dir/submission.cpp.o.d"
+  "CMakeFiles/rab_challenge.dir/submission_io.cpp.o"
+  "CMakeFiles/rab_challenge.dir/submission_io.cpp.o.d"
+  "librab_challenge.a"
+  "librab_challenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rab_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

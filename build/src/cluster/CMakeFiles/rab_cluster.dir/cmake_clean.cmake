@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rab_cluster.dir/single_linkage.cpp.o"
+  "CMakeFiles/rab_cluster.dir/single_linkage.cpp.o.d"
+  "librab_cluster.a"
+  "librab_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rab_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

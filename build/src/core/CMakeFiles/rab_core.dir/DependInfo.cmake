@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack_generator.cpp" "src/core/CMakeFiles/rab_core.dir/attack_generator.cpp.o" "gcc" "src/core/CMakeFiles/rab_core.dir/attack_generator.cpp.o.d"
+  "/root/repo/src/core/region_search.cpp" "src/core/CMakeFiles/rab_core.dir/region_search.cpp.o" "gcc" "src/core/CMakeFiles/rab_core.dir/region_search.cpp.o.d"
+  "/root/repo/src/core/time_set_generator.cpp" "src/core/CMakeFiles/rab_core.dir/time_set_generator.cpp.o" "gcc" "src/core/CMakeFiles/rab_core.dir/time_set_generator.cpp.o.d"
+  "/root/repo/src/core/value_set_generator.cpp" "src/core/CMakeFiles/rab_core.dir/value_set_generator.cpp.o" "gcc" "src/core/CMakeFiles/rab_core.dir/value_set_generator.cpp.o.d"
+  "/root/repo/src/core/value_time_mapper.cpp" "src/core/CMakeFiles/rab_core.dir/value_time_mapper.cpp.o" "gcc" "src/core/CMakeFiles/rab_core.dir/value_time_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rating/CMakeFiles/rab_rating.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregation/CMakeFiles/rab_aggregation.dir/DependInfo.cmake"
+  "/root/repo/build/src/challenge/CMakeFiles/rab_challenge.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/rab_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rab_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rab_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/rab_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rab_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

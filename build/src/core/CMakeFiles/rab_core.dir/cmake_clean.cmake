@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rab_core.dir/attack_generator.cpp.o"
+  "CMakeFiles/rab_core.dir/attack_generator.cpp.o.d"
+  "CMakeFiles/rab_core.dir/region_search.cpp.o"
+  "CMakeFiles/rab_core.dir/region_search.cpp.o.d"
+  "CMakeFiles/rab_core.dir/time_set_generator.cpp.o"
+  "CMakeFiles/rab_core.dir/time_set_generator.cpp.o.d"
+  "CMakeFiles/rab_core.dir/value_set_generator.cpp.o"
+  "CMakeFiles/rab_core.dir/value_set_generator.cpp.o.d"
+  "CMakeFiles/rab_core.dir/value_time_mapper.cpp.o"
+  "CMakeFiles/rab_core.dir/value_time_mapper.cpp.o.d"
+  "librab_core.a"
+  "librab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

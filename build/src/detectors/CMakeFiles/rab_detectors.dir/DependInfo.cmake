@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detectors/arc_detector.cpp" "src/detectors/CMakeFiles/rab_detectors.dir/arc_detector.cpp.o" "gcc" "src/detectors/CMakeFiles/rab_detectors.dir/arc_detector.cpp.o.d"
+  "/root/repo/src/detectors/hc_detector.cpp" "src/detectors/CMakeFiles/rab_detectors.dir/hc_detector.cpp.o" "gcc" "src/detectors/CMakeFiles/rab_detectors.dir/hc_detector.cpp.o.d"
+  "/root/repo/src/detectors/integrator.cpp" "src/detectors/CMakeFiles/rab_detectors.dir/integrator.cpp.o" "gcc" "src/detectors/CMakeFiles/rab_detectors.dir/integrator.cpp.o.d"
+  "/root/repo/src/detectors/mc_detector.cpp" "src/detectors/CMakeFiles/rab_detectors.dir/mc_detector.cpp.o" "gcc" "src/detectors/CMakeFiles/rab_detectors.dir/mc_detector.cpp.o.d"
+  "/root/repo/src/detectors/me_detector.cpp" "src/detectors/CMakeFiles/rab_detectors.dir/me_detector.cpp.o" "gcc" "src/detectors/CMakeFiles/rab_detectors.dir/me_detector.cpp.o.d"
+  "/root/repo/src/detectors/online_monitor.cpp" "src/detectors/CMakeFiles/rab_detectors.dir/online_monitor.cpp.o" "gcc" "src/detectors/CMakeFiles/rab_detectors.dir/online_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trust/CMakeFiles/rab_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rab_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rab_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rab_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/rating/CMakeFiles/rab_rating.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rab_detectors.dir/arc_detector.cpp.o"
+  "CMakeFiles/rab_detectors.dir/arc_detector.cpp.o.d"
+  "CMakeFiles/rab_detectors.dir/hc_detector.cpp.o"
+  "CMakeFiles/rab_detectors.dir/hc_detector.cpp.o.d"
+  "CMakeFiles/rab_detectors.dir/integrator.cpp.o"
+  "CMakeFiles/rab_detectors.dir/integrator.cpp.o.d"
+  "CMakeFiles/rab_detectors.dir/mc_detector.cpp.o"
+  "CMakeFiles/rab_detectors.dir/mc_detector.cpp.o.d"
+  "CMakeFiles/rab_detectors.dir/me_detector.cpp.o"
+  "CMakeFiles/rab_detectors.dir/me_detector.cpp.o.d"
+  "CMakeFiles/rab_detectors.dir/online_monitor.cpp.o"
+  "CMakeFiles/rab_detectors.dir/online_monitor.cpp.o.d"
+  "librab_detectors.a"
+  "librab_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rab_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rating/dataset.cpp" "src/rating/CMakeFiles/rab_rating.dir/dataset.cpp.o" "gcc" "src/rating/CMakeFiles/rab_rating.dir/dataset.cpp.o.d"
+  "/root/repo/src/rating/fair_generator.cpp" "src/rating/CMakeFiles/rab_rating.dir/fair_generator.cpp.o" "gcc" "src/rating/CMakeFiles/rab_rating.dir/fair_generator.cpp.o.d"
+  "/root/repo/src/rating/io.cpp" "src/rating/CMakeFiles/rab_rating.dir/io.cpp.o" "gcc" "src/rating/CMakeFiles/rab_rating.dir/io.cpp.o.d"
+  "/root/repo/src/rating/product_ratings.cpp" "src/rating/CMakeFiles/rab_rating.dir/product_ratings.cpp.o" "gcc" "src/rating/CMakeFiles/rab_rating.dir/product_ratings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rab_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rab_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rab_rating.dir/dataset.cpp.o"
+  "CMakeFiles/rab_rating.dir/dataset.cpp.o.d"
+  "CMakeFiles/rab_rating.dir/fair_generator.cpp.o"
+  "CMakeFiles/rab_rating.dir/fair_generator.cpp.o.d"
+  "CMakeFiles/rab_rating.dir/io.cpp.o"
+  "CMakeFiles/rab_rating.dir/io.cpp.o.d"
+  "CMakeFiles/rab_rating.dir/product_ratings.cpp.o"
+  "CMakeFiles/rab_rating.dir/product_ratings.cpp.o.d"
+  "librab_rating.a"
+  "librab_rating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rab_rating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/ar.cpp" "src/signal/CMakeFiles/rab_signal.dir/ar.cpp.o" "gcc" "src/signal/CMakeFiles/rab_signal.dir/ar.cpp.o.d"
+  "/root/repo/src/signal/autocorrelation.cpp" "src/signal/CMakeFiles/rab_signal.dir/autocorrelation.cpp.o" "gcc" "src/signal/CMakeFiles/rab_signal.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/signal/curve.cpp" "src/signal/CMakeFiles/rab_signal.dir/curve.cpp.o" "gcc" "src/signal/CMakeFiles/rab_signal.dir/curve.cpp.o.d"
+  "/root/repo/src/signal/windowing.cpp" "src/signal/CMakeFiles/rab_signal.dir/windowing.cpp.o" "gcc" "src/signal/CMakeFiles/rab_signal.dir/windowing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rab_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rab_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

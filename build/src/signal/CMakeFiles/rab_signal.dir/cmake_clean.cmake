@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rab_signal.dir/ar.cpp.o"
+  "CMakeFiles/rab_signal.dir/ar.cpp.o.d"
+  "CMakeFiles/rab_signal.dir/autocorrelation.cpp.o"
+  "CMakeFiles/rab_signal.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/rab_signal.dir/curve.cpp.o"
+  "CMakeFiles/rab_signal.dir/curve.cpp.o.d"
+  "CMakeFiles/rab_signal.dir/windowing.cpp.o"
+  "CMakeFiles/rab_signal.dir/windowing.cpp.o.d"
+  "librab_signal.a"
+  "librab_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rab_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/beta.cpp" "src/stats/CMakeFiles/rab_stats.dir/beta.cpp.o" "gcc" "src/stats/CMakeFiles/rab_stats.dir/beta.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/rab_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/rab_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/rab_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/rab_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/glrt.cpp" "src/stats/CMakeFiles/rab_stats.dir/glrt.cpp.o" "gcc" "src/stats/CMakeFiles/rab_stats.dir/glrt.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/rab_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/rab_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/linalg.cpp" "src/stats/CMakeFiles/rab_stats.dir/linalg.cpp.o" "gcc" "src/stats/CMakeFiles/rab_stats.dir/linalg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rab_stats.dir/beta.cpp.o"
+  "CMakeFiles/rab_stats.dir/beta.cpp.o.d"
+  "CMakeFiles/rab_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/rab_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/rab_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/rab_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/rab_stats.dir/glrt.cpp.o"
+  "CMakeFiles/rab_stats.dir/glrt.cpp.o.d"
+  "CMakeFiles/rab_stats.dir/histogram.cpp.o"
+  "CMakeFiles/rab_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/rab_stats.dir/linalg.cpp.o"
+  "CMakeFiles/rab_stats.dir/linalg.cpp.o.d"
+  "librab_stats.a"
+  "librab_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rab_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rab_trust.dir/trust_manager.cpp.o"
+  "CMakeFiles/rab_trust.dir/trust_manager.cpp.o.d"
+  "librab_trust.a"
+  "librab_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rab_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

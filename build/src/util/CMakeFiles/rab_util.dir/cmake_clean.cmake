@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rab_util.dir/csv.cpp.o"
+  "CMakeFiles/rab_util.dir/csv.cpp.o.d"
+  "librab_util.a"
+  "librab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

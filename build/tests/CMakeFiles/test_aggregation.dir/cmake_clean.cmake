@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aggregation.dir/test_aggregation.cpp.o"
+  "CMakeFiles/test_aggregation.dir/test_aggregation.cpp.o.d"
+  "test_aggregation"
+  "test_aggregation.pdb"
+  "test_aggregation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ar.dir/test_ar.cpp.o"
+  "CMakeFiles/test_ar.dir/test_ar.cpp.o.d"
+  "test_ar"
+  "test_ar.pdb"
+  "test_ar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detection_quality.dir/test_detection_quality.cpp.o"
+  "CMakeFiles/test_detection_quality.dir/test_detection_quality.cpp.o.d"
+  "test_detection_quality"
+  "test_detection_quality.pdb"
+  "test_detection_quality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detection_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

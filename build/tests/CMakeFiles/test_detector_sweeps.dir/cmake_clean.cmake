@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector_sweeps.dir/test_detector_sweeps.cpp.o"
+  "CMakeFiles/test_detector_sweeps.dir/test_detector_sweeps.cpp.o.d"
+  "test_detector_sweeps"
+  "test_detector_sweeps.pdb"
+  "test_detector_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

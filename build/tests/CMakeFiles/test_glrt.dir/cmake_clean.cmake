@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_glrt.dir/test_glrt.cpp.o"
+  "CMakeFiles/test_glrt.dir/test_glrt.cpp.o.d"
+  "test_glrt"
+  "test_glrt.pdb"
+  "test_glrt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_glrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

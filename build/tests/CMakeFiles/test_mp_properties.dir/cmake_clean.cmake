@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp_properties.dir/test_mp_properties.cpp.o"
+  "CMakeFiles/test_mp_properties.dir/test_mp_properties.cpp.o.d"
+  "test_mp_properties"
+  "test_mp_properties.pdb"
+  "test_mp_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonstationary.dir/test_nonstationary.cpp.o"
+  "CMakeFiles/test_nonstationary.dir/test_nonstationary.cpp.o.d"
+  "test_nonstationary"
+  "test_nonstationary.pdb"
+  "test_nonstationary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonstationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

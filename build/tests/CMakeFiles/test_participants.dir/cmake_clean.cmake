@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_participants.dir/test_participants.cpp.o"
+  "CMakeFiles/test_participants.dir/test_participants.cpp.o.d"
+  "test_participants"
+  "test_participants.pdb"
+  "test_participants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_participants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

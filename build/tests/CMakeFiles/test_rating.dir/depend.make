@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rating.
+# This may be replaced when dependencies are built.

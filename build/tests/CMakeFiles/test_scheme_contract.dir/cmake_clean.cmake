@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_contract.dir/test_scheme_contract.cpp.o"
+  "CMakeFiles/test_scheme_contract.dir/test_scheme_contract.cpp.o.d"
+  "test_scheme_contract"
+  "test_scheme_contract.pdb"
+  "test_scheme_contract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

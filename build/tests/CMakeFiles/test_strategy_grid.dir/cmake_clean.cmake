@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategy_grid.dir/test_strategy_grid.cpp.o"
+  "CMakeFiles/test_strategy_grid.dir/test_strategy_grid.cpp.o.d"
+  "test_strategy_grid"
+  "test_strategy_grid.pdb"
+  "test_strategy_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategy_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

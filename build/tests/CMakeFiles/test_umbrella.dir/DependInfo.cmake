@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/test_umbrella.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/test_umbrella.dir/test_umbrella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/challenge/CMakeFiles/rab_challenge.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregation/CMakeFiles/rab_aggregation.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/rab_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rab_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/rating/CMakeFiles/rab_rating.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rab_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/trust/CMakeFiles/rab_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rab_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

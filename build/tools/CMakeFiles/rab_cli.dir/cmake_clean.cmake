@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rab_cli.dir/rab_cli.cpp.o"
+  "CMakeFiles/rab_cli.dir/rab_cli.cpp.o.d"
+  "rab"
+  "rab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rab_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
