@@ -12,8 +12,13 @@
 #include "detectors/hc_detector.hpp"
 #include "detectors/mc_detector.hpp"
 #include "detectors/me_detector.hpp"
+#include "core/attack_generator.hpp"
 #include "rating/fair_generator.hpp"
 #include "signal/ar.hpp"
+#include "signal/rolling.hpp"
+#include "signal/windowing.hpp"
+#include "stats/glrt.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -36,6 +41,43 @@ void BM_MeanChangeDetector(benchmark::State& state) {
                           static_cast<std::int64_t>(stream.size()));
 }
 BENCHMARK(BM_MeanChangeDetector)->Arg(60)->Arg(180)->Arg(365);
+
+// Copy-vs-rolling ablation for the MC indicator curve. The detector itself
+// uses the rolling prefix path; this is the former per-sample copy loop,
+// kept here as the baseline the fast path is measured against.
+void BM_MeanChangeCurveCopy(benchmark::State& state) {
+  const auto stream = stream_of(state.range(0));
+  const std::vector<signal::Sample> samples = stream.samples();
+  const stats::GaussianMeanGlrt glrt(detectors::McConfig{}.glrt_threshold);
+  const signal::WindowSpec window = detectors::McConfig{}.window;
+  for (auto _ : state) {
+    signal::Curve curve;
+    curve.reserve(samples.size());
+    for (std::size_t k = 0; k < samples.size(); ++k) {
+      const signal::IndexRange w = signal::window_around(samples, k, window);
+      const auto [left, right] = signal::split_at(w, k);
+      const std::vector<double> x1 = signal::values_in(samples, left);
+      const std::vector<double> x2 = signal::values_in(samples, right);
+      curve.push_back(
+          signal::CurvePoint{samples[k].time, glrt.statistic(x1, x2)});
+    }
+    benchmark::DoNotOptimize(curve);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_MeanChangeCurveCopy)->Arg(60)->Arg(180)->Arg(365);
+
+void BM_MeanChangeCurveRolling(benchmark::State& state) {
+  const auto stream = stream_of(state.range(0));
+  const detectors::MeanChangeDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.indicator_curve(stream));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_MeanChangeCurveRolling)->Arg(60)->Arg(180)->Arg(365);
 
 void BM_ArrivalRateDetector(benchmark::State& state) {
   const auto stream = stream_of(state.range(0));
@@ -138,6 +180,50 @@ void BM_SchemeAggregate(benchmark::State& state) {
                                        : "P");
 }
 BENCHMARK(BM_SchemeAggregate)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Serial-vs-parallel scaling of the P-scheme's per-product detector fan-out.
+// Arg = worker threads (overrides RAB_THREADS for the run).
+void BM_SchemeAggregateThreads(benchmark::State& state) {
+  rating::FairDataConfig config;
+  config.product_count = 9;
+  config.history_days = 180.0;
+  const rating::Dataset data =
+      rating::FairDataGenerator(config).generate();
+  const aggregation::PScheme p;
+
+  util::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.aggregate(data, 30.0));
+  }
+  util::set_thread_count(1);
+  state.SetLabel("P/t" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SchemeAggregateThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Serial-vs-parallel scaling of Procedure 2's per-round attack evaluations
+// (a shortened region search against the P-scheme; fig5 runs the full one).
+void BM_RegionSearchThreads(benchmark::State& state) {
+  const challenge::Challenge challenge = challenge::Challenge::make_default();
+  const aggregation::PScheme p;
+  const core::AttackGenerator generator(challenge, 4242);
+
+  core::AttackProfile timing;
+  timing.duration_days = 50.0;
+  timing.offset_days = 5.0;
+  core::RegionSearchOptions options;
+  options.trials = 4;
+  options.max_rounds = 1;
+
+  util::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.optimize(p, options, timing));
+  }
+  util::set_thread_count(1);
+  state.SetLabel("t" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_RegionSearchThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace rab::aggregation {
 
@@ -78,9 +79,16 @@ AggregateSeries PScheme::aggregate_detailed(const rating::Dataset& data,
     const detectors::TrustLookup lookup =
         pass == 0 ? detectors::TrustLookup(detectors::default_trust)
                   : learned.lookup();
+    // Per-product detector analysis is independent — fan it out over the
+    // pool, collecting by index so the result is identical at any thread
+    // count (analyze is a pure function of the stream and trust lookup).
+    std::vector<detectors::IntegrationResult> per_product(ids.size());
+    util::parallel_for(ids.size(), [&](std::size_t i) {
+      per_product[i] = integrator.analyze(data.product(ids[i]), lookup);
+    });
     integration.clear();
-    for (ProductId id : ids) {
-      integration.emplace(id, integrator.analyze(data.product(id), lookup));
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      integration.emplace(ids[i], std::move(per_product[i]));
     }
     EpochTrust rebuilt(config_.trust_forgetting);
     for (const Interval& epoch : epochs) {

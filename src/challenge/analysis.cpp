@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace rab::challenge {
 
@@ -62,15 +63,17 @@ std::vector<VarianceBiasPoint> analyze_population(
   RAB_EXPECTS(challenge.fair().has_product(options.product));
   const double fair_mean = challenge.fair_mean(options.product);
 
-  std::vector<VarianceBiasPoint> points;
-  points.reserve(population.size());
-  for (std::size_t i = 0; i < population.size(); ++i) {
+  // Each submission's MP evaluation is independent; sweep the population
+  // over the pool, filling per-index slots (deterministic at any thread
+  // count — challenge.evaluate is a pure function of the submission).
+  std::vector<VarianceBiasPoint> points(population.size());
+  util::parallel_for(population.size(), [&](std::size_t i) {
     const Submission& submission = population[i];
     const MpResult mp = challenge.evaluate(submission, scheme);
     const ValueStats stats =
         value_stats(submission, options.product, fair_mean);
 
-    VarianceBiasPoint point;
+    VarianceBiasPoint& point = points[i];
     point.index = i;
     point.label = submission.label;
     point.bias = stats.bias;
@@ -78,8 +81,7 @@ std::vector<VarianceBiasPoint> analyze_population(
     point.overall_mp = mp.overall;
     const auto it = mp.per_product.find(options.product);
     point.product_mp = it == mp.per_product.end() ? 0.0 : it->second;
-    points.push_back(std::move(point));
-  }
+  });
 
   mark_top(
       points, options.top_k,

@@ -8,6 +8,7 @@
 #include "core/value_set_generator.hpp"
 #include "core/value_time_mapper.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace rab::core {
 
@@ -112,18 +113,22 @@ challenge::Submission AttackGenerator::realize_best(
   profile.bias = search.best_bias;
   profile.sigma = search.best_sigma;
 
-  challenge::Submission best;
-  double best_mp = -1.0;
-  for (std::size_t t = 0; t < trials; ++t) {
-    challenge::Submission candidate =
-        generate(profile, 0xbe570000ULL + t);
-    const double mp = challenge_->evaluate(candidate, scheme).overall;
-    if (mp > best_mp) {
-      best_mp = mp;
-      best = std::move(candidate);
-    }
+  // Monte Carlo over realizations: every draw forks its RNG from the trial
+  // index, so the trials are independent and can run concurrently. The
+  // serial argmax below keeps first-wins tie-breaking, making the chosen
+  // submission identical at any thread count.
+  std::vector<challenge::Submission> candidates(trials);
+  std::vector<double> mps(trials, -1.0);
+  util::parallel_for(trials, [&](std::size_t t) {
+    candidates[t] = generate(profile, 0xbe570000ULL + t);
+    mps[t] = challenge_->evaluate(candidates[t], scheme).overall;
+  });
+
+  std::size_t best = 0;
+  for (std::size_t t = 1; t < trials; ++t) {
+    if (mps[t] > mps[best]) best = t;
   }
-  return best;
+  return std::move(candidates[best]);
 }
 
 }  // namespace rab::core

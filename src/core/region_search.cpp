@@ -1,8 +1,10 @@
 #include "core/region_search.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace rab::core {
 
@@ -36,32 +38,46 @@ RegionSearchResult region_search(const RegionSearchOptions& options,
   Range sigma = options.sigma;
   std::size_t trial_counter = 0;
 
+  const std::size_t cells = options.grid * options.grid;
+  const std::size_t probes = cells * options.trials;
+
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     double round_best = -1.0;
     Range best_bias = bias;
     Range best_sigma = sigma;
 
-    for (std::size_t bi = 0; bi < options.grid; ++bi) {
-      for (std::size_t si = 0; si < options.grid; ++si) {
-        const Range sub_bias = subrange(bias, bi, options.grid,
-                                        options.shrink);
-        const Range sub_sigma = subrange(sigma, si, options.grid,
-                                         options.shrink);
-        // Probe the subarea's center with m random attacks; the subarea's
-        // score is the best MP among them (Procedure 2 lines 6-7).
-        double sub_best = 0.0;
-        for (std::size_t t = 0; t < options.trials; ++t) {
-          const double mp =
-              evaluate(sub_bias.center(),
-                       std::max(sub_sigma.center(), 0.0), trial_counter++);
-          sub_best = std::max(sub_best, mp);
-        }
-        result.best_mp = std::max(result.best_mp, sub_best);
-        if (sub_best > round_best) {
-          round_best = sub_best;
-          best_bias = sub_bias;
-          best_sigma = sub_sigma;
-        }
+    // Probe each subarea's center with m random attacks; a subarea's score
+    // is the best MP among them (Procedure 2 lines 6-7). The grid^2 * m
+    // evaluations of a round are embarrassingly parallel: flat probe index
+    // p covers cell p / trials, trial p % trials, and maps to the same
+    // trial id the serial bi -> si -> t loop nest would have used, so the
+    // reduction below is bit-identical at any thread count.
+    std::vector<double> mp(probes, 0.0);
+    util::parallel_for(probes, [&](std::size_t p) {
+      const std::size_t cell = p / options.trials;
+      const Range sub_bias =
+          subrange(bias, cell / options.grid, options.grid, options.shrink);
+      const Range sub_sigma =
+          subrange(sigma, cell % options.grid, options.grid, options.shrink);
+      mp[p] = evaluate(sub_bias.center(), std::max(sub_sigma.center(), 0.0),
+                       trial_counter + p);
+    });
+    trial_counter += probes;
+
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+      const Range sub_bias =
+          subrange(bias, cell / options.grid, options.grid, options.shrink);
+      const Range sub_sigma =
+          subrange(sigma, cell % options.grid, options.grid, options.shrink);
+      double sub_best = 0.0;
+      for (std::size_t t = 0; t < options.trials; ++t) {
+        sub_best = std::max(sub_best, mp[cell * options.trials + t]);
+      }
+      result.best_mp = std::max(result.best_mp, sub_best);
+      if (sub_best > round_best) {
+        round_best = sub_best;
+        best_bias = sub_bias;
+        best_sigma = sub_sigma;
       }
     }
 

@@ -29,6 +29,12 @@ struct RegionSearchOptions {
 
 /// Evaluates the MP of one random attack drawn at (bias, sigma);
 /// `trial` decorrelates repeated draws at the same point.
+///
+/// Thread-safety contract: region_search fans a round's grid^2 * trials
+/// evaluations out over rab::util::parallel_for, so the evaluator must be
+/// callable concurrently. Derive all randomness from `trial` alone (fork a
+/// fresh Rng per call, as AttackGenerator::optimize does); then the search
+/// result is bit-identical at any RAB_THREADS setting.
 using AttackEvaluator =
     std::function<double(double bias, double sigma, std::size_t trial)>;
 
@@ -46,8 +52,8 @@ struct RegionSearchResult {
   double best_mp = 0.0;     ///< best MP observed anywhere during the search
 };
 
-/// Runs Procedure 2. The evaluator is called
-/// rounds * grid^2 * trials times at most.
+/// Runs Procedure 2. The evaluator is called rounds * grid^2 * trials
+/// times at most, in parallel within each round (see AttackEvaluator).
 RegionSearchResult region_search(const RegionSearchOptions& options,
                                  const AttackEvaluator& evaluate);
 

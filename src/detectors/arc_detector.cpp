@@ -4,6 +4,7 @@
 #include <cmath>
 #include <span>
 
+#include "signal/rolling.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/glrt.hpp"
 #include "util/error.hpp"
@@ -44,16 +45,20 @@ signal::Curve ArrivalRateDetector::indicator_curve(
       mode_counts(stream, day_begin, day_end);
   if (counts.size() < 2) return curve;
 
+  // Rolling fast path: the Poisson GLRT needs only each half-window's
+  // count total, which prefix sums answer in O(1) per split point.
+  const signal::RollingStats rolling{std::span<const double>(counts)};
   const auto half = static_cast<std::size_t>(config_.window_days / 2.0);
   for (std::size_t k = 1; k + 1 <= counts.size(); ++k) {
     // Shrink the window symmetrically near the edges (Section IV-C.2).
     const std::size_t d = std::min({half, k, counts.size() - k});
     if (d == 0) continue;
-    const std::span<const double> y1(counts.data() + (k - d), d);
-    const std::span<const double> y2(counts.data() + k, d);
+    const double days = static_cast<double>(d);
     curve.push_back(signal::CurvePoint{
         day_begin + static_cast<double>(k),
-        stats::PoissonRateGlrt::statistic(y1, y2)});
+        stats::PoissonRateGlrt::statistic_from_sums(
+            days, rolling.sum(signal::IndexRange{k - d, k}), days,
+            rolling.sum(signal::IndexRange{k, k + d}))});
   }
   return curve;
 }
@@ -79,17 +84,19 @@ DetectionResult ArrivalRateDetector::detect(
   const std::vector<double> counts = mode_counts(stream, day_begin, day_end);
 
   // Arrival rate per segment = watched ratings per day in the segment.
+  // Day d of `counts` stamps time day_begin + d, so the day indices inside
+  // [begin, end) are [ceil(begin - day_begin), ceil(end - day_begin));
+  // prefix sums then give each segment's total in O(1) instead of a scan.
+  const signal::RollingStats rolling{std::span<const double>(counts)};
   auto rate_in = [&](Day begin, Day end) {
-    double total = 0.0;
-    double days = 0.0;
-    for (std::size_t d = 0; d < counts.size(); ++d) {
-      const Day t = day_begin + static_cast<double>(d);
-      if (t >= begin && t < end) {
-        total += counts[d];
-        days += 1.0;
-      }
-    }
-    return days > 0.0 ? total / days : 0.0;
+    const double lo_f = std::max(std::ceil(begin - day_begin), 0.0);
+    const double hi_f = std::max(std::ceil(end - day_begin), lo_f);
+    const auto lo =
+        std::min(static_cast<std::size_t>(lo_f), counts.size());
+    const auto hi =
+        std::min(static_cast<std::size_t>(hi_f), counts.size());
+    const double days = static_cast<double>(hi - lo);
+    return days > 0.0 ? rolling.sum(signal::IndexRange{lo, hi}) / days : 0.0;
   };
 
   // Merge adjacent segments with (nearly) equal rates: noise peaks split a

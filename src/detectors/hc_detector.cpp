@@ -1,6 +1,7 @@
 #include "detectors/hc_detector.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "cluster/single_linkage.hpp"
 #include "util/error.hpp"
@@ -21,13 +22,16 @@ signal::Curve HistogramDetector::indicator_curve(
   const signal::WindowSpec spec =
       signal::WindowSpec::by_count(config_.window_ratings);
 
+  // Extract the value sequence once; windows are span slices of it.
+  const std::vector<double> values = stream.values();
   for (std::size_t k = 0; k < samples.size(); ++k) {
     const signal::IndexRange window =
         signal::window_around(samples, k, spec);
     double hc = 0.0;
     if (window.size() >= 4) {
-      const std::vector<double> values = signal::values_in(samples, window);
-      const cluster::Split1d split = cluster::two_cluster_split(values);
+      const std::span<const double> slice(values.data() + window.first,
+                                          window.size());
+      const cluster::Split1d split = cluster::two_cluster_split(slice);
       // Without a real value gap between the clusters the "split" is just
       // adjacent rating levels of one noisy blob — not a second mode.
       if (split.gap >= config_.min_cluster_gap) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "signal/rolling.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/glrt.hpp"
 #include "util/error.hpp"
@@ -21,14 +22,16 @@ signal::Curve MeanChangeDetector::indicator_curve(
   curve.reserve(samples.size());
   const stats::GaussianMeanGlrt glrt(config_.glrt_threshold);
 
+  // Rolling fast path: prefix statistics answer each half-window's moments
+  // in O(1) instead of copying the window's values per sample.
+  const signal::RollingStats rolling(samples);
   for (std::size_t k = 0; k < samples.size(); ++k) {
     const signal::IndexRange window =
         signal::window_around(samples, k, config_.window);
     const auto [left, right] = signal::split_at(window, k);
-    const std::vector<double> x1 = signal::values_in(samples, left);
-    const std::vector<double> x2 = signal::values_in(samples, right);
-    curve.push_back(
-        signal::CurvePoint{samples[k].time, glrt.statistic(x1, x2)});
+    curve.push_back(signal::CurvePoint{
+        samples[k].time,
+        glrt.statistic(rolling.moments(left), rolling.moments(right))});
   }
   return curve;
 }

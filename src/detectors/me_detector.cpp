@@ -1,5 +1,7 @@
 #include "detectors/me_detector.hpp"
 
+#include <span>
+
 #include "signal/ar.hpp"
 #include "util/error.hpp"
 
@@ -16,12 +18,16 @@ signal::Curve ModelErrorDetector::indicator_curve(
   signal::Curve curve;
   curve.reserve(samples.size());
 
+  // Extract the value sequence once; each window is then a span slice
+  // instead of a fresh per-sample vector copy.
+  const std::vector<double> values = stream.values();
   for (std::size_t k = 0; k < samples.size(); ++k) {
     const signal::IndexRange window =
         signal::window_around(samples, k, config_.window);
-    const std::vector<double> values = signal::values_in(samples, window);
+    const std::span<const double> slice(values.data() + window.first,
+                                        window.size());
     curve.push_back(signal::CurvePoint{
-        samples[k].time, signal::ar_model_error(values, config_.ar_order)});
+        samples[k].time, signal::ar_model_error(slice, config_.ar_order)});
   }
   return curve;
 }

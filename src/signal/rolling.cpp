@@ -1,0 +1,48 @@
+#include "signal/rolling.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rab::signal {
+
+template <typename Get, typename Seq>
+void RollingStats::build(const Seq& seq, Get get) {
+  prefix_.resize(seq.size() + 1);
+  prefix_sq_.resize(seq.size() + 1);
+  prefix_[0] = 0.0;
+  prefix_sq_[0] = 0.0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const double v = get(seq[i]);
+    prefix_[i + 1] = prefix_[i] + v;
+    prefix_sq_[i + 1] = prefix_sq_[i] + v * v;
+  }
+}
+
+RollingStats::RollingStats(std::span<const Sample> samples) {
+  build(samples, [](const Sample& s) { return s.value; });
+}
+
+RollingStats::RollingStats(std::span<const double> values) {
+  build(values, [](double v) { return v; });
+}
+
+double RollingStats::sum(const IndexRange& range) const {
+  RAB_EXPECTS(range.last <= size() && range.first <= range.last);
+  return prefix_[range.last] - prefix_[range.first];
+}
+
+stats::Moments RollingStats::moments(const IndexRange& range) const {
+  RAB_EXPECTS(range.last <= size() && range.first <= range.last);
+  stats::Moments m;
+  m.count = range.size();
+  if (m.count == 0) return m;
+  const double n = static_cast<double>(m.count);
+  const double s = prefix_[range.last] - prefix_[range.first];
+  const double sq = prefix_sq_[range.last] - prefix_sq_[range.first];
+  m.mean = s / n;
+  m.variance = std::max(sq / n - m.mean * m.mean, 0.0);
+  return m;
+}
+
+}  // namespace rab::signal

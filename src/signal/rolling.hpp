@@ -1,0 +1,52 @@
+// O(1) window statistics from prefix arrays.
+//
+// The windowed detectors slide a window across the whole stream and need
+// the mean/variance (MC) or the count sum (ARC) of each half-window. The
+// naive path copies every window's values into fresh vectors — O(n * W)
+// per curve. RollingStats builds prefix sums and sums-of-squares once —
+// O(n) — and answers any [first, last) range query with two subtractions.
+//
+// Numerical note: range moments come from the sum / sum-of-squares
+// identity rather than a Welford pass, so they can differ from Welford in
+// the last few ulps. Rating values are small (0..5) and windows are short
+// (tens to hundreds of samples), which keeps the identity well
+// conditioned; the variance is clamped at zero either way.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "signal/windowing.hpp"
+#include "stats/descriptive.hpp"
+
+namespace rab::signal {
+
+/// Prefix sum / sum-of-squares over a fixed sequence of values.
+class RollingStats {
+ public:
+  RollingStats() = default;
+  /// Indexes the `value` field of `samples`.
+  explicit RollingStats(std::span<const Sample> samples);
+  /// Indexes `values` directly (e.g. the ARC daily-count sequence).
+  explicit RollingStats(std::span<const double> values);
+
+  [[nodiscard]] std::size_t size() const {
+    return prefix_.empty() ? 0 : prefix_.size() - 1;
+  }
+
+  /// Sum of the values in [range.first, range.last).
+  [[nodiscard]] double sum(const IndexRange& range) const;
+
+  /// Count, mean, and population variance of [range.first, range.last).
+  /// All zero for an empty range.
+  [[nodiscard]] stats::Moments moments(const IndexRange& range) const;
+
+ private:
+  template <typename Get, typename Seq>
+  void build(const Seq& seq, Get get);
+
+  std::vector<double> prefix_;     // prefix_[i] = sum of the first i values
+  std::vector<double> prefix_sq_;  // prefix_sq_[i] = sum of first i squares
+};
+
+}  // namespace rab::signal

@@ -38,15 +38,15 @@ IndexRange window_around(std::span<const Sample> samples, std::size_t center,
   RAB_EXPECTS(center < samples.size());
   const std::size_t n = samples.size();
   if (spec.is_count()) {
+    // Fewer samples than the window asks for: the window is the whole
+    // sequence, stated explicitly rather than via the re-expansion clamp.
+    if (n <= spec.count()) return IndexRange{0, n};
     const std::size_t half = spec.count() / 2;
     const std::size_t first = center >= half ? center - half : 0;
     const std::size_t last = std::min(first + spec.count(), n);
     // Re-expand left if the right edge clipped the window.
-    const std::size_t width = last - first;
     const std::size_t refirst =
-        width < spec.count() && last == n
-            ? (n >= spec.count() ? n - spec.count() : 0)
-            : first;
+        last - first < spec.count() && last == n ? n - spec.count() : first;
     return IndexRange{refirst, last};
   }
   const double half = spec.duration() / 2.0;
@@ -81,6 +81,9 @@ std::vector<double> values_in(std::span<const Sample> samples,
 std::vector<double> daily_counts(std::span<const Sample> samples,
                                  Day day_begin, Day day_end) {
   RAB_EXPECTS(day_end >= day_begin);
+  // Empty span (e.g. a single rating stamped on an integer day, where
+  // floor(span) == ceil(span)): no days, no counts.
+  if (day_end == day_begin) return {};
   const auto days = static_cast<std::size_t>(std::ceil(day_end - day_begin));
   std::vector<double> counts(days, 0.0);
   for (const Sample& s : samples) {

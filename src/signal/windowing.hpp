@@ -51,7 +51,9 @@ struct IndexRange {
 /// Indices of samples centered on `center` under `spec`.
 ///
 /// By-count: the window is [center - n/2, center + n/2) clamped to the
-/// sequence (shrinking near the edges as the paper does for curve endpoints).
+/// sequence (shrinking near the edges as the paper does for curve
+/// endpoints). When the sequence holds fewer than `spec.count()` samples
+/// the window is the full range [0, samples.size()) for every center.
 /// By-duration: samples with |time - samples[center].time| <= days / 2.
 /// `samples` must be sorted by time.
 IndexRange window_around(std::span<const Sample> samples, std::size_t center,
@@ -67,7 +69,8 @@ std::vector<double> values_in(std::span<const Sample> samples,
                               const IndexRange& range);
 
 /// Daily counts: number of samples on each integer day of [day_begin,
-/// day_end). `samples` must be sorted by time.
+/// day_end). `samples` must be sorted by time. An empty span
+/// (day_end == day_begin) yields an empty vector.
 std::vector<double> daily_counts(std::span<const Sample> samples,
                                  Day day_begin, Day day_end);
 

@@ -29,6 +29,15 @@ class Welford {
   double m2_ = 0.0;
 };
 
+/// First two moments of a sequence, as produced by an accumulator or by
+/// prefix-sum differences (signal::RollingStats). The variance is the
+/// population variance, clamped at zero.
+struct Moments {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
 /// One-shot summary of a sequence.
 struct Summary {
   std::size_t count = 0;

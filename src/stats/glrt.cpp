@@ -23,23 +23,29 @@ GaussianMeanGlrt::GaussianMeanGlrt(double threshold, double min_sigma)
 
 double GaussianMeanGlrt::statistic(std::span<const double> x1,
                                    std::span<const double> x2) const {
-  if (x1.empty() || x2.empty()) return 0.0;
   Welford w1;
   Welford w2;
   for (double x : x1) w1.add(x);
   for (double x : x2) w2.add(x);
+  return statistic(Moments{w1.count(), w1.mean(), w1.variance()},
+                   Moments{w2.count(), w2.mean(), w2.variance()});
+}
+
+double GaussianMeanGlrt::statistic(const Moments& m1,
+                                   const Moments& m2) const {
+  if (m1.count == 0 || m2.count == 0) return 0.0;
 
   // Pooled variance around the per-half means (the H1 variance estimate).
-  const double n1 = static_cast<double>(w1.count());
-  const double n2 = static_cast<double>(w2.count());
+  const double n1 = static_cast<double>(m1.count);
+  const double n2 = static_cast<double>(m2.count);
   const double pooled_var =
-      (w1.variance() * n1 + w2.variance() * n2) / (n1 + n2);
+      (m1.variance * n1 + m2.variance * n2) / (n1 + n2);
   const double sigma = std::max(std::sqrt(pooled_var), min_sigma_);
 
   // Effective W for unequal halves: harmonic mean keeps the statistic's
   // chi-square scaling (W = n for the paper's equal-half case of 2W samples).
   const double w_eff = 2.0 * n1 * n2 / (n1 + n2);
-  const double delta = w1.mean() - w2.mean();
+  const double delta = m1.mean - m2.mean;
   return w_eff * delta * delta / (2.0 * sigma * sigma);
 }
 
@@ -57,23 +63,26 @@ PoissonRateGlrt::PoissonRateGlrt(double threshold) : threshold_(threshold) {
 
 double PoissonRateGlrt::statistic(std::span<const double> y1,
                                   std::span<const double> y2) {
-  if (y1.empty() || y2.empty()) return 0.0;
-  const double a = static_cast<double>(y1.size());
-  const double b = static_cast<double>(y2.size());
-  const double total_days = a + b;
-
   double sum1 = 0.0;
   double sum2 = 0.0;
   for (double y : y1) sum1 += y;
   for (double y : y2) sum2 += y;
+  return statistic_from_sums(static_cast<double>(y1.size()), sum1,
+                             static_cast<double>(y2.size()), sum2);
+}
 
-  const double y1bar = sum1 / a;
-  const double y2bar = sum2 / b;
+double PoissonRateGlrt::statistic_from_sums(double days1, double sum1,
+                                            double days2, double sum2) {
+  if (days1 <= 0.0 || days2 <= 0.0) return 0.0;
+  const double total_days = days1 + days2;
+
+  const double y1bar = sum1 / days1;
+  const double y2bar = sum2 / days2;
   const double ybar = (sum1 + sum2) / total_days;
 
   // Eq. (5) with 2D = total_days; xlogx handles empty-rate halves.
-  return (a / total_days) * xlogx(y1bar) + (b / total_days) * xlogx(y2bar) -
-         xlogx(ybar);
+  return (days1 / total_days) * xlogx(y1bar) +
+         (days2 / total_days) * xlogx(y2bar) - xlogx(ybar);
 }
 
 GlrtResult PoissonRateGlrt::test(std::span<const double> y1,

@@ -13,6 +13,8 @@
 
 #include <span>
 
+#include "stats/descriptive.hpp"
+
 namespace rab::stats {
 
 /// Result of a two-sample GLRT evaluation.
@@ -40,6 +42,11 @@ class GaussianMeanGlrt {
   [[nodiscard]] double statistic(std::span<const double> x1,
                                  std::span<const double> x2) const;
 
+  /// Same statistic from precomputed per-half moments — the O(1) rolling
+  /// fast path used by the windowed detectors, where the moments come from
+  /// prefix-sum differences instead of a per-window pass over the values.
+  [[nodiscard]] double statistic(const Moments& m1, const Moments& m2) const;
+
   [[nodiscard]] double threshold() const { return threshold_; }
 
  private:
@@ -60,6 +67,12 @@ class PoissonRateGlrt {
   /// The normalized statistic from Eq. (5); 0 when either half is empty.
   [[nodiscard]] static double statistic(std::span<const double> y1,
                                         std::span<const double> y2);
+
+  /// Same statistic from half lengths and count sums — the O(1) rolling
+  /// fast path (the Poisson GLRT only needs per-half totals). Returns 0
+  /// when either half has zero length.
+  [[nodiscard]] static double statistic_from_sums(double days1, double sum1,
+                                                  double days2, double sum2);
 
   [[nodiscard]] double threshold() const { return threshold_; }
 

@@ -1,0 +1,152 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace rab::util {
+
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+std::size_t env_thread_count() {
+  const char* env = std::getenv("RAB_THREADS");
+  if (env != nullptr) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::unique_ptr<ThreadPool>& pool_slot() {
+  static std::unique_ptr<ThreadPool> pool =
+      std::make_unique<ThreadPool>(env_thread_count());
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? 1 : threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() { return tls_on_worker; }
+
+void ThreadPool::worker_loop() {
+  tls_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& global_pool() { return *pool_slot(); }
+
+std::size_t thread_count() { return global_pool().thread_count(); }
+
+void set_thread_count(std::size_t threads) {
+  pool_slot() = std::make_unique<ThreadPool>(threads == 0 ? 1 : threads);
+}
+
+namespace detail {
+
+void parallel_for_impl(std::size_t n, std::size_t grain,
+                       const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  ThreadPool& pool = global_pool();
+
+  // Serial fast path: a 1-thread pool, a tiny loop, or a nested call from
+  // inside a worker (parallelism applies to the outermost loop only).
+  if (pool.thread_count() <= 1 || n <= grain ||
+      ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> pending{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  const auto state = std::make_shared<State>();
+
+  auto drain = [state, n, grain, &body] {
+    for (;;) {
+      const std::size_t first =
+          state->next.fetch_add(grain, std::memory_order_relaxed);
+      if (first >= n) return;
+      const std::size_t last = std::min(first + grain, n);
+      try {
+        for (std::size_t i = first; i < last; ++i) body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+        // Abandon the remaining indices so the loop fails fast.
+        state->next.store(n, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  // One helper task per extra worker; the caller drains alongside them.
+  const std::size_t helpers =
+      std::min(pool.thread_count(), (n + grain - 1) / grain) - 1;
+  state->pending.store(helpers, std::memory_order_relaxed);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([state, drain] {
+      drain();
+      if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        state->done.notify_all();
+      }
+    });
+  }
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] {
+      return state->pending.load(std::memory_order_acquire) == 0;
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace rab::util

@@ -1,0 +1,88 @@
+// Deterministic parallel execution engine.
+//
+// A single process-wide ThreadPool runs indexed loops via parallel_for.
+// Determinism contract: callers index their work items, derive any RNG
+// stream from the item index alone, and write results into per-index
+// slots; reductions happen serially afterward. Under that contract the
+// output is bit-identical for every thread count, so `RAB_THREADS=1`
+// reproduces exactly what `RAB_THREADS=8` computes.
+//
+// Sizing: the pool reads the RAB_THREADS environment variable once at
+// first use (falling back to std::thread::hardware_concurrency()); tests
+// and benches can override it at runtime with set_thread_count(). A
+// nested parallel_for issued from inside a worker runs inline on that
+// worker — parallelism is applied at the outermost loop only, which keeps
+// the pool deadlock-free without a re-entrant scheduler.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rab::util {
+
+/// Fixed-size worker pool. Most code should not touch this directly —
+/// use parallel_for, which schedules onto the shared global pool.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is clamped to 1). A pool of 1 thread
+  /// still spawns its worker, but parallel_for bypasses the queue then.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for any free worker.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// True when called from one of this pool's worker threads.
+  [[nodiscard]] static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool used by parallel_for. Created on first use with
+/// the thread count from RAB_THREADS (or hardware concurrency).
+ThreadPool& global_pool();
+
+/// Threads the global pool runs with (>= 1). Reads RAB_THREADS lazily.
+std::size_t thread_count();
+
+/// Rebuilds the global pool with `threads` workers (clamped to >= 1).
+/// Intended for tests and benches comparing serial vs parallel runs; not
+/// safe to call concurrently with an in-flight parallel_for.
+void set_thread_count(std::size_t threads);
+
+namespace detail {
+void parallel_for_impl(std::size_t n, std::size_t grain,
+                       const std::function<void(std::size_t)>& body);
+}  // namespace detail
+
+/// Runs body(i) for every i in [0, n), distributing chunks of ~`grain`
+/// consecutive indices over the global pool. Blocks until all indices are
+/// done; the calling thread participates in the work. The first exception
+/// thrown by any invocation is rethrown after the loop drains. `body`
+/// must be safe to invoke concurrently from several threads; per-index
+/// work must not depend on execution order (see the determinism contract
+/// above).
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body, std::size_t grain = 1) {
+  detail::parallel_for_impl(n, grain,
+                            std::function<void(std::size_t)>(body));
+}
+
+}  // namespace rab::util

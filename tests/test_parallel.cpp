@@ -1,0 +1,219 @@
+// Tests for the parallel execution engine: parallel_for semantics and the
+// bit-identical-at-any-thread-count determinism contract of the hot paths
+// wired onto it (P-scheme aggregation, region search, attack generator).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "challenge/challenge.hpp"
+#include "core/attack_generator.hpp"
+#include "core/region_search.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/parallel.hpp"
+
+namespace rab {
+namespace {
+
+/// Restores the pool to a single worker when a test scope ends, so thread
+/// counts never leak between tests.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { util::set_thread_count(1); }
+};
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const ThreadCountGuard guard;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    util::set_thread_count(threads);
+    std::vector<int> hits(1000, 0);
+    util::parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelFor, ResultsIdenticalAcrossThreadCounts) {
+  const ThreadCountGuard guard;
+  auto run = [](std::size_t threads) {
+    util::set_thread_count(threads);
+    std::vector<double> out(513);
+    util::parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = std::sin(static_cast<double>(i)) * 1e6;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ParallelFor, EmptyAndTinyLoops) {
+  const ThreadCountGuard guard;
+  util::set_thread_count(4);
+  util::parallel_for(0, [](std::size_t) { FAIL(); });
+  std::atomic<int> calls{0};
+  util::parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  const ThreadCountGuard guard;
+  util::set_thread_count(4);
+  EXPECT_THROW(util::parallel_for(100,
+                                  [](std::size_t i) {
+                                    if (i == 37) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, NestedLoopsDoNotDeadlock) {
+  const ThreadCountGuard guard;
+  util::set_thread_count(4);
+  std::vector<double> out(16, 0.0);
+  util::parallel_for(out.size(), [&](std::size_t i) {
+    double acc = 0.0;
+    // Nested call: runs inline on whichever thread owns index i.
+    util::parallel_for(64, [&](std::size_t j) {
+      acc += static_cast<double>(i * j);
+    });
+    out[i] = acc;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * (63.0 * 64.0 / 2.0));
+  }
+}
+
+rating::Dataset small_dataset() {
+  rating::FairDataConfig config;
+  config.product_count = 5;
+  config.history_days = 90.0;
+  return rating::FairDataGenerator(config).generate();
+}
+
+void expect_identical(const aggregation::AggregateSeries& a,
+                      const aggregation::AggregateSeries& b) {
+  ASSERT_EQ(a.products.size(), b.products.size());
+  for (const auto& [id, series] : a.products) {
+    const aggregation::ProductSeries& other = b.of(id);
+    ASSERT_EQ(series.size(), other.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      EXPECT_EQ(series[i].value, other[i].value);  // bit-identical
+      EXPECT_EQ(series[i].used, other[i].used);
+      EXPECT_EQ(series[i].removed, other[i].removed);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, PSchemeAggregateBitIdentical) {
+  const ThreadCountGuard guard;
+  const rating::Dataset data = small_dataset();
+  const aggregation::PScheme p;
+
+  util::set_thread_count(1);
+  const aggregation::AggregateSeries serial = p.aggregate(data, 30.0);
+  util::set_thread_count(8);
+  const aggregation::AggregateSeries parallel = p.aggregate(data, 30.0);
+  expect_identical(serial, parallel);
+}
+
+core::RegionSearchResult run_region_search() {
+  core::RegionSearchOptions options;
+  options.trials = 6;
+  options.max_rounds = 4;
+  // A deterministic pure function of (bias, sigma, trial) stands in for
+  // the MP evaluation; real evaluators derive their RNG from `trial`.
+  return core::region_search(
+      options, [](double bias, double sigma, std::size_t trial) {
+        return std::abs(std::sin(bias * 3.1 + sigma * 1.7 +
+                                 static_cast<double>(trial) * 0.013));
+      });
+}
+
+TEST(ParallelDeterminism, RegionSearchBitIdentical) {
+  const ThreadCountGuard guard;
+  util::set_thread_count(1);
+  const core::RegionSearchResult serial = run_region_search();
+  util::set_thread_count(8);
+  const core::RegionSearchResult parallel = run_region_search();
+
+  EXPECT_EQ(serial.best_bias, parallel.best_bias);
+  EXPECT_EQ(serial.best_sigma, parallel.best_sigma);
+  EXPECT_EQ(serial.best_mp, parallel.best_mp);
+  ASSERT_EQ(serial.rounds.size(), parallel.rounds.size());
+  for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
+    EXPECT_EQ(serial.rounds[i].best_mp, parallel.rounds[i].best_mp);
+    EXPECT_EQ(serial.rounds[i].bias.lo, parallel.rounds[i].bias.lo);
+    EXPECT_EQ(serial.rounds[i].bias.hi, parallel.rounds[i].bias.hi);
+    EXPECT_EQ(serial.rounds[i].sigma.lo, parallel.rounds[i].sigma.lo);
+    EXPECT_EQ(serial.rounds[i].sigma.hi, parallel.rounds[i].sigma.hi);
+  }
+}
+
+TEST(ParallelDeterminism, RegionSearchTrialIdsAreConsecutive) {
+  const ThreadCountGuard guard;
+  util::set_thread_count(8);
+  core::RegionSearchOptions options;
+  options.trials = 5;
+  options.max_rounds = 3;
+
+  std::mutex mutex;
+  std::set<std::size_t> seen;
+  core::region_search(options,
+                      [&](double, double, std::size_t trial) {
+                        const std::lock_guard<std::mutex> lock(mutex);
+                        EXPECT_TRUE(seen.insert(trial).second);
+                        return 0.5;
+                      });
+  // 3 rounds x grid^2 (= 4) x 5 trials, numbered exactly 0..n-1.
+  ASSERT_EQ(seen.size(), 60u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 59u);
+}
+
+TEST(ParallelDeterminism, AttackGeneratorBitIdentical) {
+  const ThreadCountGuard guard;
+  const challenge::Challenge challenge =
+      challenge::Challenge::make_default(/*seed=*/99);
+  const core::AttackGenerator generator(challenge, 1234);
+  const aggregation::SaScheme sa;
+
+  core::AttackProfile timing;
+  timing.duration_days = 30.0;
+  timing.offset_days = 5.0;
+  core::RegionSearchOptions options;
+  options.trials = 3;
+  options.max_rounds = 2;
+
+  util::set_thread_count(1);
+  const core::RegionSearchResult serial_search =
+      generator.optimize(sa, options, timing);
+  const challenge::Submission serial_best =
+      generator.realize_best(sa, serial_search, timing, /*trials=*/4);
+
+  util::set_thread_count(8);
+  const core::RegionSearchResult parallel_search =
+      generator.optimize(sa, options, timing);
+  const challenge::Submission parallel_best =
+      generator.realize_best(sa, parallel_search, timing, /*trials=*/4);
+
+  EXPECT_EQ(serial_search.best_bias, parallel_search.best_bias);
+  EXPECT_EQ(serial_search.best_sigma, parallel_search.best_sigma);
+  EXPECT_EQ(serial_search.best_mp, parallel_search.best_mp);
+
+  ASSERT_EQ(serial_best.ratings.size(), parallel_best.ratings.size());
+  for (std::size_t i = 0; i < serial_best.ratings.size(); ++i) {
+    EXPECT_EQ(serial_best.ratings[i].time, parallel_best.ratings[i].time);
+    EXPECT_EQ(serial_best.ratings[i].value, parallel_best.ratings[i].value);
+    EXPECT_EQ(serial_best.ratings[i].rater, parallel_best.ratings[i].rater);
+    EXPECT_EQ(serial_best.ratings[i].product,
+              parallel_best.ratings[i].product);
+  }
+}
+
+}  // namespace
+}  // namespace rab

@@ -1,0 +1,141 @@
+// Tests for the rolling prefix statistics against Welford ground truth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "signal/rolling.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/glrt.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::signal {
+namespace {
+
+std::vector<Sample> rating_like_samples(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Sample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Sample{static_cast<double>(i),
+                         std::clamp(rng.gaussian(4.0, 0.8), 0.0, 5.0)});
+  }
+  return out;
+}
+
+stats::Moments welford_moments(std::span<const Sample> samples,
+                               const IndexRange& range) {
+  stats::Welford acc;
+  for (std::size_t i = range.first; i < range.last; ++i) {
+    acc.add(samples[i].value);
+  }
+  return stats::Moments{acc.count(), acc.mean(), acc.variance()};
+}
+
+TEST(RollingStats, MatchesWelfordOnRandomRanges) {
+  const auto samples = rating_like_samples(400, 11);
+  const RollingStats rolling{std::span<const Sample>(samples)};
+  ASSERT_EQ(rolling.size(), samples.size());
+
+  Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::size_t>(rng.uniform_int(0, 399));
+    const auto b = static_cast<std::size_t>(rng.uniform_int(0, 400));
+    const IndexRange range{std::min(a, b), std::max(a, b)};
+    const stats::Moments truth = welford_moments(samples, range);
+    const stats::Moments fast = rolling.moments(range);
+    EXPECT_EQ(fast.count, truth.count);
+    EXPECT_NEAR(fast.mean, truth.mean, 1e-10);
+    EXPECT_NEAR(fast.variance, truth.variance, 1e-9);
+  }
+}
+
+TEST(RollingStats, SumMatchesDirectSummation) {
+  const auto samples = rating_like_samples(100, 7);
+  const RollingStats rolling{std::span<const Sample>(samples)};
+  double direct = 0.0;
+  for (std::size_t i = 20; i < 80; ++i) direct += samples[i].value;
+  EXPECT_NEAR(rolling.sum(IndexRange{20, 80}), direct, 1e-10);
+  EXPECT_DOUBLE_EQ(rolling.sum(IndexRange{50, 50}), 0.0);
+}
+
+TEST(RollingStats, EmptyRangeIsAllZero) {
+  const auto samples = rating_like_samples(10, 3);
+  const RollingStats rolling{std::span<const Sample>(samples)};
+  const stats::Moments m = rolling.moments(IndexRange{4, 4});
+  EXPECT_EQ(m.count, 0u);
+  EXPECT_DOUBLE_EQ(m.mean, 0.0);
+  EXPECT_DOUBLE_EQ(m.variance, 0.0);
+}
+
+TEST(RollingStats, ValueSpanConstructorAgreesWithSampleConstructor) {
+  const auto samples = rating_like_samples(50, 5);
+  std::vector<double> values;
+  for (const Sample& s : samples) values.push_back(s.value);
+  const RollingStats from_samples{std::span<const Sample>(samples)};
+  const RollingStats from_values{std::span<const double>(values)};
+  const IndexRange range{10, 45};
+  EXPECT_DOUBLE_EQ(from_samples.sum(range), from_values.sum(range));
+  const stats::Moments a = from_samples.moments(range);
+  const stats::Moments b = from_values.moments(range);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.variance, b.variance);
+}
+
+TEST(RollingStats, OutOfRangeThrows) {
+  const auto samples = rating_like_samples(10, 1);
+  const RollingStats rolling{std::span<const Sample>(samples)};
+  EXPECT_THROW((void)rolling.sum(IndexRange{0, 11}), Error);
+  EXPECT_THROW((void)rolling.moments(IndexRange{0, 11}), Error);
+}
+
+TEST(RollingStats, DefaultConstructedIsEmpty) {
+  const RollingStats rolling;
+  EXPECT_EQ(rolling.size(), 0u);
+}
+
+TEST(RollingGlrt, MomentPathMatchesSpanPath) {
+  const auto samples = rating_like_samples(200, 17);
+  const RollingStats rolling{std::span<const Sample>(samples)};
+  const stats::GaussianMeanGlrt glrt(5.0);
+
+  std::vector<double> values;
+  for (const Sample& s : samples) values.push_back(s.value);
+  for (std::size_t split = 10; split < 190; split += 7) {
+    const IndexRange left{split - 10, split};
+    const IndexRange right{split, split + 10};
+    const double via_spans = glrt.statistic(
+        std::span<const double>(values).subspan(left.first, left.size()),
+        std::span<const double>(values).subspan(right.first, right.size()));
+    const double via_moments =
+        glrt.statistic(rolling.moments(left), rolling.moments(right));
+    EXPECT_NEAR(via_moments, via_spans, 1e-9 * std::max(1.0, via_spans));
+  }
+}
+
+TEST(RollingGlrt, PoissonSumPathMatchesSpanPath) {
+  Rng rng(29);
+  std::vector<double> counts;
+  for (int i = 0; i < 120; ++i) {
+    counts.push_back(static_cast<double>(rng.poisson(3.0)));
+  }
+  const RollingStats rolling{std::span<const double>(counts)};
+  for (std::size_t k = 10; k + 10 <= counts.size(); k += 5) {
+    const std::span<const double> y1(counts.data() + (k - 10), 10);
+    const std::span<const double> y2(counts.data() + k, 10);
+    const double via_spans = stats::PoissonRateGlrt::statistic(y1, y2);
+    const double via_sums = stats::PoissonRateGlrt::statistic_from_sums(
+        10.0, rolling.sum(IndexRange{k - 10, k}), 10.0,
+        rolling.sum(IndexRange{k, k + 10}));
+    // Counts are integer-valued doubles: both sums are exact, so the two
+    // paths agree bit-for-bit.
+    EXPECT_DOUBLE_EQ(via_sums, via_spans);
+  }
+}
+
+}  // namespace
+}  // namespace rab::signal

@@ -67,6 +67,25 @@ TEST(WindowAround, ByCountShortSequenceClipped) {
   EXPECT_EQ(r.last, 6u);
 }
 
+TEST(WindowAround, ByCountShortSequenceFullRangeForEveryCenter) {
+  // n < count: the documented behavior is the whole sequence, regardless
+  // of where the window is centered.
+  const auto samples = evenly_spaced(5);
+  for (std::size_t center = 0; center < samples.size(); ++center) {
+    const IndexRange r =
+        window_around(samples, center, WindowSpec::by_count(20));
+    EXPECT_EQ(r.first, 0u);
+    EXPECT_EQ(r.last, 5u);
+  }
+}
+
+TEST(WindowAround, ByCountExactFitIsFullRange) {
+  const auto samples = evenly_spaced(8);
+  const IndexRange r = window_around(samples, 7, WindowSpec::by_count(8));
+  EXPECT_EQ(r.first, 0u);
+  EXPECT_EQ(r.last, 8u);
+}
+
 TEST(WindowAround, ByDurationSelectsTimeSpan) {
   const auto samples = evenly_spaced(100);  // 1 sample/day
   const IndexRange r =
@@ -144,6 +163,16 @@ TEST(DailyCounts, IgnoresOutsideSpan) {
 TEST(DailyCounts, FractionalSpanRoundsUp) {
   std::vector<Sample> samples{{0.5, 1.0}};
   EXPECT_EQ(daily_counts(samples, 0.0, 1.5).size(), 2u);
+}
+
+TEST(DailyCounts, EmptySpanYieldsNoDays) {
+  // Regression: a single rating stamped on an integer day gives the ARC
+  // detector floor(span) == ceil(span); the empty span must come back as
+  // zero days, not fault or fabricate a day.
+  std::vector<Sample> samples{{3.0, 4.5}};
+  EXPECT_TRUE(daily_counts(samples, 3.0, 3.0).empty());
+  EXPECT_TRUE(daily_counts({}, 0.0, 0.0).empty());
+  EXPECT_THROW(daily_counts(samples, 3.0, 2.0), Error);
 }
 
 }  // namespace

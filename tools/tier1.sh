@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then (optionally) the
+# parallel execution engine's determinism and detector tests under
+# ThreadSanitizer.
+#
+#   tools/tier1.sh           # build + ctest
+#   tools/tier1.sh --tsan    # additionally: TSAN build of the threaded tests
+#
+# The TSAN pass builds into build-tsan/ with -DRAB_TSAN=ON and runs the
+# tests that exercise the thread pool (test_parallel) plus the detector
+# suite whose hot paths run inside parallel_for (test_detectors).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  cmake -B build-tsan -S . -DRAB_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target test_parallel test_detectors
+  # Exercise the pool with real contention regardless of the host's cores.
+  RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
+  RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_detectors
+fi
