@@ -1,0 +1,144 @@
+// MP-evaluation microbenches (google-benchmark): the copy path
+// (Dataset::with_added + aggregate) versus the zero-copy overlay path
+// (DatasetOverlay + aggregate_overlay + detector-result caching) that the
+// region search and the attack generator actually drive, plus the
+// allocation-light evaluate_overall fast path. Items processed = MP
+// evaluations, so the evals/sec ratio between BM_MpEvaluateCopy and
+// BM_MpEvaluateOverlay is the hot-loop speedup bench_report tracks.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "challenge/challenge.hpp"
+#include "core/attack_generator.hpp"
+
+namespace {
+
+using namespace rab;
+
+enum SchemeKind : std::int64_t { kSa = 0, kP = 1 };
+
+std::unique_ptr<aggregation::AggregationScheme> make_scheme(
+    std::int64_t kind) {
+  if (kind == kP) return std::make_unique<aggregation::PScheme>();
+  return std::make_unique<aggregation::SaScheme>();
+}
+
+/// The pre-overlay baseline: detector-result caching off, so every
+/// evaluation re-runs the full detector bank like the old copy path did.
+std::unique_ptr<aggregation::AggregationScheme> make_uncached_scheme(
+    std::int64_t kind) {
+  if (kind == kP) {
+    aggregation::PConfig config;
+    config.cache_streams = 0;
+    return std::make_unique<aggregation::PScheme>(config);
+  }
+  return std::make_unique<aggregation::SaScheme>();
+}
+
+const char* scheme_label(std::int64_t kind) {
+  return kind == kP ? "P" : "SA";
+}
+
+/// Default-size challenge plus a cycle of distinct generated submissions —
+/// the same shape of work the region-search inner loop performs (repeated
+/// evaluations, a handful of touched products each).
+struct MpBenchFixture {
+  challenge::Challenge challenge = challenge::Challenge::make_default();
+  std::vector<challenge::Submission> submissions;
+
+  explicit MpBenchFixture(std::size_t count = 8) {
+    const core::AttackGenerator generator(challenge, /*seed=*/424242);
+    core::AttackProfile profile;
+    profile.bias = -3.0;
+    profile.sigma = 0.5;
+    profile.duration_days = 40.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      submissions.push_back(generator.generate(profile, 0xbe9c0000ULL + i));
+    }
+  }
+};
+
+void BM_MpEvaluateCopy(benchmark::State& state) {
+  const MpBenchFixture fx;
+  const auto scheme = make_uncached_scheme(state.range(0));
+  state.SetLabel(scheme_label(state.range(0)));
+  // Warm the fair-baseline cache so both paths measure the hot loop only.
+  (void)fx.challenge.metric().evaluate_dataset(
+      fx.challenge.apply(fx.submissions[0]), *scheme);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const challenge::Submission& s =
+        fx.submissions[i++ % fx.submissions.size()];
+    benchmark::DoNotOptimize(
+        fx.challenge.metric()
+            .evaluate_dataset(fx.challenge.fair().with_added(s.ratings),
+                              *scheme)
+            .overall);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MpEvaluateCopy)->Arg(kSa)->Arg(kP)->Unit(benchmark::kMillisecond);
+
+void BM_MpEvaluateOverlay(benchmark::State& state) {
+  const MpBenchFixture fx;
+  const auto scheme = make_scheme(state.range(0));
+  state.SetLabel(scheme_label(state.range(0)));
+  (void)fx.challenge.metric().evaluate(fx.submissions[0], *scheme);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const challenge::Submission& s =
+        fx.submissions[i++ % fx.submissions.size()];
+    benchmark::DoNotOptimize(
+        fx.challenge.metric().evaluate(s, *scheme).overall);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MpEvaluateOverlay)
+    ->Arg(kSa)
+    ->Arg(kP)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MpEvaluateOverall(benchmark::State& state) {
+  const MpBenchFixture fx;
+  const auto scheme = make_scheme(state.range(0));
+  state.SetLabel(scheme_label(state.range(0)));
+  (void)fx.challenge.metric().evaluate_overall(fx.submissions[0], *scheme);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const challenge::Submission& s =
+        fx.submissions[i++ % fx.submissions.size()];
+    benchmark::DoNotOptimize(
+        fx.challenge.metric().evaluate_overall(s, *scheme));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MpEvaluateOverall)
+    ->Arg(kSa)
+    ->Arg(kP)
+    ->Unit(benchmark::kMillisecond);
+
+// The acceptance-style case: re-evaluating one fixed submission (cache
+// fully warm) — the upper bound the caches buy on repeated evaluation.
+void BM_MpEvaluateRepeated(benchmark::State& state) {
+  const MpBenchFixture fx(1);
+  const auto scheme = make_scheme(state.range(0));
+  state.SetLabel(scheme_label(state.range(0)));
+  (void)fx.challenge.metric().evaluate(fx.submissions[0], *scheme);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.challenge.metric().evaluate(fx.submissions[0], *scheme).overall);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MpEvaluateRepeated)
+    ->Arg(kSa)
+    ->Arg(kP)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,7 +1,9 @@
 #include "aggregation/bf_scheme.hpp"
 
+#include <limits>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <unordered_map>
 #include <utility>
 
@@ -85,36 +87,13 @@ std::vector<bool> filter_bin(const std::vector<rating::Rating>& rs,
   return rejected;
 }
 
-}  // namespace
-
-BfScheme::BfScheme(BfConfig config) : config_(config) {
-  RAB_EXPECTS(config_.quantile > 0.0 && config_.quantile < 0.5);
-  RAB_EXPECTS(config_.max_rounds >= 1);
-}
-
-std::vector<std::size_t> BfScheme::rejected_indices(
-    const std::vector<rating::Rating>& rs) const {
-  // Stateless variant: each rater's opinion is informed only by their own
-  // ratings inside this bin, so repeating the same extreme value sharpens
-  // (narrows) their beta and exposes them to the majority test.
-  std::unordered_map<RaterId, Feedback> per_rater;
-  for (const rating::Rating& r : rs) per_rater[r.rater].add_value(r.value);
-
-  std::vector<Feedback> individual;
-  individual.reserve(rs.size());
-  for (const rating::Rating& r : rs) individual.push_back(per_rater[r.rater]);
-
-  const std::vector<bool> rejected =
-      filter_bin(rs, individual, config_.quantile, config_.max_rounds);
-  std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < rejected.size(); ++i) {
-    if (rejected[i]) out.push_back(i);
-  }
-  return out;
-}
-
-AggregateSeries BfScheme::aggregate(const rating::Dataset& data,
-                                    double bin_days) const {
+/// The whole BF aggregation, generic over Dataset / DatasetOverlay (both
+/// expose span / product_ids / product(id).in_interval). The scheme is
+/// history-coupled across bins, so the overlay path recomputes every
+/// product; its win is skipping the dataset copy, not per-product reuse.
+template <typename Data>
+AggregateSeries bf_aggregate(const Data& data, double bin_days,
+                             const BfConfig& config) {
   AggregateSeries series;
   const Interval span = data.span();
   const std::vector<Interval> bins =
@@ -159,7 +138,7 @@ AggregateSeries BfScheme::aggregate(const rating::Dataset& data,
         reference = it->second;
       }
       const std::vector<bool> rejected = filter_bin(
-          rs, individual, config_.quantile, config_.max_rounds, reference);
+          rs, individual, config.quantile, config.max_rounds, reference);
 
       AggregatePoint point;
       point.bin = bin;
@@ -184,6 +163,53 @@ AggregateSeries BfScheme::aggregate(const rating::Dataset& data,
     history = std::move(next_history);
   }
   return series;
+}
+
+}  // namespace
+
+BfScheme::BfScheme(BfConfig config) : config_(config) {
+  RAB_EXPECTS(config_.quantile > 0.0 && config_.quantile < 0.5);
+  RAB_EXPECTS(config_.max_rounds >= 1);
+}
+
+std::vector<std::size_t> BfScheme::rejected_indices(
+    const std::vector<rating::Rating>& rs) const {
+  // Stateless variant: each rater's opinion is informed only by their own
+  // ratings inside this bin, so repeating the same extreme value sharpens
+  // (narrows) their beta and exposes them to the majority test.
+  std::unordered_map<RaterId, Feedback> per_rater;
+  for (const rating::Rating& r : rs) per_rater[r.rater].add_value(r.value);
+
+  std::vector<Feedback> individual;
+  individual.reserve(rs.size());
+  for (const rating::Rating& r : rs) individual.push_back(per_rater[r.rater]);
+
+  const std::vector<bool> rejected =
+      filter_bin(rs, individual, config_.quantile, config_.max_rounds);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < rejected.size(); ++i) {
+    if (rejected[i]) out.push_back(i);
+  }
+  return out;
+}
+
+std::string BfScheme::identity() const {
+  std::ostringstream id;
+  id.precision(std::numeric_limits<double>::max_digits10);
+  id << name() << "(q=" << config_.quantile
+     << ",rounds=" << config_.max_rounds << ')';
+  return id.str();
+}
+
+AggregateSeries BfScheme::aggregate(const rating::Dataset& data,
+                                    double bin_days) const {
+  return bf_aggregate(data, bin_days, config_);
+}
+
+AggregateSeries BfScheme::aggregate_overlay(
+    const rating::DatasetOverlay& data, double bin_days,
+    const AggregateSeries* /*fair_baseline*/) const {
+  return bf_aggregate(data, bin_days, config_);
 }
 
 }  // namespace rab::aggregation

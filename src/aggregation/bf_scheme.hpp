@@ -30,8 +30,14 @@ class BfScheme final : public AggregationScheme {
 
   [[nodiscard]] std::string name() const override { return "BF"; }
 
+  [[nodiscard]] std::string identity() const override;
+
   [[nodiscard]] AggregateSeries aggregate(const rating::Dataset& data,
                                           double bin_days) const override;
+
+  [[nodiscard]] AggregateSeries aggregate_overlay(
+      const rating::DatasetOverlay& data, double bin_days,
+      const AggregateSeries* fair_baseline) const override;
 
   /// One bin's filtering: returns indices (into `rs`) of ratings the
   /// majority-rule filter rejects. Exposed for tests.

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
+#include <sstream>
 
+#include "aggregation/overlay_support.hpp"
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
 
@@ -39,6 +42,69 @@ std::size_t modal_level(const std::array<std::size_t, kLevels>& counts) {
   return best;
 }
 
+ProductSeries entropy_points(const auto& stream,
+                             const std::vector<Interval>& bins,
+                             const EntropyConfig& config) {
+  ProductSeries points;
+  points.reserve(bins.size());
+  for (const Interval& bin : bins) {
+    std::array<std::size_t, kLevels> counts{};
+    std::size_t total = 0;
+    detail::visit_in(stream, bin, [&](const rating::Rating& r) {
+      ++counts[level_of(r.value)];
+      ++total;
+    });
+    std::size_t remaining = total;
+    const auto removal_budget = static_cast<std::size_t>(
+        config.max_removal_fraction * static_cast<double>(total));
+    std::size_t removed = 0;
+
+    // Once the bin's entropy betrays contamination, drain the levels far
+    // from the majority mode (largest level first) up to the budget —
+    // the whole anomalous mass is suspect, not just enough of it to dip
+    // back under the threshold. Clean bins never trip the test, so fair
+    // minority opinions survive there.
+    if (entropy_bits(counts, remaining) > config.entropy_threshold) {
+      const std::size_t mode = modal_level(counts);
+      while (removed < removal_budget) {
+        std::size_t victim = kLevels;
+        for (std::size_t level = 0; level < kLevels; ++level) {
+          const double distance = std::fabs(static_cast<double>(level) -
+                                            static_cast<double>(mode));
+          if (distance < config.min_mode_distance ||
+              counts[level] == 0) {
+            continue;
+          }
+          if (victim == kLevels || counts[level] > counts[victim]) {
+            victim = level;
+          }
+        }
+        if (victim == kLevels) break;  // nothing eligible left
+        --counts[victim];
+        --remaining;
+        ++removed;
+      }
+    }
+
+    // Average the retained levels. Removal is by level, so the aggregate
+    // uses level centers — exact for whole-star data.
+    AggregatePoint point;
+    point.bin = bin;
+    point.removed = removed;
+    point.used = remaining;
+    if (remaining > 0) {
+      double sum = 0.0;
+      for (std::size_t level = 0; level < kLevels; ++level) {
+        sum += static_cast<double>(counts[level]) *
+               static_cast<double>(level);
+      }
+      point.value = sum / static_cast<double>(remaining);
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
 }  // namespace
 
 EntropyScheme::EntropyScheme(EntropyConfig config) : config_(config) {
@@ -54,73 +120,32 @@ double EntropyScheme::star_entropy(const std::vector<double>& values) {
   return entropy_bits(counts, values.size());
 }
 
+std::string EntropyScheme::identity() const {
+  std::ostringstream id;
+  id.precision(std::numeric_limits<double>::max_digits10);
+  id << name() << "(th=" << config_.entropy_threshold
+     << ",dist=" << config_.min_mode_distance
+     << ",maxrm=" << config_.max_removal_fraction << ')';
+  return id.str();
+}
+
 AggregateSeries EntropyScheme::aggregate(const rating::Dataset& data,
                                          double bin_days) const {
-  AggregateSeries series;
-  const Interval span = data.span();
-  const std::vector<Interval> bins =
-      make_bins(span.begin, span.end, bin_days);
+  return detail::aggregate_independent(
+      data, bin_days,
+      [this](const auto& stream, const auto& bins) {
+        return entropy_points(stream, bins, config_);
+      });
+}
 
-  for (ProductId id : data.product_ids()) {
-    const rating::ProductRatings& stream = data.product(id);
-    ProductSeries points;
-    points.reserve(bins.size());
-    for (const Interval& bin : bins) {
-      const std::vector<rating::Rating> rs = stream.in_interval(bin);
-
-      std::array<std::size_t, kLevels> counts{};
-      for (const rating::Rating& r : rs) ++counts[level_of(r.value)];
-      std::size_t remaining = rs.size();
-      const auto removal_budget = static_cast<std::size_t>(
-          config_.max_removal_fraction * static_cast<double>(rs.size()));
-      std::size_t removed = 0;
-
-      // Once the bin's entropy betrays contamination, drain the levels far
-      // from the majority mode (largest level first) up to the budget —
-      // the whole anomalous mass is suspect, not just enough of it to dip
-      // back under the threshold. Clean bins never trip the test, so fair
-      // minority opinions survive there.
-      if (entropy_bits(counts, remaining) > config_.entropy_threshold) {
-        const std::size_t mode = modal_level(counts);
-        while (removed < removal_budget) {
-          std::size_t victim = kLevels;
-          for (std::size_t level = 0; level < kLevels; ++level) {
-            const double distance = std::fabs(static_cast<double>(level) -
-                                              static_cast<double>(mode));
-            if (distance < config_.min_mode_distance ||
-                counts[level] == 0) {
-              continue;
-            }
-            if (victim == kLevels || counts[level] > counts[victim]) {
-              victim = level;
-            }
-          }
-          if (victim == kLevels) break;  // nothing eligible left
-          --counts[victim];
-          --remaining;
-          ++removed;
-        }
-      }
-
-      // Average the retained levels. Removal is by level, so the aggregate
-      // uses level centers — exact for whole-star data.
-      AggregatePoint point;
-      point.bin = bin;
-      point.removed = removed;
-      point.used = remaining;
-      if (remaining > 0) {
-        double sum = 0.0;
-        for (std::size_t level = 0; level < kLevels; ++level) {
-          sum += static_cast<double>(counts[level]) *
-                 static_cast<double>(level);
-        }
-        point.value = sum / static_cast<double>(remaining);
-      }
-      points.push_back(point);
-    }
-    series.products.emplace(id, std::move(points));
-  }
-  return series;
+AggregateSeries EntropyScheme::aggregate_overlay(
+    const rating::DatasetOverlay& data, double bin_days,
+    const AggregateSeries* fair_baseline) const {
+  return detail::aggregate_independent_overlay(
+      data, bin_days, fair_baseline,
+      [this](const auto& stream, const auto& bins) {
+        return entropy_points(stream, bins, config_);
+      });
 }
 
 }  // namespace rab::aggregation

@@ -30,8 +30,14 @@ class EntropyScheme final : public AggregationScheme {
 
   [[nodiscard]] std::string name() const override { return "ENT"; }
 
+  [[nodiscard]] std::string identity() const override;
+
   [[nodiscard]] AggregateSeries aggregate(const rating::Dataset& data,
                                           double bin_days) const override;
+
+  [[nodiscard]] AggregateSeries aggregate_overlay(
+      const rating::DatasetOverlay& data, double bin_days,
+      const AggregateSeries* fair_baseline) const override;
 
   /// Shannon entropy (bits) of a value multiset over whole-star levels.
   /// Exposed for tests. Empty input measures 0.

@@ -1,36 +1,49 @@
 #include "aggregation/median_scheme.hpp"
 
+#include "aggregation/overlay_support.hpp"
 #include "stats/descriptive.hpp"
 
 namespace rab::aggregation {
 
+namespace {
+
+ProductSeries median_points(const auto& stream,
+                            const std::vector<Interval>& bins) {
+  ProductSeries points;
+  points.reserve(bins.size());
+  for (const Interval& bin : bins) {
+    std::vector<double> values;
+    detail::visit_in(stream, bin, [&](const rating::Rating& r) {
+      values.push_back(r.value);
+    });
+    AggregatePoint point;
+    point.bin = bin;
+    point.used = values.size();
+    if (!values.empty()) point.value = stats::median(std::move(values));
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace
+
 AggregateSeries MedianScheme::aggregate(const rating::Dataset& data,
                                         double bin_days) const {
-  AggregateSeries series;
-  const Interval span = data.span();
-  const std::vector<Interval> bins =
-      make_bins(span.begin, span.end, bin_days);
+  return detail::aggregate_independent(
+      data, bin_days,
+      [](const auto& stream, const auto& bins) {
+        return median_points(stream, bins);
+      });
+}
 
-  for (ProductId id : data.product_ids()) {
-    const rating::ProductRatings& stream = data.product(id);
-    ProductSeries points;
-    points.reserve(bins.size());
-    for (const Interval& bin : bins) {
-      const std::vector<rating::Rating> rs = stream.in_interval(bin);
-      AggregatePoint point;
-      point.bin = bin;
-      point.used = rs.size();
-      if (!rs.empty()) {
-        std::vector<double> values;
-        values.reserve(rs.size());
-        for (const rating::Rating& r : rs) values.push_back(r.value);
-        point.value = stats::median(std::move(values));
-      }
-      points.push_back(point);
-    }
-    series.products.emplace(id, std::move(points));
-  }
-  return series;
+AggregateSeries MedianScheme::aggregate_overlay(
+    const rating::DatasetOverlay& data, double bin_days,
+    const AggregateSeries* fair_baseline) const {
+  return detail::aggregate_independent_overlay(
+      data, bin_days, fair_baseline,
+      [](const auto& stream, const auto& bins) {
+        return median_points(stream, bins);
+      });
 }
 
 }  // namespace rab::aggregation

@@ -1,0 +1,75 @@
+// Internal aggregation loops shared by the per-product-independent schemes
+// (SA, median, entropy) for the Dataset and DatasetOverlay paths.
+//
+// These schemes aggregate every product from its own stream alone, so the
+// overlay path can (a) run directly on the merged OverlayProduct views and
+// (b) reuse the caller-supplied fair baseline for untouched products — the
+// recomputation would read exactly the base stream over exactly the same
+// bins, so the copy is bit-identical by construction. Reuse is gated on the
+// overlay preserving the base span: extras outside the base span would
+// shift every bin boundary.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "aggregation/scheme.hpp"
+
+namespace rab::aggregation::detail {
+
+/// Visits, in merged order, every rating of `stream` with time inside `bin`
+/// — the allocation-free replacement for `stream.in_interval(bin)` in the
+/// per-bin aggregation loops. OverlayProduct walks its two sorted halves;
+/// ProductRatings walks its index_range in place. Visit order matches
+/// in_interval exactly, so accumulation stays bit-identical.
+template <typename Stream, typename F>
+void visit_in(const Stream& stream, const Interval& bin, F&& f) {
+  if constexpr (requires { stream.for_each_in(bin, f); }) {
+    stream.for_each_in(bin, std::forward<F>(f));
+  } else {
+    const auto range = stream.index_range(bin);
+    for (std::size_t i = range.first; i < range.last; ++i) f(stream.at(i));
+  }
+}
+
+/// Dataset path: `points_of(stream, bins)` produces one product's series.
+template <typename PointsFn>
+AggregateSeries aggregate_independent(const rating::Dataset& data,
+                                      double bin_days, PointsFn&& points_of) {
+  AggregateSeries series;
+  const Interval span = data.span();
+  const std::vector<Interval> bins =
+      make_bins(span.begin, span.end, bin_days);
+  for (ProductId id : data.product_ids()) {
+    series.products.emplace(id, points_of(data.product(id), bins));
+  }
+  return series;
+}
+
+/// Overlay path: untouched products copy their fair-baseline series when
+/// one is supplied and the span is preserved; touched (or uncovered)
+/// products recompute through the merged view.
+template <typename PointsFn>
+AggregateSeries aggregate_independent_overlay(
+    const rating::DatasetOverlay& data, double bin_days,
+    const AggregateSeries* fair_baseline, PointsFn&& points_of) {
+  AggregateSeries series;
+  const Interval span = data.span();
+  const std::vector<Interval> bins =
+      make_bins(span.begin, span.end, bin_days);
+  const bool reuse =
+      fair_baseline != nullptr && span == data.base().span();
+  for (ProductId id : data.product_ids()) {
+    if (reuse && !data.touched(id)) {
+      const auto it = fair_baseline->products.find(id);
+      if (it != fair_baseline->products.end()) {
+        series.products.emplace(id, it->second);
+        continue;
+      }
+    }
+    series.products.emplace(id, points_of(data.product(id), bins));
+  }
+  return series;
+}
+
+}  // namespace rab::aggregation::detail

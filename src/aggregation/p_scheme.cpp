@@ -1,15 +1,21 @@
 #include "aggregation/p_scheme.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <vector>
 
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/scratch.hpp"
 
 namespace rab::aggregation {
 
 namespace {
+
+using detectors::IntegrationResult;
 
 /// Trust time series per rater: trust value after each epoch update.
 /// Rebuilt chronologically so each bin's aggregation sees the trust state
@@ -22,16 +28,21 @@ struct EpochTrust {
 
   /// Folds one epoch: per-rater (ratings, suspicious) counts over `bin` for
   /// every product, read from the suspicion flags. Older evidence decays
-  /// first when a forgetting factor is configured.
+  /// first when a forgetting factor is configured. The counts accumulate in
+  /// a per-thread scratch map — fold_epoch only ever runs on the
+  /// coordinating thread, between parallel sections.
   void fold_epoch(
-      const rating::Dataset& data,
-      const std::map<ProductId, detectors::IntegrationResult>& integration,
+      const std::vector<const rating::ProductRatings*>& streams,
+      const std::vector<std::shared_ptr<const IntegrationResult>>&
+          integration,
       const Interval& bin) {
     manager.decay();
-    std::unordered_map<RaterId, trust::EpochCounts> epoch;
-    for (ProductId id : data.product_ids()) {
-      const rating::ProductRatings& stream = data.product(id);
-      const detectors::IntegrationResult& result = integration.at(id);
+    struct EpochScratch;
+    auto& epoch =
+        util::scratch_map<RaterId, trust::EpochCounts, EpochScratch>();
+    for (std::size_t p = 0; p < streams.size(); ++p) {
+      const rating::ProductRatings& stream = *streams[p];
+      const IntegrationResult& result = *integration[p];
       const signal::IndexRange range = stream.index_range(bin);
       for (std::size_t i = range.first; i < range.last; ++i) {
         trust::EpochCounts& c = epoch[stream.at(i).rater];
@@ -43,56 +54,57 @@ struct EpochTrust {
   }
 };
 
-}  // namespace
-
-PScheme::PScheme(PConfig config) : config_(config) {
-  RAB_EXPECTS(config_.passes >= 1);
-  RAB_EXPECTS(config_.trust_forgetting > 0.0 && config_.trust_forgetting <= 1.0);
-  RAB_EXPECTS(config_.trust_epoch_days > 0.0);
+void stream_window(std::ostream& os, const signal::WindowSpec& w) {
+  if (w.is_count()) {
+    os << "count:" << w.count();
+  } else {
+    os << "dur:" << w.duration();
+  }
 }
 
-AggregateSeries PScheme::aggregate(const rating::Dataset& data,
-                                   double bin_days) const {
-  return aggregate_detailed(data, bin_days, nullptr);
-}
-
-AggregateSeries PScheme::aggregate_detailed(const rating::Dataset& data,
-                                            double bin_days,
-                                            PDiagnostics* diagnostics) const {
+/// The full P-scheme on per-product streams. Both entry points funnel here:
+/// the Dataset path hands over its streams directly, the overlay path hands
+/// over merged views (the base stream itself for untouched products). The
+/// detector pass goes through `cache` so identical streams under identical
+/// trust reuse their analysis across evaluations.
+AggregateSeries p_aggregate_streams(
+    const std::vector<ProductId>& ids,
+    const std::vector<const rating::ProductRatings*>& streams,
+    const Interval& span, double bin_days, const PConfig& config,
+    detectors::IntegrationCache* cache, PDiagnostics* diagnostics) {
   AggregateSeries series;
-  const Interval span = data.span();
   if (span.empty()) return series;
   const std::vector<Interval> bins =
       make_bins(span.begin, span.end, bin_days);
   const std::vector<Interval> epochs =
-      make_bins(span.begin, span.end, config_.trust_epoch_days);
-  const std::vector<ProductId> ids = data.product_ids();
+      make_bins(span.begin, span.end, config.trust_epoch_days);
 
-  const detectors::DetectorIntegrator integrator(config_.detectors,
-                                                 config_.toggles);
+  const detectors::DetectorIntegrator integrator(config.detectors,
+                                                 config.toggles);
 
   // Iterate detection <-> trust. Detection pass p uses the trust learned in
   // pass p-1 (pass 0 uses the initial 0.5 for everyone).
-  std::map<ProductId, detectors::IntegrationResult> integration;
+  std::vector<std::shared_ptr<const IntegrationResult>> integration(
+      ids.size());
   trust::TrustManager learned;
-  for (std::size_t pass = 0; pass < config_.passes; ++pass) {
+  for (std::size_t pass = 0; pass < config.passes; ++pass) {
     const detectors::TrustLookup lookup =
         pass == 0 ? detectors::TrustLookup(detectors::default_trust)
                   : learned.lookup();
     // Per-product detector analysis is independent — fan it out over the
     // pool, collecting by index so the result is identical at any thread
-    // count (analyze is a pure function of the stream and trust lookup).
-    std::vector<detectors::IntegrationResult> per_product(ids.size());
+    // count (analyze is a pure function of the stream and trust lookup,
+    // and the cache only ever returns outputs of that same function).
     util::parallel_for(ids.size(), [&](std::size_t i) {
-      per_product[i] = integrator.analyze(data.product(ids[i]), lookup);
+      integration[i] =
+          cache != nullptr
+              ? integrator.analyze_cached(*streams[i], lookup, *cache)
+              : std::make_shared<const IntegrationResult>(
+                    integrator.analyze(*streams[i], lookup));
     });
-    integration.clear();
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-      integration.emplace(ids[i], std::move(per_product[i]));
-    }
-    EpochTrust rebuilt(config_.trust_forgetting);
+    EpochTrust rebuilt(config.trust_forgetting);
     for (const Interval& epoch : epochs) {
-      rebuilt.fold_epoch(data, integration, epoch);
+      rebuilt.fold_epoch(streams, integration, epoch);
     }
     learned = std::move(rebuilt.manager);
   }
@@ -100,19 +112,19 @@ AggregateSeries PScheme::aggregate_detailed(const rating::Dataset& data,
   // Final chronological sweep: trust evolves per epoch; each aggregation bin
   // uses the trust state at the epoch covering the bin's end (Procedure 1
   // computes trust at t_hat(k), after that epoch's evidence).
-  EpochTrust causal(config_.trust_forgetting);
+  EpochTrust causal(config.trust_forgetting);
   std::size_t next_epoch = 0;
   for (ProductId id : ids) series.products.emplace(id, ProductSeries{});
 
   for (const Interval& bin : bins) {
     while (next_epoch < epochs.size() &&
            epochs[next_epoch].begin < bin.end) {
-      causal.fold_epoch(data, integration, epochs[next_epoch]);
+      causal.fold_epoch(streams, integration, epochs[next_epoch]);
       ++next_epoch;
     }
-    for (ProductId id : ids) {
-      const rating::ProductRatings& stream = data.product(id);
-      const detectors::IntegrationResult& result = integration.at(id);
+    for (std::size_t p = 0; p < ids.size(); ++p) {
+      const rating::ProductRatings& stream = *streams[p];
+      const IntegrationResult& result = *integration[p];
       const signal::IndexRange range = stream.index_range(bin);
 
       AggregatePoint point;
@@ -127,8 +139,8 @@ AggregateSeries PScheme::aggregate_detailed(const rating::Dataset& data,
         all_mean.add(r.value);
         // Highly suspicious = marked by the detectors and from a rater the
         // trust manager has already turned against (Section IV-G).
-        if (config_.remove_suspicious && result.suspicious[i] &&
-            trust < config_.removal_trust) {
+        if (config.remove_suspicious && result.suspicious[i] &&
+            trust < config.removal_trust) {
           ++point.removed;
           continue;
         }
@@ -147,15 +159,98 @@ AggregateSeries PScheme::aggregate_detailed(const rating::Dataset& data,
         point.value = all_mean.mean();
         point.used = all_mean.count();
       }
-      series.products.at(id).push_back(point);
+      series.products.at(ids[p]).push_back(point);
     }
   }
 
   if (diagnostics != nullptr) {
-    diagnostics->integration = std::move(integration);
+    diagnostics->integration.clear();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      diagnostics->integration.emplace(ids[i], *integration[i]);
+    }
     diagnostics->trust = std::move(causal.manager);
   }
   return series;
+}
+
+}  // namespace
+
+PScheme::PScheme(PConfig config) : config_(config) {
+  RAB_EXPECTS(config_.passes >= 1);
+  RAB_EXPECTS(config_.trust_forgetting > 0.0 && config_.trust_forgetting <= 1.0);
+  RAB_EXPECTS(config_.trust_epoch_days > 0.0);
+  if (config_.cache_streams > 0) {
+    RAB_EXPECTS(config_.cache_variants >= 1);
+    cache_ = std::make_unique<detectors::IntegrationCache>(
+        config_.cache_streams, config_.cache_variants);
+  }
+}
+
+std::string PScheme::identity() const {
+  // Every parameter that can change aggregation output, so differently
+  // configured P-schemes never share a fair-baseline cache slot.
+  const detectors::DetectorConfig& d = config_.detectors;
+  const detectors::DetectorToggles& t = config_.toggles;
+  std::ostringstream id;
+  id.precision(std::numeric_limits<double>::max_digits10);
+  id << name() << "(passes=" << config_.passes
+     << ",rm=" << config_.remove_suspicious
+     << ",rmtrust=" << config_.removal_trust
+     << ",epoch=" << config_.trust_epoch_days
+     << ",forget=" << config_.trust_forgetting;
+  id << ",tog=" << t.use_mc << t.use_arc << t.use_hc << t.use_me;
+  id << ",mc=";
+  stream_window(id, d.mc.window);
+  id << '/' << d.mc.glrt_threshold << '/' << d.mc.peak_separation << '/'
+     << d.mc.threshold1 << '/' << d.mc.threshold2 << '/' << d.mc.trust_ratio
+     << '/' << d.mc.robust_baseline;
+  id << ",arc=" << d.arc.window_days << '/' << d.arc.glrt_threshold << '/'
+     << d.arc.peak_separation << '/' << d.arc.z_threshold << '/'
+     << d.arc.rate_jump_min << '/' << d.arc.baseline_floor << '/'
+     << d.arc.min_history_days << '/' << d.arc.merge_abs << '/'
+     << d.arc.merge_rel;
+  id << ",hc=" << d.hc.window_ratings << '/' << d.hc.threshold << '/'
+     << d.hc.min_cluster_gap;
+  id << ",me=";
+  stream_window(id, d.me.window);
+  id << '/' << d.me.ar_order << '/' << d.me.threshold;
+  id << ')';
+  return id.str();
+}
+
+AggregateSeries PScheme::aggregate(const rating::Dataset& data,
+                                   double bin_days) const {
+  return aggregate_detailed(data, bin_days, nullptr);
+}
+
+AggregateSeries PScheme::aggregate_detailed(const rating::Dataset& data,
+                                            double bin_days,
+                                            PDiagnostics* diagnostics) const {
+  const std::vector<ProductId> ids = data.product_ids();
+  std::vector<const rating::ProductRatings*> streams;
+  streams.reserve(ids.size());
+  for (ProductId id : ids) streams.push_back(&data.product(id));
+  return p_aggregate_streams(ids, streams, data.span(), bin_days, config_,
+                             cache_.get(), diagnostics);
+}
+
+AggregateSeries PScheme::aggregate_overlay(
+    const rating::DatasetOverlay& data, double bin_days,
+    const AggregateSeries* /*fair_baseline*/) const {
+  const std::vector<ProductId> ids = data.product_ids();
+  // Merge the touched products up front (on this thread — OverlayProduct's
+  // lazy merge is not re-entrant); untouched products hand back the base
+  // stream itself, whose cached detector analysis they then share.
+  std::vector<const rating::ProductRatings*> streams;
+  streams.reserve(ids.size());
+  for (ProductId id : ids) streams.push_back(&data.product(id).merged());
+  return p_aggregate_streams(ids, streams, data.span(), bin_days, config_,
+                             cache_.get(), /*diagnostics=*/nullptr);
+}
+
+detectors::IntegrationCache::Stats PScheme::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats()
+                           : detectors::IntegrationCache::Stats{};
 }
 
 }  // namespace rab::aggregation

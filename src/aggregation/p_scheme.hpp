@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "aggregation/scheme.hpp"
 #include "detectors/integrator.hpp"
@@ -38,6 +39,14 @@ struct PConfig {
   /// Forgetting factor applied to the S/F counts at every trust epoch
   /// (Jøsang's beta reputation discounting). 1.0 = never forget.
   double trust_forgetting = 1.0;
+
+  /// Detector-result cache bounds (see detectors::IntegrationCache).
+  /// Caching never changes results — these are perf/memory knobs only, so
+  /// they do not participate in identity(). cache_streams = 0 disables
+  /// caching entirely (every aggregate re-runs the full detector bank; the
+  /// benches use this as the pre-cache baseline).
+  std::size_t cache_streams = 64;
+  std::size_t cache_variants = 8;
 };
 
 /// Per-product diagnostics from the final detection pass.
@@ -52,8 +61,14 @@ class PScheme final : public AggregationScheme {
 
   [[nodiscard]] std::string name() const override { return "P"; }
 
+  [[nodiscard]] std::string identity() const override;
+
   [[nodiscard]] AggregateSeries aggregate(const rating::Dataset& data,
                                           double bin_days) const override;
+
+  [[nodiscard]] AggregateSeries aggregate_overlay(
+      const rating::DatasetOverlay& data, double bin_days,
+      const AggregateSeries* fair_baseline) const override;
 
   /// Like aggregate() but also returns detector output and trust state.
   [[nodiscard]] AggregateSeries aggregate_detailed(
@@ -62,8 +77,18 @@ class PScheme final : public AggregationScheme {
 
   [[nodiscard]] const PConfig& config() const { return config_; }
 
+  /// Hit/miss counters of the detector-result cache (see result_cache.hpp).
+  [[nodiscard]] detectors::IntegrationCache::Stats cache_stats() const;
+
  private:
   PConfig config_;
+  /// Memoizes per-product detector analysis across aggregate calls —
+  /// the MP hot loop re-analyzes mostly-identical streams thousands of
+  /// times. Mutable because caching never changes observable results
+  /// (analyze_cached is bit-identical to analyze); internally locked, so
+  /// concurrent aggregation through one scheme instance is safe. Null when
+  /// config_.cache_streams == 0 (caching disabled).
+  mutable std::unique_ptr<detectors::IntegrationCache> cache_;
 };
 
 }  // namespace rab::aggregation

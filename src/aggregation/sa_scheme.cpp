@@ -1,24 +1,48 @@
 #include "aggregation/sa_scheme.hpp"
 
+#include "aggregation/overlay_support.hpp"
+#include "stats/descriptive.hpp"
+
 namespace rab::aggregation {
+
+namespace {
+
+ProductSeries sa_points(const auto& stream, const std::vector<Interval>& bins) {
+  ProductSeries points;
+  points.reserve(bins.size());
+  for (const Interval& bin : bins) {
+    // plain_average without the in_interval copy: same Welford, same order.
+    AggregatePoint point;
+    point.bin = bin;
+    stats::Welford acc;
+    detail::visit_in(stream, bin,
+                     [&](const rating::Rating& r) { acc.add(r.value); });
+    point.used = acc.count();
+    if (acc.count() > 0) point.value = acc.mean();
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace
 
 AggregateSeries SaScheme::aggregate(const rating::Dataset& data,
                                     double bin_days) const {
-  AggregateSeries series;
-  const Interval span = data.span();
-  const std::vector<Interval> bins =
-      make_bins(span.begin, span.end, bin_days);
+  return detail::aggregate_independent(
+      data, bin_days,
+      [](const auto& stream, const auto& bins) {
+        return sa_points(stream, bins);
+      });
+}
 
-  for (ProductId id : data.product_ids()) {
-    const rating::ProductRatings& stream = data.product(id);
-    ProductSeries points;
-    points.reserve(bins.size());
-    for (const Interval& bin : bins) {
-      points.push_back(plain_average(bin, stream.in_interval(bin)));
-    }
-    series.products.emplace(id, std::move(points));
-  }
-  return series;
+AggregateSeries SaScheme::aggregate_overlay(
+    const rating::DatasetOverlay& data, double bin_days,
+    const AggregateSeries* fair_baseline) const {
+  return detail::aggregate_independent_overlay(
+      data, bin_days, fair_baseline,
+      [](const auto& stream, const auto& bins) {
+        return sa_points(stream, bins);
+      });
 }
 
 }  // namespace rab::aggregation

@@ -12,6 +12,10 @@ class SaScheme final : public AggregationScheme {
 
   [[nodiscard]] AggregateSeries aggregate(const rating::Dataset& data,
                                           double bin_days) const override;
+
+  [[nodiscard]] AggregateSeries aggregate_overlay(
+      const rating::DatasetOverlay& data, double bin_days,
+      const AggregateSeries* fair_baseline) const override;
 };
 
 }  // namespace rab::aggregation

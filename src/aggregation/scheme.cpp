@@ -17,6 +17,14 @@ const ProductSeries& AggregateSeries::of(ProductId id) const {
   return it->second;
 }
 
+AggregateSeries AggregationScheme::aggregate_overlay(
+    const rating::DatasetOverlay& data, double bin_days,
+    const AggregateSeries* /*fair_baseline*/) const {
+  // Correctness fallback for schemes without a view-based path: pay the
+  // copy once and aggregate the materialized dataset.
+  return aggregate(data.materialize(), bin_days);
+}
+
 AggregatePoint plain_average(const Interval& bin,
                              const std::vector<rating::Rating>& rs) {
   AggregatePoint point;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "rating/dataset.hpp"
+#include "rating/overlay.hpp"
 #include "util/day.hpp"
 
 namespace rab::aggregation {
@@ -44,10 +45,32 @@ class AggregationScheme {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Stable identity of this scheme *instance*: name plus every
+  /// configuration parameter that can change aggregation output. Two
+  /// schemes with equal identity must aggregate identically; caches (the
+  /// MP fair-baseline cache) key on it. Defaults to name() for
+  /// configuration-free schemes.
+  [[nodiscard]] virtual std::string identity() const { return name(); }
+
   /// Aggregates `data` over consecutive `bin_days` bins spanning the
   /// dataset. Bins are aligned to the dataset span's start.
   [[nodiscard]] virtual AggregateSeries aggregate(const rating::Dataset& data,
                                                   double bin_days) const = 0;
+
+  /// Aggregates an overlay dataset (fair base + attack extras) without
+  /// materializing the combined Dataset. Must be bit-identical to
+  /// aggregate(data.materialize(), bin_days); the default falls back to
+  /// exactly that, and every built-in scheme overrides it with a
+  /// view-based path.
+  ///
+  /// `fair_baseline`, when non-null, is this scheme's aggregate of
+  /// data.base() over the same bins (the MP metric's cached fair series).
+  /// Schemes whose products aggregate independently (SA, median, entropy)
+  /// reuse it for untouched products instead of recomputing them;
+  /// history-coupled schemes (BF, P) ignore it.
+  [[nodiscard]] virtual AggregateSeries aggregate_overlay(
+      const rating::DatasetOverlay& data, double bin_days,
+      const AggregateSeries* fair_baseline = nullptr) const;
 };
 
 /// Mean of the ratings of `rs` (unweighted); used = rs.size().

@@ -105,6 +105,19 @@ MpResult Challenge::evaluate(
   return metric_.evaluate(submission, scheme);
 }
 
+double Challenge::evaluate_overall(
+    const Submission& submission,
+    const aggregation::AggregationScheme& scheme) const {
+  const Violation v = validate(submission);
+  if (v != Violation::kNone) {
+    std::ostringstream msg;
+    msg << "Challenge: invalid submission '" << submission.label
+        << "': " << to_string(v);
+    throw InvalidArgument(msg.str());
+  }
+  return metric_.evaluate_overall(submission, scheme);
+}
+
 rating::Dataset Challenge::apply(const Submission& submission) const {
   return metric_.fair().with_added(submission.ratings);
 }

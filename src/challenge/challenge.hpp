@@ -71,6 +71,12 @@ class Challenge {
       const Submission& submission,
       const aggregation::AggregationScheme& scheme) const;
 
+  /// Overall MP only (same validation); the fast path for search loops that
+  /// compare thousands of submissions and never read the per-product maps.
+  [[nodiscard]] double evaluate_overall(
+      const Submission& submission,
+      const aggregation::AggregationScheme& scheme) const;
+
   /// The fair dataset with the submission's ratings merged in.
   [[nodiscard]] rating::Dataset apply(const Submission& submission) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -11,6 +12,7 @@ double top_two_sum(const std::vector<double>& deltas) {
   double max1 = 0.0;
   double max2 = 0.0;
   for (double d : deltas) {
+    RAB_EXPECTS(d >= 0.0);
     if (d > max1) {
       max2 = max1;
       max1 = d;
@@ -22,44 +24,37 @@ double top_two_sum(const std::vector<double>& deltas) {
 }
 
 MpMetric::MpMetric(rating::Dataset fair, double bin_days)
-    : fair_(std::move(fair)), bin_days_(bin_days) {
+    : fair_(std::move(fair)),
+      bin_days_(bin_days),
+      baselines_(std::make_shared<BaselineCache>()) {
   RAB_EXPECTS(bin_days_ > 0.0);
   RAB_EXPECTS(fair_.total_ratings() > 0);
 }
 
 const aggregation::AggregateSeries& MpMetric::fair_series(
     const aggregation::AggregationScheme& scheme) const {
-  const auto it = fair_cache_.find(scheme.name());
-  if (it != fair_cache_.end()) return it->second;
-  return fair_cache_
-      .emplace(scheme.name(), scheme.aggregate(fair_, bin_days_))
+  const std::string key = scheme.identity();
+  {
+    const std::lock_guard<std::mutex> lock(baselines_->mutex);
+    const auto it = baselines_->series.find(key);
+    if (it != baselines_->series.end()) return it->second;
+  }
+  // Aggregate outside the lock: concurrent first evaluations of one scheme
+  // may duplicate the work, but never block each other behind it. The first
+  // finisher's series wins; later ones are discarded by try_emplace.
+  aggregation::AggregateSeries computed = scheme.aggregate(fair_, bin_days_);
+  const std::lock_guard<std::mutex> lock(baselines_->mutex);
+  return baselines_->series.try_emplace(key, std::move(computed))
       .first->second;
 }
 
-MpResult MpMetric::evaluate(
-    const Submission& submission,
-    const aggregation::AggregationScheme& scheme) const {
-  return evaluate_dataset(fair_.with_added(submission.ratings), scheme);
-}
-
-MpResult MpMetric::evaluate_dataset(
-    const rating::Dataset& attacked,
-    const aggregation::AggregationScheme& scheme) const {
-  // Bin boundaries derive from the dataset span; unfair ratings must not
-  // extend it or with/without bins would disagree.
-  const Interval fair_span = fair_.span();
-  const Interval attacked_span = attacked.span();
-  RAB_EXPECTS(attacked_span.begin >= fair_span.begin &&
-              attacked_span.end <= fair_span.end);
-
-  const aggregation::AggregateSeries& baseline = fair_series(scheme);
-  const aggregation::AggregateSeries series =
-      scheme.aggregate(attacked, bin_days_);
-
+MpResult MpMetric::compare_series(
+    const aggregation::AggregateSeries& baseline,
+    const aggregation::AggregateSeries& attacked) const {
   MpResult result;
   for (ProductId id : fair_.product_ids()) {
     const aggregation::ProductSeries& fair_points = baseline.of(id);
-    const aggregation::ProductSeries& attack_points = series.of(id);
+    const aggregation::ProductSeries& attack_points = attacked.of(id);
     RAB_EXPECTS(attack_points.size() == fair_points.size());
 
     std::vector<double> deltas;
@@ -78,6 +73,74 @@ MpResult MpMetric::evaluate_dataset(
     result.overall += mp;
   }
   return result;
+}
+
+MpResult MpMetric::evaluate(
+    const Submission& submission,
+    const aggregation::AggregationScheme& scheme) const {
+  const rating::DatasetOverlay overlay(fair_, submission.ratings);
+  // Bin boundaries derive from the dataset span; unfair ratings must not
+  // extend it or with/without bins would disagree.
+  const Interval fair_span = fair_.span();
+  const Interval overlay_span = overlay.span();
+  RAB_EXPECTS(overlay_span.begin >= fair_span.begin &&
+              overlay_span.end <= fair_span.end);
+
+  const aggregation::AggregateSeries& baseline = fair_series(scheme);
+  return compare_series(
+      baseline, scheme.aggregate_overlay(overlay, bin_days_, &baseline));
+}
+
+double MpMetric::evaluate_overall(
+    const Submission& submission,
+    const aggregation::AggregationScheme& scheme) const {
+  const rating::DatasetOverlay overlay(fair_, submission.ratings);
+  const Interval fair_span = fair_.span();
+  const Interval overlay_span = overlay.span();
+  RAB_EXPECTS(overlay_span.begin >= fair_span.begin &&
+              overlay_span.end <= fair_span.end);
+
+  const aggregation::AggregateSeries& baseline = fair_series(scheme);
+  const aggregation::AggregateSeries series =
+      scheme.aggregate_overlay(overlay, bin_days_, &baseline);
+
+  // Track the two largest deltas per product in place — no per-bin delta
+  // vectors, no result maps.
+  double overall = 0.0;
+  for (ProductId id : fair_.product_ids()) {
+    const aggregation::ProductSeries& fair_points = baseline.of(id);
+    const aggregation::ProductSeries& attack_points = series.of(id);
+    RAB_EXPECTS(attack_points.size() == fair_points.size());
+    double max1 = 0.0;
+    double max2 = 0.0;
+    for (std::size_t i = 0; i < fair_points.size(); ++i) {
+      if (fair_points[i].used == 0 || attack_points[i].used == 0) continue;
+      const double d =
+          std::fabs(attack_points[i].value - fair_points[i].value);
+      if (d > max1) {
+        max2 = max1;
+        max1 = d;
+      } else if (d > max2) {
+        max2 = d;
+      }
+    }
+    overall += max1 + max2;
+  }
+  return overall;
+}
+
+MpResult MpMetric::evaluate_dataset(
+    const rating::Dataset& attacked,
+    const aggregation::AggregationScheme& scheme) const {
+  // Bin boundaries derive from the dataset span; unfair ratings must not
+  // extend it or with/without bins would disagree.
+  const Interval fair_span = fair_.span();
+  const Interval attacked_span = attacked.span();
+  RAB_EXPECTS(attacked_span.begin >= fair_span.begin &&
+              attacked_span.end <= fair_span.end);
+
+  return compare_series(fair_series(scheme),
+                        scheme.aggregate(attacked, bin_days_));
 }
 
 }  // namespace rab::challenge

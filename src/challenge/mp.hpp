@@ -9,11 +9,14 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "aggregation/scheme.hpp"
 #include "challenge/submission.hpp"
 #include "rating/dataset.hpp"
+#include "rating/overlay.hpp"
 
 namespace rab::challenge {
 
@@ -26,6 +29,13 @@ struct MpResult {
 
 /// Computes MP values of attacks against a fixed fair dataset under a given
 /// aggregation scheme.
+///
+/// evaluate() / evaluate_overall() never copy the fair dataset: the
+/// submission is applied as a zero-copy rating::DatasetOverlay and handed
+/// to the scheme's overlay aggregation path, which is bit-identical to
+/// aggregating fair.with_added(ratings) (evaluate_dataset remains as that
+/// reference path). A metric instance is safe to share across threads —
+/// the region search fans evaluations over a pool.
 class MpMetric {
  public:
   /// @param fair the pristine dataset (no unfair ratings).
@@ -35,6 +45,13 @@ class MpMetric {
   /// Evaluates one submission under `scheme`. The fair baseline series for
   /// the scheme is computed once and cached across calls.
   [[nodiscard]] MpResult evaluate(
+      const Submission& submission,
+      const aggregation::AggregationScheme& scheme) const;
+
+  /// Overall MP only — the region-search / attack-generator inner loop.
+  /// Same value as evaluate(...).overall without building the per-product
+  /// result maps or per-bin delta vectors.
+  [[nodiscard]] double evaluate_overall(
       const Submission& submission,
       const aggregation::AggregationScheme& scheme) const;
 
@@ -51,14 +68,29 @@ class MpMetric {
   const aggregation::AggregateSeries& fair_series(
       const aggregation::AggregationScheme& scheme) const;
 
+  [[nodiscard]] MpResult compare_series(
+      const aggregation::AggregateSeries& baseline,
+      const aggregation::AggregateSeries& attacked) const;
+
   rating::Dataset fair_;
   double bin_days_;
-  /// Cache of fair baselines keyed by scheme name (schemes are stateless).
-  mutable std::map<std::string, aggregation::AggregateSeries> fair_cache_;
+  /// Fair baselines keyed by scheme identity() — name() alone collides for
+  /// same-name schemes configured differently. Held behind a shared_ptr so
+  /// the metric stays movable (Challenge passes it by value); the mutex
+  /// makes concurrent evaluations safe. Entries are never erased, so
+  /// returned references stay valid (std::map nodes are stable).
+  struct BaselineCache {
+    std::mutex mutex;
+    std::map<std::string, aggregation::AggregateSeries> series;
+  };
+  std::shared_ptr<BaselineCache> baselines_;
 };
 
-/// Sum of the two largest elements of `deltas` (one element sums alone;
-/// empty sums to 0). Exposed for tests.
+/// Sum of the two largest elements of `deltas`: one element sums alone,
+/// empty sums to 0, and with exactly two elements the result is their sum.
+/// Inputs are MP deltas, i.e. absolute differences — every element must be
+/// >= 0 (enforced), since the scan treats 0 as the identity and would
+/// silently ignore all-negative input. Exposed for tests.
 double top_two_sum(const std::vector<double>& deltas);
 
 }  // namespace rab::challenge

@@ -99,7 +99,7 @@ RegionSearchResult AttackGenerator::optimize(
     probe.sigma = sigma;
     const challenge::Submission submission =
         generate(probe, 0x5e4c0000ULL + trial);
-    return challenge_->evaluate(submission, scheme).overall;
+    return challenge_->evaluate_overall(submission, scheme);
   };
   return region_search(options, evaluator);
 }
@@ -121,7 +121,7 @@ challenge::Submission AttackGenerator::realize_best(
   std::vector<double> mps(trials, -1.0);
   util::parallel_for(trials, [&](std::size_t t) {
     candidates[t] = generate(profile, 0xbe570000ULL + t);
-    mps[t] = challenge_->evaluate(candidates[t], scheme).overall;
+    mps[t] = challenge_->evaluate_overall(candidates[t], scheme);
   });
 
   std::size_t best = 0;

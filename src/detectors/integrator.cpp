@@ -35,17 +35,10 @@ void DetectorIntegrator::mark_in_intervals(
   }
 }
 
-IntegrationResult DetectorIntegrator::analyze(
-    const rating::ProductRatings& stream, const TrustLookup& trust) const {
-  IntegrationResult result;
-  result.suspicious.assign(stream.size(), false);
-  if (stream.empty()) return result;
-
+void DetectorIntegrator::run_trust_free(const rating::ProductRatings& stream,
+                                        IntegrationResult& result) const {
   result.split = value_split_for_mean(stats::mean(stream.values()));
 
-  if (toggles_.use_mc) {
-    result.mc = MeanChangeDetector(config_.mc).detect(stream, trust);
-  }
   if (toggles_.use_arc) {
     result.harc =
         ArrivalRateDetector(config_.arc, ArcMode::kHigh).detect(stream);
@@ -57,6 +50,14 @@ IntegrationResult DetectorIntegrator::analyze(
   }
   if (toggles_.use_me) {
     result.me = ModelErrorDetector(config_.me).detect(stream);
+  }
+}
+
+void DetectorIntegrator::run_mc_and_integrate(
+    const rating::ProductRatings& stream, const TrustLookup& trust,
+    IntegrationResult& result) const {
+  if (toggles_.use_mc) {
+    result.mc = MeanChangeDetector(config_.mc).detect(stream, trust);
   }
 
   // Path 1: MC suspicious interval confirmed by an arrival-rate change in
@@ -75,8 +76,50 @@ IntegrationResult DetectorIntegrator::analyze(
                     /*mark_high=*/true, result);
   mark_in_intervals(stream, result.larc.suspicious, structure,
                     /*mark_high=*/false, result);
+}
 
+IntegrationResult DetectorIntegrator::analyze(
+    const rating::ProductRatings& stream, const TrustLookup& trust) const {
+  IntegrationResult result;
+  result.suspicious.assign(stream.size(), false);
+  if (stream.empty()) return result;
+
+  run_trust_free(stream, result);
+  run_mc_and_integrate(stream, trust, result);
   return result;
+}
+
+std::shared_ptr<const IntegrationResult> DetectorIntegrator::analyze_cached(
+    const rating::ProductRatings& stream, const TrustLookup& trust,
+    IntegrationCache& cache) const {
+  const Fingerprint sfp = stream_fingerprint(stream);
+  // Only the MC detector consults trust; with MC disabled every trust
+  // state shares one variant.
+  const Fingerprint tfp =
+      toggles_.use_mc ? trust_fingerprint(stream, trust) : Fingerprint{};
+
+  if (auto hit = cache.find(sfp, tfp)) return hit;
+
+  IntegrationResult result;
+  result.suspicious.assign(stream.size(), false);
+  if (const auto base = cache.find_stream(sfp); base != nullptr) {
+    // Known stream, new trust values: reuse the trust-free detector
+    // results, re-run only MC and the integration marking.
+    result.split = base->split;
+    result.harc = base->harc;
+    result.larc = base->larc;
+    result.hc = base->hc;
+    result.me = base->me;
+    if (!stream.empty()) run_mc_and_integrate(stream, trust, result);
+  } else if (!stream.empty()) {
+    run_trust_free(stream, result);
+    run_mc_and_integrate(stream, trust, result);
+  }
+
+  auto shared =
+      std::make_shared<const IntegrationResult>(std::move(result));
+  cache.insert(sfp, tfp, shared);
+  return shared;
 }
 
 }  // namespace rab::detectors

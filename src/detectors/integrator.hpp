@@ -15,6 +15,7 @@
 // down, exactly the motivation given in the paper.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "detectors/arc_detector.hpp"
@@ -22,6 +23,7 @@
 #include "detectors/hc_detector.hpp"
 #include "detectors/mc_detector.hpp"
 #include "detectors/me_detector.hpp"
+#include "detectors/result_cache.hpp"
 #include "rating/product_ratings.hpp"
 
 namespace rab::detectors {
@@ -64,6 +66,16 @@ class DetectorIntegrator {
       const rating::ProductRatings& stream,
       const TrustLookup& trust = default_trust) const;
 
+  /// Memoized analyze for the MP evaluation hot loop. Identical content +
+  /// identical trust values reuse the cached result outright; a known
+  /// stream under new trust reuses its trust-free detector results
+  /// (H-ARC/L-ARC/HC/ME, value split) and re-runs only the MC detector and
+  /// the integration marking. Results are bit-identical to analyze() —
+  /// see result_cache.hpp for the fingerprint/invalidation rules.
+  [[nodiscard]] std::shared_ptr<const IntegrationResult> analyze_cached(
+      const rating::ProductRatings& stream, const TrustLookup& trust,
+      IntegrationCache& cache) const;
+
   [[nodiscard]] const DetectorConfig& config() const { return config_; }
 
  private:
@@ -71,6 +83,16 @@ class DetectorIntegrator {
                          const std::vector<Interval>& a,
                          const std::vector<Interval>& b, bool mark_high,
                          IntegrationResult& result) const;
+
+  /// The trust-free detector bank: value split, H-ARC/L-ARC, HC, ME.
+  void run_trust_free(const rating::ProductRatings& stream,
+                      IntegrationResult& result) const;
+
+  /// The trust-dependent tail: MC detection plus the Figure-1 integration
+  /// marking (which combines all detector results into suspicion flags).
+  void run_mc_and_integrate(const rating::ProductRatings& stream,
+                            const TrustLookup& trust,
+                            IntegrationResult& result) const;
 
   DetectorConfig config_;
   DetectorToggles toggles_;

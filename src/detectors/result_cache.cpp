@@ -1,0 +1,154 @@
+#include "detectors/result_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "detectors/integrator.hpp"
+#include "util/error.hpp"
+
+namespace rab::detectors {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Two independent accumulation lanes: byte-wise FNV-1a and a
+/// splitmix64-mixed chain. A collision requires both 64-bit lanes to agree
+/// on different content.
+struct Hasher {
+  std::uint64_t lo = kFnvOffset;
+  std::uint64_t hi = 0x8f5b5b1f0d2c3a47ULL;
+
+  void add(std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      lo ^= (word >> (8 * i)) & 0xffULL;
+      lo *= kFnvPrime;
+    }
+    hi = splitmix64(hi ^ word);
+  }
+  void add(double d) { add(std::bit_cast<std::uint64_t>(d)); }
+
+  [[nodiscard]] Fingerprint done() const { return Fingerprint{lo, hi}; }
+};
+
+}  // namespace
+
+Fingerprint stream_fingerprint(const rating::ProductRatings& stream) {
+  Hasher h;
+  h.add(static_cast<std::uint64_t>(stream.size()));
+  for (const rating::Rating& r : stream.ratings()) {
+    h.add(r.time);
+    h.add(r.value);
+    h.add(static_cast<std::uint64_t>(r.rater.value()));
+    h.add(static_cast<std::uint64_t>(r.product.value()));
+    h.add(static_cast<std::uint64_t>(r.unfair ? 1 : 0));
+  }
+  return h.done();
+}
+
+Fingerprint trust_fingerprint(const rating::ProductRatings& stream,
+                              const TrustLookup& trust) {
+  Hasher h;
+  h.add(static_cast<std::uint64_t>(stream.size()));
+  for (const rating::Rating& r : stream.ratings()) {
+    h.add(trust(r.rater));
+  }
+  return h.done();
+}
+
+IntegrationCache::IntegrationCache(std::size_t max_streams,
+                                   std::size_t max_variants)
+    : max_streams_(max_streams), max_variants_(max_variants) {
+  RAB_EXPECTS(max_streams_ >= 1);
+  RAB_EXPECTS(max_variants_ >= 1);
+}
+
+void IntegrationCache::touch_stream(
+    std::unordered_map<Fingerprint, Entry, FingerprintHash>::iterator it)
+    const {
+  stream_lru_.splice(stream_lru_.begin(), stream_lru_, it->second.lru_slot);
+}
+
+std::shared_ptr<const IntegrationResult> IntegrationCache::find(
+    const Fingerprint& stream, const Fingerprint& trust) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(stream);
+  if (it == entries_.end()) return nullptr;
+  Entry& entry = it->second;
+  const auto hit = entry.by_trust.find(trust);
+  if (hit == entry.by_trust.end()) return nullptr;
+  touch_stream(it);
+  const auto pos =
+      std::find(entry.trust_lru.begin(), entry.trust_lru.end(), trust);
+  entry.trust_lru.splice(entry.trust_lru.begin(), entry.trust_lru, pos);
+  ++stats_.hits;
+  return hit->second;
+}
+
+std::shared_ptr<const IntegrationResult> IntegrationCache::find_stream(
+    const Fingerprint& stream) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = entries_.find(stream);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  touch_stream(it);
+  ++stats_.partial_hits;
+  return it->second.by_trust.at(it->second.trust_lru.front());
+}
+
+void IntegrationCache::insert(
+    const Fingerprint& stream, const Fingerprint& trust,
+    std::shared_ptr<const IntegrationResult> result) {
+  const std::lock_guard lock(mutex_);
+  auto it = entries_.find(stream);
+  if (it == entries_.end()) {
+    if (entries_.size() >= max_streams_) {
+      const Fingerprint victim = stream_lru_.back();
+      stream_lru_.pop_back();
+      entries_.erase(victim);
+    }
+    stream_lru_.push_front(stream);
+    it = entries_.try_emplace(stream).first;
+    it->second.lru_slot = stream_lru_.begin();
+  } else {
+    touch_stream(it);
+  }
+  Entry& entry = it->second;
+  if (entry.by_trust.contains(trust)) return;  // first insertion wins
+  if (entry.by_trust.size() >= max_variants_) {
+    const Fingerprint victim = entry.trust_lru.back();
+    entry.trust_lru.pop_back();
+    entry.by_trust.erase(victim);
+  }
+  entry.by_trust.emplace(trust, std::move(result));
+  entry.trust_lru.push_front(trust);
+}
+
+void IntegrationCache::clear() {
+  const std::lock_guard lock(mutex_);
+  entries_.clear();
+  stream_lru_.clear();
+  stats_ = Stats{};
+}
+
+IntegrationCache::Stats IntegrationCache::stats() const {
+  const std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t IntegrationCache::stream_count() const {
+  const std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace rab::detectors

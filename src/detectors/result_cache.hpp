@@ -1,0 +1,126 @@
+// Per-product detector result caching for the MP evaluation hot loop.
+//
+// Procedure 2 (region search) and the attack-generator sweeps re-run the
+// full detector bank over every product for every candidate attack, even
+// though a submission perturbs only the target products: the untouched
+// products' streams — and the fair baseline of every product — are analyzed
+// with byte-identical input thousands of times. IntegrationCache memoizes
+// DetectorIntegrator::analyze keyed by a content fingerprint of the stream
+// plus a fingerprint of the trust values the analysis consults.
+//
+// Granularity: only the mean-change detector reads trust, so a cached
+// stream entry keeps its trust-free detector results (H-ARC/L-ARC/HC/ME and
+// the value split) reusable across *all* trust states, and stores one full
+// IntegrationResult per trust fingerprint. A trust change therefore costs
+// one MC re-run plus the integration marking — never an ARC/HC/ME recompute.
+//
+// Correctness: fingerprints are 128-bit content hashes (two independent
+// 64-bit lanes), so a reused result is the output of the same pure function
+// on identical input — bit-identical to recomputing, at any thread count.
+// A mutated stream changes its fingerprint and can never reuse a stale
+// entry. The cache is bounded (LRU over streams and trust variants); an
+// eviction only costs a recompute, never changes a result.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "detectors/config.hpp"
+#include "rating/product_ratings.hpp"
+
+namespace rab::detectors {
+
+struct IntegrationResult;
+
+/// 128-bit content fingerprint (two independent 64-bit hash lanes).
+struct Fingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Fingerprint of a product stream's full content (time, value, rater,
+/// product, unfair flag of every rating, in order).
+[[nodiscard]] Fingerprint stream_fingerprint(
+    const rating::ProductRatings& stream);
+
+/// Fingerprint of the trust values an analysis of `stream` consults: one
+/// lookup per rating, in stream order — exactly the reads the MC detector
+/// performs.
+[[nodiscard]] Fingerprint trust_fingerprint(
+    const rating::ProductRatings& stream, const TrustLookup& trust);
+
+/// Thread-safe bounded memo of IntegrationResults. Shared across
+/// evaluations (it lives in PScheme); all members may be called
+/// concurrently.
+class IntegrationCache {
+ public:
+  /// @param max_streams   distinct stream fingerprints kept (LRU beyond).
+  /// @param max_variants  trust variants kept per stream (LRU beyond).
+  explicit IntegrationCache(std::size_t max_streams = 64,
+                            std::size_t max_variants = 8);
+
+  IntegrationCache(const IntegrationCache&) = delete;
+  IntegrationCache& operator=(const IntegrationCache&) = delete;
+
+  /// Full hit: result for exactly this (stream, trust) pair. Counts a hit
+  /// when found; counts nothing on failure (the follow-up find_stream call
+  /// settles the outcome).
+  [[nodiscard]] std::shared_ptr<const IntegrationResult> find(
+      const Fingerprint& stream, const Fingerprint& trust) const;
+
+  /// Partial hit: any result for this stream (its trust-free detector
+  /// fields are valid for every trust state). Null when the stream is
+  /// unknown. Counts a partial hit when found, a miss otherwise.
+  [[nodiscard]] std::shared_ptr<const IntegrationResult> find_stream(
+      const Fingerprint& stream) const;
+
+  /// Stores a result; keeps the first insertion on a concurrent race (both
+  /// racers computed identical results).
+  void insert(const Fingerprint& stream, const Fingerprint& trust,
+              std::shared_ptr<const IntegrationResult> result);
+
+  void clear();
+
+  struct Stats {
+    std::size_t hits = 0;          ///< full (stream, trust) reuse
+    std::size_t partial_hits = 0;  ///< trust-free fields reused, MC re-run
+    std::size_t misses = 0;        ///< full detector bank run
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t stream_count() const;
+
+ private:
+  struct FingerprintHash {
+    std::size_t operator()(const Fingerprint& f) const noexcept {
+      return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  struct Entry {
+    std::unordered_map<Fingerprint,
+                       std::shared_ptr<const IntegrationResult>,
+                       FingerprintHash>
+        by_trust;
+    std::list<Fingerprint> trust_lru;  ///< front = most recent
+    std::list<Fingerprint>::iterator lru_slot;  ///< into stream_lru_
+  };
+
+  void touch_stream(
+      std::unordered_map<Fingerprint, Entry, FingerprintHash>::iterator it)
+      const;
+
+  std::size_t max_streams_;
+  std::size_t max_variants_;
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<Fingerprint, Entry, FingerprintHash> entries_;
+  mutable std::list<Fingerprint> stream_lru_;  ///< front = most recent
+  mutable Stats stats_;
+};
+
+}  // namespace rab::detectors

@@ -1,0 +1,176 @@
+#include "rating/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rab::rating {
+
+OverlayProduct::OverlayProduct(const ProductRatings* base, ProductId product,
+                               std::vector<Rating> extra)
+    : base_(base), product_(product) {
+  for (const Rating& r : extra) {
+    RAB_EXPECTS(r.product == product_);
+  }
+  extra_.add_all(extra);
+  if (base_ != nullptr && !extra_.empty()) {
+    const std::vector<Rating>& bs = base_->ratings();
+    merged_pos_.reserve(extra_.size());
+    for (std::size_t j = 0; j < extra_.size(); ++j) {
+      const auto pos =
+          std::upper_bound(bs.begin(), bs.end(), extra_.at(j), ByTime{});
+      merged_pos_.push_back(static_cast<std::size_t>(pos - bs.begin()) + j);
+    }
+  } else {
+    for (std::size_t j = 0; j < extra_.size(); ++j) merged_pos_.push_back(j);
+  }
+}
+
+const Rating& OverlayProduct::at(std::size_t i) const {
+  RAB_EXPECTS(i < size());
+  if (merged_ != nullptr) return merged_->at(i);
+  if (extra_.empty()) return base_->at(i);
+  // Number of extras at merged positions < i; if i is itself an extra
+  // position the rating is extra_[k], otherwise base position i - k.
+  const auto it =
+      std::lower_bound(merged_pos_.begin(), merged_pos_.end(), i);
+  const auto k = static_cast<std::size_t>(it - merged_pos_.begin());
+  if (it != merged_pos_.end() && *it == i) return extra_.at(k);
+  return base_->at(i - k);
+}
+
+Interval OverlayProduct::span() const {
+  if (empty()) return Interval{};
+  const Day first = at(0).time;
+  const Day last = at(size() - 1).time;
+  return Interval{first, std::nextafter(last, last + 1.0)};
+}
+
+signal::IndexRange OverlayProduct::index_range(
+    const Interval& interval) const {
+  // Boundaries are pure time lower_bounds, so counting the two sorted
+  // halves independently gives the merged positions directly.
+  signal::IndexRange base_range{};
+  if (base_ != nullptr) base_range = base_->index_range(interval);
+  const signal::IndexRange extra_range = extra_.index_range(interval);
+  return signal::IndexRange{base_range.first + extra_range.first,
+                            base_range.last + extra_range.last};
+}
+
+std::vector<Rating> OverlayProduct::in_interval(
+    const Interval& interval) const {
+  const std::vector<Rating> extras = extra_.in_interval(interval);
+  if (base_ == nullptr) return extras;
+  std::vector<Rating> bases = base_->in_interval(interval);
+  if (extras.empty()) return bases;
+  std::vector<Rating> out;
+  out.reserve(bases.size() + extras.size());
+  // std::merge keeps the first-range element on ties, matching the
+  // base-first merged order.
+  std::merge(bases.begin(), bases.end(), extras.begin(), extras.end(),
+             std::back_inserter(out), ByTime{});
+  return out;
+}
+
+std::vector<double> OverlayProduct::values() const {
+  std::vector<double> out;
+  out.reserve(size());
+  for_each([&](const Rating& r) { out.push_back(r.value); });
+  return out;
+}
+
+const ProductRatings& OverlayProduct::merged() const {
+  if (!touched()) {
+    RAB_EXPECTS(base_ != nullptr);
+    return *base_;
+  }
+  if (merged_ == nullptr) {
+    // The walk emits ratings in merged order already; adopt the vector
+    // as-is (an unstable re-sort could swap fully ByTime-tied ratings and
+    // break bit-identity with with_added).
+    std::vector<Rating> rs;
+    rs.reserve(size());
+    for_each([&](const Rating& r) { rs.push_back(r); });
+    merged_ = std::make_unique<ProductRatings>(
+        ProductRatings::from_sorted(product_, std::move(rs)));
+  }
+  return *merged_;
+}
+
+DatasetOverlay::DatasetOverlay(const Dataset& base,
+                               std::span<const Rating> extra)
+    : base_(&base), extra_(extra.begin(), extra.end()) {
+  std::map<ProductId, std::vector<Rating>> grouped;
+  for (const Rating& r : extra_) grouped[r.product].push_back(r);
+
+  for (ProductId id : base_->product_ids()) {
+    auto it = grouped.find(id);
+    std::vector<Rating> overlay_ratings;
+    if (it != grouped.end()) overlay_ratings = std::move(it->second);
+    products_.try_emplace(id, &base_->product(id), id,
+                          std::move(overlay_ratings));
+    if (it != grouped.end()) grouped.erase(it);
+  }
+  // Products the overlay rates that the base has never seen.
+  for (auto& [id, overlay_ratings] : grouped) {
+    products_.try_emplace(id, nullptr, id, std::move(overlay_ratings));
+  }
+}
+
+std::size_t DatasetOverlay::total_ratings() const {
+  std::size_t n = 0;
+  for (const auto& [id, view] : products_) n += view.size();
+  return n;
+}
+
+std::vector<ProductId> DatasetOverlay::product_ids() const {
+  std::vector<ProductId> ids;
+  ids.reserve(products_.size());
+  for (const auto& [id, view] : products_) ids.push_back(id);
+  return ids;
+}
+
+bool DatasetOverlay::has_product(ProductId id) const {
+  return products_.contains(id);
+}
+
+const OverlayProduct& DatasetOverlay::product(ProductId id) const {
+  const auto it = products_.find(id);
+  if (it == products_.end()) {
+    std::ostringstream msg;
+    msg << "DatasetOverlay: unknown product " << id;
+    throw InvalidArgument(msg.str());
+  }
+  return it->second;
+}
+
+bool DatasetOverlay::touched(ProductId id) const {
+  const auto it = products_.find(id);
+  return it != products_.end() && it->second.touched();
+}
+
+Interval DatasetOverlay::span() const {
+  Interval out{};
+  bool first = true;
+  for (const auto& [id, view] : products_) {
+    if (view.empty()) continue;
+    const Interval s = view.span();
+    if (first) {
+      out = s;
+      first = false;
+    } else {
+      out.begin = std::min(out.begin, s.begin);
+      out.end = std::max(out.end, s.end);
+    }
+  }
+  return out;
+}
+
+Dataset DatasetOverlay::materialize() const {
+  return base_->with_added(extra_);
+}
+
+}  // namespace rab::rating

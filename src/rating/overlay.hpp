@@ -1,0 +1,174 @@
+// Zero-copy overlay datasets: a fair base plus per-product unfair extras.
+//
+// Applying an attack submission used to mean copying the entire fair
+// dataset (Dataset::with_added) even though a submission perturbs only the
+// few target products. DatasetOverlay instead *borrows* the fair base and
+// keeps the extra ratings in small per-product side streams; OverlayProduct
+// exposes the merged stream as a view — iteration, random access, and
+// index_range work without materializing a combined Dataset, and untouched
+// products delegate straight to the base stream at zero cost.
+//
+// The merged order is exactly what Dataset::with_added produces: the union
+// sorted by rating::ByTime, with base ratings preceding extras on full
+// ByTime ties (with_added inserts extras at upper_bound). Every view
+// accessor is bit-identical to the materialized equivalent, which is what
+// lets the MP evaluation hot loop switch paths without changing results.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rating/dataset.hpp"
+#include "rating/product_ratings.hpp"
+#include "rating/rating.hpp"
+#include "signal/windowing.hpp"
+
+namespace rab::rating {
+
+/// Merged view of one product: a borrowed base stream plus a (possibly
+/// empty) overlay of extra ratings. Accessors mirror ProductRatings.
+///
+/// Thread-safety: concurrent reads are safe *except* the first merged()
+/// call on a touched product, which materializes lazily; callers that share
+/// one OverlayProduct across threads must call merged() once beforehand (the
+/// P-scheme's per-product fan-out gives each product to one worker, which
+/// satisfies this naturally).
+class OverlayProduct {
+ public:
+  OverlayProduct() = default;
+
+  /// @param base the fair stream (may be nullptr when the overlay rates a
+  ///        product absent from the base); borrowed, must outlive the view.
+  /// @param extra the overlay ratings for this product, any order.
+  OverlayProduct(const ProductRatings* base, ProductId product,
+                 std::vector<Rating> extra);
+
+  [[nodiscard]] ProductId product() const { return product_; }
+  [[nodiscard]] std::size_t size() const {
+    return base_size() + extra_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  /// True when this product has overlay ratings on top of the base.
+  [[nodiscard]] bool touched() const { return !extra_.empty(); }
+  [[nodiscard]] std::size_t extra_count() const { return extra_.size(); }
+
+  /// Rating at merged position `i` (base-first on ByTime ties). O(log e)
+  /// in the overlay size before merged() materializes, O(1) after.
+  [[nodiscard]] const Rating& at(std::size_t i) const;
+
+  /// Time span [first rating, last rating], identical to the span of the
+  /// materialized merged stream.
+  [[nodiscard]] Interval span() const;
+
+  /// Index range [first, last) of merged positions with time inside
+  /// `interval` — computed from the two sorted halves, no merge performed.
+  [[nodiscard]] signal::IndexRange index_range(
+      const Interval& interval) const;
+
+  /// Merged ratings with time in [interval.begin, interval.end).
+  [[nodiscard]] std::vector<Rating> in_interval(
+      const Interval& interval) const;
+
+  /// All merged rating values in merged order.
+  [[nodiscard]] std::vector<double> values() const;
+
+  /// Visits every merged rating in order via a linear two-pointer walk.
+  template <typename F>
+  void for_each(F&& f) const {
+    const std::vector<Rating>& extras = extra_.ratings();
+    std::size_t b = 0;
+    std::size_t e = 0;
+    const std::size_t nb = base_size();
+    while (b < nb || e < extras.size()) {
+      // Base goes first unless the next extra is strictly ByTime-smaller —
+      // the same tie-breaking as with_added's upper_bound insertion.
+      if (b < nb &&
+          (e >= extras.size() || !ByTime{}(extras[e], base_->at(b)))) {
+        f(base_->at(b++));
+      } else {
+        f(extras[e++]);
+      }
+    }
+  }
+
+  /// Visits, in merged order, every rating with time inside `interval` —
+  /// in_interval without the vector allocations, for per-bin aggregation
+  /// loops.
+  template <typename F>
+  void for_each_in(const Interval& interval, F&& f) const {
+    const std::vector<Rating>& extras = extra_.ratings();
+    signal::IndexRange base_range{};
+    if (base_ != nullptr) base_range = base_->index_range(interval);
+    const signal::IndexRange extra_range = extra_.index_range(interval);
+    std::size_t b = base_range.first;
+    std::size_t e = extra_range.first;
+    while (b < base_range.last || e < extra_range.last) {
+      if (b < base_range.last &&
+          (e >= extra_range.last || !ByTime{}(extras[e], base_->at(b)))) {
+        f(base_->at(b++));
+      } else {
+        f(extras[e++]);
+      }
+    }
+  }
+
+  /// The merged stream as a contiguous ProductRatings — what detector
+  /// analysis consumes. Untouched products return the base stream by
+  /// reference (zero copy); touched products materialize lazily, once.
+  [[nodiscard]] const ProductRatings& merged() const;
+
+ private:
+  [[nodiscard]] std::size_t base_size() const {
+    return base_ != nullptr ? base_->size() : 0;
+  }
+
+  const ProductRatings* base_ = nullptr;
+  ProductId product_;
+  ProductRatings extra_;                  ///< overlay, ByTime-sorted
+  std::vector<std::size_t> merged_pos_;   ///< merged index of each extra
+  mutable std::unique_ptr<ProductRatings> merged_;  ///< lazy materialization
+};
+
+/// A fair base Dataset with extra (attack) ratings layered on top. Presents
+/// the same product-oriented surface as Dataset but never copies the base;
+/// schemes aggregate it through OverlayProduct views.
+///
+/// The base is borrowed and must outlive the overlay.
+class DatasetOverlay {
+ public:
+  DatasetOverlay(const Dataset& base, std::span<const Rating> extra);
+
+  [[nodiscard]] const Dataset& base() const { return *base_; }
+
+  [[nodiscard]] std::size_t product_count() const { return products_.size(); }
+  [[nodiscard]] std::size_t total_ratings() const;
+  [[nodiscard]] std::size_t extra_count() const { return extra_.size(); }
+
+  /// Product ids present in base or overlay, ascending.
+  [[nodiscard]] std::vector<ProductId> product_ids() const;
+
+  [[nodiscard]] bool has_product(ProductId id) const;
+
+  /// Merged view for a product; throws InvalidArgument if absent.
+  [[nodiscard]] const OverlayProduct& product(ProductId id) const;
+
+  /// True when `id` has overlay ratings.
+  [[nodiscard]] bool touched(ProductId id) const;
+
+  /// Union of the spans of all merged product streams — identical to
+  /// base().with_added(extra).span().
+  [[nodiscard]] Interval span() const;
+
+  /// The equivalent owning Dataset (base().with_added(extras)). Fallback
+  /// for consumers that need a real Dataset; the hot paths never call it.
+  [[nodiscard]] Dataset materialize() const;
+
+ private:
+  const Dataset* base_;
+  std::vector<Rating> extra_;
+  std::map<ProductId, OverlayProduct> products_;
+};
+
+}  // namespace rab::rating

@@ -24,6 +24,15 @@ void ProductRatings::add_all(std::span<const Rating> rs) {
   std::sort(ratings_.begin(), ratings_.end(), ByTime{});
 }
 
+ProductRatings ProductRatings::from_sorted(ProductId product,
+                                           std::vector<Rating> rs) {
+  RAB_EXPECTS(std::is_sorted(rs.begin(), rs.end(), ByTime{}));
+  ProductRatings out(product);
+  for (const Rating& r : rs) RAB_EXPECTS(r.product == product);
+  out.ratings_ = std::move(rs);
+  return out;
+}
+
 const Rating& ProductRatings::at(std::size_t i) const {
   RAB_EXPECTS(i < ratings_.size());
   return ratings_[i];

@@ -24,6 +24,14 @@ class ProductRatings {
   /// Bulk insert followed by a single re-sort.
   void add_all(std::span<const Rating> rs);
 
+  /// Adopts an already ByTime-sorted vector without re-sorting — add_all's
+  /// std::sort is unstable and could swap fully ByTime-tied ratings, so
+  /// callers that must preserve a specific merge order (rating::OverlayProduct)
+  /// build the vector themselves and hand it over here. The sortedness
+  /// precondition is enforced.
+  [[nodiscard]] static ProductRatings from_sorted(ProductId product,
+                                                  std::vector<Rating> rs);
+
   [[nodiscard]] std::size_t size() const { return ratings_.size(); }
   [[nodiscard]] bool empty() const { return ratings_.empty(); }
   [[nodiscard]] const std::vector<Rating>& ratings() const { return ratings_; }

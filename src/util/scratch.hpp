@@ -1,0 +1,38 @@
+// Reusable per-thread scratch buffers for allocation-free hot loops.
+//
+// scratch_vector<T, Tag>() hands back a reference to a thread_local vector
+// that is cleared on every borrow but keeps its capacity, so steady-state
+// loops (the region-search MP evaluations, the trust epoch folds) stop
+// hitting the allocator once warmed up. The Tag type distinguishes call
+// sites: two live borrows of the same (T, Tag) instantiation alias the same
+// buffer, so every call site that can be active at the same time on one
+// thread must declare its own tag type.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+namespace rab::util {
+
+/// Borrows the calling thread's reusable vector for (T, Tag). The buffer
+/// comes back empty but with its previous capacity intact. The reference
+/// stays valid for the thread's lifetime; it must not be handed to another
+/// thread or borrowed again (same T and Tag) while still in use.
+template <typename T, typename Tag = void>
+[[nodiscard]] std::vector<T>& scratch_vector() {
+  thread_local std::vector<T> buffer;
+  buffer.clear();
+  return buffer;
+}
+
+/// Borrows the calling thread's reusable hash map for (Key, Value, Tag).
+/// Cleared on borrow, bucket storage retained; same aliasing rules as
+/// scratch_vector.
+template <typename Key, typename Value, typename Tag = void>
+[[nodiscard]] std::unordered_map<Key, Value>& scratch_map() {
+  thread_local std::unordered_map<Key, Value> buffer;
+  buffer.clear();
+  return buffer;
+}
+
+}  // namespace rab::util

@@ -53,6 +53,17 @@ TEST(TopTwoSum, HandlesDuplicates) {
   EXPECT_DOUBLE_EQ(top_two_sum({2.0, 2.0, 2.0}), 4.0);
 }
 
+TEST(TopTwoSum, ExactlyTwoElementsSumBoth) {
+  EXPECT_DOUBLE_EQ(top_two_sum({1.25, 0.75}), 2.0);
+  EXPECT_DOUBLE_EQ(top_two_sum({0.0, 3.0}), 3.0);
+}
+
+TEST(TopTwoSum, RejectsNegativeDeltas) {
+  // Deltas are absolute differences; the scan relies on >= 0 and must say
+  // so loudly instead of silently dropping negative input.
+  EXPECT_THROW(top_two_sum({1.0, -0.5}), LogicError);
+}
+
 // ------------------------------------------------------------ Submission
 
 TEST(Submission, ForProductFiltersAndSorts) {

@@ -1,0 +1,473 @@
+// Overlay-vs-copy equivalence: the zero-copy DatasetOverlay path must be
+// bit-identical to Dataset::with_added for every accessor, every scheme,
+// and every thread count — plus the detector-result cache's invalidation
+// rules and the identity()-keyed fair-baseline cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "aggregation/bf_scheme.hpp"
+#include "aggregation/entropy_scheme.hpp"
+#include "aggregation/median_scheme.hpp"
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "challenge/challenge.hpp"
+#include "detectors/integrator.hpp"
+#include "detectors/result_cache.hpp"
+#include "rating/fair_generator.hpp"
+#include "rating/overlay.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/scratch.hpp"
+
+namespace rab {
+namespace {
+
+using rating::Dataset;
+using rating::DatasetOverlay;
+using rating::OverlayProduct;
+using rating::ProductRatings;
+using rating::Rating;
+
+Rating make_rating(double time, double value, std::int64_t rater,
+                   std::int64_t product, bool unfair) {
+  Rating r;
+  r.time = time;
+  r.value = value;
+  r.rater = RaterId(rater);
+  r.product = ProductId(product);
+  r.unfair = unfair;
+  return r;
+}
+
+/// Small fair dataset for the equivalence tests.
+Dataset make_fair(std::uint64_t seed, std::size_t products = 5,
+                  double days = 150.0) {
+  rating::FairDataConfig config;
+  config.product_count = products;
+  config.history_days = days;
+  config.seed = seed;
+  return rating::FairDataGenerator(config).generate();
+}
+
+/// Random unfair ratings for `product` across [t_lo, t_hi), including exact
+/// time collisions with plausible base instants (integer-ish times).
+std::vector<Rating> random_extras(Rng& rng, std::int64_t product,
+                                  std::size_t count, double t_lo,
+                                  double t_hi) {
+  std::vector<Rating> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool collide = rng.uniform(0.0, 1.0) < 0.3;
+    double t = rng.uniform(t_lo, t_hi - 0.01);
+    if (collide) t = std::floor(t) + 0.5;  // likely shared instants
+    t = std::clamp(t, t_lo, t_hi - 0.01);
+    out.push_back(make_rating(t, std::floor(rng.uniform(0.0, 5.99)),
+                              1'000'000 + static_cast<std::int64_t>(i),
+                              product, true));
+  }
+  return out;
+}
+
+// --- OverlayProduct view vs materialized merged stream --------------------
+
+TEST(OverlayProduct, MatchesWithAddedMergedStreamExactly) {
+  Rng rng(11);
+  const Dataset fair = make_fair(101, 3);
+  const ProductId id(1);
+  const Interval span = fair.span();
+  const std::vector<Rating> extras =
+      random_extras(rng, 1, 40, span.begin + 10.0, span.end - 5.0);
+
+  const Dataset copied = fair.with_added(extras);
+  const ProductRatings& reference = copied.product(id);
+  const OverlayProduct view(&fair.product(id), id, extras);
+
+  ASSERT_EQ(view.size(), reference.size());
+  EXPECT_TRUE(view.touched());
+  EXPECT_EQ(view.extra_count(), extras.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(view.at(i), reference.at(i)) << "merged position " << i;
+  }
+  EXPECT_EQ(view.span().begin, reference.span().begin);
+  EXPECT_EQ(view.span().end, reference.span().end);
+  EXPECT_EQ(view.values(), reference.values());
+
+  std::vector<Rating> walked;
+  view.for_each([&](const Rating& r) { walked.push_back(r); });
+  EXPECT_EQ(walked, reference.ratings());
+
+  // merged() materializes the identical stream.
+  EXPECT_EQ(view.merged().ratings(), reference.ratings());
+}
+
+TEST(OverlayProduct, IndexRangeAndInIntervalMatchEverywhere) {
+  Rng rng(12);
+  const Dataset fair = make_fair(102, 3);
+  const ProductId id(2);
+  const Interval span = fair.span();
+  const std::vector<Rating> extras =
+      random_extras(rng, 2, 25, span.begin + 5.0, span.end - 1.0);
+
+  const Dataset copied = fair.with_added(extras);
+  const ProductRatings& reference = copied.product(id);
+  const OverlayProduct view(&fair.product(id), id, extras);
+
+  for (double lo = span.begin - 3.0; lo < span.end + 3.0; lo += 7.3) {
+    for (double len : {0.0, 1.5, 14.0, 60.0}) {
+      const Interval interval{lo, lo + len};
+      const signal::IndexRange want = reference.index_range(interval);
+      const signal::IndexRange got = view.index_range(interval);
+      EXPECT_EQ(got.first, want.first) << "lo=" << lo << " len=" << len;
+      EXPECT_EQ(got.last, want.last) << "lo=" << lo << " len=" << len;
+      EXPECT_EQ(view.in_interval(interval), reference.in_interval(interval));
+    }
+  }
+}
+
+TEST(OverlayProduct, ByTimeTiesKeepBaseBeforeExtras) {
+  // An extra identical to a base rating in (time, value, rater) — differing
+  // only in the unfair flag — must land *after* the base rating, exactly
+  // where with_added's upper_bound insertion puts it.
+  ProductRatings base((ProductId(7)));
+  base.add(make_rating(10.0, 4.0, 42, 7, false));
+  base.add(make_rating(20.0, 3.0, 43, 7, false));
+
+  const std::vector<Rating> extras = {
+      make_rating(10.0, 4.0, 42, 7, true),  // full ByTime tie with base[0]
+      make_rating(20.0, 2.0, 44, 7, true),  // same time, smaller value
+  };
+  Dataset single;
+  single.add(base.at(0));
+  single.add(base.at(1));
+  const Dataset combined = single.with_added(extras);
+  const ProductRatings& reference = combined.product(ProductId(7));
+  const OverlayProduct view(&base, ProductId(7), extras);
+
+  ASSERT_EQ(view.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(view.at(i), reference.at(i)) << "position " << i;
+  }
+  // The tied pair: fair first, unfair second.
+  EXPECT_FALSE(view.at(0).unfair);
+  EXPECT_TRUE(view.at(1).unfair);
+}
+
+TEST(OverlayProduct, UntouchedProductDelegatesToBase) {
+  const Dataset fair = make_fair(103, 2);
+  const ProductRatings& base = fair.product(ProductId(1));
+  const OverlayProduct view(&base, ProductId(1), {});
+  EXPECT_FALSE(view.touched());
+  EXPECT_EQ(view.size(), base.size());
+  // Zero copy: merged() must be the base stream object itself.
+  EXPECT_EQ(&view.merged(), &base);
+}
+
+// --- DatasetOverlay -------------------------------------------------------
+
+TEST(DatasetOverlay, MirrorsWithAddedDataset) {
+  Rng rng(13);
+  const Dataset fair = make_fair(104, 4);
+  const Interval span = fair.span();
+  std::vector<Rating> extras =
+      random_extras(rng, 1, 20, span.begin + 2.0, span.end - 2.0);
+  const std::vector<Rating> more =
+      random_extras(rng, 3, 15, span.begin + 2.0, span.end - 2.0);
+  extras.insert(extras.end(), more.begin(), more.end());
+
+  const DatasetOverlay overlay(fair, extras);
+  const Dataset copied = fair.with_added(extras);
+
+  EXPECT_EQ(overlay.product_ids(), copied.product_ids());
+  EXPECT_EQ(overlay.total_ratings(), copied.total_ratings());
+  EXPECT_EQ(overlay.span().begin, copied.span().begin);
+  EXPECT_EQ(overlay.span().end, copied.span().end);
+  EXPECT_TRUE(overlay.touched(ProductId(1)));
+  EXPECT_TRUE(overlay.touched(ProductId(3)));
+  EXPECT_FALSE(overlay.touched(ProductId(0)));
+  EXPECT_FALSE(overlay.touched(ProductId(2)));
+
+  for (ProductId id : copied.product_ids()) {
+    const ProductRatings& reference = copied.product(id);
+    const OverlayProduct& view = overlay.product(id);
+    ASSERT_EQ(view.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(view.at(i), reference.at(i));
+    }
+  }
+
+  const Dataset materialized = overlay.materialize();
+  EXPECT_EQ(materialized.total_ratings(), copied.total_ratings());
+}
+
+TEST(DatasetOverlay, CoversProductsAbsentFromBase) {
+  const Dataset fair = make_fair(105, 2);
+  const Interval span = fair.span();
+  const std::vector<Rating> extras = {
+      make_rating(span.begin + 1.0, 1.0, 999, 77, true),
+      make_rating(span.begin + 2.0, 2.0, 998, 77, true),
+  };
+  const DatasetOverlay overlay(fair, extras);
+  EXPECT_TRUE(overlay.has_product(ProductId(77)));
+  EXPECT_EQ(overlay.product(ProductId(77)).size(), 2u);
+  EXPECT_EQ(overlay.product_count(), 3u);
+}
+
+// --- MP equivalence: overlay path vs copy path, all schemes, any threads --
+
+class MpEquivalence : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { util::set_thread_count(GetParam()); }
+  void TearDown() override {
+    util::set_thread_count(std::thread::hardware_concurrency());
+  }
+};
+
+TEST_P(MpEquivalence, AllSchemesBitIdenticalToCopyPath) {
+  rating::FairDataConfig config;
+  config.product_count = 5;
+  config.history_days = 150.0;
+  config.seed = 404;
+  challenge::ChallengeConfig rules;
+  rules.boost_targets = {ProductId(2)};
+  rules.downgrade_targets = {ProductId(1), ProductId(4)};
+  const challenge::Challenge c(rating::FairDataGenerator(config).generate(),
+                               rules);
+
+  Rng rng(77);
+  const Interval window = c.config().window;
+  challenge::Submission submission;
+  submission.label = "equiv";
+  for (ProductId target : c.targets()) {
+    std::size_t k = 0;
+    for (const Rating& r :
+         random_extras(rng, target.value(), 30, window.begin, window.end)) {
+      Rating fixed = r;
+      fixed.rater = c.attacker(k++);  // obey the challenge's rater rules
+      submission.ratings.push_back(fixed);
+    }
+  }
+  ASSERT_EQ(c.validate(submission), challenge::Violation::kNone);
+
+  const aggregation::SaScheme sa;
+  const aggregation::MedianScheme med;
+  const aggregation::EntropyScheme ent;
+  const aggregation::BfScheme bf;
+  aggregation::PConfig p_config;
+  p_config.passes = 2;
+  const aggregation::PScheme p(p_config);
+  const std::vector<const aggregation::AggregationScheme*> schemes = {
+      &sa, &med, &ent, &bf, &p};
+
+  const Dataset attacked = c.apply(submission);
+  for (const aggregation::AggregationScheme* scheme : schemes) {
+    const challenge::MpResult via_overlay =
+        c.metric().evaluate(submission, *scheme);
+    const challenge::MpResult via_copy =
+        c.metric().evaluate_dataset(attacked, *scheme);
+
+    EXPECT_EQ(via_overlay.overall, via_copy.overall) << scheme->name();
+    ASSERT_EQ(via_overlay.per_product.size(), via_copy.per_product.size());
+    for (const auto& [id, mp] : via_copy.per_product) {
+      EXPECT_EQ(via_overlay.per_product.at(id), mp)
+          << scheme->name() << " product " << id;
+      EXPECT_EQ(via_overlay.deltas.at(id), via_copy.deltas.at(id))
+          << scheme->name() << " product " << id;
+    }
+
+    // The allocation-light fast path agrees bit-for-bit too.
+    EXPECT_EQ(c.metric().evaluate_overall(submission, *scheme),
+              via_copy.overall)
+        << scheme->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MpEquivalence, ::testing::Values(1, 4));
+
+// --- Detector-result cache ------------------------------------------------
+
+ProductRatings make_stream(std::uint64_t seed, std::size_t n = 120) {
+  Rng rng(seed);
+  ProductRatings stream((ProductId(1)));
+  std::vector<Rating> rs;
+  for (std::size_t i = 0; i < n; ++i) {
+    rs.push_back(make_rating(rng.uniform(0.0, 90.0),
+                             std::floor(rng.uniform(0.0, 5.99)),
+                             static_cast<std::int64_t>(i % 40), 1, false));
+  }
+  stream.add_all(rs);
+  return stream;
+}
+
+TEST(IntegrationCache, CachedAnalysisIsBitIdenticalToFresh) {
+  const ProductRatings stream = make_stream(1);
+  const detectors::DetectorIntegrator integrator;
+  detectors::IntegrationCache cache;
+
+  const detectors::IntegrationResult fresh =
+      integrator.analyze(stream, detectors::default_trust);
+  const auto cached =
+      integrator.analyze_cached(stream, detectors::default_trust, cache);
+  const auto again =
+      integrator.analyze_cached(stream, detectors::default_trust, cache);
+
+  EXPECT_EQ(cached->suspicious, fresh.suspicious);
+  EXPECT_EQ(again.get(), cached.get());  // second call reused the entry
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(IntegrationCache, MutatedStreamNeverReusesStaleResult) {
+  const ProductRatings stream = make_stream(2);
+  const detectors::DetectorIntegrator integrator;
+  detectors::IntegrationCache cache;
+  (void)integrator.analyze_cached(stream, detectors::default_trust, cache);
+
+  // Same stream with one extra rating: a different fingerprint, so the
+  // cached analysis must not be reused and the result must equal a fresh
+  // analyze() of the mutated stream.
+  ProductRatings mutated = stream;
+  mutated.add(make_rating(45.0, 0.0, 9999, 1, true));
+  ASSERT_FALSE(detectors::stream_fingerprint(mutated) ==
+               detectors::stream_fingerprint(stream));
+
+  const auto via_cache =
+      integrator.analyze_cached(mutated, detectors::default_trust, cache);
+  const detectors::IntegrationResult fresh =
+      integrator.analyze(mutated, detectors::default_trust);
+  EXPECT_EQ(via_cache->suspicious, fresh.suspicious);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stream_count(), 2u);
+}
+
+TEST(IntegrationCache, NewTrustStateIsAPartialHitWithExactResult) {
+  const ProductRatings stream = make_stream(3);
+  const detectors::DetectorIntegrator integrator;
+  detectors::IntegrationCache cache;
+  (void)integrator.analyze_cached(stream, detectors::default_trust, cache);
+
+  const detectors::TrustLookup low_trust = [](RaterId rater) {
+    return rater.value() % 3 == 0 ? 0.1 : 0.7;
+  };
+  const auto via_cache = integrator.analyze_cached(stream, low_trust, cache);
+  const detectors::IntegrationResult fresh =
+      integrator.analyze(stream, low_trust);
+
+  EXPECT_EQ(via_cache->suspicious, fresh.suspicious);
+  EXPECT_EQ(via_cache->mc.suspicious.size(), fresh.mc.suspicious.size());
+  EXPECT_EQ(cache.stats().partial_hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stream_count(), 1u);  // one stream, two trust variants
+}
+
+TEST(IntegrationCache, TrustFingerprintSeesValueChanges) {
+  const ProductRatings stream = make_stream(4);
+  const auto base = detectors::trust_fingerprint(
+      stream, detectors::TrustLookup(detectors::default_trust));
+  const auto other = detectors::trust_fingerprint(
+      stream, [](RaterId) { return 0.4999; });
+  EXPECT_FALSE(base == other);
+}
+
+TEST(IntegrationCache, EvictionOnlyForgetsNeverCorrupts) {
+  const detectors::DetectorIntegrator integrator;
+  detectors::IntegrationCache cache(/*max_streams=*/2, /*max_variants=*/1);
+  const ProductRatings a = make_stream(10);
+  const ProductRatings b = make_stream(11);
+  const ProductRatings c = make_stream(12);
+  (void)integrator.analyze_cached(a, detectors::default_trust, cache);
+  (void)integrator.analyze_cached(b, detectors::default_trust, cache);
+  (void)integrator.analyze_cached(c, detectors::default_trust, cache);
+  EXPECT_EQ(cache.stream_count(), 2u);  // a evicted
+
+  const auto again =
+      integrator.analyze_cached(a, detectors::default_trust, cache);
+  const detectors::IntegrationResult fresh =
+      integrator.analyze(a, detectors::default_trust);
+  EXPECT_EQ(again->suspicious, fresh.suspicious);
+}
+
+// --- Scheme identity and the fair-baseline cache --------------------------
+
+TEST(SchemeIdentity, ConfiguredSchemesEncodeTheirParameters) {
+  aggregation::EntropyConfig loose;
+  loose.entropy_threshold = 2.4;
+  const aggregation::EntropyScheme a;
+  const aggregation::EntropyScheme b(loose);
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_NE(a.identity(), b.identity());
+
+  aggregation::BfConfig tight;
+  tight.quantile = 0.01;
+  EXPECT_NE(aggregation::BfScheme().identity(),
+            aggregation::BfScheme(tight).identity());
+
+  aggregation::PConfig one_pass;
+  one_pass.passes = 1;
+  EXPECT_NE(aggregation::PScheme().identity(),
+            aggregation::PScheme(one_pass).identity());
+
+  // Identity is stable for equal configurations.
+  EXPECT_EQ(aggregation::EntropyScheme(loose).identity(),
+            aggregation::EntropyScheme(loose).identity());
+}
+
+TEST(SchemeIdentity, FairBaselineCacheKeysOnIdentityNotName) {
+  // Two same-name ENT schemes with different filters: before keying on
+  // identity(), whichever ran first poisoned the other's baseline. Each
+  // result must match a fresh metric that only ever saw that scheme.
+  const Dataset fair = make_fair(106, 3);
+  challenge::ChallengeConfig rules;
+  rules.boost_targets = {ProductId(1)};
+  rules.downgrade_targets = {ProductId(2)};
+  const challenge::Challenge c(Dataset(fair), rules);
+
+  challenge::Submission submission;
+  submission.label = "identity";
+  const Interval window = c.config().window;
+  for (std::size_t i = 0; i < 20; ++i) {
+    submission.ratings.push_back(make_rating(
+        window.begin + 0.5 + static_cast<double>(i) * 0.7, 0.0,
+        c.attacker(i).value(), 2, true));
+  }
+  ASSERT_EQ(c.validate(submission), challenge::Violation::kNone);
+
+  aggregation::EntropyConfig aggressive;
+  aggressive.entropy_threshold = 0.9;
+  aggressive.min_mode_distance = 1.0;
+  const aggregation::EntropyScheme plain;
+  const aggregation::EntropyScheme strict(aggressive);
+
+  const double plain_first = c.evaluate(submission, plain).overall;
+  const double strict_second = c.evaluate(submission, strict).overall;
+
+  const challenge::Challenge fresh(Dataset(fair), rules);
+  EXPECT_EQ(fresh.evaluate(submission, strict).overall, strict_second);
+  EXPECT_EQ(c.evaluate(submission, plain).overall, plain_first);
+}
+
+// --- Scratch buffers ------------------------------------------------------
+
+TEST(Scratch, VectorsComeBackClearedAndTagsSeparateUses) {
+  auto& a = util::scratch_vector<int, struct TagA>();
+  a.push_back(1);
+  a.push_back(2);
+  auto& b = util::scratch_vector<int, struct TagB>();
+  EXPECT_TRUE(b.empty());      // distinct tag, distinct buffer
+  EXPECT_EQ(a.size(), 2u);     // untouched by the other tag
+
+  auto& a_again = util::scratch_vector<int, struct TagA>();
+  EXPECT_EQ(&a_again, &a);     // same storage reused...
+  EXPECT_TRUE(a_again.empty());  // ...but cleared on borrow
+
+  auto& m = util::scratch_map<int, int, struct TagA>();
+  m[1] = 2;
+  EXPECT_TRUE((util::scratch_map<int, int, struct TagA>().empty()));
+}
+
+}  // namespace
+}  // namespace rab

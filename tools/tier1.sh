@@ -7,8 +7,10 @@
 #   tools/tier1.sh --tsan    # additionally: TSAN build of the threaded tests
 #
 # The TSAN pass builds into build-tsan/ with -DRAB_TSAN=ON and runs the
-# tests that exercise the thread pool (test_parallel) plus the detector
-# suite whose hot paths run inside parallel_for (test_detectors).
+# tests that exercise the thread pool (test_parallel), the detector suite
+# whose hot paths run inside parallel_for (test_detectors), and the overlay
+# equivalence suite that hammers the detector-result cache from the pool
+# (test_overlay).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,8 +20,9 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DRAB_TSAN=ON >/dev/null
-  cmake --build build-tsan -j "$(nproc)" --target test_parallel test_detectors
+  cmake --build build-tsan -j "$(nproc)" --target test_parallel test_detectors test_overlay
   # Exercise the pool with real contention regardless of the host's cores.
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_detectors
+  RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_overlay
 fi
