@@ -1,7 +1,9 @@
 #include "challenge/submission_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -20,6 +22,7 @@ void write_ratings(std::ostream& out, const Submission& submission) {
     out << r.product.value() << ',' << r.rater.value() << ',' << r.time
         << ',' << r.value << '\n';
   }
+  if (!out) throw Error("submission csv: stream write failed");
 }
 
 rating::Rating parse_rating(const csv::Row& row) {
@@ -29,10 +32,16 @@ rating::Rating parse_rating(const csv::Row& row) {
     throw Error(msg.str());
   }
   rating::Rating r;
-  r.product = ProductId(csv::to_int(row[0]));
-  r.rater = RaterId(csv::to_int(row[1]));
+  r.product = ProductId(csv::to_int_in(
+      row[0], 0, std::numeric_limits<std::int64_t>::max()));
+  r.rater = RaterId(csv::to_int_in(
+      row[1], 0, std::numeric_limits<std::int64_t>::max()));
   r.time = csv::to_double(row[2]);
   r.value = csv::to_double(row[3]);
+  if (!std::isfinite(r.time) || !std::isfinite(r.value)) {
+    throw Error("submission csv: non-finite time or value in row for "
+                "product " + row[0]);
+  }
   r.unfair = true;
   return r;
 }
@@ -52,6 +61,10 @@ void write_submission_file(const std::string& path,
   std::ofstream out(path);
   if (!out) throw Error("write_submission_file: cannot open " + path);
   write_submission(out, submission);
+  out.flush();
+  if (!out) {
+    throw Error("write_submission_file: write failed (disk full?): " + path);
+  }
 }
 
 Submission read_submission(std::istream& in) {

@@ -91,8 +91,9 @@ IntegrationResult DetectorIntegrator::analyze(
 
 std::shared_ptr<const IntegrationResult> DetectorIntegrator::analyze_cached(
     const rating::ProductRatings& stream, const TrustLookup& trust,
-    IntegrationCache& cache) const {
-  const Fingerprint sfp = stream_fingerprint(stream);
+    IntegrationCache& cache, const Fingerprint* stream_fp) const {
+  const Fingerprint sfp =
+      stream_fp != nullptr ? *stream_fp : stream_fingerprint(stream);
   // Only the MC detector consults trust; with MC disabled every trust
   // state shares one variant.
   const Fingerprint tfp =

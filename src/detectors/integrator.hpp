@@ -72,9 +72,12 @@ class DetectorIntegrator {
   /// (H-ARC/L-ARC/HC/ME, value split) and re-runs only the MC detector and
   /// the integration marking. Results are bit-identical to analyze() —
   /// see result_cache.hpp for the fingerprint/invalidation rules.
+  /// `stream_fp`, when non-null, must equal stream_fingerprint(stream);
+  /// callers that track content changes (OnlineMonitor) pass it to skip
+  /// the per-call O(n) rehash of unchanged streams.
   [[nodiscard]] std::shared_ptr<const IntegrationResult> analyze_cached(
       const rating::ProductRatings& stream, const TrustLookup& trust,
-      IntegrationCache& cache) const;
+      IntegrationCache& cache, const Fingerprint* stream_fp = nullptr) const;
 
   [[nodiscard]] const DetectorConfig& config() const { return config_; }
 

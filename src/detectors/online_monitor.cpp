@@ -1,18 +1,36 @@
 #include "detectors/online_monitor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace rab::detectors {
 
 OnlineMonitor::OnlineMonitor(OnlineConfig config)
-    : config_(config), trust_(config.trust_forgetting) {
+    : config_(config), integrator_(config.detectors, config.toggles),
+      trust_(config.trust_forgetting) {
   RAB_EXPECTS(config_.epoch_days > 0.0);
+  RAB_EXPECTS(config_.retention_days == 0.0 ||
+              config_.retention_days >= config_.epoch_days);
+  if (config_.cache_streams > 0) {
+    cache_ = std::make_unique<IntegrationCache>(
+        config_.cache_streams, std::max<std::size_t>(1, config_.cache_variants));
+  }
 }
 
 void OnlineMonitor::ingest(const rating::Rating& r) {
+  // Finiteness first: a NaN time would pass `r.time < last_time_` below,
+  // poison last_time_, and permanently disable the ordering guard.
+  if (!std::isfinite(r.time) || !std::isfinite(r.value)) {
+    throw InvalidArgument(
+        "OnlineMonitor: rating time and value must be finite");
+  }
+  if (r.product.value() < 0 || r.rater.value() < 0) {
+    throw InvalidArgument("OnlineMonitor: rating ids must be non-negative");
+  }
   if (started_ && r.time < last_time_) {
     throw InvalidArgument(
         "OnlineMonitor: ratings must arrive in time order");
@@ -20,6 +38,7 @@ void OnlineMonitor::ingest(const rating::Rating& r) {
   if (!started_) {
     started_ = true;
     next_epoch_ = r.time + config_.epoch_days;
+    folded_until_ = r.time;
   }
   // Close any epochs the new rating has moved past.
   while (r.time >= next_epoch_) {
@@ -27,48 +46,95 @@ void OnlineMonitor::ingest(const rating::Rating& r) {
     next_epoch_ += config_.epoch_days;
   }
   last_time_ = r.time;
-  streams_.try_emplace(r.product, r.product).first->second.add(r);
+  Stream& stream = streams_.try_emplace(r.product, r.product).first->second;
+  stream.ratings.add(r);
+  stream.fingerprint_valid = false;
   ++ingested_;
+  ++epoch_ingested_;
+  ++resident_;
+  pending_ = true;
+}
+
+void OnlineMonitor::ingest(std::span<const rating::Rating> batch) {
+  for (const rating::Rating& r : batch) ingest(r);
 }
 
 void OnlineMonitor::flush() {
-  if (!started_) return;
+  if (!started_ || !pending_) return;
   analyze_epoch(std::nextafter(last_time_, last_time_ + 1.0));
 }
 
 void OnlineMonitor::analyze_epoch(Day epoch_end) {
-  const DetectorIntegrator integrator(config_.detectors, config_.toggles);
-  const Interval epoch{epoch_end - config_.epoch_days, epoch_end};
-
   trust_.decay();
-  std::unordered_map<RaterId, trust::EpochCounts> epoch_counts;
 
+  OnlineEpochStats stats;
+  stats.epoch_end = epoch_end;
+  stats.ratings = epoch_ingested_;
+  epoch_ingested_ = 0;
+  const IntegrationCache::Stats cache_before =
+      cache_ ? cache_->stats() : IntegrationCache::Stats{};
+
+  // Deterministic worklist: non-empty streams in product-id order.
+  std::vector<Stream*> work;
+  work.reserve(streams_.size());
   for (auto& [product, stream] : streams_) {
-    if (stream.empty()) continue;
-    const IntegrationResult result =
-        integrator.analyze(stream, trust_.lookup());
+    if (!stream.ratings.empty()) work.push_back(&stream);
+  }
+  stats.products_analyzed = work.size();
 
-    // Fold this epoch's evidence into trust.
-    const signal::IndexRange range = stream.index_range(epoch);
-    for (std::size_t i = range.first; i < range.last; ++i) {
-      trust::EpochCounts& c = epoch_counts[stream.at(i).rater];
+  // Fan the per-product analysis out over the pool. Each index owns its
+  // slot (and its Stream's fingerprint field); trust is read-only here
+  // (decay above, record below), and the cache is internally locked, so
+  // results are bit-identical at any thread count.
+  std::vector<std::shared_ptr<const IntegrationResult>> results(work.size());
+  const TrustLookup lookup = trust_.lookup();
+  util::parallel_for(work.size(), [&](std::size_t i) {
+    Stream& s = *work[i];
+    if (cache_) {
+      if (!s.fingerprint_valid) {
+        s.fingerprint = stream_fingerprint(s.ratings);
+        s.fingerprint_valid = true;
+      }
+      results[i] =
+          integrator_.analyze_cached(s.ratings, lookup, *cache_,
+                                     &s.fingerprint);
+    } else {
+      results[i] = std::make_shared<const IntegrationResult>(
+          integrator_.analyze(s.ratings, lookup));
+    }
+  });
+
+  // Serial reduction in product order: fold trust evidence and raise
+  // alarms. The fold interval starts at folded_until_, not at
+  // epoch_end - epoch_days: a flush's partial epoch would otherwise
+  // overlap the tail of the last completed epoch and fold those ratings'
+  // evidence twice.
+  const Interval fold{folded_until_, epoch_end};
+  std::unordered_map<RaterId, trust::EpochCounts> epoch_counts;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    Stream& s = *work[i];
+    const IntegrationResult& result = *results[i];
+
+    const signal::IndexRange range = s.ratings.index_range(fold);
+    for (std::size_t j = range.first; j < range.last; ++j) {
+      trust::EpochCounts& c = epoch_counts[s.ratings.at(j).rater];
       ++c.ratings;
-      if (result.suspicious[i]) ++c.suspicious;
+      if (result.suspicious[j]) ++c.suspicious;
     }
 
     // Raise an alarm when this analysis marks more ratings than the last
     // one did — fresh suspicion.
     const std::size_t marks = result.suspicious_count();
-    std::size_t& previous = previous_marks_[product];
-    if (marks >= previous + config_.min_alarm_marks) {
+    stats.marked_ratings += marks;
+    if (marks >= s.previous_marks + config_.min_alarm_marks) {
       Alarm alarm;
-      alarm.product = product;
+      alarm.product = s.ratings.product();
       alarm.raised_at = epoch_end;
-      alarm.marked_ratings = marks - previous;
+      alarm.marked_ratings = marks - s.previous_marks;
       // Report the span of the currently suspicious detector intervals
       // (union bound) as the alarm interval.
-      Day lo = stream.span().end;
-      Day hi = stream.span().begin;
+      Day lo = s.ratings.span().end;
+      Day hi = s.ratings.span().begin;
       for (const auto* detection :
            {&result.mc, &result.harc, &result.larc, &result.hc,
             &result.me}) {
@@ -79,13 +145,62 @@ void OnlineMonitor::analyze_epoch(Day epoch_end) {
       }
       alarm.interval = lo <= hi ? Interval{lo, hi} : Interval{};
       alarms_.push_back(alarm);
+      ++stats.alarms;
     }
-    previous = marks;
+    s.previous_marks = marks;
+    s.last = results[i];
   }
 
   for (const auto& [rater, counts] : epoch_counts) {
     trust_.record(rater, counts);
   }
+  folded_until_ = epoch_end;
+  pending_ = false;
+
+  if (config_.retention_days > 0.0) compact(epoch_end, stats);
+
+  stats.resident_ratings = resident_;
+  if (cache_) {
+    const IntegrationCache::Stats after = cache_->stats();
+    stats.cache_hits = after.hits - cache_before.hits;
+    stats.cache_partial_hits = after.partial_hits - cache_before.partial_hits;
+    stats.cache_misses = after.misses - cache_before.misses;
+  }
+  epoch_stats_.push_back(stats);
+}
+
+void OnlineMonitor::compact(Day epoch_end, OnlineEpochStats& stats) {
+  // Everything older than the window has had its evidence folded already
+  // (retention_days >= epoch_days and folds run through epoch_end), so
+  // dropping the prefix loses no trust information — only the raw ratings.
+  const Day cutoff = epoch_end - config_.retention_days;
+  for (auto& [product, stream] : streams_) {
+    const signal::IndexRange stale =
+        stream.ratings.index_range(Interval{stream.ratings.span().begin,
+                                            cutoff});
+    const std::size_t drop = stale.last;
+    if (drop == 0) continue;
+    // The fresh-marks baseline counted marks over the full stream; keep it
+    // comparable with the next (truncated) analysis by subtracting the
+    // marks that leave the window.
+    std::size_t dropped_marks = 0;
+    if (stream.last != nullptr) {
+      for (std::size_t i = 0; i < drop; ++i) {
+        if (stream.last->suspicious[i]) ++dropped_marks;
+      }
+    }
+    stream.previous_marks -= std::min(dropped_marks, stream.previous_marks);
+    stream.ratings.drop_prefix(drop);
+    stream.fingerprint_valid = false;
+    stream.last.reset();
+    resident_ -= drop;
+    compacted_ += drop;
+    stats.compacted_ratings += drop;
+  }
+}
+
+IntegrationCache::Stats OnlineMonitor::cache_stats() const {
+  return cache_ ? cache_->stats() : IntegrationCache::Stats{};
 }
 
 }  // namespace rab::detectors

@@ -4,12 +4,33 @@
 // deployed rating site instead ingests ratings as they arrive and wants
 // alarms promptly. OnlineMonitor wraps the detector bank in an
 // epoch-driven incremental loop: ratings are appended in time order, and
-// at every epoch boundary the integrator re-analyzes each touched product
-// over the data so far with the causally maintained trust state — exactly
-// the information an operator would have had at that moment.
+// at every epoch boundary the integrator re-analyzes each product over
+// the data so far with the causally maintained trust state — exactly the
+// information an operator would have had at that moment.
+//
+// Incremental engine (vs naive full reanalysis):
+//  - Per-epoch analysis routes through DetectorIntegrator::analyze_cached
+//    with a shared IntegrationCache: a product untouched since its last
+//    analysis whose raters' trust is also unchanged is a full cache hit;
+//    an untouched product under new trust is a partial hit (only the MC
+//    detector and the Figure-1 marking re-run). Results are bit-identical
+//    to the uncached path (see result_cache.hpp).
+//  - Products fan out over util::parallel_for with per-index result slots
+//    and a serial reduction in product order, so alarms and trust are
+//    bit-identical at any RAB_THREADS (the PR-1 determinism contract).
+//  - A configurable retention window bounds resident history: after each
+//    epoch, rating prefixes older than the window are compacted away. The
+//    dropped ratings' trust evidence was already folded at the epochs
+//    that saw them, and a per-product summary keeps the fresh-marks alarm
+//    accounting consistent, so a year of feed does not pin a year of
+//    ratings. Detection then sees only the retained window — an explicit,
+//    documented approximation; retention off (the default) keeps the
+//    full-history semantics.
 #pragma once
 
 #include <map>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "detectors/integrator.hpp"
@@ -24,6 +45,25 @@ struct Alarm {
   Interval interval;
   Day raised_at = 0.0;          ///< epoch boundary that raised it
   std::size_t marked_ratings = 0;  ///< ratings newly marked in the epoch
+
+  friend bool operator==(const Alarm&, const Alarm&) = default;
+};
+
+/// Observability counters for one completed analysis epoch.
+struct OnlineEpochStats {
+  Day epoch_end = 0.0;            ///< boundary that closed the epoch
+  std::size_t ratings = 0;        ///< ratings ingested during the epoch
+  std::size_t products_analyzed = 0;  ///< non-empty streams analyzed
+  std::size_t marked_ratings = 0;     ///< suspicion marks across streams
+  std::size_t alarms = 0;             ///< alarms raised at this boundary
+  std::size_t cache_hits = 0;         ///< full (stream, trust) reuses
+  std::size_t cache_partial_hits = 0; ///< trust-free fields reused
+  std::size_t cache_misses = 0;       ///< full detector bank runs
+  std::size_t resident_ratings = 0;   ///< ratings retained after compaction
+  std::size_t compacted_ratings = 0;  ///< ratings dropped at this boundary
+
+  friend bool operator==(const OnlineEpochStats&,
+                         const OnlineEpochStats&) = default;
 };
 
 struct OnlineConfig {
@@ -35,25 +75,49 @@ struct OnlineConfig {
   /// ratings on a product — re-analysis jitter on clean data marks a few
   /// ratings differently every epoch and must not page anyone.
   std::size_t min_alarm_marks = 10;
+  /// Sliding history window in days (0 = keep everything). When set, it
+  /// must be >= epoch_days; after each epoch, ratings older than
+  /// epoch_end - retention_days are compacted away (their trust evidence
+  /// is already folded) and later analyses see only the retained tail.
+  double retention_days = 0.0;
+  /// Detector-result cache bounds (see detectors::IntegrationCache).
+  /// Caching never changes alarms or trust — these are perf knobs only.
+  /// cache_streams = 0 disables caching: every epoch re-runs the full
+  /// detector bank per product, the naive full-reanalysis baseline.
+  std::size_t cache_streams = 256;
+  std::size_t cache_variants = 4;
 };
 
-/// Streaming front end over the detector bank. Not thread-safe.
+/// Streaming front end over the detector bank. Not thread-safe to call
+/// into concurrently; internally fans the per-product analysis out over
+/// the global thread pool.
 class OnlineMonitor {
  public:
   explicit OnlineMonitor(OnlineConfig config = {});
 
-  /// Appends one rating. Ratings must arrive in non-decreasing time order
-  /// (throws InvalidArgument otherwise). If the rating's time crosses one
-  /// or more epoch boundaries, the monitor first analyzes the completed
-  /// epochs and collects any alarms.
+  /// Appends one rating. Ratings must be finite (time and value) with
+  /// non-negative ids and arrive in non-decreasing time order (throws
+  /// InvalidArgument otherwise). If the rating's time crosses one or more
+  /// epoch boundaries, the monitor first analyzes the completed epochs
+  /// and collects any alarms.
   void ingest(const rating::Rating& r);
 
-  /// Forces analysis of everything ingested so far (e.g. at shutdown);
-  /// advances the epoch clock to the last rating.
+  /// Batch ingest: equivalent to calling ingest on each rating in order.
+  void ingest(std::span<const rating::Rating> batch);
+
+  /// Forces analysis of everything ingested so far (e.g. at shutdown)
+  /// without advancing the epoch clock. Idempotent: a second flush with
+  /// no new ratings is a no-op, and evidence folded by a flush is never
+  /// folded again by later epochs or flushes.
   void flush();
 
   /// Alarms raised so far, in raise order.
   [[nodiscard]] const std::vector<Alarm>& alarms() const { return alarms_; }
+
+  /// Per-epoch counters, one entry per completed analysis (flush included).
+  [[nodiscard]] const std::vector<OnlineEpochStats>& epoch_stats() const {
+    return epoch_stats_;
+  }
 
   /// Current trust state (live view).
   [[nodiscard]] const trust::TrustManager& trust() const { return trust_; }
@@ -61,22 +125,57 @@ class OnlineMonitor {
   /// Ratings ingested so far.
   [[nodiscard]] std::size_t ingested() const { return ingested_; }
 
+  /// Ratings currently retained across all product streams.
+  [[nodiscard]] std::size_t resident_ratings() const { return resident_; }
+
+  /// Ratings compacted away by the retention window so far.
+  [[nodiscard]] std::size_t compacted_ratings() const { return compacted_; }
+
+  /// Detector-result cache counters (zeros when caching is disabled).
+  [[nodiscard]] IntegrationCache::Stats cache_stats() const;
+
   [[nodiscard]] const OnlineConfig& config() const { return config_; }
 
  private:
+  /// Per-product stream plus the incremental-analysis bookkeeping.
+  struct Stream {
+    explicit Stream(ProductId product) : ratings(product) {}
+
+    rating::ProductRatings ratings;
+    /// Marks reported by the previous analysis (alarm = fresh marks only);
+    /// compaction subtracts marks that left the retained window.
+    std::size_t previous_marks = 0;
+    /// Most recent analysis, kept for compaction mark accounting.
+    std::shared_ptr<const IntegrationResult> last;
+    /// Content fingerprint of `ratings`, recomputed only after a change.
+    Fingerprint fingerprint{};
+    bool fingerprint_valid = false;
+  };
+
   void analyze_epoch(Day epoch_end);
+  void compact(Day epoch_end, OnlineEpochStats& stats);
 
   OnlineConfig config_;
-  std::map<ProductId, rating::ProductRatings> streams_;
-  /// Per product: how many ratings were marked suspicious at the previous
-  /// analysis — used to report only fresh marks.
-  std::map<ProductId, std::size_t> previous_marks_;
+  DetectorIntegrator integrator_;
+  std::unique_ptr<IntegrationCache> cache_;  ///< null when caching disabled
+  std::map<ProductId, Stream> streams_;
   trust::TrustManager trust_;
   std::vector<Alarm> alarms_;
+  std::vector<OnlineEpochStats> epoch_stats_;
   Day next_epoch_ = 0.0;
   bool started_ = false;
   Day last_time_ = 0.0;
+  /// Trust evidence has been folded for all ratings with time strictly
+  /// below this; every fold interval starts here, so no rating's evidence
+  /// is ever counted twice (the old flush double-fold bug).
+  Day folded_until_ = 0.0;
+  /// True when ratings ingested since the last analysis still carry
+  /// unfolded evidence — makes flush() idempotent.
+  bool pending_ = false;
   std::size_t ingested_ = 0;
+  std::size_t epoch_ingested_ = 0;  ///< ingested since the last analysis
+  std::size_t resident_ = 0;
+  std::size_t compacted_ = 0;
 };
 
 }  // namespace rab::detectors

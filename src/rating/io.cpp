@@ -1,7 +1,9 @@
 #include "rating/io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -18,28 +20,43 @@ void write_csv(std::ostream& out, const Dataset& dataset) {
           << ',' << r.value << ',' << (r.unfair ? 1 : 0) << '\n';
     }
   }
+  // ofstream reports ENOSPC/EIO only through the stream state; without this
+  // check a full disk truncates datasets silently.
+  if (!out) throw Error("rating::write_csv: stream write failed");
 }
 
 void write_csv_file(const std::string& path, const Dataset& dataset) {
   std::ofstream out(path);
   if (!out) throw Error("rating::write_csv_file: cannot open " + path);
   write_csv(out, dataset);
+  out.flush();
+  if (!out) {
+    throw Error("rating::write_csv_file: write failed (disk full?): " + path);
+  }
 }
 
 Dataset read_csv(std::istream& in) {
   Dataset dataset;
   for (const csv::Row& row : csv::read(in)) {
-    if (row.size() != 5) {
+    // The unfair ground-truth column is optional on input: live feeds
+    // (rab monitor) have no ground truth to carry.
+    if (row.size() != 4 && row.size() != 5) {
       std::ostringstream msg;
-      msg << "rating::read_csv: expected 5 fields, got " << row.size();
+      msg << "rating::read_csv: expected 4 or 5 fields, got " << row.size();
       throw Error(msg.str());
     }
     Rating r;
-    r.product = ProductId(csv::to_int(row[0]));
-    r.rater = RaterId(csv::to_int(row[1]));
+    r.product = ProductId(csv::to_int_in(
+        row[0], 0, std::numeric_limits<std::int64_t>::max()));
+    r.rater = RaterId(csv::to_int_in(
+        row[1], 0, std::numeric_limits<std::int64_t>::max()));
     r.time = csv::to_double(row[2]);
     r.value = csv::to_double(row[3]);
-    r.unfair = csv::to_int(row[4]) != 0;
+    if (!std::isfinite(r.time) || !std::isfinite(r.value)) {
+      throw Error("rating::read_csv: non-finite time or value in row for "
+                  "product " + row[0]);
+    }
+    r.unfair = row.size() == 5 && csv::to_int(row[4]) != 0;
     dataset.add(r);
   }
   return dataset;

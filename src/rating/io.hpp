@@ -16,8 +16,10 @@ namespace rab::rating {
 void write_csv(std::ostream& out, const Dataset& dataset);
 void write_csv_file(const std::string& path, const Dataset& dataset);
 
-/// Reads a dataset previously written by write_csv. Throws rab::Error on
-/// malformed rows.
+/// Reads a dataset previously written by write_csv. The trailing `unfair`
+/// column may be omitted (live feeds carry no ground truth; it defaults to
+/// 0). Throws rab::Error on malformed rows, out-of-range ids, or
+/// non-finite times/values.
 Dataset read_csv(std::istream& in);
 Dataset read_csv_file(const std::string& path);
 

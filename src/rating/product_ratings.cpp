@@ -86,6 +86,12 @@ ProductRatings ProductRatings::fair_only() const {
   return out;
 }
 
+void ProductRatings::drop_prefix(std::size_t n) {
+  RAB_EXPECTS(n <= ratings_.size());
+  ratings_.erase(ratings_.begin(),
+                 ratings_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
 ProductRatings ProductRatings::without_indices(
     std::span<const std::size_t> sorted_indices) const {
   ProductRatings out(product_);

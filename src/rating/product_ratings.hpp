@@ -60,6 +60,10 @@ class ProductRatings {
   [[nodiscard]] ProductRatings without_indices(
       std::span<const std::size_t> sorted_indices) const;
 
+  /// Removes the first `n` (oldest) ratings in place — the streaming
+  /// monitor's retention compaction. n must not exceed size().
+  void drop_prefix(std::size_t n);
+
  private:
   ProductId product_;
   std::vector<Rating> ratings_;

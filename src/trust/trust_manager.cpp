@@ -40,6 +40,13 @@ double TrustManager::failures(RaterId rater) const {
   return it == counts_.end() ? 0.0 : it->second.f;
 }
 
+void TrustManager::visit(
+    const std::function<void(RaterId, double)>& fn) const {
+  for (const auto& [rater, c] : counts_) {
+    fn(rater, stats::beta_trust(c.s, c.f));
+  }
+}
+
 std::function<double(RaterId)> TrustManager::lookup() const {
   return [this](RaterId rater) { return trust(rater); };
 }

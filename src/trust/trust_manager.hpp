@@ -50,6 +50,10 @@ class TrustManager {
 
   [[nodiscard]] std::size_t known_raters() const { return counts_.size(); }
 
+  /// Calls `fn(rater, trust)` for every rater with history, in unspecified
+  /// order — for order-independent summaries (distributions, exports).
+  void visit(const std::function<void(RaterId, double)>& fn) const;
+
   /// Callable adapter for the detectors' TrustLookup parameter (the same
   /// std::function type; spelled out here so trust does not depend on the
   /// detectors layer).

@@ -70,4 +70,13 @@ long long to_int(const std::string& field) {
   return value;
 }
 
+long long to_int_in(const std::string& field, long long lo, long long hi) {
+  const long long value = to_int(field);
+  if (value < lo || value > hi) {
+    throw Error("csv: value " + field + " outside [" + std::to_string(lo) +
+                ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
 }  // namespace rab::csv

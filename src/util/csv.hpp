@@ -32,4 +32,9 @@ double to_double(const std::string& field);
 /// Converts a field to int64. Throws rab::Error with context on failure.
 long long to_int(const std::string& field);
 
+/// to_int plus an inclusive range check — use before narrowing into a
+/// domain type (ids must be non-negative: negative values collide with the
+/// library's "unset id" sentinel). Throws rab::Error when out of range.
+long long to_int_in(const std::string& field, long long lo, long long hi);
+
 }  // namespace rab::csv

@@ -2,14 +2,45 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
 
 #include "detectors/online_monitor.hpp"
 #include "rating/fair_generator.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace rab::detectors {
 namespace {
+
+rating::Rating make_rating(double time, double value, std::int64_t rater,
+                           std::int64_t product) {
+  rating::Rating r;
+  r.time = time;
+  r.value = value;
+  r.rater = RaterId(rater);
+  r.product = ProductId(product);
+  return r;
+}
+
+/// Sum of every rater's accumulated S+F evidence — with forgetting 1 this
+/// must equal the number of ratings whose evidence was folded, each
+/// exactly once.
+double total_evidence(const trust::TrustManager& trust) {
+  double total = 0.0;
+  trust.visit([&](RaterId rater, double) {
+    total += trust.successes(rater) + trust.failures(rater);
+  });
+  return total;
+}
+
+std::map<RaterId, double> trust_snapshot(const trust::TrustManager& trust) {
+  std::map<RaterId, double> out;
+  trust.visit([&](RaterId rater, double value) { out[rater] = value; });
+  return out;
+}
 
 std::vector<rating::Rating> merged_time_ordered(
     const rating::Dataset& data) {
@@ -146,6 +177,247 @@ TEST(OnlineMonitor, FlushIdempotentOnEmpty) {
   OnlineMonitor monitor;
   EXPECT_NO_THROW(monitor.flush());
   EXPECT_TRUE(monitor.alarms().empty());
+}
+
+TEST(OnlineMonitor, RejectsBadRetention) {
+  OnlineConfig config;
+  config.epoch_days = 30.0;
+  config.retention_days = 10.0;  // shorter than an epoch
+  EXPECT_THROW(OnlineMonitor{config}, Error);
+}
+
+TEST(OnlineMonitor, RejectsNonFiniteRatings) {
+  OnlineMonitor monitor;
+  monitor.ingest(make_rating(10.0, 4.0, 1, 1));
+
+  rating::Rating bad = make_rating(10.0, 4.0, 1, 1);
+  bad.time = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(monitor.ingest(bad), InvalidArgument);
+  bad.time = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(monitor.ingest(bad), InvalidArgument);
+  bad = make_rating(11.0, std::numeric_limits<double>::quiet_NaN(), 1, 1);
+  EXPECT_THROW(monitor.ingest(bad), InvalidArgument);
+
+  // The rejected NaN time must not have poisoned the ordering guard: a
+  // later in-order rating is accepted, an out-of-order one still throws.
+  EXPECT_NO_THROW(monitor.ingest(make_rating(12.0, 4.0, 2, 1)));
+  EXPECT_THROW(monitor.ingest(make_rating(5.0, 4.0, 3, 1)),
+               InvalidArgument);
+  EXPECT_EQ(monitor.ingested(), 2u);
+}
+
+TEST(OnlineMonitor, RejectsNegativeIds) {
+  OnlineMonitor monitor;
+  EXPECT_THROW(monitor.ingest(make_rating(1.0, 4.0, -1, 1)),
+               InvalidArgument);
+  EXPECT_THROW(monitor.ingest(make_rating(1.0, 4.0, 1, -1)),
+               InvalidArgument);
+}
+
+TEST(OnlineMonitor, EpochBoundaryExactness) {
+  // A rating at exactly t == next_epoch_ closes the epoch first and
+  // belongs to the next one.
+  OnlineConfig config;
+  config.epoch_days = 10.0;
+  OnlineMonitor monitor(config);
+  monitor.ingest(make_rating(0.0, 4.0, 1, 1));
+  monitor.ingest(make_rating(10.0, 4.0, 2, 1));
+
+  ASSERT_EQ(monitor.epoch_stats().size(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.epoch_stats()[0].epoch_end, 10.0);
+  EXPECT_EQ(monitor.epoch_stats()[0].ratings, 1u);
+  // Only the first rating's evidence was folded at the boundary.
+  EXPECT_DOUBLE_EQ(total_evidence(monitor.trust()), 1.0);
+
+  monitor.flush();
+  ASSERT_EQ(monitor.epoch_stats().size(), 2u);
+  EXPECT_EQ(monitor.epoch_stats()[1].ratings, 1u);
+  EXPECT_DOUBLE_EQ(total_evidence(monitor.trust()), 2.0);
+}
+
+TEST(OnlineMonitor, DuplicateTimestampsAccepted) {
+  OnlineMonitor monitor;
+  for (int i = 0; i < 5; ++i) {
+    monitor.ingest(make_rating(3.0, static_cast<double>(i), 10 + i, 1));
+  }
+  monitor.flush();
+  EXPECT_EQ(monitor.ingested(), 5u);
+  EXPECT_DOUBLE_EQ(total_evidence(monitor.trust()), 5.0);
+}
+
+TEST(OnlineMonitor, EmptyEpochsAnalyzeCheaply) {
+  OnlineConfig config;
+  config.epoch_days = 10.0;
+  OnlineMonitor monitor(config);
+  monitor.ingest(make_rating(0.5, 4.0, 1, 1));
+  monitor.ingest(make_rating(95.0, 4.0, 2, 1));
+
+  // The jump closed nine epochs (10.5, 20.5, ..., 90.5).
+  ASSERT_EQ(monitor.epoch_stats().size(), 9u);
+  for (std::size_t i = 1; i < 9; ++i) {
+    EXPECT_EQ(monitor.epoch_stats()[i].ratings, 0u);
+    EXPECT_EQ(monitor.epoch_stats()[i].alarms, 0u);
+  }
+  // Epoch 1 is a cold miss; epoch 2 re-runs MC under the newly folded
+  // trust (partial hit); stable trust makes every later epoch a full hit.
+  EXPECT_EQ(monitor.epoch_stats()[0].cache_misses, 1u);
+  EXPECT_EQ(monitor.epoch_stats()[1].cache_partial_hits, 1u);
+  for (std::size_t i = 2; i < 9; ++i) {
+    EXPECT_EQ(monitor.epoch_stats()[i].cache_hits, 1u);
+  }
+}
+
+TEST(OnlineMonitor, FlushDoesNotDoubleCountTrustEvidence) {
+  // The final partial epoch overlaps the tail of the last completed one;
+  // the old fold interval re-counted those ratings' evidence. With exact
+  // accounting, every rating is folded exactly once.
+  OnlineMonitor monitor;  // 30-day epochs
+  const auto all = merged_time_ordered(fair_data(23));
+  for (const auto& r : all) monitor.ingest(r);
+  monitor.flush();
+  EXPECT_DOUBLE_EQ(total_evidence(monitor.trust()),
+                   static_cast<double>(all.size()));
+}
+
+TEST(OnlineMonitor, FlushIsIdempotent) {
+  OnlineConfig config;
+  config.trust_forgetting = 0.9;  // decay must not re-apply either
+  OnlineMonitor monitor(config);
+  for (const auto& r : merged_time_ordered(fair_data(29))) {
+    monitor.ingest(r);
+  }
+  monitor.flush();
+  const auto alarms = monitor.alarms();
+  const auto stats = monitor.epoch_stats();
+  const auto trust = trust_snapshot(monitor.trust());
+
+  monitor.flush();
+  EXPECT_EQ(monitor.alarms(), alarms);
+  EXPECT_EQ(monitor.epoch_stats(), stats);
+  EXPECT_EQ(trust_snapshot(monitor.trust()), trust);
+}
+
+TEST(OnlineMonitor, PostFlushIngestDoesNotRefold) {
+  OnlineConfig config;
+  config.epoch_days = 10.0;
+  OnlineMonitor monitor(config);
+  for (int i = 0; i < 8; ++i) {
+    monitor.ingest(make_rating(1.0 + i, 4.0, i, 1));
+  }
+  monitor.flush();
+  EXPECT_DOUBLE_EQ(total_evidence(monitor.trust()), 8.0);
+
+  // Keep streaming past the flush: only the new tail may be folded.
+  for (int i = 0; i < 30; ++i) {
+    monitor.ingest(make_rating(9.0 + i, 4.0, 100 + i, 1));
+  }
+  monitor.flush();
+  EXPECT_DOUBLE_EQ(total_evidence(monitor.trust()), 38.0);
+}
+
+TEST(OnlineMonitor, BatchIngestMatchesSingle) {
+  const auto all = merged_time_ordered(fair_data(31));
+  OnlineMonitor one_by_one;
+  for (const auto& r : all) one_by_one.ingest(r);
+  one_by_one.flush();
+
+  OnlineMonitor batched;
+  batched.ingest(std::span<const rating::Rating>(all));
+  batched.flush();
+
+  EXPECT_EQ(batched.alarms(), one_by_one.alarms());
+  EXPECT_EQ(batched.epoch_stats(), one_by_one.epoch_stats());
+  EXPECT_EQ(trust_snapshot(batched.trust()),
+            trust_snapshot(one_by_one.trust()));
+}
+
+/// Runs one monitor over `feed` with the given config and thread count,
+/// restoring a 1-thread pool afterwards.
+OnlineMonitor run_monitor(const std::vector<rating::Rating>& feed,
+                          const OnlineConfig& config, std::size_t threads) {
+  util::set_thread_count(threads);
+  OnlineMonitor monitor(config);
+  monitor.ingest(std::span<const rating::Rating>(feed));
+  monitor.flush();
+  util::set_thread_count(1);
+  return monitor;
+}
+
+TEST(OnlineMonitor, IncrementalMatchesFullReanalysis) {
+  // The incremental engine (detector-result cache + parallel fan-out)
+  // must produce alarms, per-epoch counters, and trust bit-identical to
+  // the naive full-reanalysis path, at 1 and N threads.
+  const rating::Dataset data = fair_data(37);
+  const auto feed = merged_time_ordered(
+      data.with_added(burst_attack(ProductId(1), 60.0, 72.0, 50, 41)));
+
+  OnlineConfig full;
+  full.epoch_days = 15.0;
+  full.cache_streams = 0;  // the naive baseline: full detector bank per epoch
+  const OnlineMonitor baseline = run_monitor(feed, full, 1);
+
+  OnlineConfig incremental = full;
+  incremental.cache_streams = 256;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const OnlineMonitor monitor = run_monitor(feed, incremental, threads);
+    EXPECT_EQ(monitor.alarms(), baseline.alarms()) << threads << " threads";
+    EXPECT_EQ(trust_snapshot(monitor.trust()),
+              trust_snapshot(baseline.trust()));
+    ASSERT_EQ(monitor.epoch_stats().size(), baseline.epoch_stats().size());
+    for (std::size_t i = 0; i < monitor.epoch_stats().size(); ++i) {
+      OnlineEpochStats a = monitor.epoch_stats()[i];
+      const OnlineEpochStats& b = baseline.epoch_stats()[i];
+      // Cache counters legitimately differ between the two paths.
+      a.cache_hits = b.cache_hits;
+      a.cache_partial_hits = b.cache_partial_hits;
+      a.cache_misses = b.cache_misses;
+      EXPECT_EQ(a, b) << "epoch " << i << ", " << threads << " threads";
+    }
+    // Sanity: the attack actually fired on both paths.
+    EXPECT_FALSE(monitor.alarms().empty());
+  }
+}
+
+TEST(OnlineMonitor, RetentionBoundsResidentHistory) {
+  rating::FairDataConfig fair_config;
+  fair_config.product_count = 2;
+  fair_config.history_days = 400.0;
+  fair_config.seed = 43;
+  const rating::Dataset data =
+      rating::FairDataGenerator(fair_config).generate();
+  const auto feed = merged_time_ordered(
+      data.with_added(burst_attack(ProductId(1), 340.0, 352.0, 50, 47)));
+
+  OnlineConfig config;
+  config.epoch_days = 15.0;
+  config.retention_days = 60.0;
+  OnlineMonitor monitor(config);
+  monitor.ingest(std::span<const rating::Rating>(feed));
+  monitor.flush();
+
+  // Resident history stays bounded by the retention window while the full
+  // feed keeps growing: ~2 products * ~3.5/day * (60 + 15) days plus the
+  // attack burst, far below the ~2900-rating feed.
+  EXPECT_EQ(monitor.ingested(), feed.size());
+  EXPECT_GT(monitor.compacted_ratings(), feed.size() / 2);
+  EXPECT_EQ(monitor.resident_ratings() + monitor.compacted_ratings(),
+            feed.size());
+  for (const OnlineEpochStats& e : monitor.epoch_stats()) {
+    EXPECT_LE(e.resident_ratings, 900u) << "epoch at " << e.epoch_end;
+  }
+  // Trust evidence from compacted ratings was folded before the drop.
+  EXPECT_DOUBLE_EQ(total_evidence(monitor.trust()),
+                   static_cast<double>(feed.size()));
+
+  // A late attack still raises an alarm on the right product.
+  bool attack_alarm = false;
+  for (const Alarm& alarm : monitor.alarms()) {
+    if (alarm.product == ProductId(1) &&
+        alarm.interval.overlaps(Interval{335.0, 360.0})) {
+      attack_alarm = true;
+    }
+  }
+  EXPECT_TRUE(attack_alarm);
 }
 
 TEST(OnlineMonitor, MatchesOfflineDetectionRoughly) {

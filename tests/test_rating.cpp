@@ -230,5 +230,36 @@ TEST(Io, MissingFileThrows) {
   EXPECT_THROW(write_csv_file("/nonexistent/dir/out.csv", empty), Error);
 }
 
+TEST(Io, FourFieldRowsReadAsFair) {
+  std::istringstream in("1,2,0.5,4.0\n");
+  const Dataset data = read_csv(in);
+  ASSERT_EQ(data.total_ratings(), 1u);
+  EXPECT_FALSE(data.product(ProductId(1)).at(0).unfair);
+}
+
+TEST(Io, NonFiniteTimeOrValueThrows) {
+  std::istringstream nan_time("1,2,nan,4.0,0\n");
+  EXPECT_THROW(read_csv(nan_time), Error);
+  std::istringstream inf_value("1,2,0.5,inf,0\n");
+  EXPECT_THROW(read_csv(inf_value), Error);
+}
+
+TEST(Io, NegativeIdThrows) {
+  // Negative ids collide with the library's "unset id" sentinel and would
+  // silently merge distinct products downstream.
+  std::istringstream bad_product("-1,2,0.5,4.0,0\n");
+  EXPECT_THROW(read_csv(bad_product), Error);
+  std::istringstream bad_rater("1,-2,0.5,4.0,0\n");
+  EXPECT_THROW(read_csv(bad_rater), Error);
+}
+
+TEST(Io, WriteToFailedStreamThrows) {
+  Dataset data;
+  data.add(make(0.5, 4.0, 1, 1, false));
+  std::ostringstream out;
+  out.setstate(std::ios::failbit);  // what a full disk looks like
+  EXPECT_THROW(write_csv(out, data), Error);
+}
+
 }  // namespace
 }  // namespace rab::rating

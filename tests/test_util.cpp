@@ -289,6 +289,15 @@ TEST(Csv, ToIntRejectsGarbage) {
   EXPECT_EQ(csv::to_int("-17"), -17);
 }
 
+TEST(Csv, ToIntInEnforcesRange) {
+  EXPECT_EQ(csv::to_int_in("5", 0, 10), 5);
+  EXPECT_EQ(csv::to_int_in("0", 0, 10), 0);
+  EXPECT_EQ(csv::to_int_in("10", 0, 10), 10);
+  EXPECT_THROW(csv::to_int_in("-1", 0, 10), Error);
+  EXPECT_THROW(csv::to_int_in("11", 0, 10), Error);
+  EXPECT_THROW(csv::to_int_in("abc", 0, 10), Error);
+}
+
 TEST(Csv, ReadFileMissingThrows) {
   EXPECT_THROW(csv::read_file("/nonexistent/path.csv"), Error);
 }

@@ -7,16 +7,21 @@
 //   evaluate    score a submission's manipulation power under a scheme
 //   detect      run the P-scheme pipeline over a dataset and report
 //               suspicious raters
+//   monitor     stream a CSV feed through the incremental OnlineMonitor
+//               and emit JSONL alarms + per-epoch counters
 //
 // Examples:
 //   rab generate --out fair.csv --seed 7
 //   rab attack --data fair.csv --out sub.csv --bias -2.3 --sigma 1.2
 //   rab evaluate --data fair.csv --submission sub.csv --scheme P
 //   rab detect --data fair.csv
+//   rab generate --out feed.csv && rab monitor --data feed.csv --epoch 15
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <cstdlib>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <string>
@@ -33,6 +38,7 @@
 #include "challenge/report.hpp"
 #include "challenge/submission_io.hpp"
 #include "core/attack_generator.hpp"
+#include "detectors/online_monitor.hpp"
 #include "rating/fair_generator.hpp"
 #include "rating/io.hpp"
 #include "util/error.hpp"
@@ -147,6 +153,8 @@ int cmd_population(const Args& args) {
   std::ofstream out(args.get("out"));
   if (!out) throw Error("cannot open " + args.get("out"));
   challenge::write_population(out, submissions);
+  out.flush();
+  if (!out) throw Error("write failed (disk full?): " + args.get("out"));
   std::printf("wrote %zu submissions to %s\n", submissions.size(),
               args.get("out").c_str());
   return 0;
@@ -273,6 +281,133 @@ int cmd_detect(const Args& args) {
   return 0;
 }
 
+/// Drains and prints monitor output accumulated since the last call:
+/// alarms and per-epoch counters, one JSON object per line.
+void drain_monitor(const detectors::OnlineMonitor& monitor,
+                   std::size_t& alarms_seen, std::size_t& epochs_seen,
+                   std::FILE* out) {
+  // Epoch records first, then the alarms they raised; both carry explicit
+  // timestamps, so consumers can re-interleave however they like.
+  for (; epochs_seen < monitor.epoch_stats().size(); ++epochs_seen) {
+    const detectors::OnlineEpochStats& e =
+        monitor.epoch_stats()[epochs_seen];
+    std::fprintf(
+        out,
+        "{\"type\":\"epoch\",\"epoch_end\":%.6g,\"ratings\":%zu,"
+        "\"products_analyzed\":%zu,\"marked_ratings\":%zu,\"alarms\":%zu,"
+        "\"cache_hits\":%zu,\"cache_partial_hits\":%zu,"
+        "\"cache_misses\":%zu,\"resident_ratings\":%zu,"
+        "\"compacted_ratings\":%zu}\n",
+        e.epoch_end, e.ratings, e.products_analyzed, e.marked_ratings,
+        e.alarms, e.cache_hits, e.cache_partial_hits, e.cache_misses,
+        e.resident_ratings, e.compacted_ratings);
+  }
+  for (; alarms_seen < monitor.alarms().size(); ++alarms_seen) {
+    const detectors::Alarm& a = monitor.alarms()[alarms_seen];
+    std::fprintf(out,
+                 "{\"type\":\"alarm\",\"product\":%lld,\"raised_at\":%.6g,"
+                 "\"marked_ratings\":%zu,\"interval\":[%.6g,%.6g]}\n",
+                 static_cast<long long>(a.product.value()), a.raised_at,
+                 a.marked_ratings, a.interval.begin, a.interval.end);
+  }
+}
+
+int cmd_monitor(const Args& args) {
+  const std::string data = args.get("data");
+  rating::Dataset feed_data = data == "-"
+                                  ? rating::read_csv(std::cin)
+                                  : rating::read_csv_file(data);
+
+  // Merge all products into one time-ordered feed (a live site's feed is
+  // already time-ordered; CSV datasets are grouped by product).
+  std::vector<rating::Rating> feed;
+  feed.reserve(feed_data.total_ratings());
+  for (ProductId id : feed_data.product_ids()) {
+    const auto& rs = feed_data.product(id).ratings();
+    feed.insert(feed.end(), rs.begin(), rs.end());
+  }
+  std::sort(feed.begin(), feed.end(), rating::ByTime{});
+
+  detectors::OnlineConfig config;
+  config.epoch_days = args.get_double("epoch", config.epoch_days);
+  config.retention_days =
+      args.get_double("retention", config.retention_days);
+  config.min_alarm_marks = static_cast<std::size_t>(
+      args.get_u64("min-marks", config.min_alarm_marks));
+  config.trust_forgetting =
+      args.get_double("forgetting", config.trust_forgetting);
+  config.cache_streams = static_cast<std::size_t>(
+      args.get_u64("cache-streams", config.cache_streams));
+  detectors::OnlineMonitor monitor(config);
+
+  std::FILE* out = stdout;
+  std::FILE* opened = nullptr;
+  if (const std::string out_path = args.get("out", "-"); out_path != "-") {
+    opened = std::fopen(out_path.c_str(), "w");
+    if (opened == nullptr) throw Error("cannot open " + out_path);
+    out = opened;
+  }
+
+  const std::size_t chunk = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.get_u64("chunk", 512)));
+  std::size_t alarms_seen = 0;
+  std::size_t epochs_seen = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < feed.size(); i += chunk) {
+    const std::size_t n = std::min(chunk, feed.size() - i);
+    monitor.ingest(std::span<const rating::Rating>(feed.data() + i, n));
+    drain_monitor(monitor, alarms_seen, epochs_seen, out);
+  }
+  monitor.flush();
+  drain_monitor(monitor, alarms_seen, epochs_seen, out);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Trust distribution: order-independent quantile summary.
+  std::vector<double> trust_values;
+  monitor.trust().visit(
+      [&](RaterId, double t) { trust_values.push_back(t); });
+  std::sort(trust_values.begin(), trust_values.end());
+  const auto quantile = [&](double q) {
+    if (trust_values.empty()) return 0.5;
+    const std::size_t i = std::min(
+        trust_values.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(
+                                         trust_values.size() - 1) + 0.5));
+    return trust_values[i];
+  };
+  double trust_mean = 0.0;
+  for (double t : trust_values) trust_mean += t;
+  if (!trust_values.empty()) {
+    trust_mean /= static_cast<double>(trust_values.size());
+  }
+
+  const auto cache = monitor.cache_stats();
+  std::fprintf(
+      out,
+      "{\"type\":\"summary\",\"ratings\":%zu,\"epochs\":%zu,"
+      "\"alarms\":%zu,\"seconds\":%.3f,\"ratings_per_sec\":%.1f,"
+      "\"resident_ratings\":%zu,\"compacted_ratings\":%zu,"
+      "\"cache\":{\"hits\":%zu,\"partial_hits\":%zu,\"misses\":%zu},"
+      "\"trust\":{\"raters\":%zu,\"mean\":%.4f,\"p10\":%.4f,"
+      "\"p50\":%.4f,\"p90\":%.4f}}\n",
+      monitor.ingested(), monitor.epoch_stats().size(),
+      monitor.alarms().size(), seconds,
+      seconds > 0.0 ? static_cast<double>(monitor.ingested()) / seconds
+                    : 0.0,
+      monitor.resident_ratings(), monitor.compacted_ratings(), cache.hits,
+      cache.partial_hits, cache.misses, trust_values.size(), trust_mean,
+      quantile(0.1), quantile(0.5), quantile(0.9));
+
+  if (opened != nullptr) {
+    if (std::fclose(opened) != 0) {
+      throw Error("monitor: write failed (disk full?)");
+    }
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -286,7 +421,10 @@ int usage() {
       "  optimize   --data F [--scheme S --duration D --offset O\n"
       "             --trials N --rounds N --out F]\n"
       "  detect     --data F [--bin DAYS --trust-below T]\n"
-      "  report     --data F [--bin DAYS --trust-below T --out F]\n");
+      "  report     --data F [--bin DAYS --trust-below T --out F]\n"
+      "  monitor    --data F|- [--epoch DAYS --retention DAYS\n"
+      "             --min-marks N --forgetting L --cache-streams N\n"
+      "             --chunk N --out F]   (JSONL alarms + epoch counters)\n");
   return 2;
 }
 
@@ -304,6 +442,7 @@ int main(int argc, char** argv) {
     if (command == "optimize") return cmd_optimize(args);
     if (command == "detect") return cmd_detect(args);
     if (command == "report") return cmd_report(args);
+    if (command == "monitor") return cmd_monitor(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
   } catch (const std::exception& e) {

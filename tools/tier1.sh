@@ -3,20 +3,28 @@
 # parallel execution engine's determinism and detector tests under
 # ThreadSanitizer.
 #
-#   tools/tier1.sh           # build + ctest
+#   tools/tier1.sh           # build + ctest + streaming-monitor smoke test
 #   tools/tier1.sh --tsan    # additionally: TSAN build of the threaded tests
+#   tools/tier1.sh --ubsan   # additionally: UBSan build of the ingest tests
 #
 # The TSAN pass builds into build-tsan/ with -DRAB_TSAN=ON and runs the
 # tests that exercise the thread pool (test_parallel), the detector suite
 # whose hot paths run inside parallel_for (test_detectors), and the overlay
 # equivalence suite that hammers the detector-result cache from the pool
 # (test_overlay).
+#
+# The UBSan pass builds into build-ubsan/ with -DRAB_UBSAN=ON and runs the
+# suites that parse untrusted input or narrow integers (test_util,
+# test_rating, test_challenge) plus the streaming monitor
+# (test_online_monitor).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+# End-to-end smoke test: the streaming example must run and raise alarms.
+./build/examples/streaming_monitor >/dev/null
 
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DRAB_TSAN=ON >/dev/null
@@ -25,4 +33,14 @@ if [[ "${1:-}" == "--tsan" ]]; then
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_detectors
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_overlay
+fi
+
+if [[ "${1:-}" == "--ubsan" ]]; then
+  cmake -B build-ubsan -S . -DRAB_UBSAN=ON >/dev/null
+  cmake --build build-ubsan -j "$(nproc)" \
+    --target test_util test_rating test_challenge test_online_monitor
+  ./build-ubsan/tests/test_util
+  ./build-ubsan/tests/test_rating
+  ./build-ubsan/tests/test_challenge
+  RAB_THREADS=8 ./build-ubsan/tests/test_online_monitor
 fi
