@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -117,6 +118,65 @@ void BM_OnlineIngestIncrementalRetention(benchmark::State& state) {
 }
 BENCHMARK(BM_OnlineIngestIncrementalRetention)
     ->Unit(benchmark::kMillisecond);
+
+/// Monitor loaded with the production-configuration feed, for the
+/// checkpoint benches below. The state snapshotted is what a long-lived
+/// deployment would carry: retention-window ratings, trust counts, alarm
+/// and epoch history.
+const detectors::OnlineMonitor& loaded_monitor() {
+  static const detectors::OnlineMonitor monitor = [] {
+    detectors::OnlineConfig config;
+    config.epoch_days = 30.0;
+    config.retention_days = 90.0;
+    detectors::OnlineMonitor m(config);
+    m.ingest(std::span<const rating::Rating>(default_feed()));
+    m.flush();
+    return m;
+  }();
+  return monitor;
+}
+
+/// Cost of one crash-safety snapshot (serialize + CRC + tmp-write + fsync
+/// + rename). This is the per-epoch overhead a deployment pays for
+/// --checkpoint-dir, so it is tracked next to the ingest throughput it
+/// taxes.
+void BM_OnlineCheckpointSave(benchmark::State& state) {
+  const detectors::OnlineMonitor& monitor = loaded_monitor();
+  const std::filesystem::path dir = "bench-ckpt-scratch";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "bench.rabck").string();
+  std::uintmax_t bytes = 0;
+  for (auto _ : state) {
+    monitor.save_checkpoint(path);
+    bytes = std::filesystem::file_size(path);
+  }
+  state.counters["snapshot_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_OnlineCheckpointSave)->Unit(benchmark::kMillisecond);
+
+/// Cost of recovery: read + checksum-verify + rebuild the monitor from a
+/// snapshot. Restart latency after a crash is this plus replaying the
+/// ratings that arrived since the snapshot.
+void BM_OnlineCheckpointRestore(benchmark::State& state) {
+  const detectors::OnlineMonitor& monitor = loaded_monitor();
+  const std::filesystem::path dir = "bench-ckpt-scratch";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "bench.rabck").string();
+  monitor.save_checkpoint(path);
+  std::size_t ingested = 0;
+  for (auto _ : state) {
+    detectors::OnlineMonitor restored(monitor.config());
+    restored.restore_checkpoint(path);
+    benchmark::DoNotOptimize(restored.alarms().size());
+    ingested = restored.ingested();
+  }
+  state.counters["ingested"] =
+      benchmark::Counter(static_cast<double>(ingested));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_OnlineCheckpointRestore)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

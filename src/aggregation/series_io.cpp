@@ -21,7 +21,7 @@ void write_series_csv(std::ostream& out, const AggregateSeries& series) {
 void write_series_csv_file(const std::string& path,
                            const AggregateSeries& series) {
   std::ofstream out(path);
-  if (!out) throw Error("write_series_csv_file: cannot open " + path);
+  if (!out) throw IoError("write_series_csv_file: cannot open " + path);
   write_series_csv(out, series);
 }
 

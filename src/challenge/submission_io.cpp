@@ -22,14 +22,14 @@ void write_ratings(std::ostream& out, const Submission& submission) {
     out << r.product.value() << ',' << r.rater.value() << ',' << r.time
         << ',' << r.value << '\n';
   }
-  if (!out) throw Error("submission csv: stream write failed");
+  if (!out) throw IoError("submission csv: stream write failed");
 }
 
 rating::Rating parse_rating(const csv::Row& row) {
   if (row.size() != 4) {
     std::ostringstream msg;
     msg << "submission csv: expected 4 fields, got " << row.size();
-    throw Error(msg.str());
+    throw InvalidArgument(msg.str());
   }
   rating::Rating r;
   r.product = ProductId(csv::to_int_in(
@@ -39,8 +39,9 @@ rating::Rating parse_rating(const csv::Row& row) {
   r.time = csv::to_double(row[2]);
   r.value = csv::to_double(row[3]);
   if (!std::isfinite(r.time) || !std::isfinite(r.value)) {
-    throw Error("submission csv: non-finite time or value in row for "
-                "product " + row[0]);
+    throw InvalidArgument(
+        "submission csv: non-finite time or value in row for product " +
+        row[0]);
   }
   r.unfair = true;
   return r;
@@ -59,26 +60,27 @@ void write_submission(std::ostream& out, const Submission& submission) {
 void write_submission_file(const std::string& path,
                            const Submission& submission) {
   std::ofstream out(path);
-  if (!out) throw Error("write_submission_file: cannot open " + path);
+  if (!out) throw IoError("write_submission_file: cannot open " + path);
   write_submission(out, submission);
   out.flush();
   if (!out) {
-    throw Error("write_submission_file: write failed (disk full?): " + path);
+    throw IoError("write_submission_file: write failed (disk full?): " + path);
   }
 }
 
 Submission read_submission(std::istream& in) {
   std::vector<Submission> population = read_population(in);
   if (population.size() != 1) {
-    throw Error("read_submission: expected exactly one submission, got " +
-                std::to_string(population.size()));
+    throw InvalidArgument(
+        "read_submission: expected exactly one submission, got " +
+        std::to_string(population.size()));
   }
   return std::move(population.front());
 }
 
 Submission read_submission_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw Error("read_submission_file: cannot open " + path);
+  if (!in) throw IoError("read_submission_file: cannot open " + path);
   return read_submission(in);
 }
 
@@ -102,7 +104,8 @@ std::vector<Submission> read_population(std::istream& in) {
     }
     if (line.front() == '#') continue;  // other comments
     if (population.empty()) {
-      throw Error("submission csv: ratings before any '#label' header");
+      throw InvalidArgument(
+          "submission csv: ratings before any '#label' header");
     }
     population.back().ratings.push_back(
         parse_rating(csv::parse_line(line)));

@@ -1,0 +1,612 @@
+// Snapshot serialization for OnlineMonitor (format in checkpoint.hpp) and
+// the OnlineMonitor checkpoint members. Kept out of online_monitor.cpp so
+// the streaming engine and the durability layer evolve separately.
+#include "detectors/checkpoint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <span>
+#include <string_view>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "detectors/online_monitor.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace rab::detectors {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Section tags (FourCC).
+constexpr std::uint32_t tag(const char (&t)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(t[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(t[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(t[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(t[3])) << 24;
+}
+constexpr std::uint32_t kConf = tag("CONF");
+constexpr std::uint32_t kClck = tag("CLCK");
+constexpr std::uint32_t kTrst = tag("TRST");
+constexpr std::uint32_t kStrm = tag("STRM");
+constexpr std::uint32_t kAlrm = tag("ALRM");
+constexpr std::uint32_t kEpch = tag("EPCH");
+
+/// Little-endian append-only byte sink for section payloads.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(const void* data, std::size_t size) { raw(data, size); }
+
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+  [[nodiscard]] const std::string& view() const { return buf_; }
+
+ private:
+  void raw(const void* data, std::size_t size) {
+    // Serialize little-endian regardless of host order (the toolchains we
+    // target are all little-endian; the swap is a guard, not a hot path).
+    if constexpr (std::endian::native == std::endian::big) {
+      const auto* p = static_cast<const char*>(data);
+      for (std::size_t i = size; i > 0; --i) buf_.push_back(p[i - 1]);
+    } else {
+      buf_.append(static_cast<const char*>(data), size);
+    }
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader; any overrun is CorruptData.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  std::uint32_t u32() { return scalar<std::uint32_t>(); }
+  std::uint64_t u64() { return scalar<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string_view bytes(std::size_t size) { return take(size); }
+
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+ private:
+  std::string_view take(std::size_t size) {
+    if (size > remaining()) {
+      throw CorruptData("checkpoint: truncated section (wanted " +
+                        std::to_string(size) + " bytes, have " +
+                        std::to_string(remaining()) + ")");
+    }
+    const std::string_view out = data_.substr(pos_, size);
+    pos_ += size;
+    return out;
+  }
+
+  template <typename T>
+  T scalar() {
+    const std::string_view raw = take(sizeof(T));
+    T v{};
+    if constexpr (std::endian::native == std::endian::big) {
+      char swapped[sizeof(T)];
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        swapped[i] = raw[sizeof(T) - 1 - i];
+      }
+      std::memcpy(&v, swapped, sizeof(T));
+    } else {
+      std::memcpy(&v, raw.data(), sizeof(T));
+    }
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+void encode_window(ByteWriter& w, const signal::WindowSpec& spec) {
+  w.u8(spec.is_count() ? 1 : 0);
+  w.u64(spec.is_count() ? spec.count() : 0);
+  w.f64(spec.is_count() ? 0.0 : spec.duration());
+}
+
+/// Serializes every output-affecting configuration field. Restore compares
+/// these bytes against the running monitor's own encoding: byte equality
+/// is field equality, and a mismatch means the snapshot was taken under a
+/// config that would produce different results.
+std::string encode_config(const OnlineConfig& c) {
+  ByteWriter w;
+  w.f64(c.epoch_days);
+  w.f64(c.trust_forgetting);
+  w.u64(c.min_alarm_marks);
+  w.f64(c.retention_days);
+  w.u8(static_cast<std::uint8_t>((c.toggles.use_mc ? 1 : 0) |
+                                 (c.toggles.use_arc ? 2 : 0) |
+                                 (c.toggles.use_hc ? 4 : 0) |
+                                 (c.toggles.use_me ? 8 : 0)));
+  const DetectorConfig& d = c.detectors;
+  encode_window(w, d.mc.window);
+  w.f64(d.mc.glrt_threshold);
+  w.f64(d.mc.peak_separation);
+  w.f64(d.mc.threshold1);
+  w.f64(d.mc.threshold2);
+  w.f64(d.mc.trust_ratio);
+  w.u8(d.mc.robust_baseline ? 1 : 0);
+  w.f64(d.arc.window_days);
+  w.f64(d.arc.glrt_threshold);
+  w.f64(d.arc.peak_separation);
+  w.f64(d.arc.z_threshold);
+  w.f64(d.arc.rate_jump_min);
+  w.f64(d.arc.baseline_floor);
+  w.f64(d.arc.min_history_days);
+  w.f64(d.arc.merge_abs);
+  w.f64(d.arc.merge_rel);
+  w.u64(d.hc.window_ratings);
+  w.f64(d.hc.threshold);
+  w.f64(d.hc.min_cluster_gap);
+  encode_window(w, d.me.window);
+  w.u64(d.me.ar_order);
+  w.f64(d.me.threshold);
+  return w.take();
+}
+
+struct Section {
+  std::uint32_t tag = 0;
+  std::string payload;
+};
+
+/// Assembles the final file image: header, CRC-framed sections, file CRC.
+std::string assemble(const std::vector<Section>& sections) {
+  ByteWriter w;
+  w.bytes(checkpoint::kMagic, sizeof checkpoint::kMagic);
+  w.u32(checkpoint::kVersion);
+  w.u32(static_cast<std::uint32_t>(sections.size()));
+  for (const Section& s : sections) {
+    w.u32(s.tag);
+    w.u64(s.payload.size());
+    w.bytes(s.payload.data(), s.payload.size());
+    w.u32(util::crc32(s.payload));
+  }
+  w.u32(util::crc32(w.view()));
+  return w.take();
+}
+
+/// Parses and integrity-checks a file image into sections.
+std::map<std::uint32_t, std::string> disassemble(std::string_view image) {
+  constexpr std::size_t kHeader = sizeof checkpoint::kMagic + 4 + 4;
+  if (image.size() < kHeader + 4) {
+    throw CorruptData("checkpoint: file too short (" +
+                      std::to_string(image.size()) + " bytes)");
+  }
+  if (std::memcmp(image.data(), checkpoint::kMagic,
+                  sizeof checkpoint::kMagic) != 0) {
+    throw CorruptData("checkpoint: bad magic");
+  }
+  const std::uint32_t file_crc = util::crc32(image.substr(0, image.size() - 4));
+  ByteReader trailer(image.substr(image.size() - 4));
+  if (trailer.u32() != file_crc) {
+    throw CorruptData("checkpoint: whole-file checksum mismatch");
+  }
+
+  ByteReader r(image.substr(0, image.size() - 4));
+  (void)r.bytes(sizeof checkpoint::kMagic);
+  const std::uint32_t version = r.u32();
+  if (version != checkpoint::kVersion) {
+    throw CorruptData("checkpoint: unsupported version " +
+                      std::to_string(version));
+  }
+  const std::uint32_t count = r.u32();
+  std::map<std::uint32_t, std::string> sections;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t section_tag = r.u32();
+    const std::uint64_t size = r.u64();
+    if (size > r.remaining()) {
+      throw CorruptData("checkpoint: section size " + std::to_string(size) +
+                        " exceeds file");
+    }
+    const std::string_view payload = r.bytes(static_cast<std::size_t>(size));
+    const std::uint32_t stored = r.u32();
+    if (stored != util::crc32(payload)) {
+      throw CorruptData("checkpoint: section checksum mismatch");
+    }
+    if (!sections.emplace(section_tag, std::string(payload)).second) {
+      throw CorruptData("checkpoint: duplicate section");
+    }
+  }
+  if (!r.done()) throw CorruptData("checkpoint: trailing bytes");
+  return sections;
+}
+
+const std::string& require(
+    const std::map<std::uint32_t, std::string>& sections,
+    std::uint32_t section_tag, const char* name) {
+  const auto it = sections.find(section_tag);
+  if (it == sections.end()) {
+    throw CorruptData("checkpoint: missing section " + std::string(name));
+  }
+  return it->second;
+}
+
+/// Writes `image` to `path` atomically: temp file + fsync + rename +
+/// directory fsync. Failpoints bracket every syscall so the chaos harness
+/// can crash the writer at each boundary; a short or injected-corrupt
+/// write of the body is exactly the torn-write case the checksums exist
+/// to catch.
+void write_file_atomic(const std::string& path, std::string image) {
+  const std::string tmp = path + ".tmp";
+
+  RAB_FAILPOINT("checkpoint.write.open");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw IoError("checkpoint: cannot create " + tmp + ": " +
+                  std::strerror(errno));
+  }
+
+  try {
+    const util::FaultOutcome fault =
+        util::failpoint_io("checkpoint.write.body", image.size());
+    const std::size_t to_write =
+        util::apply_fault(fault, image.data(), image.size());
+
+    std::size_t written = 0;
+    while (written < to_write) {
+      const ::ssize_t n = ::write(fd, image.data() + written,
+                                  to_write - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw IoError("checkpoint: write failed for " + tmp + ": " +
+                      std::strerror(errno));
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (to_write != image.size()) {
+      // Injected torn write: the snapshot on disk is incomplete. Report it
+      // like ENOSPC — the temp file is abandoned, the previous generation
+      // survives untouched.
+      throw IoError("checkpoint: short write for " + tmp + " (" +
+                    std::to_string(to_write) + " of " +
+                    std::to_string(image.size()) + " bytes)");
+    }
+
+    RAB_FAILPOINT("checkpoint.write.fsync");
+    if (::fsync(fd) != 0) {
+      throw IoError("checkpoint: fsync failed for " + tmp + ": " +
+                    std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  if (::close(fd) != 0) {
+    throw IoError("checkpoint: close failed for " + tmp + ": " +
+                  std::strerror(errno));
+  }
+
+  RAB_FAILPOINT("checkpoint.write.rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw IoError("checkpoint: rename " + tmp + " -> " + path + " failed: " +
+                  std::strerror(errno));
+  }
+
+  // Durability of the rename itself: fsync the containing directory.
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  RAB_FAILPOINT("checkpoint.read.open");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("checkpoint: cannot open " + path);
+  RAB_FAILPOINT("checkpoint.read.body");
+  std::string image((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) throw IoError("checkpoint: read failed for " + path);
+  return image;
+}
+
+}  // namespace
+
+namespace checkpoint {
+
+std::string generation_filename(std::size_t gen) {
+  std::string digits = std::to_string(gen);
+  if (digits.size() < 8) digits.insert(0, 8 - digits.size(), '0');
+  return "ckpt-" + digits + ".rabck";
+}
+
+std::optional<std::size_t> parse_generation(const std::string& name) {
+  constexpr std::string_view prefix = "ckpt-";
+  constexpr std::string_view suffix = ".rabck";
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  std::size_t gen = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    gen = gen * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return gen;
+}
+
+std::vector<std::size_t> list_generations(const std::string& dir) {
+  std::vector<std::size_t> gens;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const auto gen = parse_generation(it->path().filename().string());
+    if (gen) gens.push_back(*gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+void verify_snapshot(const std::string& path) {
+  (void)disassemble(read_file(path));
+}
+
+}  // namespace checkpoint
+
+void OnlineMonitor::save_checkpoint(const std::string& path) const {
+  std::vector<Section> sections;
+  sections.push_back(Section{kConf, encode_config(config_)});
+
+  {
+    ByteWriter w;
+    w.u8(started_ ? 1 : 0);
+    w.u8(pending_ ? 1 : 0);
+    w.f64(next_epoch_);
+    w.f64(last_time_);
+    w.f64(folded_until_);
+    w.u64(ingested_);
+    w.u64(epoch_ingested_);
+    w.u64(resident_);
+    w.u64(compacted_);
+    sections.push_back(Section{kClck, w.take()});
+  }
+
+  {
+    ByteWriter w;
+    const std::vector<trust::RaterCounts> counts = trust_.export_counts();
+    w.u64(counts.size());
+    for (const trust::RaterCounts& c : counts) {
+      w.i64(c.rater.value());
+      w.f64(c.s);
+      w.f64(c.f);
+    }
+    sections.push_back(Section{kTrst, w.take()});
+  }
+
+  {
+    ByteWriter w;
+    w.u64(streams_.size());
+    for (const auto& [product, stream] : streams_) {
+      w.i64(product.value());
+      w.u64(stream.previous_marks);
+      w.u64(stream.ratings.size());
+      for (const rating::Rating& r : stream.ratings.ratings()) {
+        w.f64(r.time);
+        w.f64(r.value);
+        w.i64(r.rater.value());
+        w.u8(r.unfair ? 1 : 0);
+      }
+      w.u64(stream.last_suspicious.size());
+      std::uint8_t packed = 0;
+      for (std::size_t i = 0; i < stream.last_suspicious.size(); ++i) {
+        if (stream.last_suspicious[i]) {
+          packed |= static_cast<std::uint8_t>(1u << (i % 8));
+        }
+        if (i % 8 == 7 || i + 1 == stream.last_suspicious.size()) {
+          w.u8(packed);
+          packed = 0;
+        }
+      }
+    }
+    sections.push_back(Section{kStrm, w.take()});
+  }
+
+  {
+    ByteWriter w;
+    w.u64(alarms_.size());
+    for (const Alarm& a : alarms_) {
+      w.i64(a.product.value());
+      w.f64(a.interval.begin);
+      w.f64(a.interval.end);
+      w.f64(a.raised_at);
+      w.u64(a.marked_ratings);
+    }
+    sections.push_back(Section{kAlrm, w.take()});
+  }
+
+  {
+    ByteWriter w;
+    w.u64(epoch_stats_.size());
+    for (const OnlineEpochStats& e : epoch_stats_) {
+      w.f64(e.epoch_end);
+      w.u64(e.ratings);
+      w.u64(e.products_analyzed);
+      w.u64(e.marked_ratings);
+      w.u64(e.alarms);
+      w.u64(e.cache_hits);
+      w.u64(e.cache_partial_hits);
+      w.u64(e.cache_misses);
+      w.u64(e.resident_ratings);
+      w.u64(e.compacted_ratings);
+    }
+    sections.push_back(Section{kEpch, w.take()});
+  }
+
+  write_file_atomic(path, assemble(sections));
+}
+
+void OnlineMonitor::restore_checkpoint(const std::string& path) {
+  const std::string image = read_file(path);
+  const std::map<std::uint32_t, std::string> sections = disassemble(image);
+
+  if (require(sections, kConf, "CONF") != encode_config(config_)) {
+    throw InvalidArgument(
+        "checkpoint: snapshot " + path +
+        " was taken under a different monitor configuration; restoring it "
+        "would silently change results");
+  }
+
+  // Parse everything into locals first: a CorruptData thrown halfway must
+  // leave the monitor untouched so restore_latest can fall back.
+  ByteReader clck(require(sections, kClck, "CLCK"));
+  const bool started = clck.u8() != 0;
+  const bool pending = clck.u8() != 0;
+  const Day next_epoch = clck.f64();
+  const Day last_time = clck.f64();
+  const Day folded_until = clck.f64();
+  const std::size_t ingested = clck.u64();
+  const std::size_t epoch_ingested = clck.u64();
+  const std::size_t resident = clck.u64();
+  const std::size_t compacted = clck.u64();
+
+  ByteReader trst(require(sections, kTrst, "TRST"));
+  std::vector<trust::RaterCounts> counts(trst.u64());
+  for (trust::RaterCounts& c : counts) {
+    c.rater = RaterId(trst.i64());
+    c.s = trst.f64();
+    c.f = trst.f64();
+  }
+
+  ByteReader strm(require(sections, kStrm, "STRM"));
+  std::map<ProductId, Stream> streams;
+  const std::size_t stream_count = strm.u64();
+  for (std::size_t s = 0; s < stream_count; ++s) {
+    const ProductId product(strm.i64());
+    Stream stream(product);
+    stream.previous_marks = strm.u64();
+    std::vector<rating::Rating> ratings(strm.u64());
+    for (rating::Rating& r : ratings) {
+      r.time = strm.f64();
+      r.value = strm.f64();
+      r.rater = RaterId(strm.i64());
+      r.product = product;
+      r.unfair = strm.u8() != 0;
+    }
+    stream.ratings = rating::ProductRatings::from_sorted(product,
+                                                         std::move(ratings));
+    stream.last_suspicious.resize(strm.u64());
+    std::uint8_t packed = 0;
+    for (std::size_t i = 0; i < stream.last_suspicious.size(); ++i) {
+      if (i % 8 == 0) packed = strm.u8();
+      stream.last_suspicious[i] = (packed >> (i % 8)) & 1u;
+    }
+    streams.emplace(product, std::move(stream));
+  }
+
+  ByteReader alrm(require(sections, kAlrm, "ALRM"));
+  std::vector<Alarm> alarms(alrm.u64());
+  for (Alarm& a : alarms) {
+    a.product = ProductId(alrm.i64());
+    a.interval.begin = alrm.f64();
+    a.interval.end = alrm.f64();
+    a.raised_at = alrm.f64();
+    a.marked_ratings = alrm.u64();
+  }
+
+  ByteReader epch(require(sections, kEpch, "EPCH"));
+  std::vector<OnlineEpochStats> epoch_stats(epch.u64());
+  for (OnlineEpochStats& e : epoch_stats) {
+    e.epoch_end = epch.f64();
+    e.ratings = epch.u64();
+    e.products_analyzed = epch.u64();
+    e.marked_ratings = epch.u64();
+    e.alarms = epch.u64();
+    e.cache_hits = epch.u64();
+    e.cache_partial_hits = epch.u64();
+    e.cache_misses = epch.u64();
+    e.resident_ratings = epch.u64();
+    e.compacted_ratings = epch.u64();
+  }
+
+  // Commit. The detector-result cache restarts cold: caching never changes
+  // results, so recovery stays bit-identical without persisting it.
+  trust_.import_counts(counts);
+  streams_ = std::move(streams);
+  alarms_ = std::move(alarms);
+  epoch_stats_ = std::move(epoch_stats);
+  started_ = started;
+  pending_ = pending;
+  next_epoch_ = next_epoch;
+  last_time_ = last_time;
+  folded_until_ = folded_until;
+  ingested_ = ingested;
+  epoch_ingested_ = epoch_ingested;
+  resident_ = resident;
+  compacted_ = compacted;
+  if (cache_) cache_->clear();
+}
+
+std::size_t OnlineMonitor::checkpoint_now() {
+  RAB_EXPECTS(!config_.checkpoint_dir.empty());
+  std::error_code ec;
+  fs::create_directories(config_.checkpoint_dir, ec);
+  if (ec) {
+    throw IoError("checkpoint: cannot create directory " +
+                  config_.checkpoint_dir + ": " + ec.message());
+  }
+
+  const std::size_t gen = epoch_stats_.size();
+  save_checkpoint(config_.checkpoint_dir + "/" +
+                  checkpoint::generation_filename(gen));
+
+  // Prune old generations beyond checkpoint_keep. Best-effort per file
+  // (a remove that loses a race is not a durability problem), but the
+  // failpoint lets the chaos harness crash between publish and prune.
+  RAB_FAILPOINT("checkpoint.prune");
+  const std::vector<std::size_t> gens =
+      checkpoint::list_generations(config_.checkpoint_dir);
+  if (gens.size() > config_.checkpoint_keep) {
+    for (std::size_t i = 0; i + config_.checkpoint_keep < gens.size(); ++i) {
+      fs::remove(config_.checkpoint_dir + "/" +
+                     checkpoint::generation_filename(gens[i]),
+                 ec);
+    }
+  }
+  return gen;
+}
+
+std::optional<std::size_t> OnlineMonitor::restore_latest(
+    const std::string& dir) {
+  const std::vector<std::size_t> gens = checkpoint::list_generations(dir);
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    try {
+      restore_checkpoint(dir + "/" + checkpoint::generation_filename(*it));
+      return *it;
+    } catch (const IoError&) {
+      // Truncated, corrupt, or unreadable (CorruptData derives IoError):
+      // fall back to the previous generation. A config mismatch is not
+      // recoverable-by-fallback and propagates.
+      continue;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rab::detectors

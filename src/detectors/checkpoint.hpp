@@ -1,0 +1,63 @@
+// Crash-safe snapshots of OnlineMonitor state.
+//
+// A deployed monitor accumulates state an attacker would love to see
+// destroyed: beta-function trust evidence (Procedure 1) is exactly the
+// detection history that makes repeat attacks expensive, so a crash that
+// resets it amnesties every previously caught rater. The checkpoint
+// subsystem makes the monitor recoverable: snapshot the complete state
+// periodically, and after a crash restore the newest valid snapshot and
+// replay the (durable) feed from `ingested()` — the recovered run is
+// bit-identical to one that never crashed (tests/test_chaos.cpp proves it
+// at every registered failpoint and at random kill points).
+//
+// File format (version 1, little-endian):
+//
+//   magic "RABCKPT1" (8 bytes)
+//   u32 version
+//   u32 section count
+//   per section: u32 tag, u64 payload size, payload, u32 CRC-32(payload)
+//   u32 CRC-32 over every preceding byte of the file
+//
+// Sections: CONF (semantic config — validated, not applied), CLCK (epoch
+// clocks and counters), TRST (raw S/F trust evidence), STRM (per-product
+// ratings + alarm bookkeeping), ALRM (alarms raised), EPCH (per-epoch
+// stats). Every integrity failure — short file, impossible size, checksum
+// mismatch — throws CorruptData, and OnlineMonitor::restore_latest falls
+// back to the previous generation, so a torn write or bit rot costs one
+// checkpoint interval of replay, never the trust state.
+//
+// Writes are atomic and durable: serialize to a buffer, write to
+// `<path>.tmp`, fsync, rename over `path`, fsync the directory. A crash at
+// any point leaves either the old snapshot or the new one, never a hybrid.
+// The write path carries failpoints (util/failpoint.hpp) at every
+// syscall boundary so the chaos harness can kill it anywhere.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rab::detectors::checkpoint {
+
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr char kMagic[8] = {'R', 'A', 'B', 'C', 'K', 'P', 'T', '1'};
+
+/// File name of generation `gen`: "ckpt-<zero-padded id>.rabck".
+[[nodiscard]] std::string generation_filename(std::size_t gen);
+
+/// Inverse of generation_filename; nullopt when `name` is not one.
+[[nodiscard]] std::optional<std::size_t> parse_generation(
+    const std::string& name);
+
+/// Generation ids present in `dir`, ascending. A missing or unreadable
+/// directory yields an empty list (nothing to recover is not an error).
+[[nodiscard]] std::vector<std::size_t> list_generations(
+    const std::string& dir);
+
+/// Reads and integrity-checks the snapshot at `path` without restoring
+/// it: magic, version, section structure, per-section and whole-file
+/// checksums. Throws IoError when unreadable, CorruptData when damaged.
+void verify_snapshot(const std::string& path);
+
+}  // namespace rab::detectors::checkpoint

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 
 namespace rab::detectors {
@@ -15,6 +16,8 @@ OnlineMonitor::OnlineMonitor(OnlineConfig config)
   RAB_EXPECTS(config_.epoch_days > 0.0);
   RAB_EXPECTS(config_.retention_days == 0.0 ||
               config_.retention_days >= config_.epoch_days);
+  RAB_EXPECTS(config_.checkpoint_every_epochs > 0);
+  RAB_EXPECTS(config_.checkpoint_keep > 0);
   if (config_.cache_streams > 0) {
     cache_ = std::make_unique<IntegrationCache>(
         config_.cache_streams, std::max<std::size_t>(1, config_.cache_variants));
@@ -40,10 +43,14 @@ void OnlineMonitor::ingest(const rating::Rating& r) {
     next_epoch_ = r.time + config_.epoch_days;
     folded_until_ = r.time;
   }
-  // Close any epochs the new rating has moved past.
+  // Close any epochs the new rating has moved past. The periodic
+  // checkpoint happens only after next_epoch_ has advanced past the
+  // analyzed boundary: a snapshot taken earlier would replay the same
+  // boundary again after restore and double-record the epoch.
   while (r.time >= next_epoch_) {
     analyze_epoch(next_epoch_);
     next_epoch_ += config_.epoch_days;
+    maybe_checkpoint();
   }
   last_time_ = r.time;
   Stream& stream = streams_.try_emplace(r.product, r.product).first->second;
@@ -62,9 +69,17 @@ void OnlineMonitor::ingest(std::span<const rating::Rating> batch) {
 void OnlineMonitor::flush() {
   if (!started_ || !pending_) return;
   analyze_epoch(std::nextafter(last_time_, last_time_ + 1.0));
+  maybe_checkpoint();
+}
+
+void OnlineMonitor::maybe_checkpoint() {
+  if (config_.checkpoint_dir.empty()) return;
+  if (epoch_stats_.size() % config_.checkpoint_every_epochs != 0) return;
+  (void)checkpoint_now();
 }
 
 void OnlineMonitor::analyze_epoch(Day epoch_end) {
+  RAB_FAILPOINT("monitor.analyze");
   trust_.decay();
 
   OnlineEpochStats stats;
@@ -148,7 +163,7 @@ void OnlineMonitor::analyze_epoch(Day epoch_end) {
       ++stats.alarms;
     }
     s.previous_marks = marks;
-    s.last = results[i];
+    s.last_suspicious = result.suspicious;
   }
 
   for (const auto& [rater, counts] : epoch_counts) {
@@ -170,6 +185,7 @@ void OnlineMonitor::analyze_epoch(Day epoch_end) {
 }
 
 void OnlineMonitor::compact(Day epoch_end, OnlineEpochStats& stats) {
+  RAB_FAILPOINT("monitor.compact");
   // Everything older than the window has had its evidence folded already
   // (retention_days >= epoch_days and folds run through epoch_end), so
   // dropping the prefix loses no trust information — only the raw ratings.
@@ -184,15 +200,14 @@ void OnlineMonitor::compact(Day epoch_end, OnlineEpochStats& stats) {
     // comparable with the next (truncated) analysis by subtracting the
     // marks that leave the window.
     std::size_t dropped_marks = 0;
-    if (stream.last != nullptr) {
-      for (std::size_t i = 0; i < drop; ++i) {
-        if (stream.last->suspicious[i]) ++dropped_marks;
-      }
+    for (std::size_t i = 0; i < drop && i < stream.last_suspicious.size();
+         ++i) {
+      if (stream.last_suspicious[i]) ++dropped_marks;
     }
     stream.previous_marks -= std::min(dropped_marks, stream.previous_marks);
     stream.ratings.drop_prefix(drop);
     stream.fingerprint_valid = false;
-    stream.last.reset();
+    stream.last_suspicious.clear();
     resident_ -= drop;
     compacted_ += drop;
     stats.compacted_ratings += drop;

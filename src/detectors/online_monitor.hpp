@@ -30,7 +30,9 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "detectors/integrator.hpp"
@@ -86,6 +88,14 @@ struct OnlineConfig {
   /// detector bank per product, the naive full-reanalysis baseline.
   std::size_t cache_streams = 256;
   std::size_t cache_variants = 4;
+  /// Crash safety (see detectors/checkpoint.hpp): when non-empty, every
+  /// `checkpoint_every_epochs` completed analyses the full monitor state
+  /// is snapshotted atomically into this directory, keeping the newest
+  /// `checkpoint_keep` generations. Recovery = restore_latest + replaying
+  /// the feed from ingested() — bit-identical to an uninterrupted run.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every_epochs = 1;
+  std::size_t checkpoint_keep = 3;
 };
 
 /// Streaming front end over the detector bank. Not thread-safe to call
@@ -136,6 +146,37 @@ class OnlineMonitor {
 
   [[nodiscard]] const OnlineConfig& config() const { return config_; }
 
+  /// Writes a complete snapshot of the monitor state — streams, trust
+  /// evidence, alarms, epoch stats, epoch clocks — to `path` atomically
+  /// (temp file + fsync + rename), versioned and CRC-checksummed per
+  /// section and whole-file. Throws IoError on environment failure.
+  /// Defined in detectors/checkpoint.cpp.
+  void save_checkpoint(const std::string& path) const;
+
+  /// Replaces all monitor state with the snapshot at `path`. The
+  /// snapshot's semantic configuration (epoch cadence, retention,
+  /// forgetting, alarm threshold, detector toggles, detector parameters)
+  /// must match this monitor's — restoring under a different config would
+  /// silently change results, so a mismatch throws InvalidArgument.
+  /// Throws IoError when the file cannot be read and CorruptData when it
+  /// is truncated or fails a checksum. The detector-result cache is not
+  /// part of the snapshot (it never affects results); it restarts cold.
+  void restore_checkpoint(const std::string& path);
+
+  /// Writes the next checkpoint generation into config().checkpoint_dir
+  /// (creating it if needed) and prunes generations beyond
+  /// checkpoint_keep. Returns the generation id (the number of completed
+  /// analyses). Requires checkpoint_dir to be set.
+  std::size_t checkpoint_now();
+
+  /// Restores the newest valid generation under `dir`: truncated or
+  /// corrupt snapshots are detected via their checksums and skipped in
+  /// favor of the previous generation. Returns the generation restored,
+  /// or nullopt when the directory holds no readable valid snapshot.
+  /// Config-mismatch (InvalidArgument) still propagates — falling back
+  /// across a config change would be silent corruption, not recovery.
+  std::optional<std::size_t> restore_latest(const std::string& dir);
+
  private:
   /// Per-product stream plus the incremental-analysis bookkeeping.
   struct Stream {
@@ -145,8 +186,9 @@ class OnlineMonitor {
     /// Marks reported by the previous analysis (alarm = fresh marks only);
     /// compaction subtracts marks that left the retained window.
     std::size_t previous_marks = 0;
-    /// Most recent analysis, kept for compaction mark accounting.
-    std::shared_ptr<const IntegrationResult> last;
+    /// Suspicion flags of the most recent analysis, kept for compaction
+    /// mark accounting (empty = no analysis since the last compaction).
+    std::vector<bool> last_suspicious;
     /// Content fingerprint of `ratings`, recomputed only after a change.
     Fingerprint fingerprint{};
     bool fingerprint_valid = false;
@@ -154,6 +196,9 @@ class OnlineMonitor {
 
   void analyze_epoch(Day epoch_end);
   void compact(Day epoch_end, OnlineEpochStats& stats);
+  /// Periodic checkpoint per OnlineConfig; called at consistent points
+  /// (after the epoch clock has advanced past the analyzed boundary).
+  void maybe_checkpoint();
 
   OnlineConfig config_;
   DetectorIntegrator integrator_;

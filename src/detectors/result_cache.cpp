@@ -5,6 +5,7 @@
 
 #include "detectors/integrator.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace rab::detectors {
 
@@ -109,6 +110,7 @@ std::shared_ptr<const IntegrationResult> IntegrationCache::find_stream(
 void IntegrationCache::insert(
     const Fingerprint& stream, const Fingerprint& trust,
     std::shared_ptr<const IntegrationResult> result) {
+  RAB_FAILPOINT("cache.insert");
   const std::lock_guard lock(mutex_);
   auto it = entries_.find(stream);
   if (it == entries_.end()) {

@@ -9,6 +9,7 @@
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace rab::rating {
 
@@ -22,28 +23,32 @@ void write_csv(std::ostream& out, const Dataset& dataset) {
   }
   // ofstream reports ENOSPC/EIO only through the stream state; without this
   // check a full disk truncates datasets silently.
-  if (!out) throw Error("rating::write_csv: stream write failed");
+  RAB_FAILPOINT("rating.write_csv.flush");
+  if (!out) throw IoError("rating::write_csv: stream write failed");
 }
 
 void write_csv_file(const std::string& path, const Dataset& dataset) {
+  RAB_FAILPOINT("rating.write_csv.open");
   std::ofstream out(path);
-  if (!out) throw Error("rating::write_csv_file: cannot open " + path);
+  if (!out) throw IoError("rating::write_csv_file: cannot open " + path);
   write_csv(out, dataset);
   out.flush();
   if (!out) {
-    throw Error("rating::write_csv_file: write failed (disk full?): " + path);
+    throw IoError("rating::write_csv_file: write failed (disk full?): " +
+                  path);
   }
 }
 
 Dataset read_csv(std::istream& in) {
   Dataset dataset;
   for (const csv::Row& row : csv::read(in)) {
+    RAB_FAILPOINT("rating.read_csv.row");
     // The unfair ground-truth column is optional on input: live feeds
     // (rab monitor) have no ground truth to carry.
     if (row.size() != 4 && row.size() != 5) {
       std::ostringstream msg;
       msg << "rating::read_csv: expected 4 or 5 fields, got " << row.size();
-      throw Error(msg.str());
+      throw InvalidArgument(msg.str());
     }
     Rating r;
     r.product = ProductId(csv::to_int_in(
@@ -53,8 +58,9 @@ Dataset read_csv(std::istream& in) {
     r.time = csv::to_double(row[2]);
     r.value = csv::to_double(row[3]);
     if (!std::isfinite(r.time) || !std::isfinite(r.value)) {
-      throw Error("rating::read_csv: non-finite time or value in row for "
-                  "product " + row[0]);
+      throw InvalidArgument(
+          "rating::read_csv: non-finite time or value in row for product " +
+          row[0]);
     }
     r.unfair = row.size() == 5 && csv::to_int(row[4]) != 0;
     dataset.add(r);
@@ -64,7 +70,7 @@ Dataset read_csv(std::istream& in) {
 
 Dataset read_csv_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw Error("rating::read_csv_file: cannot open " + path);
+  if (!in) throw IoError("rating::read_csv_file: cannot open " + path);
   return read_csv(in);
 }
 

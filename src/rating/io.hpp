@@ -18,8 +18,9 @@ void write_csv_file(const std::string& path, const Dataset& dataset);
 
 /// Reads a dataset previously written by write_csv. The trailing `unfair`
 /// column may be omitted (live feeds carry no ground truth; it defaults to
-/// 0). Throws rab::Error on malformed rows, out-of-range ids, or
-/// non-finite times/values.
+/// 0). Throws rab::InvalidArgument on malformed rows, out-of-range ids, or
+/// non-finite times/values, and rab::IoError when the environment fails
+/// (file cannot be opened, stream write failure).
 Dataset read_csv(std::istream& in);
 Dataset read_csv_file(const std::string& path);
 

@@ -1,5 +1,8 @@
 #include "trust/trust_manager.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "stats/beta.hpp"
 #include "util/error.hpp"
 
@@ -49,6 +52,30 @@ void TrustManager::visit(
 
 std::function<double(RaterId)> TrustManager::lookup() const {
   return [this](RaterId rater) { return trust(rater); };
+}
+
+std::vector<RaterCounts> TrustManager::export_counts() const {
+  std::vector<RaterCounts> out;
+  out.reserve(counts_.size());
+  for (const auto& [rater, c] : counts_) {
+    out.push_back(RaterCounts{rater, c.s, c.f});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RaterCounts& a, const RaterCounts& b) {
+              return a.rater < b.rater;
+            });
+  return out;
+}
+
+void TrustManager::import_counts(std::span<const RaterCounts> counts) {
+  std::unordered_map<RaterId, Counts> imported;
+  imported.reserve(counts.size());
+  for (const RaterCounts& c : counts) {
+    RAB_EXPECTS(std::isfinite(c.s) && c.s >= 0.0);
+    RAB_EXPECTS(std::isfinite(c.f) && c.f >= 0.0);
+    imported[c.rater] = Counts{c.s, c.f};
+  }
+  counts_ = std::move(imported);
 }
 
 void TrustManager::reset() { counts_.clear(); }

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "util/ids.hpp"
 
@@ -19,6 +21,16 @@ namespace rab::trust {
 struct EpochCounts {
   std::size_t ratings = 0;     ///< n_i: ratings provided in the epoch
   std::size_t suspicious = 0;  ///< f_i: of those, marked suspicious
+};
+
+/// One rater's accumulated raw beta-model evidence — the checkpointable
+/// unit of trust state (trust values are derived, S/F are the state).
+struct RaterCounts {
+  RaterId rater;
+  double s = 0.0;  ///< accumulated clean evidence
+  double f = 0.0;  ///< accumulated suspicious evidence
+
+  friend bool operator==(const RaterCounts&, const RaterCounts&) = default;
 };
 
 class TrustManager {
@@ -58,6 +70,15 @@ class TrustManager {
   /// std::function type; spelled out here so trust does not depend on the
   /// detectors layer).
   [[nodiscard]] std::function<double(RaterId)> lookup() const;
+
+  /// Raw S/F evidence for every known rater, sorted by rater id — a
+  /// deterministic, exact (bit-for-bit) serialization of the trust state
+  /// for checkpointing and state comparison.
+  [[nodiscard]] std::vector<RaterCounts> export_counts() const;
+
+  /// Replaces all history with previously exported counts (the restore
+  /// half of export_counts). Counts must be finite and non-negative.
+  void import_counts(std::span<const RaterCounts> counts);
 
   /// Forgets all history (new experiment).
   void reset();

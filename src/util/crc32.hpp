@@ -1,0 +1,36 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+//
+// Used by the checkpoint format (detectors/checkpoint.*) to detect torn
+// writes and bit rot: one checksum per snapshot section plus one over the
+// whole file. Incremental: feed chunks through crc32_update to checksum a
+// file while streaming it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rab::util {
+
+/// Continues a CRC-32 over `size` bytes at `data`. Start from
+/// `kCrc32Init`; finalize with crc32_final. Chaining update calls over
+/// consecutive chunks equals one call over the concatenation.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                         std::size_t size);
+
+[[nodiscard]] inline std::uint32_t crc32_final(std::uint32_t crc) {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte range.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_final(crc32_update(kCrc32Init, data, size));
+}
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace rab::util

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace rab::csv {
 
@@ -30,23 +31,27 @@ std::vector<Row> read(std::istream& in) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line.front() == '#') continue;
+    RAB_FAILPOINT("csv.read.line");
     rows.push_back(parse_line(line));
   }
   return rows;
 }
 
 std::vector<Row> read_file(const std::string& path) {
+  RAB_FAILPOINT("csv.read_file.open");
   std::ifstream in(path);
-  if (!in) throw Error("csv: cannot open file: " + path);
+  if (!in) throw IoError("csv: cannot open file: " + path);
   return read(in);
 }
 
 void write_row(std::ostream& out, const Row& row) {
+  RAB_FAILPOINT("csv.write.row");
   for (std::size_t i = 0; i < row.size(); ++i) {
     if (i != 0) out << ',';
     out << row[i];
   }
   out << '\n';
+  if (!out) throw IoError("csv: row write failed");
 }
 
 double to_double(const std::string& field) {
@@ -56,7 +61,7 @@ double to_double(const std::string& field) {
     if (consumed != field.size()) throw std::invalid_argument(field);
     return value;
   } catch (const std::exception&) {
-    throw Error("csv: not a number: '" + field + "'");
+    throw InvalidArgument("csv: not a number: '" + field + "'");
   }
 }
 
@@ -65,7 +70,7 @@ long long to_int(const std::string& field) {
   auto [ptr, ec] =
       std::from_chars(field.data(), field.data() + field.size(), value);
   if (ec != std::errc{} || ptr != field.data() + field.size()) {
-    throw Error("csv: not an integer: '" + field + "'");
+    throw InvalidArgument("csv: not an integer: '" + field + "'");
   }
   return value;
 }
@@ -73,8 +78,9 @@ long long to_int(const std::string& field) {
 long long to_int_in(const std::string& field, long long lo, long long hi) {
   const long long value = to_int(field);
   if (value < lo || value > hi) {
-    throw Error("csv: value " + field + " outside [" + std::to_string(lo) +
-                ", " + std::to_string(hi) + "]");
+    throw InvalidArgument("csv: value " + field + " outside [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) +
+                          "]");
   }
   return value;
 }

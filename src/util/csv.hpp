@@ -20,21 +20,26 @@ Row parse_line(const std::string& line);
 std::vector<Row> read(std::istream& in);
 
 /// Reads all non-comment, non-blank rows from a file.
-/// Throws rab::Error if the file cannot be opened.
+/// Throws rab::IoError if the file cannot be opened.
 std::vector<Row> read_file(const std::string& path);
 
-/// Writes one row; fields must not contain commas or newlines.
+/// Writes one row; fields must not contain commas or newlines. Throws
+/// rab::IoError when the stream reports a write failure.
 void write_row(std::ostream& out, const Row& row);
 
-/// Converts a field to double. Throws rab::Error with context on failure.
+/// Converts a field to double. Throws rab::InvalidArgument with context on
+/// malformed input (environment failures are IoError; parse failures mean
+/// the caller fed bad data).
 double to_double(const std::string& field);
 
-/// Converts a field to int64. Throws rab::Error with context on failure.
+/// Converts a field to int64. Throws rab::InvalidArgument with context on
+/// malformed input.
 long long to_int(const std::string& field);
 
 /// to_int plus an inclusive range check — use before narrowing into a
 /// domain type (ids must be non-negative: negative values collide with the
-/// library's "unset id" sentinel). Throws rab::Error when out of range.
+/// library's "unset id" sentinel). Throws rab::InvalidArgument when out of
+/// range.
 long long to_int_in(const std::string& field, long long lo, long long hi);
 
 }  // namespace rab::csv

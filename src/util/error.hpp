@@ -29,6 +29,24 @@ class LogicError : public Error {
   explicit LogicError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when the environment fails the library: a file that cannot be
+/// opened, a write the OS cut short, a full disk. Distinct from
+/// InvalidArgument (the caller's fault) and LogicError (our fault) so
+/// callers can retry or fall back without masking real bugs.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when persisted data is present but fails an integrity check — a
+/// truncated snapshot, a checksum mismatch, an impossible section size.
+/// Derives from IoError: corrupt storage is an environment failure, and a
+/// recovery path that catches IoError handles both.
+class CorruptData : public IoError {
+ public:
+  explicit CorruptData(const std::string& what) : IoError(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void contract_failure(const char* kind, const char* expr,
                                           const char* file, int line) {

@@ -1,0 +1,261 @@
+#include "util/failpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rab::util {
+
+namespace {
+
+enum class Action { kThrow, kShortWrite, kCorrupt };
+enum class Trigger { kOnce, kEveryN, kProbability };
+
+struct Policy {
+  Action action = Action::kThrow;
+  Trigger trigger = Trigger::kOnce;
+  std::uint64_t every = 1;
+  double probability = 1.0;
+  std::uint64_t seed = 1;
+
+  std::mt19937_64 rng;
+  std::uint64_t passes = 0;
+  std::uint64_t fires = 0;
+  bool exhausted = false;  ///< a kOnce policy that already fired
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Policy> policies;
+  /// Fire counts survive disarm so tests can assert after recovery.
+  std::unordered_map<std::string, std::size_t> fires;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// The compiled-in failpoint sites. Kept in one place (rather than
+// self-registering macros) so the disarmed fast path stays a single
+// branch; arm_failpoints validates against it and the chaos harness
+// iterates it. Grep for the string to find the site.
+constexpr std::string_view kCatalog[] = {
+    "csv.read_file.open",       // util/csv.cpp: ifstream open
+    "csv.read.line",            // util/csv.cpp: per parsed line
+    "csv.write.row",            // util/csv.cpp: per written row
+    "rating.read_csv.row",      // rating/io.cpp: per dataset row
+    "rating.write_csv.open",    // rating/io.cpp: ofstream open
+    "rating.write_csv.flush",   // rating/io.cpp: final flush
+    "monitor.analyze",          // detectors/online_monitor.cpp: epoch entry
+    "monitor.compact",          // detectors/online_monitor.cpp: retention
+    "cache.insert",             // detectors/result_cache.cpp: memo insert
+    "checkpoint.write.open",    // detectors/checkpoint.cpp: temp create
+    "checkpoint.write.body",    // detectors/checkpoint.cpp: payload write
+    "checkpoint.write.fsync",   // detectors/checkpoint.cpp: fsync
+    "checkpoint.write.rename",  // detectors/checkpoint.cpp: publish rename
+    "checkpoint.read.open",     // detectors/checkpoint.cpp: snapshot open
+    "checkpoint.read.body",     // detectors/checkpoint.cpp: payload read
+    "checkpoint.prune",         // detectors/checkpoint.cpp: generation gc
+};
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw InvalidArgument("failpoint: bad RAB_FAULTS spec '" + spec +
+                        "': " + why);
+}
+
+bool known_failpoint(std::string_view name) {
+  return std::find(std::begin(kCatalog), std::end(kCatalog), name) !=
+         std::end(kCatalog);
+}
+
+/// True when this pass of the policy should inject its fault.
+bool triggered(Policy& p) {
+  ++p.passes;
+  switch (p.trigger) {
+    case Trigger::kOnce:
+      if (p.exhausted) return false;
+      p.exhausted = true;
+      return true;
+    case Trigger::kEveryN:
+      return p.passes % p.every == 0;
+    case Trigger::kProbability:
+      return std::uniform_real_distribution<double>(0.0, 1.0)(p.rng) <
+             p.probability;
+  }
+  return false;
+}
+
+/// Looks up the armed policy for `name` and rolls its trigger. Returns
+/// nullptr when the name has no armed policy or the policy does not fire
+/// this pass. Caller holds the registry mutex.
+Policy* fire(Registry& r, std::string_view name) {
+  const auto it = r.policies.find(std::string(name));
+  if (it == r.policies.end()) return nullptr;
+  if (!triggered(it->second)) return nullptr;
+  ++it->second.fires;
+  ++r.fires[it->first];
+  return &it->second;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_failpoints_armed{false};
+
+void failpoint_slow(std::string_view name) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mutex);
+  if (fire(r, name) != nullptr) {
+    // A control-flow site cannot express a short or corrupt write; every
+    // triggered action degrades to the one failure it can inject.
+    throw IoError("failpoint '" + std::string(name) + "' injected failure");
+  }
+}
+
+FaultOutcome failpoint_io_slow(std::string_view name, std::size_t size) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mutex);
+  Policy* p = fire(r, name);
+  if (p == nullptr) return FaultOutcome{size};
+  switch (p->action) {
+    case Action::kThrow:
+      throw IoError("failpoint '" + std::string(name) + "' injected failure");
+    case Action::kShortWrite:
+      return FaultOutcome{size / 2};
+    case Action::kCorrupt: {
+      FaultOutcome out{size};
+      out.corrupt = size > 0;
+      if (out.corrupt) {
+        out.corrupt_offset = p->rng() % size;
+        out.corrupt_mask =
+            static_cast<std::uint8_t>(1u << (p->rng() % 8));
+      }
+      return out;
+    }
+  }
+  return FaultOutcome{size};
+}
+
+}  // namespace detail
+
+std::size_t apply_fault(const FaultOutcome& outcome, char* data,
+                        std::size_t size) {
+  if (outcome.corrupt && outcome.corrupt_offset < size) {
+    data[outcome.corrupt_offset] =
+        static_cast<char>(static_cast<unsigned char>(
+                              data[outcome.corrupt_offset]) ^
+                          outcome.corrupt_mask);
+  }
+  return std::min(outcome.write_bytes, size);
+}
+
+void arm_failpoints(const std::string& spec) {
+  std::unordered_map<std::string, Policy> parsed;
+
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', begin), spec.size());
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      bad_spec(spec, "expected name:action in '" + entry + "'");
+    }
+    const std::string name = entry.substr(0, colon);
+    if (!known_failpoint(name)) {
+      bad_spec(spec, "unknown failpoint '" + name + "'");
+    }
+
+    Policy policy;
+    std::size_t part_begin = colon + 1;
+    bool first = true;
+    while (part_begin <= entry.size()) {
+      const std::size_t part_end =
+          std::min(entry.find(',', part_begin), entry.size());
+      const std::string part = entry.substr(part_begin, part_end - part_begin);
+      part_begin = part_end + 1;
+      if (part.empty()) bad_spec(spec, "empty clause in '" + entry + "'");
+
+      const std::size_t eq = part.find('=');
+      const std::string key = part.substr(0, eq);
+      const std::string value =
+          eq == std::string::npos ? "" : part.substr(eq + 1);
+      try {
+        if (first) {
+          first = false;
+          if (key == "throw") policy.action = Action::kThrow;
+          else if (key == "short") policy.action = Action::kShortWrite;
+          else if (key == "corrupt") policy.action = Action::kCorrupt;
+          else bad_spec(spec, "unknown action '" + part + "'");
+        } else if (key == "once") {
+          policy.trigger = Trigger::kOnce;
+        } else if (key == "every") {
+          policy.trigger = Trigger::kEveryN;
+          policy.every = std::stoull(value);
+          if (policy.every == 0) bad_spec(spec, "every=0 in '" + entry + "'");
+        } else if (key == "p") {
+          policy.trigger = Trigger::kProbability;
+          policy.probability = std::stod(value);
+          if (policy.probability < 0.0 || policy.probability > 1.0) {
+            bad_spec(spec, "p outside [0,1] in '" + entry + "'");
+          }
+        } else if (key == "seed") {
+          policy.seed = std::stoull(value);
+        } else {
+          bad_spec(spec, "unknown trigger '" + part + "'");
+        }
+      } catch (const InvalidArgument&) {
+        throw;
+      } catch (const std::exception&) {
+        bad_spec(spec, "bad number in '" + part + "'");
+      }
+    }
+    policy.rng.seed(policy.seed);
+    parsed[name] = std::move(policy);
+  }
+
+  Registry& r = registry();
+  std::scoped_lock lock(r.mutex);
+  // Fire counts are "since armed": arming a name restarts its count, but
+  // counts of names not in this spec survive (they may still be asserted
+  // on after a disarm).
+  for (const auto& [name, policy] : parsed) r.fires.erase(name);
+  r.policies = std::move(parsed);
+  detail::g_failpoints_armed.store(!r.policies.empty(),
+                                   std::memory_order_relaxed);
+}
+
+void disarm_failpoints() {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mutex);
+  r.policies.clear();
+  detail::g_failpoints_armed.store(false, std::memory_order_relaxed);
+}
+
+void arm_failpoints_from_env() {
+  const char* spec = std::getenv("RAB_FAULTS");
+  if (spec == nullptr || *spec == '\0') return;
+  arm_failpoints(spec);
+}
+
+std::size_t failpoint_fires(std::string_view name) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mutex);
+  const auto it = r.fires.find(std::string(name));
+  return it == r.fires.end() ? 0 : it->second;
+}
+
+std::span<const std::string_view> failpoint_catalog() {
+  return std::span<const std::string_view>(kCatalog);
+}
+
+}  // namespace rab::util

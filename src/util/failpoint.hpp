@@ -1,0 +1,115 @@
+// Deterministic fault injection: named failpoints at I/O, allocation-heavy,
+// and cache boundaries.
+//
+// A failpoint is a named site — RAB_FAILPOINT("checkpoint.write.body") —
+// that normally does nothing. Arming a policy for the name (from the
+// RAB_FAULTS environment variable or programmatically) makes the site
+// inject a failure: throw IoError, cut a write short, or flip bits in an
+// outgoing buffer. Policies fire once, every Nth pass, or probabilistically
+// from a seeded RNG, so every injected failure is reproducible.
+//
+// Cost when disarmed: failpoints_armed() is one relaxed atomic load and one
+// predictable branch; no policy lookup, no string hashing, no allocation.
+// The chaos harness (tools/chaos.cpp, tests/test_chaos.cpp) arms each
+// catalogued failpoint in turn and proves the checkpoint/restore path
+// recovers bit-identically from every one.
+//
+// Spec grammar (RAB_FAULTS or arm_failpoints):
+//   spec     := policy (';' policy)*
+//   policy   := name ':' action (',' trigger)*
+//   action   := 'throw' | 'short' | 'corrupt'
+//   trigger  := 'once' | 'every=N' | 'p=P' | 'seed=S'
+// Default trigger is 'once' (fire on the first pass, then disarm that
+// name). 'every=N' fires on every Nth pass; 'p=P' fires each pass with
+// probability P drawn from a seeded RNG ('seed=S', default 1). 'short' and
+// 'corrupt' only act at buffer sites (failpoint_io); at control-flow sites
+// they degrade to 'throw' — the only failure a plain site can express.
+//
+//   RAB_FAULTS='checkpoint.write.body:corrupt' rab monitor --data feed.csv
+//   RAB_FAULTS='csv.read.line:throw,p=0.01,seed=7;cache.insert:throw,every=100'
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace rab::util {
+
+/// What a triggered buffer-site failpoint does to the pending write.
+struct FaultOutcome {
+  std::size_t write_bytes = 0;  ///< bytes to actually write (size = clean)
+  bool corrupt = false;         ///< XOR corrupt_mask into the buffer
+  std::size_t corrupt_offset = 0;
+  std::uint8_t corrupt_mask = 0;  ///< never zero when corrupt is set
+};
+
+namespace detail {
+extern std::atomic<bool> g_failpoints_armed;
+void failpoint_slow(std::string_view name);
+[[nodiscard]] FaultOutcome failpoint_io_slow(std::string_view name,
+                                             std::size_t size);
+}  // namespace detail
+
+/// True when any failpoint policy is armed. One relaxed load.
+[[nodiscard]] inline bool failpoints_armed() {
+  return detail::g_failpoints_armed.load(std::memory_order_relaxed);
+}
+
+/// Control-flow failpoint: throws IoError when an armed policy for `name`
+/// triggers; otherwise (and always when disarmed) does nothing.
+inline void failpoint(std::string_view name) {
+  if (failpoints_armed()) [[unlikely]] {
+    detail::failpoint_slow(name);
+  }
+}
+
+/// Buffer-site failpoint guarding a write of `size` bytes. A triggered
+/// 'throw' policy throws IoError; 'short' returns write_bytes < size;
+/// 'corrupt' returns a byte offset and XOR mask to apply to the buffer
+/// before writing. Disarmed (or not triggered) returns a clean outcome.
+[[nodiscard]] inline FaultOutcome failpoint_io(std::string_view name,
+                                               std::size_t size) {
+  if (!failpoints_armed()) [[likely]] {
+    return FaultOutcome{size};
+  }
+  return detail::failpoint_io_slow(name, size);
+}
+
+/// Applies `outcome` to a byte buffer: corrupts in place when requested and
+/// returns the number of bytes the caller should write. Shared by every
+/// buffer-site failpoint so the corruption rule lives in one place.
+std::size_t apply_fault(const FaultOutcome& outcome, char* data,
+                        std::size_t size);
+
+/// Parses `spec` (see grammar above) and arms it, replacing any armed set.
+/// Unknown failpoint names and malformed policies throw InvalidArgument —
+/// a typo in RAB_FAULTS must not silently test nothing.
+void arm_failpoints(const std::string& spec);
+
+/// Disarms everything; failpoints return to the single-branch fast path.
+void disarm_failpoints();
+
+/// Arms from the RAB_FAULTS environment variable; no-op when unset or
+/// empty. Entry points that opt into fault injection (rab CLI, chaos
+/// harness) call this once at startup — library code never reads the
+/// environment on its own.
+void arm_failpoints_from_env();
+
+/// Times the named failpoint's policy has triggered since it was armed
+/// (0 when never armed). Lets tests assert an injected fault actually
+/// fired rather than silently passing.
+[[nodiscard]] std::size_t failpoint_fires(std::string_view name);
+
+/// Every failpoint name compiled into the library, for harnesses that
+/// iterate "kill at every failpoint". arm_failpoints validates names
+/// against this list.
+[[nodiscard]] std::span<const std::string_view> failpoint_catalog();
+
+}  // namespace rab::util
+
+/// Marks a control-flow failpoint site. A macro (not a bare function call)
+/// so sites read as annotations and grep as a catalog.
+#define RAB_FAILPOINT(name) ::rab::util::failpoint(name)

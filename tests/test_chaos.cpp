@@ -1,0 +1,300 @@
+// Chaos harness: crash the streaming monitor at every catalogued failpoint
+// and at random feed positions, recover from the newest valid checkpoint,
+// replay the durable feed, and require the recovered run to be
+// bit-identical to an uninterrupted one — alarms, per-epoch stats, and raw
+// trust evidence, at 1 worker thread and at 8.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "detectors/checkpoint.hpp"
+#include "detectors/online_monitor.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace rab::detectors {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<rating::Rating> burst_attack(ProductId product, double begin,
+                                         double end, std::size_t count,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<rating::Rating> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(begin, end);
+    r.value = 0.0;
+    r.rater = RaterId(1'000'000 + static_cast<std::int64_t>(i));
+    r.product = product;
+    r.unfair = true;
+    out.push_back(r);
+  }
+  return out;
+}
+
+/// 150 days, 2 products, one injected burst: long enough for ~15 epochs
+/// of checkpoints, compaction, trust folding, and real alarms.
+std::vector<rating::Rating> make_feed() {
+  rating::FairDataConfig config;
+  config.product_count = 2;
+  config.history_days = 150.0;
+  config.seed = 7;
+  const rating::Dataset data =
+      rating::FairDataGenerator(config).generate().with_added(
+          burst_attack(ProductId(1), 60.0, 72.0, 50, 9));
+  std::vector<rating::Rating> all;
+  for (ProductId id : data.product_ids()) {
+    const auto& rs = data.product(id).ratings();
+    all.insert(all.end(), rs.begin(), rs.end());
+  }
+  std::sort(all.begin(), all.end(), rating::ByTime{});
+  return all;
+}
+
+OnlineConfig base_config() {
+  OnlineConfig config;
+  config.epoch_days = 10.0;
+  config.trust_forgetting = 0.95;
+  config.retention_days = 40.0;
+  return config;
+}
+
+struct Observable {
+  std::vector<Alarm> alarms;
+  std::vector<OnlineEpochStats> epochs;
+  std::vector<trust::RaterCounts> trust;
+  std::size_t ingested = 0;
+  std::size_t resident = 0;
+  std::size_t compacted = 0;
+
+  friend bool operator==(const Observable&, const Observable&) = default;
+};
+
+Observable observe(const OnlineMonitor& m) {
+  return Observable{m.alarms(),           m.epoch_stats(),
+                    m.trust().export_counts(), m.ingested(),
+                    m.resident_ratings(), m.compacted_ratings()};
+}
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_("rab-chaos-scratch-" + name) {
+    fs::remove_all(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Uninterrupted run — the ground truth every chaos scenario must match.
+Observable reference_run(const std::vector<rating::Rating>& feed) {
+  OnlineMonitor monitor(base_config());
+  for (const auto& r : feed) monitor.ingest(r);
+  monitor.flush();
+  return observe(monitor);
+}
+
+/// Crash-recover cycle: a "crash" abandons the monitor object entirely
+/// (nothing in memory survives, like a process death), recovery builds a
+/// fresh monitor, restores the newest valid generation, and replays the
+/// feed from the restored high-water mark. restore_latest returning
+/// nullopt (crash before the first checkpoint published) degenerates to a
+/// cold replay of the whole feed — also a correct recovery.
+OnlineMonitor recover(const OnlineConfig& config, const std::string& dir) {
+  OnlineMonitor fresh(config);
+  (void)fresh.restore_latest(dir);
+  return fresh;
+}
+
+/// Runs the feed with `spec` armed; every injected IoError is treated as
+/// a crash followed by recovery. Returns the final observable state and
+/// reports how many crashes were survived.
+Observable chaos_run(const std::vector<rating::Rating>& feed,
+                     const std::string& dir, const std::string& spec,
+                     int* crashes_out = nullptr) {
+  OnlineConfig config = base_config();
+  config.checkpoint_dir = dir;
+
+  util::arm_failpoints(spec);
+  OnlineMonitor monitor(config);
+  std::size_t next = 0;
+  int crashes = 0;
+  // Termination: a fire-once policy crashes at most once; an every=N
+  // policy's pass count is cumulative across crashes, so each recovery
+  // leg gets N-1 clean passes — enough to publish fresh generations and
+  // make progress. The bound is a backstop against a livelocking spec.
+  while (crashes < 128) {
+    try {
+      while (next < feed.size()) {
+        monitor.ingest(feed[next]);
+        ++next;
+      }
+      monitor.flush();
+      break;
+    } catch (const IoError&) {
+      ++crashes;
+      monitor = recover(config, dir);
+      next = monitor.ingested();
+    }
+  }
+  util::disarm_failpoints();
+  if (crashes >= 128) {
+    throw LogicError("chaos_run: no forward progress under '" + spec + "'");
+  }
+  if (crashes_out != nullptr) *crashes_out = crashes;
+  return observe(monitor);
+}
+
+/// Abrupt kill at feed position `kill_at` (no exception, no warning — the
+/// monitor simply stops existing), then recover and replay to the end.
+Observable kill_and_recover_run(const std::vector<rating::Rating>& feed,
+                                const std::string& dir,
+                                std::size_t kill_at) {
+  OnlineConfig config = base_config();
+  config.checkpoint_dir = dir;
+  {
+    OnlineMonitor doomed(config);
+    for (std::size_t i = 0; i < kill_at; ++i) doomed.ingest(feed[i]);
+    // Killed here; `doomed` and everything it knew is gone.
+  }
+  OnlineMonitor monitor = recover(config, dir);
+  for (std::size_t i = monitor.ingested(); i < feed.size(); ++i) {
+    monitor.ingest(feed[i]);
+  }
+  monitor.flush();
+  return observe(monitor);
+}
+
+TEST(Chaos, SurvivesKillAtEveryCataloguedFailpoint) {
+  const std::vector<rating::Rating> feed = make_feed();
+  const Observable reference = reference_run(feed);
+
+  int failpoints_that_fired = 0;
+  for (const std::string_view name : util::failpoint_catalog()) {
+    ScratchDir dir("fp-" + std::string(name));
+    int crashes = 0;
+    const Observable recovered =
+        chaos_run(feed, dir.path(), std::string(name) + ":throw", &crashes);
+    EXPECT_EQ(recovered, reference) << "failpoint " << name;
+    // Not every site is on this scenario's path (CSV failpoints need file
+    // I/O; checkpoint.read.* fire only during recovery itself) — but a
+    // fired one must have crashed the run, or the injection is a no-op.
+    if (util::failpoint_fires(name) > 0) {
+      ++failpoints_that_fired;
+      EXPECT_GE(crashes, 1) << "failpoint " << name
+                            << " fired without crashing the run";
+    }
+  }
+  // The monitor/checkpoint path must exercise a substantial share of the
+  // catalog; a refactor that silently bypasses the sites should fail here.
+  EXPECT_GE(failpoints_that_fired, 6);
+}
+
+TEST(Chaos, ShortAndCorruptWritesAtEverySnapshotBoundaryRecover) {
+  const std::vector<rating::Rating> feed = make_feed();
+  const Observable reference = reference_run(feed);
+  // `short` throws in the writer (torn temp file, never published);
+  // `corrupt` publishes a rotten generation whose checksum fails on the
+  // next restore; `rename` loses the publish itself. Either way the final
+  // state must match the uninterrupted run.
+  for (const std::string& spec :
+       {std::string("checkpoint.write.body:short"),
+        std::string("checkpoint.write.body:corrupt,seed=3"),
+        std::string("checkpoint.write.body:short,every=4"),
+        std::string("checkpoint.write.rename:throw,every=5")}) {
+    ScratchDir dir("io");
+    EXPECT_EQ(chaos_run(feed, dir.path(), spec), reference) << spec;
+  }
+}
+
+TEST(Chaos, SurvivesRandomKillPoints) {
+  const std::vector<rating::Rating> feed = make_feed();
+  const Observable reference = reference_run(feed);
+
+  // >= 20 seeded random kill positions plus the edges. Positions cluster
+  // anywhere: mid-epoch, right on boundaries, before the first checkpoint.
+  Rng rng(2026);
+  std::vector<std::size_t> kill_points{0, 1, feed.size() - 1, feed.size()};
+  while (kill_points.size() < 24) {
+    kill_points.push_back(
+        static_cast<std::size_t>(rng.uniform_int(1, feed.size() - 1)));
+  }
+  for (const std::size_t kill_at : kill_points) {
+    ScratchDir dir("kill-" + std::to_string(kill_at));
+    EXPECT_EQ(kill_and_recover_run(feed, dir.path(), kill_at), reference)
+        << "kill at " << kill_at;
+  }
+}
+
+TEST(Chaos, RecoveryIsBitIdenticalAcrossThreadCounts) {
+  const std::vector<rating::Rating> feed = make_feed();
+  const std::size_t original_threads = util::thread_count();
+
+  util::set_thread_count(1);
+  const Observable serial_reference = reference_run(feed);
+  Observable serial_recovered;
+  {
+    ScratchDir dir("serial");
+    serial_recovered = kill_and_recover_run(feed, dir.path(),
+                                            (feed.size() * 2) / 3);
+  }
+
+  util::set_thread_count(8);
+  const Observable parallel_reference = reference_run(feed);
+  Observable parallel_recovered;
+  {
+    ScratchDir dir("parallel");
+    parallel_recovered = kill_and_recover_run(feed, dir.path(),
+                                              (feed.size() * 2) / 3);
+  }
+  util::set_thread_count(original_threads);
+
+  // One contract, four runs, one answer: serial/parallel, crashed/not.
+  EXPECT_EQ(serial_reference, parallel_reference);
+  EXPECT_EQ(serial_recovered, serial_reference);
+  EXPECT_EQ(parallel_recovered, parallel_reference);
+}
+
+TEST(Chaos, RepeatedCrashesAcrossGenerationsStillConverge) {
+  const std::vector<rating::Rating> feed = make_feed();
+  const Observable reference = reference_run(feed);
+  ScratchDir dir("repeat");
+  OnlineConfig config = base_config();
+  config.checkpoint_dir = dir.path();
+
+  // Kill every ~eighth of the feed — several crashes per retention window,
+  // some landing between checkpoints of the same generation.
+  OnlineMonitor monitor(config);
+  std::size_t next = 0;
+  for (int leg = 1; leg <= 8; ++leg) {
+    const std::size_t stop = feed.size() * static_cast<std::size_t>(leg) / 8;
+    while (next < stop) {
+      monitor.ingest(feed[next]);
+      ++next;
+    }
+    if (leg < 8) {
+      monitor = recover(config, dir.path());
+      next = monitor.ingested();
+    }
+  }
+  monitor.flush();
+  EXPECT_EQ(observe(monitor), reference);
+}
+
+}  // namespace
+}  // namespace rab::detectors

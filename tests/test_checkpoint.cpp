@@ -1,0 +1,398 @@
+// Tests for OnlineMonitor checkpoint/restore (detectors/checkpoint).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "detectors/checkpoint.hpp"
+#include "detectors/online_monitor.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace rab::detectors {
+namespace {
+
+namespace fs = std::filesystem;
+
+rating::Dataset fair_data(std::uint64_t seed = 3) {
+  rating::FairDataConfig config;
+  config.product_count = 2;
+  config.history_days = 150.0;
+  config.seed = seed;
+  return rating::FairDataGenerator(config).generate();
+}
+
+std::vector<rating::Rating> merged_time_ordered(const rating::Dataset& data) {
+  std::vector<rating::Rating> all;
+  for (ProductId id : data.product_ids()) {
+    const auto& rs = data.product(id).ratings();
+    all.insert(all.end(), rs.begin(), rs.end());
+  }
+  std::sort(all.begin(), all.end(), rating::ByTime{});
+  return all;
+}
+
+std::vector<rating::Rating> burst_attack(ProductId product, double begin,
+                                         double end, std::size_t count,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<rating::Rating> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(begin, end);
+    r.value = 0.0;
+    r.rater = RaterId(1'000'000 + static_cast<std::int64_t>(i));
+    r.product = product;
+    r.unfair = true;
+    out.push_back(r);
+  }
+  return out;
+}
+
+/// Attacked feed: enough structure that alarms, trust evidence, and (with
+/// retention) compaction are all non-trivial in the snapshot.
+std::vector<rating::Rating> make_feed() {
+  return merged_time_ordered(
+      fair_data(7).with_added(burst_attack(ProductId(1), 60.0, 72.0, 50, 9)));
+}
+
+OnlineConfig base_config() {
+  OnlineConfig config;
+  config.epoch_days = 10.0;
+  config.trust_forgetting = 0.95;
+  config.retention_days = 40.0;
+  return config;
+}
+
+/// Everything a recovered run must reproduce bit-identically.
+struct Observable {
+  std::vector<Alarm> alarms;
+  std::vector<OnlineEpochStats> epochs;
+  std::vector<trust::RaterCounts> trust;
+  std::size_t ingested = 0;
+  std::size_t resident = 0;
+  std::size_t compacted = 0;
+
+  friend bool operator==(const Observable&, const Observable&) = default;
+};
+
+Observable observe(const OnlineMonitor& m) {
+  return Observable{m.alarms(),           m.epoch_stats(),
+                    m.trust().export_counts(), m.ingested(),
+                    m.resident_ratings(), m.compacted_ratings()};
+}
+
+/// Unique scratch directory under the working directory (the build tree
+/// when run via ctest), removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_("rab-ckpt-scratch-" + name) {
+    fs::remove_all(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Checkpoint, GenerationFilenameRoundTrips) {
+  using checkpoint::generation_filename;
+  using checkpoint::parse_generation;
+  EXPECT_EQ(generation_filename(0), "ckpt-00000000.rabck");
+  EXPECT_EQ(generation_filename(12), "ckpt-00000012.rabck");
+  for (std::size_t gen : {0u, 1u, 12u, 99999999u, 100000000u}) {
+    EXPECT_EQ(parse_generation(generation_filename(gen)), gen);
+  }
+  EXPECT_FALSE(parse_generation("ckpt-12.tmp").has_value());
+  EXPECT_FALSE(parse_generation("ckpt-.rabck").has_value());
+  EXPECT_FALSE(parse_generation("ckpt-12x34.rabck").has_value());
+  EXPECT_FALSE(parse_generation("snapshot.rabck").has_value());
+}
+
+TEST(Checkpoint, SaveRestoreRoundTripsAllState) {
+  ScratchDir dir("roundtrip");
+  const std::vector<rating::Rating> feed = make_feed();
+  const std::size_t half = feed.size() / 2;
+
+  OnlineMonitor original(base_config());
+  for (std::size_t i = 0; i < half; ++i) original.ingest(feed[i]);
+  const std::string path = dir.path() + "/snap.rabck";
+  fs::create_directories(dir.path());
+  original.save_checkpoint(path);
+
+  OnlineMonitor restored(base_config());
+  restored.restore_checkpoint(path);
+  EXPECT_EQ(observe(restored), observe(original));
+
+  // The restored monitor must continue exactly like the original.
+  for (std::size_t i = half; i < feed.size(); ++i) {
+    original.ingest(feed[i]);
+    restored.ingest(feed[i]);
+  }
+  original.flush();
+  restored.flush();
+  EXPECT_EQ(observe(restored), observe(original));
+}
+
+TEST(Checkpoint, RestoredRunMatchesUninterruptedRun) {
+  ScratchDir dir("replay");
+  const std::vector<rating::Rating> feed = make_feed();
+
+  OnlineMonitor reference(base_config());
+  for (const auto& r : feed) reference.ingest(r);
+  reference.flush();
+
+  OnlineConfig with_ckpt = base_config();
+  with_ckpt.checkpoint_dir = dir.path();
+  OnlineMonitor writer(with_ckpt);
+  const std::size_t crash_at = (feed.size() * 2) / 3;
+  for (std::size_t i = 0; i < crash_at; ++i) writer.ingest(feed[i]);
+  // "Crash": writer is abandoned; recover into a fresh monitor and replay
+  // the durable feed from the restored high-water mark.
+  OnlineMonitor recovered(with_ckpt);
+  const auto gen = recovered.restore_latest(dir.path());
+  ASSERT_TRUE(gen.has_value());
+  for (std::size_t i = recovered.ingested(); i < feed.size(); ++i) {
+    recovered.ingest(feed[i]);
+  }
+  recovered.flush();
+  EXPECT_EQ(observe(recovered), observe(reference));
+}
+
+TEST(Checkpoint, RestoreRejectsConfigMismatch) {
+  ScratchDir dir("mismatch");
+  fs::create_directories(dir.path());
+  const std::string path = dir.path() + "/snap.rabck";
+  OnlineMonitor original(base_config());
+  for (const auto& r : make_feed()) original.ingest(r);
+  original.save_checkpoint(path);
+
+  {
+    OnlineConfig other = base_config();
+    other.epoch_days = 20.0;
+    OnlineMonitor m(other);
+    EXPECT_THROW(m.restore_checkpoint(path), InvalidArgument);
+  }
+  {
+    OnlineConfig other = base_config();
+    other.toggles.use_me = !other.toggles.use_me;
+    OnlineMonitor m(other);
+    EXPECT_THROW(m.restore_checkpoint(path), InvalidArgument);
+  }
+  {
+    OnlineConfig other = base_config();
+    other.detectors.mc.glrt_threshold += 1.0;
+    OnlineMonitor m(other);
+    EXPECT_THROW(m.restore_checkpoint(path), InvalidArgument);
+  }
+  {
+    // Cache and checkpoint knobs are operational, not semantic: changing
+    // them must NOT invalidate a snapshot.
+    OnlineConfig other = base_config();
+    other.cache_streams = 0;
+    other.checkpoint_keep = 7;
+    other.checkpoint_every_epochs = 5;
+    OnlineMonitor m(other);
+    EXPECT_NO_THROW(m.restore_checkpoint(path));
+  }
+}
+
+TEST(Checkpoint, PeriodicCheckpointsPruneToKeepCount) {
+  ScratchDir dir("prune");
+  OnlineConfig config = base_config();
+  config.checkpoint_dir = dir.path();
+  config.checkpoint_keep = 3;
+  OnlineMonitor monitor(config);
+  for (const auto& r : make_feed()) monitor.ingest(r);
+  monitor.flush();
+
+  ASSERT_GT(monitor.epoch_stats().size(), 3u);
+  const std::vector<std::size_t> gens =
+      checkpoint::list_generations(dir.path());
+  EXPECT_EQ(gens.size(), 3u);
+  // The newest surviving generation is the flush's checkpoint.
+  EXPECT_EQ(gens.back(), monitor.epoch_stats().size());
+  for (std::size_t gen : gens) {
+    EXPECT_NO_THROW(checkpoint::verify_snapshot(
+        dir.path() + "/" + checkpoint::generation_filename(gen)));
+  }
+}
+
+TEST(Checkpoint, CheckpointEveryNSkipsIntermediateEpochs) {
+  ScratchDir dir("every-n");
+  OnlineConfig config = base_config();
+  config.checkpoint_dir = dir.path();
+  config.checkpoint_every_epochs = 4;
+  config.checkpoint_keep = 100;
+  OnlineMonitor monitor(config);
+  for (const auto& r : make_feed()) monitor.ingest(r);
+
+  for (std::size_t gen : checkpoint::list_generations(dir.path())) {
+    EXPECT_EQ(gen % 4, 0u) << "unexpected generation " << gen;
+  }
+}
+
+TEST(Checkpoint, RestoreLatestOnMissingOrEmptyDirIsNullopt) {
+  ScratchDir dir("empty");
+  OnlineMonitor monitor(base_config());
+  EXPECT_EQ(monitor.restore_latest(dir.path() + "/nonexistent"),
+            std::nullopt);
+  fs::create_directories(dir.path());
+  EXPECT_EQ(monitor.restore_latest(dir.path()), std::nullopt);
+}
+
+TEST(Checkpoint, TruncatedSnapshotDetectedAndSkipped) {
+  ScratchDir dir("truncate");
+  OnlineConfig config = base_config();
+  config.checkpoint_dir = dir.path();
+  OnlineMonitor monitor(config);
+  const std::vector<rating::Rating> feed = make_feed();
+  for (const auto& r : feed) monitor.ingest(r);
+  monitor.flush();
+
+  std::vector<std::size_t> gens = checkpoint::list_generations(dir.path());
+  ASSERT_GE(gens.size(), 2u);
+  const std::string newest =
+      dir.path() + "/" + checkpoint::generation_filename(gens.back());
+
+  // Tear the newest snapshot in half, as a crashed kernel might.
+  const auto size = fs::file_size(newest);
+  fs::resize_file(newest, size / 2);
+  EXPECT_THROW(checkpoint::verify_snapshot(newest), CorruptData);
+
+  OnlineMonitor recovered(config);
+  const auto gen = recovered.restore_latest(dir.path());
+  ASSERT_TRUE(gen.has_value());
+  EXPECT_EQ(*gen, gens[gens.size() - 2]);  // fell back one generation
+}
+
+TEST(Checkpoint, BitFlippedSnapshotDetectedAndSkipped) {
+  ScratchDir dir("bitflip");
+  OnlineConfig config = base_config();
+  config.checkpoint_dir = dir.path();
+  OnlineMonitor monitor(config);
+  for (const auto& r : make_feed()) monitor.ingest(r);
+  monitor.flush();
+
+  const std::vector<std::size_t> gens =
+      checkpoint::list_generations(dir.path());
+  ASSERT_GE(gens.size(), 2u);
+  const std::string newest =
+      dir.path() + "/" + checkpoint::generation_filename(gens.back());
+
+  // Flip one bit in the middle of the file (inside some section payload).
+  std::string image;
+  {
+    std::ifstream in(newest, std::ios::binary);
+    image.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  image[image.size() / 2] = static_cast<char>(image[image.size() / 2] ^ 0x10);
+  {
+    std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+  EXPECT_THROW(checkpoint::verify_snapshot(newest), CorruptData);
+
+  OnlineMonitor recovered(config);
+  const auto gen = recovered.restore_latest(dir.path());
+  ASSERT_TRUE(gen.has_value());
+  EXPECT_EQ(*gen, gens[gens.size() - 2]);
+}
+
+TEST(Checkpoint, FailedSnapshotWriteLeavesPreviousGenerationIntact) {
+  ScratchDir dir("failed-write");
+  OnlineConfig config = base_config();
+  config.checkpoint_dir = dir.path();
+  OnlineMonitor monitor(config);
+  const std::vector<rating::Rating> feed = make_feed();
+  const std::size_t half = feed.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) monitor.ingest(feed[i]);
+  const std::vector<std::size_t> before =
+      checkpoint::list_generations(dir.path());
+  ASSERT_FALSE(before.empty());
+
+  // Every later checkpoint write dies at the body; ingest surfaces the
+  // injected IoError, and no new generation may be published.
+  util::arm_failpoints("checkpoint.write.body:short,every=1");
+  bool crashed = false;
+  try {
+    for (std::size_t i = half; i < feed.size(); ++i) monitor.ingest(feed[i]);
+    monitor.flush();
+  } catch (const IoError&) {
+    crashed = true;
+  }
+  util::disarm_failpoints();
+  ASSERT_TRUE(crashed);
+
+  const std::vector<std::size_t> after =
+      checkpoint::list_generations(dir.path());
+  EXPECT_EQ(after, before);
+  for (std::size_t gen : after) {
+    EXPECT_NO_THROW(checkpoint::verify_snapshot(
+        dir.path() + "/" + checkpoint::generation_filename(gen)));
+  }
+}
+
+TEST(Checkpoint, InjectedCorruptionCaughtByChecksumOnRestore) {
+  ScratchDir dir("inject-corrupt");
+  OnlineConfig config = base_config();
+  config.checkpoint_dir = dir.path();
+  OnlineMonitor monitor(config);
+  const std::vector<rating::Rating> feed = make_feed();
+  const std::size_t half = feed.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) monitor.ingest(feed[i]);
+  const std::vector<std::size_t> before =
+      checkpoint::list_generations(dir.path());
+  ASSERT_FALSE(before.empty());
+
+  // The next snapshot write flips one bit after the checksums were
+  // computed — a published-but-rotten generation.
+  util::arm_failpoints("checkpoint.write.body:corrupt,seed=11");
+  std::size_t next = half;
+  while (next < feed.size() &&
+         util::failpoint_fires("checkpoint.write.body") == 0) {
+    monitor.ingest(feed[next++]);
+  }
+  util::disarm_failpoints();
+  const std::vector<std::size_t> after =
+      checkpoint::list_generations(dir.path());
+  ASSERT_GT(after.size(), 0u);
+  ASSERT_GT(after.back(), before.empty() ? 0 : before.back());
+
+  const std::string rotten =
+      dir.path() + "/" + checkpoint::generation_filename(after.back());
+  EXPECT_THROW(checkpoint::verify_snapshot(rotten), CorruptData);
+
+  // restore_latest skips the rotten generation and lands on a valid one.
+  OnlineMonitor recovered(config);
+  const auto gen = recovered.restore_latest(dir.path());
+  ASSERT_TRUE(gen.has_value());
+  EXPECT_LT(*gen, after.back());
+}
+
+TEST(Checkpoint, SnapshotOfEmptyMonitorRoundTrips) {
+  ScratchDir dir("fresh");
+  fs::create_directories(dir.path());
+  const std::string path = dir.path() + "/snap.rabck";
+  OnlineMonitor original(base_config());
+  original.save_checkpoint(path);
+  OnlineMonitor restored(base_config());
+  restored.restore_checkpoint(path);
+  EXPECT_EQ(observe(restored), observe(original));
+  EXPECT_EQ(restored.ingested(), 0u);
+}
+
+}  // namespace
+}  // namespace rab::detectors

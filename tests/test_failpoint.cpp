@@ -1,0 +1,169 @@
+// Tests for the deterministic fault-injection framework (util/failpoint).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+
+namespace rab::util {
+namespace {
+
+/// Every test leaves the process disarmed — a leaked policy would inject
+/// faults into unrelated tests.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { disarm_failpoints(); }
+};
+
+TEST_F(FailpointTest, DisarmedSitesDoNothing) {
+  ASSERT_FALSE(failpoints_armed());
+  EXPECT_NO_THROW(RAB_FAILPOINT("cache.insert"));
+  const FaultOutcome out = failpoint_io("checkpoint.write.body", 100);
+  EXPECT_EQ(out.write_bytes, 100u);
+  EXPECT_FALSE(out.corrupt);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  arm_failpoints("cache.insert:throw");
+  EXPECT_TRUE(failpoints_armed());
+  EXPECT_THROW(RAB_FAILPOINT("cache.insert"), IoError);
+  // Exhausted after the first fire; later passes are clean.
+  EXPECT_NO_THROW(RAB_FAILPOINT("cache.insert"));
+  EXPECT_NO_THROW(RAB_FAILPOINT("cache.insert"));
+  EXPECT_EQ(failpoint_fires("cache.insert"), 1u);
+}
+
+TEST_F(FailpointTest, UnarmedNameStaysClean) {
+  arm_failpoints("cache.insert:throw");
+  EXPECT_NO_THROW(RAB_FAILPOINT("monitor.analyze"));
+  EXPECT_EQ(failpoint_fires("monitor.analyze"), 0u);
+}
+
+TEST_F(FailpointTest, EveryNFiresOnEveryNthPass) {
+  arm_failpoints("monitor.analyze:throw,every=3");
+  int thrown = 0;
+  for (int i = 0; i < 9; ++i) {
+    try {
+      RAB_FAILPOINT("monitor.analyze");
+    } catch (const IoError&) {
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, 3);
+  EXPECT_EQ(failpoint_fires("monitor.analyze"), 3u);
+}
+
+TEST_F(FailpointTest, ProbabilisticIsSeededAndReproducible) {
+  const auto run = [] {
+    arm_failpoints("csv.read.line:throw,p=0.5,seed=42");
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      bool threw = false;
+      try {
+        RAB_FAILPOINT("csv.read.line");
+      } catch (const IoError&) {
+        threw = true;
+      }
+      fired.push_back(threw);
+    }
+    return fired;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  // p=0.5 over 64 passes fires at least once and spares at least once.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST_F(FailpointTest, ShortWriteHalvesTheBuffer) {
+  arm_failpoints("checkpoint.write.body:short");
+  const FaultOutcome out = failpoint_io("checkpoint.write.body", 100);
+  EXPECT_EQ(out.write_bytes, 50u);
+  std::string buf(100, 'x');
+  EXPECT_EQ(apply_fault(out, buf.data(), buf.size()), 50u);
+  EXPECT_EQ(buf, std::string(100, 'x'));  // short write never mutates
+}
+
+TEST_F(FailpointTest, CorruptFlipsExactlyOneBit) {
+  arm_failpoints("checkpoint.write.body:corrupt,seed=7");
+  const FaultOutcome out = failpoint_io("checkpoint.write.body", 64);
+  ASSERT_TRUE(out.corrupt);
+  EXPECT_EQ(out.write_bytes, 64u);
+  EXPECT_LT(out.corrupt_offset, 64u);
+  EXPECT_NE(out.corrupt_mask, 0);
+
+  std::string buf(64, '\0');
+  EXPECT_EQ(apply_fault(out, buf.data(), buf.size()), 64u);
+  int flipped_bits = 0;
+  for (char c : buf) {
+    for (int b = 0; b < 8; ++b) {
+      if ((static_cast<unsigned char>(c) >> b) & 1u) ++flipped_bits;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+}
+
+TEST_F(FailpointTest, ThrowAtIoSiteThrows) {
+  arm_failpoints("checkpoint.write.body:throw");
+  EXPECT_THROW((void)failpoint_io("checkpoint.write.body", 10), IoError);
+}
+
+TEST_F(FailpointTest, ControlFlowSiteDegradesShortAndCorruptToThrow) {
+  arm_failpoints("monitor.analyze:short");
+  EXPECT_THROW(RAB_FAILPOINT("monitor.analyze"), IoError);
+  arm_failpoints("monitor.analyze:corrupt");
+  EXPECT_THROW(RAB_FAILPOINT("monitor.analyze"), IoError);
+}
+
+TEST_F(FailpointTest, RejectsUnknownNameAndMalformedSpecs) {
+  EXPECT_THROW(arm_failpoints("no.such.failpoint:throw"), InvalidArgument);
+  EXPECT_THROW(arm_failpoints("cache.insert"), InvalidArgument);
+  EXPECT_THROW(arm_failpoints("cache.insert:explode"), InvalidArgument);
+  EXPECT_THROW(arm_failpoints("cache.insert:throw,every=0"), InvalidArgument);
+  EXPECT_THROW(arm_failpoints("cache.insert:throw,p=1.5"), InvalidArgument);
+  EXPECT_THROW(arm_failpoints("cache.insert:throw,every=x"), InvalidArgument);
+  // A failed arm must not leave anything armed.
+  EXPECT_FALSE(failpoints_armed());
+}
+
+TEST_F(FailpointTest, MultiplePoliciesArmIndependently) {
+  arm_failpoints("cache.insert:throw;monitor.compact:throw,every=2");
+  EXPECT_THROW(RAB_FAILPOINT("cache.insert"), IoError);
+  EXPECT_NO_THROW(RAB_FAILPOINT("monitor.compact"));   // pass 1 of every=2
+  EXPECT_THROW(RAB_FAILPOINT("monitor.compact"), IoError);  // pass 2
+}
+
+TEST_F(FailpointTest, DisarmRestoresFastPath) {
+  arm_failpoints("cache.insert:throw,every=1");
+  disarm_failpoints();
+  EXPECT_FALSE(failpoints_armed());
+  EXPECT_NO_THROW(RAB_FAILPOINT("cache.insert"));
+}
+
+TEST_F(FailpointTest, EnvArmIsExplicitOptIn) {
+  ::setenv("RAB_FAULTS", "cache.insert:throw", 1);
+  // Nothing armed until an entry point opts in.
+  EXPECT_FALSE(failpoints_armed());
+  arm_failpoints_from_env();
+  EXPECT_TRUE(failpoints_armed());
+  ::unsetenv("RAB_FAULTS");
+  disarm_failpoints();
+  arm_failpoints_from_env();  // unset env: no-op
+  EXPECT_FALSE(failpoints_armed());
+}
+
+TEST_F(FailpointTest, CatalogIsNonEmptyAndArmable) {
+  const auto catalog = failpoint_catalog();
+  ASSERT_GE(catalog.size(), 16u);
+  for (const std::string_view name : catalog) {
+    EXPECT_NO_THROW(arm_failpoints(std::string(name) + ":throw")) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rab::util

@@ -420,6 +420,43 @@ TEST(OnlineMonitor, RetentionBoundsResidentHistory) {
   EXPECT_TRUE(attack_alarm);
 }
 
+TEST(OnlineMonitor, CompactedMarksDoNotPoisonTheAlarmBaseline) {
+  // Two separated bursts on one product under a retention window narrow
+  // enough that the first burst's marked ratings are compacted away before
+  // the second burst arrives. Compaction subtracts the departed marks from
+  // the fresh-marks baseline (previous_marks); without that adjustment the
+  // baseline would stay inflated by the first burst and the second burst's
+  // marks would not register as fresh — no alarm.
+  rating::FairDataConfig fair_config;
+  fair_config.product_count = 2;
+  fair_config.history_days = 400.0;
+  fair_config.seed = 43;
+  const rating::Dataset data =
+      rating::FairDataGenerator(fair_config).generate();
+  const auto feed = merged_time_ordered(
+      data.with_added(burst_attack(ProductId(1), 100.0, 112.0, 50, 47))
+          .with_added(burst_attack(ProductId(1), 300.0, 312.0, 50, 53)));
+
+  OnlineConfig config;
+  config.epoch_days = 15.0;
+  config.retention_days = 60.0;
+  OnlineMonitor monitor(config);
+  monitor.ingest(std::span<const rating::Rating>(feed));
+  monitor.flush();
+
+  bool first_alarm = false;
+  bool second_alarm = false;
+  for (const Alarm& alarm : monitor.alarms()) {
+    if (alarm.product != ProductId(1)) continue;
+    if (alarm.interval.overlaps(Interval{95.0, 120.0})) first_alarm = true;
+    if (alarm.interval.overlaps(Interval{295.0, 320.0})) second_alarm = true;
+  }
+  EXPECT_TRUE(first_alarm);
+  EXPECT_TRUE(second_alarm);
+  // The first burst (and its marks) really did leave the window.
+  EXPECT_GT(monitor.compacted_ratings(), 0u);
+}
+
 TEST(OnlineMonitor, MatchesOfflineDetectionRoughly) {
   // The final streaming analysis sees the same data as the offline
   // integrator; spot-check that the monitor marked a similar number of

@@ -261,5 +261,71 @@ TEST(Io, WriteToFailedStreamThrows) {
   EXPECT_THROW(write_csv(out, data), Error);
 }
 
+// ------------------------------------------------- drop_prefix edge cases
+
+TEST(ProductRatings, DropPrefixZeroIsNoop) {
+  ProductRatings stream(ProductId(1));
+  stream.add(make(1.0, 3.0, 1));
+  stream.add(make(2.0, 4.0, 2));
+  stream.drop_prefix(0);
+  ASSERT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream.at(0).time, 1.0);
+}
+
+TEST(ProductRatings, DropPrefixEverythingLeavesEmptyStream) {
+  ProductRatings stream(ProductId(1));
+  stream.add(make(1.0, 3.0, 1));
+  stream.add(make(2.0, 4.0, 2));
+  stream.drop_prefix(2);
+  EXPECT_TRUE(stream.empty());
+  EXPECT_TRUE(stream.span().empty());
+  // The emptied stream is still usable: appends start a fresh history.
+  stream.add(make(5.0, 2.0, 3));
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream.at(0).time, 5.0);
+}
+
+TEST(ProductRatings, DropPrefixBeyondSizeViolatesPrecondition) {
+  ProductRatings stream(ProductId(1));
+  stream.add(make(1.0, 3.0, 1));
+  EXPECT_THROW(stream.drop_prefix(2), LogicError);
+  EXPECT_THROW(ProductRatings(ProductId(2)).drop_prefix(1), LogicError);
+}
+
+TEST(ProductRatings, DropPrefixOnDuplicateTimestampRunKeepsTheTail) {
+  // Five ratings sharing one timestamp: a boundary that lands inside the
+  // run must split it positionally, exactly where the index says, without
+  // disturbing the survivors' order.
+  ProductRatings stream(ProductId(1));
+  for (std::int64_t rater = 1; rater <= 5; ++rater) {
+    stream.add(make(10.0, static_cast<double>(rater), rater));
+  }
+  stream.drop_prefix(2);
+  ASSERT_EQ(stream.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(stream.at(i).time, 10.0);
+    EXPECT_EQ(stream.at(i).rater, RaterId(static_cast<std::int64_t>(i) + 3));
+  }
+}
+
+TEST(ProductRatings, DropPrefixMatchesIndexRangeCut) {
+  // The monitor compacts by dropping index_range([span.begin, cutoff)).last
+  // ratings; dropping that prefix must leave exactly the ratings with
+  // time >= cutoff (half-open interval semantics).
+  ProductRatings stream(ProductId(1));
+  const double times[] = {1.0, 2.0, 3.0, 3.0, 3.0, 4.0, 7.0};
+  std::int64_t rater = 1;
+  for (const double t : times) stream.add(make(t, 4.0, rater++));
+
+  const double cutoff = 3.0;
+  const auto stale = stream.index_range(Interval{stream.span().begin, cutoff});
+  EXPECT_EQ(stale.last, 2u);  // strictly-before-cutoff ratings only
+  stream.drop_prefix(stale.last);
+  ASSERT_EQ(stream.size(), 5u);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_GE(stream.at(i).time, cutoff);
+  }
+}
+
 }  // namespace
 }  // namespace rab::rating

@@ -1,9 +1,14 @@
 // Tests for util: tagged ids, day intervals, RNG, CSV.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
+#include "rating/io.hpp"
+#include "util/crc32.hpp"
 #include "util/csv.hpp"
 #include "util/day.hpp"
 #include "util/error.hpp"
@@ -300,6 +305,131 @@ TEST(Csv, ToIntInEnforcesRange) {
 
 TEST(Csv, ReadFileMissingThrows) {
   EXPECT_THROW(csv::read_file("/nonexistent/path.csv"), Error);
+}
+
+// ------------------------------------------------------------ csv fuzzing
+
+/// Random hostile CSV field: digits, signs, exponents, control bytes,
+/// overlong numbers, non-finite spellings — everything a malicious or
+/// corrupted feed could put on the wire.
+std::string fuzz_field(Rng& rng) {
+  static const std::vector<std::string> nasty = {
+      "",        "-",       "+",        ".",       "..",     "1e999999",
+      "-1e999999", "0x1f",  "nan",      "inf",     "-inf",   "NaN",
+      "1.5e",    "e5",      "1..2",     "--3",     "99999999999999999999",
+      "-99999999999999999999", " 1",    "1 ",      "1,2",    "#",
+      std::string(1, '\0'),  "3\t",     "\xff\xfe", "4.5x",  "true",
+  };
+  if (rng.bernoulli(0.4)) {
+    return nasty[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nasty.size()) - 1))];
+  }
+  static const std::string charset =
+      "0123456789+-.eE aZ#\t_%\x01\x7f";
+  std::string out;
+  const std::int64_t len = rng.uniform_int(0, 24);
+  for (std::int64_t i = 0; i < len; ++i) {
+    out.push_back(charset[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(charset.size()) - 1))]);
+  }
+  return out;
+}
+
+/// 10k seeded hostile fields through the scalar parsers: every call either
+/// returns a value honoring the documented contract or throws
+/// InvalidArgument — never another exception type, never a crash, never a
+/// silent out-of-range coercion.
+TEST(CsvFuzz, ScalarParsersParseOrThrowInvalidArgument) {
+  Rng rng(20260806);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::string field = fuzz_field(rng);
+    try {
+      const double d = csv::to_double(field);
+      (void)d;  // NaN/inf are representable doubles; finiteness is the
+                // rating layer's contract, not the field parser's.
+    } catch (const InvalidArgument&) {
+    } catch (const std::exception& e) {
+      FAIL() << "to_double(" << testing::PrintToString(field)
+             << ") threw non-InvalidArgument: " << e.what();
+    }
+    try {
+      const long long v = csv::to_int_in(field, 0, 1'000'000);
+      EXPECT_GE(v, 0) << testing::PrintToString(field);
+      EXPECT_LE(v, 1'000'000) << testing::PrintToString(field);
+    } catch (const InvalidArgument&) {
+    } catch (const std::exception& e) {
+      FAIL() << "to_int_in(" << testing::PrintToString(field)
+             << ") threw non-InvalidArgument: " << e.what();
+    }
+  }
+}
+
+/// Whole hostile CSV documents through the dataset reader: parse fully or
+/// throw InvalidArgument. (IoError is reserved for the environment; an
+/// in-memory stream cannot produce it.)
+TEST(CsvFuzz, DatasetReaderParsesOrThrowsInvalidArgument) {
+  Rng rng(926);
+  for (int doc = 0; doc < 400; ++doc) {
+    std::string text;
+    const std::int64_t lines = rng.uniform_int(0, 12);
+    for (std::int64_t l = 0; l < lines; ++l) {
+      const std::int64_t fields = rng.uniform_int(0, 7);
+      for (std::int64_t f = 0; f < fields; ++f) {
+        if (f > 0) text.push_back(',');
+        text += fuzz_field(rng);
+      }
+      text.push_back(rng.bernoulli(0.9) ? '\n' : '\r');
+    }
+    std::istringstream in(text);
+    try {
+      const rating::Dataset data = rating::read_csv(in);
+      // Accepted documents honor the dataset invariants: finite fields,
+      // non-negative ids.
+      for (ProductId id : data.product_ids()) {
+        for (const auto& r : data.product(id).ratings()) {
+          EXPECT_TRUE(std::isfinite(r.time) && std::isfinite(r.value));
+          EXPECT_GE(r.rater.value(), 0);
+          EXPECT_GE(r.product.value(), 0);
+        }
+      }
+    } catch (const InvalidArgument&) {
+    } catch (const std::exception& e) {
+      FAIL() << "read_csv threw non-InvalidArgument on doc " << doc << ": "
+             << e.what();
+    }
+  }
+}
+
+// ---------------------------------------------------------------- crc32
+
+TEST(Crc32, KnownVectors) {
+  // The classic IEEE 802.3 check value.
+  EXPECT_EQ(util::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(util::crc32(""), 0x00000000u);
+  EXPECT_EQ(util::crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    std::uint32_t crc = util::kCrc32Init;
+    crc = util::crc32_update(crc, data.data(), cut);
+    crc = util::crc32_update(crc, data.data() + cut, data.size() - cut);
+    EXPECT_EQ(util::crc32_final(crc), util::crc32(data)) << "cut " << cut;
+  }
+}
+
+TEST(Crc32, DetectsEverySingleBitFlip) {
+  const std::string data = "checkpoint section payload";
+  const std::uint32_t clean = util::crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = data;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      EXPECT_NE(util::crc32(mutated), clean)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
 }
 
 // ---------------------------------------------------------------- contracts

@@ -1,0 +1,323 @@
+// rab_chaos — standalone crash/recovery torture driver for OnlineMonitor.
+//
+// Builds a synthetic attacked feed, runs it uninterrupted for a reference,
+// then replays it while killing the monitor at every catalogued failpoint,
+// at injected short/corrupt snapshot writes, and at N random feed
+// positions — recovering from the newest valid checkpoint each time and
+// requiring the recovered run to be bit-identical (alarms, per-epoch
+// stats, raw trust evidence) to the reference, at every requested thread
+// count. Exit 0 when every scenario matches; 1 on any divergence.
+//
+//   rab_chaos
+//   rab_chaos --days 300 --products 4 --kill-points 50 --threads 1,8
+//   RAB_FAULTS='cache.insert:throw,every=64' rab_chaos --threads 8
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "detectors/checkpoint.hpp"
+#include "detectors/online_monitor.hpp"
+#include "rating/fair_generator.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rab;
+namespace fs = std::filesystem;
+
+struct Options {
+  double days = 150.0;
+  std::size_t products = 2;
+  std::uint64_t seed = 7;
+  std::size_t kill_points = 24;
+  std::vector<std::size_t> threads = {1, 8};
+  double epoch_days = 10.0;
+  double retention_days = 40.0;
+  std::string scratch = "rab-chaos-work";
+};
+
+std::vector<rating::Rating> make_feed(const Options& opt) {
+  rating::FairDataConfig config;
+  config.product_count = opt.products;
+  config.history_days = opt.days;
+  config.seed = opt.seed;
+  rating::Dataset data = rating::FairDataGenerator(config).generate();
+
+  // One burst attack per dataset so alarms and trust damage are real.
+  Rng rng(opt.seed * 1000003 + 1);
+  std::vector<rating::Rating> burst;
+  const double begin = opt.days * 0.4;
+  for (std::size_t i = 0; i < 50; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(begin, begin + 12.0);
+    r.value = 0.0;
+    r.rater = RaterId(1'000'000 + static_cast<std::int64_t>(i));
+    r.product = ProductId(1 % opt.products);
+    r.unfair = true;
+    burst.push_back(r);
+  }
+  data = data.with_added(burst);
+
+  std::vector<rating::Rating> feed;
+  for (ProductId id : data.product_ids()) {
+    const auto& rs = data.product(id).ratings();
+    feed.insert(feed.end(), rs.begin(), rs.end());
+  }
+  std::sort(feed.begin(), feed.end(), rating::ByTime{});
+  return feed;
+}
+
+detectors::OnlineConfig base_config(const Options& opt) {
+  detectors::OnlineConfig config;
+  config.epoch_days = opt.epoch_days;
+  config.retention_days = opt.retention_days;
+  config.trust_forgetting = 0.95;
+  return config;
+}
+
+/// Everything a recovered run must reproduce bit-identically.
+struct Observable {
+  std::vector<detectors::Alarm> alarms;
+  std::vector<detectors::OnlineEpochStats> epochs;
+  std::vector<trust::RaterCounts> trust;
+  std::size_t ingested = 0;
+  std::size_t resident = 0;
+  std::size_t compacted = 0;
+
+  friend bool operator==(const Observable&, const Observable&) = default;
+};
+
+Observable observe(const detectors::OnlineMonitor& m) {
+  return Observable{m.alarms(),           m.epoch_stats(),
+                    m.trust().export_counts(), m.ingested(),
+                    m.resident_ratings(), m.compacted_ratings()};
+}
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(std::string path) : path_(std::move(path)) {
+    fs::remove_all(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+detectors::OnlineMonitor recover(const detectors::OnlineConfig& config,
+                                 const std::string& dir) {
+  detectors::OnlineMonitor fresh(config);
+  (void)fresh.restore_latest(dir);
+  return fresh;
+}
+
+/// Replays the feed with `spec` armed; each injected IoError kills the
+/// monitor, which is then recovered from the checkpoint directory.
+Observable chaos_run(const std::vector<rating::Rating>& feed,
+                     const Options& opt, const std::string& dir,
+                     const std::string& spec, int& crashes) {
+  detectors::OnlineConfig config = base_config(opt);
+  config.checkpoint_dir = dir;
+  util::arm_failpoints(spec);
+  detectors::OnlineMonitor monitor(config);
+  std::size_t next = 0;
+  crashes = 0;
+  while (crashes < 128) {
+    try {
+      while (next < feed.size()) {
+        monitor.ingest(feed[next]);
+        ++next;
+      }
+      monitor.flush();
+      break;
+    } catch (const IoError&) {
+      ++crashes;
+      monitor = recover(config, dir);
+      next = monitor.ingested();
+    }
+  }
+  util::disarm_failpoints();
+  if (crashes >= 128) {
+    throw LogicError("chaos: no forward progress under '" + spec + "'");
+  }
+  return observe(monitor);
+}
+
+/// Abrupt kill at feed position `kill_at`, then recover and replay.
+Observable kill_run(const std::vector<rating::Rating>& feed,
+                    const Options& opt, const std::string& dir,
+                    std::size_t kill_at) {
+  detectors::OnlineConfig config = base_config(opt);
+  config.checkpoint_dir = dir;
+  {
+    detectors::OnlineMonitor doomed(config);
+    for (std::size_t i = 0; i < kill_at; ++i) doomed.ingest(feed[i]);
+  }
+  detectors::OnlineMonitor monitor = recover(config, dir);
+  for (std::size_t i = monitor.ingested(); i < feed.size(); ++i) {
+    monitor.ingest(feed[i]);
+  }
+  monitor.flush();
+  return observe(monitor);
+}
+
+struct Tally {
+  int scenarios = 0;
+  int mismatches = 0;
+
+  void check(bool ok, const char* kind, const std::string& what) {
+    ++scenarios;
+    if (!ok) {
+      ++mismatches;
+      std::printf("FAIL  %-10s %s: recovered run diverged\n", kind,
+                  what.c_str());
+    }
+  }
+};
+
+int run(const Options& opt) {
+  const std::vector<rating::Rating> feed = make_feed(opt);
+  std::printf("chaos: %zu ratings, %zu products, %.0f days, epochs of %.0f "
+              "days\n",
+              feed.size(), opt.products, opt.days, opt.epoch_days);
+
+  Tally tally;
+  for (const std::size_t threads : opt.threads) {
+    util::set_thread_count(threads);
+    std::printf("-- %zu thread(s)\n", threads);
+
+    detectors::OnlineMonitor reference_monitor(base_config(opt));
+    for (const auto& r : feed) reference_monitor.ingest(r);
+    reference_monitor.flush();
+    const Observable reference = observe(reference_monitor);
+    std::printf("reference: %zu epochs, %zu alarms, %zu raters\n",
+                reference.epochs.size(), reference.alarms.size(),
+                reference.trust.size());
+
+    int fired = 0;
+    for (const std::string_view name : util::failpoint_catalog()) {
+      ScratchDir dir(opt.scratch);
+      int crashes = 0;
+      const Observable got = chaos_run(feed, opt, dir.path(),
+                                       std::string(name) + ":throw",
+                                       crashes);
+      tally.check(got == reference, "failpoint", std::string(name));
+      if (util::failpoint_fires(name) > 0) ++fired;
+    }
+    std::printf("failpoints: %zu catalogued, %d on the monitor path\n",
+                util::failpoint_catalog().size(), fired);
+
+    for (const std::string& spec :
+         {std::string("checkpoint.write.body:short"),
+          std::string("checkpoint.write.body:corrupt,seed=3"),
+          std::string("checkpoint.write.body:short,every=4"),
+          std::string("checkpoint.write.rename:throw,every=5")}) {
+      ScratchDir dir(opt.scratch);
+      int crashes = 0;
+      const Observable got = chaos_run(feed, opt, dir.path(), spec, crashes);
+      tally.check(got == reference, "inject", spec);
+    }
+
+    Rng rng(opt.seed * 31 + 2026);
+    std::vector<std::size_t> kills{0, 1, feed.size() - 1, feed.size()};
+    while (kills.size() < opt.kill_points) {
+      kills.push_back(static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(feed.size()) - 1)));
+    }
+    for (const std::size_t kill_at : kills) {
+      ScratchDir dir(opt.scratch);
+      tally.check(kill_run(feed, opt, dir.path(), kill_at) == reference,
+                  "kill", "at rating " + std::to_string(kill_at));
+    }
+    std::printf("kill points: %zu random positions recovered\n",
+                kills.size());
+  }
+
+  if (tally.mismatches == 0) {
+    std::printf("chaos: all %d scenarios bit-identical\n", tally.scenarios);
+    return 0;
+  }
+  std::printf("chaos: %d of %d scenarios DIVERGED\n", tally.mismatches,
+              tally.scenarios);
+  return 1;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rab_chaos [--days D] [--products N] [--seed S]\n"
+      "                 [--kill-points N] [--threads 1,8]\n"
+      "                 [--epoch DAYS] [--retention DAYS] [--dir PATH]\n"
+      "Crash/recovery torture test: exit 0 when every recovered run is\n"
+      "bit-identical to the uninterrupted reference, 1 otherwise.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    std::map<std::string, std::string> flags;
+    for (int i = 1; i + 1 < argc; i += 2) {
+      const std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) return usage();
+      flags[key.substr(2)] = argv[i + 1];
+    }
+    if ((argc - 1) % 2 != 0) return usage();
+
+    const auto get = [&](const char* name, auto parse, auto fallback) {
+      const auto it = flags.find(name);
+      return it == flags.end() ? fallback : parse(it->second);
+    };
+    opt.days = get("days", [](const std::string& s) { return std::stod(s); },
+                   opt.days);
+    opt.products = get(
+        "products",
+        [](const std::string& s) { return std::stoul(s); }, opt.products);
+    opt.seed = get("seed",
+                   [](const std::string& s) { return std::stoull(s); },
+                   opt.seed);
+    opt.kill_points = get(
+        "kill-points",
+        [](const std::string& s) { return std::stoul(s); }, opt.kill_points);
+    opt.epoch_days = get("epoch",
+                         [](const std::string& s) { return std::stod(s); },
+                         opt.epoch_days);
+    opt.retention_days = get(
+        "retention", [](const std::string& s) { return std::stod(s); },
+        opt.retention_days);
+    opt.scratch = get("dir", [](const std::string& s) { return s; },
+                      opt.scratch);
+    if (const auto it = flags.find("threads"); it != flags.end()) {
+      opt.threads.clear();
+      std::string list = it->second;
+      std::size_t begin = 0;
+      while (begin <= list.size()) {
+        const std::size_t end = std::min(list.find(',', begin), list.size());
+        opt.threads.push_back(std::stoul(list.substr(begin, end - begin)));
+        begin = end + 1;
+      }
+    }
+    if (opt.kill_points < 4 || opt.threads.empty() || opt.products == 0) {
+      return usage();
+    }
+    return run(opt);
+  } catch (const InvalidArgument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -42,6 +42,7 @@
 #include "rating/fair_generator.hpp"
 #include "rating/io.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 
 namespace {
 
@@ -54,12 +55,12 @@ class Args {
     for (int i = first; i + 1 < argc; i += 2) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
-        throw Error("expected --flag, got '" + key + "'");
+        throw InvalidArgument("expected --flag, got '" + key + "'");
       }
       values_[key.substr(2)] = argv[i + 1];
     }
     if ((argc - first) % 2 != 0) {
-      throw Error("flags must come in --name value pairs");
+      throw InvalidArgument("flags must come in --name value pairs");
     }
   }
 
@@ -68,7 +69,7 @@ class Args {
     const auto it = values_.find(name);
     if (it != values_.end()) return it->second;
     if (!fallback.empty()) return fallback;
-    throw Error("missing required flag --" + name);
+    throw InvalidArgument("missing required flag --" + name);
   }
 
   [[nodiscard]] double get_double(const std::string& name,
@@ -94,7 +95,8 @@ std::unique_ptr<aggregation::AggregationScheme> make_scheme(
   if (name == "P") return std::make_unique<aggregation::PScheme>();
   if (name == "MED") return std::make_unique<aggregation::MedianScheme>();
   if (name == "ENT") return std::make_unique<aggregation::EntropyScheme>();
-  throw Error("unknown scheme '" + name + "' (use SA, BF, P, MED or ENT)");
+  throw InvalidArgument("unknown scheme '" + name +
+                        "' (use SA, BF, P, MED or ENT)");
 }
 
 challenge::Challenge load_challenge(const Args& args) {
@@ -132,8 +134,8 @@ int cmd_attack(const Args& args) {
   } else if (mode == "blend") {
     profile.correlation = core::CorrelationMode::kBlend;
   } else if (mode != "random") {
-    throw Error("unknown correlation mode '" + mode +
-                "' (use random, heuristic or blend)");
+    throw InvalidArgument("unknown correlation mode '" + mode +
+                          "' (use random, heuristic or blend)");
   }
   const core::AttackGenerator generator(ch, args.get_u64("seed", 1));
   const challenge::Submission submission =
@@ -151,10 +153,10 @@ int cmd_population(const Args& args) {
   const auto submissions = population.generate(
       static_cast<std::size_t>(args.get_u64("count", 251)));
   std::ofstream out(args.get("out"));
-  if (!out) throw Error("cannot open " + args.get("out"));
+  if (!out) throw IoError("cannot open " + args.get("out"));
   challenge::write_population(out, submissions);
   out.flush();
-  if (!out) throw Error("write failed (disk full?): " + args.get("out"));
+  if (!out) throw IoError("write failed (disk full?): " + args.get("out"));
   std::printf("wrote %zu submissions to %s\n", submissions.size(),
               args.get("out").c_str());
   return 0;
@@ -222,7 +224,7 @@ int cmd_report(const Args& args) {
   const std::string report = challenge::markdown_report(data, options);
   if (const std::string out_path = args.get("out", "-"); out_path != "-") {
     std::ofstream out(out_path);
-    if (!out) throw Error("cannot open " + out_path);
+    if (!out) throw IoError("cannot open " + out_path);
     out << report;
     std::printf("report written to %s\n", out_path.c_str());
   } else {
@@ -338,13 +340,20 @@ int cmd_monitor(const Args& args) {
       args.get_double("forgetting", config.trust_forgetting);
   config.cache_streams = static_cast<std::size_t>(
       args.get_u64("cache-streams", config.cache_streams));
+  config.checkpoint_dir = args.get("checkpoint-dir", "-") == "-"
+                              ? std::string()
+                              : args.get("checkpoint-dir");
+  config.checkpoint_every_epochs = static_cast<std::size_t>(
+      args.get_u64("checkpoint-every", config.checkpoint_every_epochs));
+  config.checkpoint_keep = static_cast<std::size_t>(
+      args.get_u64("checkpoint-keep", config.checkpoint_keep));
   detectors::OnlineMonitor monitor(config);
 
   std::FILE* out = stdout;
   std::FILE* opened = nullptr;
   if (const std::string out_path = args.get("out", "-"); out_path != "-") {
     opened = std::fopen(out_path.c_str(), "w");
-    if (opened == nullptr) throw Error("cannot open " + out_path);
+    if (opened == nullptr) throw IoError("cannot open " + out_path);
     out = opened;
   }
 
@@ -352,8 +361,32 @@ int cmd_monitor(const Args& args) {
       1, static_cast<std::size_t>(args.get_u64("chunk", 512)));
   std::size_t alarms_seen = 0;
   std::size_t epochs_seen = 0;
+  std::size_t start = 0;
+
+  // Crash recovery: restore the newest valid snapshot and resume the feed
+  // from the restored high-water mark — the continued run is bit-identical
+  // to one that never crashed. Records from before the crash were already
+  // emitted by the previous process, so the drain counters skip them.
+  if (!config.checkpoint_dir.empty()) {
+    if (const auto gen = monitor.restore_latest(config.checkpoint_dir)) {
+      start = monitor.ingested();
+      alarms_seen = monitor.alarms().size();
+      epochs_seen = monitor.epoch_stats().size();
+      std::fprintf(out,
+                   "{\"type\":\"resume\",\"generation\":%zu,"
+                   "\"ingested\":%zu,\"alarms\":%zu,\"epochs\":%zu}\n",
+                   *gen, start, alarms_seen, epochs_seen);
+      if (start > feed.size()) {
+        throw InvalidArgument(
+            "monitor: checkpoint is ahead of the feed (restored " +
+            std::to_string(start) + " ratings, feed has " +
+            std::to_string(feed.size()) + ") — wrong --data file?");
+      }
+    }
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < feed.size(); i += chunk) {
+  for (std::size_t i = start; i < feed.size(); i += chunk) {
     const std::size_t n = std::min(chunk, feed.size() - i);
     monitor.ingest(std::span<const rating::Rating>(feed.data() + i, n));
     drain_monitor(monitor, alarms_seen, epochs_seen, out);
@@ -402,7 +435,7 @@ int cmd_monitor(const Args& args) {
 
   if (opened != nullptr) {
     if (std::fclose(opened) != 0) {
-      throw Error("monitor: write failed (disk full?)");
+      throw IoError("monitor: write failed (disk full?)");
     }
   }
   return 0;
@@ -424,7 +457,22 @@ int usage() {
       "  report     --data F [--bin DAYS --trust-below T --out F]\n"
       "  monitor    --data F|- [--epoch DAYS --retention DAYS\n"
       "             --min-marks N --forgetting L --cache-streams N\n"
-      "             --chunk N --out F]   (JSONL alarms + epoch counters)\n");
+      "             --chunk N --out F --checkpoint-dir DIR\n"
+      "             --checkpoint-every N --checkpoint-keep K]\n"
+      "             (JSONL alarms + epoch counters; with --checkpoint-dir\n"
+      "             the monitor snapshots its state there every N epochs\n"
+      "             and resumes from the newest valid snapshot on start)\n"
+      "environment:\n"
+      "  RAB_THREADS   worker threads for the analysis fan-out\n"
+      "  RAB_FAULTS    deterministic fault injection spec, e.g.\n"
+      "                'checkpoint.write.body:corrupt' (see\n"
+      "                src/util/failpoint.hpp for the grammar + catalog)\n"
+      "exit codes:\n"
+      "  0   success\n"
+      "  1   runtime failure (unexpected exception)\n"
+      "  2   usage, bad input, or I/O environment error\n"
+      "      (InvalidArgument / IoError)\n"
+      "  70  internal invariant violation (LogicError; please report)\n");
   return 2;
 }
 
@@ -434,6 +482,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    // Fault injection is an explicit opt-in read once at the entry point;
+    // library code never looks at the environment on its own.
+    util::arm_failpoints_from_env();
     const Args args(argc, argv, 2);
     if (command == "generate") return cmd_generate(args);
     if (command == "attack") return cmd_attack(args);
@@ -445,6 +496,16 @@ int main(int argc, char** argv) {
     if (command == "monitor") return cmd_monitor(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
+  } catch (const LogicError& e) {
+    // A library invariant broke: the bug is ours, not the caller's.
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 70;  // EX_SOFTWARE
+  } catch (const InvalidArgument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

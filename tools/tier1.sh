@@ -6,6 +6,8 @@
 #   tools/tier1.sh           # build + ctest + streaming-monitor smoke test
 #   tools/tier1.sh --tsan    # additionally: TSAN build of the threaded tests
 #   tools/tier1.sh --ubsan   # additionally: UBSan build of the ingest tests
+#   tools/tier1.sh --chaos   # additionally: ASan+UBSan build of the
+#                            # checkpoint/failpoint crash-recovery torture
 #
 # The TSAN pass builds into build-tsan/ with -DRAB_TSAN=ON and runs the
 # tests that exercise the thread pool (test_parallel), the detector suite
@@ -17,6 +19,12 @@
 # suites that parse untrusted input or narrow integers (test_util,
 # test_rating, test_challenge) plus the streaming monitor
 # (test_online_monitor).
+#
+# The chaos pass builds into build-chaos/ with -DRAB_ASAN=ON -DRAB_UBSAN=ON
+# and runs the fault-injection and checkpoint suites (test_failpoint,
+# test_checkpoint, test_chaos) plus the rab_chaos kill-and-restore driver,
+# at 1 and 8 worker threads. Every snapshot written mid-crash must restore
+# bit-identically or be rejected by its checksum.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,4 +51,18 @@ if [[ "${1:-}" == "--ubsan" ]]; then
   ./build-ubsan/tests/test_rating
   ./build-ubsan/tests/test_challenge
   RAB_THREADS=8 ./build-ubsan/tests/test_online_monitor
+fi
+
+if [[ "${1:-}" == "--chaos" ]]; then
+  cmake -B build-chaos -S . -DRAB_ASAN=ON -DRAB_UBSAN=ON >/dev/null
+  cmake --build build-chaos -j "$(nproc)" \
+    --target test_failpoint test_checkpoint test_chaos rab_chaos
+  for threads in 1 8; do
+    RAB_THREADS="$threads" ./build-chaos/tests/test_failpoint
+    RAB_THREADS="$threads" ./build-chaos/tests/test_checkpoint
+    RAB_THREADS="$threads" ./build-chaos/tests/test_chaos
+  done
+  # Kill-and-restore torture across every catalogued failpoint plus random
+  # kill offsets; checks bit-identical recovery at 1 and 8 threads itself.
+  ./build-chaos/tools/rab_chaos
 fi
