@@ -1,0 +1,104 @@
+// Instrumentation-overhead microbenches (google-benchmark): what a
+// metrics touch costs on the hot paths it was added to. The load-bearing
+// numbers are the disarmed ones — BM_MetricsCounterDisabled is the price
+// every instrumented call site pays when collection is off (one relaxed
+// atomic load, the same fast path as a disarmed failpoint,
+// BM_FailpointDisarmed alongside for comparison) — plus BM_MetricsScrape,
+// which bounds how much a `rab stats` export or a `--metrics-out`
+// snapshot steals from the epoch loop. Span benches cover the tracer the
+// same way. Under RAB_NO_METRICS the enabled/disabled distinction
+// disappears and the benches measure the compiled-out stubs.
+#include <benchmark/benchmark.h>
+
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace {
+
+using namespace rab;
+
+util::metrics::Counter& bench_counter() {
+  return util::metrics::counter("bench.metrics.ticks");
+}
+
+util::metrics::Histogram& bench_histogram() {
+  return util::metrics::histogram("bench.metrics.seconds",
+                                  util::metrics::latency_bounds_seconds());
+}
+
+void BM_MetricsCounterEnabled(benchmark::State& state) {
+  util::metrics::set_enabled(util::metrics::kCompiledIn);
+  util::metrics::Counter& ticks = bench_counter();
+  for (auto _ : state) {
+    ticks.add(1);
+  }
+}
+BENCHMARK(BM_MetricsCounterEnabled);
+
+void BM_MetricsCounterDisabled(benchmark::State& state) {
+  util::metrics::set_enabled(false);
+  util::metrics::Counter& ticks = bench_counter();
+  for (auto _ : state) {
+    ticks.add(1);
+  }
+  util::metrics::set_enabled(util::metrics::kCompiledIn);
+}
+BENCHMARK(BM_MetricsCounterDisabled);
+
+// The bar the disarmed counter is measured against: a disarmed failpoint
+// check, this repo's existing "free when off" reference.
+void BM_FailpointDisarmed(benchmark::State& state) {
+  for (auto _ : state) {
+    RAB_FAILPOINT("checkpoint.write.body");
+  }
+}
+BENCHMARK(BM_FailpointDisarmed);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  util::metrics::set_enabled(util::metrics::kCompiledIn);
+  util::metrics::Histogram& seconds = bench_histogram();
+  double value = 0.0;
+  for (auto _ : state) {
+    seconds.observe(value);
+    value = value < 1.0 ? value + 1e-4 : 0.0;
+  }
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_MetricsScrape(benchmark::State& state) {
+  util::metrics::set_enabled(util::metrics::kCompiledIn);
+  bench_counter().add(1);
+  bench_histogram().observe(0.5);
+  for (auto _ : state) {
+    util::metrics::Snapshot snap = util::metrics::scrape();
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_MetricsScrape);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  util::trace::clear();
+  util::trace::set_enabled(true);
+  for (auto _ : state) {
+    RAB_TRACE_SPAN("bench.span");
+    // Spans land in a bounded per-thread buffer; drain it so the bench
+    // measures recording, not the buffer-full early-out.
+    if (state.iterations() % 4096 == 0) util::trace::clear();
+  }
+  util::trace::set_enabled(false);
+  util::trace::clear();
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  util::trace::set_enabled(false);
+  for (auto _ : state) {
+    RAB_TRACE_SPAN("bench.span");
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+}  // namespace
+
+BENCHMARK_MAIN();

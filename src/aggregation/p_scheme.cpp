@@ -8,8 +8,10 @@
 
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/scratch.hpp"
+#include "util/trace.hpp"
 
 namespace rab::aggregation {
 
@@ -226,6 +228,9 @@ AggregateSeries PScheme::aggregate(const rating::Dataset& data,
 AggregateSeries PScheme::aggregate_detailed(const rating::Dataset& data,
                                             double bin_days,
                                             PDiagnostics* diagnostics) const {
+  static auto& aggregates = util::metrics::counter("scheme.p.aggregates");
+  aggregates.add();
+  RAB_TRACE_SPAN("scheme.p.aggregate");
   const std::vector<ProductId> ids = data.product_ids();
   std::vector<const rating::ProductRatings*> streams;
   streams.reserve(ids.size());
@@ -237,6 +242,10 @@ AggregateSeries PScheme::aggregate_detailed(const rating::Dataset& data,
 AggregateSeries PScheme::aggregate_overlay(
     const rating::DatasetOverlay& data, double bin_days,
     const AggregateSeries* /*fair_baseline*/) const {
+  static auto& aggregates =
+      util::metrics::counter("scheme.p.overlay_aggregates");
+  aggregates.add();
+  RAB_TRACE_SPAN("scheme.p.aggregate_overlay");
   const std::vector<ProductId> ids = data.product_ids();
   // Merge the touched products up front (on this thread — OverlayProduct's
   // lazy merge is not re-entrant); untouched products hand back the base

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <span>
 
+#include "detectors/instrumentation.hpp"
 #include "signal/rolling.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/glrt.hpp"
@@ -64,6 +65,25 @@ signal::Curve ArrivalRateDetector::indicator_curve(
 }
 
 DetectionResult ArrivalRateDetector::detect(
+    const rating::ProductRatings& stream) const {
+  static const detail::DetectorInstruments arc =
+      detail::DetectorInstruments::make("detector.arc");
+  static const detail::DetectorInstruments harc =
+      detail::DetectorInstruments::make("detector.harc");
+  static const detail::DetectorInstruments larc =
+      detail::DetectorInstruments::make("detector.larc");
+  switch (mode_) {
+    case ArcMode::kHigh:
+      return harc.run("detector.harc", [&] { return detect_impl(stream); });
+    case ArcMode::kLow:
+      return larc.run("detector.larc", [&] { return detect_impl(stream); });
+    case ArcMode::kAll:
+      break;
+  }
+  return arc.run("detector.arc", [&] { return detect_impl(stream); });
+}
+
+DetectionResult ArrivalRateDetector::detect_impl(
     const rating::ProductRatings& stream) const {
   DetectionResult result;
   result.curve = indicator_curve(stream);

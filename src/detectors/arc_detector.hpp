@@ -31,6 +31,11 @@ class ArrivalRateDetector {
   [[nodiscard]] const ArcConfig& config() const { return config_; }
 
  private:
+  /// The uninstrumented detection; detect() wraps it with the per-mode
+  /// run/alarm counters and latency histogram (docs/METRICS.md).
+  [[nodiscard]] DetectionResult detect_impl(
+      const rating::ProductRatings& stream) const;
+
   /// Daily counts of the ratings this mode watches.
   [[nodiscard]] std::vector<double> mode_counts(
       const rating::ProductRatings& stream, Day day_begin, Day day_end) const;

@@ -20,10 +20,32 @@
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rab::detectors {
 
 namespace {
+
+/// Checkpoint observability (docs/METRICS.md): attempt counters and
+/// whole-operation timings. Counters count attempts; a save or restore
+/// that throws still counted.
+struct CheckpointMetrics {
+  util::metrics::Counter& saves =
+      util::metrics::counter("checkpoint.saves");
+  util::metrics::Counter& restores =
+      util::metrics::counter("checkpoint.restores");
+  util::metrics::Histogram& save_seconds = util::metrics::histogram(
+      "checkpoint.save.seconds", util::metrics::latency_bounds_seconds());
+  util::metrics::Histogram& restore_seconds = util::metrics::histogram(
+      "checkpoint.restore.seconds",
+      util::metrics::latency_bounds_seconds());
+
+  static const CheckpointMetrics& get() {
+    static const CheckpointMetrics instance;
+    return instance;
+  }
+};
 
 namespace fs = std::filesystem;
 
@@ -371,6 +393,10 @@ void verify_snapshot(const std::string& path) {
 }  // namespace checkpoint
 
 void OnlineMonitor::save_checkpoint(const std::string& path) const {
+  CheckpointMetrics::get().saves.add();
+  const util::metrics::ScopedTimer timer(
+      CheckpointMetrics::get().save_seconds);
+  RAB_TRACE_SPAN("checkpoint.save");
   std::vector<Section> sections;
   sections.push_back(Section{kConf, encode_config(config_)});
 
@@ -463,6 +489,10 @@ void OnlineMonitor::save_checkpoint(const std::string& path) const {
 }
 
 void OnlineMonitor::restore_checkpoint(const std::string& path) {
+  CheckpointMetrics::get().restores.add();
+  const util::metrics::ScopedTimer timer(
+      CheckpointMetrics::get().restore_seconds);
+  RAB_TRACE_SPAN("checkpoint.restore");
   const std::string image = read_file(path);
   const std::map<std::uint32_t, std::string> sections = disassemble(image);
 

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "cluster/single_linkage.hpp"
+#include "detectors/instrumentation.hpp"
 #include "util/error.hpp"
 
 namespace rab::detectors {
@@ -46,6 +47,13 @@ signal::Curve HistogramDetector::indicator_curve(
 }
 
 DetectionResult HistogramDetector::detect(
+    const rating::ProductRatings& stream) const {
+  static const detail::DetectorInstruments instruments =
+      detail::DetectorInstruments::make("detector.hc");
+  return instruments.run("detector.hc", [&] { return detect_impl(stream); });
+}
+
+DetectionResult HistogramDetector::detect_impl(
     const rating::ProductRatings& stream) const {
   DetectionResult result;
   result.curve = indicator_curve(stream);

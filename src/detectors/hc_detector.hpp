@@ -26,6 +26,11 @@ class HistogramDetector {
   [[nodiscard]] const HcConfig& config() const { return config_; }
 
  private:
+  /// The uninstrumented detection; detect() wraps it with the run/alarm
+  /// counters and latency histogram (docs/METRICS.md).
+  [[nodiscard]] DetectionResult detect_impl(
+      const rating::ProductRatings& stream) const;
+
   HcConfig config_;
 };
 

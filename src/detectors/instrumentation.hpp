@@ -1,0 +1,48 @@
+// Shared instrumentation bundle for the detector bank (internal header).
+//
+// Each detector's public detect() is a thin wrapper: count the run, time
+// it, open a trace span, and count an alarm when the detection reports at
+// least one suspicious interval. The bundle keeps the three handles
+// together so every detector instruments identically (metric names are
+// catalogued in docs/METRICS.md). Observation-only: results are
+// bit-identical with metrics enabled, disabled, or compiled out.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "detectors/config.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace rab::detectors::detail {
+
+struct DetectorInstruments {
+  util::metrics::Counter& runs;
+  util::metrics::Counter& alarms;  ///< detections with >= 1 interval
+  util::metrics::Histogram& seconds;
+
+  /// Registers "<prefix>.runs", "<prefix>.alarms", "<prefix>.seconds".
+  static DetectorInstruments make(const std::string& prefix) {
+    return DetectorInstruments{
+        util::metrics::counter(prefix + ".runs"),
+        util::metrics::counter(prefix + ".alarms"),
+        util::metrics::histogram(prefix + ".seconds",
+                                 util::metrics::latency_bounds_seconds())};
+  }
+
+  /// Runs one detection under the counters/timer/span. `span_name` must
+  /// have static storage duration (a literal).
+  template <typename Fn>
+  DetectionResult run(std::string_view span_name, Fn&& fn) const {
+    runs.add();
+    const util::metrics::ScopedTimer timer(seconds);
+    RAB_TRACE_SPAN(span_name);
+    DetectionResult result = std::forward<Fn>(fn)();
+    if (result.any_suspicious()) alarms.add();
+    return result;
+  }
+};
+
+}  // namespace rab::detectors::detail

@@ -4,6 +4,8 @@
 
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rab::detectors {
 
@@ -80,6 +82,9 @@ void DetectorIntegrator::run_mc_and_integrate(
 
 IntegrationResult DetectorIntegrator::analyze(
     const rating::ProductRatings& stream, const TrustLookup& trust) const {
+  static auto& analyses = util::metrics::counter("integrator.analyses");
+  analyses.add();
+  RAB_TRACE_SPAN("integrator.analyze");
   IntegrationResult result;
   result.suspicious.assign(stream.size(), false);
   if (stream.empty()) return result;
@@ -92,6 +97,10 @@ IntegrationResult DetectorIntegrator::analyze(
 std::shared_ptr<const IntegrationResult> DetectorIntegrator::analyze_cached(
     const rating::ProductRatings& stream, const TrustLookup& trust,
     IntegrationCache& cache, const Fingerprint* stream_fp) const {
+  static auto& analyses =
+      util::metrics::counter("integrator.cached_analyses");
+  analyses.add();
+  RAB_TRACE_SPAN("integrator.analyze_cached");
   const Fingerprint sfp =
       stream_fp != nullptr ? *stream_fp : stream_fingerprint(stream);
   // Only the MC detector consults trust; with MC disabled every trust

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "detectors/instrumentation.hpp"
 #include "signal/rolling.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/glrt.hpp"
@@ -37,6 +38,14 @@ signal::Curve MeanChangeDetector::indicator_curve(
 }
 
 DetectionResult MeanChangeDetector::detect(
+    const rating::ProductRatings& stream, const TrustLookup& trust) const {
+  static const detail::DetectorInstruments instruments =
+      detail::DetectorInstruments::make("detector.mc");
+  return instruments.run("detector.mc",
+                         [&] { return detect_impl(stream, trust); });
+}
+
+DetectionResult MeanChangeDetector::detect_impl(
     const rating::ProductRatings& stream, const TrustLookup& trust) const {
   DetectionResult result;
   result.curve = indicator_curve(stream);

@@ -29,6 +29,11 @@ class MeanChangeDetector {
   [[nodiscard]] const McConfig& config() const { return config_; }
 
  private:
+  /// The uninstrumented detection; detect() wraps it with the run/alarm
+  /// counters and latency histogram (docs/METRICS.md).
+  [[nodiscard]] DetectionResult detect_impl(
+      const rating::ProductRatings& stream, const TrustLookup& trust) const;
+
   McConfig config_;
 };
 

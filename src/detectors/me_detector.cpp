@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "detectors/instrumentation.hpp"
 #include "signal/ar.hpp"
 #include "util/error.hpp"
 
@@ -33,6 +34,13 @@ signal::Curve ModelErrorDetector::indicator_curve(
 }
 
 DetectionResult ModelErrorDetector::detect(
+    const rating::ProductRatings& stream) const {
+  static const detail::DetectorInstruments instruments =
+      detail::DetectorInstruments::make("detector.me");
+  return instruments.run("detector.me", [&] { return detect_impl(stream); });
+}
+
+DetectionResult ModelErrorDetector::detect_impl(
     const rating::ProductRatings& stream) const {
   DetectionResult result;
   result.curve = indicator_curve(stream);

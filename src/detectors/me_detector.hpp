@@ -27,6 +27,11 @@ class ModelErrorDetector {
   [[nodiscard]] const MeConfig& config() const { return config_; }
 
  private:
+  /// The uninstrumented detection; detect() wraps it with the run/alarm
+  /// counters and latency histogram (docs/METRICS.md).
+  [[nodiscard]] DetectionResult detect_impl(
+      const rating::ProductRatings& stream) const;
+
   MeConfig config_;
 };
 

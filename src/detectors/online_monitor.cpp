@@ -6,9 +6,40 @@
 
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace rab::detectors {
+
+namespace {
+
+/// Streaming-monitor observability (docs/METRICS.md). Counters accumulate
+/// across every OnlineMonitor in the process; the gauges reflect the most
+/// recently analyzed monitor.
+struct MonitorMetrics {
+  util::metrics::Counter& ingested =
+      util::metrics::counter("monitor.ingested");
+  util::metrics::Counter& epochs =
+      util::metrics::counter("monitor.epochs");
+  util::metrics::Counter& alarms =
+      util::metrics::counter("monitor.alarms");
+  util::metrics::Counter& compacted =
+      util::metrics::counter("monitor.compacted_ratings");
+  util::metrics::Gauge& resident =
+      util::metrics::gauge("monitor.resident_ratings");
+  util::metrics::Gauge& streams =
+      util::metrics::gauge("monitor.streams");
+  util::metrics::Histogram& epoch_seconds = util::metrics::histogram(
+      "monitor.epoch.seconds", util::metrics::latency_bounds_seconds());
+
+  static const MonitorMetrics& get() {
+    static const MonitorMetrics instance;
+    return instance;
+  }
+};
+
+}  // namespace
 
 OnlineMonitor::OnlineMonitor(OnlineConfig config)
     : config_(config), integrator_(config.detectors, config.toggles),
@@ -56,6 +87,7 @@ void OnlineMonitor::ingest(const rating::Rating& r) {
   Stream& stream = streams_.try_emplace(r.product, r.product).first->second;
   stream.ratings.add(r);
   stream.fingerprint_valid = false;
+  MonitorMetrics::get().ingested.add();
   ++ingested_;
   ++epoch_ingested_;
   ++resident_;
@@ -80,6 +112,9 @@ void OnlineMonitor::maybe_checkpoint() {
 
 void OnlineMonitor::analyze_epoch(Day epoch_end) {
   RAB_FAILPOINT("monitor.analyze");
+  const util::metrics::ScopedTimer timer(
+      MonitorMetrics::get().epoch_seconds);
+  RAB_TRACE_SPAN("monitor.epoch");
   trust_.decay();
 
   OnlineEpochStats stats;
@@ -182,10 +217,18 @@ void OnlineMonitor::analyze_epoch(Day epoch_end) {
     stats.cache_misses = after.misses - cache_before.misses;
   }
   epoch_stats_.push_back(stats);
+
+  const MonitorMetrics& m = MonitorMetrics::get();
+  m.epochs.add();
+  m.alarms.add(stats.alarms);
+  m.compacted.add(stats.compacted_ratings);
+  m.resident.set(static_cast<double>(resident_));
+  m.streams.set(static_cast<double>(streams_.size()));
 }
 
 void OnlineMonitor::compact(Day epoch_end, OnlineEpochStats& stats) {
   RAB_FAILPOINT("monitor.compact");
+  RAB_TRACE_SPAN("monitor.compact");
   // Everything older than the window has had its evidence folded already
   // (retention_days >= epoch_days and folds run through epoch_end), so
   // dropping the prefix loses no trust information — only the raw ratings.

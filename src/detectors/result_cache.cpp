@@ -6,10 +6,33 @@
 #include "detectors/integrator.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/metrics.hpp"
 
 namespace rab::detectors {
 
 namespace {
+
+/// Process-wide cache counters (every IntegrationCache instance feeds the
+/// same registry metrics; per-instance numbers come from stats()).
+struct CacheMetrics {
+  util::metrics::Counter& hits =
+      util::metrics::counter("cache.hits");
+  util::metrics::Counter& partial_hits =
+      util::metrics::counter("cache.partial_hits");
+  util::metrics::Counter& misses =
+      util::metrics::counter("cache.misses");
+  util::metrics::Counter& inserts =
+      util::metrics::counter("cache.inserts");
+  util::metrics::Counter& stream_evictions =
+      util::metrics::counter("cache.evictions.streams");
+  util::metrics::Counter& variant_evictions =
+      util::metrics::counter("cache.evictions.variants");
+
+  static const CacheMetrics& get() {
+    static const CacheMetrics instance;
+    return instance;
+  }
+};
 
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
 constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
@@ -91,6 +114,7 @@ std::shared_ptr<const IntegrationResult> IntegrationCache::find(
       std::find(entry.trust_lru.begin(), entry.trust_lru.end(), trust);
   entry.trust_lru.splice(entry.trust_lru.begin(), entry.trust_lru, pos);
   ++stats_.hits;
+  CacheMetrics::get().hits.add();
   return hit->second;
 }
 
@@ -100,10 +124,12 @@ std::shared_ptr<const IntegrationResult> IntegrationCache::find_stream(
   const auto it = entries_.find(stream);
   if (it == entries_.end()) {
     ++stats_.misses;
+    CacheMetrics::get().misses.add();
     return nullptr;
   }
   touch_stream(it);
   ++stats_.partial_hits;
+  CacheMetrics::get().partial_hits.add();
   return it->second.by_trust.at(it->second.trust_lru.front());
 }
 
@@ -118,6 +144,8 @@ void IntegrationCache::insert(
       const Fingerprint victim = stream_lru_.back();
       stream_lru_.pop_back();
       entries_.erase(victim);
+      ++stats_.stream_evictions;
+      CacheMetrics::get().stream_evictions.add();
     }
     stream_lru_.push_front(stream);
     it = entries_.try_emplace(stream).first;
@@ -131,9 +159,13 @@ void IntegrationCache::insert(
     const Fingerprint victim = entry.trust_lru.back();
     entry.trust_lru.pop_back();
     entry.by_trust.erase(victim);
+    ++stats_.variant_evictions;
+    CacheMetrics::get().variant_evictions.add();
   }
   entry.by_trust.emplace(trust, std::move(result));
   entry.trust_lru.push_front(trust);
+  ++stats_.inserts;
+  CacheMetrics::get().inserts.add();
 }
 
 void IntegrationCache::clear() {

@@ -86,10 +86,20 @@ class IntegrationCache {
 
   void clear();
 
+  /// Lifetime counters, readable at any point without rebuilding the
+  /// cache. Also exported through the metrics registry as the cache.*
+  /// counters (docs/METRICS.md).
   struct Stats {
     std::size_t hits = 0;          ///< full (stream, trust) reuse
     std::size_t partial_hits = 0;  ///< trust-free fields reused, MC re-run
     std::size_t misses = 0;        ///< full detector bank run
+    std::size_t inserts = 0;       ///< results stored (first-wins races
+                                   ///< and re-inserts excluded)
+    std::size_t stream_evictions = 0;   ///< streams LRU-evicted (all their
+                                        ///< trust variants go with them)
+    std::size_t variant_evictions = 0;  ///< single trust variants evicted
+
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
   [[nodiscard]] Stats stats() const;
 

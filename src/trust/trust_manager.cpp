@@ -5,8 +5,32 @@
 
 #include "stats/beta.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 
 namespace rab::trust {
+
+namespace {
+
+/// Trust observability (docs/METRICS.md): record/decay counters, the
+/// known-rater gauge, and a distribution of trust values as they are
+/// re-scored at each record() — a streaming view of where the population's
+/// trust mass sits without walking the whole table.
+struct TrustMetrics {
+  util::metrics::Counter& records =
+      util::metrics::counter("trust.records");
+  util::metrics::Counter& decays = util::metrics::counter("trust.decays");
+  util::metrics::Gauge& known_raters =
+      util::metrics::gauge("trust.known_raters");
+  util::metrics::Histogram& value = util::metrics::histogram(
+      "trust.value", util::metrics::unit_bounds());
+
+  static const TrustMetrics& get() {
+    static const TrustMetrics instance;
+    return instance;
+  }
+};
+
+}  // namespace
 
 TrustManager::TrustManager(double forgetting) : forgetting_(forgetting) {
   RAB_EXPECTS(forgetting > 0.0 && forgetting <= 1.0);
@@ -14,6 +38,7 @@ TrustManager::TrustManager(double forgetting) : forgetting_(forgetting) {
 
 void TrustManager::decay() {
   if (forgetting_ >= 1.0) return;
+  TrustMetrics::get().decays.add();
   for (auto& [rater, counts] : counts_) {
     counts.s *= forgetting_;
     counts.f *= forgetting_;
@@ -25,6 +50,12 @@ void TrustManager::record(RaterId rater, const EpochCounts& counts) {
   Counts& c = counts_[rater];
   c.f += static_cast<double>(counts.suspicious);
   c.s += static_cast<double>(counts.ratings - counts.suspicious);
+  if (util::metrics::enabled()) {
+    const TrustMetrics& m = TrustMetrics::get();
+    m.records.add();
+    m.value.observe(stats::beta_trust(c.s, c.f));
+    m.known_raters.set(static_cast<double>(counts_.size()));
+  }
 }
 
 double TrustManager::trust(RaterId rater) const {

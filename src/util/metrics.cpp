@@ -1,0 +1,446 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace rab::util::metrics {
+
+namespace detail {
+std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+namespace {
+
+/// Capacity of the shared cell address space. Every counter takes one
+/// cell; a histogram takes bounds+1 (buckets plus overflow) plus one sum
+/// cell. Fixed capacity keeps shards allocation-free and growth-free, so
+/// writers never race a reallocation.
+constexpr std::size_t kMaxCells = 4096;
+constexpr std::size_t kMaxSumCells = 256;
+constexpr std::size_t kMaxGauges = 256;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// One thread's private accumulation. Writers touch only their own shard
+/// with relaxed atomic RMWs; scrape reads every shard with relaxed loads.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCells> cells{};
+  std::array<std::atomic<double>, kMaxSumCells> sums{};
+};
+
+/// Process-wide metric registry. Leaked singleton: thread_local shard
+/// destructors run at thread exit (possibly after static destruction
+/// starts), so the registry must outlive everything.
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry* leaked = new Registry();
+    return *leaked;
+  }
+
+  Counter& counter(std::string_view name) {
+    const std::lock_guard lock(mutex_);
+    if (Def* def = find(name, MetricType::kCounter)) return *def->counter;
+    Def& def = add_def(name, MetricType::kCounter);
+    def.cell = take_cells(1);
+    def.counter.reset(new Counter(def.cell));
+    return *def.counter;
+  }
+
+  Gauge& gauge(std::string_view name) {
+    const std::lock_guard lock(mutex_);
+    if (Def* def = find(name, MetricType::kGauge)) return *def->gauge;
+    Def& def = add_def(name, MetricType::kGauge);
+    if (next_gauge_ >= kMaxGauges) {
+      throw LogicError("metrics: gauge capacity exhausted");
+    }
+    def.cell = next_gauge_++;
+    def.gauge.reset(new Gauge(&gauges_[def.cell]));
+    return *def.gauge;
+  }
+
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds) {
+    if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end())) {
+      throw LogicError("metrics: histogram bounds must be sorted, non-empty");
+    }
+    const std::lock_guard lock(mutex_);
+    if (Def* def = find(name, MetricType::kHistogram)) {
+      if (!std::equal(bounds.begin(), bounds.end(), def->bounds.begin(),
+                      def->bounds.end())) {
+        throw LogicError("metrics: histogram '" + std::string(name) +
+                         "' re-registered with different bounds");
+      }
+      return *def->histogram;
+    }
+    Def& def = add_def(name, MetricType::kHistogram);
+    def.bounds.assign(bounds.begin(), bounds.end());
+    def.cell = take_cells(def.bounds.size() + 1);
+    if (next_sum_ >= kMaxSumCells) {
+      throw LogicError("metrics: histogram capacity exhausted");
+    }
+    def.sum_cell = next_sum_++;
+    def.histogram.reset(new Histogram(def.cell, def.sum_cell, def.bounds));
+    return *def.histogram;
+  }
+
+  Shard* acquire_shard() {
+    auto shard = std::make_unique<Shard>();
+    const std::lock_guard lock(mutex_);
+    shards_.push_back(shard.get());
+    return shard.release();
+  }
+
+  /// Folds an exiting thread's shard into the residue so its counts
+  /// survive the thread, then frees it.
+  void retire_shard(Shard* shard) {
+    const std::lock_guard lock(mutex_);
+    std::erase(shards_, shard);
+    for (std::size_t i = 0; i < kMaxCells; ++i) {
+      const std::uint64_t v =
+          shard->cells[i].load(std::memory_order_relaxed);
+      if (v != 0) {
+        residue_.cells[i].fetch_add(v, std::memory_order_relaxed);
+      }
+    }
+    for (std::size_t i = 0; i < kMaxSumCells; ++i) {
+      const double v = shard->sums[i].load(std::memory_order_relaxed);
+      if (v != 0.0) {
+        residue_.sums[i].fetch_add(v, std::memory_order_relaxed);
+      }
+    }
+    delete shard;
+  }
+
+  Snapshot scrape() {
+    const std::lock_guard lock(mutex_);
+    Snapshot snapshot;
+    snapshot.metrics.reserve(defs_.size());
+    for (const Def& def : defs_) {
+      MetricSnapshot m;
+      m.name = def.name;
+      m.type = def.type;
+      switch (def.type) {
+        case MetricType::kCounter:
+          m.counter = sum_cell(def.cell);
+          break;
+        case MetricType::kGauge:
+          m.gauge = gauges_[def.cell].load(std::memory_order_relaxed);
+          break;
+        case MetricType::kHistogram: {
+          m.hist.bounds = def.bounds;
+          m.hist.buckets.resize(def.bounds.size() + 1);
+          for (std::size_t b = 0; b < m.hist.buckets.size(); ++b) {
+            m.hist.buckets[b] = sum_cell(def.cell + b);
+            m.hist.count += m.hist.buckets[b];
+          }
+          m.hist.sum = sum_sums(def.sum_cell);
+          break;
+        }
+      }
+      snapshot.metrics.push_back(std::move(m));
+    }
+    std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
+              [](const MetricSnapshot& a, const MetricSnapshot& b) {
+                return a.name < b.name;
+              });
+    return snapshot;
+  }
+
+  void reset() {
+    const std::lock_guard lock(mutex_);
+    for (Shard* shard : shards_) zero(*shard);
+    zero(residue_);
+    for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Def {
+    std::string name;
+    MetricType type = MetricType::kCounter;
+    std::uint32_t cell = 0;      ///< counter / histogram base / gauge index
+    std::uint32_t sum_cell = 0;  ///< histogram sum slot
+    std::vector<double> bounds;  ///< histogram: stable storage for the span
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Registry() = default;
+
+  Def* find(std::string_view name, MetricType type) {
+    const auto it = by_name_.find(std::string(name));
+    if (it == by_name_.end()) return nullptr;
+    if (it->second->type != type) {
+      throw LogicError("metrics: '" + std::string(name) +
+                       "' already registered as a different type");
+    }
+    return it->second;
+  }
+
+  Def& add_def(std::string_view name, MetricType type) {
+    Def& def = defs_.emplace_back();
+    def.name = std::string(name);
+    def.type = type;
+    by_name_.emplace(def.name, &def);
+    return def;
+  }
+
+  std::uint32_t take_cells(std::size_t n) {
+    if (next_cell_ + n > kMaxCells) {
+      throw LogicError("metrics: cell capacity exhausted");
+    }
+    const std::uint32_t base = next_cell_;
+    next_cell_ += static_cast<std::uint32_t>(n);
+    return base;
+  }
+
+  [[nodiscard]] std::uint64_t sum_cell(std::uint32_t cell) const {
+    std::uint64_t total =
+        residue_.cells[cell].load(std::memory_order_relaxed);
+    for (const Shard* shard : shards_) {
+      total += shard->cells[cell].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  [[nodiscard]] double sum_sums(std::uint32_t cell) const {
+    double total = residue_.sums[cell].load(std::memory_order_relaxed);
+    for (const Shard* shard : shards_) {
+      total += shard->sums[cell].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  static void zero(Shard& shard) {
+    for (auto& c : shard.cells) c.store(0, std::memory_order_relaxed);
+    for (auto& s : shard.sums) s.store(0.0, std::memory_order_relaxed);
+  }
+
+  mutable std::mutex mutex_;
+  std::deque<Def> defs_;  ///< deque: handles keep stable addresses
+  std::unordered_map<std::string, Def*> by_name_;
+  std::uint32_t next_cell_ = 0;
+  std::uint32_t next_sum_ = 0;
+  std::uint32_t next_gauge_ = 0;
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};
+  std::vector<Shard*> shards_;  ///< live per-thread shards
+  Shard residue_;               ///< merged counts of exited threads
+};
+
+namespace {
+
+/// Owns the calling thread's shard; the destructor folds it back into the
+/// registry at thread exit so no count is ever lost.
+struct TlsShard {
+  Shard* shard = nullptr;
+  ~TlsShard() {
+    if (shard != nullptr) Registry::instance().retire_shard(shard);
+  }
+};
+thread_local TlsShard tls_shard;
+
+Shard& local_shard() {
+  if (tls_shard.shard == nullptr) {
+    tls_shard.shard = Registry::instance().acquire_shard();
+  }
+  return *tls_shard.shard;
+}
+
+}  // namespace
+
+namespace detail {
+
+void shard_add(std::uint32_t cell, std::uint64_t n) {
+  local_shard().cells[cell].fetch_add(n, std::memory_order_relaxed);
+}
+
+void shard_observe(std::uint32_t base_cell, std::uint32_t sum_cell,
+                   std::span<const double> bounds, double value) {
+  // First bucket whose upper bound is >= value; past-the-end = overflow.
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) -
+      bounds.begin());
+  Shard& shard = local_shard();
+  shard.cells[base_cell + idx].fetch_add(1, std::memory_order_relaxed);
+  shard.sums[sum_cell].fetch_add(value, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_enabled_from_env() {
+  const char* env = std::getenv("RAB_METRICS");
+  if (env == nullptr) return;
+  const std::string v(env);
+  if (v == "0" || v == "off" || v == "false") set_enabled(false);
+  if (v == "1" || v == "on" || v == "true") set_enabled(true);
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+
+Gauge& gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+
+Histogram& histogram(std::string_view name, std::span<const double> bounds) {
+  return Registry::instance().histogram(name, bounds);
+}
+
+std::span<const double> latency_bounds_seconds() {
+  static constexpr std::array<double, 22> kBounds = {
+      1e-6,   2.5e-6, 5e-6,   1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4,
+      5e-4,   1e-3,   2.5e-3, 5e-3, 1e-2,   2.5e-2, 5e-2, 1e-1,
+      2.5e-1, 5e-1,   1.0,    2.5,  5.0,    10.0};
+  return kBounds;
+}
+
+std::span<const double> unit_bounds() {
+  static constexpr std::array<double, 10> kBounds = {
+      0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  return kBounds;
+}
+
+ScopedTimer::ScopedTimer(Histogram& hist) : hist_(hist) {
+  if (enabled()) start_ns_ = now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (start_ns_ != 0) {
+    hist_.observe(static_cast<double>(now_ns() - start_ns_) * 1e-9);
+  }
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name && m.type == MetricType::kCounter) return m.counter;
+  }
+  return 0;
+}
+
+double Snapshot::gauge_value(std::string_view name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name && m.type == MetricType::kGauge) return m.gauge;
+  }
+  return 0.0;
+}
+
+const HistogramSnapshot* Snapshot::histogram_of(
+    std::string_view name) const& {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name && m.type == MetricType::kHistogram) return &m.hist;
+  }
+  return nullptr;
+}
+
+Snapshot scrape() { return Registry::instance().scrape(); }
+
+void reset() { Registry::instance().reset(); }
+
+namespace {
+
+std::string sanitize(std::string_view name) {
+  std::string out = "rab_";
+  for (const char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c))
+               ? static_cast<char>(
+                     std::tolower(static_cast<unsigned char>(c)))
+               : '_';
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& out, const Snapshot& snapshot) {
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    const std::string name = sanitize(m.name);
+    switch (m.type) {
+      case MetricType::kCounter:
+        out << "# TYPE " << name << "_total counter\n";
+        out << name << "_total " << m.counter << "\n";
+        break;
+      case MetricType::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << format_double(m.gauge) << "\n";
+        break;
+      case MetricType::kHistogram: {
+        out << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < m.hist.bounds.size(); ++b) {
+          cumulative += m.hist.buckets[b];
+          out << name << "_bucket{le=\"" << format_double(m.hist.bounds[b])
+              << "\"} " << cumulative << "\n";
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << m.hist.count << "\n";
+        out << name << "_sum " << format_double(m.hist.sum) << "\n";
+        out << name << "_count " << m.hist.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void write_json(std::ostream& out, const Snapshot& snapshot) {
+  out << "{";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << m.name << "\":";
+    switch (m.type) {
+      case MetricType::kCounter:
+        out << m.counter;
+        break;
+      case MetricType::kGauge:
+        out << format_double(m.gauge);
+        break;
+      case MetricType::kHistogram: {
+        out << "{\"count\":" << m.hist.count
+            << ",\"sum\":" << format_double(m.hist.sum) << ",\"le\":[";
+        for (std::size_t b = 0; b < m.hist.bounds.size(); ++b) {
+          if (b != 0) out << ",";
+          out << format_double(m.hist.bounds[b]);
+        }
+        out << "],\"counts\":[";
+        for (std::size_t b = 0; b < m.hist.buckets.size(); ++b) {
+          if (b != 0) out << ",";
+          out << m.hist.buckets[b];
+        }
+        out << "]}";
+        break;
+      }
+    }
+  }
+  out << "}";
+}
+
+}  // namespace rab::util::metrics

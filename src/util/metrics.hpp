@@ -1,0 +1,228 @@
+// Lock-cheap metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// Observability only — nothing in here ever feeds back into a result, so
+// metrics cannot perturb the determinism contract (alarms, trust, and
+// aggregates are bit-identical whether metrics are enabled, disabled, or
+// compiled out entirely).
+//
+// Hot-path cost model (the failpoint fast-path budget):
+//  - Disabled at runtime: one relaxed atomic load and one predictable
+//    branch per Counter::add / Histogram::observe — same shape as
+//    failpoints_armed().
+//  - Enabled: one thread-local shard lookup plus a relaxed fetch_add on a
+//    cacheline only this thread writes. No locks, no string hashing.
+//  - Compiled out (-DRAB_NO_METRICS=ON): every instrumentation call inlines
+//    to nothing; handles still exist so call sites compile unchanged.
+//
+// Aggregation model: counter and histogram increments land in per-thread
+// shards; scrape() walks the live shards (plus the merged residue of
+// exited threads) under a registry lock and sums with relaxed atomic
+// loads — scraping concurrently with writers is race-free (and exercised
+// under TSan in tests/test_metrics.cpp). Gauges are a single process-wide
+// atomic (last write wins; add() is atomic read-modify-write).
+//
+// Naming: dot-separated lowercase ("detector.mc.runs"); the Prometheus
+// writer sanitizes dots to underscores and prefixes "rab_". The full
+// catalog of metric names lives in docs/METRICS.md.
+//
+// Handles are acquired once (function-local static at the call site) and
+// are valid for the process lifetime:
+//
+//   static auto& runs = util::metrics::counter("detector.mc.runs");
+//   runs.add();
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rab::util::metrics {
+
+/// False when instrumentation was compiled out with RAB_NO_METRICS=ON —
+/// tests use this to skip assertions that need live counters.
+#if defined(RAB_NO_METRICS)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void shard_add(std::uint32_t cell, std::uint64_t n);
+void shard_observe(std::uint32_t base_cell, std::uint32_t sum_cell,
+                   std::span<const double> bounds, double value);
+}  // namespace detail
+
+/// True when metrics are compiled in and runtime-enabled (the default).
+/// One relaxed load.
+[[nodiscard]] inline bool enabled() {
+#if defined(RAB_NO_METRICS)
+  return false;
+#else
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Runtime toggle. Disabling stops collection but keeps every value
+/// already recorded (scrape still works). Compiled-out builds ignore it.
+void set_enabled(bool on);
+
+/// Reads the RAB_METRICS environment variable ("0"/"off" disables) once.
+/// Entry points opt in, like arm_failpoints_from_env — library code never
+/// reads the environment on its own.
+void set_enabled_from_env();
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+#if !defined(RAB_NO_METRICS)
+    if (enabled()) detail::shard_add(cell_, n);
+#else
+    (void)n;
+#endif
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint32_t cell) : cell_(cell) {}
+  std::uint32_t cell_;
+};
+
+/// Instantaneous value (queue depth, resident ratings). Process-wide: the
+/// last set() wins; add() is an atomic increment.
+class Gauge {
+ public:
+  void set(double value) {
+#if !defined(RAB_NO_METRICS)
+    if (enabled()) value_->store(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+  void add(double delta) {
+#if !defined(RAB_NO_METRICS)
+    if (enabled()) value_->fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::atomic<double>* value) : value_(value) {}
+  std::atomic<double>* value_;
+};
+
+/// Fixed-bucket histogram. A value lands in the first bucket whose upper
+/// bound is >= value; values above every bound land in the implicit +Inf
+/// overflow bucket. Bucket bounds are fixed at registration.
+class Histogram {
+ public:
+  void observe(double value) {
+#if !defined(RAB_NO_METRICS)
+    if (enabled()) {
+      detail::shard_observe(base_cell_, sum_cell_, bounds_, value);
+    }
+#else
+    (void)value;
+#endif
+  }
+
+ private:
+  friend class Registry;
+  Histogram(std::uint32_t base_cell, std::uint32_t sum_cell,
+            std::span<const double> bounds)
+      : base_cell_(base_cell), sum_cell_(sum_cell), bounds_(bounds) {}
+  std::uint32_t base_cell_;
+  std::uint32_t sum_cell_;
+  std::span<const double> bounds_;
+};
+
+/// Registers (or finds) the named metric. Names must be stable for the
+/// process lifetime; re-registering an existing name returns the same
+/// handle. Registering a name as two different types — or a histogram
+/// with different bounds — throws LogicError. Thread-safe.
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name,
+                                   std::span<const double> bounds);
+
+/// Default exponential latency bounds in seconds (1us .. 10s), for the
+/// per-detector and checkpoint timing histograms.
+[[nodiscard]] std::span<const double> latency_bounds_seconds();
+
+/// Uniform [0, 1] bounds at 0.1 steps, for trust-value distributions.
+[[nodiscard]] std::span<const double> unit_bounds();
+
+/// RAII wall-clock timer: observes elapsed seconds into `hist` on
+/// destruction. Free (no clock read) when metrics are disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& hist_;
+  std::uint64_t start_ns_ = 0;  ///< 0 = disabled at construction
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;           ///< upper bounds (le), size B
+  std::vector<std::uint64_t> buckets;   ///< size B+1; last = +Inf overflow
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricSnapshot {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  std::uint64_t counter = 0;  ///< kCounter
+  double gauge = 0.0;         ///< kGauge
+  HistogramSnapshot hist;     ///< kHistogram
+};
+
+/// Point-in-time view of every registered metric, sorted by name.
+struct Snapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  /// Convenience lookups for tests and the CLI (0 / null when absent).
+  /// histogram_of returns a pointer into this snapshot, so it refuses
+  /// rvalues — `scrape().histogram_of(...)` would dangle.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] double gauge_value(std::string_view name) const;
+  [[nodiscard]] const HistogramSnapshot* histogram_of(
+      std::string_view name) const&;
+  const HistogramSnapshot* histogram_of(std::string_view name) && = delete;
+};
+
+/// Sums the per-thread shards into a consistent-enough view: each cell is
+/// read atomically; concurrent writers may or may not be included, but a
+/// scrape after all writers finish is exact. Safe to call concurrently
+/// with instrumentation from any thread.
+[[nodiscard]] Snapshot scrape();
+
+/// Zeroes every counter, gauge, and histogram (registrations survive).
+/// For tests and bench harnesses that want a clean slate.
+void reset();
+
+/// Prometheus text exposition (version 0.0.4): names sanitized to
+/// [a-z0-9_] with a "rab_" prefix, counters suffixed "_total", histograms
+/// emitted as cumulative le-buckets plus _sum/_count.
+void write_prometheus(std::ostream& out, const Snapshot& snapshot);
+
+/// One-line JSON object: {"name":value,...}; histograms become
+/// {"count":N,"sum":S,"le":[bounds...],"counts":[per-bucket + overflow]}.
+/// The monitor's --metrics-out JSONL records wrap this object.
+void write_json(std::ostream& out, const Snapshot& snapshot);
+
+}  // namespace rab::util::metrics

@@ -6,9 +6,27 @@
 #include <memory>
 #include <string>
 
+#include "util/metrics.hpp"
+
 namespace rab::util {
 
 namespace {
+
+/// Pool observability (docs/METRICS.md). queue_depth tracks the submit
+/// queue under the pool lock, so gauge updates cost two relaxed stores on
+/// already-serialized paths.
+struct PoolMetrics {
+  metrics::Counter& tasks = metrics::counter("pool.tasks");
+  metrics::Counter& parallel_fors =
+      metrics::counter("pool.parallel_for.calls");
+  metrics::Gauge& queue_depth = metrics::gauge("pool.queue_depth");
+  metrics::Gauge& threads = metrics::gauge("pool.threads");
+
+  static const PoolMetrics& get() {
+    static const PoolMetrics instance;
+    return instance;
+  }
+};
 
 thread_local bool tls_on_worker = false;
 
@@ -52,6 +70,9 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    PoolMetrics::get().tasks.add();
+    PoolMetrics::get().queue_depth.set(
+        static_cast<double>(queue_.size()));
   }
   ready_.notify_one();
 }
@@ -68,6 +89,8 @@ void ThreadPool::worker_loop() {
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      PoolMetrics::get().queue_depth.set(
+          static_cast<double>(queue_.size()));
     }
     task();
   }
@@ -88,6 +111,9 @@ void parallel_for_impl(std::size_t n, std::size_t grain,
   if (n == 0) return;
   if (grain == 0) grain = 1;
   ThreadPool& pool = global_pool();
+  PoolMetrics::get().parallel_fors.add();
+  PoolMetrics::get().threads.set(
+      static_cast<double>(pool.thread_count()));
 
   // Serial fast path: a 1-thread pool, a tiny loop, or a nested call from
   // inside a worker (parallelism applies to the outermost loop only).

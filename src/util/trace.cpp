@@ -1,0 +1,185 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace rab::util::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Spans kept per thread before further spans are counted as dropped —
+/// bounds memory on pathological always-on sessions.
+constexpr std::size_t kMaxSpansPerThread = 1u << 20;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct TraceBuffer {
+  std::mutex mutex;  ///< guards records (owner push vs collect copy)
+  std::vector<SpanRecord> records;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;   ///< owner-thread only
+  std::uint64_t dropped = 0;  ///< guarded by mutex
+};
+
+/// Leaked singleton (thread_local destructors may outlive statics).
+struct TraceState {
+  std::mutex mutex;
+  std::vector<TraceBuffer*> live;
+  std::vector<SpanRecord> retired;
+  std::uint64_t retired_dropped = 0;
+  std::uint32_t next_tid = 0;
+  std::atomic<std::uint64_t> epoch_ns{0};
+
+  static TraceState& instance() {
+    static TraceState* leaked = new TraceState();
+    return *leaked;
+  }
+};
+
+struct TlsBuffer {
+  TraceBuffer* buffer = nullptr;
+
+  ~TlsBuffer() {
+    if (buffer == nullptr) return;
+    TraceState& state = TraceState::instance();
+    const std::lock_guard lock(state.mutex);
+    std::erase(state.live, buffer);
+    state.retired.insert(state.retired.end(), buffer->records.begin(),
+                         buffer->records.end());
+    state.retired_dropped += buffer->dropped;
+    delete buffer;
+  }
+};
+thread_local TlsBuffer tls_buffer;
+
+TraceBuffer& local_buffer() {
+  if (tls_buffer.buffer == nullptr) {
+    auto owned = std::make_unique<TraceBuffer>();
+    TraceState& state = TraceState::instance();
+    const std::lock_guard lock(state.mutex);
+    owned->tid = state.next_tid++;
+    state.live.push_back(owned.get());
+    tls_buffer.buffer = owned.release();
+  }
+  return *tls_buffer.buffer;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t span_begin() {
+  TraceBuffer& buffer = local_buffer();
+  ++buffer.depth;
+  const std::uint64_t now = now_ns();
+  // Pin the trace epoch to the first span ever recorded.
+  std::uint64_t expected = 0;
+  TraceState::instance().epoch_ns.compare_exchange_strong(
+      expected, now, std::memory_order_relaxed);
+  return now;
+}
+
+void span_end(std::string_view name, std::uint64_t start_ns) {
+  const std::uint64_t end = now_ns();
+  TraceBuffer& buffer = local_buffer();
+  const std::uint32_t depth = --buffer.depth;
+  const std::uint64_t epoch =
+      TraceState::instance().epoch_ns.load(std::memory_order_relaxed);
+  SpanRecord record;
+  record.name = name;
+  record.tid = buffer.tid;
+  record.depth = depth;
+  record.start_ns = start_ns >= epoch ? start_ns - epoch : 0;
+  record.duration_ns = end - start_ns;
+  const std::lock_guard lock(buffer.mutex);
+  if (buffer.records.size() >= kMaxSpansPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.records.push_back(record);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+#if defined(RAB_NO_METRICS)
+  (void)on;
+#else
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+#endif
+}
+
+std::vector<SpanRecord> collect() {
+  TraceState& state = TraceState::instance();
+  const std::lock_guard lock(state.mutex);
+  std::vector<SpanRecord> all = state.retired;
+  for (TraceBuffer* buffer : state.live) {
+    const std::lock_guard buffer_lock(buffer->mutex);
+    all.insert(all.end(), buffer->records.begin(), buffer->records.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return all;
+}
+
+std::uint64_t dropped_spans() {
+  TraceState& state = TraceState::instance();
+  const std::lock_guard lock(state.mutex);
+  std::uint64_t total = state.retired_dropped;
+  for (TraceBuffer* buffer : state.live) {
+    const std::lock_guard buffer_lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void clear() {
+  TraceState& state = TraceState::instance();
+  const std::lock_guard lock(state.mutex);
+  state.retired.clear();
+  state.retired_dropped = 0;
+  state.epoch_ns.store(0, std::memory_order_relaxed);
+  for (TraceBuffer* buffer : state.live) {
+    const std::lock_guard buffer_lock(buffer->mutex);
+    buffer->records.clear();
+    buffer->dropped = 0;
+  }
+}
+
+void write_chrome_trace(std::ostream& out) {
+  const std::vector<SpanRecord> spans = collect();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%.*s\",\"cat\":\"rab\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                  "\"args\":{\"depth\":%u}}",
+                  static_cast<int>(span.name.size()), span.name.data(),
+                  static_cast<double>(span.start_ns) / 1000.0,
+                  static_cast<double>(span.duration_ns) / 1000.0, span.tid,
+                  span.depth);
+    out << buf;
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace rab::util::trace

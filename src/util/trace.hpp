@@ -1,0 +1,113 @@
+// Scoped-span tracing with monotonic timestamps and parent/child nesting.
+//
+// A span is an RAII region — RAB_TRACE_SPAN("monitor.epoch") — that
+// records its wall-clock extent on the steady (monotonic) clock when
+// tracing is enabled. Spans nest: a span opened while another span is
+// live on the same thread is its child, and the per-thread depth is
+// recorded so tools can reconstruct the tree (the Chrome trace viewer
+// also infers nesting from containment of [ts, ts+dur) on one tid).
+//
+// Cost model mirrors the metrics registry: disabled, a span is one
+// relaxed atomic load and a predictable branch (no clock read); enabled,
+// two clock reads and a push into a thread-local buffer (no locks);
+// compiled out with RAB_NO_METRICS=ON, nothing at all.
+//
+// Tracing is observation-only and never alters results. Buffers are
+// bounded (spans past the cap are counted as dropped, not stored), and
+// collection merges the per-thread buffers under a lock.
+//
+// Export: write_chrome_trace() emits the Chrome/catapult trace-event JSON
+// ("X" complete events, microsecond timestamps) loadable in
+// chrome://tracing or https://ui.perfetto.dev. The span-name catalog
+// lives in docs/METRICS.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace rab::util::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+std::uint64_t span_begin();
+void span_end(std::string_view name, std::uint64_t start_ns);
+}  // namespace detail
+
+/// True when tracing is compiled in and runtime-enabled (default: off —
+/// tracing buffers spans, so it is an explicit opt-in, unlike metrics).
+[[nodiscard]] inline bool enabled() {
+#if defined(RAB_NO_METRICS)
+  return false;
+#else
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Runtime toggle. Enabling does not clear previously collected spans;
+/// call clear() for a fresh session. Compiled-out builds ignore it.
+void set_enabled(bool on);
+
+/// One completed span. Timestamps are nanoseconds on the steady clock,
+/// relative to the process-wide trace epoch (first span ever recorded).
+struct SpanRecord {
+  std::string_view name;  ///< static-storage name passed to the span
+  std::uint32_t tid = 0;  ///< small per-thread id (first-span order)
+  std::uint32_t depth = 0;  ///< nesting depth on its thread (0 = root)
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+/// RAII scoped span. Names must have static storage duration (string
+/// literals at the call sites). Prefer the RAB_TRACE_SPAN macro.
+class Span {
+ public:
+  explicit Span(std::string_view name) {
+#if !defined(RAB_NO_METRICS)
+    if (enabled()) {
+      name_ = name;
+      start_ns_ = detail::span_begin();
+    }
+#else
+    (void)name;
+#endif
+  }
+  ~Span() {
+#if !defined(RAB_NO_METRICS)
+    if (start_ns_ != 0) detail::span_end(name_, start_ns_);
+#endif
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#if !defined(RAB_NO_METRICS)
+  std::string_view name_;
+  std::uint64_t start_ns_ = 0;  ///< 0 = tracing was off at construction
+#endif
+};
+
+/// All spans completed so far, merged across threads and sorted by start
+/// time. Safe to call while spans are being recorded (in-flight spans are
+/// simply not included yet).
+[[nodiscard]] std::vector<SpanRecord> collect();
+
+/// Spans discarded because a thread's buffer hit its cap.
+[[nodiscard]] std::uint64_t dropped_spans();
+
+/// Discards every collected span (a fresh trace session).
+void clear();
+
+/// Writes the collected spans as Chrome trace-event JSON.
+void write_chrome_trace(std::ostream& out);
+
+}  // namespace rab::util::trace
+
+#define RAB_TRACE_CONCAT_INNER(a, b) a##b
+#define RAB_TRACE_CONCAT(a, b) RAB_TRACE_CONCAT_INNER(a, b)
+
+/// Opens a scoped span covering the rest of the enclosing block.
+#define RAB_TRACE_SPAN(name) \
+  ::rab::util::trace::Span RAB_TRACE_CONCAT(rab_trace_span_, __LINE__)(name)

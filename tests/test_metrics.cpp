@@ -1,0 +1,302 @@
+// Metrics registry and span tracer: exact concurrent sums, histogram
+// bucket placement, scrape-while-writing safety (run under TSan via
+// tools/tier1.sh --tsan), exposition formats, and trace nesting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace {
+
+using namespace rab;
+namespace metrics = util::metrics;
+namespace trace = util::trace;
+
+/// Most assertions need live counters; compiled-out builds skip them but
+/// still verify that the instrumentation API is callable.
+#define RAB_REQUIRE_METRICS()                                       \
+  if (!metrics::kCompiledIn) {                                      \
+    GTEST_SKIP() << "instrumentation compiled out (RAB_NO_METRICS)"; \
+  }                                                                 \
+  metrics::set_enabled(true)
+
+TEST(MetricsRegistry, CounterCountsExactly) {
+  RAB_REQUIRE_METRICS();
+  metrics::reset();
+  auto& c = metrics::counter("test.exact");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(metrics::scrape().counter_value("test.exact"), 42u);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameHandle) {
+  if (!metrics::kCompiledIn) GTEST_SKIP();
+  EXPECT_EQ(&metrics::counter("test.same"), &metrics::counter("test.same"));
+  EXPECT_EQ(&metrics::gauge("test.same_gauge"),
+            &metrics::gauge("test.same_gauge"));
+}
+
+TEST(MetricsRegistry, TypeConflictThrowsLogicError) {
+  if (!metrics::kCompiledIn) GTEST_SKIP();
+  (void)metrics::counter("test.conflict");
+  EXPECT_THROW((void)metrics::gauge("test.conflict"), LogicError);
+  const double bounds_a[] = {1.0, 2.0};
+  const double bounds_b[] = {1.0, 3.0};
+  (void)metrics::histogram("test.conflict_hist", bounds_a);
+  EXPECT_THROW((void)metrics::histogram("test.conflict_hist", bounds_b),
+               LogicError);
+  // Same bounds is a lookup, not a conflict.
+  EXPECT_NO_THROW((void)metrics::histogram("test.conflict_hist", bounds_a));
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsFromManyThreadsSumExactly) {
+  RAB_REQUIRE_METRICS();
+  metrics::reset();
+  auto& c = metrics::counter("test.concurrent");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::size_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Threads have exited: their shards folded into the residue, so the sum
+  // is exact, not merely eventually-consistent.
+  EXPECT_EQ(metrics::scrape().counter_value("test.concurrent"),
+            kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, ScrapeWhileWritingIsSafeAndEventuallyExact) {
+  RAB_REQUIRE_METRICS();
+  metrics::reset();
+  auto& c = metrics::counter("test.scrape_race");
+  const double bounds[] = {0.5};
+  auto& h = metrics::histogram("test.scrape_race_hist", bounds);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 20000;
+  std::atomic<bool> done{false};
+  // Scrape concurrently with the writers: every intermediate view must be
+  // monotone, and the interleaving must be clean under TSan.
+  std::thread scraper([&] {
+    std::uint64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::uint64_t now =
+          metrics::scrape().counter_value("test.scrape_race");
+      EXPECT_GE(now, last);
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(static_cast<double>(i % 2));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  const metrics::Snapshot snap = metrics::scrape();
+  EXPECT_EQ(snap.counter_value("test.scrape_race"), kThreads * kPerThread);
+  const auto* hist = snap.histogram_of("test.scrape_race_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, HistogramBucketPlacementIsLowerBound) {
+  RAB_REQUIRE_METRICS();
+  metrics::reset();
+  const double bounds[] = {1.0, 2.0, 5.0};
+  auto& h = metrics::histogram("test.buckets", bounds);
+  h.observe(0.0);  // le 1.0
+  h.observe(1.0);  // le 1.0 (boundary lands in its own bucket)
+  h.observe(1.5);  // le 2.0
+  h.observe(2.0);  // le 2.0
+  h.observe(5.0);  // le 5.0
+  h.observe(7.0);  // +Inf overflow
+  const metrics::Snapshot snap = metrics::scrape();
+  const auto* hist = snap.histogram_of("test.buckets");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->buckets.size(), 4u);
+  EXPECT_EQ(hist->buckets[0], 2u);
+  EXPECT_EQ(hist->buckets[1], 2u);
+  EXPECT_EQ(hist->buckets[2], 1u);
+  EXPECT_EQ(hist->buckets[3], 1u);  // overflow
+  EXPECT_EQ(hist->count, 6u);
+  EXPECT_DOUBLE_EQ(hist->sum, 16.5);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  RAB_REQUIRE_METRICS();
+  metrics::reset();
+  auto& g = metrics::gauge("test.gauge");
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(metrics::scrape().gauge_value("test.gauge"), 3.5);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(metrics::scrape().gauge_value("test.gauge"), 2.0);
+}
+
+TEST(MetricsRegistry, DisabledCollectionIsInert) {
+  RAB_REQUIRE_METRICS();
+  metrics::reset();
+  auto& c = metrics::counter("test.disabled");
+  c.add(5);
+  metrics::set_enabled(false);
+  c.add(100);
+  metrics::set_enabled(true);
+  // The disabled window recorded nothing; earlier values survived.
+  EXPECT_EQ(metrics::scrape().counter_value("test.disabled"), 5u);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  RAB_REQUIRE_METRICS();
+  auto& c = metrics::counter("test.reset");
+  c.add(9);
+  metrics::reset();
+  EXPECT_EQ(metrics::scrape().counter_value("test.reset"), 0u);
+  c.add(1);  // the old handle still works
+  EXPECT_EQ(metrics::scrape().counter_value("test.reset"), 1u);
+}
+
+TEST(MetricsRegistry, ScopedTimerObservesElapsedSeconds) {
+  RAB_REQUIRE_METRICS();
+  metrics::reset();
+  auto& h = metrics::histogram("test.timer",
+                               metrics::latency_bounds_seconds());
+  { const metrics::ScopedTimer timer(h); }
+  const metrics::Snapshot snap = metrics::scrape();
+  const auto* hist = snap.histogram_of("test.timer");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_GT(hist->sum, 0.0);
+  EXPECT_LT(hist->sum, 10.0);
+}
+
+TEST(MetricsExposition, PrometheusTextFormat) {
+  RAB_REQUIRE_METRICS();
+  metrics::reset();
+  metrics::counter("test.prom.count").add(7);
+  metrics::gauge("test.prom.gauge").set(1.5);
+  const double bounds[] = {1.0, 2.0};
+  auto& h = metrics::histogram("test.prom.hist", bounds);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  std::ostringstream out;
+  metrics::write_prometheus(out, metrics::scrape());
+  const std::string text = out.str();
+  // Sanitized names: dots to underscores, "rab_" prefix, counters _total.
+  EXPECT_NE(text.find("# TYPE rab_test_prom_count_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rab_test_prom_count_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("rab_test_prom_gauge 1.5\n"), std::string::npos);
+  // Cumulative buckets: le="2" includes the le="1" observation.
+  EXPECT_NE(text.find("rab_test_prom_hist_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rab_test_prom_hist_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rab_test_prom_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rab_test_prom_hist_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsExposition, JsonFormat) {
+  RAB_REQUIRE_METRICS();
+  metrics::reset();
+  metrics::counter("test.json.count").add(3);
+  const double bounds[] = {1.0};
+  auto& h = metrics::histogram("test.json.hist", bounds);
+  h.observe(0.5);
+  h.observe(2.0);
+  std::ostringstream out;
+  metrics::write_json(out, metrics::scrape());
+  const std::string text = out.str();
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text.back(), '}');
+  EXPECT_NE(text.find("\"test.json.count\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"test.json.hist\":{\"count\":2,\"sum\":2.5,"
+                      "\"le\":[1],\"counts\":[1,1]}"),
+            std::string::npos);
+}
+
+TEST(Tracing, SpansNestAndCollectInStartOrder) {
+  if (!metrics::kCompiledIn) GTEST_SKIP();
+  trace::clear();
+  trace::set_enabled(true);
+  {
+    RAB_TRACE_SPAN("test.outer");
+    { RAB_TRACE_SPAN("test.inner"); }
+    { RAB_TRACE_SPAN("test.inner2"); }
+  }
+  trace::set_enabled(false);
+  const std::vector<trace::SpanRecord> spans = trace::collect();
+  ASSERT_EQ(spans.size(), 3u);
+  // Sorted by start: outer first, then its two children in order.
+  EXPECT_EQ(spans[0].name, "test.outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].name, "test.inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "test.inner2");
+  EXPECT_EQ(spans[2].depth, 1u);
+  // Children are contained in the parent's [start, start+duration).
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_GE(spans[i].start_ns, spans[0].start_ns);
+    EXPECT_LE(spans[i].start_ns + spans[i].duration_ns,
+              spans[0].start_ns + spans[0].duration_ns);
+    EXPECT_EQ(spans[i].tid, spans[0].tid);
+  }
+  trace::clear();
+  EXPECT_TRUE(trace::collect().empty());
+}
+
+TEST(Tracing, DisabledSpansRecordNothing) {
+  trace::clear();
+  trace::set_enabled(false);
+  { RAB_TRACE_SPAN("test.off"); }
+  EXPECT_TRUE(trace::collect().empty());
+}
+
+TEST(Tracing, ChromeTraceJsonShape) {
+  if (!metrics::kCompiledIn) GTEST_SKIP();
+  trace::clear();
+  trace::set_enabled(true);
+  { RAB_TRACE_SPAN("test.chrome"); }
+  trace::set_enabled(false);
+  std::ostringstream out;
+  trace::write_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"test.chrome\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":1"), std::string::npos);
+  trace::clear();
+}
+
+TEST(Tracing, SpansFromWorkerThreadsCarryDistinctTids) {
+  if (!metrics::kCompiledIn) GTEST_SKIP();
+  trace::clear();
+  trace::set_enabled(true);
+  std::thread a([] { RAB_TRACE_SPAN("test.tid"); });
+  std::thread b([] { RAB_TRACE_SPAN("test.tid"); });
+  a.join();
+  b.join();
+  trace::set_enabled(false);
+  const auto spans = trace::collect();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].tid, spans[1].tid);
+  trace::clear();
+}
+
+}  // namespace

@@ -5,10 +5,12 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <string_view>
 
 #include "detectors/online_monitor.hpp"
 #include "rating/fair_generator.hpp"
 #include "util/error.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -476,6 +478,68 @@ TEST(OnlineMonitor, MatchesOfflineDetectionRoughly) {
   const IntegrationResult offline =
       DetectorIntegrator().analyze(attacked.product(ProductId(1)));
   EXPECT_GT(online_marks, offline.suspicious_count() / 2);
+}
+
+TEST(OnlineMonitor, MetricsRegistryAgreesWithEpochStats) {
+  // The registry is observation-only, but its numbers must be the truth:
+  // the monitor's deltas in the process-wide counters equal the sums of
+  // the per-epoch stats the tests already trust.
+  if (!util::metrics::kCompiledIn) GTEST_SKIP();
+  util::metrics::set_enabled(true);
+  const auto feed = merged_time_ordered(
+      fair_data(23).with_added(burst_attack(ProductId(1), 60.0, 72.0, 50, 29)));
+
+  OnlineConfig config;
+  config.epoch_days = 15.0;
+  const util::metrics::Snapshot before = util::metrics::scrape();
+  const OnlineMonitor monitor = run_monitor(feed, config, 1);
+  const util::metrics::Snapshot after = util::metrics::scrape();
+
+  const auto delta = [&](std::string_view name) {
+    return after.counter_value(name) - before.counter_value(name);
+  };
+  EXPECT_EQ(delta("monitor.ingested"), feed.size());
+  EXPECT_EQ(delta("monitor.epochs"), monitor.epoch_stats().size());
+  EXPECT_EQ(delta("monitor.alarms"), monitor.alarms().size());
+  const auto cache = monitor.cache_stats();
+  EXPECT_EQ(delta("cache.hits"), cache.hits);
+  EXPECT_EQ(delta("cache.partial_hits"), cache.partial_hits);
+  EXPECT_EQ(delta("cache.misses"), cache.misses);
+  EXPECT_EQ(delta("cache.inserts"), cache.inserts);
+  const auto* epoch_hist = after.histogram_of("monitor.epoch.seconds");
+  ASSERT_NE(epoch_hist, nullptr);
+  EXPECT_GE(epoch_hist->count, monitor.epoch_stats().size());
+}
+
+TEST(OnlineMonitor, OutputBitIdenticalWithMetricsOnOrOff) {
+  // Instrumentation must never feed back into results: alarms, trust, and
+  // epoch counters are bit-identical with collection on or off, at 1 and
+  // 8 threads. (The compiled-out configuration is exercised by the
+  // RAB_NO_METRICS=ON CI job running this same test.)
+  const auto feed = merged_time_ordered(
+      fair_data(31).with_added(burst_attack(ProductId(1), 60.0, 72.0, 50, 37)));
+  OnlineConfig config;
+  config.epoch_days = 15.0;
+  config.cache_streams = 256;
+
+  const OnlineMonitor baseline = run_monitor(feed, config, 1);
+  for (const bool metrics_on : {true, false}) {
+    util::metrics::set_enabled(metrics_on);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      const OnlineMonitor monitor = run_monitor(feed, config, threads);
+      EXPECT_EQ(monitor.alarms(), baseline.alarms())
+          << "metrics " << metrics_on << ", " << threads << " threads";
+      EXPECT_EQ(trust_snapshot(monitor.trust()),
+                trust_snapshot(baseline.trust()));
+      ASSERT_EQ(monitor.epoch_stats().size(),
+                baseline.epoch_stats().size());
+      for (std::size_t i = 0; i < monitor.epoch_stats().size(); ++i) {
+        EXPECT_EQ(monitor.epoch_stats()[i], baseline.epoch_stats()[i])
+            << "epoch " << i;
+      }
+    }
+  }
+  util::metrics::set_enabled(util::metrics::kCompiledIn);
 }
 
 }  // namespace

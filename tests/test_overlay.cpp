@@ -319,6 +319,9 @@ TEST(IntegrationCache, CachedAnalysisIsBitIdenticalToFresh) {
   EXPECT_EQ(again.get(), cached.get());  // second call reused the entry
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);  // the miss populated one entry
+  EXPECT_EQ(cache.stats().stream_evictions, 0u);
+  EXPECT_EQ(cache.stats().variant_evictions, 0u);
 }
 
 TEST(IntegrationCache, MutatedStreamNeverReusesStaleResult) {
@@ -361,7 +364,8 @@ TEST(IntegrationCache, NewTrustStateIsAPartialHitWithExactResult) {
   EXPECT_EQ(via_cache->mc.suspicious.size(), fresh.mc.suspicious.size());
   EXPECT_EQ(cache.stats().partial_hits, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
-  EXPECT_EQ(cache.stream_count(), 1u);  // one stream, two trust variants
+  EXPECT_EQ(cache.stats().inserts, 2u);  // one stream, two trust variants
+  EXPECT_EQ(cache.stream_count(), 1u);
 }
 
 TEST(IntegrationCache, TrustFingerprintSeesValueChanges) {
@@ -383,12 +387,25 @@ TEST(IntegrationCache, EvictionOnlyForgetsNeverCorrupts) {
   (void)integrator.analyze_cached(b, detectors::default_trust, cache);
   (void)integrator.analyze_cached(c, detectors::default_trust, cache);
   EXPECT_EQ(cache.stream_count(), 2u);  // a evicted
+  EXPECT_EQ(cache.stats().stream_evictions, 1u);
+  EXPECT_EQ(cache.stats().inserts, 3u);
 
   const auto again =
       integrator.analyze_cached(a, detectors::default_trust, cache);
   const detectors::IntegrationResult fresh =
       integrator.analyze(a, detectors::default_trust);
   EXPECT_EQ(again->suspicious, fresh.suspicious);
+  // Re-inserting a evicted the LRU stream again — evictions only forget.
+  EXPECT_EQ(cache.stats().stream_evictions, 2u);
+
+  // With max_variants=1, a second trust state on one stream evicts the
+  // first variant rather than growing the entry.
+  const detectors::TrustLookup skewed = [](RaterId r) {
+    return r.value() % 2 == 0 ? 0.2 : 0.8;
+  };
+  (void)integrator.analyze_cached(a, skewed, cache);
+  EXPECT_EQ(cache.stats().variant_evictions, 1u);
+  EXPECT_EQ(cache.stream_count(), 2u);
 }
 
 // --- Scheme identity and the fair-baseline cache --------------------------

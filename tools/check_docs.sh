@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Cross-checks the documentation against the binary and the source tree,
+# so docs/CLI.md and docs/METRICS.md cannot silently drift:
+#
+#   - every subcommand in `rab` usage has a "### rab <cmd>" section in
+#     docs/CLI.md, and vice versa
+#   - every --flag in the usage text is documented, and every flag row in
+#     docs/CLI.md exists in the usage text
+#   - the environment knobs and exit codes appear in both
+#   - every metric registered in src/ is catalogued in docs/METRICS.md,
+#     and every metric row in the catalog exists in src/
+#   - same for trace-span names
+#
+#   tools/check_docs.sh [path/to/rab]     # default: build/tools/rab
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RAB="${1:-build/tools/rab}"
+if [[ ! -x "$RAB" ]]; then
+  echo "check_docs: $RAB not built (cmake --build build --target rab_cli)" >&2
+  exit 2
+fi
+
+fail=0
+err() {
+  echo "check_docs: $*" >&2
+  fail=1
+}
+
+# Compares two newline-separated sorted sets; reports members of one
+# missing from the other.
+diff_sets() { # left right left_label right_label
+  local only
+  only="$(comm -23 <(echo "$1") <(echo "$2"))"
+  [[ -z "$only" ]] || err "$3 but not $4: $(echo $only)"
+  only="$(comm -13 <(echo "$1") <(echo "$2"))"
+  [[ -z "$only" ]] || err "$4 but not $3: $(echo $only)"
+}
+
+usage_text="$("$RAB" 2>&1 || true)"
+
+# --- Subcommands ----------------------------------------------------------
+usage_cmds="$(echo "$usage_text" |
+  awk '/^commands:/{f=1;next} /^[a-z]/{f=0} f' |
+  grep -oE '^  [a-z]+' | tr -d ' ' | sort -u)"
+doc_cmds="$(grep -oE '^### rab [a-z]+' docs/CLI.md | awk '{print $3}' |
+  sort -u)"
+diff_sets "$usage_cmds" "$doc_cmds" "in usage" "in docs/CLI.md"
+
+# --- Flags ----------------------------------------------------------------
+# Usage -> docs: every flag the binary advertises must appear in CLI.md.
+# (--flag is the synopsis placeholder, not a real flag. Herestrings, not
+# echo|grep -q: early-match grep -q + pipefail turns echo's SIGPIPE into
+# a false failure.)
+usage_flags="$(grep -oE '\-\-[a-z-]+' <<<"$usage_text" |
+  grep -vx -- '--flag' | sort -u)"
+while IFS= read -r flag; do
+  grep -q -- "\`$flag\`" docs/CLI.md ||
+    err "flag $flag is in usage but not documented in docs/CLI.md"
+done <<<"$usage_flags"
+# Docs -> usage: every flag row in CLI.md must exist in the usage text.
+doc_flags="$(grep -oE '^\| `--[a-z-]+`' docs/CLI.md |
+  grep -oE '\-\-[a-z-]+' | sort -u)"
+while IFS= read -r flag; do
+  grep -q -- "$flag" <<<"$usage_text" ||
+    err "flag $flag is documented in docs/CLI.md but not in usage"
+done <<<"$doc_flags"
+
+# --- Environment knobs and exit codes -------------------------------------
+for var in RAB_THREADS RAB_METRICS RAB_FAULTS; do
+  grep -q "$var" <<<"$usage_text" ||
+    err "environment variable $var missing from usage"
+  grep -q "$var" docs/CLI.md ||
+    err "environment variable $var missing from docs/CLI.md"
+done
+for code in 0 1 2 70; do
+  grep -qE "^\| \`$code\` \|" docs/CLI.md ||
+    err "exit code $code missing from docs/CLI.md"
+done
+
+# --- Metric names ---------------------------------------------------------
+# Registered in source: direct counter/gauge/histogram registrations plus
+# the DetectorInstruments prefixes (which expand to .runs/.alarms/.seconds).
+src_metrics="$( (grep -rhozoE \
+    'metrics::(counter|gauge|histogram)\(\s*"[a-z0-9_.]+"' src |
+    tr '\0' '\n' | grep -oE '"[a-z0-9_.]+"' | tr -d '"'
+  for prefix in $(grep -rhoE 'DetectorInstruments::make\("[a-z0-9_.]+"' \
+      src | grep -oE '"[a-z0-9_.]+"' | tr -d '"'); do
+    echo "$prefix.runs"
+    echo "$prefix.alarms"
+    echo "$prefix.seconds"
+  done) | sort -u)"
+doc_metrics="$(grep -oE '^\| `[a-z0-9_.]+`' docs/METRICS.md |
+  tr -d '|` ' | sort -u)"
+# Span rows share the table shape; strip them out of the metric set.
+src_spans="$( (grep -rhoE 'RAB_TRACE_SPAN\("[a-z0-9_.]+"\)' src |
+  grep -oE '"[a-z0-9_.]+"' | tr -d '"'
+  grep -rhoE '\.run\("[a-z0-9_.]+"' src |
+  grep -oE '"[a-z0-9_.]+"' | tr -d '"') | sort -u)"
+doc_metrics_only="$(comm -23 <(echo "$doc_metrics") <(echo "$src_spans"))"
+diff_sets "$src_metrics" "$doc_metrics_only" \
+  "metric registered in src/" "catalogued in docs/METRICS.md"
+
+# Docs -> source for spans: every span documented must exist in src. The
+# reverse (src -> docs) holds because detector spans share metric
+# prefixes and the remaining spans are RAB_TRACE_SPAN literals.
+while IFS= read -r span; do
+  echo "$doc_metrics" | grep -qx "$span" ||
+    err "span $span is in src/ but not catalogued in docs/METRICS.md"
+done <<<"$src_spans"
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_docs: FAILED — docs and source have drifted" >&2
+  exit 1
+fi
+echo "check_docs: OK"

@@ -9,6 +9,8 @@
 //               suspicious raters
 //   monitor     stream a CSV feed through the incremental OnlineMonitor
 //               and emit JSONL alarms + per-epoch counters
+//   stats       run the P-scheme pipeline over a dataset and export the
+//               metrics registry (Prometheus text or JSON)
 //
 // Examples:
 //   rab generate --out fair.csv --seed 7
@@ -16,6 +18,10 @@
 //   rab evaluate --data fair.csv --submission sub.csv --scheme P
 //   rab detect --data fair.csv
 //   rab generate --out feed.csv && rab monitor --data feed.csv --epoch 15
+//   rab stats --data fair.csv --format prom
+//
+// Full man-page-style documentation: docs/CLI.md; metric and span names:
+// docs/METRICS.md.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -43,6 +49,8 @@
 #include "rating/io.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -283,6 +291,63 @@ int cmd_detect(const Args& args) {
   return 0;
 }
 
+/// Shared by `rab stats` and `rab monitor --trace-out`: arms span tracing
+/// (opt-in, off by default) with a clean buffer. Returns the output path,
+/// or "-" when tracing stays off.
+std::string arm_tracing(const Args& args) {
+  const std::string path = args.get("trace-out", "-");
+  if (path != "-") {
+    util::trace::clear();
+    util::trace::set_enabled(true);
+  }
+  return path;
+}
+
+/// Writes the Chrome trace-event JSON collected since arm_tracing.
+void dump_trace(const std::string& path) {
+  if (path == "-") return;
+  util::trace::set_enabled(false);
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open " + path);
+  util::trace::write_chrome_trace(out);
+  out.flush();
+  if (!out) throw IoError("trace write failed (disk full?): " + path);
+}
+
+int cmd_stats(const Args& args) {
+  const std::string trace_path = arm_tracing(args);
+  const rating::Dataset data = rating::read_csv_file(args.get("data"));
+
+  // Drive the full detection pipeline so every detector, cache, trust, and
+  // pool metric has something to report, then export the registry.
+  const aggregation::PScheme p;
+  (void)p.aggregate(data, args.get_double("bin", 30.0));
+
+  const util::metrics::Snapshot snapshot = util::metrics::scrape();
+  std::ostream* os = &std::cout;
+  std::ofstream file;
+  const std::string out_path = args.get("out", "-");
+  if (out_path != "-") {
+    file.open(out_path);
+    if (!file) throw IoError("cannot open " + out_path);
+    os = &file;
+  }
+  if (const std::string format = args.get("format", "prom");
+      format == "prom") {
+    util::metrics::write_prometheus(*os, snapshot);
+  } else if (format == "json") {
+    util::metrics::write_json(*os, snapshot);
+    *os << '\n';
+  } else {
+    throw InvalidArgument("unknown format '" + format +
+                          "' (use prom or json)");
+  }
+  os->flush();
+  if (!*os) throw IoError("stats write failed (disk full?)");
+  dump_trace(trace_path);
+  return 0;
+}
+
 /// Drains and prints monitor output accumulated since the last call:
 /// alarms and per-epoch counters, one JSON object per line.
 void drain_monitor(const detectors::OnlineMonitor& monitor,
@@ -314,7 +379,16 @@ void drain_monitor(const detectors::OnlineMonitor& monitor,
   }
 }
 
+/// Appends one JSONL metrics record — the full registry snapshot tagged
+/// with the monitor's epoch count — to the --metrics-out stream.
+void emit_metrics_record(std::ostream& out, std::size_t epochs) {
+  out << "{\"type\":\"metrics\",\"epochs\":" << epochs << ",\"metrics\":";
+  util::metrics::write_json(out, util::metrics::scrape());
+  out << "}\n";
+}
+
 int cmd_monitor(const Args& args) {
+  const std::string trace_path = arm_tracing(args);
   const std::string data = args.get("data");
   rating::Dataset feed_data = data == "-"
                                   ? rating::read_csv(std::cin)
@@ -357,10 +431,20 @@ int cmd_monitor(const Args& args) {
     out = opened;
   }
 
+  // --metrics-out is a separate JSONL stream: one registry snapshot per
+  // closed epoch plus a final one, so a dashboard can tail it without
+  // parsing the alarm feed.
+  std::ofstream metrics_out;
+  if (const std::string path = args.get("metrics-out", "-"); path != "-") {
+    metrics_out.open(path);
+    if (!metrics_out) throw IoError("cannot open " + path);
+  }
+
   const std::size_t chunk = std::max<std::size_t>(
       1, static_cast<std::size_t>(args.get_u64("chunk", 512)));
   std::size_t alarms_seen = 0;
   std::size_t epochs_seen = 0;
+  std::size_t metrics_epochs_seen = 0;
   std::size_t start = 0;
 
   // Crash recovery: restore the newest valid snapshot and resume the feed
@@ -390,6 +474,11 @@ int cmd_monitor(const Args& args) {
     const std::size_t n = std::min(chunk, feed.size() - i);
     monitor.ingest(std::span<const rating::Rating>(feed.data() + i, n));
     drain_monitor(monitor, alarms_seen, epochs_seen, out);
+    if (metrics_out.is_open() &&
+        monitor.epoch_stats().size() > metrics_epochs_seen) {
+      metrics_epochs_seen = monitor.epoch_stats().size();
+      emit_metrics_record(metrics_out, metrics_epochs_seen);
+    }
   }
   monitor.flush();
   drain_monitor(monitor, alarms_seen, epochs_seen, out);
@@ -433,6 +522,13 @@ int cmd_monitor(const Args& args) {
       cache.partial_hits, cache.misses, trust_values.size(), trust_mean,
       quantile(0.1), quantile(0.5), quantile(0.9));
 
+  if (metrics_out.is_open()) {
+    emit_metrics_record(metrics_out, monitor.epoch_stats().size());
+    metrics_out.flush();
+    if (!metrics_out) throw IoError("monitor: metrics write failed");
+  }
+  dump_trace(trace_path);
+
   if (opened != nullptr) {
     if (std::fclose(opened) != 0) {
       throw IoError("monitor: write failed (disk full?)");
@@ -448,7 +544,8 @@ int usage() {
       "commands:\n"
       "  generate   --out F [--seed N --products N --days D --mean M]\n"
       "  attack     --data F --out F [--bias B --sigma S --duration D\n"
-      "             --offset O --correlation random|heuristic|blend --seed N]\n"
+      "             --offset O --correlation random|heuristic|blend\n"
+      "             --seed N --stream I]\n"
       "  population --data F --out F [--count N --seed N]\n"
       "  evaluate   --data F --submission F [--scheme SA|BF|P|MED|ENT]\n"
       "  optimize   --data F [--scheme S --duration D --offset O\n"
@@ -458,12 +555,20 @@ int usage() {
       "  monitor    --data F|- [--epoch DAYS --retention DAYS\n"
       "             --min-marks N --forgetting L --cache-streams N\n"
       "             --chunk N --out F --checkpoint-dir DIR\n"
-      "             --checkpoint-every N --checkpoint-keep K]\n"
+      "             --checkpoint-every N --checkpoint-keep K\n"
+      "             --metrics-out F --trace-out F]\n"
       "             (JSONL alarms + epoch counters; with --checkpoint-dir\n"
       "             the monitor snapshots its state there every N epochs\n"
-      "             and resumes from the newest valid snapshot on start)\n"
+      "             and resumes from the newest valid snapshot on start;\n"
+      "             --metrics-out appends a JSONL metrics snapshot per\n"
+      "             epoch, --trace-out writes Chrome trace-event JSON)\n"
+      "  stats      --data F [--bin DAYS --format prom|json --out F\n"
+      "             --trace-out F]\n"
+      "             (runs the P-scheme pipeline, then exports the metrics\n"
+      "             registry; see docs/METRICS.md for the name catalog)\n"
       "environment:\n"
       "  RAB_THREADS   worker threads for the analysis fan-out\n"
+      "  RAB_METRICS   set to 0/off/false to disable metrics collection\n"
       "  RAB_FAULTS    deterministic fault injection spec, e.g.\n"
       "                'checkpoint.write.body:corrupt' (see\n"
       "                src/util/failpoint.hpp for the grammar + catalog)\n"
@@ -482,9 +587,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    // Fault injection is an explicit opt-in read once at the entry point;
-    // library code never looks at the environment on its own.
+    // Fault injection and the metrics kill switch are read once at the
+    // entry point; library code never looks at the environment on its own.
     util::arm_failpoints_from_env();
+    util::metrics::set_enabled_from_env();
     const Args args(argc, argv, 2);
     if (command == "generate") return cmd_generate(args);
     if (command == "attack") return cmd_attack(args);
@@ -494,6 +600,7 @@ int main(int argc, char** argv) {
     if (command == "detect") return cmd_detect(args);
     if (command == "report") return cmd_report(args);
     if (command == "monitor") return cmd_monitor(args);
+    if (command == "stats") return cmd_stats(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
   } catch (const LogicError& e) {

@@ -33,14 +33,29 @@ cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 # End-to-end smoke test: the streaming example must run and raise alarms.
 ./build/examples/streaming_monitor >/dev/null
+# Observability smoke test: `rab stats` must export a non-empty Prometheus
+# page with detector run counters, and the metrics kill switch must work.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./build/tools/rab generate --out "$smoke_dir/fair.csv" --seed 7 \
+  --products 3 --days 60 >/dev/null
+./build/tools/rab stats --data "$smoke_dir/fair.csv" \
+  --out "$smoke_dir/stats.prom"
+grep -q '^rab_detector_mc_runs_total [1-9]' "$smoke_dir/stats.prom"
+RAB_METRICS=0 ./build/tools/rab stats --data "$smoke_dir/fair.csv" \
+  --format json --out "$smoke_dir/stats.json"
+grep -q '"detector.mc.runs":0' "$smoke_dir/stats.json"
 
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DRAB_TSAN=ON >/dev/null
-  cmake --build build-tsan -j "$(nproc)" --target test_parallel test_detectors test_overlay
+  cmake --build build-tsan -j "$(nproc)" \
+    --target test_parallel test_detectors test_overlay test_metrics
   # Exercise the pool with real contention regardless of the host's cores.
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_detectors
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_overlay
+  # Scrape-while-writing and thread-exit shard retirement under TSan.
+  RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_metrics
 fi
 
 if [[ "${1:-}" == "--ubsan" ]]; then
