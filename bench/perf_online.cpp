@@ -53,7 +53,7 @@ const std::vector<rating::Rating>& default_feed() {
 
     std::vector<rating::Rating> merged;
     for (ProductId id : data.product_ids()) {
-      const auto& rs = data.product(id).ratings();
+      const auto& rs = data.product(id).rows();
       merged.insert(merged.end(), rs.begin(), rs.end());
     }
     std::sort(merged.begin(), merged.end(), rating::ByTime{});

@@ -36,7 +36,7 @@ int main() {
   // Merge all products into one time-ordered feed.
   std::vector<rating::Rating> feed;
   for (ProductId id : data.product_ids()) {
-    const auto& rs = data.product(id).ratings();
+    const auto& rs = data.product(id).rows();
     feed.insert(feed.end(), rs.begin(), rs.end());
   }
   std::sort(feed.begin(), feed.end(), rating::ByTime{});

@@ -60,8 +60,7 @@ std::vector<ProductId> Challenge::targets() const {
 }
 
 double Challenge::fair_mean(ProductId id) const {
-  const std::vector<double> values = metric_.fair().product(id).values();
-  return stats::mean(values);
+  return stats::mean(metric_.fair().product(id).values());
 }
 
 Violation Challenge::validate(const Submission& submission) const {

@@ -66,7 +66,7 @@ std::vector<CollusionGroup> find_collusion_groups(
   for (std::size_t i = 0; i < raters.size(); ++i) index[raters[i]] = i;
   std::vector<Footprint> footprints(raters.size());
   for (ProductId id : data.product_ids()) {
-    for (const rating::Rating& r : data.product(id).ratings()) {
+    for (const rating::Rating& r : data.product(id).rows()) {
       footprints[index[r.rater]].by_product[id].emplace_back(r.time,
                                                              r.value);
     }

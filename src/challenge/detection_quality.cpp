@@ -52,8 +52,9 @@ DetectionQuality evaluate_detection(const Challenge& challenge,
         diagnostics.integration.at(id);
 
     DetectionCounts counts;
+    const std::span<const std::uint8_t> unfair_flags = stream.unfair_flags();
     for (std::size_t i = 0; i < stream.size(); ++i) {
-      const bool unfair = stream.at(i).unfair;
+      const bool unfair = unfair_flags[i] != 0;
       const bool flagged = result.suspicious[i];
       if (unfair && flagged) {
         ++counts.true_positives;

@@ -1,10 +1,14 @@
 #include "cluster/single_linkage.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <unordered_map>
 
 #include "util/error.hpp"
+#include "util/scratch.hpp"
 
 namespace rab::cluster {
 
@@ -95,38 +99,86 @@ Clustering single_linkage_1d(std::span<const double> points, std::size_t k) {
   return labels_from_sets(sets, n);
 }
 
-Clustering single_linkage(std::span<const double> dist, std::size_t n,
-                          std::size_t k) {
-  RAB_EXPECTS(dist.size() == n * n);
+Clustering single_linkage_packed(std::span<const double> packed,
+                                 std::size_t n, std::size_t k) {
+  RAB_EXPECTS(n >= 1 && packed.size() == n * (n - 1) / 2);
   RAB_EXPECTS(k >= 1 && k <= n);
+  const std::size_t m = packed.size();
+  RAB_EXPECTS(m <= std::numeric_limits<std::uint32_t>::max());
 
-  struct Edge {
-    double d;
-    std::size_t a;
-    std::size_t b;
-  };
-  std::vector<Edge> edges;
-  edges.reserve(n * (n - 1) / 2);
-  for (std::size_t i = 0; i < n; ++i) {
+  // Sort 4-byte pair indices instead of (d, a, b) edge records: the packed
+  // layout is (i, j)-lexicographic, so index order IS the old tie-break
+  // order and the merge sequence is unchanged.
+  struct PackedOrderTag {};
+  auto& order = util::scratch_vector<std::uint32_t, PackedOrderTag>();
+  order.resize(m);
+  std::iota(order.begin(), order.end(), std::uint32_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              if (packed[x] != packed[y]) return packed[x] < packed[y];
+              return x < y;
+            });
+
+  // row_of[p] = i of the pair at packed position p; j follows from the
+  // row's start offset.
+  struct PackedRowTag {};
+  auto& row_of = util::scratch_vector<std::uint32_t, PackedRowTag>();
+  row_of.resize(m);
+  for (std::size_t i = 0, p = 0; i + 1 < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      edges.push_back(Edge{dist[i * n + j], i, j});
+      row_of[p++] = static_cast<std::uint32_t>(i);
     }
   }
-  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
-    if (x.d != y.d) return x.d < y.d;
-    if (x.a != y.a) return x.a < y.a;
-    return x.b < y.b;
-  });
 
   // Kruskal: merge until exactly k components remain.
   DisjointSets sets(n);
   std::size_t components = n;
-  for (const Edge& e : edges) {
+  for (std::uint32_t p : order) {
     if (components == k) break;
-    if (sets.unite(e.a, e.b)) --components;
+    const std::size_t i = row_of[p];
+    const std::size_t j = p - packed_index(i, i + 1, n) + i + 1;
+    if (sets.unite(i, j)) --components;
   }
   RAB_ENSURES(components == k);
   return labels_from_sets(sets, n);
+}
+
+Clustering single_linkage(std::span<const double> dist, std::size_t n,
+                          std::size_t k) {
+  RAB_EXPECTS(n >= 1 && dist.size() == n * n);
+
+  struct FullPackTag {};
+  auto& packed = util::scratch_aligned_vector<double, FullPackTag>();
+  packed.resize(n * (n - 1) / 2);
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      packed[p++] = dist[i * n + j];
+    }
+  }
+  return single_linkage_packed({packed.data(), packed.size()}, n, k);
+}
+
+util::aligned_vector<double> pairwise_euclidean(std::span<const double> points,
+                                                std::size_t n,
+                                                std::size_t dim) {
+  RAB_EXPECTS(dim >= 1);
+  RAB_EXPECTS(points.size() == n * dim);
+  util::aligned_vector<double> out(n >= 1 ? n * (n - 1) / 2 : 0);
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* pi = points.data() + i * dim;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double* pj = points.data() + j * dim;
+      double acc = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = pi[d] - pj[d];
+        acc += diff * diff;
+      }
+      out[p++] = std::sqrt(acc);
+    }
+  }
+  return out;
 }
 
 std::pair<std::size_t, std::size_t> two_cluster_sizes(
@@ -150,7 +202,11 @@ Clustering connected_components(std::span<const Edge> edges, std::size_t n) {
 
 Split1d two_cluster_split(std::span<const double> values) {
   RAB_EXPECTS(values.size() >= 2);
-  std::vector<double> sorted(values.begin(), values.end());
+  // Thread-local scratch: the HC detector calls this once per window and
+  // the per-call allocation dominated its profile.
+  struct TwoClusterSortTag {};
+  auto& sorted = util::scratch_vector<double, TwoClusterSortTag>();
+  sorted.assign(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
 
   std::size_t best = 0;

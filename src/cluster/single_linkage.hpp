@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "util/scratch.hpp"
+
 namespace rab::cluster {
 
 /// Cluster assignment: labels[i] in [0, k) for each input point, with
@@ -31,9 +33,31 @@ struct Clustering {
 Clustering single_linkage_1d(std::span<const double> points, std::size_t k);
 
 /// Generic single-linkage clustering from a full pairwise distance matrix
-/// given row-major in `dist` (size n*n, symmetric, zero diagonal).
+/// given row-major in `dist` (size n*n, symmetric, zero diagonal). Packs
+/// the upper triangle into thread-local scratch and delegates to
+/// single_linkage_packed, so each symmetric distance is touched once.
 Clustering single_linkage(std::span<const double> dist, std::size_t n,
                           std::size_t k);
+
+/// Index of pair (i, j), i < j, in the packed upper triangle of an n-point
+/// distance set — row-major over rows i, columns j > i.
+[[nodiscard]] constexpr std::size_t packed_index(std::size_t i, std::size_t j,
+                                                 std::size_t n) {
+  return i * n - i * (i + 1) / 2 + (j - i - 1);
+}
+
+/// Single-linkage clustering from packed upper-triangle distances (size
+/// n*(n-1)/2, laid out per packed_index). Merge order matches
+/// single_linkage on the equivalent full matrix exactly: edges ascend by
+/// distance with (i, j)-lexicographic tie-breaking.
+Clustering single_linkage_packed(std::span<const double> packed,
+                                 std::size_t n, std::size_t k);
+
+/// Packed upper-triangle Euclidean distances of `n` row-major `dim`-d
+/// points (points.size() == n*dim). Each pair is computed once; the inner
+/// accumulation over `dim` is a contiguous vectorizable loop.
+[[nodiscard]] util::aligned_vector<double> pairwise_euclidean(
+    std::span<const double> points, std::size_t n, std::size_t dim);
 
 /// Convenience for the HC detector: splits values into two single-linkage
 /// clusters and returns {n_small, n_large} — the two cluster sizes in

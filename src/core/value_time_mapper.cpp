@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "util/error.hpp"
 
@@ -19,7 +20,8 @@ std::vector<TimedValue> correlate(std::vector<double> values,
   RAB_EXPECTS(values.size() == times.size());
   std::sort(times.begin(), times.end());
 
-  const std::vector<rating::Rating>& fair_ratings = fair.ratings();
+  const std::span<const double> fair_times = fair.times();
+  const std::span<const double> fair_values = fair.values();
   std::vector<TimedValue> out;
   out.reserve(times.size());
 
@@ -30,12 +32,11 @@ std::vector<TimedValue> correlate(std::vector<double> values,
     // preceding fair rating, use the first fair value (or the scale middle
     // when the fair stream is empty).
     double near_v = 0.5 * (rating::kMinRating + rating::kMaxRating);
-    if (!fair_ratings.empty()) {
-      const auto it = std::lower_bound(
-          fair_ratings.begin(), fair_ratings.end(), min_t,
-          [](const rating::Rating& r, Day t) { return r.time < t; });
-      near_v = it == fair_ratings.begin() ? fair_ratings.front().value
-                                          : std::prev(it)->value;
+    if (!fair_times.empty()) {
+      const auto it =
+          std::lower_bound(fair_times.begin(), fair_times.end(), min_t);
+      const auto idx = static_cast<std::size_t>(it - fair_times.begin());
+      near_v = idx == 0 ? fair_values.front() : fair_values[idx - 1];
     }
     const auto chosen = std::max_element(
         values.begin(), values.end(),

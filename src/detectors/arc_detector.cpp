@@ -5,9 +5,9 @@
 #include <span>
 
 #include "detectors/instrumentation.hpp"
+#include "signal/kernels.hpp"
 #include "signal/rolling.hpp"
 #include "stats/descriptive.hpp"
-#include "stats/glrt.hpp"
 #include "util/error.hpp"
 
 namespace rab::detectors {
@@ -22,46 +22,54 @@ ArrivalRateDetector::ArrivalRateDetector(ArcConfig config, ArcMode mode)
 }
 
 std::vector<double> ArrivalRateDetector::mode_counts(
-    const rating::ProductRatings& stream, Day day_begin, Day day_end) const {
-  std::vector<signal::Sample> filtered;
-  const ValueSplit split =
-      value_split_for_mean(stats::mean(stream.values()));
-  for (const rating::Rating& r : stream.ratings()) {
-    const bool keep = mode_ == ArcMode::kAll ||
-                      (mode_ == ArcMode::kHigh && r.value > split.threshold_a) ||
-                      (mode_ == ArcMode::kLow && r.value < split.threshold_b);
-    if (keep) filtered.push_back(signal::Sample{r.time, r.value});
+    const rating::ProductRatings& stream, Day day_begin, Day day_end,
+    const ValueSplit& split) const {
+  RAB_EXPECTS(day_end >= day_begin);
+  if (day_end == day_begin) return {};
+  const auto days = static_cast<std::size_t>(std::ceil(day_end - day_begin));
+  std::vector<double> counts(days, 0.0);
+  const std::span<const double> times = stream.times();
+  const std::span<const double> values = stream.values();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const bool keep =
+        mode_ == ArcMode::kAll ||
+        (mode_ == ArcMode::kHigh && values[i] > split.threshold_a) ||
+        (mode_ == ArcMode::kLow && values[i] < split.threshold_b);
+    if (!keep) continue;
+    const Day t = times[i];
+    if (t < day_begin || t >= day_end) continue;
+    const auto idx = static_cast<std::size_t>(t - day_begin);
+    if (idx < counts.size()) counts[idx] += 1.0;
   }
-  return signal::daily_counts(filtered, day_begin, day_end);
+  return counts;
+}
+
+signal::Curve ArrivalRateDetector::curve_from_counts(
+    std::span<const double> counts, Day day_begin) const {
+  signal::Curve curve;
+  if (counts.size() < 2) return curve;
+  // Batch kernel: one prefix pass, then an elementwise GLRT loop (with the
+  // integer-log-table fast path in default FP mode).
+  const auto half = static_cast<std::size_t>(config_.window_days / 2.0);
+  const std::vector<double> stats = signal::poisson_glrt_curve(counts, half);
+  curve.reserve(counts.size() - 1);
+  for (std::size_t k = 1; k + 1 <= counts.size(); ++k) {
+    curve.push_back(
+        signal::CurvePoint{day_begin + static_cast<double>(k), stats[k]});
+  }
+  return curve;
 }
 
 signal::Curve ArrivalRateDetector::indicator_curve(
     const rating::ProductRatings& stream) const {
-  signal::Curve curve;
-  if (stream.empty()) return curve;
+  if (stream.empty()) return {};
   const Interval span = stream.span();
   const Day day_begin = std::floor(span.begin);
   const Day day_end = std::ceil(span.end);
-  const std::vector<double> counts =
-      mode_counts(stream, day_begin, day_end);
-  if (counts.size() < 2) return curve;
-
-  // Rolling fast path: the Poisson GLRT needs only each half-window's
-  // count total, which prefix sums answer in O(1) per split point.
-  const signal::RollingStats rolling{std::span<const double>(counts)};
-  const auto half = static_cast<std::size_t>(config_.window_days / 2.0);
-  for (std::size_t k = 1; k + 1 <= counts.size(); ++k) {
-    // Shrink the window symmetrically near the edges (Section IV-C.2).
-    const std::size_t d = std::min({half, k, counts.size() - k});
-    if (d == 0) continue;
-    const double days = static_cast<double>(d);
-    curve.push_back(signal::CurvePoint{
-        day_begin + static_cast<double>(k),
-        stats::PoissonRateGlrt::statistic_from_sums(
-            days, rolling.sum(signal::IndexRange{k - d, k}), days,
-            rolling.sum(signal::IndexRange{k, k + d}))});
-  }
-  return curve;
+  const ValueSplit split =
+      value_split_for_mean(stats::mean(stream.values()));
+  return curve_from_counts(mode_counts(stream, day_begin, day_end, split),
+                           day_begin);
 }
 
 DetectionResult ArrivalRateDetector::detect(
@@ -86,7 +94,18 @@ DetectionResult ArrivalRateDetector::detect(
 DetectionResult ArrivalRateDetector::detect_impl(
     const rating::ProductRatings& stream) const {
   DetectionResult result;
-  result.curve = indicator_curve(stream);
+  if (stream.empty()) return result;
+
+  // Build the mode's daily counts once; the indicator curve and the
+  // per-segment rates below both read them.
+  const Interval stream_span = stream.span();
+  const Day day_begin = std::floor(stream_span.begin);
+  const Day day_end = std::ceil(stream_span.end);
+  const ValueSplit split =
+      value_split_for_mean(stats::mean(stream.values()));
+  const std::vector<double> counts =
+      mode_counts(stream, day_begin, day_end, split);
+  result.curve = curve_from_counts(counts, day_begin);
   if (result.curve.empty()) return result;
 
   signal::PeakOptions peak_opts;
@@ -97,11 +116,6 @@ DetectionResult ArrivalRateDetector::detect_impl(
   std::vector<Interval> segments =
       signal::segments_between_peaks(result.curve, peaks);
   if (segments.size() < 2) return result;
-
-  const Interval span = stream.span();
-  const Day day_begin = std::floor(span.begin);
-  const Day day_end = std::ceil(span.end);
-  const std::vector<double> counts = mode_counts(stream, day_begin, day_end);
 
   // Arrival rate per segment = watched ratings per day in the segment.
   // Day d of `counts` stamps time day_begin + d, so the day indices inside

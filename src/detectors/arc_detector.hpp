@@ -10,6 +10,9 @@
 // with threshold_a = 0.5*m and threshold_b = 0.5*m + 0.5 for mean rating m.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "detectors/config.hpp"
 #include "rating/product_ratings.hpp"
 
@@ -36,9 +39,17 @@ class ArrivalRateDetector {
   [[nodiscard]] DetectionResult detect_impl(
       const rating::ProductRatings& stream) const;
 
-  /// Daily counts of the ratings this mode watches.
+  /// Daily counts of the ratings this mode watches, built straight from
+  /// the time/value columns (no intermediate sample vector).
   [[nodiscard]] std::vector<double> mode_counts(
-      const rating::ProductRatings& stream, Day day_begin, Day day_end) const;
+      const rating::ProductRatings& stream, Day day_begin, Day day_end,
+      const ValueSplit& split) const;
+
+  /// The ARC curve from a daily-count sequence starting at `day_begin` —
+  /// shared by indicator_curve and detect_impl so the counts are built
+  /// once per detection.
+  [[nodiscard]] signal::Curve curve_from_counts(
+      std::span<const double> counts, Day day_begin) const;
 
   ArcConfig config_;
   ArcMode mode_;

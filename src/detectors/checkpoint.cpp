@@ -433,7 +433,7 @@ void OnlineMonitor::save_checkpoint(const std::string& path) const {
       w.i64(product.value());
       w.u64(stream.previous_marks);
       w.u64(stream.ratings.size());
-      for (const rating::Rating& r : stream.ratings.ratings()) {
+      for (const rating::Rating& r : stream.ratings.rows()) {
         w.f64(r.time);
         w.f64(r.value);
         w.i64(r.rater.value());

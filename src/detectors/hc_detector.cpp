@@ -17,21 +17,19 @@ HistogramDetector::HistogramDetector(HcConfig config) : config_(config) {
 
 signal::Curve HistogramDetector::indicator_curve(
     const rating::ProductRatings& stream) const {
-  const std::vector<signal::Sample> samples = stream.samples();
+  const std::span<const double> times = stream.times();
+  const std::span<const double> values = stream.values();
   signal::Curve curve;
-  curve.reserve(samples.size());
+  curve.reserve(times.size());
   const signal::WindowSpec spec =
       signal::WindowSpec::by_count(config_.window_ratings);
 
-  // Extract the value sequence once; windows are span slices of it.
-  const std::vector<double> values = stream.values();
-  for (std::size_t k = 0; k < samples.size(); ++k) {
-    const signal::IndexRange window =
-        signal::window_around(samples, k, spec);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    const signal::IndexRange window = signal::window_around(times, k, spec);
     double hc = 0.0;
     if (window.size() >= 4) {
-      const std::span<const double> slice(values.data() + window.first,
-                                          window.size());
+      const std::span<const double> slice =
+          values.subspan(window.first, window.size());
       const cluster::Split1d split = cluster::two_cluster_split(slice);
       // Without a real value gap between the clusters the "split" is just
       // adjacent rating levels of one noisy blob — not a second mode.
@@ -41,7 +39,7 @@ signal::Curve HistogramDetector::indicator_curve(
         hc = std::min(n1 / n2, n2 / n1);  // Eq. (6)
       }
     }
-    curve.push_back(signal::CurvePoint{samples[k].time, hc});
+    curve.push_back(signal::CurvePoint{times[k], hc});
   }
   return curve;
 }

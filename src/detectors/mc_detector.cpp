@@ -1,12 +1,14 @@
 #include "detectors/mc_detector.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "detectors/instrumentation.hpp"
-#include "signal/rolling.hpp"
+#include "signal/kernels.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/glrt.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace rab::detectors {
 
@@ -18,21 +20,16 @@ MeanChangeDetector::MeanChangeDetector(McConfig config) : config_(config) {
 
 signal::Curve MeanChangeDetector::indicator_curve(
     const rating::ProductRatings& stream) const {
-  const std::vector<signal::Sample> samples = stream.samples();
+  const std::span<const double> times = stream.times();
+  // Batch kernel: prefix moments + one window-bound sweep + one
+  // vectorizable statistic loop over the columns, replacing the per-sample
+  // window_around / split_at / statistic calls.
+  const std::vector<double> stats = signal::mean_glrt_curve(
+      times, stream.values(), config_.window, stats::kDefaultGlrtMinSigma);
   signal::Curve curve;
-  curve.reserve(samples.size());
-  const stats::GaussianMeanGlrt glrt(config_.glrt_threshold);
-
-  // Rolling fast path: prefix statistics answer each half-window's moments
-  // in O(1) instead of copying the window's values per sample.
-  const signal::RollingStats rolling(samples);
-  for (std::size_t k = 0; k < samples.size(); ++k) {
-    const signal::IndexRange window =
-        signal::window_around(samples, k, config_.window);
-    const auto [left, right] = signal::split_at(window, k);
-    curve.push_back(signal::CurvePoint{
-        samples[k].time,
-        glrt.statistic(rolling.moments(left), rolling.moments(right))});
+  curve.reserve(times.size());
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    curve.push_back(signal::CurvePoint{times[k], stats[k]});
   }
   return curve;
 }
@@ -63,33 +60,79 @@ DetectionResult MeanChangeDetector::detect_impl(
 
   // Overall value baseline (median when robust_baseline: a long attack
   // drags the mean but not the median) and trust baseline.
-  const std::vector<double> all_values = stream.values();
-  const double b_avg = config_.robust_baseline
-                           ? stats::median(all_values)
-                           : stats::mean(all_values);
+  const std::span<const double> values = stream.values();
+  const double b_avg =
+      config_.robust_baseline
+          ? stats::median(std::vector<double>(values.begin(), values.end()))
+          : stats::mean(values);
 
-  double trust_sum = 0.0;
-  for (const rating::Rating& r : stream.ratings()) trust_sum += trust(r.rater);
-  const double t_avg =
-      trust_sum / static_cast<double>(stream.size());
+  // Trust is consulted lazily: a segment needs it only when its deviation
+  // falls between threshold2 and threshold1 (the moderate-change rule).
+  // Fair streams almost never cross threshold2, so the 2n TrustLookup
+  // indirections — the dominant non-kernel cost here — usually vanish.
+  const std::span<const RaterId> raters = stream.raters();
+  double t_avg = 0.0;
+  bool t_avg_ready = false;
 
   for (const Interval& segment : segments) {
-    const std::vector<rating::Rating> members = stream.in_interval(segment);
+    const signal::IndexRange members = stream.index_range(segment);
     if (members.empty()) continue;
 
-    stats::Welford value_acc;
-    stats::Welford trust_acc;
-    for (const rating::Rating& r : members) {
-      value_acc.add(r.value);
-      trust_acc.add(trust(r.rater));
+    // The segment mean feeds the threshold1/threshold2 comparisons — a
+    // discrete classification, not a curve value — and the attack search
+    // (Procedure 2) deliberately tunes attacks onto these boundaries, so
+    // the decisions must match the reference Welford accumulation exactly
+    // (a reassociated sum once flipped a borderline segment and sent
+    // fig5's region search into a different basin). Fast path: interleaved
+    // plain sums whose mean differs from Welford's by at most kSumSlack
+    // (n*eps*max|value| with generous headroom); when the resulting
+    // deviation is at least kSumSlack away from both thresholds the
+    // Welford decision is already determined, otherwise — and always in
+    // strict mode — recompute in the reference order.
+    constexpr double kSumSlack = 1e-9;
+    double seg_mean;
+    {
+      double acc[4] = {0.0, 0.0, 0.0, 0.0};
+      std::size_t i = members.first;
+      for (; i + 4 <= members.last; i += 4) {
+        acc[0] += values[i];
+        acc[1] += values[i + 1];
+        acc[2] += values[i + 2];
+        acc[3] += values[i + 3];
+      }
+      for (; i < members.last; ++i) acc[0] += values[i];
+      seg_mean = ((acc[0] + acc[1]) + (acc[2] + acc[3])) /
+                 static_cast<double>(members.last - members.first);
     }
-    const double deviation = std::fabs(value_acc.mean() - b_avg);
+    const double fast_dev = std::fabs(seg_mean - b_avg);
+    if (simd::strict_fp() ||
+        std::fabs(fast_dev - config_.threshold1) <= kSumSlack ||
+        std::fabs(fast_dev - config_.threshold2) <= kSumSlack) {
+      stats::Welford value_acc;
+      for (std::size_t i = members.first; i < members.last; ++i) {
+        value_acc.add(values[i]);
+      }
+      seg_mean = value_acc.mean();
+    }
+    const double deviation = std::fabs(seg_mean - b_avg);
 
-    const bool large_change = deviation > config_.threshold1;
-    const bool moderate_low_trust =
-        deviation > config_.threshold2 &&
-        t_avg > 0.0 && trust_acc.mean() / t_avg < config_.trust_ratio;
-    if (large_change || moderate_low_trust) {
+    if (deviation > config_.threshold1) {  // very large mean change
+      result.suspicious.push_back(segment);
+      continue;
+    }
+    if (deviation <= config_.threshold2) continue;
+
+    if (!t_avg_ready) {
+      double trust_sum = 0.0;
+      for (RaterId rater : raters) trust_sum += trust(rater);
+      t_avg = trust_sum / static_cast<double>(stream.size());
+      t_avg_ready = true;
+    }
+    stats::Welford trust_acc;
+    for (std::size_t i = members.first; i < members.last; ++i) {
+      trust_acc.add(trust(raters[i]));
+    }
+    if (t_avg > 0.0 && trust_acc.mean() / t_avg < config_.trust_ratio) {
       result.suspicious.push_back(segment);
     }
   }

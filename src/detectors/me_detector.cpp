@@ -15,20 +15,18 @@ ModelErrorDetector::ModelErrorDetector(MeConfig config) : config_(config) {
 
 signal::Curve ModelErrorDetector::indicator_curve(
     const rating::ProductRatings& stream) const {
-  const std::vector<signal::Sample> samples = stream.samples();
+  const std::span<const double> times = stream.times();
+  const std::span<const double> values = stream.values();
   signal::Curve curve;
-  curve.reserve(samples.size());
+  curve.reserve(times.size());
 
-  // Extract the value sequence once; each window is then a span slice
-  // instead of a fresh per-sample vector copy.
-  const std::vector<double> values = stream.values();
-  for (std::size_t k = 0; k < samples.size(); ++k) {
+  for (std::size_t k = 0; k < times.size(); ++k) {
     const signal::IndexRange window =
-        signal::window_around(samples, k, config_.window);
-    const std::span<const double> slice(values.data() + window.first,
-                                        window.size());
+        signal::window_around(times, k, config_.window);
+    const std::span<const double> slice =
+        values.subspan(window.first, window.size());
     curve.push_back(signal::CurvePoint{
-        samples[k].time, signal::ar_model_error(slice, config_.ar_order)});
+        times[k], signal::ar_model_error(slice, config_.ar_order)});
   }
   return curve;
 }

@@ -167,7 +167,7 @@ void OnlineMonitor::analyze_epoch(Day epoch_end) {
 
     const signal::IndexRange range = s.ratings.index_range(fold);
     for (std::size_t j = range.first; j < range.last; ++j) {
-      trust::EpochCounts& c = epoch_counts[s.ratings.at(j).rater];
+      trust::EpochCounts& c = epoch_counts[s.ratings.raters()[j]];
       ++c.ratings;
       if (result.suspicious[j]) ++c.suspicious;
     }

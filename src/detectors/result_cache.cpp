@@ -68,12 +68,20 @@ struct Hasher {
 Fingerprint stream_fingerprint(const rating::ProductRatings& stream) {
   Hasher h;
   h.add(static_cast<std::uint64_t>(stream.size()));
-  for (const rating::Rating& r : stream.ratings()) {
-    h.add(r.time);
-    h.add(r.value);
-    h.add(static_cast<std::uint64_t>(r.rater.value()));
-    h.add(static_cast<std::uint64_t>(r.product.value()));
-    h.add(static_cast<std::uint64_t>(r.unfair ? 1 : 0));
+  // Column walk, row-major field order — the exact word sequence the old
+  // per-Rating loop fed the hasher.
+  const auto times = stream.times();
+  const auto values = stream.values();
+  const auto raters = stream.raters();
+  const auto unfair = stream.unfair_flags();
+  const auto product =
+      static_cast<std::uint64_t>(stream.product().value());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    h.add(times[i]);
+    h.add(values[i]);
+    h.add(static_cast<std::uint64_t>(raters[i].value()));
+    h.add(product);
+    h.add(static_cast<std::uint64_t>(unfair[i] != 0 ? 1 : 0));
   }
   return h.done();
 }
@@ -82,8 +90,8 @@ Fingerprint trust_fingerprint(const rating::ProductRatings& stream,
                               const TrustLookup& trust) {
   Hasher h;
   h.add(static_cast<std::uint64_t>(stream.size()));
-  for (const rating::Rating& r : stream.ratings()) {
-    h.add(trust(r.rater));
+  for (RaterId rater : stream.raters()) {
+    h.add(trust(rater));
   }
   return h.done();
 }

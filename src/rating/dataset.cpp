@@ -63,7 +63,7 @@ Interval Dataset::span() const {
 std::vector<RaterId> Dataset::rater_ids() const {
   std::set<RaterId> ids;
   for (const auto& [id, stream] : products_) {
-    for (const Rating& r : stream.ratings()) ids.insert(r.rater);
+    for (RaterId rater : stream.raters()) ids.insert(rater);
   }
   return {ids.begin(), ids.end()};
 }
@@ -71,7 +71,7 @@ std::vector<RaterId> Dataset::rater_ids() const {
 Dataset Dataset::fair_only() const {
   Dataset out;
   for (const auto& [id, stream] : products_) {
-    for (const Rating& r : stream.ratings()) {
+    for (const Rating& r : stream.rows()) {
       if (!r.unfair) out.add(r);
     }
   }

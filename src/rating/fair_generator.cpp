@@ -48,7 +48,7 @@ Dataset FairDataGenerator::generate() const {
   for (std::size_t p = 1; p <= config_.product_count; ++p) {
     const ProductRatings stream =
         generate_product(ProductId(static_cast<std::int64_t>(p)));
-    for (const Rating& r : stream.ratings()) dataset.add(r);
+    for (const Rating& r : stream.rows()) dataset.add(r);
   }
   return dataset;
 }

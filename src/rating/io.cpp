@@ -16,7 +16,7 @@ namespace rab::rating {
 void write_csv(std::ostream& out, const Dataset& dataset) {
   out << "# product,rater,time,value,unfair\n";
   for (ProductId id : dataset.product_ids()) {
-    for (const Rating& r : dataset.product(id).ratings()) {
+    for (const Rating& r : dataset.product(id).rows()) {
       out << r.product.value() << ',' << r.rater.value() << ',' << r.time
           << ',' << r.value << ',' << (r.unfair ? 1 : 0) << '\n';
     }

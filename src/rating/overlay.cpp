@@ -17,19 +17,16 @@ OverlayProduct::OverlayProduct(const ProductRatings* base, ProductId product,
   }
   extra_.add_all(extra);
   if (base_ != nullptr && !extra_.empty()) {
-    const std::vector<Rating>& bs = base_->ratings();
     merged_pos_.reserve(extra_.size());
     for (std::size_t j = 0; j < extra_.size(); ++j) {
-      const auto pos =
-          std::upper_bound(bs.begin(), bs.end(), extra_.at(j), ByTime{});
-      merged_pos_.push_back(static_cast<std::size_t>(pos - bs.begin()) + j);
+      merged_pos_.push_back(base_->upper_bound(extra_.at(j)) + j);
     }
   } else {
     for (std::size_t j = 0; j < extra_.size(); ++j) merged_pos_.push_back(j);
   }
 }
 
-const Rating& OverlayProduct::at(std::size_t i) const {
+Rating OverlayProduct::at(std::size_t i) const {
   RAB_EXPECTS(i < size());
   if (merged_ != nullptr) return merged_->at(i);
   if (extra_.empty()) return base_->at(i);

@@ -56,7 +56,7 @@ class OverlayProduct {
 
   /// Rating at merged position `i` (base-first on ByTime ties). O(log e)
   /// in the overlay size before merged() materializes, O(1) after.
-  [[nodiscard]] const Rating& at(std::size_t i) const;
+  [[nodiscard]] Rating at(std::size_t i) const;
 
   /// Time span [first rating, last rating], identical to the span of the
   /// materialized merged stream.
@@ -77,18 +77,17 @@ class OverlayProduct {
   /// Visits every merged rating in order via a linear two-pointer walk.
   template <typename F>
   void for_each(F&& f) const {
-    const std::vector<Rating>& extras = extra_.ratings();
     std::size_t b = 0;
     std::size_t e = 0;
     const std::size_t nb = base_size();
-    while (b < nb || e < extras.size()) {
+    const std::size_t ne = extra_.size();
+    while (b < nb || e < ne) {
       // Base goes first unless the next extra is strictly ByTime-smaller —
       // the same tie-breaking as with_added's upper_bound insertion.
-      if (b < nb &&
-          (e >= extras.size() || !ByTime{}(extras[e], base_->at(b)))) {
+      if (b < nb && (e >= ne || !extra_first(e, b))) {
         f(base_->at(b++));
       } else {
-        f(extras[e++]);
+        f(extra_.at(e++));
       }
     }
   }
@@ -98,7 +97,6 @@ class OverlayProduct {
   /// loops.
   template <typename F>
   void for_each_in(const Interval& interval, F&& f) const {
-    const std::vector<Rating>& extras = extra_.ratings();
     signal::IndexRange base_range{};
     if (base_ != nullptr) base_range = base_->index_range(interval);
     const signal::IndexRange extra_range = extra_.index_range(interval);
@@ -106,10 +104,10 @@ class OverlayProduct {
     std::size_t e = extra_range.first;
     while (b < base_range.last || e < extra_range.last) {
       if (b < base_range.last &&
-          (e >= extra_range.last || !ByTime{}(extras[e], base_->at(b)))) {
+          (e >= extra_range.last || !extra_first(e, b))) {
         f(base_->at(b++));
       } else {
-        f(extras[e++]);
+        f(extra_.at(e++));
       }
     }
   }
@@ -122,6 +120,18 @@ class OverlayProduct {
  private:
   [[nodiscard]] std::size_t base_size() const {
     return base_ != nullptr ? base_->size() : 0;
+  }
+
+  /// ByTime{}(extra row e, base row b), compared column-wise so the merge
+  /// walks never assemble Rating records just to order them.
+  [[nodiscard]] bool extra_first(std::size_t e, std::size_t b) const {
+    const double te = extra_.times()[e];
+    const double tb = base_->times()[b];
+    if (te != tb) return te < tb;
+    const double ve = extra_.values()[e];
+    const double vb = base_->values()[b];
+    if (ve != vb) return ve < vb;
+    return extra_.raters()[e] < base_->raters()[b];
   }
 
   const ProductRatings* base_ = nullptr;

@@ -7,101 +7,150 @@
 
 namespace rab::rating {
 
+void ProductRatings::push_row(const Rating& r) {
+  times_.push_back(r.time);
+  values_.push_back(r.value);
+  raters_.push_back(r.rater);
+  unfair_.push_back(r.unfair ? std::uint8_t{1} : std::uint8_t{0});
+}
+
 void ProductRatings::add(const Rating& r) {
   RAB_EXPECTS(product_.value() < 0 || r.product == product_);
   if (product_.value() < 0) product_ = r.product;
-  const auto pos =
-      std::upper_bound(ratings_.begin(), ratings_.end(), r, ByTime{});
-  ratings_.insert(pos, r);
+  const auto pos = static_cast<std::ptrdiff_t>(upper_bound(r));
+  times_.insert(times_.begin() + pos, r.time);
+  values_.insert(values_.begin() + pos, r.value);
+  raters_.insert(raters_.begin() + pos, r.rater);
+  unfair_.insert(unfair_.begin() + pos,
+                 r.unfair ? std::uint8_t{1} : std::uint8_t{0});
 }
 
 void ProductRatings::add_all(std::span<const Rating> rs) {
+  std::vector<Rating> merged = to_rows();
+  merged.reserve(merged.size() + rs.size());
   for (const Rating& r : rs) {
     RAB_EXPECTS(product_.value() < 0 || r.product == product_);
     if (product_.value() < 0) product_ = r.product;
-    ratings_.push_back(r);
+    merged.push_back(r);
   }
-  std::sort(ratings_.begin(), ratings_.end(), ByTime{});
+  std::sort(merged.begin(), merged.end(), ByTime{});
+  times_.clear();
+  values_.clear();
+  raters_.clear();
+  unfair_.clear();
+  times_.reserve(merged.size());
+  values_.reserve(merged.size());
+  raters_.reserve(merged.size());
+  unfair_.reserve(merged.size());
+  for (const Rating& r : merged) push_row(r);
 }
 
 ProductRatings ProductRatings::from_sorted(ProductId product,
                                            std::vector<Rating> rs) {
   RAB_EXPECTS(std::is_sorted(rs.begin(), rs.end(), ByTime{}));
   ProductRatings out(product);
-  for (const Rating& r : rs) RAB_EXPECTS(r.product == product);
-  out.ratings_ = std::move(rs);
+  out.times_.reserve(rs.size());
+  out.values_.reserve(rs.size());
+  out.raters_.reserve(rs.size());
+  out.unfair_.reserve(rs.size());
+  for (const Rating& r : rs) {
+    RAB_EXPECTS(r.product == product);
+    out.push_row(r);
+  }
   return out;
 }
 
-const Rating& ProductRatings::at(std::size_t i) const {
-  RAB_EXPECTS(i < ratings_.size());
-  return ratings_[i];
+Rating ProductRatings::at(std::size_t i) const {
+  RAB_EXPECTS(i < times_.size());
+  return Rating{times_[i], values_[i], raters_[i], product_, unfair_[i] != 0};
+}
+
+std::vector<Rating> ProductRatings::to_rows() const {
+  std::vector<Rating> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(at(i));
+  return out;
 }
 
 Interval ProductRatings::span() const {
-  if (ratings_.empty()) return Interval{};
-  return Interval{ratings_.front().time,
-                  std::nextafter(ratings_.back().time,
-                                 ratings_.back().time + 1.0)};
-}
-
-std::vector<double> ProductRatings::values() const {
-  std::vector<double> out;
-  out.reserve(ratings_.size());
-  for (const Rating& r : ratings_) out.push_back(r.value);
-  return out;
+  if (times_.empty()) return Interval{};
+  return Interval{times_.front(),
+                  std::nextafter(times_.back(), times_.back() + 1.0)};
 }
 
 std::vector<signal::Sample> ProductRatings::samples() const {
   std::vector<signal::Sample> out;
-  out.reserve(ratings_.size());
-  for (const Rating& r : ratings_) {
-    out.push_back(signal::Sample{r.time, r.value});
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out.push_back(signal::Sample{times_[i], values_[i]});
   }
   return out;
 }
 
 std::vector<Rating> ProductRatings::in_interval(const Interval& interval) const {
   const signal::IndexRange range = index_range(interval);
-  return {ratings_.begin() + static_cast<std::ptrdiff_t>(range.first),
-          ratings_.begin() + static_cast<std::ptrdiff_t>(range.last)};
+  std::vector<Rating> out;
+  out.reserve(range.last - range.first);
+  for (std::size_t i = range.first; i < range.last; ++i) out.push_back(at(i));
+  return out;
 }
 
 signal::IndexRange ProductRatings::index_range(const Interval& interval) const {
-  const auto lo = std::lower_bound(
-      ratings_.begin(), ratings_.end(), interval.begin,
-      [](const Rating& r, Day t) { return r.time < t; });
-  const auto hi = std::lower_bound(
-      lo, ratings_.end(), interval.end,
-      [](const Rating& r, Day t) { return r.time < t; });
-  return signal::IndexRange{static_cast<std::size_t>(lo - ratings_.begin()),
-                            static_cast<std::size_t>(hi - ratings_.begin())};
+  const auto lo =
+      std::lower_bound(times_.begin(), times_.end(), interval.begin);
+  const auto hi = std::lower_bound(lo, times_.end(), interval.end);
+  return signal::IndexRange{static_cast<std::size_t>(lo - times_.begin()),
+                            static_cast<std::size_t>(hi - times_.begin())};
+}
+
+std::size_t ProductRatings::upper_bound(const Rating& r) const {
+  // std::upper_bound over the columns: first row ordering strictly after r
+  // under ByTime (time, then value, then rater).
+  std::size_t lo = 0;
+  std::size_t hi = size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const bool row_after =
+        r.time != times_[mid]
+            ? r.time < times_[mid]
+            : (r.value != values_[mid] ? r.value < values_[mid]
+                                       : r.rater < raters_[mid]);
+    if (row_after) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
 }
 
 ProductRatings ProductRatings::fair_only() const {
   ProductRatings out(product_);
-  for (const Rating& r : ratings_) {
-    if (!r.unfair) out.ratings_.push_back(r);
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (unfair_[i] == 0) out.push_row(at(i));
   }
   return out;
 }
 
 void ProductRatings::drop_prefix(std::size_t n) {
-  RAB_EXPECTS(n <= ratings_.size());
-  ratings_.erase(ratings_.begin(),
-                 ratings_.begin() + static_cast<std::ptrdiff_t>(n));
+  RAB_EXPECTS(n <= size());
+  const auto d = static_cast<std::ptrdiff_t>(n);
+  times_.erase(times_.begin(), times_.begin() + d);
+  values_.erase(values_.begin(), values_.begin() + d);
+  raters_.erase(raters_.begin(), raters_.begin() + d);
+  unfair_.erase(unfair_.begin(), unfair_.begin() + d);
 }
 
 ProductRatings ProductRatings::without_indices(
     std::span<const std::size_t> sorted_indices) const {
   ProductRatings out(product_);
   std::size_t skip = 0;
-  for (std::size_t i = 0; i < ratings_.size(); ++i) {
+  for (std::size_t i = 0; i < size(); ++i) {
     if (skip < sorted_indices.size() && sorted_indices[skip] == i) {
       ++skip;
       continue;
     }
-    out.ratings_.push_back(ratings_[i]);
+    out.push_row(at(i));
   }
   RAB_ENSURES(skip == sorted_indices.size());
   return out;

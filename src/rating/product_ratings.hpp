@@ -1,14 +1,100 @@
 // Time-sorted rating stream for one product.
+//
+// Storage is structure-of-arrays: the hot fields (time, value, rater,
+// unfair flag) live in parallel columns, with the double columns in
+// cache-line-aligned storage so the detector kernels (signal/kernels.hpp)
+// walk contiguous `std::span<const double>` data. The product id is a
+// per-stream constant, not a column — every row of one stream shares it.
+// A thin row view (`rows()`, `at()`) reassembles `Rating` records by value
+// for callers that want record semantics (overlay, checkpointing, CSV I/O).
 #pragma once
 
+#include <cstdint>
+#include <iterator>
 #include <span>
 #include <vector>
 
 #include "rating/rating.hpp"
 #include "signal/windowing.hpp"
 #include "util/day.hpp"
+#include "util/scratch.hpp"
 
 namespace rab::rating {
+
+class ProductRatings;
+
+/// Random-access view over a ProductRatings stream that yields `Rating`
+/// records by value, assembled from the columns on each dereference. Cheap
+/// to copy; invalidated by any mutation of the underlying stream.
+class RowsView {
+ public:
+  class iterator {
+   public:
+    using value_type = Rating;
+    using reference = Rating;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    // Dereference yields a prvalue, so classic-STL random access is not on
+    // offer; C++20 ranges see the stronger concept via iterator_concept.
+    using iterator_category = std::input_iterator_tag;
+    using iterator_concept = std::random_access_iterator_tag;
+
+    iterator() = default;
+    iterator(const ProductRatings* stream, std::size_t i)
+        : stream_(stream), i_(i) {}
+
+    [[nodiscard]] Rating operator*() const;
+    [[nodiscard]] Rating operator[](difference_type n) const {
+      return *(*this + n);
+    }
+
+    iterator& operator++() { ++i_; return *this; }
+    iterator operator++(int) { iterator t = *this; ++i_; return t; }
+    iterator& operator--() { --i_; return *this; }
+    iterator operator--(int) { iterator t = *this; --i_; return t; }
+    iterator& operator+=(difference_type n) {
+      i_ = static_cast<std::size_t>(static_cast<difference_type>(i_) + n);
+      return *this;
+    }
+    iterator& operator-=(difference_type n) { return *this += -n; }
+    friend iterator operator+(iterator it, difference_type n) {
+      return it += n;
+    }
+    friend iterator operator+(difference_type n, iterator it) {
+      return it += n;
+    }
+    friend iterator operator-(iterator it, difference_type n) {
+      return it -= n;
+    }
+    friend difference_type operator-(const iterator& a, const iterator& b) {
+      return static_cast<difference_type>(a.i_) -
+             static_cast<difference_type>(b.i_);
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.i_ == b.i_;
+    }
+    friend auto operator<=>(const iterator& a, const iterator& b) {
+      return a.i_ <=> b.i_;
+    }
+
+   private:
+    const ProductRatings* stream_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  explicit RowsView(const ProductRatings& stream) : stream_(&stream) {}
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] Rating operator[](std::size_t i) const;
+  [[nodiscard]] Rating front() const { return (*this)[0]; }
+  [[nodiscard]] Rating back() const { return (*this)[size() - 1]; }
+  [[nodiscard]] iterator begin() const { return iterator(stream_, 0); }
+  [[nodiscard]] iterator end() const { return iterator(stream_, size()); }
+
+ private:
+  const ProductRatings* stream_;
+};
 
 /// All ratings for a single product, kept sorted by time.
 class ProductRatings {
@@ -32,16 +118,28 @@ class ProductRatings {
   [[nodiscard]] static ProductRatings from_sorted(ProductId product,
                                                   std::vector<Rating> rs);
 
-  [[nodiscard]] std::size_t size() const { return ratings_.size(); }
-  [[nodiscard]] bool empty() const { return ratings_.empty(); }
-  [[nodiscard]] const std::vector<Rating>& ratings() const { return ratings_; }
-  [[nodiscard]] const Rating& at(std::size_t i) const;
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+
+  /// Row `i` assembled from the columns, by value.
+  [[nodiscard]] Rating at(std::size_t i) const;
+
+  /// Row view over the whole stream (Rating records by value).
+  [[nodiscard]] RowsView rows() const { return RowsView(*this); }
+
+  /// Materializes all rows into a ByTime-sorted vector.
+  [[nodiscard]] std::vector<Rating> to_rows() const;
+
+  // Column accessors. Spans stay valid until the next mutation.
+  [[nodiscard]] std::span<const double> times() const { return times_; }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::span<const RaterId> raters() const { return raters_; }
+  [[nodiscard]] std::span<const std::uint8_t> unfair_flags() const {
+    return unfair_;
+  }
 
   /// Time span [first rating, last rating]; empty interval when no ratings.
   [[nodiscard]] Interval span() const;
-
-  /// All rating values in time order.
-  [[nodiscard]] std::vector<double> values() const;
 
   /// (time, value) samples in time order, for the signal substrate.
   [[nodiscard]] std::vector<signal::Sample> samples() const;
@@ -51,6 +149,10 @@ class ProductRatings {
 
   /// Index range [first, last) of ratings with time inside `interval`.
   [[nodiscard]] signal::IndexRange index_range(const Interval& interval) const;
+
+  /// First index whose row orders strictly after `r` under ByTime — the
+  /// column-layout equivalent of std::upper_bound over the old row vector.
+  [[nodiscard]] std::size_t upper_bound(const Rating& r) const;
 
   /// Copy with only the fair (ground-truth) ratings — the "without unfair
   /// ratings" stream used by the MP metric.
@@ -65,8 +167,23 @@ class ProductRatings {
   void drop_prefix(std::size_t n);
 
  private:
+  void push_row(const Rating& r);
+
   ProductId product_;
-  std::vector<Rating> ratings_;
+  util::aligned_vector<double> times_;
+  util::aligned_vector<double> values_;
+  std::vector<RaterId> raters_;
+  std::vector<std::uint8_t> unfair_;
 };
+
+inline Rating RowsView::iterator::operator*() const {
+  return stream_->at(i_);
+}
+
+inline std::size_t RowsView::size() const { return stream_->size(); }
+
+inline Rating RowsView::operator[](std::size_t i) const {
+  return stream_->at(i);
+}
 
 }  // namespace rab::rating

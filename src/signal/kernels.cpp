@@ -1,0 +1,298 @@
+#include "signal/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/glrt.hpp"
+#include "util/error.hpp"
+#include "util/scratch.hpp"
+#include "util/simd.hpp"
+
+namespace rab::signal {
+
+namespace {
+
+struct MeanPrefixTag {};
+struct MeanPrefixSqTag {};
+struct FastCountLeftTag {};
+struct FastCountRightTag {};
+struct FastSumLeftTag {};
+struct FastSumRightTag {};
+struct FastSqLeftTag {};
+struct FastSqRightTag {};
+struct BoundsLoTag {};
+struct BoundsHiTag {};
+struct PoissonPrefixTag {};
+
+// Fast-mode Poisson path: xlogx of a rational s/d becomes
+// (s/d) * (log s - log d) with the logs read from this table of ln(i).
+// Daily counts are integral, so the table covers nearly every call; sums
+// beyond the table (or non-integral counts from a direct kernel caller)
+// fall back to the scalar statistic.
+constexpr std::size_t kLogTableSize = 4096;
+
+std::span<const double> log_table() {
+  static const std::vector<double> table = [] {
+    std::vector<double> t(kLogTableSize, 0.0);
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      t[i] = std::log(static_cast<double>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void prefix_moments(std::span<const double> values, std::span<double> prefix,
+                    std::span<double> prefix_sq) {
+  RAB_EXPECTS(prefix.size() == values.size() + 1);
+  RAB_EXPECTS(prefix_sq.size() == values.size() + 1);
+  prefix[0] = 0.0;
+  prefix_sq[0] = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    prefix[i + 1] = prefix[i] + v;
+    prefix_sq[i + 1] = prefix_sq[i] + v * v;
+  }
+}
+
+void window_bounds(std::span<const double> times, const WindowSpec& spec,
+                   std::span<std::size_t> lo, std::span<std::size_t> hi) {
+  const std::size_t n = times.size();
+  RAB_EXPECTS(lo.size() == n && hi.size() == n);
+  if (spec.is_count()) {
+    const std::size_t count = spec.count();
+    if (n <= count) {
+      std::fill(lo.begin(), lo.end(), std::size_t{0});
+      std::fill(hi.begin(), hi.end(), n);
+      return;
+    }
+    const std::size_t half = count / 2;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t first = k >= half ? k - half : 0;
+      const std::size_t last = std::min(first + count, n);
+      // Re-expand left if the right edge clipped the window.
+      lo[k] = last - first < count && last == n ? n - count : first;
+      hi[k] = last;
+    }
+    return;
+  }
+  // By-duration: both window edges move monotonically with the center of a
+  // time-sorted sequence, so two advancing cursors replace the per-center
+  // lower_bound/upper_bound pair. The comparison predicates are identical
+  // to the binary searches', so the resulting indices are too.
+  const double half = spec.duration() / 2.0;
+  std::size_t cur_lo = 0;
+  std::size_t cur_hi = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t_lo = times[k] - half;
+    const double t_hi = times[k] + half;
+    while (cur_lo < n && times[cur_lo] < t_lo) ++cur_lo;
+    while (cur_hi < n && !(t_hi < times[cur_hi])) ++cur_hi;
+    lo[k] = cur_lo;
+    hi[k] = cur_hi;
+  }
+}
+
+std::vector<double> mean_glrt_curve(std::span<const double> times,
+                                    std::span<const double> values,
+                                    const WindowSpec& spec, double min_sigma) {
+  RAB_EXPECTS(times.size() == values.size());
+  RAB_EXPECTS(min_sigma > 0.0);
+  const std::size_t n = times.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+
+  auto& prefix = util::scratch_aligned_vector<double, MeanPrefixTag>();
+  auto& prefix_sq = util::scratch_aligned_vector<double, MeanPrefixSqTag>();
+  prefix.resize(n + 1);
+  prefix_sq.resize(n + 1);
+  prefix_moments(values, prefix, prefix_sq);
+
+  // Window sweep fused with dense extraction: the per-center window edges
+  // come from two advancing cursors (by-duration) or index arithmetic
+  // (by-count), and the halves' count/sum/sum-of-squares land in
+  // unit-stride arrays so the statistic loops below see no indexed loads.
+  // The cursor predicates match lower_bound/upper_bound exactly, so the
+  // window indices — and every difference of prefix values derived from
+  // them — are bit-identical to the per-point binary-search history.
+  auto& c1 = util::scratch_aligned_vector<double, FastCountLeftTag>();
+  auto& c2 = util::scratch_aligned_vector<double, FastCountRightTag>();
+  auto& sum1 = util::scratch_aligned_vector<double, FastSumLeftTag>();
+  auto& sum2 = util::scratch_aligned_vector<double, FastSumRightTag>();
+  auto& sqs1 = util::scratch_aligned_vector<double, FastSqLeftTag>();
+  auto& sqs2 = util::scratch_aligned_vector<double, FastSqRightTag>();
+  for (auto* v : {&c1, &c2, &sum1, &sum2, &sqs1, &sqs2}) v->resize(n);
+  {
+    double* __restrict c1p = c1.data();
+    double* __restrict c2p = c2.data();
+    double* __restrict sum1p = sum1.data();
+    double* __restrict sum2p = sum2.data();
+    double* __restrict sqs1p = sqs1.data();
+    double* __restrict sqs2p = sqs2.data();
+    const double* __restrict pre = prefix.data();
+    const double* __restrict pre_sq = prefix_sq.data();
+    auto extract = [&](std::size_t k, std::size_t l, std::size_t h) {
+      c1p[k] = static_cast<double>(k - l);
+      c2p[k] = static_cast<double>(h - k);
+      sum1p[k] = pre[k] - pre[l];
+      sum2p[k] = pre[h] - pre[k];
+      sqs1p[k] = pre_sq[k] - pre_sq[l];
+      sqs2p[k] = pre_sq[h] - pre_sq[k];
+    };
+    if (spec.is_count()) {
+      const std::size_t count = spec.count();
+      if (n <= count) {
+        for (std::size_t k = 0; k < n; ++k) extract(k, 0, n);
+      } else {
+        const std::size_t half = count / 2;
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::size_t first = k >= half ? k - half : 0;
+          const std::size_t last = std::min(first + count, n);
+          const std::size_t l =
+              last - first < count && last == n ? n - count : first;
+          extract(k, l, last);
+        }
+      }
+    } else {
+      const double half = spec.duration() / 2.0;
+      std::size_t cur_lo = 0;
+      std::size_t cur_hi = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double t_lo = times[k] - half;
+        const double t_hi = times[k] + half;
+        while (cur_lo < n && times[cur_lo] < t_lo) ++cur_lo;
+        while (cur_hi < n && !(t_hi < times[cur_hi])) ++cur_hi;
+        extract(k, cur_lo, cur_hi);
+      }
+    }
+  }
+
+  const bool strict = simd::strict_fp();
+  const double min_var = min_sigma * min_sigma;
+  if (strict) {
+    // Reference operation order, point by point: the bit pattern of every
+    // statistic matches the scalar history (max(sqrt(pooled), min_sigma),
+    // then 2*sigma*sigma).
+    for (std::size_t k = 0; k < n; ++k) {
+      const double n1 = c1[k];
+      const double n2 = c2[k];
+      if (n1 == 0.0 || n2 == 0.0) continue;  // an empty half scores 0
+      const double s1 = sum1[k];
+      const double s2 = sum2[k];
+      const double sq1 = sqs1[k];
+      const double sq2 = sqs2[k];
+      const double mean1 = s1 / n1;
+      const double mean2 = s2 / n2;
+      const double var1 = std::max(sq1 / n1 - mean1 * mean1, 0.0);
+      const double var2 = std::max(sq2 / n2 - mean2 * mean2, 0.0);
+      const double pooled = (var1 * n1 + var2 * n2) / (n1 + n2);
+      const double w_eff = 2.0 * n1 * n2 / (n1 + n2);
+      const double delta = mean1 - mean2;
+      const double sigma = std::max(std::sqrt(pooled), min_sigma);
+      out[k] = w_eff * delta * delta / (2.0 * sigma * sigma);
+    }
+    return out;
+  }
+
+  // Fast mode: branchless elementwise arithmetic the compiler vectorizes.
+  // The empty-half guard becomes algebra (w_eff = 0 zeroes the statistic),
+  // and the three divisions by n1, n2, n1+n2 collapse into one reciprocal
+  // of their (clamped) product.
+  {
+    const double* __restrict c1p = c1.data();
+    const double* __restrict c2p = c2.data();
+    const double* __restrict sum1p = sum1.data();
+    const double* __restrict sum2p = sum2.data();
+    const double* __restrict sqs1p = sqs1.data();
+    const double* __restrict sqs2p = sqs2.data();
+    double* __restrict outp = out.data();
+    for (std::size_t k = 0; k < n; ++k) {
+      const double n1 = c1p[k];
+      const double n2 = c2p[k];
+      // Clamp empty halves to 1 so the shared reciprocal stays finite; the
+      // zero w_eff below erases their contribution exactly.
+      const double m1 = std::max(n1, 1.0);
+      const double m2 = std::max(n2, 1.0);
+      const double m12 = std::max(n1 + n2, 1.0);
+      const double inv = 1.0 / (m1 * m2 * m12);
+      const double r1 = m2 * m12 * inv;   // == 1/m1
+      const double r2 = m1 * m12 * inv;   // == 1/m2
+      const double r12 = m1 * m2 * inv;   // == 1/m12
+      const double mean1 = sum1p[k] * r1;
+      const double mean2 = sum2p[k] * r2;
+      const double var1 = std::max(sqs1p[k] * r1 - mean1 * mean1, 0.0);
+      const double var2 = std::max(sqs2p[k] * r2 - mean2 * mean2, 0.0);
+      const double pooled = (var1 * n1 + var2 * n2) * r12;
+      const double w_eff = 2.0 * n1 * n2 * r12;
+      const double delta = mean1 - mean2;
+      const double var = std::max(pooled, min_var);
+      outp[k] = w_eff * delta * delta / (2.0 * var);
+    }
+  }
+  return out;
+}
+
+std::vector<double> poisson_glrt_curve(std::span<const double> counts,
+                                       std::size_t half_days) {
+  RAB_EXPECTS(half_days >= 1);
+  const std::size_t m = counts.size();
+  std::vector<double> out(m, 0.0);
+  if (m < 2) return out;
+
+  auto& prefix = util::scratch_aligned_vector<double, PoissonPrefixTag>();
+  prefix.resize(m + 1);
+  prefix[0] = 0.0;
+  for (std::size_t i = 0; i < m; ++i) prefix[i + 1] = prefix[i] + counts[i];
+
+  // The table fast path applies when every count is a small nonnegative
+  // integer (daily arrival counts always are): every windowed sum is then
+  // an exact integer index into the log table. Checking the whole array
+  // once hoists the per-point floor/range tests out of the hot loop.
+  const bool strict = simd::strict_fp();
+  bool table_path = !strict && prefix[m] < static_cast<double>(kLogTableSize) &&
+                    2 * half_days < kLogTableSize && 2 * m < kLogTableSize;
+  if (table_path) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!(counts[i] >= 0.0 && counts[i] == std::floor(counts[i]))) {
+        table_path = false;
+        break;
+      }
+    }
+  }
+
+  const std::span<const double> logs = log_table();
+  if (table_path) {
+    for (std::size_t k = 1; k + 1 <= m; ++k) {
+      // Shrink the window symmetrically near the edges (Section IV-C.2).
+      const std::size_t d = std::min({half_days, k, m - k});
+      const double days = static_cast<double>(d);
+      const double s1 = prefix[k] - prefix[k - d];
+      const double s2 = prefix[k + d] - prefix[k];
+      const auto i1 = static_cast<std::size_t>(s1);
+      const auto i2 = static_cast<std::size_t>(s2);
+      const std::size_t it = i1 + i2;
+      const double t1 = i1 > 0 ? (s1 / days) * (logs[i1] - logs[d]) : 0.0;
+      const double t2 = i2 > 0 ? (s2 / days) * (logs[i2] - logs[d]) : 0.0;
+      const double tt =
+          it > 0 ? ((s1 + s2) / (2.0 * days)) * (logs[it] - logs[2 * d]) : 0.0;
+      // The statistic is a KL divergence, >= 0 exactly; the table path's
+      // different rounding can dip a few ulp below zero, so clamp. The
+      // scalar path below reproduces the reference bit pattern instead.
+      out[k] = std::max(0.0, 0.5 * t1 + 0.5 * t2 - tt);
+    }
+    return out;
+  }
+
+  for (std::size_t k = 1; k + 1 <= m; ++k) {
+    const std::size_t d = std::min({half_days, k, m - k});
+    const double days = static_cast<double>(d);
+    const double s1 = prefix[k] - prefix[k - d];
+    const double s2 = prefix[k + d] - prefix[k];
+    out[k] = stats::PoissonRateGlrt::statistic_from_sums(days, s1, days, s2);
+  }
+  return out;
+}
+
+}  // namespace rab::signal

@@ -1,0 +1,66 @@
+// Batch curve kernels over contiguous rating columns.
+//
+// The windowed detectors used to evaluate their GLRT point by point —
+// window_around (two binary searches), split_at, and a statistic call per
+// sample, each guarded by contract checks. These kernels compute the whole
+// indicator curve in a few passes over the SoA columns instead:
+//
+//  1. one sequential prefix-moment pass (shared by every GLRT variant —
+//     MC's Gaussian test and the ARC family's Poisson test both read
+//     half-window totals out of it),
+//  2. one window-bound pass — an O(n) two-pointer sweep for by-duration
+//     windows (both bounds are monotone in the center index, so the
+//     per-point binary searches collapse to two advancing cursors) and
+//     closed-form index arithmetic for by-count windows,
+//  3. one elementwise statistic loop, where every point is independent and
+//     the compiler can vectorize (see util/simd.hpp).
+//
+// Strict-FP contract: with rab::simd::strict_fp() the statistic loop
+// replays the exact operation order of the scalar path
+// (RollingStats::moments + GaussianMeanGlrt::statistic /
+// PoissonRateGlrt::statistic_from_sums), so results are bit-identical to
+// the pre-kernel implementation. Fast mode substitutes algebraic rewrites —
+// a sqrt-free sigma floor for the Gaussian test and an integer log table
+// for the Poisson test — that agree to ~1 ulp (tests pin relative 1e-12).
+// Window bounds and prefix sums are index/sequential arithmetic and
+// identical in both modes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "signal/windowing.hpp"
+
+namespace rab::signal {
+
+/// Fills prefix[i+1] = prefix[i] + values[i] and prefix_sq[i+1] =
+/// prefix_sq[i] + values[i]^2 with prefix[0] = prefix_sq[0] = 0. Both
+/// output spans must have size values.size() + 1. The accumulation is
+/// sequential in both FP modes — prefix sums feed threshold decisions all
+/// over the detectors, and reassociating them would flip bits everywhere.
+void prefix_moments(std::span<const double> values, std::span<double> prefix,
+                    std::span<double> prefix_sq);
+
+/// Window bounds [lo[k], hi[k]) around every center k under `spec`, for a
+/// time-sorted `times` column — the batch equivalent of window_around.
+/// Output spans must have size times.size().
+void window_bounds(std::span<const double> times, const WindowSpec& spec,
+                   std::span<std::size_t> lo, std::span<std::size_t> hi);
+
+/// Gaussian mean-change GLRT statistic at every sample: out[k] is the
+/// statistic of the half-windows [lo[k], k) and [k, hi[k]) under `spec`,
+/// exactly what window_around + split_at + RollingStats::moments +
+/// GaussianMeanGlrt::statistic produce per point. `times` must be sorted
+/// and the same length as `values`.
+[[nodiscard]] std::vector<double> mean_glrt_curve(
+    std::span<const double> times, std::span<const double> values,
+    const WindowSpec& spec, double min_sigma);
+
+/// Poisson rate-change GLRT statistic at every split point of a daily-count
+/// sequence: out[k] for k in [1, counts.size()) is the statistic of the
+/// halves [k-d, k) and [k, k+d) with d = min(half_days, k, n-k), matching
+/// the ARC curve loop; out[0] is 0. `half_days` must be >= 1.
+[[nodiscard]] std::vector<double> poisson_glrt_curve(
+    std::span<const double> counts, std::size_t half_days);
+
+}  // namespace rab::signal

@@ -2,29 +2,27 @@
 
 #include <algorithm>
 
+#include "signal/kernels.hpp"
 #include "util/error.hpp"
 
 namespace rab::signal {
 
-template <typename Get, typename Seq>
-void RollingStats::build(const Seq& seq, Get get) {
-  prefix_.resize(seq.size() + 1);
-  prefix_sq_.resize(seq.size() + 1);
-  prefix_[0] = 0.0;
-  prefix_sq_[0] = 0.0;
-  for (std::size_t i = 0; i < seq.size(); ++i) {
-    const double v = get(seq[i]);
-    prefix_[i + 1] = prefix_[i] + v;
-    prefix_sq_[i + 1] = prefix_sq_[i] + v * v;
-  }
-}
-
 RollingStats::RollingStats(std::span<const Sample> samples) {
-  build(samples, [](const Sample& s) { return s.value; });
+  // Extract the value column into thread-local scratch, then share the
+  // prefix kernel with the span ctor — same accumulation, same bits.
+  struct RollingSampleValuesTag {};
+  auto& values = util::scratch_vector<double, RollingSampleValuesTag>();
+  values.reserve(samples.size());
+  for (const Sample& s : samples) values.push_back(s.value);
+  prefix_.resize(samples.size() + 1);
+  prefix_sq_.resize(samples.size() + 1);
+  prefix_moments(values, prefix_, prefix_sq_);
 }
 
 RollingStats::RollingStats(std::span<const double> values) {
-  build(values, [](double v) { return v; });
+  prefix_.resize(values.size() + 1);
+  prefix_sq_.resize(values.size() + 1);
+  prefix_moments(values, prefix_, prefix_sq_);
 }
 
 double RollingStats::sum(const IndexRange& range) const {

@@ -14,10 +14,10 @@
 #pragma once
 
 #include <span>
-#include <vector>
 
 #include "signal/windowing.hpp"
 #include "stats/descriptive.hpp"
+#include "util/scratch.hpp"
 
 namespace rab::signal {
 
@@ -42,11 +42,10 @@ class RollingStats {
   [[nodiscard]] stats::Moments moments(const IndexRange& range) const;
 
  private:
-  template <typename Get, typename Seq>
-  void build(const Seq& seq, Get get);
-
-  std::vector<double> prefix_;     // prefix_[i] = sum of the first i values
-  std::vector<double> prefix_sq_;  // prefix_sq_[i] = sum of first i squares
+  // Both ctors route through signal::prefix_moments (kernels.hpp), so a
+  // Sample sequence and its bare value column produce identical prefixes.
+  util::aligned_vector<double> prefix_;     // prefix_[i] = sum of first i
+  util::aligned_vector<double> prefix_sq_;  // prefix_sq_[i] = sum of squares
 };
 
 }  // namespace rab::signal

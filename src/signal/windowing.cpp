@@ -61,6 +61,27 @@ IndexRange window_around(std::span<const Sample> samples, std::size_t center,
                     static_cast<std::size_t>(hi - samples.begin())};
 }
 
+IndexRange window_around(std::span<const double> times, std::size_t center,
+                         const WindowSpec& spec) {
+  RAB_EXPECTS(center < times.size());
+  const std::size_t n = times.size();
+  if (spec.is_count()) {
+    if (n <= spec.count()) return IndexRange{0, n};
+    const std::size_t half = spec.count() / 2;
+    const std::size_t first = center >= half ? center - half : 0;
+    const std::size_t last = std::min(first + spec.count(), n);
+    const std::size_t refirst =
+        last - first < spec.count() && last == n ? n - spec.count() : first;
+    return IndexRange{refirst, last};
+  }
+  const double half = spec.duration() / 2.0;
+  const Day t = times[center];
+  const auto lo = std::lower_bound(times.begin(), times.end(), t - half);
+  const auto hi = std::upper_bound(times.begin(), times.end(), t + half);
+  return IndexRange{static_cast<std::size_t>(lo - times.begin()),
+                    static_cast<std::size_t>(hi - times.begin())};
+}
+
 std::pair<IndexRange, IndexRange> split_at(const IndexRange& range,
                                            std::size_t split) {
   RAB_EXPECTS(split >= range.first && split <= range.last);

@@ -59,6 +59,11 @@ struct IndexRange {
 IndexRange window_around(std::span<const Sample> samples, std::size_t center,
                          const WindowSpec& spec);
 
+/// Same, over a bare (sorted) time column — the SoA-layout path that skips
+/// materializing Sample records.
+IndexRange window_around(std::span<const double> times, std::size_t center,
+                         const WindowSpec& spec);
+
 /// Splits `range` at index `split` into the two half-windows
 /// [first, split) and [split, last). `split` must lie within the range.
 std::pair<IndexRange, IndexRange> split_at(const IndexRange& range,

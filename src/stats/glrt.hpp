@@ -23,13 +23,18 @@ struct GlrtResult {
   bool change = false;     ///< statistic >= threshold
 };
 
+/// Default floor on the pooled standard deviation estimate, shared with the
+/// batch curve kernel (signal/kernels.hpp) so both paths agree.
+inline constexpr double kDefaultGlrtMinSigma = 1e-3;
+
 /// Mean-change GLRT for Gaussian data with (assumed) common variance.
 class GaussianMeanGlrt {
  public:
   /// @param threshold decision threshold gamma for the statistic.
   /// @param min_sigma floor on the pooled standard deviation estimate, which
   ///        keeps the statistic finite on (near-)constant windows.
-  explicit GaussianMeanGlrt(double threshold, double min_sigma = 1e-3);
+  explicit GaussianMeanGlrt(double threshold,
+                            double min_sigma = kDefaultGlrtMinSigma);
 
   /// Evaluates the statistic for halves `x1`, `x2` (equal length preferred;
   /// unequal lengths use the harmonic-mean effective window). Empty halves

@@ -7,12 +7,65 @@
 // sites: two live borrows of the same (T, Tag) instantiation alias the same
 // buffer, so every call site that can be active at the same time on one
 // thread must declare its own tag type.
+//
+// The aligned variants back the SoA rating columns and the SIMD kernels:
+// AlignedAllocator over-aligns vector storage to a cache-line/vector-width
+// boundary so the compiler-vectorized column walks (util/simd.hpp) start
+// from aligned addresses.
 #pragma once
 
+#include <cstddef>
+#include <new>
 #include <unordered_map>
 #include <vector>
 
 namespace rab::util {
+
+/// Minimal std::allocator drop-in whose allocations are aligned to
+/// `Alignment` bytes (a power of two, at least alignof(T)). Used for the
+/// rating column arrays and kernel scratch so vectorized loops run over
+/// aligned storage.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// Default alignment for SoA columns and kernel scratch: one cache line,
+/// which also covers every vector width the portable kernels use.
+inline constexpr std::size_t kColumnAlignment = 64;
+
+/// Contiguous array whose storage is aligned to `Alignment` bytes.
+template <typename T, std::size_t Alignment = kColumnAlignment>
+using aligned_vector = std::vector<T, AlignedAllocator<T, Alignment>>;
 
 /// Borrows the calling thread's reusable vector for (T, Tag). The buffer
 /// comes back empty but with its previous capacity intact. The reference
@@ -21,6 +74,18 @@ namespace rab::util {
 template <typename T, typename Tag = void>
 [[nodiscard]] std::vector<T>& scratch_vector() {
   thread_local std::vector<T> buffer;
+  buffer.clear();
+  return buffer;
+}
+
+/// Aligned flavor of scratch_vector: the borrowed buffer's storage is
+/// aligned to `Alignment` bytes (configurable per call site). Same clearing
+/// and aliasing rules as scratch_vector; distinct (T, Tag, Alignment)
+/// triples borrow distinct buffers.
+template <typename T, typename Tag = void,
+          std::size_t Alignment = kColumnAlignment>
+[[nodiscard]] aligned_vector<T, Alignment>& scratch_aligned_vector() {
+  thread_local aligned_vector<T, Alignment> buffer;
   buffer.clear();
   return buffer;
 }

@@ -1,0 +1,36 @@
+#include "util/simd.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace rab::simd {
+
+namespace detail {
+
+bool resolve_strict_fp() {
+#ifdef RAB_STRICT_FP_DEFAULT
+  bool strict = RAB_STRICT_FP_DEFAULT != 0;
+#else
+  bool strict = false;
+#endif
+  if (const char* env = std::getenv("RAB_STRICT_FP")) {
+    const std::string_view v(env);
+    if (v == "1" || v == "on" || v == "ON" || v == "true" || v == "TRUE") {
+      strict = true;
+    } else if (v == "0" || v == "off" || v == "OFF" || v == "false" ||
+               v == "FALSE") {
+      strict = false;
+    }
+    // Unrecognized values keep the compiled default rather than guessing.
+  }
+  return strict;
+}
+
+}  // namespace detail
+
+bool strict_fp() {
+  static const bool latched = detail::resolve_strict_fp();
+  return latched;
+}
+
+}  // namespace rab::simd

@@ -1,0 +1,39 @@
+// Portable-SIMD support for the column kernels.
+//
+// The detector hot loops (signal/kernels.cpp, cluster/single_linkage.cpp)
+// are written as plain width-N inner loops over contiguous double columns so
+// the compiler auto-vectorizes them — no intrinsics, no ISA dependency. This
+// header holds the two pieces those kernels share:
+//
+//  - kWidth, the unroll width the kernels shape their inner loops around
+//    (4 doubles = one AVX2 register; narrower ISAs just get an unrolled
+//    scalar loop, which is still correct).
+//  - strict_fp(), the runtime switch between the fast kernels (FP
+//    reassociation and algebraic rewrites allowed; results can differ from
+//    the scalar reference in the last bits) and the strict kernels that
+//    replay the exact scalar operation order, bit for bit.
+//
+// Strict mode resolution: the CMake option RAB_STRICT_FP bakes in the
+// compiled default; the RAB_STRICT_FP environment variable (1/0, on/off,
+// true/false) overrides it at process start. The flag is process-wide and
+// latched on first use, mirroring how RAB_THREADS is handled.
+#pragma once
+
+#include <cstddef>
+
+namespace rab::simd {
+
+/// Inner-loop width of the vectorized kernels, in doubles.
+inline constexpr std::size_t kWidth = 4;
+
+/// True when FP-sensitive kernels must replay the exact scalar operation
+/// order (bit-identical to the pre-SoA implementation). Latched on first
+/// call; see the header comment for how the value is resolved.
+[[nodiscard]] bool strict_fp();
+
+namespace detail {
+/// Reads compiled default + environment, uncached (exposed for tests).
+[[nodiscard]] bool resolve_strict_fp();
+}  // namespace detail
+
+}  // namespace rab::simd

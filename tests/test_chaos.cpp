@@ -53,7 +53,7 @@ std::vector<rating::Rating> make_feed() {
           burst_attack(ProductId(1), 60.0, 72.0, 50, 9));
   std::vector<rating::Rating> all;
   for (ProductId id : data.product_ids()) {
-    const auto& rs = data.product(id).ratings();
+    const auto rs = data.product(id).rows();
     all.insert(all.end(), rs.begin(), rs.end());
   }
   std::sort(all.begin(), all.end(), rating::ByTime{});

@@ -1,6 +1,8 @@
 // Tests for single-linkage clustering.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <span>
 #include <vector>
 
 #include "cluster/single_linkage.hpp"
@@ -148,6 +150,70 @@ TEST(TwoClusterSplit, MatchesClusterSizes) {
     const std::size_t hi = std::max(split.left_count, split.right_count);
     EXPECT_EQ(lo, small);
     EXPECT_EQ(hi, large);
+  }
+}
+
+// --- packed-triangle merge-order regression -------------------------------
+
+// single_linkage_packed promises the exact merge order of single_linkage on
+// the equivalent full matrix: edges ascend by distance with (i, j) as the
+// deterministic tie-breaker. A tie-rich matrix would expose any ordering
+// drift between the two layouts, so labels are compared exactly and the
+// expected partition for the tied case is pinned.
+TEST(SingleLinkagePacked, MatchesFullMatrixOnTieRichDistances) {
+  // Distances drawn from a tiny set {1, 2, 3} so nearly every edge ties.
+  const std::size_t n = 12;
+  Rng rng(41);
+  std::vector<double> full(n * n, 0.0);
+  std::vector<double> packed(n * (n - 1) / 2, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = std::floor(rng.uniform(1.0, 4.0));
+      full[i * n + j] = d;
+      full[j * n + i] = d;
+      packed[packed_index(i, j, n)] = d;
+    }
+  }
+  for (std::size_t k : {1u, 2u, 3u, 5u, 11u}) {
+    const Clustering a = single_linkage(full, n, k);
+    const Clustering b = single_linkage_packed(packed, n, k);
+    EXPECT_EQ(a.labels, b.labels) << "k=" << k;
+    EXPECT_EQ(a.cluster_count, b.cluster_count) << "k=" << k;
+  }
+}
+
+TEST(SingleLinkagePacked, PinnedLabelsOnAllTiedMatrix) {
+  // Every pairwise distance equal: merges must proceed in (i, j) edge
+  // order — (0,1), (0,2), (0,3) — so at k = 2 the last point is the
+  // singleton. Pinning this freezes the tie-break contract.
+  const std::size_t n = 4;
+  std::vector<double> packed(n * (n - 1) / 2, 1.0);
+  const Clustering c = single_linkage_packed(packed, n, 2);
+  EXPECT_EQ(c.cluster_count, 2u);
+  const std::vector<std::size_t> expected{0, 0, 0, 1};
+  EXPECT_EQ(c.labels, expected);
+}
+
+TEST(SingleLinkagePacked, AgreesWithFullOnEuclideanPoints) {
+  const std::size_t n = 20;
+  const std::size_t dim = 3;
+  Rng rng(17);
+  std::vector<double> points(n * dim);
+  for (double& p : points) p = rng.uniform(0.0, 1.0);
+  const util::aligned_vector<double> packed =
+      pairwise_euclidean(points, n, dim);
+  std::vector<double> full(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      full[i * n + j] = packed[packed_index(i, j, n)];
+      full[j * n + i] = full[i * n + j];
+    }
+  }
+  for (std::size_t k : {1u, 2u, 4u, 19u}) {
+    const Clustering a = single_linkage(full, n, k);
+    const Clustering b =
+        single_linkage_packed(std::span<const double>(packed), n, k);
+    EXPECT_EQ(a.labels, b.labels) << "k=" << k;
   }
 }
 

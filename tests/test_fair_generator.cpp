@@ -40,8 +40,8 @@ TEST(FairGenerator, Reproducible) {
   const rating::Dataset a = FairDataGenerator(config).generate();
   const rating::Dataset b = FairDataGenerator(config).generate();
   ASSERT_EQ(a.total_ratings(), b.total_ratings());
-  const auto& pa = a.product(ProductId(1)).ratings();
-  const auto& pb = b.product(ProductId(1)).ratings();
+  const auto pa = a.product(ProductId(1)).rows();
+  const auto pb = b.product(ProductId(1)).rows();
   for (std::size_t i = 0; i < pa.size(); ++i) {
     EXPECT_EQ(pa[i], pb[i]);
   }
@@ -58,8 +58,8 @@ TEST(FairGenerator, DifferentSeedsDiffer) {
   // Arrival processes differ with overwhelming probability.
   bool different = a.product(ProductId(1)).size() != b.product(ProductId(1)).size();
   if (!different) {
-    const auto& ra = a.product(ProductId(1)).ratings();
-    const auto& rb = b.product(ProductId(1)).ratings();
+    const auto ra = a.product(ProductId(1)).rows();
+    const auto rb = b.product(ProductId(1)).rows();
     for (std::size_t i = 0; i < ra.size(); ++i) {
       if (!(ra[i] == rb[i])) {
         different = true;
@@ -75,7 +75,7 @@ TEST(FairGenerator, ValuesOnScaleAndDiscrete) {
   config.product_count = 3;
   const auto data = FairDataGenerator(config).generate();
   for (ProductId id : data.product_ids()) {
-    for (const Rating& r : data.product(id).ratings()) {
+    for (const Rating& r : data.product(id).rows()) {
       EXPECT_GE(r.value, kMinRating);
       EXPECT_LE(r.value, kMaxRating);
       EXPECT_DOUBLE_EQ(r.value, std::round(r.value));
@@ -113,7 +113,7 @@ TEST(FairGenerator, TimesWithinHistory) {
   config.product_count = 2;
   const auto data = FairDataGenerator(config).generate();
   for (ProductId id : data.product_ids()) {
-    for (const Rating& r : data.product(id).ratings()) {
+    for (const Rating& r : data.product(id).rows()) {
       EXPECT_GE(r.time, 0.0);
       EXPECT_LT(r.time, 90.0);
     }
@@ -137,7 +137,7 @@ TEST(FairGenerator, ContinuousValuesWhenConfigured) {
   config.discrete_values = false;
   const auto data = FairDataGenerator(config).generate();
   bool saw_fractional = false;
-  for (const Rating& r : data.product(ProductId(1)).ratings()) {
+  for (const Rating& r : data.product(ProductId(1)).rows()) {
     if (r.value != std::round(r.value)) saw_fractional = true;
   }
   EXPECT_TRUE(saw_fractional);
@@ -233,7 +233,7 @@ TEST(FairGenerator, IndividualUnfairRatersStillGroundTruthFair) {
   config.random_rater_fraction = 0.1;
   const ProductRatings stream =
       FairDataGenerator(config).generate_product(ProductId(1));
-  for (const Rating& r : stream.ratings()) {
+  for (const Rating& r : stream.rows()) {
     EXPECT_FALSE(r.unfair);
   }
 }

@@ -48,7 +48,7 @@ std::vector<rating::Rating> merged_time_ordered(
     const rating::Dataset& data) {
   std::vector<rating::Rating> all;
   for (ProductId id : data.product_ids()) {
-    const auto& rs = data.product(id).ratings();
+    const auto rs = data.product(id).rows();
     all.insert(all.end(), rs.begin(), rs.end());
   }
   std::sort(all.begin(), all.end(), rating::ByTime{});

@@ -95,14 +95,15 @@ TEST(OverlayProduct, MatchesWithAddedMergedStreamExactly) {
   }
   EXPECT_EQ(view.span().begin, reference.span().begin);
   EXPECT_EQ(view.span().end, reference.span().end);
-  EXPECT_EQ(view.values(), reference.values());
+  EXPECT_EQ(view.values(), std::vector<double>(reference.values().begin(),
+                                             reference.values().end()));
 
   std::vector<Rating> walked;
   view.for_each([&](const Rating& r) { walked.push_back(r); });
-  EXPECT_EQ(walked, reference.ratings());
+  EXPECT_EQ(walked, reference.to_rows());
 
   // merged() materializes the identical stream.
-  EXPECT_EQ(view.merged().ratings(), reference.ratings());
+  EXPECT_EQ(view.merged().to_rows(), reference.to_rows());
 }
 
 TEST(OverlayProduct, IndexRangeAndInIntervalMatchEverywhere) {

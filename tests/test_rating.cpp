@@ -72,7 +72,7 @@ TEST(ProductRatings, ValuesInTimeOrder) {
   ProductRatings stream(ProductId(1));
   stream.add(make(2.0, 5.0, 1));
   stream.add(make(1.0, 3.0, 2));
-  const std::vector<double> values = stream.values();
+  const auto values = stream.values();
   ASSERT_EQ(values.size(), 2u);
   EXPECT_DOUBLE_EQ(values[0], 3.0);
   EXPECT_DOUBLE_EQ(values[1], 5.0);
@@ -102,7 +102,7 @@ TEST(ProductRatings, FairOnlyStripsUnfair) {
   stream.add(make(2.0, 4.0, 3, 1, false));
   const ProductRatings fair = stream.fair_only();
   EXPECT_EQ(fair.size(), 2u);
-  for (const Rating& r : fair.ratings()) EXPECT_FALSE(r.unfair);
+  for (const Rating& r : fair.rows()) EXPECT_FALSE(r.unfair);
 }
 
 TEST(ProductRatings, WithoutIndices) {

@@ -1,0 +1,305 @@
+// SoA-vs-AoS equivalence suite for the column-oriented rating layout and
+// the batched detector kernels (DESIGN.md §5g). The kernels promise:
+//  - window indices identical to the per-point binary-search history;
+//  - GLRT statistics within 1e-12 relative of the per-window scalar
+//    reference in fast-FP mode, and the reference operation order (hence
+//    deterministic, thread-count-independent alarms/trust) in strict mode;
+//  - the row API (from_sorted / add / add_all / drop_prefix / overlay)
+//    building identical streams no matter which path constructed them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "detectors/arc_detector.hpp"
+#include "detectors/hc_detector.hpp"
+#include "detectors/mc_detector.hpp"
+#include "detectors/me_detector.hpp"
+#include "detectors/online_monitor.hpp"
+#include "rating/fair_generator.hpp"
+#include "rating/overlay.hpp"
+#include "signal/kernels.hpp"
+#include "signal/windowing.hpp"
+#include "stats/glrt.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace rab {
+namespace {
+
+rating::ProductRatings fair_stream(std::uint64_t seed,
+                                   double days = 180.0) {
+  rating::FairDataConfig config;
+  config.product_count = 1;
+  config.history_days = days;
+  config.seed = seed;
+  return rating::FairDataGenerator(config).generate_product(ProductId(1));
+}
+
+rating::ProductRatings with_burst(const rating::ProductRatings& fair,
+                                  double value, double begin, double end,
+                                  std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  rating::ProductRatings out = fair;
+  for (std::size_t i = 0; i < count; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(begin, end);
+    r.value = value;
+    r.rater = RaterId(1'000'000 + static_cast<std::int64_t>(i));
+    r.product = fair.product();
+    r.unfair = true;
+    out.add(r);
+  }
+  return out;
+}
+
+// |a - b| <= tol * max(1, |a|, |b|): absolute near zero, relative above 1.
+void expect_close(double a, double b, double tol = 1e-12) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  EXPECT_LE(std::fabs(a - b), tol * scale) << a << " vs " << b;
+}
+
+TEST(SoaKernels, WindowBoundsMatchPerPointBinarySearch) {
+  const auto stream = fair_stream(11);
+  const auto times = stream.times();
+  const std::size_t n = times.size();
+  for (const signal::WindowSpec& spec :
+       {signal::WindowSpec::by_duration(30.0),
+        signal::WindowSpec::by_duration(0.5),
+        signal::WindowSpec::by_count(21),
+        signal::WindowSpec::by_count(4 * n)}) {
+    std::vector<std::size_t> lo(n);
+    std::vector<std::size_t> hi(n);
+    signal::window_bounds(times, spec, lo, hi);
+    for (std::size_t k = 0; k < n; ++k) {
+      const signal::IndexRange ref = signal::window_around(times, k, spec);
+      EXPECT_EQ(lo[k], ref.first) << "k=" << k;
+      EXPECT_EQ(hi[k], ref.last) << "k=" << k;
+    }
+  }
+}
+
+TEST(SoaKernels, MeanGlrtCurveMatchesPerWindowScalarReference) {
+  const auto stream = with_burst(fair_stream(12), 0.0, 60.0, 72.0, 40, 5);
+  const auto times = stream.times();
+  const auto values = stream.values();
+  const double min_sigma = stats::kDefaultGlrtMinSigma;
+  const stats::GaussianMeanGlrt glrt(/*threshold=*/8.0, min_sigma);
+  for (const signal::WindowSpec& spec :
+       {signal::WindowSpec::by_duration(30.0),
+        signal::WindowSpec::by_count(30)}) {
+    const std::vector<double> curve =
+        signal::mean_glrt_curve(times, values, spec, min_sigma);
+    ASSERT_EQ(curve.size(), times.size());
+    for (std::size_t k = 0; k < times.size(); ++k) {
+      const signal::IndexRange w = signal::window_around(times, k, spec);
+      const auto [left, right] = signal::split_at(w, k);
+      const std::vector<double> x1(values.begin() + left.first,
+                                   values.begin() + left.last);
+      const std::vector<double> x2(values.begin() + right.first,
+                                   values.begin() + right.last);
+      expect_close(curve[k], glrt.statistic(x1, x2));
+    }
+  }
+}
+
+TEST(SoaKernels, PoissonGlrtCurveMatchesStatisticFromSums) {
+  // Integral counts exercise the log-table fast path; the fractional
+  // variant forces the scalar fallback. Both must agree with the
+  // reference statistic.
+  Rng rng(77);
+  std::vector<double> counts(200);
+  for (double& c : counts) c = std::floor(rng.uniform(0.0, 9.0));
+  std::vector<double> fractional = counts;
+  fractional[50] += 0.25;
+
+  for (const auto* cs : {&counts, &fractional}) {
+    const std::size_t m = cs->size();
+    const std::size_t half = 15;
+    const std::vector<double> curve = signal::poisson_glrt_curve(*cs, half);
+    ASSERT_EQ(curve.size(), m);
+    EXPECT_EQ(curve[0], 0.0);
+    std::vector<double> prefix(m + 1, 0.0);
+    for (std::size_t i = 0; i < m; ++i) prefix[i + 1] = prefix[i] + (*cs)[i];
+    for (std::size_t k = 1; k + 1 <= m; ++k) {
+      const std::size_t d = std::min({half, k, m - k});
+      const double days = static_cast<double>(d);
+      const double s1 = prefix[k] - prefix[k - d];
+      const double s2 = prefix[k + d] - prefix[k];
+      expect_close(curve[k], stats::PoissonRateGlrt::statistic_from_sums(
+                                 days, s1, days, s2));
+      EXPECT_GE(curve[k], 0.0);
+    }
+  }
+}
+
+TEST(SoaStreams, ConstructionPathsBuildIdenticalColumns) {
+  const auto reference = fair_stream(13);
+  std::vector<rating::Rating> rows = reference.to_rows();
+
+  // from_sorted on the already-ordered rows.
+  const rating::ProductRatings sorted =
+      rating::ProductRatings::from_sorted(reference.product(), rows);
+
+  // add() in shuffled order.
+  std::vector<rating::Rating> shuffled = rows;
+  Rng rng(99);
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1],
+              shuffled[static_cast<std::size_t>(
+                  rng.uniform(0.0, static_cast<double>(i)))]);
+  }
+  rating::ProductRatings added(reference.product());
+  for (const rating::Rating& r : shuffled) added.add(r);
+
+  // add_all() of the shuffled batch.
+  rating::ProductRatings batched(reference.product());
+  batched.add_all(shuffled);
+
+  for (const rating::ProductRatings* s :
+       {&sorted, &std::as_const(added), &std::as_const(batched)}) {
+    ASSERT_EQ(s->size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(s->times()[i], reference.times()[i]);
+      EXPECT_EQ(s->values()[i], reference.values()[i]);
+      EXPECT_EQ(s->raters()[i], reference.raters()[i]);
+      EXPECT_EQ(s->unfair_flags()[i], reference.unfair_flags()[i]);
+    }
+  }
+}
+
+TEST(SoaStreams, DropPrefixMatchesSuffixRebuild) {
+  auto stream = fair_stream(14);
+  const std::vector<rating::Rating> rows = stream.to_rows();
+  const std::size_t drop = rows.size() / 3;
+  stream.drop_prefix(drop);
+  const rating::ProductRatings rebuilt = rating::ProductRatings::from_sorted(
+      stream.product(),
+      std::vector<rating::Rating>(rows.begin() + drop, rows.end()));
+  ASSERT_EQ(stream.size(), rebuilt.size());
+  EXPECT_EQ(stream.to_rows(), rebuilt.to_rows());
+}
+
+TEST(SoaStreams, OverlayMatchesMaterializedMerge) {
+  const auto base = fair_stream(15);
+  std::vector<rating::Rating> extras;
+  Rng rng(7);
+  for (std::size_t i = 0; i < 40; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(0.0, 180.0);
+    r.value = 0.0;
+    r.rater = RaterId(2'000'000 + static_cast<std::int64_t>(i));
+    r.product = base.product();
+    r.unfair = true;
+    extras.push_back(r);
+  }
+  rating::OverlayProduct overlay(&base, base.product(), extras);
+  rating::ProductRatings merged = base;
+  merged.add_all(extras);
+
+  ASSERT_EQ(overlay.size(), merged.size());
+  std::size_t walked = 0;
+  overlay.for_each([&](const rating::Rating& r) {
+    EXPECT_EQ(r, merged.at(walked)) << "merged position " << walked;
+    ++walked;
+  });
+  EXPECT_EQ(walked, merged.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(overlay.at(i), merged.at(i));
+  }
+}
+
+TEST(SoaDetectors, CurvesIdenticalAcrossConstructionPaths) {
+  const auto attacked = with_burst(fair_stream(16), 0.0, 60.0, 72.0, 50, 3);
+  const rating::ProductRatings rebuilt = rating::ProductRatings::from_sorted(
+      attacked.product(), attacked.to_rows());
+
+  const detectors::MeanChangeDetector mc;
+  const detectors::ArrivalRateDetector larc(detectors::ArcConfig{},
+                                            detectors::ArcMode::kLow);
+  const detectors::HistogramDetector hc;
+  const detectors::ModelErrorDetector me;
+
+  const auto expect_same = [](const detectors::DetectionResult& a,
+                              const detectors::DetectionResult& b) {
+    ASSERT_EQ(a.curve.size(), b.curve.size());
+    for (std::size_t i = 0; i < a.curve.size(); ++i) {
+      EXPECT_EQ(a.curve[i].time, b.curve[i].time);
+      EXPECT_EQ(a.curve[i].value, b.curve[i].value);
+    }
+    ASSERT_EQ(a.suspicious.size(), b.suspicious.size());
+    for (std::size_t i = 0; i < a.suspicious.size(); ++i) {
+      EXPECT_EQ(a.suspicious[i].begin, b.suspicious[i].begin);
+      EXPECT_EQ(a.suspicious[i].end, b.suspicious[i].end);
+    }
+  };
+  expect_same(mc.detect(attacked), mc.detect(rebuilt));
+  expect_same(larc.detect(attacked), larc.detect(rebuilt));
+  expect_same(hc.detect(attacked), hc.detect(rebuilt));
+  expect_same(me.detect(attacked), me.detect(rebuilt));
+}
+
+// Full streaming pipeline determinism: identical feeds must produce
+// byte-identical alarms and identical per-rater trust, at every
+// RAB_THREADS (tools/tier1.sh and the strict-FP CI leg re-run this binary
+// under RAB_THREADS=8; the parallel epoch analysis reduces serially in
+// product order, so thread count can't reorder evidence).
+TEST(SoaDetectors, MonitorAlarmsAndTrustReproducible) {
+  const auto run = [] {
+    rating::FairDataConfig config;
+    config.product_count = 3;
+    config.history_days = 150.0;
+    config.seed = 21;
+    rating::Dataset data = rating::FairDataGenerator(config).generate();
+
+    std::vector<rating::Rating> all;
+    for (ProductId id : data.product_ids()) {
+      const auto rs = data.product(id).rows();
+      all.insert(all.end(), rs.begin(), rs.end());
+    }
+    Rng rng(5);
+    for (std::size_t i = 0; i < 60; ++i) {
+      rating::Rating r;
+      r.time = rng.uniform(60.0, 72.0);
+      r.value = 0.0;
+      r.rater = RaterId(1'000'000 + static_cast<std::int64_t>(i));
+      r.product = ProductId(1);
+      r.unfair = true;
+      all.push_back(r);
+    }
+    std::sort(all.begin(), all.end(), rating::ByTime{});
+
+    detectors::OnlineConfig config_online;
+    config_online.epoch_days = 10.0;
+    detectors::OnlineMonitor monitor(config_online);
+    monitor.ingest(all);
+    monitor.flush();
+    // Sample trust while the monitor (which owns the TrustManager the
+    // lookup closure points into) is still alive.
+    const detectors::TrustLookup lookup = monitor.trust().lookup();
+    std::vector<double> trust;
+    for (std::int64_t rater = 0; rater < 1'000'060; rater += 997) {
+      trust.push_back(lookup(RaterId(rater)));
+    }
+    return std::make_pair(monitor.alarms(), trust);
+  };
+
+  const auto [alarms_a, trust_a] = run();
+  const auto [alarms_b, trust_b] = run();
+  EXPECT_FALSE(alarms_a.empty());  // the burst must actually alarm
+  EXPECT_EQ(alarms_a, alarms_b);
+  EXPECT_EQ(trust_a, trust_b);
+}
+
+TEST(SoaKernels, StrictModeReportsCompiledDefaultWithoutEnvOverride) {
+  // The strict/fast switch is latched once per process; this just pins the
+  // API so both CI legs (default and RAB_STRICT_FP=ON) link and query it.
+  const bool strict = simd::strict_fp();
+  EXPECT_TRUE(strict == true || strict == false);
+}
+
+}  // namespace
+}  // namespace rab

@@ -386,7 +386,7 @@ TEST(CsvFuzz, DatasetReaderParsesOrThrowsInvalidArgument) {
       // Accepted documents honor the dataset invariants: finite fields,
       // non-negative ids.
       for (ProductId id : data.product_ids()) {
-        for (const auto& r : data.product(id).ratings()) {
+        for (const auto& r : data.product(id).rows()) {
           EXPECT_TRUE(std::isfinite(r.time) && std::isfinite(r.value));
           EXPECT_GE(r.rater.value(), 0);
           EXPECT_GE(r.product.value(), 0);

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare fresh bench_report JSON against the checked-in baseline.
+
+Usage:
+    tools/bench_delta.py [--current DIR] [--baseline DIR]
+
+Reads every BENCH_*.json in the current directory (default: build/) that
+has a matching file in the baseline directory (default: bench/baseline/),
+prints the per-benchmark ratio baseline/current (>1 means faster now), and
+a geometric-mean speedup per suite and overall. Informational only: the
+exit code is always 0 so a slow run never fails a build; CI gates on the
+tier-1 tests, not on wall clock.
+
+Stdlib only — no third-party imports.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import sys
+
+
+def load_times(path):
+    """Map benchmark name -> real_time (ns) from google-benchmark JSON."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        time = bench.get("real_time")
+        if name is not None and time is not None:
+            times[name] = float(time)
+    return times
+
+
+def geomean(ratios):
+    vals = [r for r in ratios if r > 0.0]
+    if not vals:
+        return None
+    return math.exp(sum(math.log(r) for r in vals) / len(vals))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Print before/after deltas for bench_report output.")
+    parser.add_argument("--current", default="build",
+                        help="directory with fresh BENCH_*.json (default: build)")
+    parser.add_argument("--baseline", default="bench/baseline",
+                        help="directory with baseline BENCH_*.json "
+                             "(default: bench/baseline)")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.baseline):
+        print(f"bench_delta: no baseline directory at {args.baseline}; "
+              "nothing to compare.")
+        return 0
+
+    current_files = sorted(glob.glob(os.path.join(args.current,
+                                                  "BENCH_*.json")))
+    if not current_files:
+        print(f"bench_delta: no BENCH_*.json under {args.current}; "
+              "run the bench_report target first.")
+        return 0
+
+    all_ratios = []
+    compared_any = False
+    for cur_path in current_files:
+        name = os.path.basename(cur_path)
+        base_path = os.path.join(args.baseline, name)
+        if not os.path.isfile(base_path):
+            print(f"{name}: no baseline, skipped")
+            continue
+        try:
+            cur = load_times(cur_path)
+            base = load_times(base_path)
+        except (json.JSONDecodeError, OSError) as err:
+            print(f"{name}: unreadable ({err}), skipped")
+            continue
+
+        shared = sorted(set(cur) & set(base))
+        if not shared:
+            print(f"{name}: no overlapping benchmarks, skipped")
+            continue
+        compared_any = True
+
+        print(f"\n{name}  (baseline/current real_time; >1.00x is faster now)")
+        suite_ratios = []
+        for bench in shared:
+            ratio = base[bench] / cur[bench] if cur[bench] > 0 else 0.0
+            suite_ratios.append(ratio)
+            print(f"  {bench:45s} {base[bench]:>12.0f} -> {cur[bench]:>10.0f}"
+                  f"  {ratio:6.2f}x")
+        gm = geomean(suite_ratios)
+        if gm is not None:
+            print(f"  {'geomean':45s} {'':>12s}    {'':>10s}  {gm:6.2f}x")
+        all_ratios.extend(suite_ratios)
+
+    if compared_any:
+        gm = geomean(all_ratios)
+        if gm is not None:
+            print(f"\noverall geomean speedup vs baseline: {gm:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,7 +66,7 @@ std::vector<rating::Rating> make_feed(const Options& opt) {
 
   std::vector<rating::Rating> feed;
   for (ProductId id : data.product_ids()) {
-    const auto& rs = data.product(id).ratings();
+    const auto& rs = data.product(id).rows();
     feed.insert(feed.end(), rs.begin(), rs.end());
   }
   std::sort(feed.begin(), feed.end(), rating::ByTime{});

@@ -399,7 +399,7 @@ int cmd_monitor(const Args& args) {
   std::vector<rating::Rating> feed;
   feed.reserve(feed_data.total_ratings());
   for (ProductId id : feed_data.product_ids()) {
-    const auto& rs = feed_data.product(id).ratings();
+    const auto& rs = feed_data.product(id).rows();
     feed.insert(feed.end(), rs.begin(), rs.end());
   }
   std::sort(feed.begin(), feed.end(), rating::ByTime{});
@@ -572,6 +572,9 @@ int usage() {
       "  RAB_FAULTS    deterministic fault injection spec, e.g.\n"
       "                'checkpoint.write.body:corrupt' (see\n"
       "                src/util/failpoint.hpp for the grammar + catalog)\n"
+      "  RAB_STRICT_FP set to 1/on/true to run the detector kernels in\n"
+      "                the exact scalar FP operation order (bit-identical\n"
+      "                to the pre-vectorization code; see DESIGN.md 5g)\n"
       "exit codes:\n"
       "  0   success\n"
       "  1   runtime failure (unexpected exception)\n"

@@ -8,6 +8,9 @@
 #   tools/tier1.sh --ubsan   # additionally: UBSan build of the ingest tests
 #   tools/tier1.sh --chaos   # additionally: ASan+UBSan build of the
 #                            # checkpoint/failpoint crash-recovery torture
+#   tools/tier1.sh --strict-fp # additionally: RAB_STRICT_FP=ON build (exact
+#                            # scalar FP order in the batch kernels) + full
+#                            # suite + determinism tests at RAB_THREADS=8
 #
 # The TSAN pass builds into build-tsan/ with -DRAB_TSAN=ON and runs the
 # tests that exercise the thread pool (test_parallel), the detector suite
@@ -66,6 +69,16 @@ if [[ "${1:-}" == "--ubsan" ]]; then
   ./build-ubsan/tests/test_rating
   ./build-ubsan/tests/test_challenge
   RAB_THREADS=8 ./build-ubsan/tests/test_online_monitor
+fi
+
+if [[ "${1:-}" == "--strict-fp" ]]; then
+  cmake -B build-strict -S . -DRAB_STRICT_FP=ON >/dev/null
+  cmake --build build-strict -j "$(nproc)"
+  ctest --test-dir build-strict --output-on-failure -j "$(nproc)"
+  # The strict kernels must stay deterministic under real pool contention.
+  RAB_THREADS=8 ./build-strict/tests/test_soa_equivalence
+  RAB_THREADS=8 ./build-strict/tests/test_parallel
+  RAB_THREADS=8 ./build-strict/tests/test_online_monitor
 fi
 
 if [[ "${1:-}" == "--chaos" ]]; then
