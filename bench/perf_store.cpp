@@ -1,0 +1,198 @@
+// Columnar rating-store microbenches (google-benchmark): group-append
+// throughput into the mmap-backed segment log, and the restart race the
+// store exists to win — BM_StoreRestartVsReplay times resuming a
+// million-rating monitor from mapped segments (checkpoint + zero-copy
+// borrowed columns, O(open + mmap)) against the historic restart path
+// (checkpoint + re-parsing the whole CSV feed to find the resume point).
+// The mapped_bytes / resident_ratings counters show the store leg's memory
+// staying bounded by the retention window rather than the feed length.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "detectors/online_monitor.hpp"
+#include "rating/dataset.hpp"
+#include "rating/io.hpp"
+#include "store/rating_store.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rab;
+
+constexpr std::size_t kRestartRatings = 1'000'000;
+constexpr double kFeedDays = 2000.0;
+constexpr std::int64_t kProducts = 100;
+
+/// One million time-ordered ratings over ~2000 days and 100 products —
+/// synthesized directly (the fair generator would dominate setup time at
+/// this scale) so the bench measures storage, not data generation.
+const std::vector<rating::Rating>& restart_feed() {
+  static const std::vector<rating::Rating> feed = [] {
+    std::vector<rating::Rating> rows;
+    rows.reserve(kRestartRatings);
+    Rng rng(20080417);
+    const double dt = kFeedDays / static_cast<double>(kRestartRatings);
+    for (std::size_t i = 0; i < kRestartRatings; ++i) {
+      rating::Rating r;
+      r.time = static_cast<double>(i) * dt;
+      r.value = std::clamp(rng.gaussian(4.0, 0.6), 0.0, 5.0);
+      r.product = ProductId(1 + rng.uniform_int(0, kProducts - 1));
+      r.rater = RaterId(rng.uniform_int(0, 49'999));
+      rows.push_back(r);
+    }
+    return rows;
+  }();
+  return feed;
+}
+
+/// Shared monitor configuration for both restart legs; only the storage
+/// attachment differs.
+detectors::OnlineConfig monitor_config() {
+  detectors::OnlineConfig config;
+  config.epoch_days = 30.0;
+  config.retention_days = 90.0;
+  return config;
+}
+
+/// One-time setup: the feed written as CSV, plus two fully-ingested
+/// monitor states on disk — STRM checkpoints for the CSV-replay leg and a
+/// segment store + SREF checkpoints for the mmap leg. Both end with an
+/// explicit final checkpoint so each restart resumes the complete state
+/// and the legs differ only in how the rating history comes back.
+struct RestartSetup {
+  std::filesystem::path root = "bench-store-scratch";
+  std::string csv;
+  std::string ck_plain;
+  std::string ck_store;
+  std::string store_dir;
+
+  RestartSetup() {
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root);
+    csv = (root / "feed.csv").string();
+    ck_plain = (root / "ck-plain").string();
+    ck_store = (root / "ck-store").string();
+    store_dir = (root / "store").string();
+
+    const std::vector<rating::Rating>& feed = restart_feed();
+    const rating::Dataset data = rating::Dataset().with_added(feed);
+    rating::write_csv_file(csv, data);
+
+    {
+      detectors::OnlineConfig config = monitor_config();
+      config.checkpoint_dir = ck_plain;
+      detectors::OnlineMonitor monitor(config);
+      monitor.ingest(std::span<const rating::Rating>(feed));
+      monitor.flush();
+      monitor.checkpoint_now();
+    }
+    {
+      detectors::OnlineConfig config = monitor_config();
+      config.checkpoint_dir = ck_store;
+      config.store_dir = store_dir;
+      detectors::OnlineMonitor monitor(config);
+      monitor.ingest(std::span<const rating::Rating>(feed));
+      monitor.flush();
+      monitor.checkpoint_now();
+    }
+  }
+
+  ~RestartSetup() { std::filesystem::remove_all(root); }
+};
+
+const RestartSetup& restart_setup() {
+  static const RestartSetup setup;
+  return setup;
+}
+
+/// Arg 0: store leg — open + mmap the segment log, restore the SREF
+/// checkpoint over borrowed columns, binary-replay the (empty) tail.
+/// Arg 1: replay leg — restore the STRM checkpoint, then re-parse the CSV
+/// feed and skip the already-ingested prefix, which is what resuming
+/// through the CLI cost before the store existed.
+void BM_StoreRestartVsReplay(benchmark::State& state) {
+  const RestartSetup& setup = restart_setup();
+  const bool replay = state.range(0) != 0;
+  std::size_t ingested = 0;
+  std::size_t resident = 0;
+  std::size_t mapped = 0;
+  for (auto _ : state) {
+    if (replay) {
+      detectors::OnlineConfig config = monitor_config();
+      config.checkpoint_dir = setup.ck_plain;
+      detectors::OnlineMonitor monitor(config);
+      monitor.restore_latest(setup.ck_plain);
+      const rating::Dataset data = rating::read_csv_file(setup.csv);
+      std::vector<rating::Rating> feed;
+      feed.reserve(data.total_ratings());
+      for (ProductId id : data.product_ids()) {
+        const auto& rs = data.product(id).rows();
+        feed.insert(feed.end(), rs.begin(), rs.end());
+      }
+      std::sort(feed.begin(), feed.end(), rating::ByTime{});
+      const std::size_t start = std::min(monitor.ingested(), feed.size());
+      monitor.ingest(std::span<const rating::Rating>(feed).subspan(start));
+      monitor.flush();
+      benchmark::DoNotOptimize(monitor.alarms().size());
+      ingested = monitor.ingested();
+      resident = monitor.resident_ratings();
+    } else {
+      detectors::OnlineConfig config = monitor_config();
+      config.checkpoint_dir = setup.ck_store;
+      config.store_dir = setup.store_dir;
+      detectors::OnlineMonitor monitor(config);
+      monitor.restore_from_store();
+      benchmark::DoNotOptimize(monitor.alarms().size());
+      ingested = monitor.ingested();
+      resident = monitor.resident_ratings();
+      mapped = monitor.rating_store()->mapped_bytes();
+    }
+  }
+  state.SetLabel(replay ? "csv_replay" : "store_mmap");
+  state.counters["ratings"] = benchmark::Counter(static_cast<double>(ingested));
+  state.counters["resident_ratings"] =
+      benchmark::Counter(static_cast<double>(resident));
+  state.counters["mapped_bytes"] =
+      benchmark::Counter(static_cast<double>(mapped));
+}
+BENCHMARK(BM_StoreRestartVsReplay)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Group-append throughput into a fresh store: buffered columnar frames +
+/// a commit marker per group. Arg 0 appends without durability; Arg 1
+/// fsyncs at every group boundary (the batching StoreWriter amortizes, not
+/// eliminates, the syscall).
+void BM_StoreAppend(benchmark::State& state) {
+  const std::vector<rating::Rating>& feed = restart_feed();
+  const std::size_t count = 200'000;
+  const bool fsync = state.range(0) != 0;
+  const std::filesystem::path dir = "bench-store-append";
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+    {
+      store::StoreConfig sc;
+      sc.dir = dir.string();
+      sc.fsync = fsync;
+      store::RatingStore store(sc);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (fsync && i % sc.group_ratings == 0) store.sync();
+        store.append(feed[i]);
+      }
+      store.sync();
+    }
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * count));
+  state.SetLabel(fsync ? "fsync_per_group" : "no_fsync");
+}
+BENCHMARK(BM_StoreAppend)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -62,6 +62,10 @@ constexpr std::uint32_t kTrst = tag("TRST");
 constexpr std::uint32_t kStrm = tag("STRM");
 constexpr std::uint32_t kAlrm = tag("ALRM");
 constexpr std::uint32_t kEpch = tag("EPCH");
+/// Store-referencing stream section: bookkeeping plus per-stream row
+/// ranges into the attached rating store, instead of raw rating rows.
+/// Written when (and only when) the monitor has a store attached.
+constexpr std::uint32_t kSref = tag("SREF");
 
 /// Little-endian append-only byte sink for section payloads.
 class ByteWriter {
@@ -397,6 +401,9 @@ void OnlineMonitor::save_checkpoint(const std::string& path) const {
   const util::metrics::ScopedTimer timer(
       CheckpointMetrics::get().save_seconds);
   RAB_TRACE_SPAN("checkpoint.save");
+  // A store-referencing snapshot is only as durable as the rows it points
+  // at: flush + fsync the segment log before publishing row ranges.
+  if (store_) store_->sync();
   std::vector<Section> sections;
   sections.push_back(Section{kConf, encode_config(config_)});
 
@@ -426,7 +433,31 @@ void OnlineMonitor::save_checkpoint(const std::string& path) const {
     sections.push_back(Section{kTrst, w.take()});
   }
 
-  {
+  if (store_) {
+    // Store-referencing streams: the rating rows live in the (just
+    // synced) segment log; the snapshot records only row ranges, so its
+    // size is independent of the retained history.
+    ByteWriter w;
+    w.u64(streams_.size());
+    for (const auto& [product, stream] : streams_) {
+      w.i64(product.value());
+      w.u64(stream.previous_marks);
+      w.u64(stream.dropped_rows);
+      w.u64(stream.ratings.size());
+      w.u64(stream.last_suspicious.size());
+      std::uint8_t packed = 0;
+      for (std::size_t i = 0; i < stream.last_suspicious.size(); ++i) {
+        if (stream.last_suspicious[i]) {
+          packed |= static_cast<std::uint8_t>(1u << (i % 8));
+        }
+        if (i % 8 == 7 || i + 1 == stream.last_suspicious.size()) {
+          w.u8(packed);
+          packed = 0;
+        }
+      }
+    }
+    sections.push_back(Section{kSref, w.take()});
+  } else {
     ByteWriter w;
     w.u64(streams_.size());
     for (const auto& [product, stream] : streams_) {
@@ -524,30 +555,66 @@ void OnlineMonitor::restore_checkpoint(const std::string& path) {
     c.f = trst.f64();
   }
 
-  ByteReader strm(require(sections, kStrm, "STRM"));
   std::map<ProductId, Stream> streams;
-  const std::size_t stream_count = strm.u64();
-  for (std::size_t s = 0; s < stream_count; ++s) {
-    const ProductId product(strm.i64());
-    Stream stream(product);
-    stream.previous_marks = strm.u64();
-    std::vector<rating::Rating> ratings(strm.u64());
-    for (rating::Rating& r : ratings) {
-      r.time = strm.f64();
-      r.value = strm.f64();
-      r.rater = RaterId(strm.i64());
-      r.product = product;
-      r.unfair = strm.u8() != 0;
+  if (sections.contains(kSref)) {
+    if (!store_) {
+      throw InvalidArgument(
+          "checkpoint: snapshot " + path +
+          " references a rating store, but this monitor has no store_dir "
+          "configured — the rating rows live in the segment log");
     }
-    stream.ratings = rating::ProductRatings::from_sorted(product,
-                                                         std::move(ratings));
-    stream.last_suspicious.resize(strm.u64());
-    std::uint8_t packed = 0;
-    for (std::size_t i = 0; i < stream.last_suspicious.size(); ++i) {
-      if (i % 8 == 0) packed = strm.u8();
-      stream.last_suspicious[i] = (packed >> (i % 8)) & 1u;
+    ByteReader sref(require(sections, kSref, "SREF"));
+    const std::size_t stream_count = sref.u64();
+    for (std::size_t s = 0; s < stream_count; ++s) {
+      const ProductId product(sref.i64());
+      Stream stream(product);
+      stream.previous_marks = sref.u64();
+      stream.dropped_rows = sref.u64();
+      const std::uint64_t retained = sref.u64();
+      // Zero-copy resume: the stream borrows the mapped columns (or
+      // gathers, still binary) — throws CorruptData when the store no
+      // longer holds the range, and restore_latest falls back.
+      stream.ratings = store_->load(product, stream.dropped_rows,
+                                    stream.dropped_rows + retained);
+      stream.last_suspicious.resize(sref.u64());
+      std::uint8_t packed = 0;
+      for (std::size_t i = 0; i < stream.last_suspicious.size(); ++i) {
+        if (i % 8 == 0) packed = sref.u8();
+        stream.last_suspicious[i] = (packed >> (i % 8)) & 1u;
+      }
+      streams.emplace(product, std::move(stream));
     }
-    streams.emplace(product, std::move(stream));
+  } else {
+    if (store_) {
+      throw InvalidArgument(
+          "checkpoint: snapshot " + path +
+          " carries inline rating rows (no store), but this monitor is "
+          "store-backed; restore it on a monitor without store_dir");
+    }
+    ByteReader strm(require(sections, kStrm, "STRM"));
+    const std::size_t stream_count = strm.u64();
+    for (std::size_t s = 0; s < stream_count; ++s) {
+      const ProductId product(strm.i64());
+      Stream stream(product);
+      stream.previous_marks = strm.u64();
+      std::vector<rating::Rating> ratings(strm.u64());
+      for (rating::Rating& r : ratings) {
+        r.time = strm.f64();
+        r.value = strm.f64();
+        r.rater = RaterId(strm.i64());
+        r.product = product;
+        r.unfair = strm.u8() != 0;
+      }
+      stream.ratings = rating::ProductRatings::from_sorted(product,
+                                                           std::move(ratings));
+      stream.last_suspicious.resize(strm.u64());
+      std::uint8_t packed = 0;
+      for (std::size_t i = 0; i < stream.last_suspicious.size(); ++i) {
+        if (i % 8 == 0) packed = strm.u8();
+        stream.last_suspicious[i] = (packed >> (i % 8)) & 1u;
+      }
+      streams.emplace(product, std::move(stream));
+    }
   }
 
   ByteReader alrm(require(sections, kAlrm, "ALRM"));
@@ -591,6 +658,14 @@ void OnlineMonitor::restore_checkpoint(const std::string& path) {
   resident_ = resident;
   compacted_ = compacted;
   if (cache_) cache_->clear();
+  if (store_) {
+    // Older generations on disk may reference rows below this snapshot's
+    // watermarks. Seed the queue with empty (no-op) watermarks so store
+    // compaction stays paused until checkpoint_keep fresh generations
+    // have replaced them.
+    pending_watermarks_.assign(config_.checkpoint_keep,
+                               std::map<ProductId, std::uint64_t>{});
+  }
 }
 
 std::size_t OnlineMonitor::checkpoint_now() {
@@ -637,6 +712,33 @@ std::optional<std::size_t> OnlineMonitor::restore_latest(
     }
   }
   return std::nullopt;
+}
+
+std::optional<std::size_t> OnlineMonitor::restore_from_store() {
+  RAB_EXPECTS(store_ != nullptr);
+  std::optional<std::size_t> gen;
+  if (!config_.checkpoint_dir.empty()) {
+    gen = restore_latest(config_.checkpoint_dir);
+  }
+  // Binary replay of the store tail: rows appended after the restored
+  // snapshot (or the whole durable history when no snapshot was
+  // readable). Re-ingesting them runs the same epoch analyses the
+  // original process ran, so the result is bit-identical to a monitor
+  // that never crashed.
+  std::map<ProductId, std::uint64_t> from;
+  for (const auto& [product, stream] : streams_) {
+    from[product] = stream.dropped_rows + stream.ratings.size();
+  }
+  const std::vector<rating::Rating> tail = store_->tail(from);
+  replaying_ = true;
+  try {
+    for (const rating::Rating& r : tail) ingest(r);
+  } catch (...) {
+    replaying_ = false;
+    throw;
+  }
+  replaying_ = false;
+  return gen;
 }
 
 }  // namespace rab::detectors

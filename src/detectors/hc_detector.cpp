@@ -1,10 +1,10 @@
 #include "detectors/hc_detector.hpp"
 
-#include <algorithm>
 #include <span>
+#include <vector>
 
-#include "cluster/single_linkage.hpp"
 #include "detectors/instrumentation.hpp"
+#include "signal/kernels.hpp"
 #include "util/error.hpp"
 
 namespace rab::detectors {
@@ -18,28 +18,15 @@ HistogramDetector::HistogramDetector(HcConfig config) : config_(config) {
 signal::Curve HistogramDetector::indicator_curve(
     const rating::ProductRatings& stream) const {
   const std::span<const double> times = stream.times();
-  const std::span<const double> values = stream.values();
+  // Batch kernel over the value column: one incrementally sorted sliding
+  // window instead of a re-sort per center, bit-identical to the historic
+  // window_around + two_cluster_split loop (signal/kernels.hpp).
+  const std::vector<double> hc = signal::balance_curve(
+      stream.values(), config_.window_ratings, config_.min_cluster_gap);
   signal::Curve curve;
   curve.reserve(times.size());
-  const signal::WindowSpec spec =
-      signal::WindowSpec::by_count(config_.window_ratings);
-
   for (std::size_t k = 0; k < times.size(); ++k) {
-    const signal::IndexRange window = signal::window_around(times, k, spec);
-    double hc = 0.0;
-    if (window.size() >= 4) {
-      const std::span<const double> slice =
-          values.subspan(window.first, window.size());
-      const cluster::Split1d split = cluster::two_cluster_split(slice);
-      // Without a real value gap between the clusters the "split" is just
-      // adjacent rating levels of one noisy blob — not a second mode.
-      if (split.gap >= config_.min_cluster_gap) {
-        const double n1 = static_cast<double>(split.left_count);
-        const double n2 = static_cast<double>(split.right_count);
-        hc = std::min(n1 / n2, n2 / n1);  // Eq. (6)
-      }
-    }
-    curve.push_back(signal::CurvePoint{times[k], hc});
+    curve.push_back(signal::CurvePoint{times[k], hc[k]});
   }
   return curve;
 }

@@ -1,9 +1,10 @@
 #include "detectors/me_detector.hpp"
 
 #include <span>
+#include <vector>
 
 #include "detectors/instrumentation.hpp"
-#include "signal/ar.hpp"
+#include "signal/kernels.hpp"
 #include "util/error.hpp"
 
 namespace rab::detectors {
@@ -16,17 +17,15 @@ ModelErrorDetector::ModelErrorDetector(MeConfig config) : config_(config) {
 signal::Curve ModelErrorDetector::indicator_curve(
     const rating::ProductRatings& stream) const {
   const std::span<const double> times = stream.times();
-  const std::span<const double> values = stream.values();
+  // Fused AR-fit kernel: Gram/RHS/predict+residual accumulate straight off
+  // the centered window (no per-center design matrix), bit-identical to
+  // the historic window_around + ar_model_error loop (signal/kernels.hpp).
+  const std::vector<double> errors = signal::ar_error_curve(
+      times, stream.values(), config_.window, config_.ar_order);
   signal::Curve curve;
   curve.reserve(times.size());
-
   for (std::size_t k = 0; k < times.size(); ++k) {
-    const signal::IndexRange window =
-        signal::window_around(times, k, config_.window);
-    const std::span<const double> slice =
-        values.subspan(window.first, window.size());
-    curve.push_back(signal::CurvePoint{
-        times[k], signal::ar_model_error(slice, config_.ar_order)});
+    curve.push_back(signal::CurvePoint{times[k], errors[k]});
   }
   return curve;
 }

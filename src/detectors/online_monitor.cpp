@@ -53,6 +53,14 @@ OnlineMonitor::OnlineMonitor(OnlineConfig config)
     cache_ = std::make_unique<IntegrationCache>(
         config_.cache_streams, std::max<std::size_t>(1, config_.cache_variants));
   }
+  if (!config_.store_dir.empty()) {
+    store::StoreConfig sc;
+    sc.dir = config_.store_dir;
+    sc.segment_bytes = config_.store_segment_bytes;
+    sc.group_ratings = config_.store_group_ratings;
+    sc.fsync = config_.store_fsync;
+    store_ = std::make_unique<store::RatingStore>(sc);
+  }
 }
 
 void OnlineMonitor::ingest(const rating::Rating& r) {
@@ -87,6 +95,10 @@ void OnlineMonitor::ingest(const rating::Rating& r) {
   Stream& stream = streams_.try_emplace(r.product, r.product).first->second;
   stream.ratings.add(r);
   stream.fingerprint_valid = false;
+  // Durability last: the checkpoints taken above cover exactly the rows
+  // already appended, so the store's durable prefix always matches some
+  // replayable monitor state. Replayed rows are already in the store.
+  if (store_ && !replaying_) store_->append(r);
   MonitorMetrics::get().ingested.add();
   ++ingested_;
   ++epoch_ingested_;
@@ -99,15 +111,33 @@ void OnlineMonitor::ingest(std::span<const rating::Rating> batch) {
 }
 
 void OnlineMonitor::flush() {
-  if (!started_ || !pending_) return;
-  analyze_epoch(std::nextafter(last_time_, last_time_ + 1.0));
-  maybe_checkpoint();
+  if (started_ && pending_) {
+    analyze_epoch(std::nextafter(last_time_, last_time_ + 1.0));
+    maybe_checkpoint();
+  }
+  // Shutdown durability: everything ingested is on disk after a flush.
+  if (store_) store_->sync();
 }
 
 void OnlineMonitor::maybe_checkpoint() {
   if (config_.checkpoint_dir.empty()) return;
   if (epoch_stats_.size() % config_.checkpoint_every_epochs != 0) return;
   (void)checkpoint_now();
+  if (!store_) return;
+  // Queue this generation's compaction watermark; release the one that
+  // checkpoint_keep newer generations have superseded — every snapshot a
+  // later restore may fall back to can still load its row ranges.
+  std::map<ProductId, std::uint64_t> watermark;
+  for (const auto& [product, stream] : streams_) {
+    watermark[product] = stream.dropped_rows;
+  }
+  pending_watermarks_.push_back(std::move(watermark));
+  if (pending_watermarks_.size() > config_.checkpoint_keep) {
+    const std::map<ProductId, std::uint64_t> safe =
+        std::move(pending_watermarks_.front());
+    pending_watermarks_.pop_front();
+    store_->compact(safe);
+  }
 }
 
 void OnlineMonitor::analyze_epoch(Day epoch_end) {
@@ -249,6 +279,7 @@ void OnlineMonitor::compact(Day epoch_end, OnlineEpochStats& stats) {
     }
     stream.previous_marks -= std::min(dropped_marks, stream.previous_marks);
     stream.ratings.drop_prefix(drop);
+    stream.dropped_rows += drop;
     stream.fingerprint_valid = false;
     stream.last_suspicious.clear();
     resident_ -= drop;

@@ -28,6 +28,7 @@
 //    full-history semantics.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -37,6 +38,7 @@
 
 #include "detectors/integrator.hpp"
 #include "rating/product_ratings.hpp"
+#include "store/rating_store.hpp"
 #include "trust/trust_manager.hpp"
 
 namespace rab::detectors {
@@ -96,6 +98,18 @@ struct OnlineConfig {
   std::string checkpoint_dir;
   std::size_t checkpoint_every_epochs = 1;
   std::size_t checkpoint_keep = 3;
+  /// Persistent columnar rating store (store/rating_store.hpp). When
+  /// non-empty, every ingested rating is also appended to the segment log
+  /// under this directory, checkpoints record per-stream *row ranges*
+  /// instead of raw rating rows, and restore_from_store() resumes
+  /// zero-copy over the mapped segments — restart is O(open + mmap)
+  /// instead of O(re-parse + re-ingest). Store knobs (like the checkpoint
+  /// knobs) never affect results, only durability/perf, so they are not
+  /// part of the config-compatibility check.
+  std::string store_dir;
+  std::size_t store_segment_bytes = 8ull << 20;
+  std::size_t store_group_ratings = 4096;
+  bool store_fsync = true;  ///< RAB_STORE_SYNC=0 turns batched fsync off
 };
 
 /// Streaming front end over the detector bank. Not thread-safe to call
@@ -177,6 +191,20 @@ class OnlineMonitor {
   /// across a config change would be silent corruption, not recovery.
   std::optional<std::size_t> restore_latest(const std::string& dir);
 
+  /// Store-backed recovery (requires config().store_dir): restores the
+  /// newest valid checkpoint generation — streams load zero-copy from the
+  /// mapped store — then re-ingests the store's binary tail (rows
+  /// appended after that snapshot), leaving the monitor bit-identical to
+  /// one that replayed the whole feed. Returns the generation restored,
+  /// or nullopt when no checkpoint was readable (then the entire stored
+  /// history was replayed). Defined in detectors/checkpoint.cpp.
+  std::optional<std::size_t> restore_from_store();
+
+  /// The attached rating store (null unless config().store_dir is set).
+  [[nodiscard]] const store::RatingStore* rating_store() const {
+    return store_.get();
+  }
+
  private:
   /// Per-product stream plus the incremental-analysis bookkeeping.
   struct Stream {
@@ -189,6 +217,10 @@ class OnlineMonitor {
     /// Suspicion flags of the most recent analysis, kept for compaction
     /// mark accounting (empty = no analysis since the last compaction).
     std::vector<bool> last_suspicious;
+    /// Ratings compacted off the front of this stream — the absolute
+    /// store row index of ratings[0]. Store-attached checkpoints persist
+    /// it so restore can load exactly the retained range.
+    std::uint64_t dropped_rows = 0;
     /// Content fingerprint of `ratings`, recomputed only after a change.
     Fingerprint fingerprint{};
     bool fingerprint_valid = false;
@@ -203,6 +235,9 @@ class OnlineMonitor {
   OnlineConfig config_;
   DetectorIntegrator integrator_;
   std::unique_ptr<IntegrationCache> cache_;  ///< null when caching disabled
+  /// Declared before streams_: borrowed streams point into the store's
+  /// mappings, so the store must be destroyed after them.
+  std::unique_ptr<store::RatingStore> store_;
   std::map<ProductId, Stream> streams_;
   trust::TrustManager trust_;
   std::vector<Alarm> alarms_;
@@ -221,6 +256,15 @@ class OnlineMonitor {
   std::size_t epoch_ingested_ = 0;  ///< ingested since the last analysis
   std::size_t resident_ = 0;
   std::size_t compacted_ = 0;
+  /// True while restore_from_store() re-ingests the stored tail; the
+  /// rows are already durable, so ingest() skips the store append.
+  bool replaying_ = false;
+  /// Per-checkpoint compaction watermarks (dropped_rows per product), one
+  /// entry per generation written this run, newest last. A watermark is
+  /// handed to the store only once checkpoint_keep newer generations
+  /// exist — every snapshot restore_latest may fall back to can still
+  /// load its row ranges.
+  std::deque<std::map<ProductId, std::uint64_t>> pending_watermarks_;
 };
 
 }  // namespace rab::detectors

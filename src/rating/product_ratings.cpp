@@ -14,8 +14,38 @@ void ProductRatings::push_row(const Rating& r) {
   unfair_.push_back(r.unfair ? std::uint8_t{1} : std::uint8_t{0});
 }
 
+ProductRatings ProductRatings::borrowed(ProductId product,
+                                        std::span<const double> times,
+                                        std::span<const double> values,
+                                        std::span<const RaterId> raters,
+                                        std::span<const std::uint8_t> unfair) {
+  RAB_EXPECTS(times.size() == values.size() &&
+              times.size() == raters.size() && times.size() == unfair.size());
+  ProductRatings out(product);
+  out.borrowed_ = true;
+  out.view_times_ = times;
+  out.view_values_ = values;
+  out.view_raters_ = raters;
+  out.view_unfair_ = unfair;
+  return out;
+}
+
+void ProductRatings::materialize() {
+  if (!borrowed_) return;
+  times_.assign(view_times_.begin(), view_times_.end());
+  values_.assign(view_values_.begin(), view_values_.end());
+  raters_.assign(view_raters_.begin(), view_raters_.end());
+  unfair_.assign(view_unfair_.begin(), view_unfair_.end());
+  borrowed_ = false;
+  view_times_ = {};
+  view_values_ = {};
+  view_raters_ = {};
+  view_unfair_ = {};
+}
+
 void ProductRatings::add(const Rating& r) {
   RAB_EXPECTS(product_.value() < 0 || r.product == product_);
+  materialize();
   if (product_.value() < 0) product_ = r.product;
   const auto pos = static_cast<std::ptrdiff_t>(upper_bound(r));
   times_.insert(times_.begin() + pos, r.time);
@@ -34,6 +64,11 @@ void ProductRatings::add_all(std::span<const Rating> rs) {
     merged.push_back(r);
   }
   std::sort(merged.begin(), merged.end(), ByTime{});
+  borrowed_ = false;
+  view_times_ = {};
+  view_values_ = {};
+  view_raters_ = {};
+  view_unfair_ = {};
   times_.clear();
   values_.clear();
   raters_.clear();
@@ -61,8 +96,9 @@ ProductRatings ProductRatings::from_sorted(ProductId product,
 }
 
 Rating ProductRatings::at(std::size_t i) const {
-  RAB_EXPECTS(i < times_.size());
-  return Rating{times_[i], values_[i], raters_[i], product_, unfair_[i] != 0};
+  RAB_EXPECTS(i < size());
+  return Rating{times()[i], values()[i], raters()[i], product_,
+                unfair_flags()[i] != 0};
 }
 
 std::vector<Rating> ProductRatings::to_rows() const {
@@ -73,16 +109,18 @@ std::vector<Rating> ProductRatings::to_rows() const {
 }
 
 Interval ProductRatings::span() const {
-  if (times_.empty()) return Interval{};
-  return Interval{times_.front(),
-                  std::nextafter(times_.back(), times_.back() + 1.0)};
+  const std::span<const double> ts = times();
+  if (ts.empty()) return Interval{};
+  return Interval{ts.front(), std::nextafter(ts.back(), ts.back() + 1.0)};
 }
 
 std::vector<signal::Sample> ProductRatings::samples() const {
+  const std::span<const double> ts = times();
+  const std::span<const double> vs = values();
   std::vector<signal::Sample> out;
-  out.reserve(size());
-  for (std::size_t i = 0; i < size(); ++i) {
-    out.push_back(signal::Sample{times_[i], values_[i]});
+  out.reserve(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    out.push_back(signal::Sample{ts[i], vs[i]});
   }
   return out;
 }
@@ -96,25 +134,27 @@ std::vector<Rating> ProductRatings::in_interval(const Interval& interval) const 
 }
 
 signal::IndexRange ProductRatings::index_range(const Interval& interval) const {
-  const auto lo =
-      std::lower_bound(times_.begin(), times_.end(), interval.begin);
-  const auto hi = std::lower_bound(lo, times_.end(), interval.end);
-  return signal::IndexRange{static_cast<std::size_t>(lo - times_.begin()),
-                            static_cast<std::size_t>(hi - times_.begin())};
+  const std::span<const double> ts = times();
+  const auto lo = std::lower_bound(ts.begin(), ts.end(), interval.begin);
+  const auto hi = std::lower_bound(lo, ts.end(), interval.end);
+  return signal::IndexRange{static_cast<std::size_t>(lo - ts.begin()),
+                            static_cast<std::size_t>(hi - ts.begin())};
 }
 
 std::size_t ProductRatings::upper_bound(const Rating& r) const {
   // std::upper_bound over the columns: first row ordering strictly after r
   // under ByTime (time, then value, then rater).
+  const std::span<const double> ts = times();
+  const std::span<const double> vs = values();
+  const std::span<const RaterId> rs = raters();
   std::size_t lo = 0;
-  std::size_t hi = size();
+  std::size_t hi = ts.size();
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
     const bool row_after =
-        r.time != times_[mid]
-            ? r.time < times_[mid]
-            : (r.value != values_[mid] ? r.value < values_[mid]
-                                       : r.rater < raters_[mid]);
+        r.time != ts[mid]
+            ? r.time < ts[mid]
+            : (r.value != vs[mid] ? r.value < vs[mid] : r.rater < rs[mid]);
     if (row_after) {
       hi = mid;
     } else {
@@ -125,15 +165,25 @@ std::size_t ProductRatings::upper_bound(const Rating& r) const {
 }
 
 ProductRatings ProductRatings::fair_only() const {
+  const std::span<const std::uint8_t> uf = unfair_flags();
   ProductRatings out(product_);
   for (std::size_t i = 0; i < size(); ++i) {
-    if (unfair_[i] == 0) out.push_row(at(i));
+    if (uf[i] == 0) out.push_row(at(i));
   }
   return out;
 }
 
 void ProductRatings::drop_prefix(std::size_t n) {
   RAB_EXPECTS(n <= size());
+  if (borrowed_) {
+    // Retention compaction on a borrowed stream is just advancing the
+    // views — the mapped pages behind the dropped prefix stay untouched.
+    view_times_ = view_times_.subspan(n);
+    view_values_ = view_values_.subspan(n);
+    view_raters_ = view_raters_.subspan(n);
+    view_unfair_ = view_unfair_.subspan(n);
+    return;
+  }
   const auto d = static_cast<std::ptrdiff_t>(n);
   times_.erase(times_.begin(), times_.begin() + d);
   values_.erase(values_.begin(), values_.begin() + d);

@@ -118,8 +118,29 @@ class ProductRatings {
   [[nodiscard]] static ProductRatings from_sorted(ProductId product,
                                                   std::vector<Rating> rs);
 
-  [[nodiscard]] std::size_t size() const { return times_.size(); }
-  [[nodiscard]] bool empty() const { return times_.empty(); }
+  /// Adopts externally-owned, already ByTime-sorted columns without
+  /// copying — the zero-copy restart path over the store's mapped
+  /// segments. The stream only *views* the columns: the owner (the
+  /// store's mapping) must outlive it. Read paths are zero-copy;
+  /// mutation first materializes a private copy — except drop_prefix,
+  /// which just advances the views (the monitor's retention compaction
+  /// stays O(1) on a borrowed stream).
+  [[nodiscard]] static ProductRatings borrowed(
+      ProductId product, std::span<const double> times,
+      std::span<const double> values, std::span<const RaterId> raters,
+      std::span<const std::uint8_t> unfair);
+
+  /// True while the columns are externally-owned views.
+  [[nodiscard]] bool is_borrowed() const { return borrowed_; }
+
+  /// Copies borrowed columns into owned storage; no-op when already owned.
+  /// After this the stream no longer references the lender's memory.
+  void materialize();
+
+  [[nodiscard]] std::size_t size() const {
+    return borrowed_ ? view_times_.size() : times_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
 
   /// Row `i` assembled from the columns, by value.
   [[nodiscard]] Rating at(std::size_t i) const;
@@ -131,11 +152,17 @@ class ProductRatings {
   [[nodiscard]] std::vector<Rating> to_rows() const;
 
   // Column accessors. Spans stay valid until the next mutation.
-  [[nodiscard]] std::span<const double> times() const { return times_; }
-  [[nodiscard]] std::span<const double> values() const { return values_; }
-  [[nodiscard]] std::span<const RaterId> raters() const { return raters_; }
+  [[nodiscard]] std::span<const double> times() const {
+    return borrowed_ ? view_times_ : std::span<const double>(times_);
+  }
+  [[nodiscard]] std::span<const double> values() const {
+    return borrowed_ ? view_values_ : std::span<const double>(values_);
+  }
+  [[nodiscard]] std::span<const RaterId> raters() const {
+    return borrowed_ ? view_raters_ : std::span<const RaterId>(raters_);
+  }
   [[nodiscard]] std::span<const std::uint8_t> unfair_flags() const {
-    return unfair_;
+    return borrowed_ ? view_unfair_ : std::span<const std::uint8_t>(unfair_);
   }
 
   /// Time span [first rating, last rating]; empty interval when no ratings.
@@ -174,6 +201,13 @@ class ProductRatings {
   util::aligned_vector<double> values_;
   std::vector<RaterId> raters_;
   std::vector<std::uint8_t> unfair_;
+  // Borrowed-column mode (see borrowed()): when set, the view_* spans are
+  // the columns and the vectors above are empty.
+  bool borrowed_ = false;
+  std::span<const double> view_times_;
+  std::span<const double> view_values_;
+  std::span<const RaterId> view_raters_;
+  std::span<const std::uint8_t> view_unfair_;
 };
 
 inline Rating RowsView::iterator::operator*() const {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/descriptive.hpp"
 #include "stats/glrt.hpp"
+#include "stats/linalg.hpp"
 #include "util/error.hpp"
 #include "util/scratch.hpp"
 #include "util/simd.hpp"
@@ -23,6 +25,68 @@ struct FastSqRightTag {};
 struct BoundsLoTag {};
 struct BoundsHiTag {};
 struct PoissonPrefixTag {};
+struct BalanceSortTag {};
+struct ArCenteredTag {};
+
+/// Ridge used by fit_ar's least-squares call; the kernel must add the same
+/// constant to the Gram diagonal to stay bit-identical.
+constexpr double kArRidge = 1e-9;
+
+/// Normalized AR model error of the `n` values at `x`, replaying fit_ar's
+/// exact operation order with the design matrix left implicit: row r of A
+/// is xc[r + order - 1 - c] over columns c, so Gram entries, the RHS, and
+/// the predict+residual pass all read shifted subranges of the centered
+/// buffer directly.
+double ar_error_window(const double* x, std::size_t n, std::size_t order,
+                       std::vector<double>& xc_buf) {
+  if (n < order + 2) return 1.0;  // not enough equations; no structure
+
+  const double mu = stats::mean(std::span<const double>(x, n));
+  xc_buf.resize(n);
+  double* __restrict xc = xc_buf.data();
+  for (std::size_t i = 0; i < n; ++i) xc[i] = x[i] - mu;
+
+  double signal_power = 0.0;
+  for (std::size_t i = 0; i < n; ++i) signal_power += xc[i] * xc[i];
+  signal_power /= static_cast<double>(n);
+  if (signal_power < 1e-12) return 1.0;  // flat window: report "white"
+
+  const std::size_t rows = n - order;
+  stats::Matrix gram(order, order);
+  for (std::size_t i = 0; i < order; ++i) {
+    const double* __restrict ai = xc + (order - 1 - i);
+    for (std::size_t j = i; j < order; ++j) {
+      const double* __restrict aj = xc + (order - 1 - j);
+      double sum = 0.0;
+      for (std::size_t r = 0; r < rows; ++r) sum += ai[r] * aj[r];
+      gram(i, j) = sum;
+      gram(j, i) = sum;
+    }
+  }
+  for (std::size_t i = 0; i < order; ++i) gram(i, i) += kArRidge;
+
+  // A^T b in transpose_times' row-outer order.
+  const double* __restrict b = xc + order;
+  std::vector<double> rhs(order, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < order; ++i) {
+      rhs[i] += xc[r + order - 1 - i] * b[r];
+    }
+  }
+  const std::vector<double> w = stats::solve(std::move(gram), std::move(rhs));
+
+  double rss = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    double pred = 0.0;
+    for (std::size_t k = 0; k < order; ++k) {
+      pred += xc[r + order - 1 - k] * w[k];
+    }
+    const double e = b[r] - pred;
+    rss += e * e;
+  }
+  const double residual_power = rss / static_cast<double>(rows);
+  return std::clamp(residual_power / signal_power, 0.0, 1.0);
+}
 
 // Fast-mode Poisson path: xlogx of a rational s/d becomes
 // (s/d) * (log s - log d) with the logs read from this table of ln(i).
@@ -291,6 +355,103 @@ std::vector<double> poisson_glrt_curve(std::span<const double> counts,
     const double s1 = prefix[k] - prefix[k - d];
     const double s2 = prefix[k + d] - prefix[k];
     out[k] = stats::PoissonRateGlrt::statistic_from_sums(days, s1, days, s2);
+  }
+  return out;
+}
+
+std::vector<double> balance_curve(std::span<const double> values,
+                                  std::size_t window_ratings,
+                                  double min_cluster_gap) {
+  RAB_EXPECTS(window_ratings >= 2);
+  RAB_EXPECTS(min_cluster_gap >= 0.0);
+  const std::size_t n = values.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+
+  auto& sorted = util::scratch_vector<double, BalanceSortTag>();
+
+  // The single-linkage two-cluster cut of 1-D data is the first maximal
+  // adjacent gap of the sorted window (two_cluster_split's contract).
+  const auto balance = [&]() -> double {
+    const std::size_t w = sorted.size();
+    if (w < 4) return 0.0;
+    std::size_t best = 0;
+    double best_gap = sorted[1] - sorted[0];
+    for (std::size_t i = 1; i + 1 < w; ++i) {
+      const double gap = sorted[i + 1] - sorted[i];
+      if (gap > best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    // Without a real value gap between the clusters the "split" is just
+    // adjacent rating levels of one noisy blob — not a second mode.
+    if (best_gap < min_cluster_gap) return 0.0;
+    const double n1 = static_cast<double>(best + 1);
+    const double n2 = static_cast<double>(w - best - 1);
+    return std::min(n1 / n2, n2 / n1);  // Eq. (6)
+  };
+
+  if (n <= window_ratings) {
+    // Every by-count window is the whole sequence; one split serves all.
+    sorted.assign(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    std::fill(out.begin(), out.end(), balance());
+    return out;
+  }
+
+  // n > count: every window holds exactly `count` values and both edges
+  // advance monotonically with the center, so the sorted window updates by
+  // one ordered erase + insert per step (and not at all while the window
+  // is pinned at a sequence edge, where the previous value is reused).
+  sorted.clear();
+  const std::size_t half = window_ratings / 2;
+  std::size_t cur_lo = 0;
+  std::size_t cur_hi = 0;
+  std::size_t prev_lo = n;  // sentinel: never matches the first window
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t first = k >= half ? k - half : 0;
+    const std::size_t last = std::min(first + window_ratings, n);
+    const std::size_t lo =
+        last - first < window_ratings && last == n ? n - window_ratings : first;
+    while (cur_hi < last) {
+      const double v = values[cur_hi++];
+      sorted.insert(std::upper_bound(sorted.begin(), sorted.end(), v), v);
+    }
+    while (cur_lo < lo) {
+      const double v = values[cur_lo++];
+      sorted.erase(std::lower_bound(sorted.begin(), sorted.end(), v));
+    }
+    out[k] = k > 0 && lo == prev_lo ? out[k - 1] : balance();
+    prev_lo = lo;
+  }
+  return out;
+}
+
+std::vector<double> ar_error_curve(std::span<const double> times,
+                                   std::span<const double> values,
+                                   const WindowSpec& spec, std::size_t order) {
+  RAB_EXPECTS(times.size() == values.size());
+  RAB_EXPECTS(order >= 1);
+  const std::size_t n = times.size();
+  std::vector<double> out(n, 1.0);
+  if (n == 0) return out;
+
+  auto& lo = util::scratch_vector<std::size_t, BoundsLoTag>();
+  auto& hi = util::scratch_vector<std::size_t, BoundsHiTag>();
+  lo.resize(n);
+  hi.resize(n);
+  window_bounds(times, spec, lo, hi);
+
+  auto& xc = util::scratch_vector<double, ArCenteredTag>();
+  for (std::size_t k = 0; k < n; ++k) {
+    // The error depends only on the window contents; windows pinned at a
+    // sequence edge (or spanning the whole short sequence) repeat.
+    if (k > 0 && lo[k] == lo[k - 1] && hi[k] == hi[k - 1]) {
+      out[k] = out[k - 1];
+      continue;
+    }
+    out[k] = ar_error_window(values.data() + lo[k], hi[k] - lo[k], order, xc);
   }
   return out;
 }

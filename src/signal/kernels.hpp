@@ -63,4 +63,35 @@ void window_bounds(std::span<const double> times, const WindowSpec& spec,
 [[nodiscard]] std::vector<double> poisson_glrt_curve(
     std::span<const double> counts, std::size_t half_days);
 
+/// Histogram-balance indicator at every sample (HC detector, Eq. (6)):
+/// out[k] is min(n1/n2, n2/n1) of the single-linkage two-cluster split of
+/// the by-count window of `window_ratings` values around k, or 0 when the
+/// window holds fewer than 4 samples or the separating gap is below
+/// `min_cluster_gap` — exactly what window_around + two_cluster_split
+/// produce per point. Instead of re-sorting every window this maintains
+/// one incrementally sorted sliding window (adjacent by-count windows
+/// differ by at most one value on each side), dropping the per-center
+/// O(W log W) sort to an O(W) ordered insert/erase. The indicator depends
+/// only on the sorted value sequence and the first maximal adjacent gap,
+/// both of which are sort-algorithm-independent, so the curve is
+/// bit-identical to the scalar path in both FP modes.
+[[nodiscard]] std::vector<double> balance_curve(std::span<const double> values,
+                                                std::size_t window_ratings,
+                                                double min_cluster_gap);
+
+/// Normalized AR(`order`) model error at every sample (ME detector):
+/// out[k] is ar_model_error of the window of `values` around k under
+/// `spec`. The covariance-method fit is fused: the normal-equation Gram
+/// matrix, right-hand side, and the predict+residual accumulation all read
+/// the centered window directly through raw shifted pointers instead of
+/// materializing the rows-by-order design matrix behind contract-checked
+/// Matrix accesses, and the window/centering scratch is reused across
+/// centers. Every accumulation replays fit_ar's exact operation order
+/// (stats::mean already switches on the FP mode internally), so the curve
+/// is bit-identical to the scalar path in both FP modes. `times` must be
+/// sorted and the same length as `values`; `order` must be >= 1.
+[[nodiscard]] std::vector<double> ar_error_curve(
+    std::span<const double> times, std::span<const double> values,
+    const WindowSpec& spec, std::size_t order);
+
 }  // namespace rab::signal

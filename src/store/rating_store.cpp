@@ -1,0 +1,907 @@
+#include "store/rating_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <type_traits>
+#include <utility>
+
+#include "store/segment.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/failpoint.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace rab::store {
+
+namespace fs = std::filesystem;
+
+// Borrowed raters columns reinterpret the mapped i64 column in place.
+static_assert(sizeof(RaterId) == sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<RaterId>);
+static_assert(std::is_standard_layout_v<RaterId>);
+
+namespace {
+
+struct StoreMetrics {
+  util::metrics::Counter& appended =
+      util::metrics::counter("store.appended_ratings");
+  util::metrics::Counter& groups = util::metrics::counter("store.groups");
+  util::metrics::Counter& fsyncs = util::metrics::counter("store.fsyncs");
+  util::metrics::Counter& sealed =
+      util::metrics::counter("store.segments_sealed");
+  util::metrics::Counter& compactions =
+      util::metrics::counter("store.compactions");
+  util::metrics::Counter& unlinked =
+      util::metrics::counter("store.segments_unlinked");
+  util::metrics::Gauge& segments = util::metrics::gauge("store.segments");
+  util::metrics::Gauge& mapped = util::metrics::gauge("store.mapped_bytes");
+  util::metrics::Gauge& buffered =
+      util::metrics::gauge("store.buffered_ratings");
+};
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics m;
+  return m;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError("store: " + what + ": " + std::strerror(errno));
+}
+
+/// Marks the store broken when a mutation path unwinds with an exception;
+/// disarm() on the success path. A broken store refuses every later
+/// operation — recovery is reopening, which truncates to the last commit.
+class Poison {
+ public:
+  explicit Poison(bool& flag) : flag_(flag) {}
+  ~Poison() {
+    if (armed_) flag_ = true;
+  }
+  void disarm() { armed_ = false; }
+
+ private:
+  bool& flag_;
+  bool armed_ = true;
+};
+
+/// Appends a page frame (header + padded column payload) for `rows` of one
+/// product starting at absolute index `row_begin`.
+void append_page_cols(std::string& out, ProductId product,
+                      std::uint64_t row_begin, std::span<const double> times,
+                      std::span<const double> values,
+                      std::span<const std::int64_t> raters,
+                      std::span<const std::uint8_t> unfair) {
+  const std::size_t n = times.size();
+  const PageLayout layout = page_layout(n);
+  std::string payload(layout.payload_bytes(), '\0');
+  char* t = payload.data();
+  char* v = t + layout.times_bytes;
+  char* r = v + layout.values_bytes;
+  char* u = r + layout.raters_bytes;
+  std::memcpy(t, times.data(), n * sizeof(double));
+  std::memcpy(v, values.data(), n * sizeof(double));
+  std::memcpy(r, raters.data(), n * sizeof(std::int64_t));
+  std::memcpy(u, unfair.data(), n * sizeof(std::uint8_t));
+  FrameHeader h;
+  h.kind = FrameKind::kPage;
+  h.product = product.value();
+  h.count = n;
+  h.row_begin = row_begin;
+  h.body_crc = util::crc32(payload.data(), payload.size());
+  encode_frame_header(out, h);
+  out += payload;
+}
+
+void append_page_rows(std::string& out, ProductId product,
+                      std::uint64_t row_begin,
+                      std::span<const rating::Rating> rows) {
+  std::vector<double> times, values;
+  std::vector<std::int64_t> raters;
+  std::vector<std::uint8_t> unfair;
+  times.reserve(rows.size());
+  values.reserve(rows.size());
+  raters.reserve(rows.size());
+  unfair.reserve(rows.size());
+  for (const rating::Rating& r : rows) {
+    times.push_back(r.time);
+    values.push_back(r.value);
+    raters.push_back(r.rater.value());
+    unfair.push_back(r.unfair ? std::uint8_t{1} : std::uint8_t{0});
+  }
+  append_page_cols(out, product, row_begin, times, values, raters, unfair);
+}
+
+void append_commit(std::string& out) {
+  FrameHeader h;
+  h.kind = FrameKind::kCommit;
+  h.body_crc = util::crc32(nullptr, 0);
+  encode_frame_header(out, h);
+}
+
+void append_summary(std::string& out, ProductId product,
+                    std::uint64_t row_begin) {
+  FrameHeader h;
+  h.kind = FrameKind::kSummary;
+  h.product = product.value();
+  h.row_begin = row_begin;
+  h.body_crc = util::crc32(nullptr, 0);
+  encode_frame_header(out, h);
+}
+
+/// Row ordering the monitor's streams use: ByTime over (time, value, rater).
+bool row_before(double ta, double va, std::int64_t ra, double tb, double vb,
+                std::int64_t rb) {
+  if (ta != tb) return ta < tb;
+  if (va != vb) return va < vb;
+  return ra < rb;
+}
+
+}  // namespace
+
+RatingStore::Mapping::~Mapping() {
+  if (addr != nullptr) ::munmap(addr, len);
+}
+
+RatingStore::RatingStore(StoreConfig config) : config_(std::move(config)) {
+  static_assert(std::endian::native == std::endian::little ||
+                std::endian::native == std::endian::big);
+  if constexpr (std::endian::native != std::endian::little) {
+    throw IoError("store: segment format requires a little-endian host");
+  }
+  RAB_EXPECTS(!config_.dir.empty());
+  RAB_EXPECTS(config_.group_ratings >= 1);
+  RAB_EXPECTS(config_.segment_bytes >= 4 * kAlign);
+  open_all();
+}
+
+RatingStore::~RatingStore() {
+  if (!broken_) {
+    try {
+      sync();
+    } catch (...) {
+      // Destructors must not throw; the data lost is at most the last
+      // un-synced group, exactly what a crash at this point would lose.
+    }
+  }
+  if (active_fd_ >= 0) ::close(active_fd_);
+}
+
+std::string RatingStore::segment_path(std::uint64_t id) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "seg-%016llu.rabseg",
+                static_cast<unsigned long long>(id));
+  return config_.dir + "/" + name;
+}
+
+const RatingStore::Mapping* RatingStore::map_file(const std::string& path,
+                                                  std::size_t len) {
+  RAB_FAILPOINT("store.read.map");
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("open " + path);
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) throw_errno("mmap " + path);
+  mappings_.push_back(std::make_unique<Mapping>(addr, len));
+  mapped_bytes_ += len;
+  return mappings_.back().get();
+}
+
+std::size_t RatingStore::index_frames(const Mapping& map, std::uint64_t id,
+                                      std::size_t from, std::size_t until,
+                                      bool tail_rule) {
+  const auto* base = static_cast<const std::byte*>(map.addr);
+  Segment& seg = segments_.at(id);
+
+  struct Staged {
+    FrameHeader header;
+    std::size_t payload_off = 0;
+  };
+  std::vector<Staged> staged;  // frames since the last commit (tail_rule)
+
+  auto apply = [&](const FrameHeader& h, std::size_t payload_off) {
+    const ProductId product(h.product);
+    PerProduct& pp = products_[product];
+    if (h.kind == FrameKind::kPage) {
+      const PageLayout layout = page_layout(h.count);
+      Extent e;
+      e.segment_id = id;
+      e.row_begin = h.row_begin;
+      e.count = h.count;
+      e.times = reinterpret_cast<const double*>(base + payload_off);
+      e.values = reinterpret_cast<const double*>(base + payload_off +
+                                                 layout.times_bytes);
+      e.raters = reinterpret_cast<const std::int64_t*>(
+          base + payload_off + layout.times_bytes + layout.values_bytes);
+      e.unfair = reinterpret_cast<const std::uint8_t*>(
+          base + payload_off + layout.times_bytes + layout.values_bytes +
+          layout.raters_bytes);
+      pp.extents.push_back(e);
+      pp.total_rows = std::max(pp.total_rows, e.row_end());
+    } else {  // kSummary
+      seg.summary_products.push_back(product);
+      auto [it, inserted] = summary_floor_.try_emplace(product, h.row_begin);
+      if (!inserted) it->second = std::max(it->second, h.row_begin);
+      pp.total_rows = std::max(pp.total_rows, h.row_begin);
+    }
+  };
+
+  std::size_t off = from;
+  std::size_t last_commit = from;
+  while (off < until) {
+    const bool bad = [&] {
+      if (until - off < kFrameHeaderBytes) return true;
+      const auto header =
+          decode_frame_header({base + off, until - off});
+      if (!header) return true;
+      if (header->kind == FrameKind::kCommit) {
+        off += kFrameHeaderBytes;
+        if (tail_rule) {
+          for (const Staged& s : staged) apply(s.header, s.payload_off);
+          staged.clear();
+          last_commit = off;
+        }
+        return false;
+      }
+      if (header->kind == FrameKind::kSummary) {
+        if (tail_rule) {
+          staged.push_back({*header, 0});
+        } else {
+          apply(*header, 0);
+        }
+        off += kFrameHeaderBytes;
+        return false;
+      }
+      // Page frame: bounds + body CRC before anything points into it.
+      const PageLayout layout = page_layout(header->count);
+      if (header->count == 0) return true;
+      if (until - off - kFrameHeaderBytes < layout.payload_bytes()) {
+        return true;
+      }
+      const std::size_t payload_off = off + kFrameHeaderBytes;
+      const std::uint32_t crc = util::crc32(base + payload_off,
+                                            layout.payload_bytes());
+      if (crc != header->body_crc) return true;
+      if (tail_rule) {
+        staged.push_back({*header, payload_off});
+      } else {
+        apply(*header, payload_off);
+      }
+      off = payload_off + layout.payload_bytes();
+      return false;
+    }();
+    if (bad) {
+      if (tail_rule) break;
+      throw CorruptData("store: invalid frame in sealed segment " +
+                        segments_.at(id).path);
+    }
+  }
+  return tail_rule ? last_commit : until;
+}
+
+void RatingStore::rebuild_extent_index() {
+  auto trim_front = [](Extent& e, std::uint64_t n) {
+    e.times += n;
+    e.values += n;
+    e.raters += n;
+    e.unfair += n;
+    e.row_begin += n;
+    e.count -= n;
+  };
+  for (auto& [product, pp] : products_) {
+    std::uint64_t floor = 0;
+    if (auto it = summary_floor_.find(product); it != summary_floor_.end()) {
+      floor = it->second;
+    }
+    std::vector<Extent> kept;
+    kept.reserve(pp.extents.size());
+    for (Extent e : pp.extents) {
+      if (e.row_end() <= floor) continue;
+      if (e.row_begin < floor) trim_front(e, floor - e.row_begin);
+      kept.push_back(e);
+    }
+    // Duplicates are possible after a crash between the compactor's rename
+    // and its input unlink; prefer the newer (higher-id) copy.
+    std::sort(kept.begin(), kept.end(), [](const Extent& a, const Extent& b) {
+      if (a.row_begin != b.row_begin) return a.row_begin < b.row_begin;
+      return a.segment_id > b.segment_id;
+    });
+    std::vector<Extent> out;
+    std::uint64_t covered = floor;
+    bool first = true;
+    for (Extent e : kept) {
+      if (first) {
+        covered = e.row_begin;
+        first = false;
+      }
+      if (e.row_end() <= covered) continue;
+      if (e.row_begin > covered) {
+        throw CorruptData("store: gap in stored rows for product " +
+                          std::to_string(product.value()));
+      }
+      if (e.row_begin < covered) trim_front(e, covered - e.row_begin);
+      out.push_back(e);
+      covered = e.row_end();
+    }
+    pp.extents = std::move(out);
+    pp.min_row = pp.extents.empty() ? floor : pp.extents.front().row_begin;
+    pp.total_rows = std::max({pp.total_rows, covered, floor});
+  }
+}
+
+void RatingStore::open_all() {
+  RAB_TRACE_SPAN("store.open");
+  RAB_FAILPOINT("store.open");
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  if (ec) {
+    throw IoError("store: cannot create " + config_.dir + ": " + ec.message());
+  }
+
+  std::vector<std::uint64_t> ids;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".tmp")) {
+      // Leftover of a compaction that crashed before its rename.
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    if (name.size() != 27 || !name.starts_with("seg-") ||
+        !name.ends_with(".rabseg")) {
+      continue;
+    }
+    const std::string digits = name.substr(4, 16);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    ids.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(ids.begin(), ids.end());
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint64_t id = ids[i];
+    const std::string path = segment_path(id);
+    const bool last = i + 1 == ids.size();
+    segments_[id] = Segment{path, false, {}};
+
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (ec) throw IoError("store: cannot stat " + path + ": " + ec.message());
+
+    std::size_t valid = 0;
+    bool sealed = false;
+    if (size >= kSegmentHeaderBytes) {
+      const Mapping* map = map_file(path, static_cast<std::size_t>(size));
+      const auto flags = decode_segment_header(
+          {static_cast<const std::byte*>(map->addr), map->len});
+      if (!flags) {
+        if (!last) {
+          throw CorruptData("store: bad segment header in " + path);
+        }
+        // Garbled header on the append tail: everything is torn.
+      } else {
+        sealed = (*flags & kFlagSealed) != 0;
+        if (sealed && last && i > 0) {
+          // Compactor output must be the oldest data; a sealed segment can
+          // only be followed by append segments.
+        }
+        valid = index_frames(*map, id, kSegmentHeaderBytes, map->len,
+                             /*tail_rule=*/last && !sealed);
+      }
+      segments_[id].sealed_flag = sealed;
+    } else if (!last) {
+      throw CorruptData("store: truncated sealed segment " + path);
+    }
+
+    if (last && !sealed) {
+      const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+      if (fd < 0) throw_errno("open " + path);
+      if (valid < size && ::ftruncate(fd, static_cast<off_t>(valid)) != 0) {
+        ::close(fd);
+        throw_errno("truncate " + path);
+      }
+      if (::lseek(fd, static_cast<off_t>(valid), SEEK_SET) < 0) {
+        ::close(fd);
+        throw_errno("seek " + path);
+      }
+      active_fd_ = fd;
+      active_id_ = id;
+      active_bytes_ = valid;
+      indexed_until_ = valid;
+      active_header_pending_ = valid == 0;
+    }
+  }
+  next_id_ = ids.empty() ? 1 : ids.back() + 1;
+  rebuild_extent_index();
+  update_gauges();
+}
+
+void RatingStore::ensure_active() {
+  if (active_fd_ >= 0) return;
+  const std::uint64_t id = next_id_++;
+  const std::string path = segment_path(id);
+  RAB_FAILPOINT("store.append.open");
+  const int fd =
+      ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("create " + path);
+  segments_[id] = Segment{path, false, {}};
+  active_fd_ = fd;
+  active_id_ = id;
+  active_bytes_ = 0;
+  indexed_until_ = 0;
+  active_header_pending_ = true;
+}
+
+void RatingStore::write_group(std::string& buffer) {
+  const util::FaultOutcome fault =
+      util::failpoint_io("store.append.frame", buffer.size());
+  const std::size_t to_write =
+      util::apply_fault(fault, buffer.data(), buffer.size());
+  std::size_t written = 0;
+  while (written < to_write) {
+    const ssize_t n =
+        ::write(active_fd_, buffer.data() + written, to_write - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      broken_ = true;
+      throw_errno("write group");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (to_write < buffer.size()) {
+    broken_ = true;
+    throw IoError("store: short group write (" + std::to_string(to_write) +
+                  " of " + std::to_string(buffer.size()) + " bytes)");
+  }
+  active_bytes_ += buffer.size();
+}
+
+void RatingStore::append(const rating::Rating& r) {
+  RAB_EXPECTS(r.product.value() >= 0);
+  products_[r.product].pending.push_back(r);
+  ++pending_total_;
+  if (pending_total_ >= config_.group_ratings) flush();
+}
+
+void RatingStore::flush() {
+  if (broken_) {
+    throw IoError("store: broken after a failed write; reopen to recover");
+  }
+  if (pending_total_ == 0) return;
+  ensure_active();
+  std::string buf;
+  for (auto& [product, pp] : products_) {
+    if (pp.pending.empty()) continue;
+    if (buf.empty() && active_header_pending_) {
+      encode_segment_header(buf, 0);
+    }
+    append_page_rows(buf, product, pp.total_rows, pp.pending);
+  }
+  append_commit(buf);
+  write_group(buf);
+  active_header_pending_ = false;
+  std::uint64_t flushed = 0;
+  for (auto& [product, pp] : products_) {
+    if (pp.pending.empty()) continue;
+    pp.total_rows += pp.pending.size();
+    flushed += pp.pending.size();
+    pp.pending.clear();
+  }
+  pending_total_ = 0;
+  store_metrics().appended.add(flushed);
+  store_metrics().groups.add();
+  if (active_bytes_ >= config_.segment_bytes) seal_active();
+  update_gauges();
+}
+
+void RatingStore::sync() {
+  if (broken_) {
+    throw IoError("store: broken after a failed write; reopen to recover");
+  }
+  flush();
+  if (active_fd_ < 0 || !config_.fsync) return;
+  RAB_FAILPOINT("store.append.fsync");
+  if (::fsync(active_fd_) != 0) {
+    broken_ = true;
+    throw_errno("fsync");
+  }
+  store_metrics().fsyncs.add();
+}
+
+void RatingStore::seal_active() {
+  if (active_fd_ < 0) return;
+  Poison poison(broken_);
+  RAB_FAILPOINT("store.seal");
+  if (config_.fsync) {
+    if (::fsync(active_fd_) != 0) throw_errno("fsync before seal");
+    store_metrics().fsyncs.add();
+  }
+  ::close(active_fd_);
+  active_fd_ = -1;
+  if (active_bytes_ > 0) {
+    const Mapping* map = map_file(segments_.at(active_id_).path, active_bytes_);
+    const std::size_t from =
+        indexed_until_ == 0 ? kSegmentHeaderBytes : indexed_until_;
+    index_frames(*map, active_id_, from, active_bytes_, /*tail_rule=*/false);
+    store_metrics().sealed.add();
+  } else {
+    // Created but never written: drop the empty file.
+    std::error_code ec;
+    fs::remove(segments_.at(active_id_).path, ec);
+    segments_.erase(active_id_);
+  }
+  active_id_ = 0;
+  active_bytes_ = 0;
+  indexed_until_ = 0;
+  active_header_pending_ = false;
+  poison.disarm();
+  update_gauges();
+}
+
+std::uint64_t RatingStore::floor_for(
+    const std::map<ProductId, std::uint64_t>& watermark,
+    ProductId product) const {
+  const auto it = watermark.find(product);
+  return it == watermark.end() ? 0 : it->second;
+}
+
+void RatingStore::compact(const std::map<ProductId, std::uint64_t>& watermark) {
+  RAB_TRACE_SPAN("store.compact");
+  flush();  // also rejects a broken store
+  Poison poison(broken_);
+
+  // ---- Tier-1 retention: unlink fully-stale sealed segments. ----
+  std::set<std::uint64_t> stale;
+  for (const auto& [id, seg] : segments_) {
+    if (active_fd_ >= 0 && id == active_id_) continue;
+    stale.insert(id);
+  }
+  for (const auto& [product, pp] : products_) {
+    const std::uint64_t floor = floor_for(watermark, product);
+    for (const Extent& e : pp.extents) {
+      if (e.row_end() > floor) stale.erase(e.segment_id);
+    }
+  }
+  // Unlinking may only remove a *prefix* of each product's extent chain —
+  // anything else would leave a row gap that reopening rejects.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& [product, pp] : products_) {
+      bool seen_live = false;
+      for (const Extent& e : pp.extents) {
+        if (!stale.contains(e.segment_id)) {
+          seen_live = true;
+        } else if (seen_live) {
+          stale.erase(e.segment_id);
+          changed = true;
+        }
+      }
+    }
+  }
+  if (!stale.empty()) {
+    // Products losing their whole extent chain (or a summary carried only
+    // by a stale segment) need a fresh summary so row counters survive.
+    std::set<ProductId> need;
+    for (const auto& [product, pp] : products_) {
+      if (pp.extents.empty()) continue;
+      bool all_stale = true;
+      for (const Extent& e : pp.extents) {
+        if (!stale.contains(e.segment_id)) all_stale = false;
+      }
+      if (all_stale) need.insert(product);
+    }
+    for (const std::uint64_t id : stale) {
+      for (const ProductId p : segments_.at(id).summary_products) {
+        need.insert(p);
+      }
+    }
+    if (!need.empty()) {
+      ensure_active();
+      std::string buf;
+      if (active_header_pending_) encode_segment_header(buf, 0);
+      for (const ProductId p : need) {
+        const PerProduct& pp = products_.at(p);
+        bool all_stale = true;
+        for (const Extent& e : pp.extents) {
+          if (!stale.contains(e.segment_id)) all_stale = false;
+        }
+        append_summary(buf, p, all_stale ? pp.total_rows : pp.min_row);
+      }
+      append_commit(buf);
+      write_group(buf);
+      active_header_pending_ = false;
+      if (config_.fsync) {
+        // The summaries must be durable before their sources vanish.
+        if (::fsync(active_fd_) != 0) throw_errno("fsync summaries");
+        store_metrics().fsyncs.add();
+      }
+    }
+    for (auto& [product, pp] : products_) {
+      std::erase_if(pp.extents, [&](const Extent& e) {
+        return stale.contains(e.segment_id);
+      });
+      pp.min_row =
+          pp.extents.empty() ? pp.total_rows : pp.extents.front().row_begin;
+    }
+    for (const std::uint64_t id : stale) {
+      RAB_FAILPOINT("store.compact.unlink");
+      std::error_code ec;
+      fs::remove(segments_.at(id).path, ec);
+      segments_.erase(id);
+      store_metrics().unlinked.add();
+    }
+  }
+
+  // ---- Tier-2: consolidate when sealed segments pile up. ----
+  std::size_t sealed_count = segments_.size();
+  if (active_fd_ >= 0) --sealed_count;
+  if (sealed_count > config_.consolidate_after) consolidate(watermark);
+
+  poison.disarm();
+  update_gauges();
+}
+
+void RatingStore::consolidate(
+    const std::map<ProductId, std::uint64_t>& watermark) {
+  if (active_fd_ >= 0) {
+    if (active_bytes_ > 0) {
+      seal_active();
+    } else {
+      ::close(active_fd_);
+      active_fd_ = -1;
+      std::error_code ec;
+      fs::remove(segments_.at(active_id_).path, ec);
+      segments_.erase(active_id_);
+      active_id_ = 0;
+      indexed_until_ = 0;
+      active_header_pending_ = false;
+    }
+  }
+
+  const std::uint64_t id = next_id_++;
+  std::string image;
+  encode_segment_header(image, kFlagSealed);
+  for (const auto& [product, pp] : products_) {
+    const std::uint64_t first =
+        std::max(floor_for(watermark, product), pp.min_row);
+    if (first < pp.total_rows && !pp.extents.empty()) {
+      const std::size_t n = pp.total_rows - first;
+      std::vector<double> times, values;
+      std::vector<std::int64_t> raters;
+      std::vector<std::uint8_t> unfair;
+      times.reserve(n);
+      values.reserve(n);
+      raters.reserve(n);
+      unfair.reserve(n);
+      for (const Extent& e : pp.extents) {
+        if (e.row_end() <= first) continue;
+        const std::uint64_t skip =
+            first > e.row_begin ? first - e.row_begin : 0;
+        for (std::uint64_t i = skip; i < e.count; ++i) {
+          times.push_back(e.times[i]);
+          values.push_back(e.values[i]);
+          raters.push_back(e.raters[i]);
+          unfair.push_back(e.unfair[i]);
+        }
+      }
+      append_page_cols(image, product, first, times, values, raters, unfair);
+    } else if (pp.total_rows > 0) {
+      append_summary(image, product, pp.total_rows);
+    }
+  }
+  if (image.size() == kSegmentHeaderBytes) return;  // nothing stored at all
+
+  const std::string path = segment_path(id);
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) throw_errno("create " + tmp);
+    const util::FaultOutcome fault =
+        util::failpoint_io("store.compact.write", image.size());
+    const std::size_t to_write =
+        util::apply_fault(fault, image.data(), image.size());
+    std::size_t written = 0;
+    bool failed = false;
+    while (written < to_write) {
+      const ssize_t n =
+          ::write(fd, image.data() + written, to_write - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        failed = true;
+        break;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (!failed && config_.fsync && ::fsync(fd) != 0) failed = true;
+    ::close(fd);
+    if (failed || to_write < image.size()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw IoError("store: consolidated segment write failed: " + tmp);
+    }
+  }
+  RAB_FAILPOINT("store.compact.rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("rename " + tmp);
+  }
+  if (config_.fsync) {
+    const int dfd = ::open(config_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+
+  std::vector<std::uint64_t> inputs;
+  for (const auto& [in_id, seg] : segments_) inputs.push_back(in_id);
+  const Mapping* map = map_file(path, image.size());
+  segments_[id] = Segment{path, true, {}};
+  for (auto& [product, pp] : products_) pp.extents.clear();
+  index_frames(*map, id, kSegmentHeaderBytes, image.size(),
+               /*tail_rule=*/false);
+  for (auto& [product, pp] : products_) {
+    pp.min_row =
+        pp.extents.empty() ? pp.total_rows : pp.extents.front().row_begin;
+  }
+  for (const std::uint64_t in_id : inputs) {
+    RAB_FAILPOINT("store.compact.unlink");
+    std::error_code ec;
+    fs::remove(segments_.at(in_id).path, ec);
+    segments_.erase(in_id);
+    store_metrics().unlinked.add();
+  }
+  store_metrics().compactions.add();
+}
+
+std::vector<ProductId> RatingStore::products() const {
+  std::vector<ProductId> out;
+  for (const auto& [product, pp] : products_) {
+    if (pp.total_rows > 0) out.push_back(product);
+  }
+  return out;
+}
+
+std::uint64_t RatingStore::rows(ProductId product) const {
+  const auto it = products_.find(product);
+  return it == products_.end() ? 0 : it->second.total_rows;
+}
+
+std::uint64_t RatingStore::min_row(ProductId product) const {
+  const auto it = products_.find(product);
+  return it == products_.end() ? 0 : it->second.min_row;
+}
+
+rating::ProductRatings RatingStore::load(ProductId product,
+                                         std::uint64_t row_begin,
+                                         std::uint64_t row_end) const {
+  RAB_EXPECTS(row_begin <= row_end);
+  if (row_begin == row_end) return rating::ProductRatings(product);
+  const auto it = products_.find(product);
+  if (it == products_.end()) {
+    throw CorruptData("store: load of unknown product " +
+                      std::to_string(product.value()));
+  }
+  const PerProduct& pp = it->second;
+  const std::uint64_t stored_end =
+      pp.extents.empty() ? pp.min_row : pp.extents.back().row_end();
+  if (row_begin < pp.min_row || row_end > stored_end) {
+    throw CorruptData("store: rows [" + std::to_string(row_begin) + ", " +
+                      std::to_string(row_end) + ") of product " +
+                      std::to_string(product.value()) +
+                      " are not stored (have [" + std::to_string(pp.min_row) +
+                      ", " + std::to_string(stored_end) + "))");
+  }
+
+  // The monitor inserts in ByTime order, so the stored arrival order is
+  // almost always already canonical — verify with one adjacent scan and
+  // borrow straight from the map when the range sits in a single extent.
+  bool canonical = true;
+  const Extent* single = nullptr;
+  {
+    bool have_prev = false;
+    double pt = 0, pv = 0;
+    std::int64_t pr = 0;
+    for (const Extent& e : pp.extents) {
+      if (e.row_end() <= row_begin || e.row_begin >= row_end) continue;
+      if (e.row_begin <= row_begin && row_end <= e.row_end()) {
+        single = &e;
+      }
+      const std::uint64_t lo =
+          row_begin > e.row_begin ? row_begin - e.row_begin : 0;
+      const std::uint64_t hi = std::min<std::uint64_t>(
+          e.count, row_end - e.row_begin);
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        if (have_prev &&
+            row_before(e.times[i], e.values[i], e.raters[i], pt, pv, pr)) {
+          canonical = false;
+        }
+        pt = e.times[i];
+        pv = e.values[i];
+        pr = e.raters[i];
+        have_prev = true;
+      }
+      if (!canonical) break;
+    }
+  }
+
+  if (canonical && single != nullptr) {
+    const std::uint64_t off = row_begin - single->row_begin;
+    const std::size_t n = row_end - row_begin;
+    return rating::ProductRatings::borrowed(
+        product, std::span<const double>(single->times + off, n),
+        std::span<const double>(single->values + off, n),
+        std::span<const RaterId>(
+            reinterpret_cast<const RaterId*>(single->raters) + off, n),
+        std::span<const std::uint8_t>(single->unfair + off, n));
+  }
+
+  std::vector<rating::Rating> gathered;
+  gathered.reserve(row_end - row_begin);
+  for (const Extent& e : pp.extents) {
+    if (e.row_end() <= row_begin || e.row_begin >= row_end) continue;
+    const std::uint64_t lo =
+        row_begin > e.row_begin ? row_begin - e.row_begin : 0;
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(e.count, row_end - e.row_begin);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      gathered.push_back(rating::Rating{e.times[i], e.values[i],
+                                        RaterId(e.raters[i]), product,
+                                        e.unfair[i] != 0});
+    }
+  }
+  if (!canonical) {
+    std::stable_sort(gathered.begin(), gathered.end(), rating::ByTime{});
+  }
+  return rating::ProductRatings::from_sorted(product, std::move(gathered));
+}
+
+std::vector<rating::Rating> RatingStore::tail(
+    const std::map<ProductId, std::uint64_t>& from) const {
+  std::vector<rating::Rating> out;
+  for (const auto& [product, pp] : products_) {
+    std::uint64_t start = pp.min_row;
+    if (const auto it = from.find(product); it != from.end()) {
+      if (it->second < pp.min_row) {
+        throw CorruptData("store: replay tail of product " +
+                          std::to_string(product.value()) +
+                          " starts below the stored rows");
+      }
+      start = it->second;
+    }
+    for (const Extent& e : pp.extents) {
+      if (e.row_end() <= start) continue;
+      const std::uint64_t lo = start > e.row_begin ? start - e.row_begin : 0;
+      for (std::uint64_t i = lo; i < e.count; ++i) {
+        out.push_back(rating::Rating{e.times[i], e.values[i],
+                                     RaterId(e.raters[i]), product,
+                                     e.unfair[i] != 0});
+      }
+    }
+  }
+  // Time order only: the monitor ingests across products by arrival time,
+  // and equal-time cross-product order cannot affect its per-epoch state.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const rating::Rating& a, const rating::Rating& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+std::size_t RatingStore::segment_count() const { return segments_.size(); }
+
+void RatingStore::update_gauges() const {
+  store_metrics().segments.set(static_cast<double>(segments_.size()));
+  store_metrics().mapped.set(static_cast<double>(mapped_bytes_));
+  store_metrics().buffered.set(static_cast<double>(pending_total_));
+}
+
+}  // namespace rab::store

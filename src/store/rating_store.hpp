@@ -1,0 +1,204 @@
+// Columnar mmap-backed persistent rating store.
+//
+// RatingStore is the durability substrate under the streaming monitor: an
+// append-only log of segments (format in store/segment.hpp) holding the
+// SoA rating columns in fixed-width little-endian pages. It replaces
+// replay-from-CSV as the restart path — a restarted monitor mmaps the
+// segments and resumes *zero-copy*: ProductRatings borrows the mapped
+// columns directly (rating/product_ratings.hpp borrowed-column mode)
+// instead of re-parsing and re-ingesting, so restart costs O(open + mmap).
+//
+// Write path (`StoreWriter` semantics): append() buffers rows per product;
+// a *group-append* flushes all buffers as one contiguous write — one page
+// frame per product followed by a commit frame — and fsync is batched at
+// sync() (checkpoint/shutdown boundaries), not per group. A crash tears at
+// worst the last un-committed group: recovery truncates the append segment
+// back to its last intact commit frame, and the monitor re-ingests the
+// lost suffix from its feed.
+//
+// Tiers (background-free, run inline from compact()):
+//   tier 0  the active append segment (group-append target)
+//   tier 1  sealed segments (rolled over at segment_bytes)
+//   tier 2  one consolidated segment (compactor output, one page per
+//           product), produced when tier 1 grows past consolidate_after
+// Retention compaction is aligned with the monitor's window: a sealed
+// segment whose every row sits below the caller's per-product watermark is
+// summarized (so absolute row counters survive) and unlinked. Watermarks
+// must come from a *durable* checkpoint — the monitor only passes
+// watermarks already covered by every checkpoint generation it may fall
+// back to.
+//
+// Lifetime rule: segment mappings live as long as the RatingStore, even
+// after their file is unlinked — borrowed ProductRatings streams point
+// into them. Destroy every borrowed stream before the store.
+// Not thread-safe; the monitor calls it from its (single) ingest thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rating/product_ratings.hpp"
+#include "rating/rating.hpp"
+#include "util/ids.hpp"
+
+namespace rab::store {
+
+struct StoreConfig {
+  /// Segment directory; created if missing.
+  std::string dir;
+  /// Roll (seal) the active segment once it reaches this many bytes.
+  std::size_t segment_bytes = 8ull << 20;
+  /// Group-append threshold: buffered ratings before an automatic flush.
+  std::size_t group_ratings = 4096;
+  /// Batch fsync at sync()/seal boundaries. Off trades the crash-
+  /// durability of the latest groups for speed (RAB_STORE_SYNC=0).
+  bool fsync = true;
+  /// Consolidate sealed segments into one once more than this many hold
+  /// live rows.
+  std::size_t consolidate_after = 4;
+};
+
+class RatingStore {
+ public:
+  /// Opens (or initializes) the store: maps every segment, verifies frame
+  /// CRCs, truncates a torn append tail back to its last commit frame.
+  /// Throws IoError on environment failure and CorruptData when a sealed
+  /// segment fails verification.
+  explicit RatingStore(StoreConfig config);
+  ~RatingStore();
+
+  RatingStore(const RatingStore&) = delete;
+  RatingStore& operator=(const RatingStore&) = delete;
+
+  /// Buffers one rating on the group-append path; flushes automatically
+  /// at group_ratings. Ratings of one product must arrive in ByTime order
+  /// or the zero-copy restart degrades to a gathered sort (see load()).
+  void append(const rating::Rating& r);
+
+  /// Writes buffered groups to the active segment (no fsync).
+  void flush();
+
+  /// flush() + batched fsync of the active segment (when config.fsync).
+  void sync();
+
+  /// Retention/tier maintenance; see file comment. `watermark` maps each
+  /// product to its compaction prefix — rows with absolute index below it
+  /// are no longer needed by any restart path.
+  void compact(const std::map<ProductId, std::uint64_t>& watermark);
+
+  /// Products with any stored row (flushed; buffered rows excluded).
+  [[nodiscard]] std::vector<ProductId> products() const;
+
+  /// Absolute row counter of a product: rows ever flushed (0 if unknown).
+  [[nodiscard]] std::uint64_t rows(ProductId product) const;
+
+  /// Lowest absolute row index still stored for a product.
+  [[nodiscard]] std::uint64_t min_row(ProductId product) const;
+
+  /// Materializes rows [row_begin, row_end) of one product, zero-copy when
+  /// the range lies in a single mapped extent in canonical ByTime order
+  /// (the common case after consolidation); otherwise gathers — still
+  /// binary column copies, never a re-parse. Only rows mapped at open (or
+  /// sealed since) are loadable; throws CorruptData when the range is not
+  /// available. The returned stream borrows the store's mappings — it must
+  /// not outlive the store.
+  [[nodiscard]] rating::ProductRatings load(ProductId product,
+                                            std::uint64_t row_begin,
+                                            std::uint64_t row_end) const;
+
+  /// All stored rows with per-product index >= from[product] (products
+  /// absent from `from` start at their min_row), merged across products in
+  /// time order — the binary replay tail for monitor recovery.
+  [[nodiscard]] std::vector<rating::Rating> tail(
+      const std::map<ProductId, std::uint64_t>& from) const;
+
+  // Introspection (tests, benches, stats).
+  [[nodiscard]] std::size_t segment_count() const;
+  [[nodiscard]] std::size_t mapped_bytes() const { return mapped_bytes_; }
+  [[nodiscard]] std::size_t buffered_ratings() const { return pending_total_; }
+  [[nodiscard]] const StoreConfig& config() const { return config_; }
+
+ private:
+  /// One mmap'ed segment image; unmapped only at store destruction.
+  struct Mapping {
+    Mapping(void* addr, std::size_t len) : addr(addr), len(len) {}
+    ~Mapping();
+    Mapping(const Mapping&) = delete;
+    Mapping& operator=(const Mapping&) = delete;
+    void* addr = nullptr;
+    std::size_t len = 0;
+  };
+
+  /// One product's contiguous run of rows inside a mapped page.
+  struct Extent {
+    std::uint64_t segment_id = 0;
+    std::uint64_t row_begin = 0;
+    std::uint64_t count = 0;
+    const double* times = nullptr;
+    const double* values = nullptr;
+    const std::int64_t* raters = nullptr;
+    const std::uint8_t* unfair = nullptr;
+    [[nodiscard]] std::uint64_t row_end() const { return row_begin + count; }
+  };
+
+  struct PerProduct {
+    std::vector<Extent> extents;          ///< ascending, contiguous rows
+    std::uint64_t total_rows = 0;         ///< absolute row counter
+    std::uint64_t min_row = 0;            ///< lowest stored row index
+    std::vector<rating::Rating> pending;  ///< buffered, un-flushed rows
+  };
+
+  struct Segment {
+    std::string path;
+    bool sealed_flag = false;  ///< written-complete (compactor output)
+    /// Products whose compaction summary lives (only) here; they need a
+    /// replacement summary before this segment may be unlinked.
+    std::vector<ProductId> summary_products;
+  };
+
+  void open_all();
+  const Mapping* map_file(const std::string& path, std::size_t len);
+  /// Validates + indexes frames of a mapped segment in [from, until).
+  /// Returns the end offset of the last intact commit frame (`tail_rule`)
+  /// or throws CorruptData on any invalid frame (!tail_rule).
+  std::size_t index_frames(const Mapping& map, std::uint64_t id,
+                           std::size_t from, std::size_t until,
+                           bool tail_rule);
+  void rebuild_extent_index();
+  void ensure_active();
+  /// Writes one group buffer to the active segment. Mutable: an armed
+  /// 'corrupt' failpoint flips bits in place before the write.
+  void write_group(std::string& buffer);
+  void seal_active();
+  void consolidate(const std::map<ProductId, std::uint64_t>& watermark);
+  [[nodiscard]] std::string segment_path(std::uint64_t id) const;
+  [[nodiscard]] std::uint64_t floor_for(
+      const std::map<ProductId, std::uint64_t>& watermark,
+      ProductId product) const;
+  void update_gauges() const;
+
+  StoreConfig config_;
+  std::map<std::uint64_t, Segment> segments_;  ///< live (linked) segments
+  std::vector<std::unique_ptr<Mapping>> mappings_;
+  std::map<ProductId, PerProduct> products_;
+  /// Highest summary-frame row_begin seen per product (compaction floor).
+  std::map<ProductId, std::uint64_t> summary_floor_;
+  std::size_t pending_total_ = 0;
+  std::size_t mapped_bytes_ = 0;
+
+  // Active (tier-0) append segment.
+  int active_fd_ = -1;
+  std::uint64_t active_id_ = 0;
+  std::size_t active_bytes_ = 0;    ///< valid bytes written so far
+  std::size_t indexed_until_ = 0;   ///< prefix already in the extent index
+  bool active_header_pending_ = false;
+  std::uint64_t next_id_ = 1;
+  /// A failed write leaves an undefined tail; every later op must refuse
+  /// until the store is reopened (which truncates back to the last commit).
+  bool broken_ = false;
+};
+
+}  // namespace rab::store

@@ -1,0 +1,104 @@
+#include "store/segment.hpp"
+
+#include <cstring>
+
+#include "util/crc32.hpp"
+
+namespace rab::store {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x52464253u;  // "SBFR" little-endian
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char raw[4];
+  std::memcpy(raw, &v, sizeof v);
+  out.append(raw, sizeof raw);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char raw[8];
+  std::memcpy(raw, &v, sizeof v);
+  out.append(raw, sizeof raw);
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+PageLayout page_layout(std::size_t rows) {
+  PageLayout l;
+  l.times_bytes = align_up(rows * sizeof(double));
+  l.values_bytes = align_up(rows * sizeof(double));
+  l.raters_bytes = align_up(rows * sizeof(std::int64_t));
+  l.unfair_bytes = align_up(rows * sizeof(std::uint8_t));
+  return l;
+}
+
+void encode_segment_header(std::string& out, std::uint32_t flags) {
+  const std::size_t base = out.size();
+  out.append(kSegmentMagic, sizeof kSegmentMagic);
+  put_u32(out, kSegmentVersion);
+  put_u32(out, flags);
+  out.resize(base + kSegmentHeaderBytes, '\0');
+}
+
+std::optional<std::uint32_t> decode_segment_header(
+    std::span<const std::byte> image) {
+  if (image.size() < kSegmentHeaderBytes) return std::nullopt;
+  if (std::memcmp(image.data(), kSegmentMagic, sizeof kSegmentMagic) != 0) {
+    return std::nullopt;
+  }
+  const std::uint32_t version = get_u32(image.data() + 8);
+  if (version != kSegmentVersion) return std::nullopt;
+  return get_u32(image.data() + 12);
+}
+
+void encode_frame_header(std::string& out, const FrameHeader& h) {
+  const std::size_t base = out.size();
+  put_u32(out, kFrameMagic);
+  put_u32(out, static_cast<std::uint32_t>(h.kind));
+  put_u64(out, static_cast<std::uint64_t>(h.product));
+  put_u64(out, h.count);
+  put_u64(out, h.row_begin);
+  put_u32(out, h.body_crc);
+  put_u32(out, util::crc32(std::string_view(out.data() + base, 36)));
+  out.resize(base + kFrameHeaderBytes, '\0');
+}
+
+std::optional<FrameHeader> decode_frame_header(
+    std::span<const std::byte> bytes) {
+  if (bytes.size() < kFrameHeaderBytes) return std::nullopt;
+  const std::byte* p = bytes.data();
+  if (get_u32(p) != kFrameMagic) return std::nullopt;
+  const std::uint32_t stored_crc = get_u32(p + 36);
+  if (stored_crc !=
+      util::crc32(std::string_view(reinterpret_cast<const char*>(p), 36))) {
+    return std::nullopt;
+  }
+  FrameHeader h;
+  const std::uint32_t kind = get_u32(p + 4);
+  if (kind != static_cast<std::uint32_t>(FrameKind::kPage) &&
+      kind != static_cast<std::uint32_t>(FrameKind::kCommit) &&
+      kind != static_cast<std::uint32_t>(FrameKind::kSummary)) {
+    return std::nullopt;
+  }
+  h.kind = static_cast<FrameKind>(kind);
+  h.product = static_cast<std::int64_t>(get_u64(p + 8));
+  h.count = get_u64(p + 16);
+  h.row_begin = get_u64(p + 24);
+  h.body_crc = get_u32(p + 32);
+  return h;
+}
+
+}  // namespace rab::store

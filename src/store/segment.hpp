@@ -1,0 +1,97 @@
+// On-disk segment format for the columnar rating store.
+//
+// A segment is an append-only file: a 64-byte segment header followed by a
+// sequence of 64-byte-aligned CRC-framed *frames*. A page frame carries one
+// product's rating columns (times / values / raters / unfair — the SoA
+// layout of rating::ProductRatings) as fixed-width little-endian arrays,
+// each column padded out to a 64-byte boundary so a mapped segment can be
+// handed to the kernel layer as aligned `std::span<const double>` without
+// copying. A commit frame marks a durable group boundary on the append
+// path (StoreWriter group-append); a summary frame records the compaction
+// prefix of a product whose every stored row has aged out of retention, so
+// its absolute row counter survives the segments being unlinked.
+//
+// Integrity reuses the checkpoint recipe (DESIGN.md §5e): every frame
+// carries a CRC over its header and a CRC over its padded payload
+// (util::crc32, IEEE 802.3). Recovery semantics live in
+// store/rating_store.cpp: an append segment is valid up to its last intact
+// commit frame; a sealed (consolidated) segment must verify end to end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace rab::store {
+
+/// Rounds up to the payload/frame alignment every column start obeys.
+inline constexpr std::size_t kAlign = 64;
+[[nodiscard]] constexpr std::size_t align_up(std::size_t n) {
+  return (n + (kAlign - 1)) & ~(kAlign - 1);
+}
+
+/// Segment header magic, first 8 bytes of every segment file.
+inline constexpr char kSegmentMagic[8] = {'R', 'A', 'B', 'S',
+                                          'E', 'G', '1', '\0'};
+inline constexpr std::uint32_t kSegmentVersion = 1;
+
+/// Segment flags (u32 at offset 12).
+inline constexpr std::uint32_t kFlagSealed = 1u;  ///< written complete (compactor output)
+
+inline constexpr std::size_t kSegmentHeaderBytes = kAlign;
+inline constexpr std::size_t kFrameHeaderBytes = kAlign;
+
+/// Frame kinds.
+enum class FrameKind : std::uint32_t {
+  kPage = 1,     ///< one product's rating columns
+  kCommit = 2,   ///< group-append commit marker (no payload)
+  kSummary = 3,  ///< compaction prefix: product rows below row_begin dropped
+};
+
+/// Decoded frame header. On disk (little-endian):
+///   u32 magic   u32 kind   i64 product   u64 count   u64 row_begin
+///   u32 body_crc   u32 header_crc(first 36 bytes)   zeros to 64
+struct FrameHeader {
+  FrameKind kind = FrameKind::kPage;
+  std::int64_t product = -1;
+  std::uint64_t count = 0;      ///< rows in a page; 0 for commit/summary
+  std::uint64_t row_begin = 0;  ///< absolute per-product index of first row
+  std::uint32_t body_crc = 0;   ///< CRC of the padded payload
+};
+
+/// Byte sizes of the four column arrays of an n-row page, each padded to
+/// kAlign. Column order within the payload: times, values, raters, unfair.
+struct PageLayout {
+  std::size_t times_bytes = 0;
+  std::size_t values_bytes = 0;
+  std::size_t raters_bytes = 0;
+  std::size_t unfair_bytes = 0;
+  [[nodiscard]] std::size_t payload_bytes() const {
+    return times_bytes + values_bytes + raters_bytes + unfair_bytes;
+  }
+  [[nodiscard]] std::size_t frame_bytes() const {
+    return kFrameHeaderBytes + payload_bytes();
+  }
+};
+[[nodiscard]] PageLayout page_layout(std::size_t rows);
+
+/// Appends a segment header (with `flags`) to `out`.
+void encode_segment_header(std::string& out, std::uint32_t flags);
+
+/// Parses and validates the segment header at the start of `image`.
+/// Returns the flags, or nullopt when the header is missing/garbled.
+[[nodiscard]] std::optional<std::uint32_t> decode_segment_header(
+    std::span<const std::byte> image);
+
+/// Appends an encoded frame header (CRCs filled in) to `out`.
+void encode_frame_header(std::string& out, const FrameHeader& h);
+
+/// Parses the frame header at `bytes` (which must hold at least
+/// kFrameHeaderBytes). Returns nullopt on bad magic, bad kind, or a
+/// header-CRC mismatch — the torn-tail signal on the append path.
+[[nodiscard]] std::optional<FrameHeader> decode_frame_header(
+    std::span<const std::byte> bytes);
+
+}  // namespace rab::store

@@ -62,6 +62,15 @@ constexpr std::string_view kCatalog[] = {
     "checkpoint.read.open",     // detectors/checkpoint.cpp: snapshot open
     "checkpoint.read.body",     // detectors/checkpoint.cpp: payload read
     "checkpoint.prune",         // detectors/checkpoint.cpp: generation gc
+    "store.open",               // store/rating_store.cpp: directory open
+    "store.read.map",           // store/rating_store.cpp: segment mmap
+    "store.append.open",        // store/rating_store.cpp: segment create
+    "store.append.frame",       // store/rating_store.cpp: group write
+    "store.append.fsync",       // store/rating_store.cpp: batched fsync
+    "store.seal",               // store/rating_store.cpp: segment rollover
+    "store.compact.write",      // store/rating_store.cpp: consolidated write
+    "store.compact.rename",     // store/rating_store.cpp: publish rename
+    "store.compact.unlink",     // store/rating_store.cpp: input removal
 };
 
 [[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {

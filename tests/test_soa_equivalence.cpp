@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/single_linkage.hpp"
 #include "detectors/arc_detector.hpp"
 #include "detectors/hc_detector.hpp"
 #include "detectors/mc_detector.hpp"
@@ -21,6 +22,7 @@
 #include "detectors/online_monitor.hpp"
 #include "rating/fair_generator.hpp"
 #include "rating/overlay.hpp"
+#include "signal/ar.hpp"
 #include "signal/kernels.hpp"
 #include "signal/windowing.hpp"
 #include "stats/glrt.hpp"
@@ -132,6 +134,68 @@ TEST(SoaKernels, PoissonGlrtCurveMatchesStatisticFromSums) {
       expect_close(curve[k], stats::PoissonRateGlrt::statistic_from_sums(
                                  days, s1, days, s2));
       EXPECT_GE(curve[k], 0.0);
+    }
+  }
+}
+
+TEST(SoaKernels, BalanceCurveMatchesPerWindowTwoClusterSplit) {
+  // The HC kernel promises bit-identity with the scalar reference in BOTH
+  // FP modes (the indicator is pure sort-order + exact arithmetic), so the
+  // comparisons below are EXPECT_EQ, not tolerance checks — this test runs
+  // unchanged under the RAB_STRICT_FP CI leg.
+  const auto stream = with_burst(fair_stream(31), 5.0, 40.0, 55.0, 45, 9);
+  const auto values = stream.values();
+  const std::size_t n = values.size();
+  for (const std::size_t window_ratings :
+       {std::size_t{4}, std::size_t{21}, std::size_t{40}, 2 * n}) {
+    for (const double min_gap : {0.0, 0.75, 2.0}) {
+      const std::vector<double> curve =
+          signal::balance_curve(values, window_ratings, min_gap);
+      ASSERT_EQ(curve.size(), n);
+      const signal::WindowSpec spec =
+          signal::WindowSpec::by_count(window_ratings);
+      for (std::size_t k = 0; k < n; ++k) {
+        const signal::IndexRange w =
+            signal::window_around(stream.times(), k, spec);
+        double ref = 0.0;
+        if (w.size() >= 4) {
+          const cluster::Split1d split = cluster::two_cluster_split(
+              values.subspan(w.first, w.size()));
+          if (split.gap >= min_gap) {
+            const double n1 = static_cast<double>(split.left_count);
+            const double n2 = static_cast<double>(split.right_count);
+            ref = std::min(n1 / n2, n2 / n1);
+          }
+        }
+        EXPECT_EQ(curve[k], ref)
+            << "k=" << k << " window=" << window_ratings << " gap=" << min_gap;
+      }
+    }
+  }
+}
+
+TEST(SoaKernels, ArErrorCurveMatchesPerWindowFitAr) {
+  // The fused AR kernel replays fit_ar's exact accumulation order (and
+  // stats::mean switches FP mode internally, same as the scalar path), so
+  // equality is bitwise in both modes.
+  const auto stream = with_burst(fair_stream(32), 0.0, 70.0, 82.0, 35, 4);
+  const auto times = stream.times();
+  const auto values = stream.values();
+  for (const signal::WindowSpec& spec :
+       {signal::WindowSpec::by_count(40),
+        signal::WindowSpec::by_count(7),
+        signal::WindowSpec::by_duration(20.0),
+        signal::WindowSpec::by_duration(0.25)}) {
+    for (const std::size_t order : {std::size_t{1}, std::size_t{4}}) {
+      const std::vector<double> curve =
+          signal::ar_error_curve(times, values, spec, order);
+      ASSERT_EQ(curve.size(), times.size());
+      for (std::size_t k = 0; k < times.size(); ++k) {
+        const signal::IndexRange w = signal::window_around(times, k, spec);
+        const double ref = signal::ar_model_error(
+            values.subspan(w.first, w.size()), order);
+        EXPECT_EQ(curve[k], ref) << "k=" << k << " order=" << order;
+      }
     }
   }
 }

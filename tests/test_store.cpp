@@ -1,0 +1,453 @@
+// Columnar rating-store tests: round-trip and zero-copy loads, commit-frame
+// group atomicity under every possible torn-write/corrupt-byte/truncated
+// tail (recovery must land exactly on a group boundary), sealed-segment
+// strictness, tiered compaction across reopen, and the monitor-level
+// property that a kill + mmap restart is byte-identical to an
+// uninterrupted replay at 1 and 8 worker threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detectors/online_monitor.hpp"
+#include "rating/fair_generator.hpp"
+#include "store/rating_store.hpp"
+#include "store/segment.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace rab::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_("rab-store-scratch-" + name) {
+    fs::remove_all(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Strictly increasing times so the time-merged tail() order is unique and
+/// comparable against the append order.
+std::vector<rating::Rating> synthetic_feed(std::size_t count,
+                                           std::int64_t products,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<rating::Rating> rows;
+  rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    rating::Rating r;
+    r.time = static_cast<double>(i) * 0.25 + rng.uniform(0.0, 0.2);
+    r.value = rng.uniform(0.0, 5.0);
+    r.product = ProductId(1 + rng.uniform_int(0, products - 1));
+    r.rater = RaterId(rng.uniform_int(0, 500));
+    r.unfair = rng.uniform(0.0, 1.0) < 0.1;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+void expect_rows_equal(const std::vector<rating::Rating>& got,
+                       const std::vector<rating::Rating>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "row " << i;
+  }
+}
+
+TEST(Store, RoundTripSingleGroupLoadsZeroCopy) {
+  ScratchDir dir("roundtrip");
+  const std::vector<rating::Rating> feed = synthetic_feed(300, 3, 1);
+
+  StoreConfig config;
+  config.dir = dir.path();
+  {
+    RatingStore writer(config);
+    for (const auto& r : feed) writer.append(r);
+    writer.sync();
+  }
+  // load()/tail() serve the restart path: they read the mmapped extent
+  // index, which is built at open — so read through a reopened store.
+  RatingStore store(config);
+
+  std::vector<rating::Rating> want_all = feed;  // already time-ordered
+  expect_rows_equal(store.tail({}), want_all);
+
+  for (const ProductId product : store.products()) {
+    std::vector<rating::Rating> want;
+    for (const auto& r : feed) {
+      if (r.product == product) want.push_back(r);
+    }
+    ASSERT_EQ(store.rows(product), want.size());
+    EXPECT_EQ(store.min_row(product), 0u);
+    const rating::ProductRatings loaded =
+        store.load(product, 0, want.size());
+    // One group => one page per product => a single canonical extent, so
+    // the load borrows the mapped columns instead of copying.
+    EXPECT_TRUE(loaded.is_borrowed());
+    expect_rows_equal(loaded.to_rows(), want);
+  }
+  // Out-of-range loads must fail loudly, not return partial data.
+  const ProductId first = store.products().front();
+  EXPECT_THROW(store.load(first, 0, store.rows(first) + 1), CorruptData);
+}
+
+TEST(Store, ReopenSeesExactlyTheSyncedRows) {
+  ScratchDir dir("reopen");
+  const std::vector<rating::Rating> feed = synthetic_feed(500, 4, 2);
+  StoreConfig config;
+  config.dir = dir.path();
+  {
+    RatingStore store(config);
+    for (const auto& r : feed) store.append(r);
+    store.sync();
+  }
+  RatingStore reopened(config);
+  expect_rows_equal(reopened.tail({}), feed);
+  EXPECT_EQ(reopened.buffered_ratings(), 0u);
+}
+
+/// Builds a store with one explicit flush (= one commit frame) per
+/// `group` ratings and returns the per-flush cumulative totals — the only
+/// states recovery is ever allowed to land on.
+std::set<std::size_t> build_grouped_store(const std::string& dir,
+                                          const std::vector<rating::Rating>& feed,
+                                          std::size_t group) {
+  StoreConfig config;
+  config.dir = dir;
+  config.group_ratings = feed.size() + 1;  // only explicit flushes commit
+  RatingStore store(config);
+  std::set<std::size_t> boundaries{0};
+  for (std::size_t i = 0; i < feed.size(); ++i) {
+    store.append(feed[i]);
+    if ((i + 1) % group == 0 || i + 1 == feed.size()) {
+      store.flush();
+      boundaries.insert(i + 1);
+    }
+  }
+  store.sync();
+  return boundaries;
+}
+
+std::size_t total_rows(const RatingStore& store) {
+  std::size_t total = 0;
+  for (const ProductId p : store.products()) {
+    total += static_cast<std::size_t>(store.rows(p) - store.min_row(p));
+  }
+  return total;
+}
+
+TEST(Store, EveryTruncatedTailRecoversToAGroupBoundary) {
+  ScratchDir dir("truncate");
+  const std::vector<rating::Rating> feed = synthetic_feed(600, 3, 3);
+  const std::set<std::size_t> boundaries =
+      build_grouped_store(dir.path(), feed, 50);
+
+  fs::path segment;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    segment = entry.path();
+  }
+  ASSERT_FALSE(segment.empty());
+  const auto file_size = static_cast<std::size_t>(fs::file_size(segment));
+  const std::string bytes = [&] {
+    std::ifstream in(segment, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }();
+
+  ScratchDir scratch("truncate-case");
+  StoreConfig config;
+  config.dir = scratch.path();
+  std::size_t last_total = 0;
+  for (std::size_t cut = 0; cut <= file_size;
+       cut = std::min(cut + 37, file_size) + (cut == file_size ? 1 : 0)) {
+    fs::create_directories(scratch.path());
+    const fs::path copy = fs::path(scratch.path()) / segment.filename();
+    {
+      std::ofstream out(copy, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    {
+      RatingStore recovered(config);
+      const std::size_t total = total_rows(recovered);
+      EXPECT_TRUE(boundaries.contains(total))
+          << "cut at " << cut << " recovered " << total
+          << " rows, not a commit boundary";
+      // Monotone: more surviving bytes never means fewer recovered rows.
+      EXPECT_GE(total, last_total) << "cut at " << cut;
+      last_total = total;
+      expect_rows_equal(
+          recovered.tail({}),
+          std::vector<rating::Rating>(feed.begin(),
+                                      feed.begin() +
+                                          static_cast<std::ptrdiff_t>(total)));
+      // The reopened store must accept appends after recovery.
+      recovered.append(feed[0]);
+      recovered.flush();
+    }
+    fs::remove_all(scratch.path());
+  }
+  EXPECT_EQ(last_total, feed.size());  // the full file recovers everything
+}
+
+TEST(Store, CorruptBytesInTailSegmentRecoverToAGroupBoundary) {
+  ScratchDir dir("corrupt");
+  const std::vector<rating::Rating> feed = synthetic_feed(600, 3, 4);
+  const std::set<std::size_t> boundaries =
+      build_grouped_store(dir.path(), feed, 50);
+
+  fs::path segment;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    segment = entry.path();
+  }
+  const std::string bytes = [&] {
+    std::ifstream in(segment, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }();
+
+  ScratchDir scratch("corrupt-case");
+  StoreConfig config;
+  config.dir = scratch.path();
+  for (std::size_t flip = 0; flip < bytes.size(); flip += 101) {
+    fs::create_directories(scratch.path());
+    const fs::path copy = fs::path(scratch.path()) / segment.filename();
+    {
+      std::string mutated = bytes;
+      mutated[flip] = static_cast<char>(mutated[flip] ^ 0x5c);
+      std::ofstream out(copy, std::ios::binary | std::ios::trunc);
+      out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    }
+    {
+      RatingStore recovered(config);
+      const std::size_t total = total_rows(recovered);
+      EXPECT_TRUE(boundaries.contains(total))
+          << "flip at " << flip << " recovered " << total << " rows";
+      // Whatever survives must be an exact prefix: a flipped bit may cost
+      // committed groups (CRC rejects them) but never alter row payloads
+      // silently — unless it landed in dead padding, where data is
+      // untouched by construction.
+      expect_rows_equal(
+          recovered.tail({}),
+          std::vector<rating::Rating>(feed.begin(),
+                                      feed.begin() +
+                                          static_cast<std::ptrdiff_t>(total)));
+    }
+    fs::remove_all(scratch.path());
+  }
+}
+
+TEST(Store, CorruptSealedSegmentFailsLoudly) {
+  ScratchDir dir("sealed");
+  const std::vector<rating::Rating> feed = synthetic_feed(4000, 2, 5);
+  StoreConfig config;
+  config.dir = dir.path();
+  config.segment_bytes = 8 * 1024;  // force several sealed segments
+  config.group_ratings = 256;
+  {
+    RatingStore store(config);
+    for (const auto& r : feed) store.append(r);
+    store.sync();
+  }
+  std::vector<fs::path> segments;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    segments.push_back(entry.path());
+  }
+  std::sort(segments.begin(), segments.end());
+  ASSERT_GE(segments.size(), 3u);
+
+  // Flip a CRC-covered byte (inside the first frame header) of the first
+  // — sealed, non-tail — segment: recovery must refuse the store rather
+  // than silently dropping history from the middle of the log.
+  std::fstream f(segments.front(),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(kSegmentHeaderBytes + 8);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x10);
+  f.seekp(kSegmentHeaderBytes + 8);
+  f.write(&b, 1);
+  f.close();
+  EXPECT_THROW(RatingStore{config}, CorruptData);
+}
+
+TEST(Store, CompactionKeepsSuffixAndSurvivesReopen) {
+  ScratchDir dir("compact");
+  const std::vector<rating::Rating> feed = synthetic_feed(6000, 2, 6);
+  StoreConfig config;
+  config.dir = dir.path();
+  config.segment_bytes = 8 * 1024;
+  config.group_ratings = 256;
+  config.consolidate_after = 2;
+
+  std::map<ProductId, std::uint64_t> counts;
+  std::map<ProductId, std::vector<rating::Rating>> per_product;
+  for (const auto& r : feed) per_product[r.product].push_back(r);
+
+  std::map<ProductId, std::uint64_t> watermark;
+  {
+    RatingStore store(config);
+    for (const auto& r : feed) store.append(r);
+    store.sync();
+    const std::size_t before = store.segment_count();
+    for (const auto& [product, rows] : per_product) {
+      watermark[product] = rows.size() / 2;
+    }
+    store.compact(watermark);
+    EXPECT_LT(store.segment_count(), before);
+
+    for (const auto& [product, rows] : per_product) {
+      EXPECT_LE(store.min_row(product), watermark[product]);
+      EXPECT_EQ(store.rows(product), rows.size());
+      const std::uint64_t from = store.min_row(product);
+      const rating::ProductRatings suffix =
+          store.load(product, from, rows.size());
+      expect_rows_equal(
+          suffix.to_rows(),
+          std::vector<rating::Rating>(
+              rows.begin() + static_cast<std::ptrdiff_t>(from), rows.end()));
+      if (from > 0) {
+        EXPECT_THROW(store.load(product, from - 1, rows.size()), CorruptData);
+      }
+    }
+    store.sync();
+    for (const auto& [product, rows] : per_product) {
+      counts[product] = store.min_row(product);
+    }
+  }
+  // Reopen: absolute row counters, compaction floors, and the surviving
+  // suffix must all come back identical from the segment log alone.
+  RatingStore reopened(config);
+  for (const auto& [product, rows] : per_product) {
+    EXPECT_EQ(reopened.min_row(product), counts[product]) << product.value();
+    EXPECT_EQ(reopened.rows(product), rows.size());
+    const std::uint64_t from = reopened.min_row(product);
+    const rating::ProductRatings suffix =
+        reopened.load(product, from, rows.size());
+    expect_rows_equal(
+        suffix.to_rows(),
+        std::vector<rating::Rating>(
+            rows.begin() + static_cast<std::ptrdiff_t>(from), rows.end()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Monitor-level property: kill + mmap restart == uninterrupted replay.
+
+std::vector<rating::Rating> monitor_feed() {
+  rating::FairDataConfig config;
+  config.product_count = 2;
+  config.history_days = 150.0;
+  config.seed = 7;
+  rating::Dataset data = rating::FairDataGenerator(config).generate();
+  Rng rng(9);
+  std::vector<rating::Rating> burst;
+  for (std::size_t i = 0; i < 50; ++i) {
+    rating::Rating r;
+    r.time = rng.uniform(60.0, 72.0);
+    r.value = 0.0;
+    r.rater = RaterId(1'000'000 + static_cast<std::int64_t>(i));
+    r.product = ProductId(1);
+    r.unfair = true;
+    burst.push_back(r);
+  }
+  data = data.with_added(burst);
+  std::vector<rating::Rating> all;
+  for (ProductId id : data.product_ids()) {
+    const auto rs = data.product(id).rows();
+    all.insert(all.end(), rs.begin(), rs.end());
+  }
+  std::sort(all.begin(), all.end(), rating::ByTime{});
+  return all;
+}
+
+detectors::OnlineConfig monitor_config() {
+  detectors::OnlineConfig config;
+  config.epoch_days = 10.0;
+  config.trust_forgetting = 0.95;
+  config.retention_days = 40.0;
+  return config;
+}
+
+struct Observable {
+  std::vector<detectors::Alarm> alarms;
+  std::vector<detectors::OnlineEpochStats> epochs;
+  std::vector<trust::RaterCounts> trust;
+  std::size_t ingested = 0;
+  std::size_t resident = 0;
+  std::size_t compacted = 0;
+
+  friend bool operator==(const Observable&, const Observable&) = default;
+};
+
+Observable observe(const detectors::OnlineMonitor& m) {
+  return Observable{m.alarms(),           m.epoch_stats(),
+                    m.trust().export_counts(), m.ingested(),
+                    m.resident_ratings(), m.compacted_ratings()};
+}
+
+TEST(StoreMonitor, KillPlusMmapRestartMatchesReplayAt1And8Threads) {
+  const std::vector<rating::Rating> feed = monitor_feed();
+  const std::size_t original_threads = util::thread_count();
+
+  Rng rng(20260808);
+  std::vector<std::size_t> kill_points{0, 1, feed.size() - 1, feed.size()};
+  while (kill_points.size() < 10) {
+    kill_points.push_back(static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(feed.size()) - 1)));
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    util::set_thread_count(threads);
+    // Ground truth: uninterrupted replay, no store attached.
+    Observable reference;
+    {
+      detectors::OnlineMonitor plain(monitor_config());
+      for (const auto& r : feed) plain.ingest(r);
+      plain.flush();
+      reference = observe(plain);
+    }
+
+    for (const std::size_t kill_at : kill_points) {
+      ScratchDir ck("mon-ck-" + std::to_string(threads) + "-" +
+                    std::to_string(kill_at));
+      ScratchDir st("mon-st-" + std::to_string(threads) + "-" +
+                    std::to_string(kill_at));
+      detectors::OnlineConfig config = monitor_config();
+      config.checkpoint_dir = ck.path();
+      config.store_dir = st.path();
+      {
+        detectors::OnlineMonitor doomed(config);
+        for (std::size_t i = 0; i < kill_at; ++i) doomed.ingest(feed[i]);
+        // Killed here; only the checkpoint dir and segment log survive.
+      }
+      detectors::OnlineMonitor monitor(config);
+      monitor.restore_from_store();
+      for (std::size_t i = monitor.ingested(); i < feed.size(); ++i) {
+        monitor.ingest(feed[i]);
+      }
+      monitor.flush();
+      EXPECT_EQ(observe(monitor), reference)
+          << "threads=" << threads << " kill_at=" << kill_at;
+    }
+  }
+  util::set_thread_count(original_threads);
+}
+
+}  // namespace
+}  // namespace rab::store

@@ -83,6 +83,17 @@ def main():
             continue
 
         shared = sorted(set(cur) & set(base))
+        # Benchmarks on only one side are reported, not silently dropped:
+        # a new bench with no baseline row would otherwise look "covered",
+        # and a vanished one would hide a deleted or renamed benchmark.
+        only_current = sorted(set(cur) - set(base))
+        only_baseline = sorted(set(base) - set(cur))
+        for bench in only_current:
+            print(f"{name}: warning: {bench} has no baseline entry, skipped "
+                  "(add it to bench/baseline/ to track it)")
+        for bench in only_baseline:
+            print(f"{name}: warning: baseline entry {bench} missing from "
+                  "this run, skipped")
         if not shared:
             print(f"{name}: no overlapping benchmarks, skipped")
             continue

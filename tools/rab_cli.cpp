@@ -421,6 +421,17 @@ int cmd_monitor(const Args& args) {
       args.get_u64("checkpoint-every", config.checkpoint_every_epochs));
   config.checkpoint_keep = static_cast<std::size_t>(
       args.get_u64("checkpoint-keep", config.checkpoint_keep));
+  config.store_dir = args.get("store-dir", "-") == "-"
+                         ? std::string()
+                         : args.get("store-dir");
+  config.store_segment_bytes = static_cast<std::size_t>(args.get_u64(
+      "store-segment-bytes", config.store_segment_bytes));
+  // RAB_STORE_SYNC=0/off/false trades the crash durability of the last
+  // un-synced groups for ingest speed (benches, bulk backfills).
+  if (const char* env = std::getenv("RAB_STORE_SYNC")) {
+    const std::string v(env);
+    config.store_fsync = !(v == "0" || v == "off" || v == "false");
+  }
   detectors::OnlineMonitor monitor(config);
 
   std::FILE* out = stdout;
@@ -451,7 +462,27 @@ int cmd_monitor(const Args& args) {
   // from the restored high-water mark — the continued run is bit-identical
   // to one that never crashed. Records from before the crash were already
   // emitted by the previous process, so the drain counters skip them.
-  if (!config.checkpoint_dir.empty()) {
+  if (!config.store_dir.empty()) {
+    // Store-backed restart: zero-copy restore from the mapped segment log
+    // plus binary replay of the un-snapshotted tail. The feed is only
+    // needed for ratings the store has not seen yet.
+    const auto gen = monitor.restore_from_store();
+    if (monitor.ingested() > 0) {
+      start = monitor.ingested();
+      alarms_seen = monitor.alarms().size();
+      epochs_seen = monitor.epoch_stats().size();
+      std::fprintf(out,
+                   "{\"type\":\"resume\",\"generation\":%zu,"
+                   "\"ingested\":%zu,\"alarms\":%zu,\"epochs\":%zu}\n",
+                   gen.value_or(0), start, alarms_seen, epochs_seen);
+      if (start > feed.size()) {
+        throw InvalidArgument(
+            "monitor: store is ahead of the feed (restored " +
+            std::to_string(start) + " ratings, feed has " +
+            std::to_string(feed.size()) + ") — wrong --data file?");
+      }
+    }
+  } else if (!config.checkpoint_dir.empty()) {
     if (const auto gen = monitor.restore_latest(config.checkpoint_dir)) {
       start = monitor.ingested();
       alarms_seen = monitor.alarms().size();
@@ -556,10 +587,14 @@ int usage() {
       "             --min-marks N --forgetting L --cache-streams N\n"
       "             --chunk N --out F --checkpoint-dir DIR\n"
       "             --checkpoint-every N --checkpoint-keep K\n"
+      "             --store-dir DIR --store-segment-bytes N\n"
       "             --metrics-out F --trace-out F]\n"
       "             (JSONL alarms + epoch counters; with --checkpoint-dir\n"
       "             the monitor snapshots its state there every N epochs\n"
       "             and resumes from the newest valid snapshot on start;\n"
+      "             with --store-dir every rating is also appended to a\n"
+      "             columnar mmap segment log and restart resumes\n"
+      "             zero-copy from it instead of re-parsing the feed;\n"
       "             --metrics-out appends a JSONL metrics snapshot per\n"
       "             epoch, --trace-out writes Chrome trace-event JSON)\n"
       "  stats      --data F [--bin DAYS --format prom|json --out F\n"
@@ -575,6 +610,9 @@ int usage() {
       "  RAB_STRICT_FP set to 1/on/true to run the detector kernels in\n"
       "                the exact scalar FP operation order (bit-identical\n"
       "                to the pre-vectorization code; see DESIGN.md 5g)\n"
+      "  RAB_STORE_SYNC set to 0/off/false to disable the rating store's\n"
+      "                batched fsync (faster ingest, weaker crash\n"
+      "                durability; see DESIGN.md 5h)\n"
       "exit codes:\n"
       "  0   success\n"
       "  1   runtime failure (unexpected exception)\n"

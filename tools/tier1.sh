@@ -24,10 +24,12 @@
 # (test_online_monitor).
 #
 # The chaos pass builds into build-chaos/ with -DRAB_ASAN=ON -DRAB_UBSAN=ON
-# and runs the fault-injection and checkpoint suites (test_failpoint,
-# test_checkpoint, test_chaos) plus the rab_chaos kill-and-restore driver,
-# at 1 and 8 worker threads. Every snapshot written mid-crash must restore
-# bit-identically or be rejected by its checksum.
+# and runs the fault-injection, checkpoint, and segment-store suites
+# (test_failpoint, test_checkpoint, test_chaos, test_store) plus the
+# rab_chaos kill-and-restore driver, at 1 and 8 worker threads. Every
+# snapshot written mid-crash must restore bit-identically or be rejected by
+# its checksum; every torn or rotten store group must truncate back to the
+# last commit marker on reopen.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -84,11 +86,12 @@ fi
 if [[ "${1:-}" == "--chaos" ]]; then
   cmake -B build-chaos -S . -DRAB_ASAN=ON -DRAB_UBSAN=ON >/dev/null
   cmake --build build-chaos -j "$(nproc)" \
-    --target test_failpoint test_checkpoint test_chaos rab_chaos
+    --target test_failpoint test_checkpoint test_chaos test_store rab_chaos
   for threads in 1 8; do
     RAB_THREADS="$threads" ./build-chaos/tests/test_failpoint
     RAB_THREADS="$threads" ./build-chaos/tests/test_checkpoint
     RAB_THREADS="$threads" ./build-chaos/tests/test_chaos
+    RAB_THREADS="$threads" ./build-chaos/tests/test_store
   done
   # Kill-and-restore torture across every catalogued failpoint plus random
   # kill offsets; checks bit-identical recovery at 1 and 8 threads itself.
