@@ -1,0 +1,140 @@
+// Serving-path microbenches (google-benchmark): the per-frame costs a
+// `rab serve` deployment pays before any analysis happens. Codec benches
+// bound the wire overhead per rating batch (encode + decode of the
+// length-prefixed binary format, and the JSONL fallback for comparison —
+// the gap is why the binary protocol is the default). Queue benches
+// bound the reserve/push/pop handoff between a connection thread and a
+// shard worker, and shard_of bounds the per-rating routing cost. The
+// end-to-end serve throughput number lives in BENCH_serve.json, produced
+// by `rab loadgen` against a live daemon (tools/tier1.sh --serve).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/queue.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "rating/rating.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rab;
+
+std::vector<rating::Rating> make_batch(std::size_t n) {
+  Rng rng(41);
+  std::vector<rating::Rating> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rating::Rating r;
+    r.time = static_cast<double>(i) * 0.01;
+    r.value = rng.uniform(0.0, 5.0);
+    r.rater = RaterId(rng.uniform_int(0, 9999));
+    r.product = ProductId(rng.uniform_int(0, 63));
+    batch.push_back(r);
+  }
+  return batch;
+}
+
+void BM_WireEncodeRateBatch(benchmark::State& state) {
+  const auto batch = make_batch(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode_rate_payload(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WireEncodeRateBatch)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_WireDecodeRateBatch(benchmark::State& state) {
+  const std::string payload =
+      net::encode_rate_payload(make_batch(static_cast<std::size_t>(
+          state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode_rate_payload(payload));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WireDecodeRateBatch)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_WireDecodeFrameHeader(benchmark::State& state) {
+  const std::string bytes =
+      net::encode_frame(net::Frame{net::FrameType::kPing, ""});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode_frame_header(
+        std::span<const char, net::kFrameHeaderBytes>(
+            bytes.data(), net::kFrameHeaderBytes),
+        true));
+  }
+}
+BENCHMARK(BM_WireDecodeFrameHeader);
+
+// The JSONL fallback parsing one rate line with 8 ratings — the
+// debuggability tax relative to BM_WireDecodeRateBatch.
+void BM_WireParseJsonlRate(benchmark::State& state) {
+  std::string line = R"({"type":"rate","ratings":[)";
+  for (int i = 0; i < 8; ++i) {
+    if (i > 0) line += ',';
+    line += "[" + std::to_string(i) + ".5,4.0," + std::to_string(100 + i) +
+            "," + std::to_string(i % 4) + "]";
+  }
+  line += "]}";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_json_request(line));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_WireParseJsonlRate);
+
+void BM_ShardOf(benchmark::State& state) {
+  std::int64_t product = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::shard_of(product++, 8));
+  }
+}
+BENCHMARK(BM_ShardOf);
+
+// Uncontended single-thread handoff: reserve + push + pop of one batch.
+void BM_QueueReservePushPop(benchmark::State& state) {
+  net::BoundedTaskQueue queue(128);
+  const auto batch = make_batch(64);
+  net::ShardTask task;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.try_reserve());
+    queue.push_reserved(net::ShardTask{batch, nullptr});
+    benchmark::DoNotOptimize(queue.pop(task));
+  }
+}
+BENCHMARK(BM_QueueReservePushPop);
+
+// Producer/consumer handoff across real threads: the batches/second one
+// connection can stream through one shard queue.
+void BM_QueueCrossThread(benchmark::State& state) {
+  const std::size_t total = static_cast<std::size_t>(state.range(0));
+  const auto batch = make_batch(64);
+  for (auto _ : state) {
+    net::BoundedTaskQueue queue(128);
+    std::thread consumer([&] {
+      net::ShardTask task;
+      while (queue.pop(task)) {
+      }
+    });
+    std::size_t pushed = 0;
+    while (pushed < total) {
+      if (queue.try_reserve()) {
+        queue.push_reserved(net::ShardTask{batch, nullptr});
+        ++pushed;
+      }
+    }
+    queue.close();
+    consumer.join();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_QueueCrossThread)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -119,6 +119,43 @@ void OnlineMonitor::flush() {
   if (store_) store_->sync();
 }
 
+void OnlineMonitor::drain() {
+  // Snapshot BEFORE the final partial-epoch analysis: the flush below
+  // folds evidence and decays trust once more, which an uninterrupted
+  // run would only do when its feed actually ended. Restoring this
+  // pre-flush snapshot and continuing the feed is therefore
+  // bit-identical to never having stopped (the chaos-harness contract),
+  // while the operator still gets the partial epoch's alarms on the way
+  // out. Deliberately no maybe_checkpoint() after the analysis — a
+  // post-flush generation would supersede this one and break that
+  // restart bit-identity.
+  if (!config_.checkpoint_dir.empty()) (void)checkpoint_now();
+  if (started_ && pending_) {
+    analyze_epoch(std::nextafter(last_time_, last_time_ + 1.0));
+  }
+  if (store_) store_->sync();
+}
+
+std::optional<OnlineMonitor::ProductSummary> OnlineMonitor::product_summary(
+    ProductId product) const {
+  const auto it = streams_.find(product);
+  if (it == streams_.end()) return std::nullopt;
+  const Stream& stream = it->second;
+  ProductSummary summary;
+  summary.resident = stream.ratings.size();
+  summary.dropped_rows = stream.dropped_rows;
+  summary.marks = stream.previous_marks;
+  if (!stream.ratings.empty()) summary.span = stream.ratings.span();
+  return summary;
+}
+
+std::vector<ProductId> OnlineMonitor::products() const {
+  std::vector<ProductId> out;
+  out.reserve(streams_.size());
+  for (const auto& [product, stream] : streams_) out.push_back(product);
+  return out;
+}
+
 void OnlineMonitor::maybe_checkpoint() {
   if (config_.checkpoint_dir.empty()) return;
   if (epoch_stats_.size() % config_.checkpoint_every_epochs != 0) return;

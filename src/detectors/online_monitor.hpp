@@ -135,6 +135,18 @@ class OnlineMonitor {
   /// folded again by later epochs or flushes.
   void flush();
 
+  /// Graceful drain for signal-initiated or admin-initiated shutdown:
+  /// checkpoints the *pre-flush* state (when checkpoint_dir is set), then
+  /// analyzes the final partial epoch like flush(), then syncs the store.
+  /// The order matters for restart bit-identity: flush() folds the
+  /// partial epoch's evidence, so a post-flush snapshot restored and then
+  /// fed more ratings would have seen one extra analysis (an extra trust
+  /// decay) that an uninterrupted run never had. Draining therefore
+  /// snapshots first — a restart replays from the snapshot exactly as if
+  /// the process had never stopped — and still emits the final partial
+  /// epoch's alarms for the operator on the way out.
+  void drain();
+
   /// Alarms raised so far, in raise order.
   [[nodiscard]] const std::vector<Alarm>& alarms() const { return alarms_; }
 
@@ -157,6 +169,22 @@ class OnlineMonitor {
 
   /// Detector-result cache counters (zeros when caching is disabled).
   [[nodiscard]] IntegrationCache::Stats cache_stats() const;
+
+  /// Live per-product summary for the serving query path.
+  struct ProductSummary {
+    std::size_t resident = 0;        ///< ratings currently retained
+    std::uint64_t dropped_rows = 0;  ///< compacted off the front
+    std::size_t marks = 0;           ///< suspicious marks, last analysis
+    Interval span{};                 ///< retained time span (empty if none)
+  };
+
+  /// Summary of one product stream, or nullopt when the product has never
+  /// been rated here.
+  [[nodiscard]] std::optional<ProductSummary> product_summary(
+      ProductId product) const;
+
+  /// Products with a live stream, in id order.
+  [[nodiscard]] std::vector<ProductId> products() const;
 
   [[nodiscard]] const OnlineConfig& config() const { return config_; }
 

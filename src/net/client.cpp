@@ -1,0 +1,97 @@
+#include "net/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace rab::net {
+
+Client::Client(const Addr& addr) : fd_(connect_to(addr)) {}
+
+void Client::send_raw(std::string_view bytes) {
+  write_all(fd_.get(), bytes.data(), bytes.size());
+}
+
+Frame Client::read_reply() {
+  char header[kFrameHeaderBytes];
+  const ReadStatus hs = read_exact(fd_.get(), header, sizeof header);
+  if (hs != ReadStatus::kOk) {
+    throw IoError("client: server closed the connection");
+  }
+  const FrameHeader h = decode_frame_header(
+      std::span<const char, kFrameHeaderBytes>(header), false);
+  Frame reply;
+  reply.type = static_cast<FrameType>(h.type);
+  reply.payload.resize(h.length);
+  if (h.length > 0 &&
+      read_exact(fd_.get(), reply.payload.data(), h.length) !=
+          ReadStatus::kOk) {
+    throw IoError("client: server closed the connection mid-reply");
+  }
+  return reply;
+}
+
+Frame Client::roundtrip(const Frame& request) {
+  send_raw(encode_frame(request));
+  return read_reply();
+}
+
+Client::RateResult Client::rate(std::span<const rating::Rating> batch,
+                                std::size_t max_retries) {
+  const std::string bytes =
+      encode_frame({FrameType::kRate, encode_rate_payload(batch)});
+  RateResult result;
+  for (;;) {
+    send_raw(bytes);
+    const Frame reply = read_reply();
+    if (reply.type == FrameType::kOk) {
+      result.accepted = decode_u64_payload(reply.payload);
+      return result;
+    }
+    if (reply.type == FrameType::kRetry) {
+      if (result.retries >= max_retries) {
+        throw IoError("client: server backpressure persisted after " +
+                      std::to_string(result.retries) + " retries");
+      }
+      ++result.retries;
+      const double after = decode_f64_payload(reply.payload);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(after > 0.0 ? after : 0.001));
+      continue;
+    }
+    throw IoError("client: rate rejected: " + reply.payload);
+  }
+}
+
+std::string Client::expect_payload(const Frame& request) {
+  const Frame reply = roundtrip(request);
+  if (reply.type == FrameType::kError) {
+    throw IoError("client: server error: " + reply.payload);
+  }
+  return reply.payload;
+}
+
+std::string Client::trust(std::int64_t rater) {
+  return expect_payload({FrameType::kTrust, encode_i64_payload(rater)});
+}
+
+std::string Client::alarms(std::uint64_t since) {
+  return expect_payload({FrameType::kAlarms, encode_u64_payload(since)});
+}
+
+std::string Client::stats() { return expect_payload({FrameType::kStats, ""}); }
+
+std::string Client::series(std::int64_t product) {
+  return expect_payload({FrameType::kSeries, encode_i64_payload(product)});
+}
+
+std::string Client::metrics() {
+  return expect_payload({FrameType::kMetrics, ""});
+}
+
+std::string Client::drain() { return expect_payload({FrameType::kDrain, ""}); }
+
+std::string Client::ping() { return expect_payload({FrameType::kPing, ""}); }
+
+}  // namespace rab::net

@@ -1,0 +1,63 @@
+// Blocking binary-protocol client for `rab serve` — the shared substrate
+// of the load generator, the `rab query` subcommand, and the protocol
+// tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "rating/rating.hpp"
+
+namespace rab::net {
+
+class Client {
+ public:
+  /// Connects immediately; throws IoError when the server is unreachable.
+  explicit Client(const Addr& addr);
+
+  /// Sends one request frame and reads its reply. Throws IoError when
+  /// the connection drops, InvalidArgument when the reply frame is
+  /// malformed.
+  Frame roundtrip(const Frame& request);
+
+  struct RateResult {
+    std::uint64_t accepted = 0;  ///< ratings the server queued
+    std::size_t retries = 0;     ///< kRetry backpressure rounds
+  };
+
+  /// Sends a rating batch, honoring kRetry backpressure (sleeping the
+  /// server-suggested delay) up to `max_retries` resends of the same
+  /// frame. Throws IoError when the server still has no room after that
+  /// or answers kError.
+  RateResult rate(std::span<const rating::Rating> batch,
+                  std::size_t max_retries = 100);
+
+  // Query wrappers; each returns the reply's JSON (kJson) or text
+  // (kMetrics) payload, throwing IoError on a kError reply.
+  std::string trust(std::int64_t rater);
+  std::string alarms(std::uint64_t since);
+  std::string stats();
+  std::string series(std::int64_t product);
+  std::string metrics();
+  std::string drain();
+  std::string ping();
+
+  /// Raw byte injection for the protocol-robustness tests (malformed
+  /// headers, truncated frames, garbage).
+  void send_raw(std::string_view bytes);
+
+  /// Reads one reply frame (after send_raw). Throws IoError on EOF.
+  Frame read_reply();
+
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+ private:
+  std::string expect_payload(const Frame& request);
+
+  Fd fd_;
+};
+
+}  // namespace rab::net

@@ -1,0 +1,223 @@
+#include "net/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "rating/io.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace rab::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<rating::Rating> load_feed(const LoadgenConfig& config) {
+  if (config.data_csv.empty()) return synthetic_feed(config);
+  const rating::Dataset data = rating::read_csv_file(config.data_csv);
+  std::vector<rating::Rating> feed;
+  feed.reserve(data.total_ratings());
+  for (ProductId id : data.product_ids()) {
+    const auto& rows = data.product(id).rows();
+    feed.insert(feed.end(), rows.begin(), rows.end());
+  }
+  std::sort(feed.begin(), feed.end(), rating::ByTime{});
+  return feed;
+}
+
+struct ConnResult {
+  std::uint64_t sent = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t retries = 0;
+  std::vector<double> latencies;  ///< per-frame round-trip seconds
+  std::string error;
+};
+
+/// Streams one connection's shard-partitioned subfeed. `pace` is the
+/// target seconds per rating for this connection (0 = unthrottled).
+void run_connection(const LoadgenConfig& config,
+                    const std::vector<rating::Rating>& subfeed, double pace,
+                    ConnResult& out) {
+  try {
+    Client client(config.addr);
+    out.latencies.reserve(subfeed.size() / std::max<std::size_t>(
+                                               config.batch, 1) +
+                          1);
+    const Clock::time_point start = Clock::now();
+    std::size_t at = 0;
+    while (at < subfeed.size()) {
+      const std::size_t n =
+          std::min(config.batch, subfeed.size() - at);
+      if (pace > 0.0) {
+        // Open-loop pacing: rating `at` is due at start + at*pace; sleep
+        // off any lead so a fast server cannot drag the rate up.
+        const double due = static_cast<double>(at) * pace;
+        const double lead = due - seconds_since(start);
+        if (lead > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(lead));
+        }
+      }
+      const Clock::time_point sent_at = Clock::now();
+      const Client::RateResult r = client.rate(
+          std::span<const rating::Rating>(subfeed.data() + at, n),
+          config.max_retries);
+      out.latencies.push_back(seconds_since(sent_at));
+      out.sent += n;
+      out.accepted += r.accepted;
+      out.retries += r.retries;
+      ++out.frames;
+      at += n;
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+}
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string fmt(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<rating::Rating> synthetic_feed(const LoadgenConfig& config) {
+  RAB_EXPECTS(config.products > 0 && config.raters > 0);
+  Rng rng(config.seed);
+  std::vector<rating::Rating> feed;
+  feed.reserve(config.ratings);
+  for (std::uint64_t i = 0; i < config.ratings; ++i) {
+    rating::Rating r;
+    r.time = config.days * static_cast<double>(i) /
+             static_cast<double>(std::max<std::uint64_t>(config.ratings, 1));
+    r.value = std::clamp(rng.gaussian(config.mean, config.sigma), 0.0, 5.0);
+    r.rater = RaterId(
+        rng.uniform_int(0, static_cast<std::int64_t>(config.raters) - 1));
+    r.product = ProductId(
+        rng.uniform_int(0, static_cast<std::int64_t>(config.products) - 1));
+    feed.push_back(r);
+  }
+  return feed;
+}
+
+LoadgenReport run_loadgen(const LoadgenConfig& config) {
+  RAB_EXPECTS(config.batch > 0 && config.connections > 0);
+  RAB_EXPECTS(config.server_shards > 0);
+  const std::vector<rating::Rating> feed = load_feed(config);
+
+  // Partition by server shard so every connection's subfeed — and hence
+  // every shard's arrival order — stays time-ordered (see file comment).
+  const std::size_t conns =
+      std::min<std::size_t>(config.connections,
+                            std::max<std::size_t>(config.server_shards, 1));
+  std::vector<std::vector<rating::Rating>> subfeeds(conns);
+  for (const rating::Rating& r : feed) {
+    const std::size_t shard =
+        shard_of(r.product.value(), config.server_shards);
+    subfeeds[shard % conns].push_back(r);
+  }
+
+  std::vector<ConnResult> results(conns);
+  const double pace =
+      config.rate > 0.0
+          ? static_cast<double>(conns) / config.rate
+          : 0.0;  // per-connection seconds per rating
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (std::size_t c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      run_connection(config, subfeeds[c], pace, results[c]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = seconds_since(start);
+
+  LoadgenReport report;
+  std::vector<double> latencies;
+  for (ConnResult& r : results) {
+    if (!r.error.empty()) {
+      throw IoError("loadgen: " + r.error);
+    }
+    report.sent += r.sent;
+    report.accepted += r.accepted;
+    report.frames += r.frames;
+    report.retries += r.retries;
+    latencies.insert(latencies.end(), r.latencies.begin(),
+                     r.latencies.end());
+  }
+  report.seconds = elapsed;
+  report.ratings_per_second =
+      elapsed > 0.0 ? static_cast<double>(report.sent) / elapsed : 0.0;
+
+  std::sort(latencies.begin(), latencies.end());
+  report.p50 = quantile(latencies, 0.50);
+  report.p90 = quantile(latencies, 0.90);
+  report.p99 = quantile(latencies, 0.99);
+  report.max = latencies.empty() ? 0.0 : latencies.back();
+  const std::span<const double> bounds =
+      util::metrics::latency_bounds_seconds();
+  report.bounds.assign(bounds.begin(), bounds.end());
+  report.buckets.assign(bounds.size() + 1, 0);
+  for (const double v : latencies) {
+    std::size_t b = 0;
+    while (b < report.bounds.size() && v > report.bounds[b]) ++b;
+    ++report.buckets[b];
+  }
+
+  if (config.drain_at_end) {
+    // Every rating above was acked before its connection closed, so the
+    // drain job lands behind all of them in every shard queue.
+    Client client(config.addr);
+    (void)client.drain();
+  }
+  return report;
+}
+
+std::string report_json(const LoadgenReport& report) {
+  std::string out = "{\"benchmark\":\"rab_loadgen\"";
+  out += ",\"ratings\":" + std::to_string(report.sent);
+  out += ",\"accepted\":" + std::to_string(report.accepted);
+  out += ",\"frames\":" + std::to_string(report.frames);
+  out += ",\"retries\":" + std::to_string(report.retries);
+  out += ",\"seconds\":" + fmt(report.seconds);
+  out += ",\"ratings_per_second\":" + fmt(report.ratings_per_second);
+  out += ",\"latency_seconds\":{\"p50\":" + fmt(report.p50) +
+         ",\"p90\":" + fmt(report.p90) + ",\"p99\":" + fmt(report.p99) +
+         ",\"max\":" + fmt(report.max) + ",\"le\":[";
+  for (std::size_t i = 0; i < report.bounds.size(); ++i) {
+    if (i > 0) out += ',';
+    out += fmt(report.bounds[i]);
+  }
+  out += "],\"counts\":[";
+  for (std::size_t i = 0; i < report.buckets.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(report.buckets[i]);
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace rab::net

@@ -1,0 +1,72 @@
+// `rab loadgen`: replay a synthetic (or CSV) rating feed against a
+// running `rab serve` and measure ingest latency.
+//
+// Per-shard ordering: the server's monitors require each shard's subfeed
+// in non-decreasing time order, so with C connections the generator
+// partitions products by their server shard — connection j owns every
+// shard s with s % C == j — and each connection streams its own
+// time-ordered subfeed. The union over connections is exactly the input
+// feed, so N-shard serving stays bit-identical to the offline sharded
+// reference regardless of connection interleaving.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "rating/rating.hpp"
+
+namespace rab::net {
+
+struct LoadgenConfig {
+  Addr addr;
+  /// CSV feed to replay; empty = generate a synthetic feed.
+  std::string data_csv;
+  // Synthetic feed shape (ignored when data_csv is set).
+  std::uint64_t ratings = 100000;
+  std::size_t products = 64;
+  std::size_t raters = 10000;
+  double days = 365.0;
+  double mean = 4.0;   ///< gaussian rating value mean
+  double sigma = 0.8;  ///< gaussian rating value sigma
+  std::uint64_t seed = 1;
+  // Replay shape.
+  double rate = 0.0;  ///< target ratings/second; 0 = as fast as possible
+  std::size_t batch = 512;
+  std::size_t connections = 1;
+  /// Shard count of the target server (for the product partitioning
+  /// above; must match the server's --shards for >1 connections).
+  std::size_t server_shards = 1;
+  std::size_t max_retries = 1000;
+  bool drain_at_end = false;  ///< send kDrain once every rating is acked
+};
+
+struct LoadgenReport {
+  std::uint64_t sent = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t retries = 0;
+  double seconds = 0.0;
+  double ratings_per_second = 0.0;
+  // Frame round-trip latency (send to kOk, retries included).
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  std::vector<double> bounds;          ///< histogram upper bounds (seconds)
+  std::vector<std::uint64_t> buckets;  ///< size bounds+1; last = overflow
+};
+
+/// Deterministic synthetic feed (time-ordered) for the given shape.
+[[nodiscard]] std::vector<rating::Rating> synthetic_feed(
+    const LoadgenConfig& config);
+
+/// Runs the load against `config.addr` and reports. Throws IoError when
+/// the server is unreachable or rejects the feed.
+LoadgenReport run_loadgen(const LoadgenConfig& config);
+
+/// One-line JSON report (the BENCH_serve.json payload).
+[[nodiscard]] std::string report_json(const LoadgenReport& report);
+
+}  // namespace rab::net

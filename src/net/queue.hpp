@@ -1,0 +1,108 @@
+// Bounded MPSC ingest queue for the shard workers.
+//
+// Producers are connection threads; the single consumer is the shard's
+// worker thread, which owns the shard's OnlineMonitor. Backpressure is
+// explicit and all-or-nothing per frame: a connection reserves one slot
+// on every shard a rating frame touches before pushing to any of them,
+// so a full shard rejects the whole frame (the client retries it
+// verbatim) and no shard ever sees a duplicate or a half-frame.
+//
+// Admin tasks (queries, drain) bypass the capacity check: they are
+// bounded by the connection limit, must not deadlock behind a full
+// ingest queue, and are processed in order behind the batches already
+// queued — which is exactly what a drain wants.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "rating/rating.hpp"
+
+namespace rab::net {
+
+/// One unit of shard work: either a rating batch or an admin job that
+/// runs on the worker thread with exclusive access to the shard state.
+struct ShardTask {
+  std::vector<rating::Rating> ratings;
+  std::function<void()> job;  ///< null for rating tasks
+};
+
+class BoundedTaskQueue {
+ public:
+  explicit BoundedTaskQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Reserves one rating-batch slot. False when the queue (queued +
+  /// reserved) is at capacity or closed — the caller cancels its other
+  /// reservations and answers the frame with kRetry.
+  [[nodiscard]] bool try_reserve() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || tasks_.size() + reserved_ >= capacity_) return false;
+    ++reserved_;
+    return true;
+  }
+
+  void cancel_reserved() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    --reserved_;
+  }
+
+  /// Converts a reservation into a queued batch.
+  void push_reserved(ShardTask task) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --reserved_;
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Enqueues an admin job regardless of capacity. False when the queue
+  /// is closed (server stopping); the job will never run.
+  [[nodiscard]] bool push_admin(ShardTask task) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Consumer side: blocks for the next task. False once the queue is
+  /// closed AND fully drained — tasks pushed before close() still run.
+  [[nodiscard]] bool pop(ShardTask& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !tasks_.empty(); });
+    if (tasks_.empty()) return false;
+    out = std::move(tasks_.front());
+    tasks_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ShardTask> tasks_;
+  std::size_t reserved_ = 0;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace rab::net

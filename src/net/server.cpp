@@ -1,0 +1,774 @@
+#include "net/server.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/queue.hpp"
+#include "net/wire.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/shutdown.hpp"
+
+namespace rab::net {
+
+namespace {
+
+/// Serving metrics (catalog: docs/METRICS.md).
+struct ServeMetrics {
+  util::metrics::Counter& connections =
+      util::metrics::counter("serve.connections");
+  util::metrics::Counter& frames = util::metrics::counter("serve.frames");
+  util::metrics::Counter& ratings = util::metrics::counter("serve.ratings");
+  util::metrics::Counter& rejected =
+      util::metrics::counter("serve.rejected");
+  util::metrics::Counter& retries = util::metrics::counter("serve.retries");
+  util::metrics::Counter& errors = util::metrics::counter("serve.errors");
+  util::metrics::Counter& drains = util::metrics::counter("serve.drains");
+  util::metrics::Gauge& queue_depth =
+      util::metrics::gauge("serve.queue.depth");
+  util::metrics::Histogram& ingest_seconds = util::metrics::histogram(
+      "serve.ingest.seconds", util::metrics::latency_bounds_seconds());
+
+  static ServeMetrics& get() {
+    static ServeMetrics m;
+    return m;
+  }
+};
+
+std::string fmt_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void json_escape_into(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+/// Buffered line reader for the JSONL fallback; lines are capped at the
+/// frame-payload limit so a newline-free firehose cannot balloon memory.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// False on EOF (or an over-long line, which is a protocol error the
+  /// caller treats as a disconnect). The returned line excludes '\n'.
+  bool next(std::string& line) {
+    line.clear();
+    for (;;) {
+      while (at_ < buf_.size()) {
+        const char c = buf_[at_++];
+        if (c == '\n') return true;
+        if (line.size() >= kMaxFramePayload) return false;
+        line.push_back(c);
+      }
+      char chunk[4096];
+      ssize_t n;
+      do {
+        n = ::read(fd_, chunk, sizeof chunk);
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) return false;  // EOF or dead peer: drop the connection
+      buf_.assign(chunk, static_cast<std::size_t>(n));
+      at_ = 0;
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+std::size_t shard_of(std::int64_t product, std::size_t shards) {
+  // splitmix64 finalizer: cheap, stable across platforms, and mixes the
+  // small dense product ids a real feed uses into all 64 bits.
+  auto x = static_cast<std::uint64_t>(product);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % shards);
+}
+
+std::string shard_dir(const std::string& root, std::size_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "/shard-%04zu", shard);
+  return root + buf;
+}
+
+struct Server::Impl {
+  struct Shard {
+    explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+
+    std::unique_ptr<detectors::OnlineMonitor> monitor;
+    BoundedTaskQueue queue;
+    std::thread thread;
+    // Worker-thread-owned tallies; read by queries *on* the worker.
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;   ///< InvalidArgument (order, ids, NaN)
+    std::uint64_t io_errors = 0;  ///< store/checkpoint environment failures
+  };
+
+  struct Conn {
+    Fd fd;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  explicit Impl(ServeConfig config) : config(std::move(config)) {}
+
+  ServeConfig config;
+  Fd listener;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::mutex conns_mu;
+  std::list<std::unique_ptr<Conn>> conns;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> drain_requested{false};
+  std::atomic<bool> draining{false};
+  std::atomic<bool> stopped{false};
+  std::once_flag drain_once;
+  std::string drain_error;  ///< first shard drain failure, for the exit code
+
+  void start();
+  void run();
+  void drain_all();
+
+  void worker_main(std::size_t index);
+  void connection_main(Conn& conn);
+  void binary_loop(Conn& conn);
+  void jsonl_loop(Conn& conn);
+  void reap_connections();
+  std::size_t live_connections();
+
+  Frame dispatch(FrameType type, std::string_view payload);
+  Frame handle_rate(std::string_view payload);
+  Frame handle_trust(std::int64_t rater);
+  Frame handle_alarms(std::uint64_t since);
+  Frame handle_stats();
+  Frame handle_series(std::int64_t product);
+  Frame handle_metrics();
+  Frame handle_drain();
+  Frame handle_ping();
+
+  /// Runs `fn` on shard `index`'s worker thread and waits for it; the
+  /// worker has exclusive monitor access, so this is the only correct
+  /// way to read shard state while the server is live. False when the
+  /// queue is already closed (server stopping).
+  bool run_on_shard(std::size_t index, const std::function<void()>& fn);
+};
+
+void Server::Impl::start() {
+  shards.reserve(config.shards);
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    detectors::OnlineConfig mc = config.monitor;
+    if (!mc.checkpoint_dir.empty()) {
+      mc.checkpoint_dir = shard_dir(mc.checkpoint_dir, i);
+    }
+    if (!mc.store_dir.empty()) mc.store_dir = shard_dir(mc.store_dir, i);
+    auto shard = std::make_unique<Shard>(config.queue_capacity);
+    shard->monitor = std::make_unique<detectors::OnlineMonitor>(mc);
+    if (!mc.store_dir.empty()) {
+      (void)shard->monitor->restore_from_store();
+    } else if (!mc.checkpoint_dir.empty()) {
+      (void)shard->monitor->restore_latest(mc.checkpoint_dir);
+    }
+    shards.push_back(std::move(shard));
+  }
+  listener = listen_on(config.listen, config.backlog);
+  if (!config.listen.is_unix && config.listen.port == 0) {
+    config.listen.port = local_port(listener.get());
+  }
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    shards[i]->thread = std::thread([this, i] { worker_main(i); });
+  }
+}
+
+void Server::Impl::run() {
+  while (!stop.load(std::memory_order_acquire)) {
+    if (util::shutdown_requested() || drain_requested.load()) break;
+    reap_connections();
+    if (!poll_readable(listener.get(), 100)) continue;
+    Fd fd = accept_on(listener.get());
+    if (!fd.valid()) continue;
+    ServeMetrics::get().connections.add();
+    if (live_connections() >= config.max_connections) {
+      try {
+        const std::string bytes = encode_frame(
+            {FrameType::kError, "busy: connection limit reached"});
+        write_all(fd.get(), bytes.data(), bytes.size());
+      } catch (const std::exception&) {
+        // The rejected peer vanished first; nothing to do.
+      }
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = std::move(fd);
+    Conn* raw = conn.get();
+    {
+      const std::lock_guard<std::mutex> lock(conns_mu);
+      conns.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { connection_main(*raw); });
+  }
+  drain_all();  // idempotent: a kDrain frame may already have drained
+  listener.reset();
+  {
+    const std::lock_guard<std::mutex> lock(conns_mu);
+    for (auto& c : conns) shutdown_fd(c->fd.get());
+  }
+  for (auto& c : conns) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+  conns.clear();
+  for (auto& s : shards) s->queue.close();
+  for (auto& s : shards) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  stopped.store(true, std::memory_order_release);
+  if (!drain_error.empty()) {
+    throw IoError("serve: drain failed: " + drain_error);
+  }
+}
+
+void Server::Impl::drain_all() {
+  std::call_once(drain_once, [&] {
+    draining.store(true);
+    ServeMetrics::get().drains.add();
+    // One drain job per shard, queued *behind* every rating batch already
+    // accepted — the queues run dry, then each monitor checkpoints its
+    // pre-flush state and analyzes its final partial epoch.
+    std::vector<std::future<void>> done;
+    done.reserve(shards.size());
+    for (auto& shard : shards) {
+      auto promise = std::make_shared<std::promise<void>>();
+      done.push_back(promise->get_future());
+      ShardTask task;
+      task.job = [&monitor = *shard->monitor, promise] {
+        try {
+          monitor.drain();
+          promise->set_value();
+        } catch (...) {
+          promise->set_exception(std::current_exception());
+        }
+      };
+      if (!shard->queue.push_admin(std::move(task))) promise->set_value();
+    }
+    for (auto& f : done) {
+      try {
+        f.get();
+      } catch (const std::exception& e) {
+        if (drain_error.empty()) drain_error = e.what();
+      }
+    }
+  });
+}
+
+void Server::Impl::worker_main(std::size_t index) {
+  Shard& shard = *shards[index];
+  ServeMetrics& metrics = ServeMetrics::get();
+  ShardTask task;
+  while (shard.queue.pop(task)) {
+    if (task.job) {
+      task.job();
+      continue;
+    }
+    const util::metrics::ScopedTimer timer(metrics.ingest_seconds);
+    std::uint64_t accepted = 0;
+    for (const rating::Rating& r : task.ratings) {
+      try {
+        shard.monitor->ingest(r);
+        ++accepted;
+      } catch (const InvalidArgument&) {
+        // Out-of-order or malformed rating: reject it, keep the shard
+        // serving. The count is visible via kStats and serve.rejected.
+        ++shard.rejected;
+        metrics.rejected.add();
+      } catch (const Error& e) {
+        // Store/checkpoint environment failure: degraded durability
+        // beats a dead daemon. Reported once, counted always.
+        ++shard.io_errors;
+        if (shard.io_errors == 1) {
+          std::fprintf(stderr, "rab serve: shard %zu: %s\n", index,
+                       e.what());
+        }
+      }
+    }
+    shard.accepted += accepted;
+    metrics.ratings.add(accepted);
+    metrics.queue_depth.add(-1.0);
+  }
+}
+
+void Server::Impl::reap_connections() {
+  const std::lock_guard<std::mutex> lock(conns_mu);
+  for (auto it = conns.begin(); it != conns.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t Server::Impl::live_connections() {
+  const std::lock_guard<std::mutex> lock(conns_mu);
+  return conns.size();
+}
+
+void Server::Impl::connection_main(Conn& conn) {
+  try {
+    // Sniff the protocol without consuming: a '{' first byte selects the
+    // JSONL fallback, anything else the binary framing.
+    char first = 0;
+    ssize_t n;
+    do {
+      n = ::recv(conn.fd.get(), &first, 1, MSG_PEEK);
+    } while (n < 0 && errno == EINTR);
+    if (n > 0) {
+      if (first == '{') {
+        jsonl_loop(conn);
+      } else {
+        binary_loop(conn);
+      }
+    }
+  } catch (const std::exception&) {
+    // A dead peer (EPIPE on reply, reset mid-read) only costs its own
+    // connection; the daemon keeps serving.
+    ServeMetrics::get().errors.add();
+  }
+  conn.done.store(true, std::memory_order_release);
+}
+
+void Server::Impl::binary_loop(Conn& conn) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  const int fd = conn.fd.get();
+  for (;;) {
+    char header[kFrameHeaderBytes];
+    const ReadStatus hs = read_exact(fd, header, sizeof header);
+    if (hs == ReadStatus::kEof) return;  // clean close
+    if (hs == ReadStatus::kShort) {
+      metrics.errors.add();  // disconnect inside a header
+      return;
+    }
+    FrameHeader h;
+    try {
+      h = decode_frame_header(
+          std::span<const char, kFrameHeaderBytes>(header), true);
+    } catch (const InvalidArgument& e) {
+      // Unknown type / bad flags / oversized length: the stream offset
+      // can no longer be trusted, so answer and close this connection.
+      metrics.errors.add();
+      const std::string bytes =
+          encode_frame({FrameType::kError, e.what()});
+      write_all(fd, bytes.data(), bytes.size());
+      return;
+    }
+    std::string payload(h.length, '\0');
+    if (h.length > 0 &&
+        read_exact(fd, payload.data(), h.length) != ReadStatus::kOk) {
+      metrics.errors.add();  // mid-frame disconnect
+      return;
+    }
+    metrics.frames.add();
+    const auto type = static_cast<FrameType>(h.type);
+    const Frame reply = dispatch(type, payload);
+    const std::string bytes = encode_frame(reply);
+    write_all(fd, bytes.data(), bytes.size());
+    if (type == FrameType::kDrain && reply.type != FrameType::kError) {
+      // Drained and acknowledged: stop the accept loop, close this
+      // connection from our side.
+      stop.store(true, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+void Server::Impl::jsonl_loop(Conn& conn) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  const int fd = conn.fd.get();
+  LineReader reader(fd);
+  std::string line;
+  while (reader.next(line)) {
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    Frame reply;
+    FrameType requested = FrameType::kPing;
+    try {
+      const JsonRequest request = parse_json_request(line);
+      const Frame frame = to_frame(request);
+      requested = frame.type;
+      metrics.frames.add();
+      reply = dispatch(frame.type, frame.payload);
+    } catch (const InvalidArgument& e) {
+      metrics.errors.add();
+      reply = {FrameType::kError, e.what()};
+    }
+    // Render the reply as one JSON line, mirroring the request mode.
+    std::string out;
+    switch (reply.type) {
+      case FrameType::kOk:
+        out = "{\"type\":\"ok\",\"accepted\":" +
+              std::to_string(decode_u64_payload(reply.payload)) + "}";
+        break;
+      case FrameType::kRetry:
+        out = "{\"type\":\"retry\",\"after\":" +
+              fmt_double(decode_f64_payload(reply.payload)) + "}";
+        break;
+      case FrameType::kError:
+        out = "{\"type\":\"error\",\"message\":\"";
+        json_escape_into(out, reply.payload);
+        out += "\"}";
+        break;
+      case FrameType::kText:
+        out = "{\"type\":\"text\",\"body\":\"";
+        json_escape_into(out, reply.payload);
+        out += "\"}";
+        break;
+      default:
+        out = reply.payload;  // kJson is already one JSON object
+    }
+    out.push_back('\n');
+    write_all(fd, out.data(), out.size());
+    if (requested == FrameType::kDrain && reply.type != FrameType::kError) {
+      stop.store(true, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+Frame Server::Impl::dispatch(FrameType type, std::string_view payload) {
+  try {
+    switch (type) {
+      case FrameType::kRate:
+        return handle_rate(payload);
+      case FrameType::kTrust:
+        return handle_trust(decode_i64_payload(payload));
+      case FrameType::kAlarms:
+        return handle_alarms(decode_u64_payload(payload));
+      case FrameType::kStats:
+        return handle_stats();
+      case FrameType::kSeries:
+        return handle_series(decode_i64_payload(payload));
+      case FrameType::kMetrics:
+        return handle_metrics();
+      case FrameType::kDrain:
+        return handle_drain();
+      case FrameType::kPing:
+        return handle_ping();
+      default:
+        break;
+    }
+  } catch (const InvalidArgument& e) {
+    ServeMetrics::get().errors.add();
+    return {FrameType::kError, e.what()};
+  }
+  ServeMetrics::get().errors.add();
+  return {FrameType::kError, "unhandled frame type"};
+}
+
+Frame Server::Impl::handle_rate(std::string_view payload) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  std::vector<rating::Rating> batch = decode_rate_payload(payload);
+  if (draining.load()) {
+    metrics.errors.add();
+    return {FrameType::kError, "draining: no longer accepting ratings"};
+  }
+  if (batch.empty()) return {FrameType::kOk, encode_u64_payload(0)};
+
+  // Split by shard, preserving arrival order within each shard.
+  std::vector<std::vector<rating::Rating>> parts(shards.size());
+  for (const rating::Rating& r : batch) {
+    parts[shard_of(r.product.value(), shards.size())].push_back(r);
+  }
+  std::vector<std::size_t> involved;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (!parts[i].empty()) involved.push_back(i);
+  }
+  // All-or-nothing reservation: either every involved shard has room and
+  // the whole frame is queued, or no shard gets any of it and the client
+  // retries the frame verbatim — a partial enqueue plus a retry would
+  // ingest the already-queued shards' ratings twice.
+  std::size_t reserved = 0;
+  for (const std::size_t idx : involved) {
+    if (!shards[idx]->queue.try_reserve()) break;
+    ++reserved;
+  }
+  if (reserved < involved.size()) {
+    for (std::size_t j = 0; j < reserved; ++j) {
+      shards[involved[j]]->queue.cancel_reserved();
+    }
+    metrics.retries.add();
+    return {FrameType::kRetry, encode_f64_payload(config.retry_after)};
+  }
+  for (const std::size_t idx : involved) {
+    ShardTask task;
+    task.ratings = std::move(parts[idx]);
+    shards[idx]->queue.push_reserved(std::move(task));
+    metrics.queue_depth.add(1.0);
+  }
+  return {FrameType::kOk, encode_u64_payload(batch.size())};
+}
+
+bool Server::Impl::run_on_shard(std::size_t index,
+                                const std::function<void()>& fn) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> future = promise->get_future();
+  ShardTask task;
+  task.job = [promise, fn] {
+    try {
+      fn();
+      promise->set_value();
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  };
+  if (!shards[index]->queue.push_admin(std::move(task))) return false;
+  future.get();
+  return true;
+}
+
+Frame Server::Impl::handle_trust(std::int64_t rater) {
+  if (rater < 0) {
+    return {FrameType::kError, "trust: rater id must be non-negative"};
+  }
+  std::string out = "{\"type\":\"trust\",\"rater\":" + std::to_string(rater) +
+                    ",\"shards\":[";
+  double min_trust = 1.0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    double value = 0.5;
+    bool known = false;
+    const bool ok = run_on_shard(s, [&] {
+      const trust::TrustManager& trust = shards[s]->monitor->trust();
+      value = trust.trust(RaterId(rater));
+      known = trust.successes(RaterId(rater)) > 0.0 ||
+              trust.failures(RaterId(rater)) > 0.0;
+    });
+    if (!ok) return {FrameType::kError, "server is stopping"};
+    if (s > 0) out += ',';
+    out += "{\"shard\":" + std::to_string(s) +
+           ",\"trust\":" + fmt_double(value) +
+           ",\"known\":" + (known ? "true" : "false") + "}";
+    if (value < min_trust) min_trust = value;
+  }
+  // The conservative cross-shard view: an attacker flagged by any shard
+  // is flagged here.
+  out += "],\"min\":" + fmt_double(min_trust) + "}";
+  return {FrameType::kJson, out};
+}
+
+Frame Server::Impl::handle_alarms(std::uint64_t since) {
+  std::string items;
+  std::string next = "[";
+  std::size_t emitted = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    std::vector<detectors::Alarm> alarms;
+    std::size_t total = 0;
+    const bool ok = run_on_shard(s, [&] {
+      const auto& all = shards[s]->monitor->alarms();
+      total = all.size();
+      for (std::size_t i = since; i < all.size(); ++i) {
+        alarms.push_back(all[i]);
+      }
+    });
+    if (!ok) return {FrameType::kError, "server is stopping"};
+    for (const detectors::Alarm& a : alarms) {
+      if (emitted++ > 0) items += ',';
+      items += "{\"shard\":" + std::to_string(s) +
+               ",\"product\":" + std::to_string(a.product.value()) +
+               ",\"begin\":" + fmt_double(a.interval.begin) +
+               ",\"end\":" + fmt_double(a.interval.end) +
+               ",\"raised_at\":" + fmt_double(a.raised_at) +
+               ",\"marked\":" + std::to_string(a.marked_ratings) + "}";
+    }
+    next += (s > 0 ? "," : "") + std::to_string(total);
+  }
+  next += ']';
+  return {FrameType::kJson, "{\"type\":\"alarms\",\"since\":" +
+                                std::to_string(since) + ",\"alarms\":[" +
+                                items + "],\"next_since\":" + next + "}"};
+}
+
+Frame Server::Impl::handle_stats() {
+  std::string out = "{\"type\":\"stats\",\"shards\":[";
+  std::uint64_t total_ingested = 0;
+  std::uint64_t total_alarms = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    std::size_t ingested = 0;
+    std::size_t resident = 0;
+    std::size_t compacted = 0;
+    std::size_t epochs = 0;
+    std::size_t alarms = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t io_errors = 0;
+    const bool ok = run_on_shard(s, [&] {
+      const detectors::OnlineMonitor& m = *shards[s]->monitor;
+      ingested = m.ingested();
+      resident = m.resident_ratings();
+      compacted = m.compacted_ratings();
+      epochs = m.epoch_stats().size();
+      alarms = m.alarms().size();
+      accepted = shards[s]->accepted;
+      rejected = shards[s]->rejected;
+      io_errors = shards[s]->io_errors;
+    });
+    if (!ok) return {FrameType::kError, "server is stopping"};
+    if (s > 0) out += ',';
+    out += "{\"shard\":" + std::to_string(s) +
+           ",\"ingested\":" + std::to_string(ingested) +
+           ",\"resident\":" + std::to_string(resident) +
+           ",\"compacted\":" + std::to_string(compacted) +
+           ",\"epochs\":" + std::to_string(epochs) +
+           ",\"alarms\":" + std::to_string(alarms) +
+           ",\"accepted\":" + std::to_string(accepted) +
+           ",\"rejected\":" + std::to_string(rejected) +
+           ",\"io_errors\":" + std::to_string(io_errors) +
+           ",\"queue\":" + std::to_string(shards[s]->queue.depth()) + "}";
+    total_ingested += ingested;
+    total_alarms += alarms;
+  }
+  out += "],\"ingested\":" + std::to_string(total_ingested) +
+         ",\"alarms\":" + std::to_string(total_alarms) + "}";
+  return {FrameType::kJson, out};
+}
+
+Frame Server::Impl::handle_series(std::int64_t product) {
+  if (product < 0) {
+    return {FrameType::kError, "series: product id must be non-negative"};
+  }
+  const std::size_t s = shard_of(product, shards.size());
+  std::optional<detectors::OnlineMonitor::ProductSummary> summary;
+  std::vector<detectors::Alarm> alarms;
+  const bool ok = run_on_shard(s, [&] {
+    const detectors::OnlineMonitor& m = *shards[s]->monitor;
+    summary = m.product_summary(ProductId(product));
+    for (const detectors::Alarm& a : m.alarms()) {
+      if (a.product.value() == product) alarms.push_back(a);
+    }
+  });
+  if (!ok) return {FrameType::kError, "server is stopping"};
+  std::string out = "{\"type\":\"series\",\"product\":" +
+                    std::to_string(product) +
+                    ",\"shard\":" + std::to_string(s) + ",\"found\":" +
+                    (summary.has_value() ? "true" : "false");
+  if (summary) {
+    out += ",\"resident\":" + std::to_string(summary->resident) +
+           ",\"dropped\":" + std::to_string(summary->dropped_rows) +
+           ",\"marks\":" + std::to_string(summary->marks) +
+           ",\"begin\":" + fmt_double(summary->span.begin) +
+           ",\"end\":" + fmt_double(summary->span.end);
+  }
+  out += ",\"alarms\":[";
+  for (std::size_t i = 0; i < alarms.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"begin\":" + fmt_double(alarms[i].interval.begin) +
+           ",\"end\":" + fmt_double(alarms[i].interval.end) +
+           ",\"raised_at\":" + fmt_double(alarms[i].raised_at) +
+           ",\"marked\":" + std::to_string(alarms[i].marked_ratings) + "}";
+  }
+  out += "]}";
+  return {FrameType::kJson, out};
+}
+
+Frame Server::Impl::handle_metrics() {
+  std::ostringstream out;
+  util::metrics::write_prometheus(out, util::metrics::scrape());
+  return {FrameType::kText, out.str()};
+}
+
+Frame Server::Impl::handle_drain() {
+  drain_all();
+  if (!drain_error.empty()) {
+    return {FrameType::kError, "drain failed: " + drain_error};
+  }
+  std::uint64_t ingested = 0;
+  std::uint64_t alarms = 0;
+  for (auto& shard : shards) {
+    // Workers are idle after the drain barrier; these reads race with
+    // nothing.
+    ingested += shard->monitor->ingested();
+    alarms += shard->monitor->alarms().size();
+  }
+  return {FrameType::kJson,
+          "{\"type\":\"drained\",\"shards\":" +
+              std::to_string(shards.size()) +
+              ",\"ingested\":" + std::to_string(ingested) +
+              ",\"alarms\":" + std::to_string(alarms) + "}"};
+}
+
+Frame Server::Impl::handle_ping() {
+  return {FrameType::kJson, "{\"type\":\"pong\",\"shards\":" +
+                                std::to_string(shards.size()) + "}"};
+}
+
+Server::Server(ServeConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {
+  if (impl_->config.shards == 0) {
+    throw InvalidArgument("serve: shard count must be at least 1");
+  }
+  if (impl_->config.queue_capacity == 0) {
+    throw InvalidArgument("serve: queue capacity must be at least 1");
+  }
+}
+
+Server::~Server() {
+  // A server destroyed without run() (or whose start() threw) still owns
+  // live worker threads; shut them down without draining monitors.
+  if (!impl_) return;
+  for (auto& s : impl_->shards) s->queue.close();
+  for (auto& s : impl_->shards) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->conns_mu);
+    for (auto& c : impl_->conns) shutdown_fd(c->fd.get());
+  }
+  for (auto& c : impl_->conns) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+}
+
+void Server::start() { impl_->start(); }
+void Server::run() { impl_->run(); }
+void Server::request_drain() { impl_->drain_requested.store(true); }
+const Addr& Server::addr() const { return impl_->config.listen; }
+std::size_t Server::shards() const { return impl_->shards.size(); }
+
+const detectors::OnlineMonitor& Server::monitor(std::size_t shard) const {
+  RAB_EXPECTS(impl_->stopped.load(std::memory_order_acquire));
+  RAB_EXPECTS(shard < impl_->shards.size());
+  return *impl_->shards[shard]->monitor;
+}
+
+}  // namespace rab::net

@@ -1,0 +1,96 @@
+// `rab serve`: sharded streaming ingest daemon over the online monitor.
+//
+// Architecture: products are hash-sharded across N worker threads, each
+// owning a private OnlineMonitor (detector bank + IntegrationCache +
+// optional per-shard checkpoint/store directories under the configured
+// roots). Connection threads parse frames and enqueue rating batches on
+// bounded per-shard queues — a full shard answers kRetry (explicit
+// backpressure) instead of buffering unboundedly. Queries run as admin
+// jobs on the owning worker thread, so the monitor is only ever touched
+// from one thread and needs no locks.
+//
+// Sharding semantics: trust and alarms are shard-local. A 1-shard server
+// is bit-identical to the offline `rab monitor` over the same feed; an
+// N-shard server is bit-identical to N offline monitors over the
+// hash-partitioned subfeeds (tests/test_net.cpp asserts both). Each
+// shard requires its subfeed in non-decreasing time order; out-of-order
+// ratings are rejected and counted, never ingested.
+//
+// Drain (SIGINT/SIGTERM, kDrain frame, or request_drain()): stop
+// accepting rating work, let every queue run dry, then run
+// OnlineMonitor::drain() on each shard — pre-flush checkpoint, final
+// partial-epoch analysis, store sync — so a restart from the checkpoints
+// is bit-identical to a run that never stopped.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "detectors/online_monitor.hpp"
+#include "net/socket.hpp"
+
+namespace rab::net {
+
+struct ServeConfig {
+  Addr listen;
+  std::size_t shards = 1;
+  /// Rating batches a shard queue holds before kRetry backpressure.
+  std::size_t queue_capacity = 128;
+  std::size_t max_connections = 64;
+  int backlog = 64;  ///< listen(2) backlog (RAB_SERVE_BACKLOG at the CLI)
+  /// Suggested client delay (seconds) carried by kRetry replies.
+  double retry_after = 0.05;
+  /// Per-shard monitor template. checkpoint_dir and store_dir are
+  /// treated as *roots*: shard i uses "<root>/shard-NNNN".
+  detectors::OnlineConfig monitor;
+};
+
+/// Stable product-to-shard hash (splitmix64 finalizer). Shared by the
+/// server, the load generator's connection partitioning, and the
+/// offline sharded reference in tests.
+[[nodiscard]] std::size_t shard_of(std::int64_t product, std::size_t shards);
+
+/// Per-shard directory under a checkpoint/store root ("<root>/shard-0007").
+[[nodiscard]] std::string shard_dir(const std::string& root,
+                                    std::size_t shard);
+
+class Server {
+ public:
+  explicit Server(ServeConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener, builds the per-shard monitors (restoring from
+  /// their store/checkpoint directories when configured), and spawns the
+  /// shard workers. Throws IoError when the address cannot be bound.
+  void start();
+
+  /// Accept loop; blocks until a drain completes (signal, kDrain frame,
+  /// or request_drain()), then joins every connection and worker. After
+  /// run() returns the shard monitors are quiescent and inspectable.
+  /// Rethrows a shard's drain-time environment failure as IoError after
+  /// cleanup finishes.
+  void run();
+
+  /// Asynchronously asks the accept loop to drain and stop (test/API
+  /// equivalent of SIGTERM). Safe from any thread.
+  void request_drain();
+
+  /// Listen address; for TCP port 0 the actual bound port after start().
+  [[nodiscard]] const Addr& addr() const;
+
+  [[nodiscard]] std::size_t shards() const;
+
+  /// Shard monitor inspection; only valid after run() has returned.
+  [[nodiscard]] const detectors::OnlineMonitor& monitor(
+      std::size_t shard) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rab::net

@@ -1,0 +1,227 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace rab::net {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what) {
+  throw IoError("net: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(sa.sun_path)) {
+    throw InvalidArgument("net: unix socket path empty or longer than " +
+                          std::to_string(sizeof(sa.sun_path) - 1) +
+                          " bytes: '" + path + "'");
+  }
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return sa;
+}
+
+sockaddr_in tcp_addr(const Addr& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  if (addr.host.empty() || addr.host == "*") {
+    sa.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+    // Resolve a hostname (e.g. "localhost") via getaddrinfo.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (getaddrinfo(addr.host.c_str(), nullptr, &hints, &res) != 0 ||
+        res == nullptr) {
+      throw IoError("net: cannot resolve host '" + addr.host + "'");
+    }
+    sa.sin_addr =
+        reinterpret_cast<const sockaddr_in*>(res->ai_addr)->sin_addr;
+    freeaddrinfo(res);
+  }
+  return sa;
+}
+
+}  // namespace
+
+Addr Addr::parse(const std::string& text) {
+  Addr addr;
+  if (text.rfind("unix:", 0) == 0) {
+    addr.is_unix = true;
+    addr.host = text.substr(5);
+    if (addr.host.empty()) {
+      throw InvalidArgument("net: empty unix socket path in '" + text +
+                            "'");
+    }
+    return addr;
+  }
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon + 1 == text.size()) {
+    throw InvalidArgument(
+        "net: address must be host:port or unix:/path, got '" + text +
+        "'");
+  }
+  addr.host = text.substr(0, colon);
+  addr.port = static_cast<std::uint16_t>(
+      util::parse_u64_in(text.substr(colon + 1), "port", 1, 65535));
+  return addr;
+}
+
+std::string Addr::to_string() const {
+  return is_unix ? "unix:" + host : host + ":" + std::to_string(port);
+}
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_on(const Addr& addr, int backlog) {
+  Fd fd(::socket(addr.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) io_fail("socket");
+  if (addr.is_unix) {
+    ::unlink(addr.host.c_str());  // stale path from a previous run
+    const sockaddr_un sa = unix_addr(addr.host);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa),
+               sizeof(sa)) != 0) {
+      io_fail("bind " + addr.to_string());
+    }
+  } else {
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in sa = tcp_addr(addr);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa),
+               sizeof(sa)) != 0) {
+      io_fail("bind " + addr.to_string());
+    }
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    io_fail("listen " + addr.to_string());
+  }
+  return fd;
+}
+
+Fd connect_to(const Addr& addr) {
+  Fd fd(::socket(addr.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) io_fail("socket");
+  int rc;
+  if (addr.is_unix) {
+    const sockaddr_un sa = unix_addr(addr.host);
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa),
+                     sizeof(sa));
+    } while (rc != 0 && errno == EINTR);
+  } else {
+    const sockaddr_in sa = tcp_addr(addr);
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa),
+                     sizeof(sa));
+    } while (rc != 0 && errno == EINTR);
+  }
+  if (rc != 0) io_fail("connect " + addr.to_string());
+  if (!addr.is_unix) {
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+Fd accept_on(int listener) {
+  const int fd = ::accept(listener, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return Fd();
+    }
+    io_fail("accept");
+  }
+  return Fd(fd);
+}
+
+bool poll_readable(int fd, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  const int rc = ::poll(&p, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return false;
+    io_fail("poll");
+  }
+  return rc > 0;
+}
+
+ReadStatus read_exact(int fd, void* buf, std::size_t size) {
+  auto* out = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, out + got, size - got);
+    if (n == 0) return got == 0 ? ReadStatus::kEof : ReadStatus::kShort;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A peer that vanished mid-frame is a truncated frame, not a
+      // server-side environment failure.
+      if (errno == ECONNRESET) {
+        return got == 0 ? ReadStatus::kEof : ReadStatus::kShort;
+      }
+      io_fail("read");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return ReadStatus::kOk;
+}
+
+void write_all(int fd, const void* buf, std::size_t size) {
+  const auto* in = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, in + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void shutdown_fd(int fd) { ::shutdown(fd, SHUT_RDWR); }
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    io_fail("getsockname");
+  }
+  return ntohs(sa.sin_port);
+}
+
+}  // namespace rab::net

@@ -1,0 +1,84 @@
+// Minimal POSIX socket layer for the serving subsystem.
+//
+// Blocking sockets with EINTR-aware exact reads/writes are all the wire
+// protocol needs; scalability comes from sharding the analysis work, not
+// from an async reactor. Listeners are polled with a timeout so the
+// accept loop can observe the shutdown flag (the handlers are installed
+// without SA_RESTART, see util/shutdown.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rab::net {
+
+/// Endpoint address: "host:port" for TCP or "unix:/path" for a local
+/// stream socket.
+struct Addr {
+  bool is_unix = false;
+  std::string host;  ///< TCP host, or the socket path for unix
+  std::uint16_t port = 0;
+
+  /// Parses "host:port" or "unix:/path". Throws InvalidArgument on a
+  /// malformed address (missing port, port out of range, empty path).
+  static Addr parse(const std::string& text);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Owning file descriptor; closes on destruction. Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `addr` (unlinking a stale unix-socket path
+/// first). Throws IoError on failure. `backlog` caps the pending-accept
+/// queue (the RAB_SERVE_BACKLOG env knob at the CLI).
+Fd listen_on(const Addr& addr, int backlog);
+
+/// Connects to `addr`. Throws IoError when the endpoint is unreachable.
+Fd connect_to(const Addr& addr);
+
+/// Accepts one connection; returns an invalid Fd on EINTR/timeout-free
+/// transient errors so the caller can re-check its stop flag.
+Fd accept_on(int listener);
+
+/// Polls `fd` for readability. Returns true when readable, false on
+/// timeout or EINTR (callers re-check their stop flag).
+bool poll_readable(int fd, int timeout_ms);
+
+/// Outcome of read_exact: a clean EOF before the first byte is a normal
+/// peer close; an EOF mid-buffer is a truncated frame.
+enum class ReadStatus { kOk, kEof, kShort };
+
+/// Reads exactly `size` bytes, retrying on EINTR and short reads.
+/// Throws IoError on a socket error.
+ReadStatus read_exact(int fd, void* buf, std::size_t size);
+
+/// Writes all `size` bytes, retrying on EINTR. Throws IoError on error
+/// (EPIPE included — install ignore_sigpipe() so it surfaces here).
+void write_all(int fd, const void* buf, std::size_t size);
+
+/// shutdown(2) both directions; wakes a peer thread blocked in read.
+void shutdown_fd(int fd);
+
+/// Local TCP port of a bound socket (resolves port 0 after bind).
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+}  // namespace rab::net

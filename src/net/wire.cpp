@@ -1,0 +1,363 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace rab::net {
+
+namespace {
+
+// Little-endian scalar append/read. The serving hosts are little-endian;
+// the explicit byte order is a contract for the wire, not a hot path.
+template <typename T>
+void put(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  if constexpr (std::endian::native == std::endian::big) {
+    for (std::size_t i = sizeof(T); i > 0; --i) out.push_back(bytes[i - 1]);
+  } else {
+    out.append(bytes, sizeof(T));
+  }
+}
+
+template <typename T>
+T get(std::string_view payload, std::size_t offset) {
+  if (offset + sizeof(T) > payload.size()) {
+    throw InvalidArgument("wire: truncated payload (wanted " +
+                          std::to_string(offset + sizeof(T)) +
+                          " bytes, have " +
+                          std::to_string(payload.size()) + ")");
+  }
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, payload.data() + offset, sizeof(T));
+  if constexpr (std::endian::native == std::endian::big) {
+    for (std::size_t i = 0; i < sizeof(T) / 2; ++i) {
+      std::swap(bytes[i], bytes[sizeof(T) - 1 - i]);
+    }
+  }
+  T value;
+  std::memcpy(&value, bytes, sizeof(T));
+  return value;
+}
+
+template <typename T>
+T take_all(std::string_view payload) {
+  if (payload.size() != sizeof(T)) {
+    throw InvalidArgument("wire: payload must be exactly " +
+                          std::to_string(sizeof(T)) + " bytes, got " +
+                          std::to_string(payload.size()));
+  }
+  return get<T>(payload, 0);
+}
+
+constexpr std::size_t kRateRecordBytes = 8 + 8 + 8 + 8 + 1;
+
+}  // namespace
+
+bool is_request_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kRate) &&
+         type <= static_cast<std::uint8_t>(FrameType::kPing);
+}
+
+bool is_reply_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kOk) &&
+         type <= static_cast<std::uint8_t>(FrameType::kText);
+}
+
+std::string encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    throw InvalidArgument("wire: payload of " +
+                          std::to_string(frame.payload.size()) +
+                          " bytes exceeds the frame limit");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(frame.type));
+  put<std::uint8_t>(out, 0);   // flags
+  put<std::uint16_t>(out, 0);  // reserved
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+FrameHeader decode_frame_header(
+    std::span<const char, kFrameHeaderBytes> header, bool expect_request) {
+  const std::string_view view(header.data(), header.size());
+  FrameHeader h;
+  h.type = static_cast<std::uint8_t>(get<std::uint8_t>(view, 0));
+  const auto flags = get<std::uint8_t>(view, 1);
+  const auto reserved = get<std::uint16_t>(view, 2);
+  h.length = get<std::uint32_t>(view, 4);
+  const bool known =
+      expect_request ? is_request_type(h.type) : is_reply_type(h.type);
+  if (!known) {
+    throw InvalidArgument("wire: unknown frame type " +
+                          std::to_string(h.type));
+  }
+  if (flags != 0 || reserved != 0) {
+    throw InvalidArgument("wire: nonzero flags/reserved header bytes");
+  }
+  if (h.length > kMaxFramePayload) {
+    throw InvalidArgument("wire: advertised payload of " +
+                          std::to_string(h.length) +
+                          " bytes exceeds the frame limit");
+  }
+  return h;
+}
+
+std::string encode_rate_payload(std::span<const rating::Rating> batch) {
+  if (batch.size() > kMaxBatchRatings) {
+    throw InvalidArgument("wire: batch of " +
+                          std::to_string(batch.size()) +
+                          " ratings exceeds the per-frame limit of " +
+                          std::to_string(kMaxBatchRatings));
+  }
+  std::string out;
+  out.reserve(4 + batch.size() * kRateRecordBytes);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(batch.size()));
+  for (const rating::Rating& r : batch) {
+    put<std::uint64_t>(out, std::bit_cast<std::uint64_t>(r.time));
+    put<std::uint64_t>(out, std::bit_cast<std::uint64_t>(r.value));
+    put<std::int64_t>(out, r.rater.value());
+    put<std::int64_t>(out, r.product.value());
+    put<std::uint8_t>(out, r.unfair ? 1 : 0);
+  }
+  return out;
+}
+
+std::vector<rating::Rating> decode_rate_payload(std::string_view payload) {
+  const auto count = get<std::uint32_t>(payload, 0);
+  if (count > kMaxBatchRatings) {
+    throw InvalidArgument("wire: batch count " + std::to_string(count) +
+                          " exceeds the per-frame limit");
+  }
+  if (payload.size() != 4 + count * kRateRecordBytes) {
+    throw InvalidArgument(
+        "wire: rate payload size " + std::to_string(payload.size()) +
+        " disagrees with its count of " + std::to_string(count));
+  }
+  std::vector<rating::Rating> batch;
+  batch.reserve(count);
+  std::size_t at = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    rating::Rating r;
+    r.time = std::bit_cast<double>(get<std::uint64_t>(payload, at));
+    r.value = std::bit_cast<double>(get<std::uint64_t>(payload, at + 8));
+    r.rater = RaterId(get<std::int64_t>(payload, at + 16));
+    r.product = ProductId(get<std::int64_t>(payload, at + 24));
+    r.unfair = get<std::uint8_t>(payload, at + 32) != 0;
+    at += kRateRecordBytes;
+    batch.push_back(r);
+  }
+  return batch;
+}
+
+std::string encode_u64_payload(std::uint64_t value) {
+  std::string out;
+  put<std::uint64_t>(out, value);
+  return out;
+}
+
+std::uint64_t decode_u64_payload(std::string_view payload) {
+  return take_all<std::uint64_t>(payload);
+}
+
+std::string encode_i64_payload(std::int64_t value) {
+  std::string out;
+  put<std::int64_t>(out, value);
+  return out;
+}
+
+std::int64_t decode_i64_payload(std::string_view payload) {
+  return take_all<std::int64_t>(payload);
+}
+
+std::string encode_f64_payload(double value) {
+  std::string out;
+  put<std::uint64_t>(out, std::bit_cast<std::uint64_t>(value));
+  return out;
+}
+
+double decode_f64_payload(std::string_view payload) {
+  return std::bit_cast<double>(take_all<std::uint64_t>(payload));
+}
+
+// --- JSONL fallback --------------------------------------------------------
+
+namespace {
+
+/// Tiny recursive-descent parser for the restricted JSONL request
+/// grammar (flat object, string values without escapes, numbers, and
+/// number-array-of-arrays). Anything outside it is InvalidArgument.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  void ws() {
+    while (at_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at_]))) {
+      ++at_;
+    }
+  }
+
+  bool eat(char c) {
+    ws();
+    if (at_ < text_.size() && text_[at_] == c) {
+      ++at_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) {
+      throw InvalidArgument(std::string("wire: expected '") + c +
+                            "' in JSONL request at offset " +
+                            std::to_string(at_));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (at_ < text_.size() && text_[at_] != '"') {
+      const char c = text_[at_++];
+      if (c == '\\') {
+        throw InvalidArgument(
+            "wire: escape sequences are not part of the JSONL request "
+            "grammar");
+      }
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+
+  double number() {
+    ws();
+    std::size_t end = at_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    const double value = util::parse_double(
+        text_.substr(at_, end - at_), "JSONL number");
+    at_ = end;
+    return value;
+  }
+
+  [[nodiscard]] bool done() {
+    ws();
+    return at_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t at_ = 0;
+};
+
+std::int64_t as_id(double value, const char* what) {
+  if (value < 0 || value != std::floor(value) ||
+      value > 9.2e18) {
+    throw InvalidArgument(std::string("wire: ") + what +
+                          " must be a non-negative integer");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+}  // namespace
+
+JsonRequest parse_json_request(std::string_view line) {
+  JsonCursor c(line);
+  JsonRequest request;
+  c.expect('{');
+  if (!c.eat('}')) {
+    do {
+      const std::string key = c.string();
+      c.expect(':');
+      if (key == "type") {
+        request.type = c.string();
+      } else if (key == "rater") {
+        request.rater = as_id(c.number(), "rater");
+      } else if (key == "product") {
+        request.product = as_id(c.number(), "product");
+      } else if (key == "since") {
+        request.since = static_cast<std::uint64_t>(as_id(c.number(),
+                                                         "since"));
+      } else if (key == "ratings") {
+        c.expect('[');
+        if (!c.eat(']')) {
+          do {
+            c.expect('[');
+            rating::Rating r;
+            r.time = c.number();
+            c.expect(',');
+            r.value = c.number();
+            c.expect(',');
+            r.rater = RaterId(as_id(c.number(), "rater"));
+            c.expect(',');
+            r.product = ProductId(as_id(c.number(), "product"));
+            if (c.eat(',')) r.unfair = c.number() != 0.0;
+            c.expect(']');
+            if (request.ratings.size() >= kMaxBatchRatings) {
+              throw InvalidArgument(
+                  "wire: JSONL batch exceeds the per-frame rating limit");
+            }
+            request.ratings.push_back(r);
+          } while (c.eat(','));
+          c.expect(']');
+        }
+      } else {
+        throw InvalidArgument("wire: unknown JSONL request key '" + key +
+                              "'");
+      }
+    } while (c.eat(','));
+    c.expect('}');
+  }
+  if (!c.done()) {
+    throw InvalidArgument("wire: trailing bytes after JSONL request");
+  }
+  if (request.type.empty()) {
+    throw InvalidArgument("wire: JSONL request is missing \"type\"");
+  }
+  return request;
+}
+
+Frame to_frame(const JsonRequest& request) {
+  Frame frame;
+  if (request.type == "rate") {
+    frame.type = FrameType::kRate;
+    frame.payload = encode_rate_payload(request.ratings);
+  } else if (request.type == "trust") {
+    frame.type = FrameType::kTrust;
+    frame.payload = encode_i64_payload(request.rater);
+  } else if (request.type == "alarms") {
+    frame.type = FrameType::kAlarms;
+    frame.payload = encode_u64_payload(request.since);
+  } else if (request.type == "stats") {
+    frame.type = FrameType::kStats;
+  } else if (request.type == "series") {
+    frame.type = FrameType::kSeries;
+    frame.payload = encode_i64_payload(request.product);
+  } else if (request.type == "metrics") {
+    frame.type = FrameType::kMetrics;
+  } else if (request.type == "drain") {
+    frame.type = FrameType::kDrain;
+  } else if (request.type == "ping") {
+    frame.type = FrameType::kPing;
+  } else {
+    throw InvalidArgument("wire: unknown JSONL request type '" +
+                          request.type + "'");
+  }
+  return frame;
+}
+
+}  // namespace rab::net

@@ -1,0 +1,134 @@
+// Wire protocol for `rab serve`: length-prefixed binary frames with a
+// JSONL fallback.
+//
+// Binary frame layout (all integers little-endian):
+//
+//   u8  type        FrameType below
+//   u8  flags       0 (reserved)
+//   u16 reserved    0
+//   u32 length      payload byte count, <= kMaxFramePayload
+//   ... payload
+//
+// A connection speaks binary unless its first byte is '{', in which case
+// every request is one JSON object per line (the debuggable fallback:
+// `echo '{"type":"ping"}' | nc`). Responses mirror the request mode.
+//
+// Rating payload (kRate): u32 count, then count records of
+// {f64 time, f64 value, i64 rater, i64 product, u8 unfair}. Query
+// replies are JSON text (kJson) so the two modes share one formatter;
+// the metrics scrape replies Prometheus text exposition (kText).
+//
+// Robustness contract (fuzzed in tests/test_net.cpp): a malformed frame
+// — unknown type, nonzero flags/reserved, oversized length, truncated
+// payload, malformed rating batch — must never crash or wedge the
+// server; it answers kError (where a reply is still possible) and closes
+// only that connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rating/rating.hpp"
+
+namespace rab::net {
+
+enum class FrameType : std::uint8_t {
+  // client -> server
+  kRate = 0x01,     ///< rating batch; reply kOk or kRetry
+  kTrust = 0x02,    ///< payload i64 rater; reply kJson
+  kAlarms = 0x03,   ///< payload u64 per-shard since-index; reply kJson
+  kStats = 0x04,    ///< empty; reply kJson per-shard summaries
+  kSeries = 0x05,   ///< payload i64 product; reply kJson live series
+  kMetrics = 0x06,  ///< empty; reply kText (Prometheus exposition)
+  kDrain = 0x07,    ///< empty; flush+checkpoint all shards, reply kJson
+  kPing = 0x08,     ///< empty; reply kJson
+  // server -> client
+  kOk = 0x80,     ///< payload u64 accepted-rating count
+  kRetry = 0x81,  ///< payload f64 suggested retry delay (backpressure)
+  kError = 0x82,  ///< payload utf-8 message
+  kJson = 0x83,   ///< payload one JSON object
+  kText = 0x84,   ///< payload plain text
+};
+
+/// Hard ceiling on a frame payload; an advertised length beyond this is
+/// rejected before any allocation (the oversized-length-prefix fuzz leg).
+inline constexpr std::size_t kMaxFramePayload = 4u << 20;
+
+/// Ceiling on ratings per kRate frame (also bounds decode allocation).
+inline constexpr std::size_t kMaxBatchRatings = 65536;
+
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// True for the types a client may send.
+[[nodiscard]] bool is_request_type(std::uint8_t type);
+/// True for the types a server may send.
+[[nodiscard]] bool is_reply_type(std::uint8_t type);
+
+/// Serializes header + payload. Throws InvalidArgument when the payload
+/// exceeds kMaxFramePayload.
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+/// Header fields decoded from the leading kFrameHeaderBytes bytes.
+struct FrameHeader {
+  std::uint8_t type = 0;
+  std::uint32_t length = 0;
+};
+
+/// Decodes and validates a frame header against `expect_request`
+/// (server side) or replies (client side). Throws InvalidArgument on an
+/// unknown type, nonzero flags/reserved bytes, or oversized length.
+[[nodiscard]] FrameHeader decode_frame_header(
+    std::span<const char, kFrameHeaderBytes> header, bool expect_request);
+
+// --- kRate payload ---------------------------------------------------------
+
+[[nodiscard]] std::string encode_rate_payload(
+    std::span<const rating::Rating> batch);
+
+/// Decodes a kRate payload. Throws InvalidArgument on a count above
+/// kMaxBatchRatings or a payload whose size disagrees with its count.
+[[nodiscard]] std::vector<rating::Rating> decode_rate_payload(
+    std::string_view payload);
+
+// --- scalar payloads -------------------------------------------------------
+
+[[nodiscard]] std::string encode_u64_payload(std::uint64_t value);
+[[nodiscard]] std::uint64_t decode_u64_payload(std::string_view payload);
+[[nodiscard]] std::string encode_i64_payload(std::int64_t value);
+[[nodiscard]] std::int64_t decode_i64_payload(std::string_view payload);
+[[nodiscard]] std::string encode_f64_payload(double value);
+[[nodiscard]] double decode_f64_payload(std::string_view payload);
+
+// --- JSONL fallback --------------------------------------------------------
+
+/// One parsed JSONL request. `type` mirrors the frame-type names
+/// ("rate", "trust", "alarms", "stats", "series", "metrics", "drain",
+/// "ping"); scalar arguments default to the same values the binary
+/// protocol uses for "absent".
+struct JsonRequest {
+  std::string type;
+  std::vector<rating::Rating> ratings;  ///< "rate"
+  std::int64_t rater = -1;              ///< "trust"
+  std::int64_t product = -1;            ///< "series"
+  std::uint64_t since = 0;              ///< "alarms"
+};
+
+/// Parses one JSONL request line. The accepted grammar is deliberately
+/// small: one flat object, string "type", integer arguments, and
+/// "ratings" as an array of [time,value,rater,product] or
+/// [time,value,rater,product,unfair] number arrays. Throws
+/// InvalidArgument with context on anything else.
+[[nodiscard]] JsonRequest parse_json_request(std::string_view line);
+
+/// Converts a JSONL request to its binary frame (shared server path).
+[[nodiscard]] Frame to_frame(const JsonRequest& request);
+
+}  // namespace rab::net

@@ -1,0 +1,88 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace rab::util {
+
+namespace {
+
+[[noreturn]] void bad(std::string_view what, std::string_view text,
+                      const char* kind) {
+  throw InvalidArgument(std::string(what) + ": expected " + kind +
+                        ", got '" + std::string(text) + "'");
+}
+
+template <typename T>
+T from_chars_all(std::string_view text, std::string_view what,
+                 const char* kind) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    bad(what, text, kind);
+  }
+  return value;
+}
+
+}  // namespace
+
+double parse_double(std::string_view text, std::string_view what) {
+  // std::from_chars(double) accepts "inf"/"nan"; flags and wire fields
+  // never legitimately carry them, so reject non-finite values here.
+  const double value = from_chars_all<double>(text, what, "a number");
+  if (!std::isfinite(value)) bad(what, text, "a finite number");
+  return value;
+}
+
+double parse_double_in(std::string_view text, std::string_view what,
+                       double lo, double hi) {
+  const double value = parse_double(text, what);
+  if (value < lo || value > hi) {
+    throw InvalidArgument(std::string(what) + ": value " +
+                          std::string(text) + " outside [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) +
+                          "]");
+  }
+  return value;
+}
+
+std::int64_t parse_i64(std::string_view text, std::string_view what) {
+  return from_chars_all<std::int64_t>(text, what, "an integer");
+}
+
+std::int64_t parse_i64_in(std::string_view text, std::string_view what,
+                          std::int64_t lo, std::int64_t hi) {
+  const std::int64_t value = parse_i64(text, what);
+  if (value < lo || value > hi) {
+    throw InvalidArgument(std::string(what) + ": value " +
+                          std::string(text) + " outside [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) +
+                          "]");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  // from_chars<unsigned> already rejects '-', so "-1" errors instead of
+  // wrapping — the exact bug this replaces in the stoull call sites.
+  return from_chars_all<std::uint64_t>(text, what,
+                                       "a non-negative integer");
+}
+
+std::uint64_t parse_u64_in(std::string_view text, std::string_view what,
+                           std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t value = parse_u64(text, what);
+  if (value < lo || value > hi) {
+    throw InvalidArgument(std::string(what) + ": value " +
+                          std::string(text) + " outside [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) +
+                          "]");
+  }
+  return value;
+}
+
+}  // namespace rab::util

@@ -1,0 +1,41 @@
+// Checked numeric parsing for untrusted command-line and wire input.
+//
+// The raw std::stod/std::stoull family is the wrong tool at a trust
+// boundary: "10x" parses as 10, "-1" silently wraps to a huge unsigned,
+// and a plain garbage string escapes as std::invalid_argument — which a
+// CLI then misreports as an internal error instead of a usage error.
+// These parsers require full consumption of the input, check ranges, and
+// throw rab::InvalidArgument naming the offending field, so CLI front
+// ends map every malformed value to the documented usage exit code.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rab::util {
+
+/// Parses a finite double. `what` names the field in the error message
+/// (e.g. "--epoch"). Throws InvalidArgument on empty input, trailing
+/// junk, overflow, or a non-finite value (inf/nan).
+double parse_double(std::string_view text, std::string_view what);
+
+/// parse_double plus an inclusive range check.
+double parse_double_in(std::string_view text, std::string_view what,
+                       double lo, double hi);
+
+/// Parses a signed 64-bit integer (full consumption, range-checked).
+std::int64_t parse_i64(std::string_view text, std::string_view what);
+
+/// parse_i64 plus an inclusive range check.
+std::int64_t parse_i64_in(std::string_view text, std::string_view what,
+                          std::int64_t lo, std::int64_t hi);
+
+/// Parses an unsigned 64-bit integer. A leading '-' is rejected, not
+/// wrapped: "-1" is an error, never 18446744073709551615.
+std::uint64_t parse_u64(std::string_view text, std::string_view what);
+
+/// parse_u64 plus an inclusive range check.
+std::uint64_t parse_u64_in(std::string_view text, std::string_view what,
+                           std::uint64_t lo, std::uint64_t hi);
+
+}  // namespace rab::util

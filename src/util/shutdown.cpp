@@ -1,0 +1,43 @@
+#include "util/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace rab::util {
+
+namespace {
+
+// Lock-free atomics are async-signal-safe to store from a handler
+// (C++20 [support.signal]); a plain sig_atomic_t would not be safely
+// observable from the other threads that poll the flag.
+std::atomic<int> g_signal{0};
+static_assert(std::atomic<int>::is_always_lock_free);
+
+extern "C" void on_shutdown_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  struct sigaction action {};
+  action.sa_handler = on_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking accept/poll must EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+void ignore_sigpipe() { std::signal(SIGPIPE, SIG_IGN); }
+
+bool shutdown_requested() {
+  return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int shutdown_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+void reset_shutdown_flag() {
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rab::util

@@ -1,0 +1,37 @@
+// Signal-safe shutdown flag for the long-running front ends.
+//
+// `rab monitor` and `rab serve` used to install no handlers at all: a
+// Ctrl-C or service-manager SIGTERM killed the process mid-epoch, losing
+// the final partial epoch and skipping the shutdown checkpoint, and a
+// downstream `| head` delivered SIGPIPE mid-JSONL-line. This module is
+// the fix: a lock-free stop flag set from an async-signal-safe handler,
+// polled by the ingest loops, which then drain — checkpoint the partial
+// epoch, flush, emit the summary — and exit cleanly.
+//
+// The handlers are installed without SA_RESTART so blocking accept/poll
+// calls return EINTR and their loops observe the flag promptly.
+#pragma once
+
+namespace rab::util {
+
+/// Installs SIGINT and SIGTERM handlers that set the process-wide stop
+/// flag. Idempotent; call once at CLI entry before the ingest loop.
+void install_shutdown_handlers();
+
+/// Redirects SIGPIPE to SIG_IGN so a closed downstream pipe surfaces as
+/// an EPIPE write error (mapped to IoError by the write paths) instead of
+/// killing the process mid-record.
+void ignore_sigpipe();
+
+/// True once a shutdown signal has been delivered. One relaxed atomic
+/// load — cheap enough for per-chunk polling.
+[[nodiscard]] bool shutdown_requested();
+
+/// The signal that requested shutdown (SIGINT/SIGTERM), or 0.
+[[nodiscard]] int shutdown_signal();
+
+/// Clears the flag — for tests and the chaos harness, which replay
+/// several drain scenarios in one process.
+void reset_shutdown_flag();
+
+}  // namespace rab::util

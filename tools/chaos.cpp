@@ -6,12 +6,16 @@
 // positions — recovering from the newest valid checkpoint each time and
 // requiring the recovered run to be bit-identical (alarms, per-epoch
 // stats, raw trust evidence) to the reference, at every requested thread
-// count. Exit 0 when every scenario matches; 1 on any divergence.
+// count. A SIGTERM leg raises the real signal mid-feed and proves the
+// drain path equals an explicit flush, and that the drain checkpoint is
+// a valid resume point. Exit 0 when every scenario matches; 1 on any
+// divergence.
 //
 //   rab_chaos
 //   rab_chaos --days 300 --products 4 --kill-points 50 --threads 1,8
 //   RAB_FAULTS='cache.insert:throw,every=64' rab_chaos --threads 8
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <map>
@@ -24,7 +28,9 @@
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/parallel.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
+#include "util/shutdown.hpp"
 
 namespace {
 
@@ -185,6 +191,51 @@ struct Tally {
   }
 };
 
+/// SIGTERM-drain leg: replay through the real signal machinery —
+/// std::raise(SIGTERM) after `stop_at` ratings, a loop that polls
+/// util::shutdown_requested() exactly like `rab monitor` does, then
+/// OnlineMonitor::drain(). Two identities must hold:
+///   1. the drained state equals an explicit flush() of the same prefix
+///      (drain is the same analysis, just interruptible);
+///   2. a monitor recovered from the drain checkpoint and fed the rest
+///      of the feed equals the uninterrupted full-feed reference (the
+///      drain checkpoint is a resume point, not a dead end).
+void sigterm_drain_run(const std::vector<rating::Rating>& feed,
+                       const Options& opt, const std::string& dir,
+                       std::size_t stop_at, const Observable& reference,
+                       Tally& tally) {
+  util::install_shutdown_handlers();
+  util::reset_shutdown_flag();
+
+  detectors::OnlineConfig config = base_config(opt);
+  config.checkpoint_dir = dir;
+  detectors::OnlineMonitor monitor(config);
+  std::size_t next = 0;
+  while (next < feed.size() && !util::shutdown_requested()) {
+    monitor.ingest(feed[next]);
+    ++next;
+    if (next == stop_at) std::raise(SIGTERM);
+  }
+  monitor.drain();
+  const std::string at = "at rating " + std::to_string(next);
+
+  detectors::OnlineMonitor flushed(base_config(opt));
+  for (std::size_t i = 0; i < next; ++i) flushed.ingest(feed[i]);
+  flushed.flush();
+  tally.check(observe(monitor) == observe(flushed), "sigterm",
+              at + " (drain == flush)");
+
+  detectors::OnlineMonitor resumed = recover(config, dir);
+  for (std::size_t i = resumed.ingested(); i < feed.size(); ++i) {
+    resumed.ingest(feed[i]);
+  }
+  resumed.flush();
+  tally.check(observe(resumed) == reference, "sigterm",
+              at + " (resume == reference)");
+
+  util::reset_shutdown_flag();
+}
+
 int run(const Options& opt) {
   const std::vector<rating::Rating> feed = make_feed(opt);
   std::printf("chaos: %zu ratings, %zu products, %.0f days, epochs of %.0f "
@@ -241,6 +292,16 @@ int run(const Options& opt) {
     }
     std::printf("kill points: %zu random positions recovered\n",
                 kills.size());
+
+    const std::size_t n = feed.size();
+    const std::size_t stops[] = {n / 5, n / 2, (4 * n) / 5};
+    for (const std::size_t stop_at : stops) {
+      ScratchDir dir(opt.scratch);
+      sigterm_drain_run(feed, opt, dir.path(), stop_at, reference, tally);
+    }
+    std::printf("sigterm: %zu drain points, drain==flush and "
+                "resume==reference\n",
+                std::size(stops));
   }
 
   if (tally.mismatches == 0) {
@@ -280,32 +341,40 @@ int main(int argc, char** argv) {
       const auto it = flags.find(name);
       return it == flags.end() ? fallback : parse(it->second);
     };
-    opt.days = get("days", [](const std::string& s) { return std::stod(s); },
-                   opt.days);
-    opt.products = get(
-        "products",
-        [](const std::string& s) { return std::stoul(s); }, opt.products);
-    opt.seed = get("seed",
-                   [](const std::string& s) { return std::stoull(s); },
-                   opt.seed);
-    opt.kill_points = get(
-        "kill-points",
-        [](const std::string& s) { return std::stoul(s); }, opt.kill_points);
-    opt.epoch_days = get("epoch",
-                         [](const std::string& s) { return std::stod(s); },
-                         opt.epoch_days);
-    opt.retention_days = get(
-        "retention", [](const std::string& s) { return std::stod(s); },
-        opt.retention_days);
+    // Checked parsers: "10x", "-1" and plain garbage must be reported as
+    // usage errors naming the flag, not parsed partially (std::stod) or
+    // wrapped to a huge unsigned (std::stoul), and never escape as a
+    // generic std::invalid_argument.
+    opt.days = get("days", [](const std::string& s) {
+      return util::parse_double_in(s, "--days", 1.0, 1.0e6);
+    }, opt.days);
+    opt.products = get("products", [](const std::string& s) {
+      return static_cast<std::size_t>(
+          util::parse_u64_in(s, "--products", 1, 1u << 20));
+    }, opt.products);
+    opt.seed = get("seed", [](const std::string& s) {
+      return util::parse_u64(s, "--seed");
+    }, opt.seed);
+    opt.kill_points = get("kill-points", [](const std::string& s) {
+      return static_cast<std::size_t>(
+          util::parse_u64_in(s, "--kill-points", 4, 1u << 20));
+    }, opt.kill_points);
+    opt.epoch_days = get("epoch", [](const std::string& s) {
+      return util::parse_double_in(s, "--epoch", 0.001, 1.0e6);
+    }, opt.epoch_days);
+    opt.retention_days = get("retention", [](const std::string& s) {
+      return util::parse_double_in(s, "--retention", 0.001, 1.0e6);
+    }, opt.retention_days);
     opt.scratch = get("dir", [](const std::string& s) { return s; },
                       opt.scratch);
     if (const auto it = flags.find("threads"); it != flags.end()) {
       opt.threads.clear();
-      std::string list = it->second;
+      const std::string& list = it->second;
       std::size_t begin = 0;
       while (begin <= list.size()) {
         const std::size_t end = std::min(list.find(',', begin), list.size());
-        opt.threads.push_back(std::stoul(list.substr(begin, end - begin)));
+        opt.threads.push_back(static_cast<std::size_t>(util::parse_u64_in(
+            list.substr(begin, end - begin), "--threads", 1, 256)));
         begin = end + 1;
       }
     }

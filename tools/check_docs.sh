@@ -67,7 +67,8 @@ while IFS= read -r flag; do
 done <<<"$doc_flags"
 
 # --- Environment knobs and exit codes -------------------------------------
-for var in RAB_THREADS RAB_METRICS RAB_FAULTS RAB_STRICT_FP RAB_STORE_SYNC; do
+for var in RAB_THREADS RAB_METRICS RAB_FAULTS RAB_STRICT_FP RAB_STORE_SYNC \
+           RAB_SERVE_BACKLOG; do
   grep -q "$var" <<<"$usage_text" ||
     err "environment variable $var missing from usage"
   grep -q "$var" docs/CLI.md ||

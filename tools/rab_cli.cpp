@@ -11,6 +11,12 @@
 //               and emit JSONL alarms + per-epoch counters
 //   stats       run the P-scheme pipeline over a dataset and export the
 //               metrics registry (Prometheus text or JSON)
+//   serve       sharded streaming ingest daemon (length-prefixed binary
+//               frames with a JSONL fallback; see docs/CLI.md)
+//   loadgen     replay a CSV or synthetic feed against a running serve
+//               and report throughput + ingest-latency quantiles
+//   query       one-shot query (trust/alarms/stats/series/metrics/
+//               drain/ping) against a running serve
 //
 // Examples:
 //   rab generate --out fair.csv --seed 7
@@ -27,6 +33,7 @@
 #include <cstdio>
 #include <fstream>
 #include <cstdlib>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -45,11 +52,16 @@
 #include "challenge/submission_io.hpp"
 #include "core/attack_generator.hpp"
 #include "detectors/online_monitor.hpp"
+#include "net/client.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
 #include "rating/fair_generator.hpp"
 #include "rating/io.hpp"
 #include "util/error.hpp"
 #include "util/failpoint.hpp"
 #include "util/metrics.hpp"
+#include "util/parse.hpp"
+#include "util/shutdown.hpp"
 #include "util/trace.hpp"
 
 namespace {
@@ -57,6 +69,10 @@ namespace {
 using namespace rab;
 
 /// Minimal --flag value parser: flags come in pairs, order-free.
+/// Numeric accessors route through util/parse.hpp so a malformed value
+/// ("abc", "10x", "-1" for an unsigned flag) is an InvalidArgument
+/// naming the flag — exit code 2 — instead of a raw std::stod/stoull
+/// escape (std::invalid_argument, exit 1) or a silent wrap/truncation.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -72,6 +88,21 @@ class Args {
     }
   }
 
+  /// Rejects flags outside `allowed` — a misspelled flag must fail
+  /// loudly (exit 2), not silently fall back to the default value.
+  void restrict(const std::string& command,
+                std::initializer_list<const char*> allowed) const {
+    for (const auto& [name, value] : values_) {
+      if (std::find_if(allowed.begin(), allowed.end(),
+                       [&](const char* a) { return name == a; }) ==
+          allowed.end()) {
+        throw InvalidArgument("unknown flag --" + name + " for 'rab " +
+                              command + "' (see rab " + command +
+                              " usage in docs/CLI.md)");
+      }
+    }
+  }
+
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback = "") const {
     const auto it = values_.find(name);
@@ -83,13 +114,42 @@ class Args {
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const {
     const auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    return util::parse_double(it->second, "--" + name);
   }
 
   [[nodiscard]] std::uint64_t get_u64(const std::string& name,
                                       std::uint64_t fallback) const {
     const auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::stoull(it->second);
+    if (it == values_.end()) return fallback;
+    return util::parse_u64(it->second, "--" + name);
+  }
+
+  [[nodiscard]] std::uint64_t get_u64_in(const std::string& name,
+                                         std::uint64_t fallback,
+                                         std::uint64_t lo,
+                                         std::uint64_t hi) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return util::parse_u64_in(it->second, "--" + name, lo, hi);
+  }
+
+  [[nodiscard]] std::int64_t get_i64(const std::string& name,
+                                     std::int64_t fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return util::parse_i64(it->second, "--" + name);
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& name,
+                              bool fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    const std::string& v = it->second;
+    if (v == "1" || v == "true" || v == "on" || v == "yes") return true;
+    if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+    throw InvalidArgument("--" + name + ": expected a boolean (0/1/true/"
+                          "false/on/off/yes/no), got '" + v + "'");
   }
 
  private:
@@ -387,23 +447,9 @@ void emit_metrics_record(std::ostream& out, std::size_t epochs) {
   out << "}\n";
 }
 
-int cmd_monitor(const Args& args) {
-  const std::string trace_path = arm_tracing(args);
-  const std::string data = args.get("data");
-  rating::Dataset feed_data = data == "-"
-                                  ? rating::read_csv(std::cin)
-                                  : rating::read_csv_file(data);
-
-  // Merge all products into one time-ordered feed (a live site's feed is
-  // already time-ordered; CSV datasets are grouped by product).
-  std::vector<rating::Rating> feed;
-  feed.reserve(feed_data.total_ratings());
-  for (ProductId id : feed_data.product_ids()) {
-    const auto& rs = feed_data.product(id).rows();
-    feed.insert(feed.end(), rs.begin(), rs.end());
-  }
-  std::sort(feed.begin(), feed.end(), rating::ByTime{});
-
+/// Monitor knobs shared verbatim by `rab monitor` and (per shard, with
+/// the directory flags re-rooted) `rab serve`.
+detectors::OnlineConfig monitor_config_from(const Args& args) {
   detectors::OnlineConfig config;
   config.epoch_days = args.get_double("epoch", config.epoch_days);
   config.retention_days =
@@ -432,6 +478,34 @@ int cmd_monitor(const Args& args) {
     const std::string v(env);
     config.store_fsync = !(v == "0" || v == "off" || v == "false");
   }
+  return config;
+}
+
+/// Merges a product-grouped dataset into one time-ordered feed (a live
+/// site's feed is already time-ordered; CSV datasets are by product).
+std::vector<rating::Rating> merge_feed(const rating::Dataset& data) {
+  std::vector<rating::Rating> feed;
+  feed.reserve(data.total_ratings());
+  for (ProductId id : data.product_ids()) {
+    const auto& rs = data.product(id).rows();
+    feed.insert(feed.end(), rs.begin(), rs.end());
+  }
+  std::sort(feed.begin(), feed.end(), rating::ByTime{});
+  return feed;
+}
+
+int cmd_monitor(const Args& args) {
+  // SIGINT/SIGTERM trigger a graceful drain: checkpoint the pre-flush
+  // state, analyze the final partial epoch, emit the summary, exit 0.
+  util::install_shutdown_handlers();
+  const std::string trace_path = arm_tracing(args);
+  // Flags before data: a malformed flag value must be reported as such,
+  // not masked by whatever the feed load happens to say first.
+  const detectors::OnlineConfig config = monitor_config_from(args);
+  const std::string data = args.get("data");
+  const std::vector<rating::Rating> feed =
+      merge_feed(data == "-" ? rating::read_csv(std::cin)
+                             : rating::read_csv_file(data));
   detectors::OnlineMonitor monitor(config);
 
   std::FILE* out = stdout;
@@ -501,7 +575,14 @@ int cmd_monitor(const Args& args) {
   }
 
   const auto t0 = std::chrono::steady_clock::now();
+  bool interrupted = false;
   for (std::size_t i = start; i < feed.size(); i += chunk) {
+    // The flag is only probed between chunks, so the signal never lands
+    // mid-ingest: the drain below always sees a consistent monitor.
+    if (util::shutdown_requested()) {
+      interrupted = true;
+      break;
+    }
     const std::size_t n = std::min(chunk, feed.size() - i);
     monitor.ingest(std::span<const rating::Rating>(feed.data() + i, n));
     drain_monitor(monitor, alarms_seen, epochs_seen, out);
@@ -511,7 +592,16 @@ int cmd_monitor(const Args& args) {
       emit_metrics_record(metrics_out, metrics_epochs_seen);
     }
   }
-  monitor.flush();
+  if (interrupted) {
+    // drain() snapshots BEFORE the final analysis so a restart replays
+    // from here bit-identically to a run that was never signaled.
+    monitor.drain();
+    std::fprintf(out, "{\"type\":\"shutdown\",\"signal\":%d,"
+                 "\"ingested\":%zu}\n",
+                 util::shutdown_signal(), monitor.ingested());
+  } else {
+    monitor.flush();
+  }
   drain_monitor(monitor, alarms_seen, epochs_seen, out);
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -560,10 +650,133 @@ int cmd_monitor(const Args& args) {
   }
   dump_trace(trace_path);
 
+  // SIGPIPE is ignored process-wide, so a broken downstream pipe shows
+  // up as a stream error here instead of killing the process silently.
+  if (std::fflush(out) != 0 || std::ferror(out) != 0) {
+    throw IoError("monitor: write failed (broken pipe or disk full?)");
+  }
   if (opened != nullptr) {
     if (std::fclose(opened) != 0) {
       throw IoError("monitor: write failed (disk full?)");
     }
+  }
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  util::install_shutdown_handlers();
+  net::ServeConfig config;
+  config.listen = net::Addr::parse(args.get("listen", "127.0.0.1:7787"));
+  config.shards = static_cast<std::size_t>(
+      args.get_u64_in("shards", 1, 1, 4096));
+  config.queue_capacity = static_cast<std::size_t>(
+      args.get_u64_in("queue-capacity", 128, 1, 1u << 20));
+  config.max_connections = static_cast<std::size_t>(
+      args.get_u64("max-connections", config.max_connections));
+  config.retry_after = args.get_double("retry-after", config.retry_after);
+  if (const char* env = std::getenv("RAB_SERVE_BACKLOG")) {
+    config.backlog = static_cast<int>(
+        util::parse_u64_in(env, "RAB_SERVE_BACKLOG", 1, 65535));
+  }
+  config.monitor = monitor_config_from(args);
+
+  net::Server server(std::move(config));
+  server.start();
+  std::fprintf(stderr, "rab serve: listening on %s (%zu shard%s)\n",
+               server.addr().to_string().c_str(), server.shards(),
+               server.shards() == 1 ? "" : "s");
+  // Blocks until SIGINT/SIGTERM, a kDrain frame, or request_drain();
+  // every shard is checkpointed and flushed before this returns.
+  server.run();
+
+  std::uint64_t ingested = 0;
+  std::uint64_t alarms = 0;
+  for (std::size_t s = 0; s < server.shards(); ++s) {
+    const detectors::OnlineMonitor& m = server.monitor(s);
+    std::printf("{\"type\":\"shard\",\"shard\":%zu,\"ingested\":%zu,"
+                "\"epochs\":%zu,\"alarms\":%zu,\"resident\":%zu}\n",
+                s, m.ingested(), m.epoch_stats().size(), m.alarms().size(),
+                m.resident_ratings());
+    ingested += m.ingested();
+    alarms += m.alarms().size();
+  }
+  std::printf("{\"type\":\"summary\",\"shards\":%zu,\"ingested\":%llu,"
+              "\"alarms\":%llu}\n",
+              server.shards(), static_cast<unsigned long long>(ingested),
+              static_cast<unsigned long long>(alarms));
+  if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) {
+    throw IoError("serve: summary write failed (broken pipe?)");
+  }
+  return 0;
+}
+
+int cmd_loadgen(const Args& args) {
+  net::LoadgenConfig config;
+  config.addr = net::Addr::parse(args.get("addr", "127.0.0.1:7787"));
+  if (const std::string data = args.get("data", "-"); data != "-") {
+    config.data_csv = data;
+  }
+  config.ratings = args.get_u64("ratings", config.ratings);
+  config.products = static_cast<std::size_t>(
+      args.get_u64_in("products", config.products, 1, 1u << 30));
+  config.raters = static_cast<std::size_t>(
+      args.get_u64_in("raters", config.raters, 1, 1u << 30));
+  config.days = args.get_double("days", config.days);
+  config.mean = args.get_double("mean", config.mean);
+  config.sigma = args.get_double("sigma", config.sigma);
+  config.seed = args.get_u64("seed", config.seed);
+  config.rate = args.get_double("rate", config.rate);
+  config.batch = static_cast<std::size_t>(
+      args.get_u64_in("batch", config.batch, 1, net::kMaxBatchRatings));
+  config.connections = static_cast<std::size_t>(
+      args.get_u64_in("connections", config.connections, 1, 1024));
+  config.server_shards = static_cast<std::size_t>(
+      args.get_u64_in("server-shards", config.server_shards, 1, 4096));
+  config.max_retries = static_cast<std::size_t>(
+      args.get_u64("max-retries", config.max_retries));
+  config.drain_at_end = args.get_bool("drain", false);
+
+  const net::LoadgenReport report = net::run_loadgen(config);
+  const std::string json = net::report_json(report);
+  if (const std::string path = args.get("report", "-"); path != "-") {
+    std::ofstream file(path);
+    if (!file) throw IoError("cannot open " + path);
+    file << json << '\n';
+    file.flush();
+    if (!file) throw IoError("loadgen: report write failed: " + path);
+  }
+  std::printf("%s\n", json.c_str());
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  net::Client client(
+      net::Addr::parse(args.get("addr", "127.0.0.1:7787")));
+  const std::string what = args.get("what", "stats");
+  std::string reply;
+  if (what == "trust") {
+    reply = client.trust(args.get_i64("rater", -1));
+  } else if (what == "alarms") {
+    reply = client.alarms(args.get_u64("since", 0));
+  } else if (what == "stats") {
+    reply = client.stats();
+  } else if (what == "series") {
+    reply = client.series(args.get_i64("product", -1));
+  } else if (what == "metrics") {
+    reply = client.metrics();
+  } else if (what == "drain") {
+    reply = client.drain();
+  } else if (what == "ping") {
+    reply = client.ping();
+  } else {
+    throw InvalidArgument(
+        "--what: expected trust|alarms|stats|series|metrics|drain|ping, "
+        "got '" + what + "'");
+  }
+  std::fputs(reply.c_str(), stdout);
+  if (reply.empty() || reply.back() != '\n') std::fputc('\n', stdout);
+  if (std::fflush(stdout) != 0 || std::ferror(stdout) != 0) {
+    throw IoError("query: write failed (broken pipe?)");
   }
   return 0;
 }
@@ -601,8 +814,34 @@ int usage() {
       "             --trace-out F]\n"
       "             (runs the P-scheme pipeline, then exports the metrics\n"
       "             registry; see docs/METRICS.md for the name catalog)\n"
+      "  serve      [--listen HOST:PORT|unix:/path --shards N\n"
+      "             --queue-capacity N --max-connections N\n"
+      "             --retry-after SECONDS plus every monitor knob:\n"
+      "             --epoch --retention --min-marks --forgetting\n"
+      "             --cache-streams --checkpoint-dir --checkpoint-every\n"
+      "             --checkpoint-keep --store-dir --store-segment-bytes]\n"
+      "             (streaming ingest daemon: products hash-shard across\n"
+      "             N workers, each an OnlineMonitor; checkpoint/store\n"
+      "             dirs get per-shard subdirectories shard-NNNN;\n"
+      "             SIGINT/SIGTERM or a drain frame checkpoints and\n"
+      "             flushes every shard before exit; wire protocol and\n"
+      "             frame grammar: docs/CLI.md)\n"
+      "  loadgen    [--addr HOST:PORT|unix:/path --data F --ratings N\n"
+      "             --products N --raters N --days D --mean M --sigma S\n"
+      "             --seed N --rate R/S --batch N --connections N\n"
+      "             --server-shards N --max-retries N --drain 0|1\n"
+      "             --report F]\n"
+      "             (replays a CSV or synthetic feed against rab serve\n"
+      "             and reports throughput + ingest-latency quantiles as\n"
+      "             JSON; --server-shards must match the server for >1\n"
+      "             connections)\n"
+      "  query      [--addr HOST:PORT|unix:/path --what trust|alarms|\n"
+      "             stats|series|metrics|drain|ping --rater N\n"
+      "             --product N --since N]\n"
+      "             (one-shot query against a running rab serve)\n"
       "environment:\n"
       "  RAB_THREADS   worker threads for the analysis fan-out\n"
+      "  RAB_SERVE_BACKLOG  listen(2) backlog for rab serve (default 64)\n"
       "  RAB_METRICS   set to 0/off/false to disable metrics collection\n"
       "  RAB_FAULTS    deterministic fault injection spec, e.g.\n"
       "                'checkpoint.write.body:corrupt' (see\n"
@@ -632,16 +871,77 @@ int main(int argc, char** argv) {
     // entry point; library code never looks at the environment on its own.
     util::arm_failpoints_from_env();
     util::metrics::set_enabled_from_env();
+    // Process-wide: a peer or downstream pipe that vanishes must surface
+    // as a write error (IoError, exit 2), never a silent SIGPIPE death.
+    util::ignore_sigpipe();
     const Args args(argc, argv, 2);
-    if (command == "generate") return cmd_generate(args);
-    if (command == "attack") return cmd_attack(args);
-    if (command == "population") return cmd_population(args);
-    if (command == "evaluate") return cmd_evaluate(args);
-    if (command == "optimize") return cmd_optimize(args);
-    if (command == "detect") return cmd_detect(args);
-    if (command == "report") return cmd_report(args);
-    if (command == "monitor") return cmd_monitor(args);
-    if (command == "stats") return cmd_stats(args);
+    if (command == "generate") {
+      args.restrict(command, {"out", "seed", "products", "days", "mean"});
+      return cmd_generate(args);
+    }
+    if (command == "attack") {
+      args.restrict(command, {"data", "out", "bias", "sigma", "duration",
+                              "offset", "correlation", "seed", "stream"});
+      return cmd_attack(args);
+    }
+    if (command == "population") {
+      args.restrict(command, {"data", "out", "count", "seed"});
+      return cmd_population(args);
+    }
+    if (command == "evaluate") {
+      args.restrict(command, {"data", "submission", "scheme"});
+      return cmd_evaluate(args);
+    }
+    if (command == "optimize") {
+      args.restrict(command, {"data", "scheme", "duration", "offset",
+                              "trials", "rounds", "out", "seed"});
+      return cmd_optimize(args);
+    }
+    if (command == "detect") {
+      args.restrict(command, {"data", "bin", "trust-below"});
+      return cmd_detect(args);
+    }
+    if (command == "report") {
+      args.restrict(command, {"data", "bin", "trust-below", "out"});
+      return cmd_report(args);
+    }
+    if (command == "monitor") {
+      args.restrict(command,
+                    {"data", "epoch", "retention", "min-marks",
+                     "forgetting", "cache-streams", "chunk", "out",
+                     "checkpoint-dir", "checkpoint-every",
+                     "checkpoint-keep", "store-dir",
+                     "store-segment-bytes", "metrics-out", "trace-out"});
+      return cmd_monitor(args);
+    }
+    if (command == "stats") {
+      args.restrict(command,
+                    {"data", "bin", "format", "out", "trace-out"});
+      return cmd_stats(args);
+    }
+    if (command == "serve") {
+      args.restrict(command,
+                    {"listen", "shards", "queue-capacity",
+                     "max-connections", "retry-after", "epoch",
+                     "retention", "min-marks", "forgetting",
+                     "cache-streams", "checkpoint-dir",
+                     "checkpoint-every", "checkpoint-keep", "store-dir",
+                     "store-segment-bytes"});
+      return cmd_serve(args);
+    }
+    if (command == "loadgen") {
+      args.restrict(command,
+                    {"addr", "data", "ratings", "products", "raters",
+                     "days", "mean", "sigma", "seed", "rate", "batch",
+                     "connections", "server-shards", "max-retries",
+                     "drain", "report"});
+      return cmd_loadgen(args);
+    }
+    if (command == "query") {
+      args.restrict(command,
+                    {"addr", "what", "rater", "product", "since"});
+      return cmd_query(args);
+    }
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
   } catch (const LogicError& e) {

@@ -11,12 +11,17 @@
 #   tools/tier1.sh --strict-fp # additionally: RAB_STRICT_FP=ON build (exact
 #                            # scalar FP order in the batch kernels) + full
 #                            # suite + determinism tests at RAB_THREADS=8
+#   tools/tier1.sh --serve   # additionally: live `rab serve` smoke — loadgen
+#                            # burst, query + metrics scrape, SIGTERM drain,
+#                            # restart from the drain checkpoints, and a diff
+#                            # against a server that never stopped
 #
 # The TSAN pass builds into build-tsan/ with -DRAB_TSAN=ON and runs the
 # tests that exercise the thread pool (test_parallel), the detector suite
-# whose hot paths run inside parallel_for (test_detectors), and the overlay
+# whose hot paths run inside parallel_for (test_detectors), the overlay
 # equivalence suite that hammers the detector-result cache from the pool
-# (test_overlay).
+# (test_overlay), and the serving suite whose connection threads race the
+# shard workers through the bounded queues (test_net).
 #
 # The UBSan pass builds into build-ubsan/ with -DRAB_UBSAN=ON and runs the
 # suites that parse untrusted input or narrow integers (test_util,
@@ -54,13 +59,15 @@ grep -q '"detector.mc.runs":0' "$smoke_dir/stats.json"
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DRAB_TSAN=ON >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target test_parallel test_detectors test_overlay test_metrics
+    --target test_parallel test_detectors test_overlay test_metrics test_net
   # Exercise the pool with real contention regardless of the host's cores.
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_detectors
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_overlay
   # Scrape-while-writing and thread-exit shard retirement under TSan.
   RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_metrics
+  # Shard router and bounded queues: connection threads vs shard workers.
+  RAB_THREADS=8 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_net
 fi
 
 if [[ "${1:-}" == "--ubsan" ]]; then
@@ -81,6 +88,78 @@ if [[ "${1:-}" == "--strict-fp" ]]; then
   RAB_THREADS=8 ./build-strict/tests/test_soa_equivalence
   RAB_THREADS=8 ./build-strict/tests/test_parallel
   RAB_THREADS=8 ./build-strict/tests/test_online_monitor
+fi
+
+if [[ "${1:-}" == "--serve" ]]; then
+  # Live-daemon smoke over a unix socket: loadgen burst, queries, a
+  # Prometheus scrape, SIGTERM drain, restart from the drain checkpoints
+  # with the rest of the feed, then a byte diff of the per-shard summary
+  # JSON against a server that saw the whole feed uninterrupted.
+  serve_dir="$smoke_dir/serve"
+  mkdir -p "$serve_dir"
+  serve_pid=""
+  trap 'if [[ -n "${serve_pid:-}" ]]; then kill "$serve_pid" 2>/dev/null || true; fi
+        rm -rf "$smoke_dir"' EXIT
+
+  ./build/tools/rab generate --out "$serve_dir/feed.csv" --seed 11 \
+    --products 6 --days 120 >/dev/null
+  # Time-ordered split so the restarted server's feed continues where the
+  # drained one stopped (each shard requires non-decreasing time).
+  grep -v '^#' "$serve_dir/feed.csv" | sort -t, -k3,3g \
+    > "$serve_dir/sorted.csv"
+  half=$(( $(wc -l < "$serve_dir/sorted.csv") / 2 ))
+  head -n "$half" "$serve_dir/sorted.csv" > "$serve_dir/a.csv"
+  tail -n +"$((half + 1))" "$serve_dir/sorted.csv" > "$serve_dir/b.csv"
+
+  sock="$serve_dir/rab.sock"
+  serve_flags=(--listen "unix:$sock" --shards 2 --epoch 10 --retention 40
+               --checkpoint-dir "$serve_dir/ckpt")
+  wait_ready() {
+    for _ in $(seq 100); do
+      ./build/tools/rab query --addr "unix:$sock" --what ping \
+        >/dev/null 2>&1 && return 0
+      sleep 0.1
+    done
+    echo "serve smoke: daemon did not come up on $sock" >&2
+    return 1
+  }
+
+  ./build/tools/rab serve "${serve_flags[@]}" > "$serve_dir/serve1.jsonl" &
+  serve_pid=$!
+  wait_ready
+  ./build/tools/rab loadgen --addr "unix:$sock" --data "$serve_dir/a.csv" \
+    --server-shards 2 --batch 128 --report build/BENCH_serve.json >/dev/null
+  ./build/tools/rab query --addr "unix:$sock" --what stats |
+    grep -q '"type":"stats"'
+  ./build/tools/rab query --addr "unix:$sock" --what metrics |
+    grep -q '^rab_serve_ratings_total [1-9]'
+  grep -q '"latency_seconds"' build/BENCH_serve.json
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+  grep -q '"type":"summary"' "$serve_dir/serve1.jsonl"
+
+  # Restart from the drain checkpoints; stream the remainder; drain.
+  ./build/tools/rab serve "${serve_flags[@]}" > "$serve_dir/serve2.jsonl" &
+  serve_pid=$!
+  wait_ready
+  ./build/tools/rab loadgen --addr "unix:$sock" --data "$serve_dir/b.csv" \
+    --server-shards 2 --batch 128 --drain 1 >/dev/null
+  wait "$serve_pid"
+
+  # Reference: a fresh server that ingests the whole feed in one run.
+  rm -rf "$serve_dir/ckpt"
+  ./build/tools/rab serve "${serve_flags[@]}" > "$serve_dir/serve3.jsonl" &
+  serve_pid=$!
+  wait_ready
+  ./build/tools/rab loadgen --addr "unix:$sock" \
+    --data "$serve_dir/sorted.csv" --server-shards 2 --batch 128 \
+    --drain 1 >/dev/null
+  wait "$serve_pid"
+  serve_pid=""
+
+  # Drain + restart must be bit-identical to never stopping.
+  diff "$serve_dir/serve2.jsonl" "$serve_dir/serve3.jsonl"
+  echo "serve smoke: drained/restarted state identical to uninterrupted run"
 fi
 
 if [[ "${1:-}" == "--chaos" ]]; then
