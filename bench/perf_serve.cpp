@@ -5,14 +5,20 @@
 // the gap is why the binary protocol is the default). Queue benches
 // bound the reserve/push/pop handoff between a connection thread and a
 // shard worker, and shard_of bounds the per-rating routing cost. The
-// end-to-end serve throughput number lives in BENCH_serve.json, produced
-// by `rab loadgen` against a live daemon (tools/tier1.sh --serve).
+// reconnect-storm bench prices the v2 resume path: N clients
+// re-attaching at once after a server restart (connect + kResume +
+// durable-floor probe), the burst every crash recovery produces. The
+// end-to-end serve throughput number lives in the loadgen report
+// (tools/tier1.sh --serve); bench_report records these microbenches in
+// BENCH_serve.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/client.hpp"
 #include "net/queue.hpp"
 #include "net/server.hpp"
 #include "net/wire.hpp"
@@ -134,6 +140,63 @@ void BM_QueueCrossThread(benchmark::State& state) {
                           static_cast<std::int64_t>(total));
 }
 BENCHMARK(BM_QueueCrossThread)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+// Reconnect storm: N clients simultaneously re-attach to live sessions
+// against one running server — connect, kResume, then one empty kRateSeq
+// as a durable-floor probe — the burst a restarted server absorbs before
+// any replayed ratings flow. Sessions are established once up front so
+// every iteration measures pure resume cost, not kHello setup.
+void BM_ReconnectStorm(benchmark::State& state) {
+  const std::size_t clients = static_cast<std::size_t>(state.range(0));
+  net::ServeConfig config;
+  config.listen.host = "127.0.0.1";
+  config.listen.port = 0;  // ephemeral; resolved by server.addr()
+  config.shards = 1;
+  config.max_connections = 2 * clients + 16;
+  net::Server server(config);
+  server.start();
+  std::thread runner([&] { server.run(); });
+  const net::Addr addr = server.addr();
+
+  std::vector<std::uint64_t> sessions(clients);
+  std::vector<std::uint64_t> seqs(clients, 0);
+  for (std::size_t i = 0; i < clients; ++i) {
+    net::Client hello(addr);
+    const net::Frame reply = hello.roundtrip({net::FrameType::kHello, ""});
+    sessions[i] = net::decode_session_ack_payload(reply.payload).session_id;
+  }
+
+  for (auto _ : state) {
+    std::vector<std::thread> storm;
+    storm.reserve(clients);
+    for (std::size_t i = 0; i < clients; ++i) {
+      storm.emplace_back([&, i] {
+        net::Client client(addr);
+        const net::Frame resume = client.roundtrip(
+            {net::FrameType::kResume, net::encode_u64_payload(sessions[i])});
+        benchmark::DoNotOptimize(
+            net::decode_session_ack_payload(resume.payload));
+        const net::Frame ack = client.roundtrip(
+            {net::FrameType::kRateSeq,
+             net::encode_rate_seq_payload(++seqs[i], {})});
+        benchmark::DoNotOptimize(net::decode_rate_ack_payload(ack.payload));
+      });
+    }
+    for (auto& t : storm) {
+      t.join();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(clients));
+
+  server.request_drain();
+  runner.join();
+}
+BENCHMARK(BM_ReconnectStorm)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

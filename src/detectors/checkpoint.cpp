@@ -66,6 +66,10 @@ constexpr std::uint32_t kEpch = tag("EPCH");
 /// ranges into the attached rating store, instead of raw rating rows.
 /// Written when (and only when) the monitor has a store attached.
 constexpr std::uint32_t kSref = tag("SREF");
+/// Ingest-session sequence watermarks (exactly-once resume, DESIGN.md
+/// §5i). Optional: absent in snapshots with no sequenced sessions, and
+/// tolerated-missing on restore, so no version bump is needed.
+constexpr std::uint32_t kSess = tag("SESS");
 
 /// Little-endian append-only byte sink for section payloads.
 class ByteWriter {
@@ -498,6 +502,18 @@ void OnlineMonitor::save_checkpoint(const std::string& path) const {
     sections.push_back(Section{kAlrm, w.take()});
   }
 
+  if (!applied_wm_.empty()) {
+    // The snapshot covers every applied row, so the *applied* table is
+    // the right dedup floor for a restore from this generation.
+    ByteWriter w;
+    w.u64(applied_wm_.size());
+    for (const auto& [session, seq] : applied_wm_) {
+      w.u64(session);
+      w.u64(seq);
+    }
+    sections.push_back(Section{kSess, w.take()});
+  }
+
   {
     ByteWriter w;
     w.u64(epoch_stats_.size());
@@ -627,6 +643,16 @@ void OnlineMonitor::restore_checkpoint(const std::string& path) {
     a.marked_ratings = alrm.u64();
   }
 
+  std::map<std::uint64_t, std::uint64_t> session_wm;
+  if (const auto it = sections.find(kSess); it != sections.end()) {
+    ByteReader sess(it->second);
+    const std::size_t n = sess.u64();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t session = sess.u64();
+      session_wm[session] = sess.u64();
+    }
+  }
+
   ByteReader epch(require(sections, kEpch, "EPCH"));
   std::vector<OnlineEpochStats> epoch_stats(epch.u64());
   for (OnlineEpochStats& e : epoch_stats) {
@@ -658,6 +684,18 @@ void OnlineMonitor::restore_checkpoint(const std::string& path) {
   resident_ = resident;
   compacted_ = compacted;
   if (cache_) cache_->clear();
+  applied_wm_ = std::move(session_wm);
+  if (store_) {
+    // Store groups committed after this snapshot carry newer watermarks;
+    // merging keeps the dedup floor at the true applied maximum.
+    for (const auto& [session, seq] : store_->session_watermarks()) {
+      auto& wm = applied_wm_[session];
+      wm = std::max(wm, seq);
+    }
+  }
+  durable_wm_ = applied_wm_;
+  in_batch_ = false;
+  deferred_checkpoint_ = false;
   if (store_) {
     // Older generations on disk may reference rows below this snapshot's
     // watermarks. Seed the queue with empty (no-op) watermarks so store
@@ -680,6 +718,10 @@ std::size_t OnlineMonitor::checkpoint_now() {
   const std::size_t gen = epoch_stats_.size();
   save_checkpoint(config_.checkpoint_dir + "/" +
                   checkpoint::generation_filename(gen));
+  // The published snapshot carries the applied watermark table (and the
+  // store, when attached, was synced on the way) — everything applied so
+  // far is now crash-durable.
+  durable_wm_ = applied_wm_;
 
   // Prune old generations beyond checkpoint_keep. Best-effort per file
   // (a remove that loses a race is not a durability problem), but the

@@ -59,8 +59,48 @@ OnlineMonitor::OnlineMonitor(OnlineConfig config)
     sc.segment_bytes = config_.store_segment_bytes;
     sc.group_ratings = config_.store_group_ratings;
     sc.fsync = config_.store_fsync;
+    sc.marker_commits = config_.store_marker_commits;
     store_ = std::make_unique<store::RatingStore>(sc);
+    // Committed kSession markers are both applied and durable; a later
+    // restore_checkpoint/restore_from_store refines these tables.
+    applied_wm_ = store_->session_watermarks();
+    durable_wm_ = applied_wm_;
   }
+}
+
+void OnlineMonitor::begin_atomic_batch() { in_batch_ = true; }
+
+void OnlineMonitor::end_atomic_batch(std::uint64_t session,
+                                     std::uint64_t seq) {
+  in_batch_ = false;
+  if (session != 0) {
+    auto& wm = applied_wm_[session];
+    wm = std::max(wm, seq);
+    // The marker rides the same group as the batch's rows: marker
+    // durability and row durability are one event.
+    if (store_) store_->mark_session(session, seq);
+  }
+  if (store_) {
+    if (store_->maybe_flush()) durable_wm_ = applied_wm_;
+  } else if (config_.checkpoint_dir.empty()) {
+    // No persistence configured: nothing can outlast the process, so
+    // "durable" degenerates to "applied" and acks mean at-least-applied.
+    durable_wm_ = applied_wm_;
+  }
+  if (deferred_checkpoint_) {
+    deferred_checkpoint_ = false;
+    do_checkpoint();  // checkpoint_now() refreshes durable_wm_
+  }
+}
+
+std::uint64_t OnlineMonitor::applied_watermark(std::uint64_t session) const {
+  const auto it = applied_wm_.find(session);
+  return it == applied_wm_.end() ? 0 : it->second;
+}
+
+std::uint64_t OnlineMonitor::durable_watermark(std::uint64_t session) const {
+  const auto it = durable_wm_.find(session);
+  return it == durable_wm_.end() ? 0 : it->second;
 }
 
 void OnlineMonitor::ingest(const rating::Rating& r) {
@@ -116,7 +156,10 @@ void OnlineMonitor::flush() {
     maybe_checkpoint();
   }
   // Shutdown durability: everything ingested is on disk after a flush.
-  if (store_) store_->sync();
+  if (store_) {
+    store_->sync();
+    durable_wm_ = applied_wm_;
+  }
 }
 
 void OnlineMonitor::drain() {
@@ -133,7 +176,10 @@ void OnlineMonitor::drain() {
   if (started_ && pending_) {
     analyze_epoch(std::nextafter(last_time_, last_time_ + 1.0));
   }
-  if (store_) store_->sync();
+  if (store_) {
+    store_->sync();
+    durable_wm_ = applied_wm_;
+  }
 }
 
 std::optional<OnlineMonitor::ProductSummary> OnlineMonitor::product_summary(
@@ -159,6 +205,16 @@ std::vector<ProductId> OnlineMonitor::products() const {
 void OnlineMonitor::maybe_checkpoint() {
   if (config_.checkpoint_dir.empty()) return;
   if (epoch_stats_.size() % config_.checkpoint_every_epochs != 0) return;
+  if (in_batch_) {
+    // Mid-batch snapshots would cover half-applied batches; defer to
+    // end_atomic_batch() (see begin_atomic_batch's contract).
+    deferred_checkpoint_ = true;
+    return;
+  }
+  do_checkpoint();
+}
+
+void OnlineMonitor::do_checkpoint() {
   (void)checkpoint_now();
   if (!store_) return;
   // Queue this generation's compaction watermark; release the one that

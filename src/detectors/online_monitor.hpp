@@ -110,6 +110,11 @@ struct OnlineConfig {
   std::size_t store_segment_bytes = 8ull << 20;
   std::size_t store_group_ratings = 4096;
   bool store_fsync = true;  ///< RAB_STORE_SYNC=0 turns batched fsync off
+  /// Batch-aligned store commits for the serving path: append() never
+  /// splits an ingest batch across group commits; end_atomic_batch()
+  /// triggers the flush instead (store::StoreConfig::marker_commits).
+  /// Like the other store knobs this never affects analysis results.
+  bool store_marker_commits = false;
 };
 
 /// Streaming front end over the detector bank. Not thread-safe to call
@@ -128,6 +133,37 @@ class OnlineMonitor {
 
   /// Batch ingest: equivalent to calling ingest on each rating in order.
   void ingest(std::span<const rating::Rating> batch);
+
+  /// Marks the start of an atomic ingest batch — one sequenced wire
+  /// frame's worth of ratings for this shard. Periodic checkpoints are
+  /// deferred to end_atomic_batch(): a snapshot taken mid-batch would
+  /// cover a partially applied batch whose session watermark has not yet
+  /// advanced, and replaying that batch after a restore would then
+  /// double-apply its already-covered rows (DESIGN.md §5i).
+  void begin_atomic_batch();
+
+  /// Ends the current atomic batch: records `seq` as applied for
+  /// `session` (0 = sessionless; no watermark recorded), persists the
+  /// watermark marker inside the same store group as the batch's rows,
+  /// runs any checkpoint deferred by begin_atomic_batch(), and advances
+  /// the durable watermark table when a group commit or checkpoint just
+  /// made the batch crash-durable.
+  void end_atomic_batch(std::uint64_t session, std::uint64_t seq);
+
+  /// Highest sequence applied for a session (0 when unknown). A frame at
+  /// or below this is a duplicate and must not be re-applied.
+  [[nodiscard]] std::uint64_t applied_watermark(std::uint64_t session) const;
+
+  /// Highest sequence crash-durable for a session (0 when unknown):
+  /// covered by a committed store group or the newest checkpoint. Only
+  /// durable sequences may be acked — an acked frame is never resent.
+  [[nodiscard]] std::uint64_t durable_watermark(std::uint64_t session) const;
+
+  /// The full durable watermark table (session → max durable sequence).
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>&
+  durable_watermarks() const {
+    return durable_wm_;
+  }
 
   /// Forces analysis of everything ingested so far (e.g. at shutdown)
   /// without advancing the epoch clock. Idempotent: a second flush with
@@ -258,7 +294,11 @@ class OnlineMonitor {
   void compact(Day epoch_end, OnlineEpochStats& stats);
   /// Periodic checkpoint per OnlineConfig; called at consistent points
   /// (after the epoch clock has advanced past the analyzed boundary).
+  /// Deferred to end_atomic_batch() while a batch is open.
   void maybe_checkpoint();
+  /// Unconditionally checkpoints and queues/releases store compaction
+  /// watermarks — the body maybe_checkpoint() gates on cadence + batch.
+  void do_checkpoint();
 
   OnlineConfig config_;
   DetectorIntegrator integrator_;
@@ -293,6 +333,13 @@ class OnlineMonitor {
   /// exist — every snapshot restore_latest may fall back to can still
   /// load its row ranges.
   std::deque<std::map<ProductId, std::uint64_t>> pending_watermarks_;
+  /// Exactly-once resume state (DESIGN.md §5i): applied_wm_ advances as
+  /// sequenced batches are ingested; durable_wm_ copies applied_wm_ at
+  /// every durability event (store group commit, checkpoint, drain).
+  std::map<std::uint64_t, std::uint64_t> applied_wm_;
+  std::map<std::uint64_t, std::uint64_t> durable_wm_;
+  bool in_batch_ = false;
+  bool deferred_checkpoint_ = false;
 };
 
 }  // namespace rab::detectors

@@ -1,5 +1,6 @@
 #include "net/client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -93,5 +94,200 @@ std::string Client::metrics() {
 std::string Client::drain() { return expect_payload({FrameType::kDrain, ""}); }
 
 std::string Client::ping() { return expect_payload({FrameType::kPing, ""}); }
+
+// --- ResilientClient -------------------------------------------------------
+
+namespace {
+
+// A reply that frames correctly but fails its payload checksum is wire
+// damage, not a protocol bug: surface it as the transient IoError the
+// reconnect loop handles instead of the fatal InvalidArgument.
+SessionAck checked_session_ack(std::string_view payload) {
+  try {
+    return decode_session_ack_payload(payload);
+  } catch (const InvalidArgument& e) {
+    throw IoError(std::string("resilient client: damaged session ack: ") +
+                  e.what());
+  }
+}
+
+RateAck checked_rate_ack(std::string_view payload) {
+  try {
+    return decode_rate_ack_payload(payload);
+  } catch (const InvalidArgument& e) {
+    throw IoError(std::string("resilient client: damaged rate ack: ") +
+                  e.what());
+  }
+}
+
+// kRetry's suggested delay rides the wire unchecksummed; clamp it so a
+// damaged byte cannot park the client in a year-long sleep.
+constexpr double kMaxRetryAfter = 5.0;
+
+}  // namespace
+
+ResilientClient::ResilientClient(ResilientConfig config)
+    : config_(std::move(config)), jitter_(config_.jitter_seed) {}
+
+ResilientClient::~ResilientClient() = default;
+
+void ResilientClient::check_abort() const {
+  if (config_.should_abort && config_.should_abort()) {
+    throw IoError("resilient client: aborted by caller");
+  }
+}
+
+void ResilientClient::drop_connection() { client_.reset(); }
+
+void ResilientClient::backoff_sleep(std::size_t attempt) {
+  if (config_.max_reconnects != 0 && attempt >= config_.max_reconnects) {
+    throw IoError("resilient client: gave up after " +
+                  std::to_string(attempt) + " reconnect attempts");
+  }
+  double delay = config_.backoff_base;
+  for (std::size_t k = 0; k < attempt && delay < config_.backoff_cap; ++k) {
+    delay *= 2.0;
+  }
+  delay = std::min(delay, config_.backoff_cap);
+  // Jitter in [0.5, 1): desynchronizes a reconnect storm of N clients
+  // all kicked loose by the same server restart.
+  const double u = std::uniform_real_distribution<double>(0.5, 1.0)(jitter_);
+  std::this_thread::sleep_for(std::chrono::duration<double>(delay * u));
+}
+
+void ResilientClient::trim_window(std::uint64_t durable_seq) {
+  acked_floor_ = std::max(acked_floor_, durable_seq);
+  while (!window_.empty() && window_.front().seq <= acked_floor_) {
+    window_.pop_front();
+  }
+}
+
+void ResilientClient::ensure_session() {
+  if (client_) return;
+  client_ = std::make_unique<Client>(config_.addr);
+  if (session_ == 0) {
+    const Frame reply = client_->roundtrip({FrameType::kHello, ""});
+    if (reply.type != FrameType::kSessionAck) {
+      throw IoError("resilient client: hello rejected: " + reply.payload);
+    }
+    session_ = checked_session_ack(reply.payload).session_id;
+    sent_seq_ = 0;
+    return;
+  }
+  const Frame reply = client_->roundtrip(
+      {FrameType::kResume, encode_u64_payload(session_)});
+  if (reply.type != FrameType::kSessionAck) {
+    throw IoError("resilient client: resume rejected: " + reply.payload);
+  }
+  const SessionAck ack = checked_session_ack(reply.payload);
+  if (ack.session_id != session_) {
+    throw IoError("resilient client: resume answered a different session");
+  }
+  ++reconnects_;
+  // Replay floor: the larger of the server's durable watermark and every
+  // durable ack we have already seen. Everything above it is re-sent by
+  // pump_window(); the server's dedup absorbs any overlap.
+  trim_window(ack.durable_seq);
+  sent_seq_ = acked_floor_;
+}
+
+ResilientClient::SeqResult ResilientClient::send_pending(
+    const Pending& pending) {
+  SeqResult out;
+  for (;;) {
+    check_abort();
+    client_->send_raw(pending.bytes);
+    const Frame reply = client_->read_reply();
+    if (reply.type == FrameType::kOk) {
+      const RateAck ack = checked_rate_ack(reply.payload);
+      out.accepted = ack.accepted;
+      out.durable_seq = ack.durable_seq;
+      return out;
+    }
+    if (reply.type == FrameType::kRetry) {
+      if (out.retries >= config_.max_retries) {
+        throw IoError("resilient client: backpressure persisted after " +
+                      std::to_string(out.retries) + " retries");
+      }
+      ++out.retries;
+      const double after =
+          std::min(decode_f64_payload(reply.payload), kMaxRetryAfter);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(after > 0.0 ? after : 0.001));
+      continue;
+    }
+    throw IoError("resilient client: rate-seq rejected: " + reply.payload);
+  }
+}
+
+ResilientClient::SeqResult ResilientClient::pump_window() {
+  SeqResult last;
+  bool any = false;
+  std::uint64_t tail_durable = acked_floor_;
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    Pending& pending = window_[i];
+    if (pending.seq <= sent_seq_) continue;
+    if (pending.sent_once) ++replayed_;  // resume replay, not first send
+    pending.sent_once = true;
+    const SeqResult r = send_pending(pending);
+    sent_seq_ = pending.seq;
+    last = r;
+    any = true;
+    tail_durable = std::max(tail_durable, r.durable_seq);
+  }
+  trim_window(tail_durable);
+  if (!any) last.durable_seq = acked_floor_;
+  return last;
+}
+
+ResilientClient::SeqResult ResilientClient::rate_seq(
+    std::uint64_t seq, std::span<const rating::Rating> batch) {
+  if (seq == 0 || (!window_.empty() && seq <= window_.back().seq) ||
+      seq <= acked_floor_) {
+    throw InvalidArgument(
+        "resilient client: sequence numbers must be strictly increasing");
+  }
+  Pending pending;
+  pending.seq = seq;
+  pending.ratings = batch.size();
+  pending.bytes = encode_frame(
+      {FrameType::kRateSeq, encode_rate_seq_payload(seq, batch)});
+  window_.push_back(std::move(pending));
+  for (std::size_t attempt = 0;; ++attempt) {
+    check_abort();
+    try {
+      ensure_session();
+      SeqResult result = pump_window();
+      if (result.accepted == 0 && acked_floor_ >= seq) {
+        // The frame's ack was lost with its connection, but a resume
+        // reported the frame durable — it was applied; report it so.
+        result.accepted = batch.size();
+      }
+      return result;
+    } catch (const InvalidArgument&) {
+      throw;  // protocol bug, not a transient fault
+    } catch (const Error&) {
+      drop_connection();
+      backoff_sleep(attempt);
+    }
+  }
+}
+
+ResilientClient::SeqResult ResilientClient::probe(std::uint64_t seq) {
+  return rate_seq(seq, {});
+}
+
+Client& ResilientClient::raw() {
+  for (std::size_t attempt = 0;; ++attempt) {
+    check_abort();
+    try {
+      ensure_session();
+      return *client_;
+    } catch (const Error&) {
+      drop_connection();
+      backoff_sleep(attempt);
+    }
+  }
+}
 
 }  // namespace rab::net

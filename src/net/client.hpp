@@ -1,9 +1,15 @@
 // Blocking binary-protocol client for `rab serve` — the shared substrate
 // of the load generator, the `rab query` subcommand, and the protocol
-// tests.
+// tests. ResilientClient layers protocol-v2 sessions on top: sequenced
+// frames, automatic reconnect with capped exponential backoff, kResume
+// re-attachment, and replay of the unacked window (DESIGN.md §5i).
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <random>
 #include <span>
 #include <string>
 
@@ -58,6 +64,94 @@ class Client {
   std::string expect_payload(const Frame& request);
 
   Fd fd_;
+};
+
+struct ResilientConfig {
+  Addr addr;
+  /// Reconnect backoff: attempt k sleeps min(cap, base * 2^k) scaled by
+  /// a uniform jitter in [0.5, 1), drawn from `jitter_seed`.
+  double backoff_base = 0.02;
+  double backoff_cap = 1.0;
+  std::uint64_t jitter_seed = 1;
+  /// Consecutive failed reconnect attempts before giving up with
+  /// IoError. 0 = retry forever (callers abort via `should_abort`).
+  std::size_t max_reconnects = 0;
+  /// kRetry backpressure rounds per frame before giving up.
+  std::size_t max_retries = 1000;
+  /// Polled between attempts and before every send; returning true
+  /// aborts the operation with IoError (e.g. util::shutdown_requested
+  /// so SIGINT still produces a partial loadgen report).
+  std::function<bool()> should_abort;
+};
+
+/// Exactly-once sequenced ingest over an unreliable connection. The
+/// caller assigns strictly increasing sequence numbers; the client keeps
+/// every frame in a replay window until the server acks it durable, and
+/// on any connection failure reconnects (capped exponential backoff +
+/// jitter), re-attaches via kResume, and replays the window above the
+/// server's durable floor. The server dedups replays, so every rating
+/// is applied exactly once no matter where the connection — or the
+/// server — died. Not thread-safe; one instance per connection thread.
+class ResilientClient {
+ public:
+  explicit ResilientClient(ResilientConfig config);
+  ~ResilientClient();
+
+  struct SeqResult {
+    std::uint64_t accepted = 0;     ///< ratings the server queued
+    std::uint64_t durable_seq = 0;  ///< session's durable floor at ack
+    std::size_t retries = 0;        ///< kRetry rounds for this frame
+  };
+
+  /// Sends the sequenced batch, transparently riding out connection
+  /// failures. `seq` must be strictly greater than any previous call's.
+  /// Throws IoError only when reconnects are exhausted or should_abort
+  /// fires.
+  SeqResult rate_seq(std::uint64_t seq,
+                     std::span<const rating::Rating> batch);
+
+  /// Empty sequenced frame: advances no data but returns the current
+  /// durable floor (an ack probe for end-of-stream settling).
+  SeqResult probe(std::uint64_t seq);
+
+  /// Session id (0 until the first successful hello).
+  [[nodiscard]] std::uint64_t session() const { return session_; }
+  /// Successful re-establishments after the first connection.
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+  /// Window frames re-sent during resume replays.
+  [[nodiscard]] std::uint64_t replayed_frames() const { return replayed_; }
+  /// Frames still in the replay window (sent but not yet durable).
+  [[nodiscard]] std::size_t window_size() const { return window_.size(); }
+
+  /// Borrow the underlying connection (connecting if needed) for query
+  /// frames (stats, drain). Throws IoError when unreachable.
+  Client& raw();
+
+ private:
+  struct Pending {
+    std::uint64_t seq = 0;
+    std::string bytes;  ///< encoded kRateSeq frame, replayed verbatim
+    std::uint64_t ratings = 0;
+    bool sent_once = false;  ///< a later send of this frame is a replay
+  };
+
+  void check_abort() const;
+  void ensure_session();  ///< connect + hello/resume; no replay
+  void drop_connection();
+  void backoff_sleep(std::size_t attempt);
+  void trim_window(std::uint64_t durable_seq);
+  SeqResult pump_window();  ///< send every unsent window frame, read acks
+  SeqResult send_pending(const Pending& pending);
+
+  ResilientConfig config_;
+  std::unique_ptr<Client> client_;
+  std::mt19937_64 jitter_;
+  std::uint64_t session_ = 0;
+  std::uint64_t sent_seq_ = 0;   ///< highest seq sent on THIS connection
+  std::uint64_t acked_floor_ = 0;  ///< highest durable_seq ever acked
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t replayed_ = 0;
+  std::deque<Pending> window_;
 };
 
 }  // namespace rab::net

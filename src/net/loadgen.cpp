@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "net/client.hpp"
@@ -13,6 +14,7 @@
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/shutdown.hpp"
 
 namespace rab::net {
 
@@ -42,23 +44,49 @@ struct ConnResult {
   std::uint64_t accepted = 0;
   std::uint64_t frames = 0;
   std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t replays = 0;
+  bool interrupted = false;
   std::vector<double> latencies;  ///< per-frame round-trip seconds
   std::string error;
 };
 
 /// Streams one connection's shard-partitioned subfeed. `pace` is the
 /// target seconds per rating for this connection (0 = unthrottled).
+/// Polls the shutdown flag between frames so SIGINT/SIGTERM yields a
+/// partial (interrupted) result instead of a dead process.
 void run_connection(const LoadgenConfig& config,
                     const std::vector<rating::Rating>& subfeed, double pace,
-                    ConnResult& out) {
+                    std::size_t index, ConnResult& out) {
+  std::unique_ptr<Client> plain;
+  std::unique_ptr<ResilientClient> resilient;
   try {
-    Client client(config.addr);
+    if (config.resume) {
+      ResilientConfig rc;
+      rc.addr = config.addr;
+      rc.backoff_base = config.backoff_base;
+      rc.backoff_cap = config.backoff_cap;
+      rc.max_retries = config.max_retries;
+      // Distinct jitter per connection: a restart kicks every connection
+      // loose at once, and identical backoff would re-stampede the
+      // server in lockstep.
+      rc.jitter_seed = config.seed * 0x9e3779b97f4a7c15ull + index + 1;
+      rc.should_abort = [] { return util::shutdown_requested(); };
+      resilient = std::make_unique<ResilientClient>(std::move(rc));
+    } else {
+      plain = std::make_unique<Client>(config.addr);
+    }
     out.latencies.reserve(subfeed.size() / std::max<std::size_t>(
                                                config.batch, 1) +
                           1);
     const Clock::time_point start = Clock::now();
     std::size_t at = 0;
+    std::uint64_t seq = 0;
     while (at < subfeed.size()) {
+      if (util::shutdown_requested()) {
+        out.interrupted = true;
+        break;
+      }
       const std::size_t n =
           std::min(config.batch, subfeed.size() - at);
       if (pace > 0.0) {
@@ -71,18 +99,38 @@ void run_connection(const LoadgenConfig& config,
         }
       }
       const Clock::time_point sent_at = Clock::now();
-      const Client::RateResult r = client.rate(
-          std::span<const rating::Rating>(subfeed.data() + at, n),
-          config.max_retries);
+      const std::span<const rating::Rating> batch(subfeed.data() + at, n);
+      std::uint64_t accepted = 0;
+      std::size_t retries = 0;
+      if (resilient) {
+        const ResilientClient::SeqResult r =
+            resilient->rate_seq(++seq, batch);
+        accepted = r.accepted;
+        retries = r.retries;
+      } else {
+        const Client::RateResult r = plain->rate(batch, config.max_retries);
+        accepted = r.accepted;
+        retries = r.retries;
+      }
       out.latencies.push_back(seconds_since(sent_at));
       out.sent += n;
-      out.accepted += r.accepted;
-      out.retries += r.retries;
+      out.accepted += accepted;
+      out.retries += retries;
       ++out.frames;
       at += n;
     }
   } catch (const std::exception& e) {
-    out.error = e.what();
+    // An abort raised inside the resilient client is the signal path,
+    // not a failure: the partial tallies above still stand.
+    if (util::shutdown_requested()) {
+      out.interrupted = true;
+    } else {
+      out.error = e.what();
+    }
+  }
+  if (resilient) {
+    out.reconnects = resilient->reconnects();
+    out.replays = resilient->replayed_frames();
   }
 }
 
@@ -149,7 +197,7 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
   threads.reserve(conns);
   for (std::size_t c = 0; c < conns; ++c) {
     threads.emplace_back([&, c] {
-      run_connection(config, subfeeds[c], pace, results[c]);
+      run_connection(config, subfeeds[c], pace, c, results[c]);
     });
   }
   for (std::thread& t : threads) t.join();
@@ -165,6 +213,9 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     report.accepted += r.accepted;
     report.frames += r.frames;
     report.retries += r.retries;
+    report.reconnects += r.reconnects;
+    report.replays += r.replays;
+    report.interrupted = report.interrupted || r.interrupted;
     latencies.insert(latencies.end(), r.latencies.begin(),
                      r.latencies.end());
   }
@@ -187,9 +238,10 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     ++report.buckets[b];
   }
 
-  if (config.drain_at_end) {
+  if (config.drain_at_end && !report.interrupted) {
     // Every rating above was acked before its connection closed, so the
-    // drain job lands behind all of them in every shard queue.
+    // drain job lands behind all of them in every shard queue. Skipped
+    // on interrupt: the operator signalled "stop now", not "wind down".
     Client client(config.addr);
     (void)client.drain();
   }
@@ -202,6 +254,10 @@ std::string report_json(const LoadgenReport& report) {
   out += ",\"accepted\":" + std::to_string(report.accepted);
   out += ",\"frames\":" + std::to_string(report.frames);
   out += ",\"retries\":" + std::to_string(report.retries);
+  out += ",\"reconnects\":" + std::to_string(report.reconnects);
+  out += ",\"replays\":" + std::to_string(report.replays);
+  out += std::string(",\"interrupted\":") +
+         (report.interrupted ? "true" : "false");
   out += ",\"seconds\":" + fmt(report.seconds);
   out += ",\"ratings_per_second\":" + fmt(report.ratings_per_second);
   out += ",\"latency_seconds\":{\"p50\":" + fmt(report.p50) +

@@ -40,6 +40,12 @@ struct LoadgenConfig {
   std::size_t server_shards = 1;
   std::size_t max_retries = 1000;
   bool drain_at_end = false;  ///< send kDrain once every rating is acked
+  /// Protocol-v2 sessions (ResilientClient): sequenced frames with
+  /// automatic reconnect + kResume + unacked-window replay. The stream
+  /// survives server restarts mid-feed with exactly-once ingest.
+  bool resume = false;
+  double backoff_base = 0.02;  ///< reconnect backoff base (seconds)
+  double backoff_cap = 1.0;    ///< reconnect backoff cap (seconds)
 };
 
 struct LoadgenReport {
@@ -47,6 +53,11 @@ struct LoadgenReport {
   std::uint64_t accepted = 0;
   std::uint64_t frames = 0;
   std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;  ///< re-establishments (resume mode)
+  std::uint64_t replays = 0;     ///< frames re-sent after a resume
+  /// True when SIGINT/SIGTERM stopped the run early; the report then
+  /// covers only the ratings sent before the signal.
+  bool interrupted = false;
   double seconds = 0.0;
   double ratings_per_second = 0.0;
   // Frame round-trip latency (send to kOk, retries included).

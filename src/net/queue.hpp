@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -26,9 +27,14 @@ namespace rab::net {
 
 /// One unit of shard work: either a rating batch or an admin job that
 /// runs on the worker thread with exclusive access to the shard state.
+/// Sequenced batches (kRateSeq) carry their session and sequence so the
+/// worker can dedup replays against the shard's applied watermark and
+/// record the watermark atomically with the batch (DESIGN.md §5i).
 struct ShardTask {
   std::vector<rating::Rating> ratings;
-  std::function<void()> job;  ///< null for rating tasks
+  std::function<void()> job;   ///< null for rating tasks
+  std::uint64_t session = 0;   ///< ingest session (0 = sessionless kRate)
+  std::uint64_t seq = 0;       ///< client-assigned frame sequence
 };
 
 class BoundedTaskQueue {

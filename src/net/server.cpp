@@ -3,12 +3,17 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <future>
+#include <limits>
 #include <list>
+#include <map>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <sys/socket.h>
@@ -17,6 +22,7 @@
 #include "net/queue.hpp"
 #include "net/wire.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/metrics.hpp"
 #include "util/shutdown.hpp"
 
@@ -35,6 +41,14 @@ struct ServeMetrics {
   util::metrics::Counter& retries = util::metrics::counter("serve.retries");
   util::metrics::Counter& errors = util::metrics::counter("serve.errors");
   util::metrics::Counter& drains = util::metrics::counter("serve.drains");
+  util::metrics::Counter& reconnects =
+      util::metrics::counter("serve.reconnects");
+  util::metrics::Counter& dup_frames =
+      util::metrics::counter("serve.dup_frames");
+  util::metrics::Counter& idle_reaped =
+      util::metrics::counter("serve.idle_reaped");
+  util::metrics::Counter& read_timeouts =
+      util::metrics::counter("net.read.timeouts");
   util::metrics::Gauge& queue_depth =
       util::metrics::gauge("serve.queue.depth");
   util::metrics::Histogram& ingest_seconds = util::metrics::histogram(
@@ -136,12 +150,38 @@ struct Server::Impl {
     std::uint64_t accepted = 0;
     std::uint64_t rejected = 0;   ///< InvalidArgument (order, ids, NaN)
     std::uint64_t io_errors = 0;  ///< store/checkpoint environment failures
+    /// Published copy of the monitor's durable watermark table (session →
+    /// highest crash-durable sequence), refreshed by the worker after
+    /// every sequenced batch so connection threads can compute acks
+    /// without touching the monitor.
+    std::mutex durable_mu;
+    std::map<std::uint64_t, std::uint64_t> durable;
   };
 
   struct Conn {
     Fd fd;
     std::thread thread;
     std::atomic<bool> done{false};
+    /// Session attached via kHello/kResume (0 = sessionless), plus the
+    /// owner serial fencing this connection against a successor that
+    /// resumed the same session (the zombie-writer guard).
+    std::uint64_t session = 0;
+    std::uint64_t serial = 0;
+  };
+
+  /// One enqueued-but-not-yet-durable sequenced frame: its sequence and
+  /// the shards that received a part of it. The frame is durable once
+  /// every involved shard's durable watermark has reached `seq`.
+  struct Outstanding {
+    std::uint64_t seq = 0;
+    std::vector<std::size_t> involved;
+  };
+
+  struct SessionState {
+    std::uint64_t owner_serial = 0;   ///< fences stale connections
+    std::uint64_t last_seq = 0;       ///< highest sequence ever enqueued
+    std::uint64_t acked_durable = 0;  ///< largest fully-durable prefix
+    std::deque<Outstanding> outstanding;
   };
 
   explicit Impl(ServeConfig config) : config(std::move(config)) {}
@@ -158,6 +198,14 @@ struct Server::Impl {
   std::once_flag drain_once;
   std::string drain_error;  ///< first shard drain failure, for the exit code
 
+  /// Session registry (lock order: sessions_mu before any durable_mu).
+  /// Ids are random nonzero u64s — a restarted server adopts whatever id
+  /// a resuming client presents, so ids need no cross-boot coordination.
+  std::mutex sessions_mu;
+  std::unordered_map<std::uint64_t, SessionState> sessions;
+  std::mt19937_64 session_rng{std::random_device{}()};
+  std::uint64_t next_conn_serial = 0;
+
   void start();
   void run();
   void drain_all();
@@ -169,8 +217,18 @@ struct Server::Impl {
   void reap_connections();
   std::size_t live_connections();
 
-  Frame dispatch(FrameType type, std::string_view payload);
+  [[nodiscard]] std::uint64_t shard_durable(std::size_t index,
+                                            std::uint64_t session);
+  void trim_acked(SessionState& state, std::uint64_t session);
+  bool enqueue_batch(std::vector<rating::Rating> batch,
+                     std::uint64_t session, std::uint64_t seq,
+                     std::vector<std::size_t>& involved);
+
+  Frame dispatch(Conn& conn, FrameType type, std::string_view payload);
   Frame handle_rate(std::string_view payload);
+  Frame handle_hello(Conn& conn);
+  Frame handle_resume(Conn& conn, std::string_view payload);
+  Frame handle_rate_seq(Conn& conn, std::string_view payload);
   Frame handle_trust(std::int64_t rater);
   Frame handle_alarms(std::uint64_t since);
   Frame handle_stats();
@@ -193,7 +251,14 @@ void Server::Impl::start() {
     if (!mc.checkpoint_dir.empty()) {
       mc.checkpoint_dir = shard_dir(mc.checkpoint_dir, i);
     }
-    if (!mc.store_dir.empty()) mc.store_dir = shard_dir(mc.store_dir, i);
+    if (!mc.store_dir.empty()) {
+      mc.store_dir = shard_dir(mc.store_dir, i);
+      // The serving path always uses batch-aligned commits: a store
+      // group must never split a sequenced frame's rows from its session
+      // marker, or a crash between the halves would lose the dedup
+      // watermark for rows that survived (DESIGN.md §5i).
+      mc.store_marker_commits = true;
+    }
     auto shard = std::make_unique<Shard>(config.queue_capacity);
     shard->monitor = std::make_unique<detectors::OnlineMonitor>(mc);
     if (!mc.store_dir.empty()) {
@@ -201,6 +266,9 @@ void Server::Impl::start() {
     } else if (!mc.checkpoint_dir.empty()) {
       (void)shard->monitor->restore_latest(mc.checkpoint_dir);
     }
+    // Seed the published durable table from the restored state so a
+    // client resuming right after a restart gets an honest floor.
+    shard->durable = shard->monitor->durable_watermarks();
     shards.push_back(std::move(shard));
   }
   listener = listen_on(config.listen, config.backlog);
@@ -219,6 +287,10 @@ void Server::Impl::run() {
     if (!poll_readable(listener.get(), 100)) continue;
     Fd fd = accept_on(listener.get());
     if (!fd.valid()) continue;
+    if (util::failpoints_armed() &&
+        util::failpoint_poll("net.accept")) [[unlikely]] {
+      continue;  // injected accept failure: drop the connection unserved
+    }
     ServeMetrics::get().connections.add();
     if (live_connections() >= config.max_connections) {
       try {
@@ -301,7 +373,18 @@ void Server::Impl::worker_main(std::size_t index) {
       task.job();
       continue;
     }
+    // Replay dedup: a sequenced sub-batch at or below this shard's
+    // applied watermark has already been ingested here (the client is
+    // replaying an unacked window after a reconnect). Skipping it is
+    // what makes at-least-once delivery exactly-once.
+    if (task.session != 0 &&
+        shard.monitor->applied_watermark(task.session) >= task.seq) {
+      metrics.dup_frames.add();
+      metrics.queue_depth.add(-1.0);
+      continue;
+    }
     const util::metrics::ScopedTimer timer(metrics.ingest_seconds);
+    shard.monitor->begin_atomic_batch();
     std::uint64_t accepted = 0;
     for (const rating::Rating& r : task.ratings) {
       try {
@@ -321,6 +404,21 @@ void Server::Impl::worker_main(std::size_t index) {
                        e.what());
         }
       }
+    }
+    try {
+      shard.monitor->end_atomic_batch(task.session, task.seq);
+    } catch (const Error& e) {
+      ++shard.io_errors;
+      if (shard.io_errors == 1) {
+        std::fprintf(stderr, "rab serve: shard %zu: %s\n", index, e.what());
+      }
+    }
+    {
+      // Publish the refreshed durable table for the ack path. A group
+      // commit can advance *other* sessions' watermarks too, so copy
+      // the whole (small) table rather than one entry.
+      const std::lock_guard<std::mutex> lock(shard.durable_mu);
+      shard.durable = shard.monitor->durable_watermarks();
     }
     shard.accepted += accepted;
     metrics.ratings.add(accepted);
@@ -347,6 +445,11 @@ std::size_t Server::Impl::live_connections() {
 
 void Server::Impl::connection_main(Conn& conn) {
   try {
+    if (config.io_timeout > 0) {
+      // Kernel-level send deadline: a peer that stops reading its
+      // replies cannot pin this handler thread forever.
+      set_write_deadline(conn.fd.get(), config.io_timeout);
+    }
     // Sniff the protocol without consuming: a '{' first byte selects the
     // JSONL fallback, anything else the binary framing.
     char first = 0;
@@ -372,12 +475,27 @@ void Server::Impl::connection_main(Conn& conn) {
 void Server::Impl::binary_loop(Conn& conn) {
   ServeMetrics& metrics = ServeMetrics::get();
   const int fd = conn.fd.get();
+  const int idle_ms = config.idle_timeout > 0
+                          ? static_cast<int>(config.idle_timeout * 1000.0)
+                          : -1;
+  const int io_ms = config.io_timeout > 0
+                        ? static_cast<int>(config.io_timeout * 1000.0)
+                        : 0;
   for (;;) {
+    // Idle reaping happens at frame boundaries only: a connection may
+    // sit quietly between requests for idle_timeout, but once a header
+    // byte arrives the whole frame must follow within io_timeout.
+    if (idle_ms > 0 && !poll_readable(fd, idle_ms)) {
+      metrics.idle_reaped.add();
+      return;
+    }
     char header[kFrameHeaderBytes];
-    const ReadStatus hs = read_exact(fd, header, sizeof header);
+    const ReadStatus hs =
+        read_exact_deadline(fd, header, sizeof header, io_ms);
     if (hs == ReadStatus::kEof) return;  // clean close
-    if (hs == ReadStatus::kShort) {
-      metrics.errors.add();  // disconnect inside a header
+    if (hs != ReadStatus::kOk) {
+      if (hs == ReadStatus::kTimeout) metrics.read_timeouts.add();
+      metrics.errors.add();  // disconnect or stall inside a header
       return;
     }
     FrameHeader h;
@@ -394,14 +512,18 @@ void Server::Impl::binary_loop(Conn& conn) {
       return;
     }
     std::string payload(h.length, '\0');
-    if (h.length > 0 &&
-        read_exact(fd, payload.data(), h.length) != ReadStatus::kOk) {
-      metrics.errors.add();  // mid-frame disconnect
-      return;
+    if (h.length > 0) {
+      const ReadStatus ps =
+          read_exact_deadline(fd, payload.data(), h.length, io_ms);
+      if (ps != ReadStatus::kOk) {
+        if (ps == ReadStatus::kTimeout) metrics.read_timeouts.add();
+        metrics.errors.add();  // mid-frame disconnect or stall
+        return;
+      }
     }
     metrics.frames.add();
     const auto type = static_cast<FrameType>(h.type);
-    const Frame reply = dispatch(type, payload);
+    const Frame reply = dispatch(conn, type, payload);
     const std::string bytes = encode_frame(reply);
     write_all(fd, bytes.data(), bytes.size());
     if (type == FrameType::kDrain && reply.type != FrameType::kError) {
@@ -429,7 +551,7 @@ void Server::Impl::jsonl_loop(Conn& conn) {
       const Frame frame = to_frame(request);
       requested = frame.type;
       metrics.frames.add();
-      reply = dispatch(frame.type, frame.payload);
+      reply = dispatch(conn, frame.type, frame.payload);
     } catch (const InvalidArgument& e) {
       metrics.errors.add();
       reply = {FrameType::kError, e.what()};
@@ -467,11 +589,18 @@ void Server::Impl::jsonl_loop(Conn& conn) {
   }
 }
 
-Frame Server::Impl::dispatch(FrameType type, std::string_view payload) {
+Frame Server::Impl::dispatch(Conn& conn, FrameType type,
+                             std::string_view payload) {
   try {
     switch (type) {
       case FrameType::kRate:
         return handle_rate(payload);
+      case FrameType::kHello:
+        return handle_hello(conn);
+      case FrameType::kResume:
+        return handle_resume(conn, payload);
+      case FrameType::kRateSeq:
+        return handle_rate_seq(conn, payload);
       case FrameType::kTrust:
         return handle_trust(decode_i64_payload(payload));
       case FrameType::kAlarms:
@@ -497,28 +626,23 @@ Frame Server::Impl::dispatch(FrameType type, std::string_view payload) {
   return {FrameType::kError, "unhandled frame type"};
 }
 
-Frame Server::Impl::handle_rate(std::string_view payload) {
-  ServeMetrics& metrics = ServeMetrics::get();
-  std::vector<rating::Rating> batch = decode_rate_payload(payload);
-  if (draining.load()) {
-    metrics.errors.add();
-    return {FrameType::kError, "draining: no longer accepting ratings"};
-  }
-  if (batch.empty()) return {FrameType::kOk, encode_u64_payload(0)};
-
-  // Split by shard, preserving arrival order within each shard.
+/// Splits `batch` by owning shard and enqueues it all-or-nothing with
+/// the given session/seq tags: either every involved shard has room and
+/// the whole frame is queued, or no shard gets any of it and the caller
+/// answers kRetry (the client resends the frame verbatim — a partial
+/// enqueue plus a retry would ingest the queued shards' ratings twice).
+/// Fills `involved` with the shards that received a part.
+bool Server::Impl::enqueue_batch(std::vector<rating::Rating> batch,
+                                 std::uint64_t session, std::uint64_t seq,
+                                 std::vector<std::size_t>& involved) {
   std::vector<std::vector<rating::Rating>> parts(shards.size());
-  for (const rating::Rating& r : batch) {
+  for (rating::Rating& r : batch) {
     parts[shard_of(r.product.value(), shards.size())].push_back(r);
   }
-  std::vector<std::size_t> involved;
+  involved.clear();
   for (std::size_t i = 0; i < parts.size(); ++i) {
     if (!parts[i].empty()) involved.push_back(i);
   }
-  // All-or-nothing reservation: either every involved shard has room and
-  // the whole frame is queued, or no shard gets any of it and the client
-  // retries the frame verbatim — a partial enqueue plus a retry would
-  // ingest the already-queued shards' ratings twice.
   std::size_t reserved = 0;
   for (const std::size_t idx : involved) {
     if (!shards[idx]->queue.try_reserve()) break;
@@ -528,16 +652,173 @@ Frame Server::Impl::handle_rate(std::string_view payload) {
     for (std::size_t j = 0; j < reserved; ++j) {
       shards[involved[j]]->queue.cancel_reserved();
     }
-    metrics.retries.add();
-    return {FrameType::kRetry, encode_f64_payload(config.retry_after)};
+    return false;
   }
   for (const std::size_t idx : involved) {
     ShardTask task;
     task.ratings = std::move(parts[idx]);
+    task.session = session;
+    task.seq = seq;
     shards[idx]->queue.push_reserved(std::move(task));
-    metrics.queue_depth.add(1.0);
+    ServeMetrics::get().queue_depth.add(1.0);
   }
-  return {FrameType::kOk, encode_u64_payload(batch.size())};
+  return true;
+}
+
+Frame Server::Impl::handle_rate(std::string_view payload) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  std::vector<rating::Rating> batch = decode_rate_payload(payload);
+  if (draining.load()) {
+    metrics.errors.add();
+    return {FrameType::kError, "draining: no longer accepting ratings"};
+  }
+  if (batch.empty()) return {FrameType::kOk, encode_u64_payload(0)};
+  const std::size_t count = batch.size();
+  std::vector<std::size_t> involved;
+  if (!enqueue_batch(std::move(batch), 0, 0, involved)) {
+    metrics.retries.add();
+    return {FrameType::kRetry, encode_f64_payload(config.retry_after)};
+  }
+  return {FrameType::kOk, encode_u64_payload(count)};
+}
+
+std::uint64_t Server::Impl::shard_durable(std::size_t index,
+                                          std::uint64_t session) {
+  Shard& shard = *shards[index];
+  const std::lock_guard<std::mutex> lock(shard.durable_mu);
+  const auto it = shard.durable.find(session);
+  return it == shard.durable.end() ? 0 : it->second;
+}
+
+/// Pops every outstanding frame whose sequence is durable on all of its
+/// involved shards and advances the session's acked floor to the largest
+/// fully-durable prefix. Caller holds sessions_mu.
+void Server::Impl::trim_acked(SessionState& state, std::uint64_t session) {
+  while (!state.outstanding.empty()) {
+    const Outstanding& front = state.outstanding.front();
+    bool durable_everywhere = true;
+    for (const std::size_t idx : front.involved) {
+      if (shard_durable(idx, session) < front.seq) {
+        durable_everywhere = false;
+        break;
+      }
+    }
+    if (!durable_everywhere) break;
+    state.acked_durable = std::max(state.acked_durable, front.seq);
+    state.outstanding.pop_front();
+  }
+}
+
+Frame Server::Impl::handle_hello(Conn& conn) {
+  const std::lock_guard<std::mutex> lock(sessions_mu);
+  std::uint64_t id;
+  do {
+    id = session_rng();
+  } while (id == 0 || sessions.contains(id));
+  SessionState& state = sessions[id];
+  state.owner_serial = ++next_conn_serial;
+  conn.session = id;
+  conn.serial = state.owner_serial;
+  return {FrameType::kSessionAck, encode_session_ack_payload({id, 0})};
+}
+
+Frame Server::Impl::handle_resume(Conn& conn, std::string_view payload) {
+  const std::uint64_t id = decode_u64_payload(payload);
+  if (id == 0) {
+    ServeMetrics::get().errors.add();
+    return {FrameType::kError, "resume: session id must be nonzero"};
+  }
+  ServeMetrics::get().reconnects.add();
+  const std::lock_guard<std::mutex> lock(sessions_mu);
+  if (util::failpoints_armed() &&
+      util::failpoint_poll("net.session.drop")) [[unlikely]] {
+    sessions.erase(id);  // injected amnesia: test the unknown-id path
+  }
+  const auto [it, fresh] = sessions.try_emplace(id);
+  SessionState& state = it->second;
+  if (fresh) {
+    // Unknown id: a restarted server (or an injected session drop).
+    // Adopt the client's id and recover the durable floor from the
+    // shard watermarks. A shard with no entry must count as 0, not be
+    // skipped: it may have applied (but not yet persisted) frames it
+    // now knows nothing about, so any higher floor could ack a frame
+    // whose rows died with the crash.
+    std::uint64_t floor = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      floor = std::min(floor, shard_durable(s, id));
+    }
+    state.acked_durable = floor;
+    state.last_seq = floor;
+  } else {
+    trim_acked(state, id);
+  }
+  // Fence any zombie owner: a half-dead predecessor connection that
+  // still tries to write into this session gets kError, not a racing
+  // interleave with our replays.
+  state.owner_serial = ++next_conn_serial;
+  conn.session = id;
+  conn.serial = state.owner_serial;
+  return {FrameType::kSessionAck,
+          encode_session_ack_payload({id, state.acked_durable})};
+}
+
+Frame Server::Impl::handle_rate_seq(Conn& conn, std::string_view payload) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  SeqBatch batch = decode_rate_seq_payload(payload);
+  if (conn.session == 0) {
+    metrics.errors.add();
+    return {FrameType::kError,
+            "rate-seq: no session (send hello or resume first)"};
+  }
+  if (batch.seq == 0) {
+    metrics.errors.add();
+    return {FrameType::kError, "rate-seq: sequence must be nonzero"};
+  }
+  if (draining.load()) {
+    metrics.errors.add();
+    return {FrameType::kError, "draining: no longer accepting ratings"};
+  }
+  const std::uint64_t count = batch.ratings.size();
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mu);
+    const auto it = sessions.find(conn.session);
+    if (it == sessions.end() || it->second.owner_serial != conn.serial) {
+      metrics.errors.add();
+      return {FrameType::kError,
+              "rate-seq: session superseded by a newer connection"};
+    }
+    if (batch.seq <= it->second.last_seq) {
+      // Duplicate (or regressed) sequence: this frame — or a later one —
+      // was already enqueued, so a replay after a reconnect must not be
+      // enqueued again. It still gets a normal ack: the client's work
+      // for this sequence is done either way.
+      metrics.dup_frames.add();
+      trim_acked(it->second, conn.session);
+      return {FrameType::kOk,
+              encode_rate_ack_payload(
+                  {count, it->second.acked_durable})};
+    }
+  }
+  std::vector<std::size_t> involved;
+  if (count > 0 &&
+      !enqueue_batch(std::move(batch.ratings), conn.session, batch.seq,
+                     involved)) {
+    metrics.retries.add();
+    return {FrameType::kRetry, encode_f64_payload(config.retry_after)};
+  }
+  const std::lock_guard<std::mutex> lock(sessions_mu);
+  const auto it = sessions.find(conn.session);
+  if (it == sessions.end()) {
+    return {FrameType::kOk, encode_rate_ack_payload({count, 0})};
+  }
+  SessionState& state = it->second;
+  state.last_seq = std::max(state.last_seq, batch.seq);
+  // An empty frame has an empty involved set and is trivially durable —
+  // which makes a zero-rating kRateSeq a durable-floor probe.
+  state.outstanding.push_back({batch.seq, std::move(involved)});
+  trim_acked(state, conn.session);
+  return {FrameType::kOk,
+          encode_rate_ack_payload({count, state.acked_durable})};
 }
 
 bool Server::Impl::run_on_shard(std::size_t index,

@@ -16,6 +16,15 @@
 // shard requires its subfeed in non-decreasing time order; out-of-order
 // ratings are rejected and counted, never ingested.
 //
+// Exactly-once ingest (DESIGN.md §5i): a client opens a session
+// (kHello), tags each rate frame with a monotone sequence (kRateSeq),
+// and on reconnect re-attaches (kResume) and replays its unacked
+// window. Connection threads fence stale session owners and skip
+// already-enqueued sequences; workers skip sub-batches at or below the
+// shard's applied watermark, which is persisted in the same store group
+// commit as the batch's rows — so a SIGKILL'd and restarted server
+// never loses or double-applies a rating.
+//
 // Drain (SIGINT/SIGTERM, kDrain frame, or request_drain()): stop
 // accepting rating work, let every queue run dry, then run
 // OnlineMonitor::drain() on each shard — pre-flush checkpoint, final
@@ -42,6 +51,12 @@ struct ServeConfig {
   int backlog = 64;  ///< listen(2) backlog (RAB_SERVE_BACKLOG at the CLI)
   /// Suggested client delay (seconds) carried by kRetry replies.
   double retry_after = 0.05;
+  /// Per-connection I/O deadline (seconds): a peer stalling mid-frame —
+  /// read or write — is disconnected after this long. 0 disables.
+  double io_timeout = 30.0;
+  /// Idle deadline (seconds): a connection that sends no request for
+  /// this long is reaped (counted in serve.idle_reaped). 0 disables.
+  double idle_timeout = 300.0;
   /// Per-shard monitor template. checkpoint_dir and store_dir are
   /// treated as *roots*: shard i uses "<root>/shard-NNNN".
   detectors::OnlineConfig monitor;

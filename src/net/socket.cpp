@@ -9,10 +9,14 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <string>
+
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/parse.hpp"
 
 namespace rab::net {
@@ -181,9 +185,23 @@ bool poll_readable(int fd, int timeout_ms) {
 }
 
 ReadStatus read_exact(int fd, void* buf, std::size_t size) {
+  return read_exact_deadline(fd, buf, size, 0);
+}
+
+ReadStatus read_exact_deadline(int fd, void* buf, std::size_t size,
+                               int timeout_ms) {
+  if (util::failpoints_armed() &&
+      util::failpoint_poll("net.read.short")) [[unlikely]] {
+    // Injected peer-vanished-mid-frame: report truncation without
+    // consuming the stream; the caller closes the connection either way.
+    return size == 0 ? ReadStatus::kOk : ReadStatus::kShort;
+  }
   auto* out = static_cast<char*>(buf);
   std::size_t got = 0;
   while (got < size) {
+    if (timeout_ms > 0 && !poll_readable(fd, timeout_ms)) {
+      return ReadStatus::kTimeout;
+    }
     const ssize_t n = ::read(fd, out + got, size - got);
     if (n == 0) return got == 0 ? ReadStatus::kEof : ReadStatus::kShort;
     if (n < 0) {
@@ -200,16 +218,57 @@ ReadStatus read_exact(int fd, void* buf, std::size_t size) {
   return ReadStatus::kOk;
 }
 
-void write_all(int fd, const void* buf, std::size_t size) {
-  const auto* in = static_cast<const char*>(buf);
+namespace {
+
+void write_loop(int fd, const char* in, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
     const ssize_t n = ::write(fd, in + sent, size - sent);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // SO_SNDTIMEO expiry surfaces as EAGAIN on a blocking socket.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        io_fail("write deadline expired");
+      }
       io_fail("write");
     }
     sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void write_all(int fd, const void* buf, std::size_t size) {
+  const auto* in = static_cast<const char*>(buf);
+  if (util::failpoints_armed()) [[unlikely]] {
+    if (util::failpoint_poll("net.write.fail")) {
+      throw IoError("net: write: injected failure");
+    }
+    if (util::failpoint_poll("net.write.short")) {
+      write_loop(fd, in, size / 2);
+      throw IoError("net: write: injected short write");
+    }
+    const util::FaultOutcome fault =
+        util::failpoint_io("net.frame.corrupt", size);
+    if (fault.corrupt) {
+      std::string damaged(in, size);
+      util::apply_fault(fault, damaged.data(), size);
+      write_loop(fd, damaged.data(), size);
+      return;
+    }
+  }
+  write_loop(fd, in, size);
+}
+
+void set_write_deadline(int fd, double seconds) {
+  timeval tv{};
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    io_fail("setsockopt SO_SNDTIMEO");
   }
 }
 

@@ -64,16 +64,34 @@ Fd accept_on(int listener);
 bool poll_readable(int fd, int timeout_ms);
 
 /// Outcome of read_exact: a clean EOF before the first byte is a normal
-/// peer close; an EOF mid-buffer is a truncated frame.
-enum class ReadStatus { kOk, kEof, kShort };
+/// peer close; an EOF mid-buffer is a truncated frame; kTimeout is only
+/// produced by the deadline variant when the peer stalls mid-buffer.
+enum class ReadStatus { kOk, kEof, kShort, kTimeout };
 
 /// Reads exactly `size` bytes, retrying on EINTR and short reads.
-/// Throws IoError on a socket error.
+/// Throws IoError on a socket error. The 'net.read.short' failpoint
+/// injects a kShort return here (a peer vanishing mid-frame).
 ReadStatus read_exact(int fd, void* buf, std::size_t size);
+
+/// read_exact with a per-call deadline: each chunk is poll-gated, so a
+/// peer that stops sending mid-buffer yields kTimeout within
+/// `timeout_ms` instead of blocking the handler thread forever.
+/// timeout_ms <= 0 means no deadline (plain read_exact).
+ReadStatus read_exact_deadline(int fd, void* buf, std::size_t size,
+                               int timeout_ms);
 
 /// Writes all `size` bytes, retrying on EINTR. Throws IoError on error
 /// (EPIPE included — install ignore_sigpipe() so it surfaces here).
+/// Failpoints: 'net.write.fail' throws before writing anything;
+/// 'net.write.short' writes half the buffer then throws; arm
+/// 'net.frame.corrupt:corrupt' to flip one bit in the outgoing bytes
+/// (the frame still "succeeds" locally — the peer sees the damage).
 void write_all(int fd, const void* buf, std::size_t size);
+
+/// Arms a kernel-level send deadline (SO_SNDTIMEO): a write that cannot
+/// make progress within `seconds` fails with IoError instead of
+/// blocking forever on a stalled peer. seconds <= 0 clears the deadline.
+void set_write_deadline(int fd, double seconds);
 
 /// shutdown(2) both directions; wakes a peer thread blocked in read.
 void shutdown_fd(int fd);

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/parse.hpp"
 
@@ -62,12 +63,12 @@ constexpr std::size_t kRateRecordBytes = 8 + 8 + 8 + 8 + 1;
 
 bool is_request_type(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::kRate) &&
-         type <= static_cast<std::uint8_t>(FrameType::kPing);
+         type <= static_cast<std::uint8_t>(FrameType::kRateSeq);
 }
 
 bool is_reply_type(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::kOk) &&
-         type <= static_cast<std::uint8_t>(FrameType::kText);
+         type <= static_cast<std::uint8_t>(FrameType::kSessionAck);
 }
 
 std::string encode_frame(const Frame& frame) {
@@ -156,6 +157,93 @@ std::vector<rating::Rating> decode_rate_payload(std::string_view payload) {
     batch.push_back(r);
   }
   return batch;
+}
+
+namespace {
+
+// The v2 session payloads carry a CRC-32 trailer over the bytes before
+// it. Plain TCP checksums are too weak for the exactly-once contract: a
+// damaged rating batch silently ingests wrong values, and a damaged ack
+// can report a bogus durable floor, trimming frames whose rows never
+// landed. With the trailer both sides detect damage, drop the
+// connection, and resume — dedup makes the retry safe.
+void put_crc_trailer(std::string& out) {
+  put<std::uint32_t>(out, util::crc32(out.data(), out.size()));
+}
+
+std::string_view check_crc_trailer(std::string_view payload,
+                                   const char* what) {
+  if (payload.size() < 4) {
+    throw InvalidArgument(std::string("wire: ") + what +
+                          " payload too short for its checksum");
+  }
+  const std::string_view body = payload.substr(0, payload.size() - 4);
+  if (get<std::uint32_t>(payload, body.size()) !=
+      util::crc32(body.data(), body.size())) {
+    throw InvalidArgument(std::string("wire: ") + what +
+                          " payload checksum mismatch");
+  }
+  return body;
+}
+
+}  // namespace
+
+std::string encode_rate_seq_payload(std::uint64_t seq,
+                                    std::span<const rating::Rating> batch) {
+  std::string out;
+  put<std::uint64_t>(out, seq);
+  out += encode_rate_payload(batch);
+  put_crc_trailer(out);
+  return out;
+}
+
+SeqBatch decode_rate_seq_payload(std::string_view payload) {
+  const std::string_view body = check_crc_trailer(payload, "rate-seq");
+  SeqBatch sb;
+  sb.seq = get<std::uint64_t>(body, 0);
+  sb.ratings = decode_rate_payload(body.substr(8));
+  return sb;
+}
+
+std::string encode_rate_ack_payload(const RateAck& ack) {
+  std::string out;
+  put<std::uint64_t>(out, ack.accepted);
+  put<std::uint64_t>(out, ack.durable_seq);
+  put_crc_trailer(out);
+  return out;
+}
+
+RateAck decode_rate_ack_payload(std::string_view payload) {
+  const std::string_view body = check_crc_trailer(payload, "rate ack");
+  if (body.size() != 16) {
+    throw InvalidArgument("wire: rate ack payload must be 16 bytes, got " +
+                          std::to_string(body.size()));
+  }
+  RateAck ack;
+  ack.accepted = get<std::uint64_t>(body, 0);
+  ack.durable_seq = get<std::uint64_t>(body, 8);
+  return ack;
+}
+
+std::string encode_session_ack_payload(const SessionAck& ack) {
+  std::string out;
+  put<std::uint64_t>(out, ack.session_id);
+  put<std::uint64_t>(out, ack.durable_seq);
+  put_crc_trailer(out);
+  return out;
+}
+
+SessionAck decode_session_ack_payload(std::string_view payload) {
+  const std::string_view body = check_crc_trailer(payload, "session ack");
+  if (body.size() != 16) {
+    throw InvalidArgument(
+        "wire: session ack payload must be 16 bytes, got " +
+        std::to_string(body.size()));
+  }
+  SessionAck ack;
+  ack.session_id = get<std::uint64_t>(body, 0);
+  ack.durable_seq = get<std::uint64_t>(body, 8);
+  return ack;
 }
 
 std::string encode_u64_payload(std::uint64_t value) {

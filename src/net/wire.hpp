@@ -18,6 +18,16 @@
 // replies are JSON text (kJson) so the two modes share one formatter;
 // the metrics scrape replies Prometheus text exposition (kText).
 //
+// Protocol v2 — sessions and exactly-once resume (DESIGN.md §5i):
+// kHello establishes a session (reply kSessionAck carrying a
+// server-issued session id), kRateSeq prefixes a rate batch with a
+// client-assigned monotone sequence number (reply kOk carrying
+// {accepted, durable_seq}), and kResume re-attaches a reconnecting
+// client to its session (reply kSessionAck whose durable_seq tells the
+// client where to replay from). The server dedups any sequence at or
+// below its applied watermark, so replaying an unacked window is safe.
+// Sessionless kRate keeps working unchanged (at-most-once only).
+//
 // Robustness contract (fuzzed in tests/test_net.cpp): a malformed frame
 // — unknown type, nonzero flags/reserved, oversized length, truncated
 // payload, malformed rating batch — must never crash or wedge the
@@ -45,12 +55,16 @@ enum class FrameType : std::uint8_t {
   kMetrics = 0x06,  ///< empty; reply kText (Prometheus exposition)
   kDrain = 0x07,    ///< empty; flush+checkpoint all shards, reply kJson
   kPing = 0x08,     ///< empty; reply kJson
+  kHello = 0x09,    ///< empty; open a session, reply kSessionAck
+  kResume = 0x0A,   ///< payload u64 session id; reply kSessionAck
+  kRateSeq = 0x0B,  ///< u64 seq + rate payload; reply kOk(RateAck)/kRetry
   // server -> client
-  kOk = 0x80,     ///< payload u64 accepted-rating count
+  kOk = 0x80,     ///< u64 accepted count; +u64 durable seq for kRateSeq
   kRetry = 0x81,  ///< payload f64 suggested retry delay (backpressure)
   kError = 0x82,  ///< payload utf-8 message
   kJson = 0x83,   ///< payload one JSON object
   kText = 0x84,   ///< payload plain text
+  kSessionAck = 0x85,  ///< payload {u64 session id, u64 durable seq}
 };
 
 /// Hard ceiling on a frame payload; an advertised length beyond this is
@@ -97,6 +111,49 @@ struct FrameHeader {
 /// kMaxBatchRatings or a payload whose size disagrees with its count.
 [[nodiscard]] std::vector<rating::Rating> decode_rate_payload(
     std::string_view payload);
+
+// --- session / resume payloads (protocol v2) -------------------------------
+//
+// All three v2 payloads end in a CRC-32 trailer over the preceding
+// payload bytes; decoders throw InvalidArgument on a mismatch. TCP's
+// checksum is too weak for exactly-once: an undetected damaged batch
+// ingests wrong values, and a damaged ack can report a bogus durable
+// floor that trims frames whose rows never landed. Detection turns both
+// into a dropped connection + resume, which dedup makes safe.
+
+/// Sequenced rate batch: the client-assigned sequence number followed by
+/// the standard rate payload.
+struct SeqBatch {
+  std::uint64_t seq = 0;
+  std::vector<rating::Rating> ratings;
+};
+
+[[nodiscard]] std::string encode_rate_seq_payload(
+    std::uint64_t seq, std::span<const rating::Rating> batch);
+[[nodiscard]] SeqBatch decode_rate_seq_payload(std::string_view payload);
+
+/// kOk reply to a kRateSeq frame: ratings applied (dedup'd duplicates
+/// count as accepted — the client's work is done either way) plus the
+/// session's highest durably-applied sequence. Frames at or below
+/// durable_seq may be dropped from the client's replay window.
+struct RateAck {
+  std::uint64_t accepted = 0;
+  std::uint64_t durable_seq = 0;
+};
+
+[[nodiscard]] std::string encode_rate_ack_payload(const RateAck& ack);
+[[nodiscard]] RateAck decode_rate_ack_payload(std::string_view payload);
+
+/// kSessionAck reply to kHello (fresh id, durable_seq 0) and kResume
+/// (the session's durable watermark; the client replays everything
+/// after max(its own acked floor, durable_seq)).
+struct SessionAck {
+  std::uint64_t session_id = 0;
+  std::uint64_t durable_seq = 0;
+};
+
+[[nodiscard]] std::string encode_session_ack_payload(const SessionAck& ack);
+[[nodiscard]] SessionAck decode_session_ack_payload(std::string_view payload);
 
 // --- scalar payloads -------------------------------------------------------
 

@@ -140,6 +140,16 @@ void append_summary(std::string& out, ProductId product,
   encode_frame_header(out, h);
 }
 
+void append_session_marker(std::string& out, std::uint64_t session,
+                           std::uint64_t seq) {
+  FrameHeader h;
+  h.kind = FrameKind::kSession;
+  h.product = static_cast<std::int64_t>(session);
+  h.row_begin = seq;
+  h.body_crc = util::crc32(nullptr, 0);
+  encode_frame_header(out, h);
+}
+
 /// Row ordering the monitor's streams use: ByTime over (time, value, rater).
 bool row_before(double ta, double va, std::int64_t ra, double tb, double vb,
                 std::int64_t rb) {
@@ -211,6 +221,11 @@ std::size_t RatingStore::index_frames(const Mapping& map, std::uint64_t id,
   std::vector<Staged> staged;  // frames since the last commit (tail_rule)
 
   auto apply = [&](const FrameHeader& h, std::size_t payload_off) {
+    if (h.kind == FrameKind::kSession) {
+      auto& wm = session_watermarks_[static_cast<std::uint64_t>(h.product)];
+      wm = std::max(wm, h.row_begin);
+      return;
+    }
     const ProductId product(h.product);
     PerProduct& pp = products_[product];
     if (h.kind == FrameKind::kPage) {
@@ -254,7 +269,8 @@ std::size_t RatingStore::index_frames(const Mapping& map, std::uint64_t id,
         }
         return false;
       }
-      if (header->kind == FrameKind::kSummary) {
+      if (header->kind == FrameKind::kSummary ||
+          header->kind == FrameKind::kSession) {
         if (tail_rule) {
           staged.push_back({*header, 0});
         } else {
@@ -468,22 +484,38 @@ void RatingStore::append(const rating::Rating& r) {
   RAB_EXPECTS(r.product.value() >= 0);
   products_[r.product].pending.push_back(r);
   ++pending_total_;
-  if (pending_total_ >= config_.group_ratings) flush();
+  // marker_commits defers flushing to maybe_flush() at batch boundaries so
+  // groups never split a batch (the exactly-once commit invariant).
+  if (!config_.marker_commits && pending_total_ >= config_.group_ratings) {
+    flush();
+  }
+}
+
+void RatingStore::mark_session(std::uint64_t session, std::uint64_t seq) {
+  auto& wm = pending_sessions_[session];
+  wm = std::max(wm, seq);
+}
+
+bool RatingStore::maybe_flush() {
+  if (pending_total_ < config_.group_ratings) return false;
+  flush();
+  return true;
 }
 
 void RatingStore::flush() {
   if (broken_) {
     throw IoError("store: broken after a failed write; reopen to recover");
   }
-  if (pending_total_ == 0) return;
+  if (pending_total_ == 0 && pending_sessions_.empty()) return;
   ensure_active();
   std::string buf;
+  if (active_header_pending_) encode_segment_header(buf, 0);
   for (auto& [product, pp] : products_) {
     if (pp.pending.empty()) continue;
-    if (buf.empty() && active_header_pending_) {
-      encode_segment_header(buf, 0);
-    }
     append_page_rows(buf, product, pp.total_rows, pp.pending);
+  }
+  for (const auto& [session, seq] : pending_sessions_) {
+    append_session_marker(buf, session, seq);
   }
   append_commit(buf);
   write_group(buf);
@@ -496,6 +528,11 @@ void RatingStore::flush() {
     pp.pending.clear();
   }
   pending_total_ = 0;
+  for (const auto& [session, seq] : pending_sessions_) {
+    auto& wm = session_watermarks_[session];
+    wm = std::max(wm, seq);
+  }
+  pending_sessions_.clear();
   store_metrics().appended.add(flushed);
   store_metrics().groups.add();
   if (active_bytes_ >= config_.segment_bytes) seal_active();
@@ -603,7 +640,7 @@ void RatingStore::compact(const std::map<ProductId, std::uint64_t>& watermark) {
         need.insert(p);
       }
     }
-    if (!need.empty()) {
+    if (!need.empty() || !session_watermarks_.empty()) {
       ensure_active();
       std::string buf;
       if (active_header_pending_) encode_segment_header(buf, 0);
@@ -614,6 +651,11 @@ void RatingStore::compact(const std::map<ProductId, std::uint64_t>& watermark) {
           if (!stale.contains(e.segment_id)) all_stale = false;
         }
         append_summary(buf, p, all_stale ? pp.total_rows : pp.min_row);
+      }
+      // Stale segments may hold the only kSession copy of a watermark;
+      // re-emit the full table so dedup state survives the unlink.
+      for (const auto& [session, seq] : session_watermarks_) {
+        append_session_marker(buf, session, seq);
       }
       append_commit(buf);
       write_group(buf);
@@ -696,6 +738,10 @@ void RatingStore::consolidate(
     } else if (pp.total_rows > 0) {
       append_summary(image, product, pp.total_rows);
     }
+  }
+  // Session watermarks must survive their source segments being unlinked.
+  for (const auto& [session, seq] : session_watermarks_) {
+    append_session_marker(image, session, seq);
   }
   if (image.size() == kSegmentHeaderBytes) return;  // nothing stored at all
 

@@ -59,6 +59,11 @@ struct StoreConfig {
   /// Consolidate sealed segments into one once more than this many hold
   /// live rows.
   std::size_t consolidate_after = 4;
+  /// Batch-aligned commits: append() never auto-flushes; the ingest loop
+  /// calls maybe_flush() at batch boundaries instead, so every committed
+  /// group holds only complete batches plus their session markers — the
+  /// invariant the exactly-once resume protocol relies on (DESIGN.md §5i).
+  bool marker_commits = false;
 };
 
 class RatingStore {
@@ -80,6 +85,24 @@ class RatingStore {
 
   /// Writes buffered groups to the active segment (no fsync).
   void flush();
+
+  /// Records an ingest-session sequence watermark to be persisted (as a
+  /// kSession frame) inside the next flushed group — the same group that
+  /// carries the batch's rows, so marker durability implies row durability
+  /// and vice versa. Watermarks are monotone per session.
+  void mark_session(std::uint64_t session, std::uint64_t seq);
+
+  /// Batch-boundary flush trigger for marker_commits mode: flushes when
+  /// the buffered total has reached group_ratings. Returns true when a
+  /// group was committed (buffered rows + markers became crash-durable).
+  bool maybe_flush();
+
+  /// Committed session watermarks: recovered at open from kSession frames
+  /// and advanced by every flushed group. Max applied sequence per session.
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>&
+  session_watermarks() const {
+    return session_watermarks_;
+  }
 
   /// flush() + batched fsync of the active segment (when config.fsync).
   void sync();
@@ -186,6 +209,10 @@ class RatingStore {
   std::map<ProductId, PerProduct> products_;
   /// Highest summary-frame row_begin seen per product (compaction floor).
   std::map<ProductId, std::uint64_t> summary_floor_;
+  /// Committed session → max sequence (kSession frames; see above).
+  std::map<std::uint64_t, std::uint64_t> session_watermarks_;
+  /// Marked but not yet flushed session watermarks.
+  std::map<std::uint64_t, std::uint64_t> pending_sessions_;
   std::size_t pending_total_ = 0;
   std::size_t mapped_bytes_ = 0;
 

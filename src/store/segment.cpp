@@ -90,7 +90,8 @@ std::optional<FrameHeader> decode_frame_header(
   const std::uint32_t kind = get_u32(p + 4);
   if (kind != static_cast<std::uint32_t>(FrameKind::kPage) &&
       kind != static_cast<std::uint32_t>(FrameKind::kCommit) &&
-      kind != static_cast<std::uint32_t>(FrameKind::kSummary)) {
+      kind != static_cast<std::uint32_t>(FrameKind::kSummary) &&
+      kind != static_cast<std::uint32_t>(FrameKind::kSession)) {
     return std::nullopt;
   }
   h.kind = static_cast<FrameKind>(kind);

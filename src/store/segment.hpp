@@ -48,6 +48,7 @@ enum class FrameKind : std::uint32_t {
   kPage = 1,     ///< one product's rating columns
   kCommit = 2,   ///< group-append commit marker (no payload)
   kSummary = 3,  ///< compaction prefix: product rows below row_begin dropped
+  kSession = 4,  ///< ingest-session sequence watermark (no payload)
 };
 
 /// Decoded frame header. On disk (little-endian):
@@ -55,9 +56,9 @@ enum class FrameKind : std::uint32_t {
 ///   u32 body_crc   u32 header_crc(first 36 bytes)   zeros to 64
 struct FrameHeader {
   FrameKind kind = FrameKind::kPage;
-  std::int64_t product = -1;
-  std::uint64_t count = 0;      ///< rows in a page; 0 for commit/summary
-  std::uint64_t row_begin = 0;  ///< absolute per-product index of first row
+  std::int64_t product = -1;    ///< session id (as i64) for kSession frames
+  std::uint64_t count = 0;      ///< rows in a page; 0 otherwise
+  std::uint64_t row_begin = 0;  ///< first-row index; sequence for kSession
   std::uint32_t body_crc = 0;   ///< CRC of the padded payload
 };
 

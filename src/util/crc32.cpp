@@ -1,32 +1,73 @@
 #include "util/crc32.hpp"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace rab::util {
 
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8 tables. Table 0 is the classic byte-at-a-time table; table
+// k[i] is the CRC of byte i followed by k zero bytes, so eight table
+// lookups fold one 8-byte word into the running CRC per iteration.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::size_t t = 1; t < 8; ++t) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[t - 1][i];
+      tables[t][i] = tables[0][prev & 0xFFu] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
 
-constexpr std::array<std::uint32_t, 256> kTable = make_table();
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kTables =
+    make_tables();
 
 }  // namespace
+
+std::uint32_t crc32_update_bytewise(std::uint32_t crc, const void* data,
+                                    std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTables[0][(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
 
 std::uint32_t crc32_update(std::uint32_t crc, const void* data,
                            std::size_t size) {
   const auto* bytes = static_cast<const unsigned char*>(data);
+  // Byte-align to 8 so the word loads below are always aligned.
+  while (size > 0 && (reinterpret_cast<std::uintptr_t>(bytes) & 7u) != 0) {
+    crc = kTables[0][(crc ^ *bytes++) & 0xFFu] ^ (crc >> 8);
+    --size;
+  }
+  while (size >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    if constexpr (std::endian::native == std::endian::big) {
+      word = __builtin_bswap64(word);
+    }
+    const std::uint32_t low = static_cast<std::uint32_t>(word) ^ crc;
+    const auto high = static_cast<std::uint32_t>(word >> 32);
+    crc = kTables[7][low & 0xFFu] ^ kTables[6][(low >> 8) & 0xFFu] ^
+          kTables[5][(low >> 16) & 0xFFu] ^ kTables[4][(low >> 24) & 0xFFu] ^
+          kTables[3][high & 0xFFu] ^ kTables[2][(high >> 8) & 0xFFu] ^
+          kTables[1][(high >> 16) & 0xFFu] ^ kTables[0][(high >> 24) & 0xFFu];
+    bytes += 8;
+    size -= 8;
+  }
   for (std::size_t i = 0; i < size; ++i) {
-    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    crc = kTables[0][(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
   }
   return crc;
 }

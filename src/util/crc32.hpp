@@ -1,9 +1,15 @@
 // CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
 //
-// Used by the checkpoint format (detectors/checkpoint.*) to detect torn
-// writes and bit rot: one checksum per snapshot section plus one over the
-// whole file. Incremental: feed chunks through crc32_update to checksum a
-// file while streaming it.
+// Used by the checkpoint format (detectors/checkpoint.*) and the segment
+// store (store/segment.*) to detect torn writes and bit rot: one checksum
+// per section/frame plus one over the whole file. Incremental: feed chunks
+// through crc32_update to checksum a file while streaming it.
+//
+// The hot path is slice-by-8: eight derived lookup tables let the update
+// loop fold eight input bytes per iteration instead of one, which is what
+// makes open-time verification of multi-megabyte store segments cheap on
+// restart. crc32_update_bytewise is the one-table reference the sliced
+// tables are derived from; tests cross-check the two on random chunkings.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +25,13 @@ inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
 
 [[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc, const void* data,
                                          std::size_t size);
+
+/// Reference implementation: single-table, one byte per iteration. Same
+/// contract as crc32_update; exists so tests can cross-check the sliced
+/// path against the textbook loop.
+[[nodiscard]] std::uint32_t crc32_update_bytewise(std::uint32_t crc,
+                                                  const void* data,
+                                                  std::size_t size);
 
 [[nodiscard]] inline std::uint32_t crc32_final(std::uint32_t crc) {
   return crc ^ 0xFFFFFFFFu;

@@ -71,6 +71,12 @@ constexpr std::string_view kCatalog[] = {
     "store.compact.write",      // store/rating_store.cpp: consolidated write
     "store.compact.rename",     // store/rating_store.cpp: publish rename
     "store.compact.unlink",     // store/rating_store.cpp: input removal
+    "net.accept",               // net/server.cpp: drop an accepted conn
+    "net.read.short",           // net/socket.cpp: truncate a frame read
+    "net.write.short",          // net/socket.cpp: cut a frame write short
+    "net.write.fail",           // net/socket.cpp: fail a frame write
+    "net.frame.corrupt",        // net/socket.cpp: flip a bit in a frame
+    "net.session.drop",         // net/server.cpp: forget a session id
 };
 
 [[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
@@ -126,6 +132,12 @@ void failpoint_slow(std::string_view name) {
     // triggered action degrades to the one failure it can inject.
     throw IoError("failpoint '" + std::string(name) + "' injected failure");
   }
+}
+
+bool failpoint_poll_slow(std::string_view name) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mutex);
+  return fire(r, name) != nullptr;
 }
 
 FaultOutcome failpoint_io_slow(std::string_view name, std::size_t size) {

@@ -49,6 +49,7 @@ struct FaultOutcome {
 namespace detail {
 extern std::atomic<bool> g_failpoints_armed;
 void failpoint_slow(std::string_view name);
+[[nodiscard]] bool failpoint_poll_slow(std::string_view name);
 [[nodiscard]] FaultOutcome failpoint_io_slow(std::string_view name,
                                              std::size_t size);
 }  // namespace detail
@@ -64,6 +65,18 @@ inline void failpoint(std::string_view name) {
   if (failpoints_armed()) [[unlikely]] {
     detail::failpoint_slow(name);
   }
+}
+
+/// Non-throwing failpoint: returns true when an armed policy for `name`
+/// triggers this pass, false otherwise (and always when disarmed). For
+/// sites whose injected failure is a behavior rather than an exception —
+/// dropping an accepted connection, forgetting a session, truncating a
+/// read. Any action ('throw'/'short'/'corrupt') degrades to "fired".
+[[nodiscard]] inline bool failpoint_poll(std::string_view name) {
+  if (!failpoints_armed()) [[likely]] {
+    return false;
+  }
+  return detail::failpoint_poll_slow(name);
 }
 
 /// Buffer-site failpoint guarding a write of `size` bytes. A triggered

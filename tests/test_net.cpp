@@ -7,6 +7,8 @@
 // contract from net/wire.hpp: no malformed or truncated input may crash
 // the server or wedge other connections.
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <span>
@@ -25,6 +27,7 @@
 #include "net/wire.hpp"
 #include "rating/rating.hpp"
 #include "util/error.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/shutdown.hpp"
@@ -143,6 +146,56 @@ TEST(WireTest, RatePayloadRejectsMalformed) {
   EXPECT_THROW((void)net::decode_rate_payload(payload), InvalidArgument);
   payload += "xy";
   EXPECT_THROW((void)net::decode_rate_payload(payload), InvalidArgument);
+}
+
+TEST(WireTest, SessionPayloadsRoundTripAndRejectDamage) {
+  std::vector<rating::Rating> batch;
+  rating::Rating r;
+  r.time = 3.5;
+  r.value = 4.0;
+  r.rater = RaterId(9);
+  r.product = ProductId(2);
+  batch.push_back(r);
+
+  const std::string seq_payload = net::encode_rate_seq_payload(41, batch);
+  const net::SeqBatch sb = net::decode_rate_seq_payload(seq_payload);
+  EXPECT_EQ(sb.seq, 41u);
+  EXPECT_EQ(sb.ratings, batch);
+
+  const std::string rate_ack =
+      net::encode_rate_ack_payload({.accepted = 7, .durable_seq = 41});
+  EXPECT_EQ(net::decode_rate_ack_payload(rate_ack).accepted, 7u);
+  EXPECT_EQ(net::decode_rate_ack_payload(rate_ack).durable_seq, 41u);
+
+  const std::string session_ack = net::encode_session_ack_payload(
+      {.session_id = 0xABCDu, .durable_seq = 41});
+  EXPECT_EQ(net::decode_session_ack_payload(session_ack).session_id, 0xABCDu);
+
+  // Every single-bit flip anywhere in a v2 payload — data or trailer —
+  // must be rejected: this is what keeps damaged frames from silently
+  // ingesting wrong ratings or trimming unapplied frames off the window.
+  for (const std::string* payload : {&seq_payload, &rate_ack, &session_ack}) {
+    for (std::size_t byte = 0; byte < payload->size(); ++byte) {
+      std::string mutated = *payload;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ 0x40);
+      EXPECT_THROW(
+          {
+            if (payload == &seq_payload) {
+              (void)net::decode_rate_seq_payload(mutated);
+            } else if (payload == &rate_ack) {
+              (void)net::decode_rate_ack_payload(mutated);
+            } else {
+              (void)net::decode_session_ack_payload(mutated);
+            }
+          },
+          InvalidArgument)
+          << "flipped byte " << byte;
+    }
+  }
+  // Truncation below the trailer size is caught before any field read.
+  EXPECT_THROW((void)net::decode_rate_ack_payload("abc"), InvalidArgument);
+  EXPECT_THROW((void)net::decode_session_ack_payload(""), InvalidArgument);
+  EXPECT_THROW((void)net::decode_rate_seq_payload("xy"), InvalidArgument);
 }
 
 TEST(WireTest, ScalarPayloadRoundTrips) {
@@ -555,6 +608,338 @@ TEST(ServerTest, SurvivesWireFuzz) {
     ingested += runner.server().monitor(s).ingested();
   }
   EXPECT_EQ(ingested, 1u);
+}
+
+// --- protocol v2: sessions, resume, exactly-once ---------------------------
+
+net::SessionAck do_hello(net::Client& client) {
+  const net::Frame reply = client.roundtrip({net::FrameType::kHello, ""});
+  EXPECT_EQ(reply.type, net::FrameType::kSessionAck);
+  return net::decode_session_ack_payload(reply.payload);
+}
+
+net::Frame rate_seq_frame(std::uint64_t seq,
+                          std::span<const rating::Rating> batch) {
+  return {net::FrameType::kRateSeq, net::encode_rate_seq_payload(seq, batch)};
+}
+
+/// Sends a kRateSeq and expects the kOk ack (no backpressure expected in
+/// these small tests).
+net::RateAck send_seq(net::Client& client, std::uint64_t seq,
+                      std::span<const rating::Rating> batch) {
+  const net::Frame reply = client.roundtrip(rate_seq_frame(seq, batch));
+  EXPECT_EQ(reply.type, net::FrameType::kOk);
+  return net::decode_rate_ack_payload(reply.payload);
+}
+
+TEST(SessionTest, HelloAssignsDistinctSessionsWithZeroFloor) {
+  ServerRunner runner(local_config(2));
+  net::Client a(runner.addr());
+  net::Client b(runner.addr());
+  const net::SessionAck sa = do_hello(a);
+  const net::SessionAck sb = do_hello(b);
+  EXPECT_NE(sa.session_id, 0u);
+  EXPECT_NE(sb.session_id, 0u);
+  EXPECT_NE(sa.session_id, sb.session_id);
+  EXPECT_EQ(sa.durable_seq, 0u);
+  EXPECT_EQ(sb.durable_seq, 0u);
+}
+
+/// The dedup core: replayed and regressed sequence numbers are acked but
+/// never re-applied — the final monitor state equals the offline
+/// reference over the deduplicated feed.
+TEST(SessionTest, ReplayedAndRegressedFramesAreDedupedExactlyOnce) {
+  const std::vector<rating::Rating> feed = test_feed(40);
+  const net::ServeConfig config = local_config(2);
+  ServerRunner runner(config);
+  {
+    net::Client client(runner.addr());
+    do_hello(client);
+    const std::span<const rating::Rating> first(feed.data(), 20);
+    const std::span<const rating::Rating> second(feed.data() + 20, 20);
+    EXPECT_EQ(send_seq(client, 1, first).accepted, 20u);
+    // Replay of an already-enqueued frame: normal ack, no second apply.
+    EXPECT_EQ(send_seq(client, 1, first).accepted, 20u);
+    EXPECT_EQ(send_seq(client, 2, second).accepted, 20u);
+    // Regressed sequence after a later one: also a dup, also no apply.
+    EXPECT_EQ(send_seq(client, 1, first).accepted, 20u);
+    (void)client.drain();
+  }
+  runner.finish();
+  const std::vector<Snapshot> reference = offline_reference(feed, config);
+  std::size_t ingested = 0;
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    EXPECT_EQ(snapshot(runner.server().monitor(s)), reference[s])
+        << "shard " << s;
+    ingested += runner.server().monitor(s).ingested();
+  }
+  EXPECT_EQ(ingested, feed.size());  // zero lost, zero double-applied
+}
+
+/// Empty kRateSeq frames are durable-floor probes: once the workers have
+/// committed every prior frame, a probe's ack reports the full floor.
+TEST(SessionTest, ProbeConvergesToTheDurableFloor) {
+  const std::vector<rating::Rating> feed = test_feed(60);
+  ServerRunner runner(local_config(2));
+  net::Client client(runner.addr());
+  do_hello(client);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    (void)send_seq(client, seq,
+                   {feed.data() + (seq - 1) * 20, std::size_t{20}});
+  }
+  std::uint64_t floor = 0;
+  std::uint64_t probe_seq = 3;
+  for (int round = 0; round < 500 && floor < 3; ++round) {
+    floor = send_seq(client, ++probe_seq, {}).durable_seq;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(floor, 3u);
+  (void)client.drain();
+}
+
+/// kResume re-attaches a new connection to the session, reports the
+/// durable floor, and fences the previous owner connection out.
+TEST(SessionTest, ResumeReportsFloorAndFencesTheZombieOwner) {
+  const std::vector<rating::Rating> feed = test_feed(40);
+  ServerRunner runner(local_config(2));
+  net::Client zombie(runner.addr());
+  const net::SessionAck opened = do_hello(zombie);
+  (void)send_seq(zombie, 1, {feed.data(), 40});
+
+  net::Client successor(runner.addr());
+  const net::Frame resumed = successor.roundtrip(
+      {net::FrameType::kResume, net::encode_u64_payload(opened.session_id)});
+  ASSERT_EQ(resumed.type, net::FrameType::kSessionAck);
+  EXPECT_EQ(net::decode_session_ack_payload(resumed.payload).session_id,
+            opened.session_id);
+
+  // The fenced zombie may not write into the session anymore.
+  const net::Frame fenced =
+      zombie.roundtrip(rate_seq_frame(2, {feed.data(), 1}));
+  EXPECT_EQ(fenced.type, net::FrameType::kError);
+  EXPECT_NE(fenced.payload.find("superseded"), std::string::npos);
+
+  // The successor owns the sequence stream now; replay of seq 1 dedups.
+  EXPECT_EQ(send_seq(successor, 1, {feed.data(), 40}).accepted, 40u);
+  (void)successor.drain();
+  runner.finish();
+  std::size_t ingested = 0;
+  for (std::size_t s = 0; s < runner.server().shards(); ++s) {
+    ingested += runner.server().monitor(s).ingested();
+  }
+  EXPECT_EQ(ingested, 40u);
+}
+
+/// A graceful stop + restart from the per-shard stores: the same
+/// ResilientClient rides across both servers via kResume, replays its
+/// unacked window, and the final state is bit-identical to the offline
+/// reference — the in-process version of the SIGKILL chaos leg.
+TEST(SessionTest, ResilientClientResumesAcrossServerRestart) {
+  const std::vector<rating::Rating> feed = test_feed(1200);
+  const fs::path root = fs::temp_directory_path() / "rab_test_net_resume";
+  fs::remove_all(root);
+  net::ServeConfig config = local_config(2);
+  config.listen =
+      net::Addr::parse("unix:" + (root / "serve.sock").string());
+  config.monitor.checkpoint_dir = (root / "ckpt").string();
+  config.monitor.store_dir = (root / "store").string();
+  fs::create_directories(root);
+
+  net::ResilientConfig rc;
+  rc.addr = config.listen;
+  rc.backoff_base = 0.001;
+  rc.backoff_cap = 0.05;
+  rc.max_reconnects = 200;
+  net::ResilientClient client(rc);
+  std::uint64_t seq = 0;
+  std::uint64_t accepted = 0;
+  const std::size_t batch = 60;
+  const std::size_t half = feed.size() / 2;
+  {
+    ServerRunner first(config);
+    for (std::size_t at = 0; at < half; at += batch) {
+      accepted += client.rate_seq(++seq, {feed.data() + at, batch}).accepted;
+    }
+    first.finish();  // closes the client's connection mid-session
+  }
+  {
+    ServerRunner second(config);  // restores from the shard stores
+    for (std::size_t at = half; at < feed.size(); at += batch) {
+      accepted += client.rate_seq(++seq, {feed.data() + at, batch}).accepted;
+    }
+    EXPECT_GE(client.reconnects(), 1u);
+    (void)client.raw().drain();
+    second.finish();
+
+    net::ServeConfig plain = local_config(2);
+    const std::vector<Snapshot> reference = offline_reference(feed, plain);
+    std::size_t ingested = 0;
+    for (std::size_t s = 0; s < config.shards; ++s) {
+      EXPECT_EQ(snapshot(second.server().monitor(s)), reference[s])
+          << "shard " << s << " diverged across the restart";
+      ingested += second.server().monitor(s).ingested();
+    }
+    EXPECT_EQ(ingested, feed.size());
+    EXPECT_EQ(accepted, feed.size());
+  }
+  fs::remove_all(root);
+}
+
+/// net.* failpoints inject connection faults on both sides of the wire
+/// (failed/short/corrupted writes, dropped accepts, server session
+/// amnesia) while a ResilientClient streams a feed. Exactly-once must
+/// hold regardless of where the faults land.
+TEST(SessionTest, ExactlyOnceSurvivesInjectedNetworkFaults) {
+  const std::vector<rating::Rating> feed = test_feed(800);
+  const net::ServeConfig config = local_config(2);
+  ServerRunner runner(config);
+
+  util::arm_failpoints(
+      "net.accept:throw,every=5;"
+      "net.write.fail:throw,every=17;"
+      "net.write.short:throw,every=19;"
+      "net.frame.corrupt:corrupt,every=23,seed=3;"
+      "net.read.short:throw,every=29;"
+      "net.session.drop:throw,every=7");
+  std::uint64_t accepted = 0;
+  {
+    net::ResilientConfig rc;
+    rc.addr = runner.addr();
+    rc.backoff_base = 0.001;
+    rc.backoff_cap = 0.02;
+    rc.max_reconnects = 10000;
+    net::ResilientClient client(rc);
+    std::uint64_t seq = 0;
+    for (std::size_t at = 0; at < feed.size(); at += 50) {
+      accepted += client.rate_seq(++seq, {feed.data() + at, 50}).accepted;
+    }
+    EXPECT_GT(client.reconnects(), 0u);
+  }
+  // Every armed fault site on the serve path must actually have fired.
+  for (const char* name : {"net.write.fail", "net.write.short",
+                           "net.frame.corrupt", "net.read.short"}) {
+    EXPECT_GT(util::failpoint_fires(name), 0u) << name;
+  }
+  util::disarm_failpoints();
+
+  {
+    net::Client client(runner.addr());
+    (void)client.drain();
+  }
+  runner.finish();
+  const std::vector<Snapshot> reference = offline_reference(feed, config);
+  std::size_t ingested = 0;
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    EXPECT_EQ(snapshot(runner.server().monitor(s)), reference[s])
+        << "shard " << s << " diverged under injected faults";
+    ingested += runner.server().monitor(s).ingested();
+  }
+  EXPECT_EQ(ingested, feed.size());
+  EXPECT_EQ(accepted, feed.size());
+}
+
+/// Hostile v2 frames: truncated or garbage payloads, stale ids, and
+/// sequence regressions must never crash the server or double-apply —
+/// mirroring SurvivesWireFuzz for the session protocol.
+TEST(ServerTest, SurvivesSessionWireFuzz) {
+  const std::vector<rating::Rating> feed = test_feed(10);
+  ServerRunner runner(local_config(2));
+  const net::Addr& addr = runner.addr();
+
+  {  // kRateSeq without a session: kError, framing (and connection) live.
+    net::Client client(addr);
+    const net::Frame reply =
+        client.roundtrip(rate_seq_frame(1, {feed.data(), 1}));
+    EXPECT_EQ(reply.type, net::FrameType::kError);
+    EXPECT_NE(client.ping().find("pong"), std::string::npos);
+  }
+
+  {  // Truncated kResume payload (4 of 8 bytes): kError, not a crash.
+    net::Client client(addr);
+    const net::Frame reply = client.roundtrip(
+        {net::FrameType::kResume, std::string("\x01\x02\x03\x04", 4)});
+    EXPECT_EQ(reply.type, net::FrameType::kError);
+  }
+  expect_alive(addr);
+
+  {  // Resume of session id 0 is rejected.
+    net::Client client(addr);
+    const net::Frame reply = client.roundtrip(
+        {net::FrameType::kResume, net::encode_u64_payload(0)});
+    EXPECT_EQ(reply.type, net::FrameType::kError);
+  }
+
+  {  // Stale/unknown session id: adopted with a conservative zero floor
+     // (the restarted-server path), never a crash.
+    net::Client client(addr);
+    const net::Frame reply = client.roundtrip(
+        {net::FrameType::kResume, net::encode_u64_payload(0xDEADBEEFull)});
+    ASSERT_EQ(reply.type, net::FrameType::kSessionAck);
+    const net::SessionAck ack = net::decode_session_ack_payload(reply.payload);
+    EXPECT_EQ(ack.session_id, 0xDEADBEEFull);
+    EXPECT_EQ(ack.durable_seq, 0u);
+  }
+
+  {  // Sequence zero and truncated kRateSeq payloads: kError.
+    net::Client client(addr);
+    do_hello(client);
+    const net::Frame zero =
+        client.roundtrip(rate_seq_frame(0, {feed.data(), 1}));
+    EXPECT_EQ(zero.type, net::FrameType::kError);
+    const net::Frame runt = client.roundtrip(
+        {net::FrameType::kRateSeq, std::string("\x01", 1)});
+    EXPECT_EQ(runt.type, net::FrameType::kError);
+    EXPECT_NE(client.ping().find("pong"), std::string::npos);
+  }
+
+  {  // A reply type on the request wire kills the connection only.
+    net::Client client(addr);
+    client.send_raw(net::encode_frame(
+        {net::FrameType::kSessionAck,
+         net::encode_session_ack_payload({1, 1})}));
+    EXPECT_THROW(
+        {
+          (void)client.read_reply();
+          (void)client.read_reply();
+        },
+        IoError);
+  }
+  expect_alive(addr);
+
+  {  // Deterministic garbage payloads in valid kRateSeq/kResume framing.
+    Rng rng(20260808);
+    for (int round = 0; round < 32; ++round) {
+      net::Client client(addr);
+      std::string junk;
+      const auto len = static_cast<std::size_t>(rng.uniform_int(0, 128));
+      for (std::size_t i = 0; i < len; ++i) {
+        junk.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+      }
+      const net::FrameType type = (round % 2) == 0 ? net::FrameType::kRateSeq
+                                                   : net::FrameType::kResume;
+      try {
+        const net::Frame reply = client.roundtrip({type, junk});
+        EXPECT_TRUE(reply.type == net::FrameType::kError ||
+                    reply.type == net::FrameType::kSessionAck);
+      } catch (const IoError&) {
+        // Close-before-read is acceptable; the server must stay up.
+      }
+    }
+    expect_alive(addr);
+  }
+
+  // None of the hostile frames above carried an applicable rating, so
+  // nothing may have reached any shard.
+  {
+    net::Client client(addr);
+    (void)client.drain();
+  }
+  runner.finish();
+  std::size_t ingested = 0;
+  for (std::size_t s = 0; s < runner.server().shards(); ++s) {
+    ingested += runner.server().monitor(s).ingested();
+  }
+  EXPECT_EQ(ingested, 0u);
 }
 
 TEST(ServerTest, QueriesAnswerDuringServing) {

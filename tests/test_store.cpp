@@ -347,6 +347,112 @@ TEST(Store, CompactionKeepsSuffixAndSurvivesReopen) {
 }
 
 // ---------------------------------------------------------------------------
+// Session watermarks (kSession frames): the exactly-once resume protocol
+// depends on marker durability ⟺ row durability, which holds because a
+// batch's marker is flushed inside the same commit group as its rows.
+
+TEST(Store, SessionMarkersCommitAtomicallyWithTheirBatch) {
+  ScratchDir dir("session");
+  const std::size_t kBatch = 16;
+  const std::vector<rating::Rating> feed = synthetic_feed(256, 3, 8);
+  StoreConfig config;
+  config.dir = dir.path();
+  config.group_ratings = 64;  // 4 batches + their markers per group
+  config.marker_commits = true;
+  {
+    RatingStore store(config);
+    std::uint64_t seq = 0;
+    for (std::size_t at = 0; at < feed.size(); at += kBatch) {
+      for (std::size_t i = 0; i < kBatch; ++i) store.append(feed[at + i]);
+      store.mark_session(77, ++seq);
+      const bool flushed = store.maybe_flush();
+      // marker_commits: append() never auto-flushes, so commits happen
+      // exactly at the group_ratings boundaries maybe_flush checks.
+      EXPECT_EQ(flushed, seq % 4 == 0) << "batch " << seq;
+    }
+    store.sync();
+  }
+  {
+    RatingStore reopened(config);
+    ASSERT_TRUE(reopened.session_watermarks().contains(77));
+    EXPECT_EQ(reopened.session_watermarks().at(77), feed.size() / kBatch);
+  }
+
+  // Truncation sweep: wherever the tail tears, the recovered watermark
+  // must agree with the recovered rows — seq N durable iff batch N's
+  // rows are. A mismatch in either direction breaks exactly-once (lost
+  // acks or acked-but-lost rows).
+  fs::path segment;
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    segment = entry.path();
+  }
+  const std::string bytes = [&] {
+    std::ifstream in(segment, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }();
+  ScratchDir scratch("session-cut");
+  StoreConfig cut_config = config;
+  cut_config.dir = scratch.path();
+  for (std::size_t cut = 0; cut <= bytes.size();
+       cut = std::min(cut + 41, bytes.size()) +
+             (cut == bytes.size() ? 1 : 0)) {
+    fs::create_directories(scratch.path());
+    const fs::path copy = fs::path(scratch.path()) / segment.filename();
+    {
+      std::ofstream out(copy, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    {
+      RatingStore recovered(cut_config);
+      const std::size_t rows = total_rows(recovered);
+      const std::uint64_t watermark =
+          recovered.session_watermarks().contains(77)
+              ? recovered.session_watermarks().at(77)
+              : 0;
+      EXPECT_EQ(watermark * kBatch, rows) << "cut at " << cut;
+    }
+    fs::remove_all(scratch.path());
+  }
+}
+
+TEST(Store, SessionWatermarksSurviveSealCompactionAndReopen) {
+  ScratchDir dir("session-compact");
+  const std::vector<rating::Rating> feed = synthetic_feed(4000, 2, 9);
+  StoreConfig config;
+  config.dir = dir.path();
+  config.segment_bytes = 8 * 1024;  // force seals mid-stream
+  config.group_ratings = 100;
+  config.consolidate_after = 2;
+  config.marker_commits = true;
+  std::map<std::uint64_t, std::uint64_t> expected;
+  {
+    RatingStore store(config);
+    std::uint64_t seq = 0;
+    for (std::size_t at = 0; at < feed.size(); at += 50) {
+      for (std::size_t i = 0; i < 50; ++i) store.append(feed[at + i]);
+      const std::uint64_t session = 1 + (at / 50) % 2;  // two interleaved
+      expected[session] = ++seq;
+      store.mark_session(session, seq);
+      (void)store.maybe_flush();
+    }
+    store.sync();
+    EXPECT_EQ(store.session_watermarks(), expected);
+
+    // Compaction and consolidation rewrite segments; the watermarks ride
+    // along (a restarted server must recover them from the survivors).
+    std::map<ProductId, std::uint64_t> watermark;
+    for (const ProductId p : store.products()) {
+      watermark[p] = store.rows(p) / 2;
+    }
+    store.compact(watermark);
+    store.sync();
+    EXPECT_EQ(store.session_watermarks(), expected);
+  }
+  RatingStore reopened(config);
+  EXPECT_EQ(reopened.session_watermarks(), expected);
+}
+
+// ---------------------------------------------------------------------------
 // Monitor-level property: kill + mmap restart == uninterrupted replay.
 
 std::vector<rating::Rating> monitor_feed() {

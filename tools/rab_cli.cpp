@@ -674,6 +674,9 @@ int cmd_serve(const Args& args) {
   config.max_connections = static_cast<std::size_t>(
       args.get_u64("max-connections", config.max_connections));
   config.retry_after = args.get_double("retry-after", config.retry_after);
+  config.io_timeout = args.get_double("io-timeout", config.io_timeout);
+  config.idle_timeout =
+      args.get_double("idle-timeout", config.idle_timeout);
   if (const char* env = std::getenv("RAB_SERVE_BACKLOG")) {
     config.backlog = static_cast<int>(
         util::parse_u64_in(env, "RAB_SERVE_BACKLOG", 1, 65535));
@@ -711,6 +714,9 @@ int cmd_serve(const Args& args) {
 }
 
 int cmd_loadgen(const Args& args) {
+  // SIGINT/SIGTERM stop the feed gracefully: the partial report (with
+  // "interrupted":true) is still written to --report and stdout.
+  util::install_shutdown_handlers();
   net::LoadgenConfig config;
   config.addr = net::Addr::parse(args.get("addr", "127.0.0.1:7787"));
   if (const std::string data = args.get("data", "-"); data != "-") {
@@ -735,6 +741,10 @@ int cmd_loadgen(const Args& args) {
   config.max_retries = static_cast<std::size_t>(
       args.get_u64("max-retries", config.max_retries));
   config.drain_at_end = args.get_bool("drain", false);
+  config.resume = args.get_bool("resume", false);
+  config.backoff_base =
+      args.get_double("backoff-base", config.backoff_base);
+  config.backoff_cap = args.get_double("backoff-cap", config.backoff_cap);
 
   const net::LoadgenReport report = net::run_loadgen(config);
   const std::string json = net::report_json(report);
@@ -816,7 +826,8 @@ int usage() {
       "             registry; see docs/METRICS.md for the name catalog)\n"
       "  serve      [--listen HOST:PORT|unix:/path --shards N\n"
       "             --queue-capacity N --max-connections N\n"
-      "             --retry-after SECONDS plus every monitor knob:\n"
+      "             --retry-after SECONDS --io-timeout SECONDS\n"
+      "             --idle-timeout SECONDS plus every monitor knob:\n"
       "             --epoch --retention --min-marks --forgetting\n"
       "             --cache-streams --checkpoint-dir --checkpoint-every\n"
       "             --checkpoint-keep --store-dir --store-segment-bytes]\n"
@@ -824,17 +835,23 @@ int usage() {
       "             N workers, each an OnlineMonitor; checkpoint/store\n"
       "             dirs get per-shard subdirectories shard-NNNN;\n"
       "             SIGINT/SIGTERM or a drain frame checkpoints and\n"
-      "             flushes every shard before exit; wire protocol and\n"
+      "             flushes every shard before exit; a SIGKILL'd server\n"
+      "             restarted on the same --store-dir resumes and dedups\n"
+      "             sequenced sessions exactly-once; wire protocol and\n"
       "             frame grammar: docs/CLI.md)\n"
       "  loadgen    [--addr HOST:PORT|unix:/path --data F --ratings N\n"
       "             --products N --raters N --days D --mean M --sigma S\n"
       "             --seed N --rate R/S --batch N --connections N\n"
       "             --server-shards N --max-retries N --drain 0|1\n"
+      "             --resume 0|1 --backoff-base S --backoff-cap S\n"
       "             --report F]\n"
       "             (replays a CSV or synthetic feed against rab serve\n"
       "             and reports throughput + ingest-latency quantiles as\n"
       "             JSON; --server-shards must match the server for >1\n"
-      "             connections)\n"
+      "             connections; --resume 1 uses protocol-v2 sessions —\n"
+      "             sequenced frames, reconnect + replay across server\n"
+      "             restarts, exactly-once ingest; SIGINT/SIGTERM writes\n"
+      "             the partial report with \"interrupted\":true)\n"
       "  query      [--addr HOST:PORT|unix:/path --what trust|alarms|\n"
       "             stats|series|metrics|drain|ping --rater N\n"
       "             --product N --since N]\n"
@@ -922,7 +939,8 @@ int main(int argc, char** argv) {
     if (command == "serve") {
       args.restrict(command,
                     {"listen", "shards", "queue-capacity",
-                     "max-connections", "retry-after", "epoch",
+                     "max-connections", "retry-after", "io-timeout",
+                     "idle-timeout", "epoch",
                      "retention", "min-marks", "forgetting",
                      "cache-streams", "checkpoint-dir",
                      "checkpoint-every", "checkpoint-keep", "store-dir",
@@ -934,7 +952,8 @@ int main(int argc, char** argv) {
                     {"addr", "data", "ratings", "products", "raters",
                      "days", "mean", "sigma", "seed", "rate", "batch",
                      "connections", "server-shards", "max-retries",
-                     "drain", "report"});
+                     "drain", "report", "resume", "backoff-base",
+                     "backoff-cap"});
       return cmd_loadgen(args);
     }
     if (command == "query") {

@@ -15,6 +15,14 @@
 #                            # burst, query + metrics scrape, SIGTERM drain,
 #                            # restart from the drain checkpoints, and a diff
 #                            # against a server that never stopped
+#   tools/tier1.sh --serve-chaos # additionally: ASan+UBSan crash-tolerance
+#                            # proof — SIGKILL a store-backed daemon at 8
+#                            # seeded-random offsets while resumable clients
+#                            # stream, restart each time, and byte-diff the
+#                            # final state + query answers against a server
+#                            # that was never killed, at {1,8} shards x {1,8}
+#                            # threads; then once more with net.* failpoints
+#                            # armed in both processes
 #
 # The TSAN pass builds into build-tsan/ with -DRAB_TSAN=ON and runs the
 # tests that exercise the thread pool (test_parallel), the detector suite
@@ -160,6 +168,172 @@ if [[ "${1:-}" == "--serve" ]]; then
   # Drain + restart must be bit-identical to never stopping.
   diff "$serve_dir/serve2.jsonl" "$serve_dir/serve3.jsonl"
   echo "serve smoke: drained/restarted state identical to uninterrupted run"
+fi
+
+if [[ "${1:-}" == "--serve-chaos" ]]; then
+  # Crash-tolerance proof for the serving path (DESIGN.md §5i), under
+  # ASan+UBSan: a store-backed daemon is SIGKILL'd at 8 seeded-random
+  # offsets while a protocol-v2 loadgen streams a paced feed; every
+  # restart recovers from the store and the clients reconnect + replay
+  # their unacked windows. The final per-shard state and the trust /
+  # alarms / stats query answers must byte-match a server that was never
+  # killed — zero lost ratings, zero double-applied — at {1,8} shards x
+  # {1,8} worker threads. A second leg repeats the proof with the net.*
+  # failpoint catalog armed in both processes.
+  cmake -B build-chaos -S . -DRAB_ASAN=ON -DRAB_UBSAN=ON >/dev/null
+  cmake --build build-chaos -j "$(nproc)" --target rab_cli
+  RAB=./build-chaos/tools/rab
+  chaos_dir="$smoke_dir/serve-chaos"
+  mkdir -p "$chaos_dir"
+  serve_pid=""
+  lg_pid=""
+  trap 'kill -9 ${serve_pid:-} ${lg_pid:-} 2>/dev/null || true
+        rm -rf "$smoke_dir"' EXIT
+
+  sock="$chaos_dir/rab.sock"
+  wait_ready() {
+    for _ in $(seq 300); do
+      "$RAB" query --addr "unix:$sock" --what ping >/dev/null 2>&1 && return 0
+      sleep 0.1
+    done
+    echo "serve-chaos: daemon did not come up on $sock" >&2
+    return 1
+  }
+  snapshot_queries() {  # $1 = output path prefix; daemon must be live
+    # Per-instance counters (accepted/rejected/io_errors/queue) do not
+    # survive a restart and are not state; strip them before diffing.
+    "$RAB" query --addr "unix:$sock" --what stats |
+      sed -E 's/"(accepted|rejected|io_errors|queue)":[0-9]+,?//g' \
+        > "$1.stats"
+    for rater in 0 1 42; do
+      "$RAB" query --addr "unix:$sock" --what trust --rater "$rater" \
+        > "$1.trust$rater"
+    done
+    "$RAB" query --addr "unix:$sock" --what alarms > "$1.alarms"
+  }
+  # Identical synthetic feed for the reference and the chaos run (the
+  # pacing below only stretches wall clock; final state depends only on
+  # rating content, which the seed pins).
+  lg_flags=(--ratings 40000 --raters 300 --products 32 --days 40 --seed 29
+            --batch 128 --resume 1)
+
+  run_reference() {  # $1 = run dir, $2 = shards, $3 = threads, $4 = conns
+    RAB_THREADS="$3" "$RAB" serve "${serve_flags[@]}" \
+      --checkpoint-dir "$1/ref-ckpt" --store-dir "$1/ref-store" \
+      > "$1/ref.jsonl" &
+    serve_pid=$!
+    wait_ready
+    "$RAB" loadgen --addr "unix:$sock" "${lg_flags[@]}" \
+      --connections "$4" --server-shards "$2" >/dev/null
+    snapshot_queries "$1/ref"
+    "$RAB" query --addr "unix:$sock" --what drain >/dev/null
+    wait "$serve_pid"
+    serve_pid=""
+    grep '"type":"shard"' "$1/ref.jsonl" > "$1/ref.shards"
+  }
+
+  kill_loop() {  # $1 = run dir, $2 = shards, $3 = threads, $4 = kill count
+    local kills=0
+    for _ in $(seq "$4"); do
+      sleep "0.$((500 + RANDOM % 400))"
+      kill -0 "$lg_pid" 2>/dev/null || break
+      kill -9 "$serve_pid" 2>/dev/null || true
+      wait "$serve_pid" 2>/dev/null || true
+      kills=$((kills + 1))
+      RAB_FAULTS="${serve_faults:-}" RAB_THREADS="$3" \
+        "$RAB" serve "${serve_flags[@]}" \
+        --checkpoint-dir "$1/ckpt" --store-dir "$1/store" \
+        > "$1/chaos.jsonl" &
+      serve_pid=$!
+      wait_ready
+    done
+    if [[ "$kills" -lt "$4" ]]; then
+      echo "serve-chaos: only $kills/$4 kills landed before the feed ended" >&2
+      return 1
+    fi
+  }
+
+  check_run() {  # $1 = run dir, $2 = expected ratings
+    diff "$1/ref.shards" "$1/chaos.shards"
+    for q in stats trust0 trust1 trust42 alarms; do
+      diff "$1/ref.$q" "$1/chaos.$q"
+    done
+    grep -q "\"ratings\":$2," "$1/report.json"
+    grep -q "\"accepted\":$2," "$1/report.json"
+    grep -q '"interrupted":false' "$1/report.json"
+    if grep -q '"reconnects":0,' "$1/report.json"; then
+      echo "serve-chaos: expected nonzero reconnects in $1/report.json" >&2
+      return 1
+    fi
+  }
+
+  serve_faults=""  # kill_loop restarts re-arm this spec (fault leg below)
+  for combo in "1 1" "1 8" "8 1" "8 8"; do
+    read -r shards threads <<< "$combo"
+    run="$chaos_dir/s$shards-t$threads"
+    mkdir -p "$run"
+    serve_flags=(--listen "unix:$sock" --shards "$shards" --epoch 5
+                 --retention 20)
+    run_reference "$run" "$shards" "$threads" "$shards"
+
+    # Chaos: paced stream, SIGKILL the daemon at 8 seeded-random offsets.
+    RAB_THREADS="$threads" "$RAB" serve "${serve_flags[@]}" \
+      --checkpoint-dir "$run/ckpt" --store-dir "$run/store" \
+      > "$run/chaos.jsonl" &
+    serve_pid=$!
+    wait_ready
+    "$RAB" loadgen --addr "unix:$sock" "${lg_flags[@]}" \
+      --connections "$shards" --server-shards "$shards" --rate 1500 \
+      --report "$run/report.json" >/dev/null &
+    lg_pid=$!
+    RANDOM=$((20260808 + shards * 100 + threads))
+    kill_loop "$run" "$shards" "$threads" 8
+    wait "$lg_pid"
+    lg_pid=""
+    snapshot_queries "$run/chaos"
+    "$RAB" query --addr "unix:$sock" --what drain >/dev/null
+    wait "$serve_pid"
+    serve_pid=""
+    grep '"type":"shard"' "$run/chaos.jsonl" > "$run/chaos.shards"
+
+    check_run "$run" 40000
+    echo "serve-chaos: $shards shards x $threads threads survived 8 kills" \
+         "bit-identically"
+  done
+
+  # Failpoint leg: the same exactly-once proof with the net.* fault
+  # catalog armed — the daemon drops accepted connections and a session
+  # registration, the loadgen suffers failed writes, short writes,
+  # corrupted frames, and short reads — plus 2 more kills. The drain and
+  # the query snapshots run from this (unarmed) shell so fault noise
+  # never masks a state divergence.
+  run="$chaos_dir/faults"
+  mkdir -p "$run"
+  serve_flags=(--listen "unix:$sock" --shards 2 --epoch 5 --retention 20)
+  run_reference "$run" 2 2 1
+  serve_faults='net.accept:throw,once;net.session.drop:throw,once'
+  RAB_FAULTS="$serve_faults" \
+    RAB_THREADS=2 "$RAB" serve "${serve_flags[@]}" \
+    --checkpoint-dir "$run/ckpt" --store-dir "$run/store" \
+    > "$run/chaos.jsonl" &
+  serve_pid=$!
+  wait_ready
+  RAB_FAULTS='net.write.fail:throw,every=151;net.write.short:throw,every=163;net.frame.corrupt:corrupt,every=157,seed=7;net.read.short:throw,every=149' \
+    "$RAB" loadgen --addr "unix:$sock" "${lg_flags[@]}" \
+    --connections 1 --server-shards 2 --rate 4000 \
+    --report "$run/report.json" >/dev/null &
+  lg_pid=$!
+  RANDOM=20260808
+  kill_loop "$run" 2 2 2
+  wait "$lg_pid"
+  lg_pid=""
+  snapshot_queries "$run/chaos"
+  "$RAB" query --addr "unix:$sock" --what drain >/dev/null
+  wait "$serve_pid"
+  serve_pid=""
+  grep '"type":"shard"' "$run/chaos.jsonl" > "$run/chaos.shards"
+  check_run "$run" 40000
+  echo "serve-chaos: armed net.* failpoints + 2 kills, still bit-identical"
 fi
 
 if [[ "${1:-}" == "--chaos" ]]; then
