@@ -1,0 +1,76 @@
+// Tournament benches (google-benchmark): how fast the scheme x attack
+// matrix fills. cells/sec (items processed = cells) is the headline rate
+// bench_report tracks; the P-scheme bench also reports the detector-
+// result cache hit rate its region search sustains — the warm-cache
+// fraction is what makes repeated probes on the same cell cheap.
+#include <benchmark/benchmark.h>
+
+#include "challenge/challenge.hpp"
+#include "core/tournament.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using namespace rab;
+
+core::TournamentOptions mini_options() {
+  core::TournamentOptions options;
+  options.schemes = {"SA", "MED"};
+  options.attacks = {"indep-random", "squad-pre"};
+  options.search.trials = 2;
+  options.search.max_rounds = 2;
+  options.search.grid = 2;
+  return options;
+}
+
+/// The 2x2 mini matrix tier1.sh --tournament smokes: cheap schemes, one
+/// independent and one squad column.
+void BM_TournamentMini(benchmark::State& state) {
+  const challenge::Challenge challenge = challenge::Challenge::make_default();
+  const core::TournamentOptions options = mini_options();
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const core::TournamentResult result =
+        core::run_tournament(challenge, options);
+    benchmark::DoNotOptimize(result.cells.data());
+    cells += result.cells.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.counters["cells_per_sec"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TournamentMini)->Unit(benchmark::kMillisecond);
+
+/// A single P-scheme cell: the detector bank dominates, so the result
+/// cache decides the cost of every probe after the first per stream.
+/// hit_rate is (cache.hits delta) / (hits + misses delta) over the run.
+void BM_TournamentPCellWarmCache(benchmark::State& state) {
+  const challenge::Challenge challenge = challenge::Challenge::make_default();
+  core::TournamentOptions options = mini_options();
+  options.schemes = {"P"};
+  options.attacks = {"indep-heuristic"};
+  const util::metrics::Snapshot before = util::metrics::scrape();
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const core::TournamentResult result =
+        core::run_tournament(challenge, options);
+    benchmark::DoNotOptimize(result.cells.data());
+    cells += result.cells.size();
+  }
+  const util::metrics::Snapshot after = util::metrics::scrape();
+  const double hits = static_cast<double>(
+      after.counter_value("cache.hits") - before.counter_value("cache.hits"));
+  const double misses =
+      static_cast<double>(after.counter_value("cache.misses") -
+                          before.counter_value("cache.misses"));
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.counters["cells_per_sec"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+  state.counters["cache_hit_rate"] =
+      hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+}
+BENCHMARK(BM_TournamentPCellWarmCache)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+#include "aggregation/collusion_guard.hpp"
+
+#include <limits>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "aggregation/overlay_support.hpp"
+#include "util/error.hpp"
+
+namespace rab::aggregation {
+
+namespace {
+
+/// Raters whose discounted trust falls below the removal threshold, in
+/// ascending order.
+std::set<RaterId> flagged_raters(
+    const std::vector<trust::CollusionGroup>& groups,
+    const CollusionGuardConfig& config) {
+  trust::TrustManager discount;
+  trust::apply_collusion_discount(discount, groups);
+  std::set<RaterId> flagged;
+  for (const trust::CollusionGroup& group : groups) {
+    for (RaterId rater : group.raters) {
+      if (discount.trust(rater) < config.removal_trust) {
+        flagged.insert(rater);
+      }
+    }
+  }
+  return flagged;
+}
+
+/// Per-bin counts of a product's flagged ratings — the `removed` the guard
+/// adds on top of whatever the inner scheme removed from the survivors.
+template <typename Stream>
+std::vector<std::size_t> removed_per_bin(const Stream& stream,
+                                         const std::vector<Interval>& bins,
+                                         const std::set<RaterId>& flagged) {
+  std::vector<std::size_t> removed(bins.size(), 0);
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    detail::visit_in(stream, bins[b], [&](const rating::Rating& r) {
+      if (flagged.count(r.rater) > 0) ++removed[b];
+    });
+  }
+  return removed;
+}
+
+/// Grafts the inner scheme's series over the filtered data back onto the
+/// full product set: adds the guard's removals to every point, and
+/// synthesizes an all-removed series for products the filter emptied.
+template <typename DataLike>
+AggregateSeries graft_removed(const DataLike& data,
+                              AggregateSeries inner_series,
+                              const std::vector<Interval>& bins,
+                              const std::set<RaterId>& flagged) {
+  AggregateSeries series;
+  for (ProductId id : data.product_ids()) {
+    const std::vector<std::size_t> removed =
+        removed_per_bin(data.product(id), bins, flagged);
+    const auto it = inner_series.products.find(id);
+    ProductSeries points;
+    if (it != inner_series.products.end()) {
+      points = std::move(it->second);
+      RAB_EXPECTS(points.size() == bins.size());
+    } else {
+      points.resize(bins.size());
+      for (std::size_t b = 0; b < bins.size(); ++b) {
+        points[b].bin = bins[b];
+      }
+    }
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      points[b].removed += removed[b];
+    }
+    series.products.emplace(id, std::move(points));
+  }
+  return series;
+}
+
+}  // namespace
+
+CollusionGuardScheme::CollusionGuardScheme(
+    std::unique_ptr<AggregationScheme> inner, CollusionGuardConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  RAB_EXPECTS(inner_ != nullptr);
+  RAB_EXPECTS(config_.removal_trust > 0.0 && config_.removal_trust < 1.0);
+}
+
+std::string CollusionGuardScheme::name() const {
+  return inner_->name() + "+CG";
+}
+
+std::string CollusionGuardScheme::identity() const {
+  const trust::CollusionConfig& c = config_.collusion;
+  std::ostringstream id;
+  id.precision(std::numeric_limits<double>::max_digits10);
+  id << "CG(" << inner_->identity() << ",tw=" << c.time_window
+     << ",vtol=" << c.value_tolerance << ",link=" << c.link_score
+     << ",minov=" << c.min_overlap << ",mingrp=" << c.min_group
+     << ",rmtrust=" << config_.removal_trust << ')';
+  return id.str();
+}
+
+AggregateSeries CollusionGuardScheme::aggregate(const rating::Dataset& data,
+                                                double bin_days) const {
+  const std::set<RaterId> flagged = flagged_raters(
+      trust::find_collusion_groups(data, config_.collusion), config_);
+  if (flagged.empty()) return inner_->aggregate(data, bin_days);
+
+  rating::Dataset filtered;
+  for (ProductId id : data.product_ids()) {
+    for (const rating::Rating& r : data.product(id).rows()) {
+      if (flagged.count(r.rater) == 0) filtered.add(r);
+    }
+  }
+  const Interval span = data.span();
+  if (filtered.product_count() == 0 || filtered.span() != span) {
+    // Removal would move the bin boundaries — skip the discount rather
+    // than hand the inner scheme a differently-binned dataset.
+    return inner_->aggregate(data, bin_days);
+  }
+  const std::vector<Interval> bins =
+      make_bins(span.begin, span.end, bin_days);
+  return graft_removed(data, inner_->aggregate(filtered, bin_days), bins,
+                       flagged);
+}
+
+AggregateSeries CollusionGuardScheme::aggregate_overlay(
+    const rating::DatasetOverlay& data, double bin_days,
+    const AggregateSeries* fair_baseline) const {
+  const std::set<RaterId> flagged = flagged_raters(
+      trust::find_collusion_groups(data, config_.collusion), config_);
+  if (flagged.empty()) {
+    // No discount: the guard *is* the inner scheme here, and the cached
+    // fair baseline (CG's own aggregate of the base) coincides with the
+    // inner scheme's only when the base is also discount-free — which we
+    // cannot see from here, so never forward it.
+    return inner_->aggregate_overlay(data, bin_days, nullptr);
+  }
+  for (RaterId rater : data.base().rater_ids()) {
+    if (flagged.count(rater) > 0) {
+      // A fair-side rater was swept into a squad: the filtered base would
+      // no longer be the overlay's base. Run the reference path.
+      return aggregate(data.materialize(), bin_days);
+    }
+  }
+  std::vector<rating::Rating> kept;
+  kept.reserve(data.extras().size());
+  for (const rating::Rating& r : data.extras()) {
+    if (flagged.count(r.rater) == 0) kept.push_back(r);
+  }
+  const rating::DatasetOverlay filtered(data.base(), kept);
+  const Interval span = data.span();
+  if (filtered.span() != span) {
+    return inner_->aggregate_overlay(data, bin_days, nullptr);
+  }
+  const std::vector<Interval> bins =
+      make_bins(span.begin, span.end, bin_days);
+  (void)fair_baseline;  // never the inner scheme's baseline — see above
+  return graft_removed(data,
+                       inner_->aggregate_overlay(filtered, bin_days,
+                                                 nullptr),
+                       bins, flagged);
+}
+
+}  // namespace rab::aggregation

@@ -1,0 +1,63 @@
+// Collusion-guard wrapper: any aggregation scheme plus a squad-level
+// trust discount (the defense half of the collusion scenario).
+//
+// The guard runs trust::find_collusion_groups over the dataset, folds the
+// detected groups into a beta-model TrustManager as suspicious evidence
+// (trust::apply_collusion_discount), and removes the ratings of every
+// rater whose discounted trust falls below `removal_trust` before
+// delegating to the wrapped scheme. Removed ratings are accounted in the
+// per-bin `removed` counters, and products whose every rating was removed
+// still report their (empty) series over the same bins.
+//
+// Two conservative fallbacks keep the wrapper inside the scheme contract:
+//  - if removal would change the dataset span (a flagged rater's rating
+//    defines a span edge), the discount is skipped for that evaluation —
+//    bin boundaries must never move under the inner scheme's feet;
+//  - on the overlay path, if a *base* (fair-side) rater is flagged, the
+//    guard materializes and runs the Dataset path, which is the
+//    bit-identity reference anyway.
+#pragma once
+
+#include <memory>
+
+#include "aggregation/scheme.hpp"
+#include "trust/collusion.hpp"
+
+namespace rab::aggregation {
+
+struct CollusionGuardConfig {
+  trust::CollusionConfig collusion;
+  /// Raters whose discounted trust drops below this are removed. The
+  /// discount charges |group| suspicious observations, so a detected
+  /// member of a minimum-size group (5) scores 1/7 ~ 0.14 < 0.25.
+  double removal_trust = 0.25;
+};
+
+class CollusionGuardScheme final : public AggregationScheme {
+ public:
+  CollusionGuardScheme(std::unique_ptr<AggregationScheme> inner,
+                       CollusionGuardConfig config = {});
+
+  /// "<inner>+CG" — the spec accepted by aggregation::make_scheme.
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::string identity() const override;
+
+  [[nodiscard]] AggregateSeries aggregate(const rating::Dataset& data,
+                                          double bin_days) const override;
+
+  [[nodiscard]] AggregateSeries aggregate_overlay(
+      const rating::DatasetOverlay& data, double bin_days,
+      const AggregateSeries* fair_baseline) const override;
+
+  [[nodiscard]] const AggregationScheme& inner() const { return *inner_; }
+  [[nodiscard]] const CollusionGuardConfig& config() const {
+    return config_;
+  }
+
+ private:
+  std::unique_ptr<AggregationScheme> inner_;
+  CollusionGuardConfig config_;
+};
+
+}  // namespace rab::aggregation

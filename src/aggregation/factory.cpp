@@ -1,0 +1,58 @@
+#include "aggregation/factory.hpp"
+
+#include "aggregation/bf_scheme.hpp"
+#include "aggregation/collusion_guard.hpp"
+#include "aggregation/entropy_scheme.hpp"
+#include "aggregation/median_scheme.hpp"
+#include "aggregation/p_scheme.hpp"
+#include "aggregation/rv_scheme.hpp"
+#include "aggregation/sa_scheme.hpp"
+#include "aggregation/xl_scheme.hpp"
+#include "util/error.hpp"
+
+namespace rab::aggregation {
+
+namespace {
+
+std::unique_ptr<AggregationScheme> make_base(const std::string& name) {
+  if (name == "SA") return std::make_unique<SaScheme>();
+  if (name == "BF") return std::make_unique<BfScheme>();
+  if (name == "P") return std::make_unique<PScheme>();
+  if (name == "MED") return std::make_unique<MedianScheme>();
+  if (name == "ENT") return std::make_unique<EntropyScheme>();
+  if (name == "RV") return std::make_unique<RvScheme>();
+  if (name == "XL") return std::make_unique<XlScheme>();
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<AggregationScheme> make_scheme(const std::string& spec) {
+  constexpr const char* kGuardSuffix = "+CG";
+  std::string base = spec;
+  bool guarded = false;
+  if (const std::size_t n = base.size();
+      n > 3 && base.compare(n - 3, 3, kGuardSuffix) == 0) {
+    base.resize(n - 3);
+    guarded = true;
+  }
+  auto scheme = make_base(base);
+  if (scheme == nullptr) {
+    throw InvalidArgument(
+        "unknown scheme '" + spec +
+        "' (use SA, BF, P, MED, ENT, RV or XL, optionally with a +CG "
+        "collusion-guard suffix, e.g. SA+CG)");
+  }
+  if (guarded) {
+    return std::make_unique<CollusionGuardScheme>(std::move(scheme));
+  }
+  return scheme;
+}
+
+const std::vector<std::string>& known_scheme_names() {
+  static const std::vector<std::string> names{"SA",  "BF", "P", "MED",
+                                              "ENT", "RV", "XL"};
+  return names;
+}
+
+}  // namespace rab::aggregation

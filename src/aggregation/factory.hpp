@@ -1,0 +1,28 @@
+// Scheme specs: one string names a configured AggregationScheme.
+//
+// Grammar:  BASE [ "+CG" ]
+//   BASE ∈ { SA, BF, P, MED, ENT, RV, XL }
+//   "+CG" wraps the base scheme in the collusion-guard trust discount
+//         (aggregation/collusion_guard.hpp) with default guard config.
+//
+// The CLI (`rab evaluate/optimize/tournament --scheme(s)`) and the
+// tournament runner both resolve specs through here, so a spec printed in
+// a tournament matrix can be fed back to any subcommand verbatim.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregation/scheme.hpp"
+
+namespace rab::aggregation {
+
+/// Builds the scheme named by `spec`; throws InvalidArgument (naming the
+/// valid specs) on anything else.
+std::unique_ptr<AggregationScheme> make_scheme(const std::string& spec);
+
+/// The base scheme names the factory accepts (without the +CG suffix).
+const std::vector<std::string>& known_scheme_names();
+
+}  // namespace rab::aggregation

@@ -1,0 +1,187 @@
+#include "aggregation/rv_scheme.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "aggregation/overlay_support.hpp"
+#include "util/error.hpp"
+
+namespace rab::aggregation {
+
+namespace {
+
+constexpr std::size_t kLevels = 6;  // whole stars 0..5
+
+std::size_t level_of(double value) {
+  const double clamped =
+      std::clamp(value, rating::kMinRating, rating::kMaxRating);
+  return static_cast<std::size_t>(std::lround(clamped));
+}
+
+/// One vote: voter index into the bin's voter table, the level voted for,
+/// and the raw value (the final aggregate averages raw values so half-star
+/// data is not quantized away).
+struct Vote {
+  std::size_t voter = 0;
+  std::size_t level = 0;
+  double value = 0.0;
+};
+
+/// All votes cast within one bin, gathered across every product.
+struct BinBallot {
+  std::vector<RaterId> voters;                   ///< ascending
+  std::map<ProductId, std::vector<Vote>> votes;  ///< per product, in order
+  std::map<ProductId, std::size_t> counts;       ///< ratings per product
+};
+
+/// The weight <-> credibility fixed point over one bin's ballot. Returns
+/// the per-voter weights after `iterations` rounds, all initialized to 1.
+std::vector<double> solve_weights(const BinBallot& ballot,
+                                  const RvConfig& config) {
+  std::vector<double> weights(ballot.voters.size(), 1.0);
+  std::vector<double> vote_count(ballot.voters.size(), 0.0);
+  for (const auto& [id, votes] : ballot.votes) {
+    for (const Vote& v : votes) vote_count[v.voter] += 1.0;
+  }
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    // Credibility of level l on product p: smoothed share of voter weight
+    // that chose l.
+    std::vector<double> next(ballot.voters.size(), 0.0);
+    for (const auto& [id, votes] : ballot.votes) {
+      std::array<double, kLevels> level_weight{};
+      double total = 0.0;
+      for (const Vote& v : votes) {
+        level_weight[v.level] += weights[v.voter];
+        total += weights[v.voter];
+      }
+      const double denom =
+          total + config.smoothing * static_cast<double>(kLevels);
+      for (const Vote& v : votes) {
+        const double credibility =
+            (level_weight[v.level] + config.smoothing) / denom;
+        next[v.voter] += credibility;
+      }
+    }
+    // A voter's new weight is the mean credibility of the levels they
+    // chose — high when they keep voting with the (weighted) consensus.
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      weights[i] = vote_count[i] > 0.0 ? next[i] / vote_count[i] : 1.0;
+    }
+  }
+  return weights;
+}
+
+/// Gathers the ballot for `bin` from every product stream, indexing voters
+/// in ascending RaterId order (two passes: collect ids, then votes), so
+/// the result is independent of product iteration interleaving.
+template <typename ProductOf>
+BinBallot gather_ballot(const std::vector<ProductId>& ids,
+                        const ProductOf& product_of, const Interval& bin) {
+  BinBallot ballot;
+  std::map<RaterId, std::size_t> index;
+  for (ProductId id : ids) {
+    detail::visit_in(product_of(id), bin, [&](const rating::Rating& r) {
+      index.emplace(r.rater, 0);
+    });
+  }
+  ballot.voters.reserve(index.size());
+  for (auto& [rater, slot] : index) {
+    slot = ballot.voters.size();
+    ballot.voters.push_back(rater);
+  }
+  for (ProductId id : ids) {
+    std::vector<Vote>& votes = ballot.votes[id];
+    std::size_t& count = ballot.counts[id];
+    detail::visit_in(product_of(id), bin, [&](const rating::Rating& r) {
+      votes.push_back(Vote{index.at(r.rater), level_of(r.value), r.value});
+      ++count;
+    });
+  }
+  return ballot;
+}
+
+template <typename ProductOf>
+AggregateSeries rv_aggregate(const std::vector<ProductId>& ids,
+                             const ProductOf& product_of,
+                             const Interval& span, double bin_days,
+                             const RvConfig& config) {
+  AggregateSeries series;
+  if (span.empty()) return series;
+  const std::vector<Interval> bins =
+      make_bins(span.begin, span.end, bin_days);
+  for (ProductId id : ids) series.products.emplace(id, ProductSeries{});
+
+  for (const Interval& bin : bins) {
+    const BinBallot ballot = gather_ballot(ids, product_of, bin);
+    const std::vector<double> weights = solve_weights(ballot, config);
+    for (ProductId id : ids) {
+      AggregatePoint point;
+      point.bin = bin;
+      const std::vector<Vote>& votes = ballot.votes.at(id);
+      point.used = ballot.counts.at(id);
+      double weight_sum = 0.0;
+      double weighted_value = 0.0;
+      double plain_sum = 0.0;
+      for (const Vote& v : votes) {
+        weight_sum += weights[v.voter];
+        weighted_value += weights[v.voter] * v.value;
+        plain_sum += v.value;
+      }
+      if (weight_sum > 0.0) {
+        point.value = weighted_value / weight_sum;
+      } else if (!votes.empty()) {
+        point.value = plain_sum / static_cast<double>(votes.size());
+      }
+      series.products.at(id).push_back(point);
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+RvScheme::RvScheme(RvConfig config) : config_(config) {
+  RAB_EXPECTS(config_.iterations >= 1);
+  RAB_EXPECTS(config_.smoothing > 0.0);
+}
+
+std::string RvScheme::identity() const {
+  std::ostringstream id;
+  id.precision(std::numeric_limits<double>::max_digits10);
+  id << name() << "(it=" << config_.iterations
+     << ",smooth=" << config_.smoothing << ')';
+  return id.str();
+}
+
+AggregateSeries RvScheme::aggregate(const rating::Dataset& data,
+                                    double bin_days) const {
+  const std::vector<ProductId> ids = data.product_ids();
+  return rv_aggregate(
+      ids,
+      [&](ProductId id) -> const rating::ProductRatings& {
+        return data.product(id);
+      },
+      data.span(), bin_days, config_);
+}
+
+AggregateSeries RvScheme::aggregate_overlay(
+    const rating::DatasetOverlay& data, double bin_days,
+    const AggregateSeries* /*fair_baseline*/) const {
+  // Voter weights couple products within a bin, so the fair baseline is
+  // not reusable per product — every product re-aggregates through the
+  // merged views (still zero-copy).
+  const std::vector<ProductId> ids = data.product_ids();
+  return rv_aggregate(
+      ids,
+      [&](ProductId id) -> const rating::OverlayProduct& {
+        return data.product(id);
+      },
+      data.span(), bin_days, config_);
+}
+
+}  // namespace rab::aggregation

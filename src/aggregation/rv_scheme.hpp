@@ -1,0 +1,53 @@
+// Rating-through-Voting aggregation, after Allahbakhsh & Ignjatovic
+// ("Rating through Voting", arXiv:1211.0390) — see PAPERS.md.
+//
+// Each rating is a *vote* for one of the six whole-star levels. Voter
+// weights and level credibilities reinforce each other iteratively inside
+// every time bin: a level is credible when trusted voters chose it, and a
+// voter is trusted when they keep choosing credible levels. Coordinated
+// squads voting for an off-consensus level pull each other's weight down
+// instead of pulling the aggregate, which is the scheme's robustness
+// argument. The bin's score is the weight-weighted mean of the votes.
+//
+// Voter weights are shared across products within a bin (that is the
+// point: a squad betrays itself on every product it touches), so the
+// scheme is history-free but *cross-product coupled* — the scheme-contract
+// suite runs it with a P-like cross-product tolerance.
+#pragma once
+
+#include "aggregation/scheme.hpp"
+
+namespace rab::aggregation {
+
+struct RvConfig {
+  /// Fixed-point iterations of the weight <-> credibility loop. A fixed
+  /// count (no epsilon early-exit) keeps runs trivially deterministic.
+  std::size_t iterations = 6;
+  /// Laplace smoothing mass per level when scoring credibility, so empty
+  /// levels keep a small non-zero credibility and lone votes don't
+  /// self-certify to 1.0.
+  double smoothing = 0.25;
+};
+
+class RvScheme final : public AggregationScheme {
+ public:
+  explicit RvScheme(RvConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "RV"; }
+
+  [[nodiscard]] std::string identity() const override;
+
+  [[nodiscard]] AggregateSeries aggregate(const rating::Dataset& data,
+                                          double bin_days) const override;
+
+  [[nodiscard]] AggregateSeries aggregate_overlay(
+      const rating::DatasetOverlay& data, double bin_days,
+      const AggregateSeries* fair_baseline) const override;
+
+  [[nodiscard]] const RvConfig& config() const { return config_; }
+
+ private:
+  RvConfig config_;
+};
+
+}  // namespace rab::aggregation

@@ -1,0 +1,123 @@
+#include "aggregation/xl_scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "aggregation/overlay_support.hpp"
+#include "util/error.hpp"
+
+namespace rab::aggregation {
+
+namespace {
+
+/// Median of a copy of `values` (average of the middle two when even).
+double median_of(std::vector<double> values) {
+  const std::size_t n = values.size();
+  std::sort(values.begin(), values.end());
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+ProductSeries xl_points(const auto& stream,
+                        const std::vector<Interval>& bins,
+                        const XlConfig& config) {
+  ProductSeries points;
+  points.reserve(bins.size());
+  double reputation = 0.0;
+  bool anchored = false;
+  std::vector<double> values;
+  std::vector<std::size_t> order;
+  for (const Interval& bin : bins) {
+    values.clear();
+    detail::visit_in(stream, bin, [&](const rating::Rating& r) {
+      values.push_back(r.value);
+    });
+    AggregatePoint point;
+    point.bin = bin;
+    if (values.empty()) {
+      points.push_back(point);
+      continue;
+    }
+    const std::size_t n = values.size();
+    // The anchor: the running reputation, or this bin's own median before
+    // any reputation exists (the model's bootstrap).
+    const double anchor = anchored ? reputation : median_of(values);
+
+    // Estimate the misbehaving fraction from the deviation tail, then trim
+    // exactly that many ratings — the ones farthest from the anchor.
+    std::size_t deviants = 0;
+    for (double v : values) {
+      if (std::fabs(v - anchor) > config.deviation_threshold) ++deviants;
+    }
+    const double fraction = std::min(
+        config.max_trim_fraction,
+        static_cast<double>(deviants) / static_cast<double>(n));
+    const auto trim =
+        static_cast<std::size_t>(fraction * static_cast<double>(n));
+
+    order.resize(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // Farthest-first; stream order breaks distance ties deterministically.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return std::fabs(values[a] - anchor) >
+                              std::fabs(values[b] - anchor);
+                     });
+    double sum = 0.0;
+    for (std::size_t k = trim; k < n; ++k) sum += values[order[k]];
+    point.removed = trim;
+    point.used = n - trim;
+    point.value = sum / static_cast<double>(point.used);
+    points.push_back(point);
+
+    reputation = anchored
+                     ? (1.0 - config.anchor_gain) * reputation +
+                           config.anchor_gain * point.value
+                     : point.value;
+    anchored = true;
+  }
+  return points;
+}
+
+}  // namespace
+
+XlScheme::XlScheme(XlConfig config) : config_(config) {
+  RAB_EXPECTS(config_.deviation_threshold > 0.0);
+  RAB_EXPECTS(config_.max_trim_fraction >= 0.0 &&
+              config_.max_trim_fraction < 1.0);
+  RAB_EXPECTS(config_.anchor_gain > 0.0 && config_.anchor_gain <= 1.0);
+}
+
+std::string XlScheme::identity() const {
+  std::ostringstream id;
+  id.precision(std::numeric_limits<double>::max_digits10);
+  id << name() << "(dev=" << config_.deviation_threshold
+     << ",maxtrim=" << config_.max_trim_fraction
+     << ",gain=" << config_.anchor_gain << ')';
+  return id.str();
+}
+
+AggregateSeries XlScheme::aggregate(const rating::Dataset& data,
+                                    double bin_days) const {
+  return detail::aggregate_independent(
+      data, bin_days,
+      [this](const auto& stream, const auto& bins) {
+        return xl_points(stream, bins, config_);
+      });
+}
+
+AggregateSeries XlScheme::aggregate_overlay(
+    const rating::DatasetOverlay& data, double bin_days,
+    const AggregateSeries* fair_baseline) const {
+  return detail::aggregate_independent_overlay(
+      data, bin_days, fair_baseline,
+      [this](const auto& stream, const auto& bins) {
+        return xl_points(stream, bins, config_);
+      });
+}
+
+}  // namespace rab::aggregation

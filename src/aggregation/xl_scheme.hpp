@@ -1,0 +1,56 @@
+// Xie–Lui aggregation rules, after Xie & Lui ("Mathematical Modeling of
+// Product Rating: Sufficiency, Misbehavior and Aggregation Rules",
+// arXiv:1305.1899) — see PAPERS.md.
+//
+// Their model: a product has a latent quality estimate (its reputation);
+// honest ratings scatter tightly around it while misbehaving users rate
+// far from it. The aggregation rule first *estimates the misbehaving
+// fraction* of a window from the share of ratings deviating beyond a
+// threshold from the running reputation, then trims exactly that fraction
+// (the ratings farthest from the reputation) before averaging — a
+// reputation-anchored trimmed mean. The reputation tracks the accepted
+// aggregate across bins with an exponential smoother, so a squad cannot
+// drag the anchor faster than the gain allows.
+//
+// Products aggregate independently (the anchor is per-product), so the
+// overlay path reuses the cached fair baseline for untouched products.
+#pragma once
+
+#include "aggregation/scheme.hpp"
+
+namespace rab::aggregation {
+
+struct XlConfig {
+  /// Ratings deviating more than this (stars) from the bin's reputation
+  /// anchor count toward the misbehaving-fraction estimate.
+  double deviation_threshold = 1.5;
+  /// Upper bound on the trimmed fraction per bin (majority guard).
+  double max_trim_fraction = 0.45;
+  /// Exponential gain of the cross-bin reputation update
+  /// R <- (1-gain)*R + gain*aggregate; the first non-empty bin anchors at
+  /// its own median.
+  double anchor_gain = 0.3;
+};
+
+class XlScheme final : public AggregationScheme {
+ public:
+  explicit XlScheme(XlConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "XL"; }
+
+  [[nodiscard]] std::string identity() const override;
+
+  [[nodiscard]] AggregateSeries aggregate(const rating::Dataset& data,
+                                          double bin_days) const override;
+
+  [[nodiscard]] AggregateSeries aggregate_overlay(
+      const rating::DatasetOverlay& data, double bin_days,
+      const AggregateSeries* fair_baseline) const override;
+
+  [[nodiscard]] const XlConfig& config() const { return config_; }
+
+ private:
+  XlConfig config_;
+};
+
+}  // namespace rab::aggregation

@@ -1,43 +1,18 @@
-// Collusion-group discovery.
+// Collusion-group discovery — re-exported from the trust layer.
 //
-// The paper's threat model is *collaborative* unfair rating: a squad of
-// raters coordinates on the same products in the same time span with
-// similar values. This module makes the coordination itself observable:
-// it scores every pair of raters by how often they co-rate (same product,
-// close in time, close in value) and connects pairs whose co-incidence is
-// too high to be chance; large connected components are collusion-group
-// candidates. It complements the per-rating detectors: even ratings that
-// individually evade the signal tests still betray the squad structure.
+// The implementation moved to trust/collusion.hpp so the aggregation
+// layer can consume detected groups as a trust discount (see
+// aggregation/collusion_guard.hpp) without depending on the challenge
+// layer. Attack-side callers keep using rab::challenge::
+// find_collusion_groups; the names below are aliases, not copies.
 #pragma once
 
-#include <vector>
-
-#include "rating/dataset.hpp"
+#include "trust/collusion.hpp"
 
 namespace rab::challenge {
 
-struct CollusionConfig {
-  double time_window = 3.0;      ///< co-rating proximity in days
-  double value_tolerance = 0.5;  ///< "similar value" band in stars
-  /// Pairs are linked when (co-rated products with time+value agreement) /
-  /// (products either rated) reaches this fraction, over at least
-  /// min_overlap co-rated products. Defaults are deliberately strict: with
-  /// hundreds of honest raters, loose criteria percolate coincidental
-  /// agreements into one giant component.
-  double link_score = 0.6;
-  std::size_t min_overlap = 3;
-  std::size_t min_group = 5;     ///< smallest reported group
-};
-
-/// One suspected collusion group, strongest (largest) first.
-struct CollusionGroup {
-  std::vector<RaterId> raters;
-  double mean_pair_score = 0.0;  ///< average link score inside the group
-};
-
-/// Finds collusion-group candidates in `data`. Runtime is
-/// O(raters^2 * products-per-rater) — fine for challenge-scale data.
-std::vector<CollusionGroup> find_collusion_groups(
-    const rating::Dataset& data, const CollusionConfig& config = {});
+using CollusionConfig = trust::CollusionConfig;
+using CollusionGroup = trust::CollusionGroup;
+using trust::find_collusion_groups;
 
 }  // namespace rab::challenge

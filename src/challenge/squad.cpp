@@ -1,0 +1,124 @@
+#include "challenge/squad.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rab::challenge {
+
+namespace {
+
+double clamp_value(double value, bool discrete) {
+  if (discrete) value = std::round(value);
+  return std::clamp(value, rating::kMinRating, rating::kMaxRating);
+}
+
+/// Uniform draw that tolerates a degenerate [lo, lo] window.
+double uniform_in(Rng& rng, double lo, double hi) {
+  return hi > lo ? rng.uniform(lo, hi) : lo;
+}
+
+}  // namespace
+
+SquadGenerator::SquadGenerator(const Challenge& challenge,
+                               std::uint64_t seed)
+    : challenge_(&challenge), seed_(seed) {}
+
+Submission SquadGenerator::generate(const SquadConfig& config,
+                                    std::uint64_t stream) const {
+  RAB_EXPECTS(config.squad_size >= 1);
+  RAB_EXPECTS(config.pre_days >= 0.0);
+  RAB_EXPECTS(config.strike_days > 0.0);
+  RAB_EXPECTS(config.sigma >= 0.0);
+  RAB_EXPECTS(config.churn_rate >= 0.0 && config.churn_rate <= 1.0);
+  RAB_EXPECTS(config.duty_cycle >= 0.0 && config.duty_cycle <= 1.0);
+
+  const Interval window = challenge_->config().window;
+  const double pre_end =
+      std::min(window.begin + config.pre_days, window.end);
+  const double strike_begin = std::clamp(
+      window.begin + config.strike_offset_days, window.begin, window.end);
+  const double strike_end =
+      std::min(strike_begin + config.strike_days, window.end);
+  const std::vector<ProductId> targets = challenge_->targets();
+  const auto is_boost = [&](ProductId id) {
+    const auto& boosts = challenge_->config().boost_targets;
+    return std::find(boosts.begin(), boosts.end(), id) != boosts.end();
+  };
+
+  Submission out;
+  {
+    std::ostringstream label;
+    label << "squad(n=" << config.squad_size << ",pre=" << config.pre_days
+          << ",churn=" << config.churn_rate
+          << ",duty=" << config.duty_cycle << ')';
+    out.label = label.str();
+  }
+
+  const Rng root = Rng(seed_).fork(0x50aad000ULL + stream);
+  for (std::size_t k = 0; k < config.squad_size; ++k) {
+    // One substream per member: adding members, or reordering the loops
+    // below, never perturbs another member's draws.
+    Rng rng = root.fork(k + 1);
+    const RaterId persona = challenge_->attacker(k);
+
+    // Trust-building phase: honest ratings at the fair mean, natural
+    // spread, spread over the phase.
+    if (config.pre_days > 0.0) {
+      for (ProductId target : targets) {
+        for (std::size_t j = 0; j < config.pre_ratings; ++j) {
+          rating::Rating r;
+          r.time = uniform_in(rng, window.begin, pre_end);
+          r.value = clamp_value(
+              rng.gaussian(challenge_->fair_mean(target), 0.7),
+              config.discrete_values);
+          r.rater = persona;
+          r.product = target;
+          r.unfair = true;  // attacker-controlled, whatever the value says
+          out.ratings.push_back(r);
+        }
+      }
+    }
+
+    // Sybil churn: a churning member retires at switch_time and continues
+    // under one fresh id, so its footprint splits mid-stream.
+    const bool churns = rng.bernoulli(config.churn_rate);
+    const double switch_time =
+        churns ? uniform_in(rng, strike_begin, strike_end)
+               : std::numeric_limits<double>::infinity();
+    // Fresh ids live past the contest's rater budget on purpose —
+    // Challenge::attacker() enforces that budget, so mint directly.
+    const RaterId sybil =
+        RaterId(challenge_->config().attacker_id_base +
+                static_cast<std::int64_t>(config.squad_size + k));
+
+    // Strike: one rating per target per member inside the strike window.
+    for (ProductId target : targets) {
+      const double fair = challenge_->fair_mean(target);
+      // Downgrade-sign bias, mirrored into the (smaller) headroom above
+      // the fair mean for boost targets — AttackGenerator's convention.
+      const double push =
+          is_boost(target)
+              ? std::min(-config.bias, rating::kMaxRating - fair)
+              : config.bias;
+      rating::Rating r;
+      r.time = uniform_in(rng, strike_begin, strike_end);
+      const bool strike_now = rng.bernoulli(config.duty_cycle);
+      const double mean = strike_now ? fair + push : fair;
+      r.value =
+          clamp_value(rng.gaussian(mean, strike_now ? config.sigma : 0.7),
+                      config.discrete_values);
+      r.rater = r.time >= switch_time ? sybil : persona;
+      r.product = target;
+      r.unfair = true;
+      out.ratings.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace rab::challenge

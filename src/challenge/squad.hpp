@@ -1,0 +1,76 @@
+// Coordinated attack squads (the collusion scenario's attack side).
+//
+// Where core/attack_generator.cpp models *independent* unfair raters (the
+// paper's Procedure-2 search space), SquadGenerator models the coordinated
+// behaviors the paper's threat model anticipates and Zhang's advisor-
+// cheating taxonomy catalogs (PAPERS.md): a squad that
+//   - builds trust first: an honest pre-rating phase at the fair mean
+//     before the strike, so trust-based defenses meet the squad with
+//     above-initial trust;
+//   - strikes in a window: every member pushes the bias on every target
+//     inside [strike_offset, strike_offset + strike_days];
+//   - churns Sybil identities: members retire mid-strike and continue
+//     under fresh rater ids, splitting their footprint across identities
+//     so per-rater evidence (trust, collusion links) dilutes;
+//   - oscillates/camouflages: each strike rating pushes the bias only with
+//     probability duty_cycle and rates honestly otherwise, trading attack
+//     mass for detectability.
+//
+// Generation is serial and seeded (one Rng fork per member), so a squad is
+// bit-identical for a given (seed, config, stream) at any RAB_THREADS.
+// Submissions stay inside the challenge window — the DatasetOverlay /
+// MpMetric zero-copy path requires attack ratings within the fair span —
+// but they deliberately break the *contest* rules (a member rates a target
+// in both phases; churn exceeds the rater budget), so score squads with
+// Challenge::metric().evaluate_overall, not Challenge::evaluate.
+#pragma once
+
+#include <cstdint>
+
+#include "challenge/challenge.hpp"
+#include "challenge/submission.hpp"
+
+namespace rab::challenge {
+
+struct SquadConfig {
+  std::size_t squad_size = 50;
+  /// Honest pre-rating phase: its length from the window start (0 = no
+  /// phase) and how many fair-mean ratings each member leaves per target.
+  double pre_days = 0.0;
+  std::size_t pre_ratings = 1;
+  /// Strike window, relative to the challenge window start; clamped to
+  /// the window end.
+  double strike_offset_days = 40.0;
+  double strike_days = 30.0;
+  /// Value model of a strike rating, AttackProfile conventions: bias in
+  /// downgrade sign (boost targets mirror it into their headroom above
+  /// the fair mean), gaussian spread sigma, optional whole-star rounding.
+  double bias = -2.0;
+  double sigma = 0.5;
+  bool discrete_values = true;
+  /// Per-member probability of retiring mid-strike and continuing under a
+  /// fresh Sybil id (one fresh id per churned member).
+  double churn_rate = 0.0;
+  /// Probability a strike rating actually pushes the bias; the rest
+  /// camouflage at the fair mean (1.0 = always strike).
+  double duty_cycle = 1.0;
+};
+
+class SquadGenerator {
+ public:
+  /// Borrows the challenge (must outlive the generator).
+  SquadGenerator(const Challenge& challenge, std::uint64_t seed);
+
+  /// Builds one squad submission realizing `config`; `stream`
+  /// individualizes the draws so repeated calls give independent squads.
+  [[nodiscard]] Submission generate(const SquadConfig& config,
+                                    std::uint64_t stream) const;
+
+  [[nodiscard]] const Challenge& challenge() const { return *challenge_; }
+
+ private:
+  const Challenge* challenge_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rab::challenge

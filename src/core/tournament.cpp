@@ -1,0 +1,228 @@
+#include "core/tournament.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "aggregation/factory.hpp"
+#include "challenge/squad.hpp"
+#include "core/attack_generator.hpp"
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace rab::core {
+
+namespace {
+
+/// Squad presets per attack family; the region search owns bias/sigma.
+challenge::SquadConfig squad_preset(const std::string& attack,
+                                    const challenge::Challenge& challenge,
+                                    const TournamentOptions& options) {
+  challenge::SquadConfig config;
+  config.squad_size = challenge.config().attack_raters;
+  if (attack == "squad-pre" || attack == "squad-sybil") {
+    // Build trust for a month, then strike.
+    config.pre_days = 30.0;
+    config.strike_offset_days = 35.0;
+    config.strike_days = options.duration_days;
+    if (attack == "squad-sybil") config.churn_rate = 0.5;
+  } else {  // squad-osc
+    // No pre-phase; a long, low-duty oscillation across the window.
+    config.strike_offset_days = options.offset_days;
+    config.strike_days = 70.0;
+    config.duty_cycle = 0.6;
+  }
+  return config;
+}
+
+bool is_squad(const std::string& attack) {
+  return attack.rfind("squad-", 0) == 0;
+}
+
+/// The family's evaluator: turn a probe (bias, sigma, trial) into a
+/// submission and score it. Randomness comes from (cell, trial) alone —
+/// the region-search thread-safety contract.
+AttackEvaluator make_evaluator(const std::string& attack, std::size_t cell,
+                               const challenge::Challenge& challenge,
+                               const aggregation::AggregationScheme& scheme,
+                               const TournamentOptions& options) {
+  const std::uint64_t stream_base = static_cast<std::uint64_t>(cell) << 20;
+  if (is_squad(attack)) {
+    const challenge::SquadGenerator generator(challenge, options.seed);
+    const challenge::SquadConfig preset =
+        squad_preset(attack, challenge, options);
+    return [&challenge, &scheme, generator, preset, stream_base](
+               double bias, double sigma, std::size_t trial) {
+      challenge::SquadConfig config = preset;
+      config.bias = bias;
+      config.sigma = sigma;
+      const challenge::Submission submission =
+          generator.generate(config, stream_base + trial);
+      return challenge.metric().evaluate_overall(submission, scheme);
+    };
+  }
+  const AttackGenerator generator(challenge, options.seed);
+  AttackProfile profile;
+  profile.duration_days = options.duration_days;
+  profile.offset_days = options.offset_days;
+  profile.correlation = attack == "indep-heuristic"
+                            ? CorrelationMode::kHeuristic
+                            : CorrelationMode::kRandom;
+  return [&challenge, &scheme, generator, profile, stream_base](
+             double bias, double sigma, std::size_t trial) {
+    AttackProfile probe = profile;
+    probe.bias = bias;
+    probe.sigma = sigma;
+    const challenge::Submission submission =
+        generator.generate(probe, stream_base + trial);
+    return challenge.metric().evaluate_overall(submission, scheme);
+  };
+}
+
+/// %.17g — round-trip exact and byte-stable for the JSON writer.
+std::string fmt_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+void append_json_string_array(std::ostringstream& os,
+                              const std::vector<std::string>& items) {
+  os << '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << items[i] << '"';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_attack_names() {
+  static const std::vector<std::string> names{
+      "indep-random", "indep-heuristic", "squad-pre", "squad-sybil",
+      "squad-osc"};
+  return names;
+}
+
+const TournamentCell& TournamentResult::cell(
+    const std::string& scheme, const std::string& attack) const {
+  for (const TournamentCell& c : cells) {
+    if (c.scheme == scheme && c.attack == attack) return c;
+  }
+  throw InvalidArgument("no tournament cell (" + scheme + ", " + attack +
+                        ")");
+}
+
+TournamentResult run_tournament(const challenge::Challenge& challenge,
+                                const TournamentOptions& options) {
+  RAB_EXPECTS(!options.schemes.empty());
+  RAB_EXPECTS(!options.attacks.empty());
+  // Fail on a bad spec before any cell burns region-search time.
+  for (const std::string& spec : options.schemes) {
+    (void)aggregation::make_scheme(spec);
+  }
+  for (const std::string& attack : options.attacks) {
+    const auto& known = known_attack_names();
+    if (std::find(known.begin(), known.end(), attack) == known.end()) {
+      std::string valid;
+      for (const std::string& name : known) {
+        if (!valid.empty()) valid += ", ";
+        valid += name;
+      }
+      throw InvalidArgument("unknown attack '" + attack + "' (use " +
+                            valid + ")");
+    }
+  }
+
+  static auto& cells_counter = util::metrics::counter("tournament.cells");
+  static auto& evals_counter =
+      util::metrics::counter("tournament.evaluations");
+
+  TournamentResult result;
+  result.options = options;
+  const std::size_t n_cells =
+      options.schemes.size() * options.attacks.size();
+  result.cells.resize(n_cells);
+
+  // One cell per slot; a cell's own region search fans its probes with a
+  // nested parallel_for, which runs inline on this cell's worker — so the
+  // matrix parallelizes across cells without oversubscription, and every
+  // probe's randomness is a function of (cell, trial) alone.
+  util::parallel_for(n_cells, [&](std::size_t i) {
+    const std::string& scheme_spec =
+        options.schemes[i / options.attacks.size()];
+    const std::string& attack = options.attacks[i % options.attacks.size()];
+    const auto scheme = aggregation::make_scheme(scheme_spec);
+    const AttackEvaluator evaluate =
+        make_evaluator(attack, i, challenge, *scheme, options);
+    const RegionSearchResult search =
+        region_search(options.search, evaluate);
+
+    TournamentCell& cell = result.cells[i];
+    cell.scheme = scheme_spec;
+    cell.attack = attack;
+    cell.best_mp = search.best_mp;
+    cell.best_bias = search.best_bias;
+    cell.best_sigma = search.best_sigma;
+    cell.rounds = search.rounds.size();
+    cell.evaluations = search.rounds.size() * options.search.grid *
+                       options.search.grid * options.search.trials;
+    cells_counter.add();
+    evals_counter.add(cell.evaluations);
+  });
+  return result;
+}
+
+std::string tournament_json(const TournamentResult& result) {
+  const TournamentOptions& o = result.options;
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"rab-tournament-v1\",\n  \"seed\": " << o.seed
+     << ",\n  \"duration_days\": " << fmt_double(o.duration_days)
+     << ",\n  \"offset_days\": " << fmt_double(o.offset_days)
+     << ",\n  \"search\": {\"grid\": " << o.search.grid
+     << ", \"trials\": " << o.search.trials
+     << ", \"max_rounds\": " << o.search.max_rounds
+     << ", \"shrink\": " << fmt_double(o.search.shrink) << "},\n"
+     << "  \"schemes\": ";
+  append_json_string_array(os, o.schemes);
+  os << ",\n  \"attacks\": ";
+  append_json_string_array(os, o.attacks);
+  os << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const TournamentCell& c = result.cells[i];
+    os << "    {\"scheme\": \"" << c.scheme << "\", \"attack\": \""
+       << c.attack << "\", \"best_mp\": " << fmt_double(c.best_mp)
+       << ", \"best_bias\": " << fmt_double(c.best_bias)
+       << ", \"best_sigma\": " << fmt_double(c.best_sigma)
+       << ", \"rounds\": " << c.rounds
+       << ", \"evaluations\": " << c.evaluations << '}'
+       << (i + 1 < result.cells.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string tournament_table(const TournamentResult& result) {
+  const TournamentOptions& o = result.options;
+  std::ostringstream os;
+  os << "| scheme \\ attack |";
+  for (const std::string& attack : o.attacks) os << ' ' << attack << " |";
+  os << "\n|---|";
+  for (std::size_t i = 0; i < o.attacks.size(); ++i) os << "---|";
+  os << '\n';
+  char buffer[32];
+  for (const std::string& scheme : o.schemes) {
+    os << "| " << scheme << " |";
+    for (const std::string& attack : o.attacks) {
+      const TournamentCell& c = result.cell(scheme, attack);
+      std::snprintf(buffer, sizeof buffer, "%.3f", c.best_mp);
+      os << ' ' << buffer << " |";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rab::core

@@ -1,0 +1,84 @@
+// Scheme × attack tournament: Procedure-2 region search per cell.
+//
+// For every (aggregation scheme, attack family) pair the tournament runs
+// the paper's region search over the (bias, sigma) plane — the same
+// Procedure 2 the attack generator uses — with the attack family fixing
+// how a probe at (bias, sigma, trial) becomes a submission: either an
+// independent attack (core/attack_generator.hpp) or a coordinated squad
+// (challenge/squad.hpp). Each cell therefore reports the *strongest found*
+// attack of that family against that defense, which is the matrix
+// EXPERIMENTS.md tabulates.
+//
+// Determinism: cells fan out over util::ThreadPool (one result slot per
+// cell; each cell's own region search runs inline on its worker), every
+// probe derives its randomness from (cell, trial) alone, and the JSON
+// writer formats without timestamps — so the matrix is byte-identical
+// across reruns and RAB_THREADS settings.
+//
+// Squad submissions break the contest's formal rules on purpose (duplicate
+// ratings across phases, churned ids beyond the rater budget), so all
+// cells score through MpMetric::evaluate_overall, not Challenge::evaluate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "challenge/challenge.hpp"
+#include "core/region_search.hpp"
+
+namespace rab::core {
+
+/// The attack families a tournament column can name.
+///   indep-random     independent attackers, random value/time pairing
+///   indep-heuristic  independent attackers, Procedure-3 anti-correlation
+///   squad-pre        squad with a trust-building honest pre-rating phase
+///   squad-sybil      squad-pre plus mid-strike Sybil id churn
+///   squad-osc        squad oscillating between strike and camouflage
+const std::vector<std::string>& known_attack_names();
+
+struct TournamentOptions {
+  std::vector<std::string> schemes{"SA", "MED", "ENT", "P"};
+  std::vector<std::string> attacks{"indep-random", "indep-heuristic",
+                                   "squad-pre", "squad-sybil"};
+  std::uint64_t seed = 1;
+  /// Timing of independent attacks (profile duration/offset) and the
+  /// squad strike window length.
+  double duration_days = 50.0;
+  double offset_days = 5.0;
+  RegionSearchOptions search;
+};
+
+/// One (scheme, attack) outcome: the strongest found attack of the family.
+struct TournamentCell {
+  std::string scheme;  ///< scheme spec (aggregation::make_scheme)
+  std::string attack;  ///< attack family (known_attack_names)
+  double best_mp = 0.0;
+  double best_bias = 0.0;
+  double best_sigma = 0.0;
+  std::size_t rounds = 0;       ///< region-search rounds until converged
+  std::size_t evaluations = 0;  ///< MP evaluations spent on the cell
+};
+
+struct TournamentResult {
+  TournamentOptions options;
+  std::vector<TournamentCell> cells;  ///< scheme-major, attack-minor
+
+  [[nodiscard]] const TournamentCell& cell(const std::string& scheme,
+                                           const std::string& attack) const;
+};
+
+/// Runs the full matrix against `challenge`. Throws InvalidArgument on an
+/// unknown scheme spec or attack name before any cell runs.
+TournamentResult run_tournament(const challenge::Challenge& challenge,
+                                const TournamentOptions& options);
+
+/// Machine-readable matrix (schema rab-tournament-v1); byte-identical
+/// across reruns and thread counts for a given challenge + options.
+std::string tournament_json(const TournamentResult& result);
+
+/// The human half: a GitHub-markdown table (schemes down, attacks across,
+/// best MP per cell) for pasting into EXPERIMENTS.md.
+std::string tournament_table(const TournamentResult& result);
+
+}  // namespace rab::core

@@ -156,6 +156,12 @@ class DatasetOverlay {
   [[nodiscard]] std::size_t total_ratings() const;
   [[nodiscard]] std::size_t extra_count() const { return extra_.size(); }
 
+  /// The raw overlay ratings (all products, construction order). Lets a
+  /// wrapper scheme rebuild a *filtered* overlay over the same base —
+  /// collusion_guard drops flagged raters' extras this way instead of
+  /// materializing the union.
+  [[nodiscard]] const std::vector<Rating>& extras() const { return extra_; }
+
   /// Product ids present in base or overlay, ascending.
   [[nodiscard]] std::vector<ProductId> product_ids() const;
 

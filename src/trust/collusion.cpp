@@ -1,14 +1,16 @@
-#include "challenge/collusion.hpp"
+#include "trust/collusion.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "cluster/single_linkage.hpp"
 #include "util/error.hpp"
 
-namespace rab::challenge {
+namespace rab::trust {
 
 namespace {
 
@@ -52,26 +54,20 @@ double pair_score(const Footprint& a, const Footprint& b,
          static_cast<double>(union_size);
 }
 
-}  // namespace
-
-std::vector<CollusionGroup> find_collusion_groups(
-    const rating::Dataset& data, const CollusionConfig& config) {
+void check_config(const CollusionConfig& config) {
   RAB_EXPECTS(config.time_window > 0.0);
   RAB_EXPECTS(config.link_score > 0.0 && config.link_score <= 1.0);
   RAB_EXPECTS(config.min_group >= 2);
+}
 
-  // Build footprints.
-  std::vector<RaterId> raters = data.rater_ids();
-  std::unordered_map<RaterId, std::size_t> index;
-  for (std::size_t i = 0; i < raters.size(); ++i) index[raters[i]] = i;
-  std::vector<Footprint> footprints(raters.size());
-  for (ProductId id : data.product_ids()) {
-    for (const rating::Rating& r : data.product(id).rows()) {
-      footprints[index[r.rater]].by_product[id].emplace_back(r.time,
-                                                             r.value);
-    }
-  }
-
+/// The shared back half: link pairs, take connected components, keep the
+/// big ones. Both front ends (Dataset and DatasetOverlay) hand over the
+/// same raters-ascending footprint table for the same merged ratings, so
+/// the groups are bit-identical between the two paths.
+std::vector<CollusionGroup> groups_from_footprints(
+    const std::vector<RaterId>& raters,
+    const std::vector<Footprint>& footprints,
+    const CollusionConfig& config) {
   // Link strongly co-incident pairs. Raters with a single product can't
   // clear min_overlap >= 2, so skip them up front.
   std::vector<cluster::Edge> edges;
@@ -124,4 +120,58 @@ std::vector<CollusionGroup> find_collusion_groups(
   return groups;
 }
 
-}  // namespace rab::challenge
+}  // namespace
+
+std::vector<CollusionGroup> find_collusion_groups(
+    const rating::Dataset& data, const CollusionConfig& config) {
+  check_config(config);
+
+  std::vector<RaterId> raters = data.rater_ids();
+  std::unordered_map<RaterId, std::size_t> index;
+  for (std::size_t i = 0; i < raters.size(); ++i) index[raters[i]] = i;
+  std::vector<Footprint> footprints(raters.size());
+  for (ProductId id : data.product_ids()) {
+    for (const rating::Rating& r : data.product(id).rows()) {
+      footprints[index[r.rater]].by_product[id].emplace_back(r.time,
+                                                             r.value);
+    }
+  }
+  return groups_from_footprints(raters, footprints, config);
+}
+
+std::vector<CollusionGroup> find_collusion_groups(
+    const rating::DatasetOverlay& data, const CollusionConfig& config) {
+  check_config(config);
+
+  // Same raters-ascending order as Dataset::rater_ids() on the
+  // materialized union, so the footprint table (and with it every edge,
+  // component, and group) matches the Dataset path exactly.
+  std::set<RaterId> seen;
+  for (ProductId id : data.product_ids()) {
+    data.product(id).for_each(
+        [&](const rating::Rating& r) { seen.insert(r.rater); });
+  }
+  const std::vector<RaterId> raters(seen.begin(), seen.end());
+  std::unordered_map<RaterId, std::size_t> index;
+  for (std::size_t i = 0; i < raters.size(); ++i) index[raters[i]] = i;
+  std::vector<Footprint> footprints(raters.size());
+  for (ProductId id : data.product_ids()) {
+    data.product(id).for_each([&](const rating::Rating& r) {
+      footprints[index[r.rater]].by_product[id].emplace_back(r.time,
+                                                             r.value);
+    });
+  }
+  return groups_from_footprints(raters, footprints, config);
+}
+
+void apply_collusion_discount(TrustManager& manager,
+                              const std::vector<CollusionGroup>& groups) {
+  for (const CollusionGroup& group : groups) {
+    EpochCounts counts;
+    counts.ratings = group.raters.size();
+    counts.suspicious = group.raters.size();
+    for (RaterId rater : group.raters) manager.record(rater, counts);
+  }
+}
+
+}  // namespace rab::trust

@@ -1,0 +1,65 @@
+// Collusion-group discovery.
+//
+// The paper's threat model is *collaborative* unfair rating: a squad of
+// raters coordinates on the same products in the same time span with
+// similar values. This module makes the coordination itself observable:
+// it scores every pair of raters by how often they co-rate (same product,
+// close in time, close in value) and connects pairs whose co-incidence is
+// too high to be chance; large connected components are collusion-group
+// candidates. It complements the per-rating detectors: even ratings that
+// individually evade the signal tests still betray the squad structure.
+//
+// Lives in the trust layer so aggregation schemes can consume the groups
+// as a trust discount (see aggregation/collusion_guard.hpp) without a
+// dependency cycle through the challenge layer; challenge/collusion.hpp
+// re-exports the names for attack-side callers.
+#pragma once
+
+#include <vector>
+
+#include "rating/dataset.hpp"
+#include "rating/overlay.hpp"
+#include "trust/trust_manager.hpp"
+
+namespace rab::trust {
+
+struct CollusionConfig {
+  double time_window = 3.0;      ///< co-rating proximity in days
+  double value_tolerance = 0.5;  ///< "similar value" band in stars
+  /// Pairs are linked when (co-rated products with time+value agreement) /
+  /// (products either rated) reaches this fraction, over at least
+  /// min_overlap co-rated products. Defaults are deliberately strict: with
+  /// hundreds of honest raters, loose criteria percolate coincidental
+  /// agreements into one giant component.
+  double link_score = 0.6;
+  std::size_t min_overlap = 3;
+  std::size_t min_group = 5;     ///< smallest reported group
+};
+
+/// One suspected collusion group, strongest (largest) first.
+struct CollusionGroup {
+  std::vector<RaterId> raters;
+  double mean_pair_score = 0.0;  ///< average link score inside the group
+};
+
+/// Finds collusion-group candidates in `data`. Runtime is
+/// O(raters^2 * products-per-rater) — fine for challenge-scale data.
+std::vector<CollusionGroup> find_collusion_groups(
+    const rating::Dataset& data, const CollusionConfig& config = {});
+
+/// Overlay overload: identical groups to
+/// find_collusion_groups(data.materialize(), config) without materializing
+/// the combined dataset — the zero-copy path Monte-Carlo squads and the
+/// collusion-guard scheme's aggregate_overlay ride on.
+std::vector<CollusionGroup> find_collusion_groups(
+    const rating::DatasetOverlay& data, const CollusionConfig& config = {});
+
+/// Folds detected groups into `manager` as beta-model evidence: every
+/// member of a group of n raters is charged n suspicious observations, so
+/// their trust drops to roughly 1/(n+2) — the "trust discount on detected
+/// squads" that aggregation applies. Deterministic; groups are processed
+/// in order.
+void apply_collusion_discount(TrustManager& manager,
+                              const std::vector<CollusionGroup>& groups);
+
+}  // namespace rab::trust

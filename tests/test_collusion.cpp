@@ -5,8 +5,11 @@
 
 #include "challenge/collusion.hpp"
 #include "challenge/participants.hpp"
+#include "challenge/squad.hpp"
 #include "cluster/single_linkage.hpp"
 #include "rating/fair_generator.hpp"
+#include "rating/overlay.hpp"
+#include "trust/trust_manager.hpp"
 #include "util/error.hpp"
 
 namespace rab::challenge {
@@ -118,6 +121,142 @@ TEST(Collusion, MinGroupFiltersSmallComponents) {
   CollusionConfig config;
   config.min_group = 60;  // larger than the squad
   EXPECT_TRUE(find_collusion_groups(data, config).empty());
+}
+
+// ---------------------------------------------------------------------
+// Precision/recall on planted SquadGenerator squads (the coordinated
+// attacks the tournament actually runs), including the Sybil-churn case
+// where each member's footprint splits across two ids.
+
+struct SquadQuality {
+  double precision = 0.0;  ///< flagged raters that really are squad ids
+  double recall = 0.0;     ///< squad ids that got flagged
+};
+
+SquadQuality squad_quality(const Challenge& c,
+                           const std::vector<CollusionGroup>& groups) {
+  std::set<RaterId> flagged;
+  for (const CollusionGroup& g : groups) {
+    flagged.insert(g.raters.begin(), g.raters.end());
+  }
+  std::size_t true_positive = 0;
+  for (RaterId rater : flagged) {
+    if (rater.value() >= c.config().attacker_id_base) ++true_positive;
+  }
+  SquadQuality q;
+  if (!flagged.empty()) {
+    q.precision = static_cast<double>(true_positive) /
+                  static_cast<double>(flagged.size());
+  }
+  // Recall denominator: the personas. A churned member's pre-churn
+  // ratings still carry its persona, so the persona stays detectable.
+  q.recall = static_cast<double>(true_positive) /
+             static_cast<double>(c.config().attack_raters);
+  return q;
+}
+
+TEST(CollusionSquad, PlantedSquadPrecisionRecall) {
+  const Challenge c = Challenge::make_default(21);
+  const SquadGenerator generator(c, 21);
+  SquadConfig config;
+  config.squad_size = c.config().attack_raters;
+  config.pre_days = 30.0;
+  config.strike_offset_days = 35.0;
+  config.strike_days = 30.0;
+  config.bias = -3.0;
+  config.sigma = 0.3;
+  const rating::Dataset data =
+      c.apply(generator.generate(config, /*stream=*/0));
+
+  CollusionConfig cc;
+  cc.time_window = 10.0;  // strike spans a month; widen the agreement net
+  const auto groups = find_collusion_groups(data, cc);
+  ASSERT_FALSE(groups.empty());
+  const SquadQuality q = squad_quality(c, groups);
+  EXPECT_GE(q.precision, 0.9);
+  EXPECT_GE(q.recall, 0.8);
+}
+
+TEST(CollusionSquad, SybilChurnStillCaught) {
+  const Challenge c = Challenge::make_default(22);
+  const SquadGenerator generator(c, 22);
+  SquadConfig config;
+  config.squad_size = c.config().attack_raters;
+  config.pre_days = 30.0;
+  config.strike_offset_days = 35.0;
+  config.strike_days = 30.0;
+  config.bias = -3.0;
+  config.sigma = 0.3;
+  config.churn_rate = 0.5;  // half the squad swaps to a fresh id mid-strike
+  const rating::Dataset data =
+      c.apply(generator.generate(config, /*stream=*/0));
+
+  CollusionConfig cc;
+  cc.time_window = 10.0;
+  const auto groups = find_collusion_groups(data, cc);
+  ASSERT_FALSE(groups.empty());
+  const SquadQuality q = squad_quality(c, groups);
+  // Churn fragments footprints (a sybil id has only post-switch strike
+  // ratings), so recall over the personas may dip — but the co-rating
+  // graph still links whoever keeps enough shared targets.
+  EXPECT_GE(q.precision, 0.9);
+  EXPECT_GE(q.recall, 0.6);
+}
+
+TEST(CollusionSquad, OverlayGroupsMatchMaterialized) {
+  const Challenge c = Challenge::make_default(23);
+  const SquadGenerator generator(c, 23);
+  SquadConfig config;
+  config.squad_size = c.config().attack_raters;
+  config.pre_days = 30.0;
+  config.strike_offset_days = 35.0;
+  config.strike_days = 30.0;
+  config.bias = -3.0;
+  config.sigma = 0.3;
+  config.churn_rate = 0.3;
+  const Submission attack = generator.generate(config, /*stream=*/0);
+
+  const rating::DatasetOverlay overlay(c.metric().fair(), attack.ratings);
+  const rating::Dataset materialized = c.apply(attack);
+
+  CollusionConfig cc;
+  cc.time_window = 10.0;
+  const auto via_overlay = find_collusion_groups(overlay, cc);
+  const auto via_dataset = find_collusion_groups(materialized, cc);
+  ASSERT_EQ(via_overlay.size(), via_dataset.size());
+  for (std::size_t i = 0; i < via_overlay.size(); ++i) {
+    EXPECT_EQ(via_overlay[i].raters, via_dataset[i].raters);
+    EXPECT_DOUBLE_EQ(via_overlay[i].mean_pair_score,
+                     via_dataset[i].mean_pair_score);
+  }
+}
+
+TEST(CollusionSquad, DiscountDropsGroupMembersBelowRemoval) {
+  const Challenge c = Challenge::make_default(24);
+  const SquadGenerator generator(c, 24);
+  SquadConfig config;
+  config.squad_size = c.config().attack_raters;
+  config.pre_days = 30.0;
+  config.strike_offset_days = 35.0;
+  config.strike_days = 30.0;
+  config.bias = -3.0;
+  config.sigma = 0.3;
+  const rating::Dataset data =
+      c.apply(generator.generate(config, /*stream=*/0));
+
+  CollusionConfig cc;
+  cc.time_window = 10.0;
+  const auto groups = find_collusion_groups(data, cc);
+  ASSERT_FALSE(groups.empty());
+
+  trust::TrustManager trust;
+  trust::apply_collusion_discount(trust, groups);
+  // Charging each member of an n-clique n suspicious epochs drives its
+  // beta trust to ~1/(n+2); with min_group 5 that is below any sane
+  // removal threshold.
+  for (RaterId rater : groups.front().raters) {
+    EXPECT_LT(trust.trust(rater), 0.25);
+  }
 }
 
 }  // namespace

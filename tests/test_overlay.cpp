@@ -12,6 +12,7 @@
 
 #include "aggregation/bf_scheme.hpp"
 #include "aggregation/entropy_scheme.hpp"
+#include "aggregation/factory.hpp"
 #include "aggregation/median_scheme.hpp"
 #include "aggregation/p_scheme.hpp"
 #include "aggregation/sa_scheme.hpp"
@@ -261,8 +262,11 @@ TEST_P(MpEquivalence, AllSchemesBitIdenticalToCopyPath) {
   aggregation::PConfig p_config;
   p_config.passes = 2;
   const aggregation::PScheme p(p_config);
+  const auto rv = aggregation::make_scheme("RV");
+  const auto xl = aggregation::make_scheme("XL");
+  const auto sa_cg = aggregation::make_scheme("SA+CG");
   const std::vector<const aggregation::AggregationScheme*> schemes = {
-      &sa, &med, &ent, &bf, &p};
+      &sa, &med, &ent, &bf, &p, rv.get(), xl.get(), sa_cg.get()};
 
   const Dataset attacked = c.apply(submission);
   for (const aggregation::AggregationScheme* scheme : schemes) {
@@ -287,7 +291,8 @@ TEST_P(MpEquivalence, AllSchemesBitIdenticalToCopyPath) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Threads, MpEquivalence, ::testing::Values(1, 4));
+INSTANTIATE_TEST_SUITE_P(Threads, MpEquivalence,
+                         ::testing::Values(1, 4, 8));
 
 // --- Detector-result cache ------------------------------------------------
 

@@ -9,6 +9,7 @@
 
 #include "aggregation/bf_scheme.hpp"
 #include "aggregation/entropy_scheme.hpp"
+#include "aggregation/factory.hpp"
 #include "aggregation/median_scheme.hpp"
 #include "aggregation/p_scheme.hpp"
 #include "aggregation/sa_scheme.hpp"
@@ -208,7 +209,17 @@ INSTANTIATE_TEST_SUITE_P(
         SchemeCase{"MED", [] { return std::unique_ptr<AggregationScheme>(
                                    std::make_unique<MedianScheme>()); }},
         SchemeCase{"ENT", [] { return std::unique_ptr<AggregationScheme>(
-                                   std::make_unique<EntropyScheme>()); }}),
+                                   std::make_unique<EntropyScheme>()); }},
+        // RV shares per-bin voter weights across products, so an attack on
+        // one product legitimately nudges its raters' weight elsewhere —
+        // same relaxed cross-product tolerance as P.
+        SchemeCase{"RV", [] { return make_scheme("RV"); },
+                   /*cross_product_tolerance=*/0.2},
+        SchemeCase{"XL", [] { return make_scheme("XL"); }},
+        // The guard finds no squads in the contract datasets (single-
+        // product footprints never reach min_overlap), so SA+CG must be
+        // contract-clean exactly like SA.
+        SchemeCase{"SA_CG", [] { return make_scheme("SA+CG"); }}),
     [](const ::testing::TestParamInfo<SchemeCase>& info) {
       return info.param.name;
     });

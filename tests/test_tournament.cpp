@@ -1,0 +1,207 @@
+// Tests for the coordinated-squad generator and the scheme x attack
+// tournament: determinism (bit-identical JSON across reruns and thread
+// counts), the scheme factory grammar, and the acceptance criterion that
+// the collusion-guard trust discount actually changes a squad cell.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "aggregation/factory.hpp"
+#include "challenge/challenge.hpp"
+#include "challenge/squad.hpp"
+#include "core/tournament.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace rab {
+namespace {
+
+challenge::SquadConfig small_squad() {
+  challenge::SquadConfig config;
+  config.squad_size = 20;
+  config.pre_days = 20.0;
+  config.strike_offset_days = 25.0;
+  config.strike_days = 20.0;
+  config.bias = -2.5;
+  config.sigma = 0.4;
+  return config;
+}
+
+// --- SquadGenerator -------------------------------------------------------
+
+TEST(Squad, DeterministicUnderSeedAndStream) {
+  const challenge::Challenge c = challenge::Challenge::make_default(31);
+  const challenge::SquadGenerator generator(c, 31);
+  const challenge::Submission a = generator.generate(small_squad(), 7);
+  const challenge::Submission b = generator.generate(small_squad(), 7);
+  ASSERT_EQ(a.ratings.size(), b.ratings.size());
+  for (std::size_t i = 0; i < a.ratings.size(); ++i) {
+    EXPECT_EQ(a.ratings[i].time, b.ratings[i].time);
+    EXPECT_EQ(a.ratings[i].value, b.ratings[i].value);
+    EXPECT_EQ(a.ratings[i].rater, b.ratings[i].rater);
+    EXPECT_EQ(a.ratings[i].product, b.ratings[i].product);
+  }
+  // A different stream decorrelates.
+  const challenge::Submission other = generator.generate(small_squad(), 8);
+  ASSERT_EQ(other.ratings.size(), a.ratings.size());
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.ratings.size(); ++i) {
+    if (a.ratings[i].time != other.ratings[i].time) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Squad, StaysInsideChallengeWindow) {
+  const challenge::Challenge c = challenge::Challenge::make_default(32);
+  const challenge::SquadGenerator generator(c, 32);
+  challenge::SquadConfig config = small_squad();
+  config.strike_days = 500.0;  // would overrun without clamping
+  const challenge::Submission s = generator.generate(config, 0);
+  const Interval window = c.config().window;
+  ASSERT_FALSE(s.ratings.empty());
+  for (const rating::Rating& r : s.ratings) {
+    EXPECT_GE(r.time, window.begin);
+    EXPECT_LE(r.time, window.end);
+    EXPECT_GE(r.value, rating::kMinRating);
+    EXPECT_LE(r.value, rating::kMaxRating);
+    EXPECT_TRUE(r.unfair);
+  }
+}
+
+TEST(Squad, ChurnMintsFreshIdsBeyondTheBudget) {
+  const challenge::Challenge c = challenge::Challenge::make_default(33);
+  const challenge::SquadGenerator generator(c, 33);
+  challenge::SquadConfig config = small_squad();
+  config.churn_rate = 1.0;  // every member switches mid-strike
+  const challenge::Submission s = generator.generate(config, 0);
+  std::set<RaterId> ids;
+  std::size_t sybil_ids = 0;
+  for (const rating::Rating& r : s.ratings) {
+    ids.insert(r.rater);
+    if (r.rater.value() >=
+        c.config().attacker_id_base +
+            static_cast<std::int64_t>(config.squad_size)) {
+      ++sybil_ids;
+    }
+  }
+  // Personas plus at least some post-switch sybil ids.
+  EXPECT_GT(ids.size(), config.squad_size);
+  EXPECT_GT(sybil_ids, 0u);
+}
+
+TEST(Squad, DutyCycleZeroIsAllCamouflage) {
+  const challenge::Challenge c = challenge::Challenge::make_default(34);
+  const challenge::SquadGenerator generator(c, 34);
+  challenge::SquadConfig config = small_squad();
+  config.pre_days = 0.0;
+  config.duty_cycle = 0.0;  // never strikes: every rating near fair mean
+  const challenge::Submission s = generator.generate(config, 0);
+  for (const rating::Rating& r : s.ratings) {
+    EXPECT_NEAR(r.value, c.fair_mean(r.product), 3.0);
+  }
+  // Camouflage barely moves the aggregate.
+  const auto sa = aggregation::make_scheme("SA");
+  EXPECT_LT(c.metric().evaluate_overall(s, *sa), 0.5);
+}
+
+// --- Scheme factory -------------------------------------------------------
+
+TEST(SchemeFactory, BuildsEverySpec) {
+  for (const std::string base : {"SA", "BF", "P", "MED", "ENT", "RV",
+                                 "XL"}) {
+    EXPECT_NE(aggregation::make_scheme(base), nullptr) << base;
+    const auto guarded = aggregation::make_scheme(base + "+CG");
+    ASSERT_NE(guarded, nullptr) << base;
+    EXPECT_EQ(guarded->name(), base + "+CG");
+  }
+}
+
+TEST(SchemeFactory, RejectsUnknownSpec) {
+  EXPECT_THROW(aggregation::make_scheme("nope"), InvalidArgument);
+  EXPECT_THROW(aggregation::make_scheme(""), InvalidArgument);
+  EXPECT_THROW(aggregation::make_scheme("+CG"), InvalidArgument);
+  EXPECT_THROW(aggregation::make_scheme("SA+cg"), InvalidArgument);
+}
+
+// --- Tournament -----------------------------------------------------------
+
+core::TournamentOptions mini_options() {
+  core::TournamentOptions options;
+  options.schemes = {"SA", "MED"};
+  options.attacks = {"indep-random", "squad-pre"};
+  options.search.trials = 2;
+  options.search.max_rounds = 2;
+  options.search.grid = 2;
+  return options;
+}
+
+TEST(Tournament, RejectsUnknownSchemeOrAttack) {
+  const challenge::Challenge c = challenge::Challenge::make_default(41);
+  core::TournamentOptions options = mini_options();
+  options.schemes = {"bogus"};
+  EXPECT_THROW(core::run_tournament(c, options), InvalidArgument);
+  options = mini_options();
+  options.attacks = {"squad-unknown"};
+  EXPECT_THROW(core::run_tournament(c, options), InvalidArgument);
+}
+
+TEST(Tournament, JsonByteIdenticalAcrossRerunsAndThreads) {
+  const challenge::Challenge c = challenge::Challenge::make_default(42);
+  const core::TournamentOptions options = mini_options();
+
+  util::set_thread_count(1);
+  const std::string serial =
+      core::tournament_json(core::run_tournament(c, options));
+  const std::string serial_again =
+      core::tournament_json(core::run_tournament(c, options));
+  util::set_thread_count(8);
+  const std::string threaded =
+      core::tournament_json(core::run_tournament(c, options));
+  util::set_thread_count(std::thread::hardware_concurrency());
+
+  EXPECT_EQ(serial, serial_again);
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(Tournament, CellLookupAndTableCoverTheMatrix) {
+  const challenge::Challenge c = challenge::Challenge::make_default(43);
+  const core::TournamentOptions options = mini_options();
+  const core::TournamentResult result = core::run_tournament(c, options);
+  ASSERT_EQ(result.cells.size(), 4u);
+  for (const std::string& scheme : options.schemes) {
+    for (const std::string& attack : options.attacks) {
+      const core::TournamentCell& cell = result.cell(scheme, attack);
+      EXPECT_EQ(cell.scheme, scheme);
+      EXPECT_EQ(cell.attack, attack);
+      EXPECT_GT(cell.evaluations, 0u);
+    }
+  }
+  EXPECT_THROW((void)result.cell("SA", "squad-osc"), InvalidArgument);
+
+  const std::string table = core::tournament_table(result);
+  for (const std::string& scheme : options.schemes) {
+    EXPECT_NE(table.find("| " + scheme + " |"), std::string::npos);
+  }
+  for (const std::string& attack : options.attacks) {
+    EXPECT_NE(table.find(attack), std::string::npos);
+  }
+}
+
+TEST(Tournament, CollusionDiscountChangesASquadCell) {
+  const challenge::Challenge c = challenge::Challenge::make_default(44);
+  core::TournamentOptions options = mini_options();
+  options.schemes = {"SA", "SA+CG"};
+  options.attacks = {"squad-pre"};
+  options.search.trials = 4;
+  options.search.max_rounds = 3;
+  const core::TournamentResult result = core::run_tournament(c, options);
+  const double plain = result.cell("SA", "squad-pre").best_mp;
+  const double guarded = result.cell("SA+CG", "squad-pre").best_mp;
+  // The guard drops detected squad members, so the strongest found squad
+  // attack must lose power — the discount-off control differs.
+  EXPECT_LT(guarded, plain);
+}
+
+}  // namespace
+}  // namespace rab

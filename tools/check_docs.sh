@@ -10,6 +10,10 @@
 #   - every metric registered in src/ is catalogued in docs/METRICS.md,
 #     and every metric row in the catalog exists in src/
 #   - same for trace-span names
+#   - every scheme spec the aggregation factory accepts appears in
+#     docs/CLI.md, and every attack family the tournament accepts appears
+#     in both docs/CLI.md and docs/ATTACKS.md (and vice versa for the
+#     attack tables)
 #
 #   tools/check_docs.sh [path/to/rab]     # default: build/tools/rab
 set -euo pipefail
@@ -109,6 +113,35 @@ while IFS= read -r span; do
   echo "$doc_metrics" | grep -qx "$span" ||
     err "span $span is in src/ but not catalogued in docs/METRICS.md"
 done <<<"$src_spans"
+
+# --- Scheme specs and attack families --------------------------------------
+# Source of truth: the factory's base-name list (src/aggregation/factory.cpp)
+# and the tournament's attack catalog (src/core/tournament.cpp).
+src_schemes="$(grep -oE '"[A-Z]+"' src/aggregation/factory.cpp |
+  tr -d '"' | sort -u)"
+while IFS= read -r scheme; do
+  grep -q "\`$scheme\`" docs/CLI.md ||
+    err "scheme $scheme is in the factory but not documented in docs/CLI.md"
+done <<<"$src_schemes"
+grep -q '`+CG`' docs/CLI.md ||
+  err "the +CG collusion-guard suffix is not documented in docs/CLI.md"
+
+src_attacks="$(awk '/known_attack_names/,/^}/' src/core/tournament.cpp |
+  grep -oE '"[a-z-]+"' | tr -d '"' | sort -u)"
+for doc in docs/CLI.md docs/ATTACKS.md; do
+  while IFS= read -r attack; do
+    grep -q "\`$attack\`" "$doc" ||
+      err "attack family $attack is in the tournament but not in $doc"
+  done <<<"$src_attacks"
+  # Reverse direction: an attack row in a doc table must still exist.
+  doc_attacks="$(grep -oE '^\| `(indep|squad)-[a-z-]+`' "$doc" |
+    grep -oE '(indep|squad)-[a-z-]+' | sort -u)"
+  [[ -z "$doc_attacks" ]] && continue
+  while IFS= read -r attack; do
+    grep -qx "$attack" <<<"$src_attacks" ||
+      err "attack family $attack is in $doc but unknown to the tournament"
+  done <<<"$doc_attacks"
+done
 
 if [[ "$fail" -ne 0 ]]; then
   echo "check_docs: FAILED — docs and source have drifted" >&2

@@ -5,6 +5,8 @@
 //   attack      craft one unfair-rating submission against a dataset
 //   population  synthesize a whole population of attack submissions
 //   evaluate    score a submission's manipulation power under a scheme
+//   tournament  scheme x attack matrix: strongest-found attack per cell
+//               via Procedure-2 region search, fanned over the pool
 //   detect      run the P-scheme pipeline over a dataset and report
 //               suspicious raters
 //   monitor     stream a CSV feed through the incremental OnlineMonitor
@@ -40,17 +42,15 @@
 #include <string>
 #include <vector>
 
-#include "aggregation/bf_scheme.hpp"
-#include "aggregation/entropy_scheme.hpp"
-#include "aggregation/median_scheme.hpp"
+#include "aggregation/factory.hpp"
 #include "aggregation/p_scheme.hpp"
-#include "aggregation/sa_scheme.hpp"
 #include "challenge/challenge.hpp"
 #include "challenge/collusion.hpp"
 #include "challenge/participants.hpp"
 #include "challenge/report.hpp"
 #include "challenge/submission_io.hpp"
 #include "core/attack_generator.hpp"
+#include "core/tournament.hpp"
 #include "detectors/online_monitor.hpp"
 #include "net/client.hpp"
 #include "net/loadgen.hpp"
@@ -156,15 +156,32 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// Scheme specs (SA/BF/P/MED/ENT/RV/XL, optional +CG) resolve through the
+/// shared factory, so every subcommand accepts exactly what a tournament
+/// matrix prints.
 std::unique_ptr<aggregation::AggregationScheme> make_scheme(
-    const std::string& name) {
-  if (name == "SA") return std::make_unique<aggregation::SaScheme>();
-  if (name == "BF") return std::make_unique<aggregation::BfScheme>();
-  if (name == "P") return std::make_unique<aggregation::PScheme>();
-  if (name == "MED") return std::make_unique<aggregation::MedianScheme>();
-  if (name == "ENT") return std::make_unique<aggregation::EntropyScheme>();
-  throw InvalidArgument("unknown scheme '" + name +
-                        "' (use SA, BF, P, MED or ENT)");
+    const std::string& spec) {
+  return aggregation::make_scheme(spec);
+}
+
+/// Splits a comma-separated flag value ("SA,MED,ENT") into its items.
+std::vector<std::string> split_csv(const std::string& value,
+                                   const std::string& flag) {
+  std::vector<std::string> items;
+  std::string::size_type start = 0;
+  while (start <= value.size()) {
+    const std::string::size_type comma = value.find(',', start);
+    const std::string item =
+        value.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    if (item.empty()) {
+      throw InvalidArgument(flag + ": empty item in '" + value + "'");
+    }
+    items.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return items;
 }
 
 challenge::Challenge load_challenge(const Args& args) {
@@ -279,6 +296,49 @@ int cmd_optimize(const Args& args) {
     challenge::write_submission_file(args.get("out"), best);
     std::printf("strongest found submission written to %s\n",
                 args.get("out").c_str());
+  }
+  return 0;
+}
+
+int cmd_tournament(const Args& args) {
+  const challenge::Challenge ch = load_challenge(args);
+  core::TournamentOptions options;
+  options.schemes =
+      split_csv(args.get("schemes", "SA,MED,ENT,P"), "--schemes");
+  options.attacks = split_csv(
+      args.get("attacks", "indep-random,indep-heuristic,squad-pre,squad-sybil"),
+      "--attacks");
+  options.seed = args.get_u64("seed", options.seed);
+  options.duration_days =
+      args.get_double("duration", options.duration_days);
+  options.offset_days = args.get_double("offset", options.offset_days);
+  options.search.trials = static_cast<std::size_t>(
+      args.get_u64_in("trials", options.search.trials, 1, 1u << 20));
+  options.search.max_rounds = static_cast<std::size_t>(
+      args.get_u64_in("rounds", options.search.max_rounds, 1, 1u << 10));
+  options.search.grid = static_cast<std::size_t>(
+      args.get_u64_in("grid", options.search.grid, 1, 64));
+
+  const core::TournamentResult result = core::run_tournament(ch, options);
+  const std::string json = core::tournament_json(result);
+  if (const std::string out_path = args.get("out", "-"); out_path != "-") {
+    std::ofstream out(out_path);
+    if (!out) throw IoError("cannot open " + out_path);
+    out << json;
+    out.flush();
+    if (!out) throw IoError("tournament: write failed: " + out_path);
+    std::printf("matrix written to %s\n", out_path.c_str());
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  if (const std::string table_path = args.get("table", "-");
+      table_path != "-") {
+    std::ofstream out(table_path);
+    if (!out) throw IoError("cannot open " + table_path);
+    out << core::tournament_table(result);
+    out.flush();
+    if (!out) throw IoError("tournament: write failed: " + table_path);
+    std::printf("table written to %s\n", table_path.c_str());
   }
   return 0;
 }
@@ -801,9 +861,20 @@ int usage() {
       "             --offset O --correlation random|heuristic|blend\n"
       "             --seed N --stream I]\n"
       "  population --data F --out F [--count N --seed N]\n"
-      "  evaluate   --data F --submission F [--scheme SA|BF|P|MED|ENT]\n"
-      "  optimize   --data F [--scheme S --duration D --offset O\n"
+      "  evaluate   --data F --submission F [--scheme SPEC]\n"
+      "             (SPEC is SA|BF|P|MED|ENT|RV|XL, optionally with a\n"
+      "             +CG collusion-guard suffix, e.g. SA+CG)\n"
+      "  optimize   --data F [--scheme SPEC --duration D --offset O\n"
       "             --trials N --rounds N --out F]\n"
+      "  tournament --data F [--schemes S1,S2,... --attacks A1,A2,...\n"
+      "             --seed N --trials N --rounds N --grid N\n"
+      "             --duration D --offset O --out F --table F]\n"
+      "             (scheme x attack matrix: Procedure-2 region search\n"
+      "             per cell, fanned over the thread pool; attacks are\n"
+      "             indep-random|indep-heuristic|squad-pre|squad-sybil|\n"
+      "             squad-osc; --out gets deterministic JSON\n"
+      "             (rab-tournament-v1), --table a markdown table;\n"
+      "             byte-identical at any RAB_THREADS)\n"
       "  detect     --data F [--bin DAYS --trust-below T]\n"
       "  report     --data F [--bin DAYS --trust-below T --out F]\n"
       "  monitor    --data F|- [--epoch DAYS --retention DAYS\n"
@@ -913,6 +984,13 @@ int main(int argc, char** argv) {
       args.restrict(command, {"data", "scheme", "duration", "offset",
                               "trials", "rounds", "out", "seed"});
       return cmd_optimize(args);
+    }
+    if (command == "tournament") {
+      args.restrict(command,
+                    {"data", "schemes", "attacks", "seed", "trials",
+                     "rounds", "grid", "duration", "offset", "out",
+                     "table"});
+      return cmd_tournament(args);
     }
     if (command == "detect") {
       args.restrict(command, {"data", "bin", "trust-below"});

@@ -15,6 +15,11 @@
 #                            # burst, query + metrics scrape, SIGTERM drain,
 #                            # restart from the drain checkpoints, and a diff
 #                            # against a server that never stopped
+#   tools/tier1.sh --tournament # additionally: `rab tournament` smoke — a
+#                            # 2x2 scheme x attack mini-matrix (one collusion
+#                            # squad column, one collusion-guarded scheme row)
+#                            # whose JSON must be byte-identical across
+#                            # reruns and RAB_THREADS settings
 #   tools/tier1.sh --serve-chaos # additionally: ASan+UBSan crash-tolerance
 #                            # proof — SIGKILL a store-backed daemon at 8
 #                            # seeded-random offsets while resumable clients
@@ -96,6 +101,31 @@ if [[ "${1:-}" == "--strict-fp" ]]; then
   RAB_THREADS=8 ./build-strict/tests/test_soa_equivalence
   RAB_THREADS=8 ./build-strict/tests/test_parallel
   RAB_THREADS=8 ./build-strict/tests/test_online_monitor
+fi
+
+if [[ "${1:-}" == "--tournament" ]]; then
+  # End-to-end tournament smoke: a 2x2 mini-matrix (independent + squad
+  # attack columns, plain + collusion-guarded scheme rows) on a small
+  # generated pool. The JSON matrix must be byte-identical across reruns
+  # and thread counts — the determinism contract docs/CLI.md promises.
+  tdir="$smoke_dir/tournament"
+  mkdir -p "$tdir"
+  ./build/tools/rab generate --out "$tdir/pool.csv" --seed 17 \
+    --products 8 --days 120 >/dev/null
+  t_flags=(--data "$tdir/pool.csv" --schemes SA,SA+CG
+           --attacks indep-random,squad-pre --trials 2 --rounds 2 --grid 2)
+  RAB_THREADS=1 ./build/tools/rab tournament "${t_flags[@]}" \
+    --out "$tdir/t1.json" --table "$tdir/t1.md" >/dev/null
+  RAB_THREADS=1 ./build/tools/rab tournament "${t_flags[@]}" \
+    --out "$tdir/t1-again.json" >/dev/null
+  RAB_THREADS=8 ./build/tools/rab tournament "${t_flags[@]}" \
+    --out "$tdir/t8.json" >/dev/null
+  diff "$tdir/t1.json" "$tdir/t1-again.json"
+  diff "$tdir/t1.json" "$tdir/t8.json"
+  grep -q '"schema": "rab-tournament-v1"' "$tdir/t1.json"
+  grep -q 'squad-pre' "$tdir/t1.md"
+  grep -q '| SA+CG |' "$tdir/t1.md"
+  echo "tournament smoke: 2x2 matrix byte-identical at 1 and 8 threads"
 fi
 
 if [[ "${1:-}" == "--serve" ]]; then
